@@ -1,0 +1,72 @@
+//! B5 — data chase: finding every occurrence of a value via the inverted
+//! value index vs a full database scan.
+//!
+//! Expected shape: index probes are O(1) and flat in database size; scans
+//! grow linearly. The index build itself is a one-time linear cost,
+//! benchmarked separately (amortized over every chase in a session).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clio_bench::chain;
+use clio_relational::index::{scan_occurrences, ValueIndex};
+use clio_relational::value::Value;
+
+fn bench_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase_probe");
+    for rows in [1000usize, 10_000, 100_000] {
+        let w = chain(3, rows / 3);
+        let index = ValueIndex::build(&w.db);
+        let probe = Value::str("r0-7");
+        group.bench_with_input(BenchmarkId::new("indexed", rows), &w, |b, _| {
+            b.iter(|| black_box(index.occurrences(&probe).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("scan", rows), &w, |b, w| {
+            b.iter(|| black_box(scan_occurrences(&w.db, &probe).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase_index_build");
+    for rows in [1000usize, 10_000] {
+        let w = chain(3, rows / 3);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &w, |b, w| {
+            b.iter(|| black_box(ValueIndex::build(&w.db).distinct_values()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_chase_operator(c: &mut Criterion) {
+    use clio_bench::chain_prefix_mapping;
+    use clio_core::operators::chase::data_chase;
+    use clio_relational::funcs::FuncRegistry;
+
+    let mut group = c.benchmark_group("chase_operator");
+    for rows in [1000usize, 10_000] {
+        let w = chain(4, rows / 4);
+        let m = chain_prefix_mapping(&w, 1);
+        let index = ValueIndex::build(&w.db);
+        let funcs = FuncRegistry::with_builtins();
+        let probe = Value::str("r0-3");
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    data_chase(&m, &w.db, &index, "R0", "id", &probe, &funcs)
+                        .expect("valid chase")
+                        .len(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_probe, bench_index_build, bench_chase_operator
+}
+criterion_main!(benches);

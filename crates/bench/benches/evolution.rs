@@ -1,0 +1,52 @@
+//! B7 — continuous evolution (paper Sec 5.3): extending the previous
+//! illustration across a graph extension vs recomputing a minimal
+//! sufficient illustration from scratch.
+//!
+//! Expected shape: evolution costs one example-population pass plus the
+//! extension matching; recompute pays the full exact/greedy selection on
+//! top. Evolution also preserves familiar data, which recompute does not
+//! — this bench measures the price of that guarantee.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clio_bench::{chain, chain_prefix_mapping};
+use clio_core::evolution::evolve_illustration;
+use clio_core::illustration::Illustration;
+use clio_relational::funcs::FuncRegistry;
+
+fn bench_evolve_vs_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evolution");
+    let funcs = FuncRegistry::with_builtins();
+    for rows in [100usize, 400] {
+        let w = chain(4, rows);
+        let old_m = chain_prefix_mapping(&w, 3);
+        let old_pop = old_m.examples(&w.db, &funcs).expect("valid");
+        let old_ill = Illustration::minimal_sufficient(&old_pop, old_m.target.arity());
+
+        group.bench_with_input(BenchmarkId::new("evolve", rows), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    evolve_illustration(&old_ill, &old_m, &w.mapping, &w.db, &funcs)
+                        .expect("valid evolution")
+                        .illustration
+                        .len(),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("recompute", rows), &w, |b, w| {
+            b.iter(|| {
+                let pop = w.mapping.examples(&w.db, &funcs).expect("valid");
+                black_box(Illustration::minimal_sufficient(&pop, w.mapping.target.arity()).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_evolve_vs_recompute
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! B3 — "efficiently select a minimal sufficient illustration": greedy
+//! set cover vs exact branch-and-bound vs the take-everything baseline.
+//!
+//! Expected shape: greedy is orders of magnitude cheaper than exact and
+//! a small constant over the trivial baseline; exact stays feasible only
+//! because the requirement structure keeps instances small.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clio_bench::{chain, example_population, star};
+use clio_core::illustration::{select_exact, select_greedy, SufficiencyScope};
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("illustration_select");
+    for (name, w) in [("chain4", chain(4, 200)), ("star5", star(5, 200))] {
+        let pop = example_population(&w);
+        let arity = w.mapping.target.arity();
+        let scope = SufficiencyScope::mapping();
+        group.bench_with_input(
+            BenchmarkId::new("greedy", format!("{name}/{}", pop.len())),
+            &pop,
+            |b, pop| {
+                b.iter(|| black_box(select_greedy(pop, arity, scope).len()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact", format!("{name}/{}", pop.len())),
+            &pop,
+            |b, pop| {
+                b.iter(|| black_box(select_exact(pop, arity, scope, 200_000).map(|v| v.len())));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("take_all", format!("{name}/{}", pop.len())),
+            &pop,
+            |b, pop| {
+                b.iter(|| black_box(pop.to_vec().len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_population_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("illustration_population");
+    for rows in [100usize, 400, 1600] {
+        let w = chain(3, rows);
+        let pop = example_population(&w);
+        let arity = w.mapping.target.arity();
+        group.bench_with_input(BenchmarkId::new("greedy", pop.len()), &pop, |b, pop| {
+            b.iter(|| black_box(select_greedy(pop, arity, SufficiencyScope::mapping()).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_selection, bench_population_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! B9 — join ablation: the hash-equijoin fast path vs forcing the
+//! nested-loop fallback (by phrasing the same predicate non-equationally).
+//!
+//! Every full-disjunction and walk evaluation funnels through `join`;
+//! this quantifies the design choice of extracting equi-conjuncts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clio_relational::funcs::FuncRegistry;
+use clio_relational::ops::{join, JoinKind};
+use clio_relational::parser::parse_expr;
+use clio_relational::relation::RelationBuilder;
+use clio_relational::table::Table;
+use clio_relational::value::DataType;
+
+fn tables(rows: usize) -> (Table, Table) {
+    let mut a = RelationBuilder::new("A")
+        .attr("id", DataType::Str)
+        .attr("link", DataType::Str);
+    let mut b = RelationBuilder::new("B")
+        .attr("id", DataType::Str)
+        .attr("payload", DataType::Str);
+    for k in 0..rows {
+        a = a.row(vec![format!("a{k}").into(), format!("b{}", k % (rows / 2 + 1)).into()]);
+        b = b.row(vec![format!("b{k}").into(), format!("p{k}").into()]);
+    }
+    (
+        a.build().expect("valid").to_table("A"),
+        b.build().expect("valid").to_table("B"),
+    )
+}
+
+fn bench_hash_vs_nested(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_ablation");
+    let funcs = FuncRegistry::with_builtins();
+    // `A.link = B.id` takes the hash path; the >=/<= phrasing is
+    // semantically identical but defeats equi-extraction
+    let hash_pred = parse_expr("A.link = B.id").expect("valid");
+    let nested_pred = parse_expr("A.link >= B.id AND A.link <= B.id").expect("valid");
+    for rows in [200usize, 1000, 5000] {
+        let (a, b) = tables(rows);
+        group.bench_with_input(BenchmarkId::new("hash", rows), &rows, |bch, _| {
+            bch.iter(|| {
+                black_box(
+                    join(&a, &b, &hash_pred, JoinKind::Inner, &funcs).expect("joins").len(),
+                )
+            });
+        });
+        if rows <= 1000 {
+            group.bench_with_input(BenchmarkId::new("nested_loop", rows), &rows, |bch, _| {
+                bch.iter(|| {
+                    black_box(
+                        join(&a, &b, &nested_pred, JoinKind::Inner, &funcs)
+                            .expect("joins")
+                            .len(),
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_outer_kinds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_kinds");
+    let funcs = FuncRegistry::with_builtins();
+    let pred = parse_expr("A.link = B.id").expect("valid");
+    let (a, b) = tables(2000);
+    for (name, kind) in [
+        ("inner", JoinKind::Inner),
+        ("left_outer", JoinKind::LeftOuter),
+        ("full_outer", JoinKind::FullOuter),
+    ] {
+        group.bench_function(name, |bch| {
+            bch.iter(|| black_box(join(&a, &b, &pred, kind, &funcs).expect("joins").len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hash_vs_nested, bench_outer_kinds
+}
+criterion_main!(benches);

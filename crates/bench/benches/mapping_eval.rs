@@ -1,0 +1,59 @@
+//! B6 — end-to-end mapping query evaluation (the WYSIWYG target view):
+//! full disjunction + correspondence projection + filters, as a function
+//! of data size and graph shape.
+//!
+//! Expected shape: dominated by the full disjunction; near-linear in rows
+//! for tree graphs thanks to hash joins.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clio_bench::{chain, star};
+use clio_relational::funcs::FuncRegistry;
+
+fn bench_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_eval_rows");
+    let funcs = FuncRegistry::with_builtins();
+    for rows in [100usize, 1000, 10_000] {
+        let w = chain(4, rows);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &w, |b, w| {
+            b.iter(|| black_box(w.mapping.evaluate(&w.db, &funcs).expect("valid").len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_eval_shape");
+    let funcs = FuncRegistry::with_builtins();
+    for (name, w) in [
+        ("chain3", chain(3, 1000)),
+        ("chain6", chain(6, 1000)),
+        ("star5", star(5, 1000)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
+            b.iter(|| black_box(w.mapping.evaluate(&w.db, &funcs).expect("valid").len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_example_generation(c: &mut Criterion) {
+    // the examples() path computes target tuples for negatives too
+    let mut group = c.benchmark_group("mapping_examples");
+    let funcs = FuncRegistry::with_builtins();
+    for rows in [100usize, 1000] {
+        let w = chain(4, rows);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &w, |b, w| {
+            b.iter(|| black_box(w.mapping.examples(&w.db, &funcs).expect("valid").len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rows, bench_shapes, bench_example_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! B4 — data-walk path inference cost vs schema size: enumerating walks
+//! over knowledge graphs of 10–200 relations.
+//!
+//! Expected shape: near-linear in the number of admissible paths; the
+//! path-length cap keeps large schemas interactive (the paper requires
+//! walks to feel instantaneous to a user).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clio_datagen::synthetic::random_knowledge;
+
+fn bench_schema_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk_schema_size");
+    for n in [10usize, 50, 100, 200] {
+        let k = random_knowledge(n, n / 2, 0x5EED);
+        let target = format!("R{}", n - 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &k, |b, k| {
+            b.iter(|| black_box(k.paths("R0", &target, 5).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_cap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk_path_cap");
+    let k = random_knowledge(60, 40, 0x5EED);
+    for cap in [3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| black_box(k.paths("R0", "R59", cap).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_walk_operator(c: &mut Criterion) {
+    use clio_bench::chain_prefix_mapping;
+    use clio_core::operators::walk::data_walk;
+    use clio_relational::funcs::FuncRegistry;
+
+    let mut group = c.benchmark_group("walk_operator");
+    for n in [4usize, 6, 8] {
+        let w = clio_bench::chain(n, 30);
+        let m = chain_prefix_mapping(&w, 2);
+        let funcs = FuncRegistry::with_builtins();
+        let target = format!("R{}", n - 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    data_walk(&m, &w.db, &w.knowledge, "R0", &target, n, &funcs)
+                        .expect("valid walk")
+                        .len(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_schema_size, bench_path_cap, bench_full_walk_operator
+}
+criterion_main!(benches);

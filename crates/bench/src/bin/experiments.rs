@@ -1,0 +1,325 @@
+//! Run the parameter sweeps behind EXPERIMENTS.md and print one markdown
+//! table per experiment (B1–B7). Wall-clock medians over a few
+//! repetitions — the Criterion benches give rigorous statistics; this
+//! binary gives the compact tables the docs quote.
+//!
+//! ```sh
+//! cargo run --release -p clio-bench --bin experiments
+//! ```
+
+use std::time::{Duration, Instant};
+
+use clio_bench::{
+    chain, chain_prefix_mapping, cycle, example_population, nullable_table, star,
+};
+use clio_core::evolution::evolve_illustration;
+use clio_core::full_disjunction::FdAlgo;
+use clio_core::illustration::{select_exact, select_greedy, Illustration, SufficiencyScope};
+use clio_core::operators::chase::data_chase;
+use clio_core::operators::walk::data_walk;
+use clio_datagen::synthetic::random_knowledge;
+use clio_relational::funcs::FuncRegistry;
+use clio_relational::index::{scan_occurrences, ValueIndex};
+use clio_relational::ops::{remove_subsumed_naive, remove_subsumed_partitioned};
+use clio_relational::value::Value;
+
+const REPS: usize = 5;
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn time(mut f: impl FnMut()) -> Duration {
+    let samples: Vec<Duration> = (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    median(samples)
+}
+
+fn fmt(d: Duration) -> String {
+    if d.as_secs_f64() >= 1.0 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d.as_micros() >= 1000 {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.1}us", d.as_secs_f64() * 1e6)
+    }
+}
+
+fn ratio(a: Duration, b: Duration) -> String {
+    format!("{:.1}x", a.as_secs_f64() / b.as_secs_f64())
+}
+
+fn b1_full_disjunction() {
+    println!("\n## B1 — full disjunction: naive vs outer-join plan\n");
+    println!("| topology | nodes | rows/rel | naive | outer-join | speedup | |D(G)| |");
+    println!("|---|---|---|---|---|---|---|");
+    for (name, ns, rows) in [("chain", vec![2usize, 4, 6, 8], 100), ("star", vec![3, 5, 7], 100)]
+    {
+        for n in ns {
+            let w = if name == "chain" { chain(n, rows) } else { star(n, rows) };
+            let mut count = 0;
+            let naive = time(|| count = clio_bench::fd(&w, FdAlgo::Naive));
+            let outer = time(|| count = clio_bench::fd(&w, FdAlgo::OuterJoin));
+            println!(
+                "| {name} | {n} | {rows} | {} | {} | {} | {count} |",
+                fmt(naive),
+                fmt(outer),
+                ratio(naive, outer)
+            );
+        }
+    }
+    // rows scaling at fixed shape
+    for rows in [100usize, 400, 1600] {
+        let w = chain(4, rows);
+        let mut count = 0;
+        let naive = time(|| count = clio_bench::fd(&w, FdAlgo::Naive));
+        let outer = time(|| count = clio_bench::fd(&w, FdAlgo::OuterJoin));
+        println!(
+            "| chain | 4 | {rows} | {} | {} | {} | {count} |",
+            fmt(naive),
+            fmt(outer),
+            ratio(naive, outer)
+        );
+    }
+    // cyclic: naive only
+    println!("\ncyclic graphs (naive only):\n");
+    println!("| nodes | rows/rel | naive | |D(G)| |");
+    println!("|---|---|---|---|");
+    for n in [3usize, 4, 5] {
+        let w = cycle(n, 100);
+        let mut count = 0;
+        let naive = time(|| count = clio_bench::fd(&w, FdAlgo::Naive));
+        println!("| {n} | 100 | {} | {count} |", fmt(naive));
+    }
+}
+
+fn b2_subsumption() {
+    println!("\n## B2 — subsumption removal: naive O(n^2) vs partitioned\n");
+    println!("| rows | null rate | naive | partitioned | speedup | survivors |");
+    println!("|---|---|---|---|---|---|");
+    for (rows, null_rate) in [
+        (500usize, 0.4),
+        (2000, 0.4),
+        (8000, 0.4),
+        (2000, 0.1),
+        (2000, 0.7),
+    ] {
+        let t0 = nullable_table(rows, 6, null_rate, 0xBEEF);
+        let mut survivors = 0;
+        let naive = time(|| {
+            let mut t = t0.clone();
+            remove_subsumed_naive(&mut t);
+            survivors = t.len();
+        });
+        let part = time(|| {
+            let mut t = t0.clone();
+            remove_subsumed_partitioned(&mut t);
+            survivors = t.len();
+        });
+        println!(
+            "| {rows} | {null_rate} | {} | {} | {} | {survivors} |",
+            fmt(naive),
+            fmt(part),
+            ratio(naive, part)
+        );
+    }
+}
+
+fn b3_illustration() {
+    println!("\n## B3 — minimal sufficient illustration selection\n");
+    println!("| workload | examples | greedy | exact (B&B) | greedy size | exact size |");
+    println!("|---|---|---|---|---|---|");
+    // the paper-scale instance, where exact search completes
+    {
+        let db = clio_datagen::paper::paper_database();
+        let m = clio_datagen::paper::example_3_15_mapping();
+        let funcs = FuncRegistry::with_builtins();
+        let pop = m.examples(&db, &funcs).expect("valid");
+        let arity = m.target.arity();
+        let scope = SufficiencyScope::mapping();
+        let mut gsize = 0;
+        let greedy = time(|| gsize = select_greedy(&pop, arity, scope).len());
+        let mut esize: Option<usize> = None;
+        let exact = time(|| esize = select_exact(&pop, arity, scope, 200_000).map(|v| v.len()));
+        println!(
+            "| paper (Ex 3.15) | {} | {} | {} | {gsize} | {} |",
+            pop.len(),
+            fmt(greedy),
+            fmt(exact),
+            esize.map_or("timeout".to_owned(), |n| n.to_string())
+        );
+    }
+    for (name, w) in [
+        ("chain4 x200", chain(4, 200)),
+        ("star5 x200", star(5, 200)),
+        ("chain3 x1600", chain(3, 1600)),
+    ] {
+        let pop = example_population(&w);
+        let arity = w.mapping.target.arity();
+        let scope = SufficiencyScope::mapping();
+        let mut gsize = 0;
+        let greedy = time(|| gsize = select_greedy(&pop, arity, scope).len());
+        let mut esize: Option<usize> = None;
+        let exact = time(|| esize = select_exact(&pop, arity, scope, 200_000).map(|v| v.len()));
+        println!(
+            "| {name} | {} | {} | {} | {gsize} | {} |",
+            pop.len(),
+            fmt(greedy),
+            fmt(exact),
+            esize.map_or("timeout".to_owned(), |n| n.to_string())
+        );
+    }
+}
+
+fn b4_walk() {
+    println!("\n## B4 — data-walk path inference vs schema size\n");
+    println!("| relations | extra specs | paths (cap 5) | time |");
+    println!("|---|---|---|---|");
+    for n in [10usize, 50, 100, 200] {
+        let k = random_knowledge(n, n / 2, 0x5EED);
+        let target = format!("R{}", n - 1);
+        let mut count = 0;
+        let t = time(|| count = k.paths("R0", &target, 5).len());
+        println!("| {n} | {} | {count} | {} |", n / 2, fmt(t));
+    }
+    println!("\nfull walk operator on chains (prefix mapping of 2 nodes):\n");
+    println!("| chain length | alternatives | time |");
+    println!("|---|---|---|");
+    let funcs = FuncRegistry::with_builtins();
+    for n in [4usize, 6, 8] {
+        let w = chain(n, 30);
+        let m = chain_prefix_mapping(&w, 2);
+        let target = format!("R{}", n - 1);
+        let mut count = 0;
+        let t = time(|| {
+            count = data_walk(&m, &w.db, &w.knowledge, "R0", &target, n, &funcs)
+                .expect("valid")
+                .len();
+        });
+        println!("| {n} | {count} | {} |", fmt(t));
+    }
+}
+
+fn b5_chase() {
+    println!("\n## B5 — data chase: inverted index vs full scan\n");
+    println!("| total rows | index probe | full scan | scan/probe | index build |");
+    println!("|---|---|---|---|---|");
+    for rows in [1000usize, 10_000, 100_000] {
+        let w = chain(3, rows / 3);
+        let index = ValueIndex::build(&w.db);
+        let probe = Value::str("r0-7");
+        let p = time(|| {
+            std::hint::black_box(index.occurrences(&probe).len());
+        });
+        let s = time(|| {
+            std::hint::black_box(scan_occurrences(&w.db, &probe).len());
+        });
+        let b = time(|| {
+            std::hint::black_box(ValueIndex::build(&w.db).distinct_values());
+        });
+        println!("| {rows} | {} | {} | {} | {} |", fmt(p), fmt(s), ratio(s, p), fmt(b));
+    }
+    println!("\nchase operator end to end:\n");
+    println!("| total rows | scenarios | time |");
+    println!("|---|---|---|");
+    let funcs = FuncRegistry::with_builtins();
+    for rows in [1000usize, 10_000] {
+        let w = chain(4, rows / 4);
+        let m = chain_prefix_mapping(&w, 1);
+        let index = ValueIndex::build(&w.db);
+        let probe = Value::str("r0-3");
+        let mut count = 0;
+        let t = time(|| {
+            count = data_chase(&m, &w.db, &index, "R0", "id", &probe, &funcs)
+                .expect("valid")
+                .len();
+        });
+        println!("| {rows} | {count} | {} |", fmt(t));
+    }
+}
+
+fn b6_mapping_eval() {
+    println!("\n## B6 — end-to-end mapping evaluation (WYSIWYG refresh)\n");
+    println!("| workload | rows/rel | target tuples | time |");
+    println!("|---|---|---|---|");
+    let funcs = FuncRegistry::with_builtins();
+    for (name, w) in [
+        ("chain4", chain(4, 100)),
+        ("chain4", chain(4, 1000)),
+        ("chain4", chain(4, 10_000)),
+        ("chain6", chain(6, 1000)),
+        ("star5", star(5, 1000)),
+    ] {
+        let rows = w.db.relation("R0").unwrap().len();
+        let mut count = 0;
+        let t = time(|| count = w.mapping.evaluate(&w.db, &funcs).expect("valid").len());
+        println!("| {name} | {rows} | {count} | {} |", fmt(t));
+    }
+}
+
+fn b7_evolution() {
+    println!("\n## B7 — illustration evolution vs recompute\n");
+    println!("| rows/rel | evolve | recompute | evolve size | extended | repaired |");
+    println!("|---|---|---|---|---|---|");
+    let funcs = FuncRegistry::with_builtins();
+    for rows in [100usize, 400, 1600] {
+        let w = chain(4, rows);
+        let old_m = chain_prefix_mapping(&w, 3);
+        let old_pop = old_m.examples(&w.db, &funcs).expect("valid");
+        let old_ill = Illustration::minimal_sufficient(&old_pop, old_m.target.arity());
+        let mut evo_size = 0;
+        let mut extended = 0;
+        let mut repaired = 0;
+        let evolve = time(|| {
+            let evo = evolve_illustration(&old_ill, &old_m, &w.mapping, &w.db, &funcs)
+                .expect("valid");
+            evo_size = evo.illustration.len();
+            extended = evo.extended_count;
+            repaired = evo.repair_count;
+        });
+        let recompute = time(|| {
+            let pop = w.mapping.examples(&w.db, &funcs).expect("valid");
+            std::hint::black_box(
+                Illustration::minimal_sufficient(&pop, w.mapping.target.arity()).len(),
+            );
+        });
+        println!(
+            "| {rows} | {} | {} | {evo_size} | {extended} | {repaired} |",
+            fmt(evolve),
+            fmt(recompute)
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run = |key: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(key));
+    println!("# Clio reproduction — experiment sweeps (median of {REPS} runs)");
+    if run("b1") {
+        b1_full_disjunction();
+    }
+    if run("b2") {
+        b2_subsumption();
+    }
+    if run("b3") {
+        b3_illustration();
+    }
+    if run("b4") {
+        b4_walk();
+    }
+    if run("b5") {
+        b5_chase();
+    }
+    if run("b6") {
+        b6_mapping_eval();
+    }
+    if run("b7") {
+        b7_evolution();
+    }
+}

@@ -1,0 +1,583 @@
+//! The command engine behind the `clio` shell: parses one command line at
+//! a time and drives a [`Session`]. Pure (text in, text out) so it is
+//! unit-testable and scriptable.
+
+use std::fmt::Write as _;
+
+use clio_core::illustration::Illustration;
+use clio_core::script::{parse_mapping, write_mapping};
+use clio_core::session::Session;
+use clio_core::sql::{generate_sql, SqlOptions};
+use clio_relational::error::{Error, Result};
+use clio_relational::value::Value;
+
+/// The shell state: a session plus presentation settings.
+pub struct Shell {
+    /// The underlying Clio session.
+    pub session: Session,
+}
+
+/// Outcome of one command.
+pub enum Outcome {
+    /// Keep reading commands; the string is the command's output.
+    Continue(String),
+    /// Exit the shell.
+    Quit,
+}
+
+impl Shell {
+    /// Create a shell over a session.
+    #[must_use]
+    pub fn new(session: Session) -> Shell {
+        Shell { session }
+    }
+
+    /// Execute one command line. Errors are rendered into the output
+    /// rather than propagated, so a shell script keeps going.
+    pub fn execute(&mut self, line: &str) -> Outcome {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Outcome::Continue(String::new());
+        }
+        if line == "quit" || line == "exit" {
+            return Outcome::Quit;
+        }
+        match self.dispatch(line) {
+            Ok(out) => Outcome::Continue(out),
+            Err(e) => Outcome::Continue(format!("error: {e}\n")),
+        }
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<String> {
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        let rest = rest.trim();
+        match cmd {
+            "help" => Ok(HELP.to_owned()),
+            "source" => {
+                let mut out = String::new();
+                for rel in self.session.database().relations() {
+                    let _ = writeln!(out, "{} ({} rows)", rel.schema(), rel.len());
+                }
+                for fk in &self.session.database().constraints.foreign_keys {
+                    let _ = writeln!(out, "{fk}");
+                }
+                Ok(out)
+            }
+            "show" => {
+                let rel = self.session.database().relation(rest)?;
+                Ok(rel.to_string())
+            }
+            "target" => Ok(self.session.target_preview()?.to_string()),
+            "corr" => {
+                let idx = rest
+                    .rfind(" -> ")
+                    .ok_or_else(|| Error::Invalid("usage: corr <expr> -> <attr>".into()))?;
+                let expr = rest[..idx].trim();
+                let attr = rest[idx + 4..].trim();
+                let ids = self.session.add_correspondence(expr, attr)?;
+                if ids.len() == 1 {
+                    Ok(format!("ok (workspace {})\n", ids[0]))
+                } else {
+                    let mut out =
+                        format!("{} scenario(s) created; inspect and confirm one:\n", ids.len());
+                    for id in ids {
+                        let w = self.workspace(id)?;
+                        let _ = writeln!(out, "  workspace {id}: {}", w.description);
+                    }
+                    Ok(out)
+                }
+            }
+            "walk" => {
+                let mut words = rest.split_whitespace();
+                let first = words
+                    .next()
+                    .ok_or_else(|| Error::Invalid("usage: walk [<start>] <relation>".into()))?;
+                let (start, end) = match words.next() {
+                    Some(second) => (Some(first), second),
+                    None => (None, first),
+                };
+                let ids = self.session.data_walk(start, end)?;
+                let mut out = format!("{} scenario(s):\n", ids.len());
+                for id in ids {
+                    let w = self.workspace(id)?;
+                    let _ = writeln!(out, "  workspace {id}: {}", w.description);
+                }
+                Ok(out)
+            }
+            "chase" => {
+                // chase <alias>.<attr> <value>
+                let (site, value) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| Error::Invalid("usage: chase <alias>.<attr> <value>".into()))?;
+                let (alias, attr) = site
+                    .split_once('.')
+                    .ok_or_else(|| Error::Invalid("usage: chase <alias>.<attr> <value>".into()))?;
+                let ids = self.session.data_chase(alias, attr, &Value::str(value.trim()))?;
+                let mut out = format!("{} scenario(s):\n", ids.len());
+                for id in ids {
+                    let w = self.workspace(id)?;
+                    let _ = writeln!(out, "  workspace {id}: {}", w.description);
+                }
+                Ok(out)
+            }
+            "workspaces" => {
+                let mut out = String::new();
+                let active = self.session.active().map(|w| w.id);
+                for w in self.session.workspaces() {
+                    let marker = if Some(w.id) == active { "*" } else { " " };
+                    let _ = writeln!(out, "{marker} {}: {}", w.id, w.description);
+                }
+                Ok(out)
+            }
+            "activate" => {
+                self.session.activate(parse_id(rest)?)?;
+                Ok("ok\n".to_owned())
+            }
+            "confirm" => {
+                self.session.confirm(parse_id(rest)?)?;
+                Ok("ok\n".to_owned())
+            }
+            "delete" => {
+                self.session.delete(parse_id(rest)?)?;
+                Ok("ok\n".to_owned())
+            }
+            "accept" => {
+                self.session.accept_active()?;
+                Ok(format!("accepted ({} total)\n", self.session.accepted().len()))
+            }
+            "illustration" => {
+                let db = self.session.database().clone();
+                let w = self.active()?;
+                let scheme = w.mapping.graph.scheme(&db)?;
+                Ok(w.illustration.render(&w.mapping.graph, &scheme))
+            }
+            "induced" => {
+                // target-side of the illustration: the tuples each
+                // example induces (paper Def 4.1's t = Q_phi(M)(d))
+                let w = self.active()?;
+                let tscheme = w.mapping.target_scheme();
+                let refs: Vec<&clio_core::example::Example> =
+                    w.illustration.examples.iter().collect();
+                Ok(clio_core::example::render_example_targets(&tscheme, &refs))
+            }
+            "mapping" => Ok(self.active()?.mapping.to_string()),
+            "sql" => {
+                let db = self.session.database().clone();
+                let m = self.active()?.mapping.clone();
+                generate_sql(&m, &db, &SqlOptions { root: None, create_view: true })
+            }
+            "filter" => {
+                let (kind, pred) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| Error::Invalid("usage: filter source|target <pred>".into()))?;
+                match kind {
+                    "source" => self.session.add_source_filter(pred.trim())?,
+                    "target" => self.session.add_target_filter(pred.trim())?,
+                    other => {
+                        return Err(Error::Invalid(format!("unknown filter kind `{other}`")))
+                    }
+                }
+                Ok("ok\n".to_owned())
+            }
+            "require" => {
+                self.session.require_target_attribute(rest)?;
+                Ok("ok\n".to_owned())
+            }
+            "save" => {
+                let text = write_mapping(&self.active()?.mapping);
+                std::fs::write(rest, &text)
+                    .map_err(|e| Error::Invalid(format!("cannot write `{rest}`: {e}")))?;
+                Ok(format!("saved to {rest}\n"))
+            }
+            "load" => {
+                let text = std::fs::read_to_string(rest)
+                    .map_err(|e| Error::Invalid(format!("cannot read `{rest}`: {e}")))?;
+                let m = parse_mapping(&text)?;
+                let id = self.session.adopt_mapping(m, &format!("loaded from {rest}"))?;
+                Ok(format!("loaded as workspace {id}\n"))
+            }
+            "status" => {
+                let mut out = String::new();
+                let _ = writeln!(
+                    out,
+                    "source: {} relation(s), {} row(s)",
+                    self.session.database().relations().len(),
+                    self.session.database().total_rows()
+                );
+                let _ = writeln!(out, "knowledge: {} join spec(s)", self.session.knowledge.specs().len());
+                let _ = writeln!(out, "workspaces: {}", self.session.workspaces().len());
+                let _ = writeln!(out, "accepted mappings: {}", self.session.accepted().len());
+                if let Some(w) = self.session.active() {
+                    let _ = writeln!(
+                        out,
+                        "active: workspace {} — {} node(s), {} correspondence(s),                          {} example(s) in illustration",
+                        w.id,
+                        w.mapping.graph.node_count(),
+                        w.mapping.correspondences.len(),
+                        w.illustration.len()
+                    );
+                } else {
+                    let _ = writeln!(out, "active: none (start with `corr`)");
+                }
+                Ok(out)
+            }
+            "alternatives" => {
+                let slot = parse_id(rest)?;
+                let alts = self.session.example_alternatives(slot)?;
+                if alts.is_empty() {
+                    return Ok("no alternatives for this slot
+".to_owned());
+                }
+                let db = self.session.database().clone();
+                let w = self.active()?;
+                let scheme = w.mapping.graph.scheme(&db)?;
+                let refs: Vec<&clio_core::example::Example> = alts.iter().collect();
+                Ok(clio_core::example::render_examples(&w.mapping.graph, &scheme, &refs))
+            }
+            "swap" => {
+                let (slot, alt) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| Error::Invalid("usage: swap <slot> <alternative>".into()))?;
+                self.session.swap_example(parse_id(slot)?, parse_id(alt)?)?;
+                Ok("ok
+".to_owned())
+            }
+            "profile" => {
+                let profiles =
+                    clio_core::profile::profile_database(self.session.database());
+                Ok(clio_core::profile::render_profile(&profiles))
+            }
+            "mine" => {
+                // mine [containment] — enrich walk knowledge from data
+                let min_containment: f64 = if rest.is_empty() {
+                    0.95
+                } else {
+                    rest.parse().map_err(|_| {
+                        Error::Invalid(format!("expected a containment fraction, got `{rest}`"))
+                    })?
+                };
+                let config = clio_core::mining::MiningConfig {
+                    min_containment,
+                    ..clio_core::mining::MiningConfig::default()
+                };
+                let db = self.session.database().clone();
+                let added = clio_core::mining::enrich_knowledge(
+                    &mut self.session.knowledge,
+                    &db,
+                    &config,
+                );
+                let mut out = format!("mined {} new join candidate(s):\n", added.len());
+                for d in added {
+                    let _ = writeln!(
+                        out,
+                        "  {}.{} -> {}.{} (containment {:.2}, {} shared values)",
+                        d.from.0, d.from.1, d.to.0, d.to.1, d.containment, d.shared_values
+                    );
+                }
+                Ok(out)
+            }
+            "verify" => {
+                // verify [attr[,attr]...] — key attrs for conflict checks;
+                // defaults to every NOT NULL target attribute as its own key
+                let keys: Vec<Vec<String>> = if rest.is_empty() {
+                    self.active()?
+                        .mapping
+                        .target
+                        .attrs()
+                        .iter()
+                        .filter(|a| a.not_null)
+                        .map(|a| vec![a.name.clone()])
+                        .collect()
+                } else {
+                    vec![rest.split(',').map(|s| s.trim().to_owned()).collect()]
+                };
+                let findings = self.session.verify_active(&keys)?;
+                if findings.is_empty() {
+                    Ok("no findings\n".to_owned())
+                } else {
+                    let mut out = String::new();
+                    for f in findings {
+                        let _ = writeln!(out, "- {f}");
+                    }
+                    Ok(out)
+                }
+            }
+            "contributions" => {
+                let tm = self.session.target_mapping();
+                let db = self.session.database().clone();
+                let funcs = clio_relational::funcs::FuncRegistry::with_builtins();
+                let contribs = tm.contributions(&db, &funcs)?;
+                if contribs.is_empty() {
+                    return Ok("no accepted mappings\n".to_owned());
+                }
+                let mut out = String::new();
+                for c in contribs {
+                    let _ = writeln!(
+                        out,
+                        "mapping {}: {} tuple(s), {} exclusive",
+                        c.mapping_index, c.produced, c.exclusive
+                    );
+                }
+                Ok(out)
+            }
+            "examples" => {
+                // full example population of the active mapping, capped
+                let db = self.session.database().clone();
+                let w = self.active()?;
+                let all = w.mapping.examples(&db, &clio_relational::funcs::FuncRegistry::with_builtins())?;
+                let ill = Illustration { examples: all };
+                let scheme = w.mapping.graph.scheme(&db)?;
+                Ok(ill.render(&w.mapping.graph, &scheme))
+            }
+            other => Err(Error::Invalid(format!(
+                "unknown command `{other}` (try `help`)"
+            ))),
+        }
+    }
+
+    fn active(&self) -> Result<&clio_core::session::Workspace> {
+        self.session
+            .active()
+            .ok_or_else(|| Error::Invalid("no active workspace; start with `corr`".into()))
+    }
+
+    fn workspace(&self, id: usize) -> Result<&clio_core::session::Workspace> {
+        self.session
+            .workspaces()
+            .iter()
+            .find(|w| w.id == id)
+            .ok_or_else(|| Error::Invalid(format!("no workspace {id}")))
+    }
+}
+
+fn parse_id(s: &str) -> Result<usize> {
+    s.trim()
+        .parse()
+        .map_err(|_| Error::Invalid(format!("expected a workspace id, got `{s}`")))
+}
+
+/// The `help` text.
+pub const HELP: &str = "\
+commands:
+  source                      show the source schema and constraints
+  show <relation>             print a source relation
+  target                      WYSIWYG preview of the target
+  corr <expr> -> <attr>       add a value correspondence (may spawn scenarios)
+  walk [<start>] <relation>   link a relation via schema knowledge
+  chase <alias>.<attr> <val>  chase a value through the database
+  workspaces                  list mapping alternatives (* = active)
+  activate|confirm|delete <id>
+  accept                      accept the active mapping for the target
+  illustration                show the active mapping's illustration
+  induced                     the target tuples the illustration induces
+  alternatives <slot>         other examples that could fill a slot
+  swap <slot> <alt>           replace an illustration example
+  examples                    show ALL examples of the active mapping
+  mapping                     print the active mapping
+  sql                         generate SQL for the active mapping
+  filter source|target <pred> add a data-trimming filter
+  require <attr>              make a target attribute required
+  status                      session summary
+  profile                     per-attribute statistics of the source
+  mine [containment]          mine join candidates from the data
+  verify [key,attrs]          data-driven mapping diagnostics
+  contributions               per-accepted-mapping contribution report
+  save <file> / load <file>   persist the active mapping as a script
+  quit
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clio_datagen::paper::{kids_target, paper_database};
+
+    fn shell() -> Shell {
+        Shell::new(Session::new(paper_database(), kids_target()))
+    }
+
+    fn run(shell: &mut Shell, line: &str) -> String {
+        match shell.execute(line) {
+            Outcome::Continue(s) => s,
+            Outcome::Quit => panic!("unexpected quit"),
+        }
+    }
+
+    #[test]
+    fn help_and_source() {
+        let mut sh = shell();
+        assert!(run(&mut sh, "help").contains("corr <expr>"));
+        let s = run(&mut sh, "source");
+        assert!(s.contains("Children(ID: str not null"));
+        assert!(s.contains("fk Children(mid) -> Parents(ID)"));
+    }
+
+    #[test]
+    fn show_prints_relation() {
+        let mut sh = shell();
+        let s = run(&mut sh, "show Children");
+        assert!(s.contains("Maya"));
+        assert!(run(&mut sh, "show Nope").starts_with("error:"));
+    }
+
+    #[test]
+    fn full_session_flow() {
+        let mut sh = shell();
+        assert!(run(&mut sh, "corr Children.ID -> ID").contains("ok"));
+        assert!(run(&mut sh, "corr Children.name -> name").contains("ok"));
+        let s = run(&mut sh, "corr Parents.affiliation -> affiliation");
+        assert!(s.contains("2 scenario(s)"));
+        // confirm the fid scenario
+        let fid_line = s.lines().find(|l| l.contains("fid")).unwrap();
+        let id: usize = fid_line
+            .trim()
+            .trim_start_matches("workspace ")
+            .split(':')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(run(&mut sh, &format!("confirm {id}")), "ok\n");
+        let target = run(&mut sh, "target");
+        assert!(target.contains("Maya"));
+        assert!(target.contains("AT&T"));
+        // chase
+        let s = run(&mut sh, "chase Children.ID 002");
+        assert!(s.contains("SBPS"));
+        let sbps_line = s.lines().find(|l| l.contains("SBPS")).unwrap();
+        let id: usize = sbps_line
+            .trim()
+            .trim_start_matches("workspace ")
+            .split(':')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        run(&mut sh, &format!("confirm {id}"));
+        run(&mut sh, "corr SBPS.time -> BusSchedule");
+        // refine + SQL
+        assert_eq!(run(&mut sh, "require BusSchedule"), "ok\n");
+        let sql = run(&mut sh, "sql");
+        assert!(sql.contains("JOIN SBPS"));
+        assert!(run(&mut sh, "illustration").contains('+'));
+        assert!(run(&mut sh, "mapping").contains("corr Children.ID -> ID"));
+        assert!(run(&mut sh, "accept").contains("accepted (1 total)"));
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let mut sh = shell();
+        run(&mut sh, "corr Children.ID -> ID");
+        let path = std::env::temp_dir().join("clio_cli_test.mapping");
+        let path_str = path.to_str().unwrap().to_owned();
+        assert!(run(&mut sh, &format!("save {path_str}")).contains("saved"));
+        let out = run(&mut sh, &format!("load {path_str}"));
+        assert!(out.contains("loaded as workspace"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut sh = shell();
+        assert!(run(&mut sh, "bogus").starts_with("error: unknown command"));
+        assert!(run(&mut sh, "corr nonsense").starts_with("error:"));
+        assert!(run(&mut sh, "walk").starts_with("error:"));
+        assert!(run(&mut sh, "confirm x").starts_with("error:"));
+        assert!(run(&mut sh, "sql").starts_with("error:")); // no workspace yet
+        // shell still alive
+        assert!(run(&mut sh, "help").contains("commands"));
+    }
+
+    #[test]
+    fn quit_and_comments() {
+        let mut sh = shell();
+        assert!(matches!(sh.execute("# comment"), Outcome::Continue(s) if s.is_empty()));
+        assert!(matches!(sh.execute(""), Outcome::Continue(_)));
+        assert!(matches!(sh.execute("quit"), Outcome::Quit));
+        assert!(matches!(sh.execute("exit"), Outcome::Quit));
+    }
+
+    #[test]
+    fn alternatives_and_swap_commands() {
+        let mut sh = shell();
+        run(&mut sh, "corr Children.ID -> ID");
+        // the single-node illustration has 4 single-child associations
+        // but a minimal one only keeps one; its alternatives are the
+        // other children
+        let out = run(&mut sh, "alternatives 0");
+        assert!(!out.starts_with("error:"), "{out}");
+        if out.contains("Children.ID") {
+            let before = run(&mut sh, "illustration");
+            run(&mut sh, "swap 0 0");
+            let after = run(&mut sh, "illustration");
+            assert_ne!(before, after);
+        }
+        assert!(run(&mut sh, "swap 99 0").starts_with("error:"));
+        assert!(run(&mut sh, "alternatives x").starts_with("error:"));
+    }
+
+    #[test]
+    fn induced_command_shows_target_side() {
+        let mut sh = shell();
+        run(&mut sh, "corr Children.ID -> ID");
+        let out = run(&mut sh, "induced");
+        assert!(out.contains("Kids.ID"), "{out}");
+        assert!(out.contains('+'));
+    }
+
+    #[test]
+    fn status_command_summarizes_session() {
+        let mut sh = shell();
+        let out = run(&mut sh, "status");
+        assert!(out.contains("source: 5 relation(s)"));
+        assert!(out.contains("active: none"));
+        run(&mut sh, "corr Children.ID -> ID");
+        let out = run(&mut sh, "status");
+        assert!(out.contains("active: workspace 0"));
+    }
+
+    #[test]
+    fn profile_command_reports_statistics() {
+        let mut sh = shell();
+        let out = run(&mut sh, "profile");
+        assert!(out.contains("Children.ID"));
+        assert!(out.contains("yes")); // key detection
+    }
+
+    #[test]
+    fn mine_command_enriches_knowledge() {
+        let mut sh = shell();
+        run(&mut sh, "corr Children.ID -> ID");
+        // before mining, SBPS is unreachable by walk
+        assert!(run(&mut sh, "walk SBPS").starts_with("error:"));
+        let out = run(&mut sh, "mine 1.0");
+        assert!(out.contains("SBPS.ID -> Children.ID"), "{out}");
+        // after mining, the walk succeeds
+        let out = run(&mut sh, "walk SBPS");
+        assert!(out.contains("scenario"), "{out}");
+        assert!(run(&mut sh, "mine nonsense").starts_with("error:"));
+    }
+
+    #[test]
+    fn verify_and_contributions_commands() {
+        let mut sh = shell();
+        run(&mut sh, "corr Children.ID -> ID");
+        let v = run(&mut sh, "verify");
+        // the bootstrap mapping leaves most attributes unmapped
+        assert!(v.contains("unmapped"), "{v}");
+        assert!(run(&mut sh, "contributions").contains("no accepted mappings"));
+        run(&mut sh, "accept");
+        let c = run(&mut sh, "contributions");
+        assert!(c.contains("mapping 0: 4 tuple(s)"), "{c}");
+        // explicit key attrs
+        let v = run(&mut sh, "verify ID");
+        assert!(!v.starts_with("error"), "{v}");
+    }
+
+    #[test]
+    fn workspaces_listing_marks_active() {
+        let mut sh = shell();
+        run(&mut sh, "corr Children.ID -> ID");
+        let s = run(&mut sh, "workspaces");
+        assert!(s.starts_with("* 0:"));
+    }
+}

@@ -1,0 +1,5 @@
+//! `clio-cli` — an interactive mapping-refinement shell over the Clio
+//! reproduction. See the `clio` binary and [`engine::Shell`].
+#![warn(missing_docs)]
+
+pub mod engine;

@@ -1,0 +1,163 @@
+//! `clio` — an interactive mapping-refinement shell over the Clio
+//! reproduction.
+//!
+//! ```sh
+//! cargo run -p clio-cli                       # paper dataset, interactive
+//! cargo run -p clio-cli -- --script cmds.txt  # run a command script
+//! cargo run -p clio-cli -- --synthetic chain,4,100
+//! cargo run -p clio-cli -- --source data/ --target "T (id str not null, x str)"
+//! ```
+
+use std::io::{BufRead, Write};
+
+use clio_cli::engine::{Outcome, Shell};
+use clio_core::session::Session;
+use clio_datagen::paper::{kids_target, paper_database};
+use clio_datagen::synthetic::{generate, SyntheticSpec, Topology};
+
+fn synthetic_session(spec_text: &str) -> Result<Session, String> {
+    let parts: Vec<&str> = spec_text.split(',').collect();
+    let [topo, relations, rows] = parts.as_slice() else {
+        return Err("expected --synthetic <topology>,<relations>,<rows>".into());
+    };
+    let topology = match *topo {
+        "chain" => Topology::Chain,
+        "star" => Topology::Star,
+        "cycle" => Topology::Cycle,
+        "tree" => Topology::RandomTree,
+        other => return Err(format!("unknown topology `{other}`")),
+    };
+    let spec = SyntheticSpec {
+        topology,
+        relations: relations.parse().map_err(|e| format!("bad relation count: {e}"))?,
+        rows: rows.parse().map_err(|e| format!("bad row count: {e}"))?,
+        match_rate: 0.7,
+        payload_attrs: 1,
+        seed: 42,
+    };
+    let w = generate(&spec);
+    let mut db = w.db;
+    db.constraints = clio_relational::constraints::Constraints::none();
+    // make walks possible: re-declare the edges as foreign keys
+    for s in w.knowledge.specs() {
+        db.constraints.foreign_keys.push(clio_relational::constraints::ForeignKey {
+            from_relation: s.rel_a.clone(),
+            from_attrs: s.attr_pairs.iter().map(|(a, _)| a.clone()).collect(),
+            to_relation: s.rel_b.clone(),
+            to_attrs: s.attr_pairs.iter().map(|(_, b)| b.clone()).collect(),
+        });
+    }
+    Ok(Session::new(db, w.target))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut script: Option<String> = None;
+    let mut session: Option<Session> = None;
+    let mut source_dir: Option<String> = None;
+    let mut target_spec: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--script" => {
+                i += 1;
+                script = args.get(i).cloned();
+            }
+            "--source" => {
+                i += 1;
+                source_dir = args.get(i).cloned();
+            }
+            "--target" => {
+                i += 1;
+                target_spec = args.get(i).cloned();
+            }
+            "--synthetic" => {
+                i += 1;
+                match synthetic_session(args.get(i).map(String::as_str).unwrap_or("")) {
+                    Ok(s) => session = Some(s),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(dir) = source_dir {
+        let db = match clio_relational::csv::read_database(std::path::Path::new(&dir)) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("cannot load `{dir}`: {e}");
+                std::process::exit(2);
+            }
+        };
+        let target = match &target_spec {
+            Some(spec) => match clio_core::script::parse_target_schema(spec) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("bad --target: {e}");
+                    std::process::exit(2);
+                }
+            },
+            None => {
+                eprintln!("--source requires --target \"Name (attr type, ...)\"");
+                std::process::exit(2);
+            }
+        };
+        session = Some(Session::new(db, target));
+    }
+
+    let session = session.unwrap_or_else(|| Session::new(paper_database(), kids_target()));
+    let mut shell = Shell::new(session);
+
+    let stdin;
+    let file;
+    let reader: Box<dyn BufRead> = match &script {
+        Some(path) => {
+            file = std::fs::File::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open `{path}`: {e}");
+                std::process::exit(2);
+            });
+            Box::new(std::io::BufReader::new(file))
+        }
+        None => {
+            stdin = std::io::stdin();
+            Box::new(stdin.lock())
+        }
+    };
+
+    let interactive = script.is_none();
+    if interactive {
+        println!("clio mapping shell — type `help` for commands");
+    }
+    let mut out = std::io::stdout();
+    if interactive {
+        print!("clio> ");
+        out.flush().ok();
+    }
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if script.is_some() {
+            println!("clio> {line}");
+        }
+        match shell.execute(&line) {
+            Outcome::Continue(text) => {
+                print!("{text}");
+            }
+            Outcome::Quit => break,
+        }
+        if interactive {
+            print!("clio> ");
+            out.flush().ok();
+        }
+    }
+}

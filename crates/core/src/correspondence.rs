@@ -1,0 +1,123 @@
+//! Value correspondences (paper Def 3.1).
+//!
+//! A value correspondence is a function over the values of a set of source
+//! attributes that computes a value for one target attribute. Here the
+//! function is an [`Expr`] over the query graph's qualified columns —
+//! identity (`Children.ID`), arithmetic
+//! (`Parents.salary + Parents2.salary`), or scalar-function calls
+//! (`concat(PhoneDir.type, ',', PhoneDir.number)`).
+
+use std::fmt;
+
+use clio_relational::error::{Error, Result};
+use clio_relational::expr::Expr;
+use clio_relational::parser::parse_expr;
+use clio_relational::schema::{RelSchema, Scheme};
+
+/// A value correspondence: `expr → target.target_attr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueCorrespondence {
+    /// The target attribute this correspondence populates.
+    pub target_attr: String,
+    /// The source expression computing the target value.
+    pub expr: Expr,
+}
+
+impl ValueCorrespondence {
+    /// Build a correspondence.
+    pub fn new(expr: Expr, target_attr: impl Into<String>) -> ValueCorrespondence {
+        ValueCorrespondence { target_attr: target_attr.into(), expr }
+    }
+
+    /// Identity correspondence from one qualified source column
+    /// (`"Children.ID"` → `"ID"`), the most common kind (paper `v1`, `v2`).
+    pub fn identity(source_col: &str, target_attr: impl Into<String>) -> ValueCorrespondence {
+        ValueCorrespondence::new(Expr::col(source_col), target_attr)
+    }
+
+    /// Parse the source expression from text.
+    pub fn parse(expr: &str, target_attr: impl Into<String>) -> Result<ValueCorrespondence> {
+        Ok(ValueCorrespondence::new(parse_expr(expr)?, target_attr))
+    }
+
+    /// Validate against the graph's wide scheme and the target schema:
+    /// the expression must bind, and the target attribute must exist.
+    pub fn validate(&self, graph_scheme: &Scheme, target: &RelSchema) -> Result<()> {
+        self.expr.bind(graph_scheme)?;
+        target.index_of(&self.target_attr).map_err(|_| {
+            Error::UnknownColumn(format!("{}.{}", target.name(), self.target_attr))
+        })?;
+        Ok(())
+    }
+
+    /// The source qualifiers (graph node aliases) this correspondence
+    /// draws from.
+    #[must_use]
+    pub fn source_qualifiers(&self) -> Vec<&str> {
+        self.expr.qualifiers()
+    }
+}
+
+impl fmt::Display for ValueCorrespondence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.expr, self.target_attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clio_relational::schema::{Attribute, Column};
+    use clio_relational::value::DataType;
+
+    fn target() -> RelSchema {
+        RelSchema::new(
+            "Kids",
+            vec![
+                Attribute::not_null("ID", DataType::Str),
+                Attribute::new("FamilyIncome", DataType::Int),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn graph_scheme() -> Scheme {
+        Scheme::new(vec![
+            Column::new("Children", "ID", DataType::Str),
+            Column::new("Parents", "salary", DataType::Int),
+            Column::new("Parents2", "salary", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn identity_correspondence_validates() {
+        let v = ValueCorrespondence::identity("Children.ID", "ID");
+        v.validate(&graph_scheme(), &target()).unwrap();
+        assert_eq!(v.to_string(), "Children.ID -> ID");
+    }
+
+    #[test]
+    fn family_income_correspondence_from_example_3_2() {
+        let v = ValueCorrespondence::parse("Parents.salary + Parents2.salary", "FamilyIncome")
+            .unwrap();
+        v.validate(&graph_scheme(), &target()).unwrap();
+        assert_eq!(v.source_qualifiers(), vec!["Parents", "Parents2"]);
+    }
+
+    #[test]
+    fn unknown_target_attribute_rejected() {
+        let v = ValueCorrespondence::identity("Children.ID", "BusSchedule");
+        assert!(v.validate(&graph_scheme(), &target()).is_err());
+    }
+
+    #[test]
+    fn unbound_source_column_rejected() {
+        let v = ValueCorrespondence::identity("SBPS.time", "ID");
+        assert!(v.validate(&graph_scheme(), &target()).is_err());
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        assert!(ValueCorrespondence::parse("a +", "ID").is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! Continuous evolution of illustrations (paper Sec 5.3).
+//!
+//! As a mapping evolves (a walk or chase extends its query graph), its
+//! illustration must evolve too — but "the data in the old illustration,
+//! which is familiar to the user, should be retained as much as possible".
+//! The **continuity requirement**: instead of selecting a completely new
+//! set of examples, each old example is *extended* — the new illustration
+//! contains, for every old example, the new examples whose associations
+//! extend the old association (equal on all of its non-null attributes).
+//! Sufficiency is then repaired by *adding* examples, never by mutating or
+//! dropping the extended ones.
+
+use clio_relational::database::Database;
+use clio_relational::error::{Error, Result};
+use clio_relational::funcs::FuncRegistry;
+use clio_relational::ops::subsumes;
+use clio_relational::schema::Scheme;
+use clio_relational::value::Value;
+
+use crate::illustration::{
+    requirements, satisfies, Illustration, SufficiencyScope,
+};
+use crate::mapping::Mapping;
+
+/// The outcome of evolving an illustration across a mapping change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evolution {
+    /// The evolved illustration (extensions first, then repairs).
+    pub illustration: Illustration,
+    /// How many of the new examples extend an old one (familiar data).
+    pub extended_count: usize,
+    /// How many examples were added purely to restore sufficiency.
+    pub repair_count: usize,
+}
+
+/// Does `new_assoc` (a row over `new_scheme`) extend `old_assoc` (a row
+/// over `old_scheme`)? True when its projection onto the old scheme
+/// subsumes the old association — the old data is still visible, possibly
+/// with nulls filled in.
+pub fn extends(
+    old_scheme: &Scheme,
+    old_assoc: &[Value],
+    new_scheme: &Scheme,
+    new_assoc: &[Value],
+) -> Result<bool> {
+    let positions = new_scheme.positions_of(old_scheme)?;
+    let projected: Vec<Value> = positions.iter().map(|&i| new_assoc[i].clone()).collect();
+    Ok(subsumes(&projected, old_assoc))
+}
+
+/// Evolve `old_illustration` from `old_mapping` to `new_mapping` (whose
+/// graph must extend the old graph). Returns the evolved illustration and
+/// bookkeeping counts.
+pub fn evolve_illustration(
+    old_illustration: &Illustration,
+    old_mapping: &Mapping,
+    new_mapping: &Mapping,
+    db: &Database,
+    funcs: &FuncRegistry,
+) -> Result<Evolution> {
+    let old_scheme = old_mapping.graph.scheme(db)?;
+    let new_scheme = new_mapping.graph.scheme(db)?;
+    if !new_scheme.contains_scheme(&old_scheme) {
+        return Err(Error::Invalid(
+            "continuous evolution requires the new graph to extend the old one".into(),
+        ));
+    }
+
+    let population = new_mapping.examples(db, funcs)?;
+    let mut chosen: Vec<usize> = Vec::new();
+
+    // 1. extend every old example
+    for old in &old_illustration.examples {
+        for (i, candidate) in population.iter().enumerate() {
+            if chosen.contains(&i) {
+                continue;
+            }
+            if extends(&old_scheme, &old.association, &new_scheme, &candidate.association)? {
+                chosen.push(i);
+            }
+        }
+    }
+    let extended_count = chosen.len();
+
+    // 2. repair sufficiency by greedily adding examples for uncovered
+    //    requirements (never removing the extensions)
+    let target_arity = new_mapping.target.arity();
+    let scope = SufficiencyScope::mapping();
+    let reqs = requirements(&population, target_arity, scope);
+    let mut covered: Vec<bool> = reqs
+        .iter()
+        .map(|r| chosen.iter().any(|&i| satisfies(&population[i], r)))
+        .collect();
+    loop {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, e) in population.iter().enumerate() {
+            if chosen.contains(&i) {
+                continue;
+            }
+            let gain = reqs
+                .iter()
+                .zip(&covered)
+                .filter(|(r, &c)| !c && satisfies(e, r))
+                .count();
+            if gain > 0 && best.is_none_or(|(_, g)| gain > g) {
+                best = Some((i, gain));
+            }
+        }
+        match best {
+            None => break,
+            Some((i, _)) => {
+                for (k, r) in reqs.iter().enumerate() {
+                    if satisfies(&population[i], r) {
+                        covered[k] = true;
+                    }
+                }
+                chosen.push(i);
+            }
+        }
+    }
+    let repair_count = chosen.len() - extended_count;
+
+    Ok(Evolution {
+        illustration: Illustration::from_indexes(&population, &chosen),
+        extended_count,
+        repair_count,
+    })
+}
+
+/// Check the continuity property: every old example has at least one
+/// extension in the new illustration.
+pub fn continuity_holds(
+    old_illustration: &Illustration,
+    new_illustration: &Illustration,
+    old_scheme: &Scheme,
+    new_scheme: &Scheme,
+) -> Result<bool> {
+    for old in &old_illustration.examples {
+        let mut found = false;
+        for new in &new_illustration.examples {
+            if extends(old_scheme, &old.association, new_scheme, &new.association)? {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correspondence::ValueCorrespondence;
+    use crate::illustration::is_sufficient;
+    use crate::query_graph::{Node, QueryGraph};
+    use clio_relational::expr::Expr;
+    use clio_relational::relation::RelationBuilder;
+    use clio_relational::schema::{Attribute, RelSchema};
+    use clio_relational::value::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_relation(
+            RelationBuilder::new("Children")
+                .attr_not_null("ID", DataType::Str)
+                .attr("mid", DataType::Str)
+                .row(vec!["001".into(), "201".into()])
+                .row(vec!["002".into(), "202".into()])
+                .row(vec!["004".into(), Value::Null])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            RelationBuilder::new("Parents")
+                .attr_not_null("ID", DataType::Str)
+                .attr("affiliation", DataType::Str)
+                .row(vec!["201".into(), "IBM".into()])
+                .row(vec!["202".into(), "UofT".into()])
+                .row(vec!["205".into(), "MIT".into()])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn target() -> RelSchema {
+        RelSchema::new(
+            "Kids",
+            vec![
+                Attribute::not_null("ID", DataType::Str),
+                Attribute::new("affiliation", DataType::Str),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn old_mapping() -> Mapping {
+        let mut g = QueryGraph::new();
+        g.add_node(Node::new("Children")).unwrap();
+        Mapping::new(g, target())
+            .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
+            .with_target_not_null_filters()
+    }
+
+    fn new_mapping() -> Mapping {
+        let mut g = QueryGraph::new();
+        let c = g.add_node(Node::new("Children")).unwrap();
+        let p = g.add_node(Node::new("Parents")).unwrap();
+        g.add_edge(c, p, Expr::col_eq("Children.mid", "Parents.ID")).unwrap();
+        let mut m = old_mapping();
+        m.graph = g;
+        m.set_correspondence(ValueCorrespondence::identity("Parents.affiliation", "affiliation"));
+        m
+    }
+
+    fn funcs() -> FuncRegistry {
+        FuncRegistry::with_builtins()
+    }
+
+    #[test]
+    fn extends_checks_projection_subsumption() {
+        let database = db();
+        let old_scheme = old_mapping().graph.scheme(&database).unwrap();
+        let new_scheme = new_mapping().graph.scheme(&database).unwrap();
+        // Maya's old association: ["002", "202"]
+        let old = vec![Value::str("002"), Value::str("202")];
+        // extension with parent columns filled in
+        let good = vec!["002".into(), "202".into(), "202".into(), "UofT".into()];
+        assert!(extends(&old_scheme, &old, &new_scheme, &good).unwrap());
+        // a different child's association is not an extension
+        let bad = vec!["001".into(), "201".into(), "201".into(), "IBM".into()];
+        assert!(!extends(&old_scheme, &old, &new_scheme, &bad).unwrap());
+        // old nulls may be filled in
+        let old_null = vec![Value::str("004"), Value::Null];
+        let filled = vec!["004".into(), Value::Null, Value::Null, Value::Null];
+        assert!(extends(&old_scheme, &old_null, &new_scheme, &filled).unwrap());
+    }
+
+    #[test]
+    fn evolution_preserves_continuity() {
+        let database = db();
+        let old_m = old_mapping();
+        let new_m = new_mapping();
+        let old_pop = old_m.examples(&database, &funcs()).unwrap();
+        let old_ill = Illustration::minimal_sufficient(&old_pop, old_m.target.arity());
+        assert!(!old_ill.is_empty());
+
+        let evo = evolve_illustration(&old_ill, &old_m, &new_m, &database, &funcs()).unwrap();
+        let old_scheme = old_m.graph.scheme(&database).unwrap();
+        let new_scheme = new_m.graph.scheme(&database).unwrap();
+        assert!(continuity_holds(&old_ill, &evo.illustration, &old_scheme, &new_scheme).unwrap());
+        assert!(evo.extended_count >= old_ill.len());
+    }
+
+    #[test]
+    fn evolution_result_is_sufficient() {
+        let database = db();
+        let old_m = old_mapping();
+        let new_m = new_mapping();
+        let old_pop = old_m.examples(&database, &funcs()).unwrap();
+        let old_ill = Illustration::minimal_sufficient(&old_pop, old_m.target.arity());
+        let evo = evolve_illustration(&old_ill, &old_m, &new_m, &database, &funcs()).unwrap();
+
+        let population = new_m.examples(&database, &funcs()).unwrap();
+        assert!(is_sufficient(
+            &evo.illustration.examples,
+            &population,
+            new_m.target.arity(),
+            SufficiencyScope::mapping(),
+        ));
+        // the lone-parent (205) category only exists in the new graph, so
+        // at least one repair example must have been added
+        assert!(evo.repair_count >= 1);
+    }
+
+    #[test]
+    fn evolution_rejects_shrinking_graphs() {
+        let database = db();
+        let old_m = new_mapping(); // bigger
+        let new_m = old_mapping(); // smaller
+        let ill = Illustration::empty();
+        assert!(evolve_illustration(&ill, &old_m, &new_m, &database, &funcs()).is_err());
+    }
+
+    #[test]
+    fn empty_old_illustration_still_repairs_to_sufficiency() {
+        let database = db();
+        let old_m = old_mapping();
+        let new_m = new_mapping();
+        let evo = evolve_illustration(&Illustration::empty(), &old_m, &new_m, &database, &funcs())
+            .unwrap();
+        assert_eq!(evo.extended_count, 0);
+        assert!(evo.repair_count > 0);
+        let population = new_m.examples(&database, &funcs()).unwrap();
+        assert!(is_sufficient(
+            &evo.illustration.examples,
+            &population,
+            new_m.target.arity(),
+            SufficiencyScope::mapping(),
+        ));
+    }
+
+    #[test]
+    fn continuity_detects_dropped_examples() {
+        let database = db();
+        let old_m = old_mapping();
+        let new_m = new_mapping();
+        let old_pop = old_m.examples(&database, &funcs()).unwrap();
+        let old_ill = Illustration { examples: old_pop.clone() };
+        let old_scheme = old_m.graph.scheme(&database).unwrap();
+        let new_scheme = new_m.graph.scheme(&database).unwrap();
+        // an empty new illustration violates continuity
+        assert!(!continuity_holds(&old_ill, &Illustration::empty(), &old_scheme, &new_scheme)
+            .unwrap());
+    }
+}

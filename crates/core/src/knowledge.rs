@@ -1,0 +1,340 @@
+//! Schema knowledge: how relations *can* join (paper Sec 5.1).
+//!
+//! Clio gathers knowledge of potential join conditions "from schema and
+//! constraint definitions and from mining the source data, views, stored
+//! queries and metadata". Here, knowledge is seeded from declared foreign
+//! keys and can be extended with mined or user-asserted join
+//! specifications. The data walk operator searches this knowledge graph
+//! for paths between relations.
+
+use clio_relational::constraints::ForeignKey;
+use clio_relational::database::Database;
+use clio_relational::expr::Expr;
+
+/// A potential equijoin between two relations (undirected).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinSpec {
+    /// First relation name.
+    pub rel_a: String,
+    /// Attribute pairs `(a_attr, b_attr)` equated by the join.
+    pub attr_pairs: Vec<(String, String)>,
+    /// Second relation name.
+    pub rel_b: String,
+    /// Where the knowledge came from (provenance shown to users).
+    pub provenance: Provenance,
+}
+
+/// Where a join spec came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Declared foreign key.
+    ForeignKey,
+    /// Mined from data (e.g. inclusion dependency discovery).
+    Mined,
+    /// Asserted by the user (e.g. through a data chase confirmation).
+    UserAsserted,
+}
+
+impl JoinSpec {
+    /// A single-attribute spec.
+    pub fn simple(
+        rel_a: impl Into<String>,
+        attr_a: impl Into<String>,
+        rel_b: impl Into<String>,
+        attr_b: impl Into<String>,
+        provenance: Provenance,
+    ) -> JoinSpec {
+        JoinSpec {
+            rel_a: rel_a.into(),
+            attr_pairs: vec![(attr_a.into(), attr_b.into())],
+            rel_b: rel_b.into(),
+            provenance,
+        }
+    }
+
+    /// Does this spec connect `x` and `y` (in either orientation)?
+    #[must_use]
+    pub fn connects(&self, x: &str, y: &str) -> bool {
+        (self.rel_a == x && self.rel_b == y) || (self.rel_a == y && self.rel_b == x)
+    }
+
+    /// The relation on the other end of the spec from `rel`, if any.
+    #[must_use]
+    pub fn other_end(&self, rel: &str) -> Option<&str> {
+        if self.rel_a == rel {
+            Some(&self.rel_b)
+        } else if self.rel_b == rel {
+            Some(&self.rel_a)
+        } else {
+            None
+        }
+    }
+
+    /// Instantiate the join predicate for concrete node aliases, where
+    /// `alias_a` plays `rel_a` and `alias_b` plays `rel_b`.
+    #[must_use]
+    pub fn instantiate(&self, alias_a: &str, alias_b: &str) -> Expr {
+        Expr::conjunction(
+            self.attr_pairs
+                .iter()
+                .map(|(a, b)| {
+                    Expr::col_eq(&format!("{alias_a}.{a}"), &format!("{alias_b}.{b}"))
+                })
+                .collect(),
+        )
+    }
+
+    /// Instantiate oriented: `from_alias` plays `from_rel`.
+    #[must_use]
+    pub fn instantiate_from(&self, from_rel: &str, from_alias: &str, to_alias: &str) -> Expr {
+        if self.rel_a == from_rel {
+            self.instantiate(from_alias, to_alias)
+        } else {
+            self.instantiate(to_alias, from_alias)
+        }
+    }
+}
+
+/// One step of a walk path: follow `spec` from `from` to `to`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    /// The join spec followed.
+    pub spec: JoinSpec,
+    /// The relation stepped from.
+    pub from: String,
+    /// The relation stepped to.
+    pub to: String,
+}
+
+/// The schema knowledge base: a multigraph over relation names whose
+/// edges are [`JoinSpec`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchemaKnowledge {
+    specs: Vec<JoinSpec>,
+}
+
+impl SchemaKnowledge {
+    /// Empty knowledge.
+    #[must_use]
+    pub fn new() -> SchemaKnowledge {
+        SchemaKnowledge::default()
+    }
+
+    /// Seed from a database's declared foreign keys.
+    #[must_use]
+    pub fn from_database(db: &Database) -> SchemaKnowledge {
+        let mut k = SchemaKnowledge::new();
+        for fk in &db.constraints.foreign_keys {
+            k.add_foreign_key(fk);
+        }
+        k
+    }
+
+    /// Register a foreign key as a join spec.
+    pub fn add_foreign_key(&mut self, fk: &ForeignKey) {
+        self.add_spec(JoinSpec {
+            rel_a: fk.from_relation.clone(),
+            attr_pairs: fk
+                .from_attrs
+                .iter()
+                .cloned()
+                .zip(fk.to_attrs.iter().cloned())
+                .collect(),
+            rel_b: fk.to_relation.clone(),
+            provenance: Provenance::ForeignKey,
+        });
+    }
+
+    /// Register a spec (duplicates ignored).
+    pub fn add_spec(&mut self, spec: JoinSpec) {
+        if !self.specs.contains(&spec) {
+            self.specs.push(spec);
+        }
+    }
+
+    /// All specs.
+    #[must_use]
+    pub fn specs(&self) -> &[JoinSpec] {
+        &self.specs
+    }
+
+    /// Specs connecting `a` and `b` (either orientation). Two relations
+    /// can be connected by several specs (`Children.mid → Parents.ID` and
+    /// `Children.fid → Parents.ID` — the Figure 3 scenarios).
+    #[must_use]
+    pub fn specs_between(&self, a: &str, b: &str) -> Vec<&JoinSpec> {
+        self.specs.iter().filter(|s| s.connects(a, b)).collect()
+    }
+
+    /// Relations reachable in one step from `rel`.
+    #[must_use]
+    pub fn neighbors(&self, rel: &str) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for s in &self.specs {
+            if let Some(o) = s.other_end(rel) {
+                if !out.contains(&o) {
+                    out.push(o);
+                }
+            }
+        }
+        out
+    }
+
+    /// Enumerate all simple paths (no repeated relation) from `from` to
+    /// `to` with at most `max_steps` steps, as sequences of [`PathStep`]s.
+    /// Distinct specs between the same relation pair yield distinct paths.
+    #[must_use]
+    pub fn paths(&self, from: &str, to: &str, max_steps: usize) -> Vec<Vec<PathStep>> {
+        let mut out = Vec::new();
+        let mut current: Vec<PathStep> = Vec::new();
+        let mut visited: Vec<&str> = vec![from];
+        self.dfs(from, to, max_steps, &mut visited, &mut current, &mut out);
+        // shortest paths first (the paper ranks by path length)
+        out.sort_by_key(Vec::len);
+        out
+    }
+
+    fn dfs<'a>(
+        &'a self,
+        at: &'a str,
+        to: &str,
+        remaining: usize,
+        visited: &mut Vec<&'a str>,
+        current: &mut Vec<PathStep>,
+        out: &mut Vec<Vec<PathStep>>,
+    ) {
+        if at == to {
+            out.push(current.clone());
+            return;
+        }
+        if remaining == 0 {
+            return;
+        }
+        for spec in &self.specs {
+            if let Some(next) = spec.other_end(at) {
+                if visited.contains(&next) {
+                    continue;
+                }
+                visited.push(next);
+                current.push(PathStep {
+                    spec: spec.clone(),
+                    from: at.to_owned(),
+                    to: next.to_owned(),
+                });
+                self.dfs(next, to, remaining - 1, visited, current, out);
+                current.pop();
+                visited.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's knowledge: Children.mid/fid → Parents.ID,
+    /// PhoneDir.ID → Parents.ID, plus a mined Children.ID = PhoneDir.ID.
+    fn knowledge() -> SchemaKnowledge {
+        let mut k = SchemaKnowledge::new();
+        k.add_spec(JoinSpec::simple("Children", "mid", "Parents", "ID", Provenance::ForeignKey));
+        k.add_spec(JoinSpec::simple("Children", "fid", "Parents", "ID", Provenance::ForeignKey));
+        k.add_spec(JoinSpec::simple("PhoneDir", "ID", "Parents", "ID", Provenance::ForeignKey));
+        k.add_spec(JoinSpec::simple("Children", "ID", "PhoneDir", "ID", Provenance::Mined));
+        k
+    }
+
+    #[test]
+    fn specs_between_finds_both_parent_links() {
+        let k = knowledge();
+        assert_eq!(k.specs_between("Children", "Parents").len(), 2);
+        assert_eq!(k.specs_between("Parents", "Children").len(), 2);
+        assert_eq!(k.specs_between("Children", "SBPS").len(), 0);
+    }
+
+    #[test]
+    fn neighbors_deduplicated() {
+        let k = knowledge();
+        assert_eq!(k.neighbors("Children"), vec!["Parents", "PhoneDir"]);
+        assert_eq!(k.neighbors("SBPS"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn paths_children_to_phonedir_match_figure_11() {
+        let k = knowledge();
+        let paths = k.paths("Children", "PhoneDir", 3);
+        // direct (mined), via Parents (mid), via Parents (fid)
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].len(), 1); // sorted: direct first
+        assert_eq!(paths[1].len(), 2);
+        assert_eq!(paths[2].len(), 2);
+        // the two 2-step paths differ in the Children–Parents spec used
+        assert_ne!(paths[1][0].spec, paths[2][0].spec);
+    }
+
+    #[test]
+    fn max_steps_limits_search() {
+        let k = knowledge();
+        let paths = k.paths("Children", "PhoneDir", 1);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn paths_are_simple_no_relation_repeats() {
+        let k = knowledge();
+        for p in k.paths("Children", "PhoneDir", 5) {
+            let mut rels: Vec<&str> = vec![&p[0].from];
+            for step in &p {
+                assert!(!rels.contains(&step.to.as_str()));
+                rels.push(&step.to);
+            }
+        }
+    }
+
+    #[test]
+    fn instantiate_orients_predicates() {
+        let spec = JoinSpec::simple("Children", "mid", "Parents", "ID", Provenance::ForeignKey);
+        assert_eq!(spec.instantiate("C", "P").to_string(), "C.mid = P.ID");
+        assert_eq!(
+            spec.instantiate_from("Parents", "Parents2", "Children").to_string(),
+            "Children.mid = Parents2.ID"
+        );
+    }
+
+    #[test]
+    fn from_database_uses_foreign_keys() {
+        use clio_relational::constraints::ForeignKey;
+        use clio_relational::relation::RelationBuilder;
+        use clio_relational::value::DataType;
+
+        let mut db = Database::new();
+        db.add_relation(
+            RelationBuilder::new("Children").attr("mid", DataType::Str).build().unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            RelationBuilder::new("Parents").attr("ID", DataType::Str).build().unwrap(),
+        )
+        .unwrap();
+        db.constraints
+            .foreign_keys
+            .push(ForeignKey::simple("Children", "mid", "Parents", "ID"));
+        let k = SchemaKnowledge::from_database(&db);
+        assert_eq!(k.specs().len(), 1);
+        assert_eq!(k.specs()[0].provenance, Provenance::ForeignKey);
+    }
+
+    #[test]
+    fn duplicate_specs_ignored() {
+        let mut k = knowledge();
+        let n = k.specs().len();
+        k.add_spec(JoinSpec::simple("Children", "mid", "Parents", "ID", Provenance::ForeignKey));
+        assert_eq!(k.specs().len(), n);
+    }
+
+    #[test]
+    fn unreachable_targets_give_no_paths() {
+        let k = knowledge();
+        assert!(k.paths("Children", "SBPS", 5).is_empty());
+    }
+}

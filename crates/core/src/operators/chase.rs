@@ -1,0 +1,337 @@
+//! The data chase operator (paper Sec 5.2).
+//!
+//! In a chase, the user selects a *value* in the current illustration
+//! ("chase Maya's ID, 002") without knowing where else it lives. Clio
+//! locates every occurrence of the value in relations not yet referenced
+//! by the mapping and offers one extension per occurrence site: a new node
+//! plus an outer equijoin edge `Q.A = R.B`.
+
+use clio_relational::database::Database;
+use clio_relational::error::{Error, Result};
+use clio_relational::funcs::FuncRegistry;
+use clio_relational::index::ValueIndex;
+use clio_relational::value::Value;
+
+use crate::knowledge::{JoinSpec, Provenance, SchemaKnowledge};
+use crate::mapping::Mapping;
+use crate::query_graph::Node;
+
+/// One alternative produced by a data chase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaseAlternative {
+    /// The extended mapping.
+    pub mapping: Mapping,
+    /// The relation where the chased value was found.
+    pub relation: String,
+    /// The attribute where the chased value was found.
+    pub attribute: String,
+    /// How many rows of `relation` contain the value (evidence strength).
+    pub occurrence_count: usize,
+    /// Human-readable description of the proposed link.
+    pub description: String,
+}
+
+impl ChaseAlternative {
+    /// The join spec this chase discovered; confirming the alternative
+    /// should add it to the schema knowledge (paper: the chase lets users
+    /// "actively discover new ways of connecting data").
+    #[must_use]
+    pub fn discovered_spec(&self, from_relation: &str, from_attr: &str) -> JoinSpec {
+        JoinSpec::simple(
+            from_relation,
+            from_attr,
+            self.relation.clone(),
+            self.attribute.clone(),
+            Provenance::UserAsserted,
+        )
+    }
+}
+
+/// Run a data chase: chase `value`, selected at `start_alias.start_attr`
+/// of the mapping's graph, through the whole database.
+///
+/// Returns one alternative per `(relation, attribute)` occurrence site
+/// with the relation not referenced by the mapping. The site the value
+/// was selected from is naturally excluded (its relation is in the graph).
+pub fn data_chase(
+    mapping: &Mapping,
+    db: &Database,
+    index: &ValueIndex,
+    start_alias: &str,
+    start_attr: &str,
+    value: &Value,
+    funcs: &FuncRegistry,
+) -> Result<Vec<ChaseAlternative>> {
+    let start = mapping
+        .graph
+        .node_by_alias(start_alias)
+        .ok_or_else(|| Error::Invalid(format!("start node `{start_alias}` not in graph")))?;
+    // the attribute must exist on the start relation
+    let start_rel = &mapping.graph.nodes()[start].relation;
+    db.relation(start_rel)?.schema().index_of(start_attr)?;
+    if value.is_null() {
+        return Err(Error::Invalid("cannot chase a null value".into()));
+    }
+
+    let mut out = Vec::new();
+    for (relation, attribute) in index.occurrence_sites(value) {
+        if !mapping.graph.nodes_of_relation(&relation).is_empty() {
+            continue; // paper: only relations not referenced by a node in M
+        }
+        let occurrence_count = index
+            .occurrences(value)
+            .iter()
+            .filter(|o| o.relation == relation && o.attribute == attribute)
+            .count();
+
+        let mut g = mapping.graph.clone();
+        let alias = g.fresh_alias(&relation);
+        let node = if alias == relation {
+            Node::new(alias.clone())
+        } else {
+            Node::copy_of(alias.clone(), relation.clone())
+        };
+        let id = g.add_node(node)?;
+        let pred = clio_relational::expr::Expr::col_eq(
+            &format!("{start_alias}.{start_attr}"),
+            &format!("{alias}.{attribute}"),
+        );
+        g.add_edge(start, id, pred.clone())?;
+        g.validate(db, funcs)?;
+
+        let mut m = mapping.clone();
+        m.graph = g;
+        out.push(ChaseAlternative {
+            mapping: m,
+            description: format!(
+                "found `{value}` in {relation}.{attribute}; link {pred}"
+            ),
+            relation,
+            attribute,
+            occurrence_count,
+        });
+    }
+    Ok(out)
+}
+
+/// Confirming a chase alternative teaches Clio the discovered join:
+/// record it in the schema knowledge for future walks.
+pub fn confirm_chase(
+    knowledge: &mut SchemaKnowledge,
+    alternative: &ChaseAlternative,
+    from_relation: &str,
+    from_attr: &str,
+) {
+    knowledge.add_spec(alternative.discovered_spec(from_relation, from_attr));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correspondence::ValueCorrespondence;
+    use crate::query_graph::QueryGraph;
+    use clio_relational::parser::parse_expr;
+    use clio_relational::relation::RelationBuilder;
+    use clio_relational::schema::{Attribute, RelSchema};
+    use clio_relational::value::DataType;
+
+    /// The Section-2 chase setting: 002 occurs in SBPS.ID and in two
+    /// attributes of XmasBazaar.
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_relation(
+            RelationBuilder::new("Children")
+                .attr_not_null("ID", DataType::Str)
+                .attr("mid", DataType::Str)
+                .row(vec!["002".into(), "202".into()])
+                .row(vec!["001".into(), "201".into()])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            RelationBuilder::new("Parents")
+                .attr_not_null("ID", DataType::Str)
+                .row(vec!["201".into()])
+                .row(vec!["202".into()])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            RelationBuilder::new("SBPS")
+                .attr("ID", DataType::Str)
+                .attr("time", DataType::Str)
+                .row(vec!["002".into(), "8:15".into()])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            RelationBuilder::new("XmasBazaar")
+                .attr("seller", DataType::Str)
+                .attr("buyer", DataType::Str)
+                .row(vec!["002".into(), "001".into()])
+                .row(vec!["001".into(), "002".into()])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn mapping() -> Mapping {
+        let mut g = QueryGraph::new();
+        let c = g.add_node(Node::new("Children")).unwrap();
+        let p = g.add_node(Node::new("Parents")).unwrap();
+        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap()).unwrap();
+        let target =
+            RelSchema::new("Kids", vec![Attribute::not_null("ID", DataType::Str)]).unwrap();
+        Mapping::new(g, target)
+            .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
+    }
+
+    fn funcs() -> FuncRegistry {
+        FuncRegistry::with_builtins()
+    }
+
+    #[test]
+    fn figure_5_chase_of_002_finds_three_scenarios() {
+        let database = db();
+        let index = ValueIndex::build(&database);
+        let alts = data_chase(
+            &mapping(),
+            &database,
+            &index,
+            "Children",
+            "ID",
+            &Value::str("002"),
+            &funcs(),
+        )
+        .unwrap();
+        // SBPS.ID + XmasBazaar.seller + XmasBazaar.buyer = 3 scenarios;
+        // occurrences inside Children/Parents are skipped (in the graph)
+        assert_eq!(alts.len(), 3);
+        let sites: Vec<(String, String)> = alts
+            .iter()
+            .map(|a| (a.relation.clone(), a.attribute.clone()))
+            .collect();
+        assert!(sites.contains(&("SBPS".into(), "ID".into())));
+        assert!(sites.contains(&("XmasBazaar".into(), "seller".into())));
+        assert!(sites.contains(&("XmasBazaar".into(), "buyer".into())));
+    }
+
+    #[test]
+    fn chase_edges_are_equijoins_on_the_selected_attribute() {
+        let database = db();
+        let index = ValueIndex::build(&database);
+        let alts = data_chase(
+            &mapping(),
+            &database,
+            &index,
+            "Children",
+            "ID",
+            &Value::str("002"),
+            &funcs(),
+        )
+        .unwrap();
+        let sbps = alts.iter().find(|a| a.relation == "SBPS").unwrap();
+        let g = &sbps.mapping.graph;
+        let c = g.node_by_alias("Children").unwrap();
+        let s = g.node_by_alias("SBPS").unwrap();
+        assert_eq!(
+            g.edge_between(c, s).unwrap().predicate.to_string(),
+            "Children.ID = SBPS.ID"
+        );
+        assert_eq!(sbps.occurrence_count, 1);
+    }
+
+    #[test]
+    fn chase_preserves_correspondences_and_filters() {
+        let database = db();
+        let index = ValueIndex::build(&database);
+        let m = mapping().with_source_filter(parse_expr("Children.ID IS NOT NULL").unwrap());
+        let alts =
+            data_chase(&m, &database, &index, "Children", "ID", &Value::str("002"), &funcs())
+                .unwrap();
+        for a in &alts {
+            assert_eq!(a.mapping.correspondences, m.correspondences);
+            assert_eq!(a.mapping.source_filters, m.source_filters);
+        }
+    }
+
+    #[test]
+    fn chasing_a_value_with_no_external_occurrences() {
+        let database = db();
+        let index = ValueIndex::build(&database);
+        let alts = data_chase(
+            &mapping(),
+            &database,
+            &index,
+            "Children",
+            "mid",
+            &Value::str("202"),
+            &funcs(),
+        )
+        .unwrap();
+        // 202 only occurs in Children.mid and Parents.ID, both in-graph
+        assert!(alts.is_empty());
+    }
+
+    #[test]
+    fn chase_validates_inputs() {
+        let database = db();
+        let index = ValueIndex::build(&database);
+        assert!(data_chase(
+            &mapping(),
+            &database,
+            &index,
+            "SBPS",
+            "ID",
+            &Value::str("002"),
+            &funcs()
+        )
+        .is_err()); // start not in graph
+        assert!(data_chase(
+            &mapping(),
+            &database,
+            &index,
+            "Children",
+            "nope",
+            &Value::str("002"),
+            &funcs()
+        )
+        .is_err()); // unknown attribute
+        assert!(data_chase(
+            &mapping(),
+            &database,
+            &index,
+            "Children",
+            "ID",
+            &Value::Null,
+            &funcs()
+        )
+        .is_err()); // null value
+    }
+
+    #[test]
+    fn confirm_chase_teaches_knowledge() {
+        let database = db();
+        let index = ValueIndex::build(&database);
+        let alts = data_chase(
+            &mapping(),
+            &database,
+            &index,
+            "Children",
+            "ID",
+            &Value::str("002"),
+            &funcs(),
+        )
+        .unwrap();
+        let sbps = alts.iter().find(|a| a.relation == "SBPS").unwrap();
+        let mut knowledge = SchemaKnowledge::new();
+        confirm_chase(&mut knowledge, sbps, "Children", "ID");
+        assert_eq!(knowledge.specs_between("Children", "SBPS").len(), 1);
+        assert_eq!(knowledge.specs()[0].provenance, Provenance::UserAsserted);
+    }
+}

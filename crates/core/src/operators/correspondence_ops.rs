@@ -1,0 +1,197 @@
+//! Correspondence operators (paper Secs 5, 6.2).
+//!
+//! Adding a correspondence for an unmapped target attribute simply extends
+//! the active mapping. Adding a **second** correspondence for an
+//! already-mapped attribute means the target attribute can be computed in
+//! two different ways (the paper's `ArrivalTime` — from the bus schedule
+//! *or* from class schedules), so a **new alternative mapping** is spawned
+//! that reuses everything else: the query graph, the other
+//! correspondences, and the filters (Example 6.2).
+
+use crate::correspondence::ValueCorrespondence;
+use crate::mapping::Mapping;
+
+/// Result of adding a correspondence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AddOutcome {
+    /// The target attribute was unmapped: the mapping was extended.
+    Extended(Mapping),
+    /// The attribute already had a correspondence: a new alternative
+    /// mapping was created (the original is untouched).
+    NewAlternative {
+        /// The spawned alternative with the new correspondence in place.
+        alternative: Mapping,
+        /// The expression of the correspondence it replaced.
+        replaced: ValueCorrespondence,
+    },
+}
+
+impl AddOutcome {
+    /// The resulting mapping, whichever variant.
+    #[must_use]
+    pub fn mapping(&self) -> &Mapping {
+        match self {
+            AddOutcome::Extended(m) => m,
+            AddOutcome::NewAlternative { alternative, .. } => alternative,
+        }
+    }
+}
+
+/// Add a value correspondence to a mapping, spawning an alternative when
+/// the target attribute is already mapped. `base_graph` optionally
+/// supplies the query graph for the spawned alternative — Example 6.2:
+/// Clio copies "the query graph *as it was prior to the addition of the
+/// first correspondence for ArrivalTime*", since graph extensions made for
+/// the first computation (e.g. walking to the bus-schedule table) are
+/// specific to it. Pass `None` to reuse the current graph.
+#[must_use]
+pub fn add_correspondence(
+    mapping: &Mapping,
+    v: ValueCorrespondence,
+    base_graph: Option<&crate::query_graph::QueryGraph>,
+) -> AddOutcome {
+    match mapping.correspondence_for(&v.target_attr) {
+        None => {
+            let mut m = mapping.clone();
+            m.set_correspondence(v);
+            AddOutcome::Extended(m)
+        }
+        Some(existing) => {
+            let replaced = existing.clone();
+            let mut alternative = mapping.clone();
+            if let Some(g) = base_graph {
+                alternative.graph = g.clone();
+                // drop pieces that no longer bind against the rolled-back
+                // graph (correspondences/filters added for the replaced
+                // computation)
+                let aliases: Vec<String> =
+                    g.nodes().iter().map(|n| n.alias.clone()).collect();
+                alternative.correspondences.retain(|c| {
+                    c.source_qualifiers().iter().all(|q| aliases.contains(&(*q).to_owned()))
+                });
+                alternative.source_filters.retain(|f| {
+                    f.qualifiers().iter().all(|q| aliases.contains(&(*q).to_owned()))
+                });
+            }
+            alternative.set_correspondence(v);
+            AddOutcome::NewAlternative { alternative, replaced }
+        }
+    }
+}
+
+/// Remove the correspondence for a target attribute (no-op when absent).
+#[must_use]
+pub fn remove_correspondence(mapping: &Mapping, target_attr: &str) -> Mapping {
+    let mut m = mapping.clone();
+    m.correspondences.retain(|c| c.target_attr != target_attr);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_graph::{Node, QueryGraph};
+    use clio_relational::expr::Expr;
+    use clio_relational::schema::{Attribute, RelSchema};
+    use clio_relational::value::DataType;
+
+    fn base_graph() -> QueryGraph {
+        let mut g = QueryGraph::new();
+        g.add_node(Node::new("Children")).unwrap();
+        g
+    }
+
+    fn extended_graph() -> QueryGraph {
+        let mut g = base_graph();
+        let b = g.add_node(Node::new("BusSchedule").with_code("B")).unwrap();
+        g.add_edge(0, b, Expr::col_eq("Children.ID", "BusSchedule.ID")).unwrap();
+        g
+    }
+
+    fn target() -> RelSchema {
+        RelSchema::new(
+            "Kids",
+            vec![
+                Attribute::not_null("ID", DataType::Str),
+                Attribute::new("ArrivalTime", DataType::Str),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn first_correspondence_extends() {
+        let m = Mapping::new(base_graph(), target());
+        let out = add_correspondence(
+            &m,
+            ValueCorrespondence::identity("Children.ID", "ID"),
+            None,
+        );
+        match out {
+            AddOutcome::Extended(m2) => assert_eq!(m2.correspondences.len(), 1),
+            other => panic!("expected Extended, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn example_6_2_second_correspondence_spawns_alternative() {
+        // mapping computing ArrivalTime from the bus schedule
+        let m = Mapping::new(extended_graph(), target())
+            .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
+            .with_correspondence(ValueCorrespondence::identity("BusSchedule.time", "ArrivalTime"))
+            .with_source_filter(Expr::IsNull {
+                expr: Box::new(Expr::col("BusSchedule.time")),
+                negated: true,
+            });
+
+        // second way to compute ArrivalTime (from class schedules), rolled
+        // back to the graph prior to the bus-schedule walk
+        let out = add_correspondence(
+            &m,
+            ValueCorrespondence::identity("Children.lastClassEnd", "ArrivalTime"),
+            Some(&base_graph()),
+        );
+        let AddOutcome::NewAlternative { alternative, replaced } = out else {
+            panic!("expected NewAlternative");
+        };
+        assert_eq!(replaced.expr.to_string(), "BusSchedule.time");
+        // graph rolled back
+        assert_eq!(alternative.graph.node_count(), 1);
+        // ID correspondence reused; bus-schedule correspondence dropped
+        // (references a node no longer in the graph); new one in place
+        assert_eq!(alternative.correspondences.len(), 2);
+        assert_eq!(
+            alternative.correspondence_for("ArrivalTime").unwrap().expr.to_string(),
+            "Children.lastClassEnd"
+        );
+        // filter referencing the dropped node removed
+        assert!(alternative.source_filters.is_empty());
+        // the original mapping is untouched
+        assert_eq!(
+            m.correspondence_for("ArrivalTime").unwrap().expr.to_string(),
+            "BusSchedule.time"
+        );
+    }
+
+    #[test]
+    fn alternative_without_rollback_keeps_graph() {
+        let m = Mapping::new(extended_graph(), target())
+            .with_correspondence(ValueCorrespondence::identity("BusSchedule.time", "ArrivalTime"));
+        let out = add_correspondence(
+            &m,
+            ValueCorrespondence::identity("Children.ID", "ArrivalTime"),
+            None,
+        );
+        assert_eq!(out.mapping().graph.node_count(), 2);
+    }
+
+    #[test]
+    fn remove_correspondence_is_targeted() {
+        let m = Mapping::new(base_graph(), target())
+            .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"));
+        let m2 = remove_correspondence(&m, "ID");
+        assert!(m2.correspondences.is_empty());
+        let m3 = remove_correspondence(&m2, "ID"); // no-op
+        assert_eq!(m3, m2);
+    }
+}

@@ -1,0 +1,301 @@
+//! Additional data-linking operators (the paper defers several operators
+//! to its companion report \[17\]; these are the natural complements of
+//! walk and chase): replacing an edge's join predicate, conjoining extra
+//! predicates onto an edge, and removing a node from the mapping.
+
+use clio_relational::database::Database;
+use clio_relational::error::{Error, Result};
+use clio_relational::expr::Expr;
+use clio_relational::funcs::FuncRegistry;
+
+use crate::mapping::Mapping;
+use crate::query_graph::QueryGraph;
+
+/// Replace the predicate of the edge between `a_alias` and `b_alias`.
+/// The new predicate must bind against the endpoints and be strong; the
+/// resulting mapping is re-validated. This is how a user flips the
+/// mother-link to the father-link without redoing a walk.
+pub fn replace_edge_predicate(
+    mapping: &Mapping,
+    db: &Database,
+    funcs: &FuncRegistry,
+    a_alias: &str,
+    b_alias: &str,
+    new_predicate: Expr,
+) -> Result<Mapping> {
+    let g = &mapping.graph;
+    let a = g
+        .node_by_alias(a_alias)
+        .ok_or_else(|| Error::Invalid(format!("unknown node `{a_alias}`")))?;
+    let b = g
+        .node_by_alias(b_alias)
+        .ok_or_else(|| Error::Invalid(format!("unknown node `{b_alias}`")))?;
+    if g.edge_between(a, b).is_none() {
+        return Err(Error::Invalid(format!(
+            "no edge between `{a_alias}` and `{b_alias}` to replace"
+        )));
+    }
+    let mut new_graph = QueryGraph::new();
+    for n in g.nodes() {
+        new_graph.add_node(n.clone())?;
+    }
+    for e in g.edges() {
+        let pred = if (e.a == a && e.b == b) || (e.a == b && e.b == a) {
+            new_predicate.clone()
+        } else {
+            e.predicate.clone()
+        };
+        new_graph.add_edge(e.a, e.b, pred)?;
+    }
+    let mut m = mapping.clone();
+    m.graph = new_graph;
+    m.validate(db, funcs)?;
+    Ok(m)
+}
+
+/// Conjoin an extra predicate onto an existing edge (tightening the
+/// linkage, e.g. adding a date-range condition to an ID join).
+pub fn conjoin_edge_predicate(
+    mapping: &Mapping,
+    db: &Database,
+    funcs: &FuncRegistry,
+    a_alias: &str,
+    b_alias: &str,
+    extra: Expr,
+) -> Result<Mapping> {
+    let g = &mapping.graph;
+    let a = g
+        .node_by_alias(a_alias)
+        .ok_or_else(|| Error::Invalid(format!("unknown node `{a_alias}`")))?;
+    let b = g
+        .node_by_alias(b_alias)
+        .ok_or_else(|| Error::Invalid(format!("unknown node `{b_alias}`")))?;
+    let existing = g
+        .edge_between(a, b)
+        .ok_or_else(|| Error::Invalid("no edge to conjoin onto".into()))?
+        .predicate
+        .clone();
+    replace_edge_predicate(
+        mapping,
+        db,
+        funcs,
+        a_alias,
+        b_alias,
+        Expr::conjunction(vec![existing, extra]),
+    )
+}
+
+/// Remove a node (and its incident edges) from the mapping. The node
+/// must not be an articulation point — the remaining graph has to stay
+/// connected (mappings require connected query graphs). Correspondences
+/// and source filters referencing the removed alias are dropped, since
+/// they can no longer bind.
+pub fn remove_node(
+    mapping: &Mapping,
+    db: &Database,
+    funcs: &FuncRegistry,
+    alias: &str,
+) -> Result<Mapping> {
+    let g = &mapping.graph;
+    let victim = g
+        .node_by_alias(alias)
+        .ok_or_else(|| Error::Invalid(format!("unknown node `{alias}`")))?;
+    if g.node_count() == 1 {
+        return Err(Error::Invalid("cannot remove the last node of a mapping".into()));
+    }
+
+    let mut new_graph = QueryGraph::new();
+    // old id -> new id
+    let mut remap: Vec<Option<usize>> = Vec::with_capacity(g.node_count());
+    for (i, n) in g.nodes().iter().enumerate() {
+        if i == victim {
+            remap.push(None);
+        } else {
+            remap.push(Some(new_graph.add_node(n.clone())?));
+        }
+    }
+    for e in g.edges() {
+        if let (Some(a), Some(b)) = (remap[e.a], remap[e.b]) {
+            new_graph.add_edge(a, b, e.predicate.clone())?;
+        }
+    }
+    if !new_graph.is_connected() {
+        return Err(Error::Invalid(format!(
+            "removing `{alias}` would disconnect the query graph"
+        )));
+    }
+
+    let mut m = mapping.clone();
+    m.graph = new_graph;
+    m.correspondences.retain(|c| !c.source_qualifiers().contains(&alias));
+    m.source_filters.retain(|f| !f.qualifiers().contains(&alias));
+    m.validate(db, funcs)?;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correspondence::ValueCorrespondence;
+    use crate::query_graph::Node;
+    use clio_relational::parser::parse_expr;
+    use clio_relational::relation::RelationBuilder;
+    use clio_relational::schema::{Attribute, RelSchema};
+    use clio_relational::value::{DataType, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        for (name, attrs) in [
+            ("Children", vec!["ID", "mid", "fid"]),
+            ("Parents", vec!["ID", "affiliation"]),
+            ("PhoneDir", vec!["ID", "number"]),
+        ] {
+            let mut b = RelationBuilder::new(name);
+            for a in attrs {
+                b = b.attr(a, DataType::Str);
+            }
+            b = match name {
+                "Children" => b.row(vec!["002".into(), "203".into(), "204".into()]),
+                "Parents" => b.row(vec!["203".into(), "Almaden".into()]),
+                _ => b.row(vec!["203".into(), "555".into()]),
+            };
+            db.add_relation(b.build().unwrap()).unwrap();
+        }
+        db
+    }
+
+    fn mapping() -> Mapping {
+        let mut g = QueryGraph::new();
+        let c = g.add_node(Node::new("Children")).unwrap();
+        let p = g.add_node(Node::new("Parents")).unwrap();
+        let ph = g.add_node(Node::new("PhoneDir")).unwrap();
+        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap()).unwrap();
+        g.add_edge(p, ph, parse_expr("PhoneDir.ID = Parents.ID").unwrap()).unwrap();
+        let target = RelSchema::new(
+            "Kids",
+            vec![
+                Attribute::not_null("ID", DataType::Str),
+                Attribute::new("number", DataType::Str),
+            ],
+        )
+        .unwrap();
+        Mapping::new(g, target)
+            .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
+            .with_correspondence(ValueCorrespondence::identity("PhoneDir.number", "number"))
+            .with_target_not_null_filters()
+    }
+
+    fn funcs() -> FuncRegistry {
+        FuncRegistry::with_builtins()
+    }
+
+    #[test]
+    fn replace_edge_flips_mother_to_father() {
+        let m = mapping();
+        let m2 = replace_edge_predicate(
+            &m,
+            &db(),
+            &funcs(),
+            "Children",
+            "Parents",
+            parse_expr("Children.fid = Parents.ID").unwrap(),
+        )
+        .unwrap();
+        let g = &m2.graph;
+        let e = g.edge_between(0, 1).unwrap();
+        assert_eq!(e.predicate.to_string(), "Children.fid = Parents.ID");
+        // other edges untouched
+        assert_eq!(g.edge_between(1, 2).unwrap().predicate.to_string(), "PhoneDir.ID = Parents.ID");
+        // the result evaluates: Maya's father 204 has no parent row here,
+        // so number becomes null but Maya is still produced
+        let out = m2.evaluate(&db(), &funcs()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.rows()[0][1].is_null());
+    }
+
+    #[test]
+    fn replace_edge_validates() {
+        let m = mapping();
+        // non-strong predicate rejected
+        assert!(replace_edge_predicate(
+            &m,
+            &db(),
+            &funcs(),
+            "Children",
+            "Parents",
+            parse_expr("TRUE").unwrap(),
+        )
+        .is_err());
+        // unknown endpoints rejected
+        assert!(replace_edge_predicate(
+            &m,
+            &db(),
+            &funcs(),
+            "Children",
+            "SBPS",
+            parse_expr("Children.ID = SBPS.ID").unwrap(),
+        )
+        .is_err());
+        // missing edge rejected
+        assert!(replace_edge_predicate(
+            &m,
+            &db(),
+            &funcs(),
+            "Children",
+            "PhoneDir",
+            parse_expr("Children.ID = PhoneDir.ID").unwrap(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn conjoin_tightens_the_edge() {
+        let m = mapping();
+        let m2 = conjoin_edge_predicate(
+            &m,
+            &db(),
+            &funcs(),
+            "Children",
+            "Parents",
+            parse_expr("Parents.affiliation = 'Almaden'").unwrap(),
+        )
+        .unwrap();
+        let e = m2.graph.edge_between(0, 1).unwrap();
+        assert_eq!(
+            e.predicate.to_string(),
+            "(Children.mid = Parents.ID) AND (Parents.affiliation = 'Almaden')"
+        );
+        let out = m2.evaluate(&db(), &funcs()).unwrap();
+        assert_eq!(out.rows()[0][1], Value::str("555"));
+    }
+
+    #[test]
+    fn remove_leaf_node_drops_its_correspondences() {
+        let m = mapping();
+        let m2 = remove_node(&m, &db(), &funcs(), "PhoneDir").unwrap();
+        assert_eq!(m2.graph.node_count(), 2);
+        assert_eq!(m2.correspondences.len(), 1); // PhoneDir.number dropped
+        assert!(m2.correspondence_for("number").is_none());
+        m2.validate(&db(), &funcs()).unwrap();
+    }
+
+    #[test]
+    fn remove_articulation_point_rejected() {
+        let m = mapping();
+        // Parents connects Children and PhoneDir
+        assert!(remove_node(&m, &db(), &funcs(), "Parents").is_err());
+    }
+
+    #[test]
+    fn remove_last_node_rejected() {
+        let m = mapping();
+        let m2 = remove_node(&m, &db(), &funcs(), "PhoneDir").unwrap();
+        let m3 = remove_node(&m2, &db(), &funcs(), "Parents").unwrap();
+        assert!(remove_node(&m3, &db(), &funcs(), "Children").is_err());
+    }
+
+    #[test]
+    fn remove_unknown_node_rejected() {
+        assert!(remove_node(&mapping(), &db(), &funcs(), "SBPS").is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! Mapping operators (paper Sec 5): the actions a user takes after
+//! studying an illustration.
+//!
+//! * **correspondence operators** — add/remove value correspondences,
+//!   spawning alternative mappings with maximal reuse (Sec 6.2);
+//! * **data trimming operators** — add/remove source and target filters,
+//!   with positive/negative example effect reporting;
+//! * **data linking operators** — [`data_walk`] and
+//!   [`data_chase`], which extend the query graph.
+
+pub mod chase;
+pub mod correspondence_ops;
+pub mod link;
+pub mod trim;
+pub mod walk;
+
+pub use chase::{data_chase, ChaseAlternative};
+pub use correspondence_ops::{add_correspondence, remove_correspondence, AddOutcome};
+pub use link::{conjoin_edge_predicate, remove_node, replace_edge_predicate};
+pub use trim::{add_source_filter, add_target_filter, require_target_attribute, trim_effect, TrimEffect};
+pub use walk::{data_walk, WalkAlternative};

@@ -1,0 +1,340 @@
+//! The data walk operator (paper Sec 5.1).
+//!
+//! `DataWalk(M, Q, R)` extends a mapping's query graph with every way
+//! Clio's schema knowledge can connect node `Q` (already in the graph) to
+//! relation `R` (not yet in the graph), producing one alternative mapping
+//! per walk. A walk is a path `Q — x₁ — … — R`; when a path step would
+//! traverse two nodes already in the graph, its edge label must match the
+//! existing edge — otherwise a fresh **copy** of the relation is
+//! introduced (the paper's `Parents2` in Figure 11).
+
+use clio_relational::database::Database;
+use clio_relational::error::{Error, Result};
+use clio_relational::funcs::FuncRegistry;
+
+use crate::knowledge::{PathStep, SchemaKnowledge};
+use crate::mapping::Mapping;
+use crate::query_graph::{Node, NodeId, QueryGraph};
+
+/// One alternative produced by a data walk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkAlternative {
+    /// The extended mapping `M_a = ⟨G ∪ G', V, C_S, C_T⟩`.
+    pub mapping: Mapping,
+    /// Number of path steps in `G'`.
+    pub path_len: usize,
+    /// Aliases of nodes added by the walk (last one is the end relation).
+    pub new_nodes: Vec<String>,
+    /// Human-readable rendering of the walk path.
+    pub description: String,
+}
+
+/// Run `DataWalk(M, Q, R)`.
+///
+/// * `start_alias` — alias of the start node `Q` in `M`'s graph;
+/// * `end_relation` — the relation `R ∉ N` to reach;
+/// * `max_steps` — bound on path length searched in the knowledge graph.
+///
+/// Alternatives are ranked shortest-path first, then by least perturbation
+/// (fewest new nodes), mirroring the paper's "simple heuristics related to
+/// path length, least perturbation to the current active mapping".
+pub fn data_walk(
+    mapping: &Mapping,
+    db: &Database,
+    knowledge: &SchemaKnowledge,
+    start_alias: &str,
+    end_relation: &str,
+    max_steps: usize,
+    funcs: &FuncRegistry,
+) -> Result<Vec<WalkAlternative>> {
+    let start = mapping
+        .graph
+        .node_by_alias(start_alias)
+        .ok_or_else(|| Error::Invalid(format!("start node `{start_alias}` not in graph")))?;
+    db.relation(end_relation)?;
+    if !mapping.graph.nodes_of_relation(end_relation).is_empty() {
+        return Err(Error::Invalid(format!(
+            "data walk requires end relation `{end_relation}` to be outside the graph; \
+             it is already referenced"
+        )));
+    }
+
+    let start_rel = mapping.graph.nodes()[start].relation.clone();
+    let mut alternatives: Vec<WalkAlternative> = Vec::new();
+
+    for path in knowledge.paths(&start_rel, end_relation, max_steps) {
+        let mut results: Vec<(QueryGraph, NodeId, Vec<String>, Vec<String>)> = vec![(
+            mapping.graph.clone(),
+            start,
+            Vec::new(),
+            vec![start_alias.to_owned()],
+        )];
+        for step in &path {
+            results = extend_step(results, step)?;
+        }
+        for (graph, _, new_nodes, trail) in results {
+            graph.validate(db, funcs)?;
+            let mut m = mapping.clone();
+            m.graph = graph;
+            let alt = WalkAlternative {
+                mapping: m,
+                path_len: path.len(),
+                new_nodes,
+                description: trail.join(" -- "),
+            };
+            if !alternatives
+                .iter()
+                .any(|a| a.mapping.graph == alt.mapping.graph)
+            {
+                alternatives.push(alt);
+            }
+        }
+    }
+
+    alternatives.sort_by_key(|a| (a.path_len, a.new_nodes.len()));
+    Ok(alternatives)
+}
+
+/// Advance every partial extension by one path step, branching over the
+/// admissible targets (matching existing nodes, or a fresh copy when no
+/// existing node is admissible).
+#[allow(clippy::type_complexity)]
+fn extend_step(
+    partials: Vec<(QueryGraph, NodeId, Vec<String>, Vec<String>)>,
+    step: &PathStep,
+) -> Result<Vec<(QueryGraph, NodeId, Vec<String>, Vec<String>)>> {
+    let mut out = Vec::new();
+    for (graph, current, new_nodes, trail) in partials {
+        let current_alias = graph.nodes()[current].alias.clone();
+        let current_is_new = new_nodes.contains(&current_alias);
+        let mut extended_any = false;
+
+        // try to reuse existing nodes of the step's target relation
+        for n in graph.nodes_of_relation(&step.to) {
+            if n == current {
+                continue;
+            }
+            let n_alias = graph.nodes()[n].alias.clone();
+            let n_is_new = new_nodes.contains(&n_alias);
+            let pred = step.spec.instantiate_from(&step.from, &current_alias, &n_alias);
+            if current_is_new || n_is_new {
+                // at least one endpoint is new: a fresh edge is allowed
+                if graph.edge_between(current, n).is_none() {
+                    let mut g = graph.clone();
+                    g.add_edge(current, n, pred.clone())?;
+                    let mut t = trail.clone();
+                    t.push(format!("[{pred}] {n_alias}"));
+                    out.push((g, n, new_nodes.clone(), t));
+                    extended_any = true;
+                }
+            } else {
+                // both endpoints pre-existing: the edge must already exist
+                // with exactly this label (paper's walk condition)
+                if let Some(e) = graph.edge_between(current, n) {
+                    if e.predicate == pred {
+                        let mut t = trail.clone();
+                        t.push(format!("[{pred}] {n_alias} (existing)"));
+                        out.push((graph.clone(), n, new_nodes.clone(), t));
+                        extended_any = true;
+                    }
+                }
+            }
+        }
+
+        // no admissible reuse: introduce a fresh copy of the relation
+        if !extended_any {
+            let alias = graph.fresh_alias(&step.to);
+            let mut g = graph.clone();
+            let node = if alias == step.to {
+                Node::new(alias.clone())
+            } else {
+                Node::copy_of(alias.clone(), step.to.clone())
+            };
+            let id = g.add_node(node)?;
+            let pred = step.spec.instantiate_from(&step.from, &current_alias, &alias);
+            g.add_edge(current, id, pred.clone())?;
+            let mut nn = new_nodes.clone();
+            nn.push(alias.clone());
+            let mut t = trail.clone();
+            t.push(format!("[{pred}] {alias}"));
+            out.push((g, id, nn, t));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correspondence::ValueCorrespondence;
+    use crate::knowledge::{JoinSpec, Provenance};
+    use clio_relational::parser::parse_expr;
+    use clio_relational::relation::RelationBuilder;
+    use clio_relational::schema::{Attribute, RelSchema};
+    use clio_relational::value::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        for (name, attrs) in [
+            ("Children", vec!["ID", "mid", "fid"]),
+            ("Parents", vec!["ID", "affiliation"]),
+            ("PhoneDir", vec!["ID", "number"]),
+            ("SBPS", vec!["ID", "time"]),
+        ] {
+            let mut b = RelationBuilder::new(name);
+            for a in attrs {
+                b = b.attr(a, DataType::Str);
+            }
+            db.add_relation(b.build().unwrap()).unwrap();
+        }
+        db
+    }
+
+    fn knowledge() -> SchemaKnowledge {
+        let mut k = SchemaKnowledge::new();
+        k.add_spec(JoinSpec::simple("Children", "mid", "Parents", "ID", Provenance::ForeignKey));
+        k.add_spec(JoinSpec::simple("Children", "fid", "Parents", "ID", Provenance::ForeignKey));
+        k.add_spec(JoinSpec::simple("PhoneDir", "ID", "Parents", "ID", Provenance::ForeignKey));
+        k
+    }
+
+    fn target() -> RelSchema {
+        RelSchema::new("Kids", vec![Attribute::not_null("ID", DataType::Str)]).unwrap()
+    }
+
+    /// `G1` of Figure 11: Children — Parents via **fid**.
+    fn mapping_g1() -> Mapping {
+        let mut g = QueryGraph::new();
+        let c = g.add_node(Node::new("Children")).unwrap();
+        let p = g.add_node(Node::new("Parents")).unwrap();
+        g.add_edge(c, p, parse_expr("Children.fid = Parents.ID").unwrap()).unwrap();
+        Mapping::new(g, target())
+            .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
+    }
+
+    fn funcs() -> FuncRegistry {
+        FuncRegistry::with_builtins()
+    }
+
+    #[test]
+    fn figure_11_walk_children_to_phonedir() {
+        let alts = data_walk(
+            &mapping_g1(),
+            &db(),
+            &knowledge(),
+            "Children",
+            "PhoneDir",
+            3,
+            &funcs(),
+        )
+        .unwrap();
+        // two 2-step walks: via existing Parents (fid matches) and via a
+        // fresh copy Parents2 (mid conflicts with existing fid edge)
+        assert_eq!(alts.len(), 2);
+
+        let via_existing = alts
+            .iter()
+            .find(|a| a.new_nodes == vec!["PhoneDir".to_owned()])
+            .expect("walk reusing Parents");
+        assert_eq!(via_existing.mapping.graph.node_count(), 3);
+        assert!(via_existing.description.contains("(existing)"));
+
+        let via_copy = alts
+            .iter()
+            .find(|a| a.new_nodes.contains(&"Parents2".to_owned()))
+            .expect("walk via Parents2 copy");
+        assert_eq!(via_copy.mapping.graph.node_count(), 4);
+        let g = &via_copy.mapping.graph;
+        let p2 = g.node_by_alias("Parents2").unwrap();
+        let c = g.node_by_alias("Children").unwrap();
+        assert_eq!(
+            g.edge_between(c, p2).unwrap().predicate.to_string(),
+            "Children.mid = Parents2.ID"
+        );
+    }
+
+    #[test]
+    fn walk_inherits_correspondences_and_filters() {
+        let m = mapping_g1().with_source_filter(parse_expr("Children.ID IS NOT NULL").unwrap());
+        let alts = data_walk(&m, &db(), &knowledge(), "Children", "PhoneDir", 3, &funcs()).unwrap();
+        for a in &alts {
+            assert_eq!(a.mapping.correspondences, m.correspondences);
+            assert_eq!(a.mapping.source_filters, m.source_filters);
+        }
+    }
+
+    #[test]
+    fn walk_from_parents_reuses_single_step() {
+        let alts =
+            data_walk(&mapping_g1(), &db(), &knowledge(), "Parents", "PhoneDir", 3, &funcs())
+                .unwrap();
+        // one-step walk Parents → PhoneDir
+        assert_eq!(alts[0].path_len, 1);
+        assert_eq!(alts[0].new_nodes, vec!["PhoneDir".to_owned()]);
+    }
+
+    #[test]
+    fn walk_to_unreachable_relation_is_empty() {
+        let alts =
+            data_walk(&mapping_g1(), &db(), &knowledge(), "Children", "SBPS", 3, &funcs()).unwrap();
+        assert!(alts.is_empty());
+    }
+
+    #[test]
+    fn walk_rejects_end_relation_already_in_graph() {
+        assert!(data_walk(
+            &mapping_g1(),
+            &db(),
+            &knowledge(),
+            "Children",
+            "Parents",
+            3,
+            &funcs()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn walk_rejects_unknown_start_or_end() {
+        assert!(
+            data_walk(&mapping_g1(), &db(), &knowledge(), "SBPS", "PhoneDir", 3, &funcs()).is_err()
+        );
+        assert!(
+            data_walk(&mapping_g1(), &db(), &knowledge(), "Children", "Nope", 3, &funcs()).is_err()
+        );
+    }
+
+    #[test]
+    fn alternatives_ranked_by_path_length_then_perturbation() {
+        let alts = data_walk(
+            &mapping_g1(),
+            &db(),
+            &knowledge(),
+            "Children",
+            "PhoneDir",
+            4,
+            &funcs(),
+        )
+        .unwrap();
+        let keys: Vec<(usize, usize)> =
+            alts.iter().map(|a| (a.path_len, a.new_nodes.len())).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn max_steps_zero_yields_nothing() {
+        let alts = data_walk(
+            &mapping_g1(),
+            &db(),
+            &knowledge(),
+            "Children",
+            "PhoneDir",
+            0,
+            &funcs(),
+        )
+        .unwrap();
+        assert!(alts.is_empty());
+    }
+}

@@ -1,0 +1,365 @@
+//! Mapping scripts: a line-oriented text format for saving and loading
+//! mappings.
+//!
+//! Clio sessions build mappings incrementally over hours of exploration
+//! (paper Sec 6); persisting them is essential for real use. The format
+//! is deliberately human-readable and diff-friendly:
+//!
+//! ```text
+//! # a Clio mapping script
+//! target Kids (ID str not null, name str, affiliation str)
+//! node Children
+//! node Parents2 = Parents code P2
+//! edge Children -- Parents2 : Children.mid = Parents2.ID
+//! corr Children.ID -> ID
+//! corr concat(PhoneDir.type, ',', PhoneDir.number) -> contactPh
+//! where source Children.age < 7
+//! where target Kids.ID IS NOT NULL
+//! ```
+//!
+//! Everything round-trips: `parse_mapping(&write_mapping(&m)) == m`.
+
+use clio_relational::error::{Error, Result};
+use clio_relational::parser::parse_expr;
+use clio_relational::schema::{Attribute, RelSchema};
+use clio_relational::value::DataType;
+
+use crate::correspondence::ValueCorrespondence;
+use crate::mapping::Mapping;
+use crate::query_graph::{Node, QueryGraph};
+
+/// Serialize a mapping to script text.
+#[must_use]
+pub fn write_mapping(m: &Mapping) -> String {
+    let mut out = String::new();
+    // target schema
+    out.push_str(&format!("target {} (", m.target.name()));
+    for (i, a) in m.target.attrs().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{} {}", a.name, a.ty));
+        if a.not_null {
+            out.push_str(" not null");
+        }
+    }
+    out.push_str(")\n");
+    // nodes
+    for n in m.graph.nodes() {
+        out.push_str("node ");
+        out.push_str(&n.alias);
+        if n.alias != n.relation {
+            out.push_str(&format!(" = {}", n.relation));
+        }
+        let default_node = if n.alias == n.relation {
+            Node::new(n.alias.clone())
+        } else {
+            Node::copy_of(n.alias.clone(), n.relation.clone())
+        };
+        if n.code != default_node.code {
+            out.push_str(&format!(" code {}", n.code));
+        }
+        out.push('\n');
+    }
+    // edges
+    for e in m.graph.edges() {
+        out.push_str(&format!(
+            "edge {} -- {} : {}\n",
+            m.graph.nodes()[e.a].alias,
+            m.graph.nodes()[e.b].alias,
+            e.predicate
+        ));
+    }
+    // correspondences
+    for v in &m.correspondences {
+        out.push_str(&format!("corr {} -> {}\n", v.expr, v.target_attr));
+    }
+    // filters
+    for f in &m.source_filters {
+        out.push_str(&format!("where source {f}\n"));
+    }
+    for f in &m.target_filters {
+        out.push_str(&format!("where target {f}\n"));
+    }
+    out
+}
+
+fn parse_data_type(s: &str) -> Result<DataType> {
+    match s {
+        "int" => Ok(DataType::Int),
+        "float" => Ok(DataType::Float),
+        "str" => Ok(DataType::Str),
+        "bool" => Ok(DataType::Bool),
+        other => Err(Error::Invalid(format!("unknown type `{other}` in mapping script"))),
+    }
+}
+
+/// Parse a target-schema declaration of the form
+/// `Name (attr type [not null], ...)` — the same syntax as the script's
+/// `target` line. Public so front-ends (the CLI's `--target` flag) can
+/// reuse it.
+pub fn parse_target_schema(rest: &str) -> Result<RelSchema> {
+    let (name, attrs_part) = rest
+        .split_once('(')
+        .ok_or_else(|| Error::Invalid("target line needs `(attrs)`".into()))?;
+    let name = name.trim();
+    let attrs_part = attrs_part
+        .strip_suffix(')')
+        .ok_or_else(|| Error::Invalid("target line missing closing `)`".into()))?;
+    let mut attrs = Vec::new();
+    for spec in attrs_part.split(',') {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            continue;
+        }
+        let mut words = spec.split_whitespace();
+        let attr_name = words
+            .next()
+            .ok_or_else(|| Error::Invalid("empty attribute spec".into()))?;
+        let ty = parse_data_type(
+            words
+                .next()
+                .ok_or_else(|| Error::Invalid(format!("attribute `{attr_name}` missing type")))?,
+        )?;
+        let rest: Vec<&str> = words.collect();
+        let not_null = match rest.as_slice() {
+            [] => false,
+            ["not", "null"] => true,
+            other => {
+                return Err(Error::Invalid(format!(
+                    "unexpected attribute modifier `{}`",
+                    other.join(" ")
+                )))
+            }
+        };
+        attrs.push(if not_null {
+            Attribute::not_null(attr_name, ty)
+        } else {
+            Attribute::new(attr_name, ty)
+        });
+    }
+    RelSchema::new(name, attrs)
+}
+
+/// Parse a mapping script.
+pub fn parse_mapping(text: &str) -> Result<Mapping> {
+    let mut target: Option<RelSchema> = None;
+    let mut graph = QueryGraph::new();
+    let mut correspondences: Vec<ValueCorrespondence> = Vec::new();
+    let mut source_filters = Vec::new();
+    let mut target_filters = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: String| Error::Invalid(format!("line {}: {msg}", lineno + 1));
+        let (keyword, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match keyword {
+            "target" => {
+                if target.is_some() {
+                    return Err(err("duplicate target line".into()));
+                }
+                target = Some(parse_target_schema(rest.trim())?);
+            }
+            "node" => {
+                // node ALIAS [= RELATION] [code CODE]
+                let mut words = rest.split_whitespace().peekable();
+                let alias = words
+                    .next()
+                    .ok_or_else(|| err("node line needs an alias".into()))?
+                    .to_owned();
+                let mut relation = alias.clone();
+                let mut code: Option<String> = None;
+                while let Some(w) = words.next() {
+                    match w {
+                        "=" => {
+                            relation = words
+                                .next()
+                                .ok_or_else(|| err("`=` needs a relation name".into()))?
+                                .to_owned();
+                        }
+                        "code" => {
+                            code = Some(
+                                words
+                                    .next()
+                                    .ok_or_else(|| err("`code` needs a value".into()))?
+                                    .to_owned(),
+                            );
+                        }
+                        other => return Err(err(format!("unexpected token `{other}`"))),
+                    }
+                }
+                let mut node = if alias == relation {
+                    Node::new(alias)
+                } else {
+                    Node::copy_of(alias, relation)
+                };
+                if let Some(c) = code {
+                    node = node.with_code(c);
+                }
+                graph.add_node(node)?;
+            }
+            "edge" => {
+                // edge A -- B : predicate
+                let (endpoints, predicate) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err("edge line needs `: predicate`".into()))?;
+                let (a, b) = endpoints
+                    .split_once("--")
+                    .ok_or_else(|| err("edge line needs `A -- B`".into()))?;
+                let a = graph
+                    .node_by_alias(a.trim())
+                    .ok_or_else(|| err(format!("unknown node `{}`", a.trim())))?;
+                let b = graph
+                    .node_by_alias(b.trim())
+                    .ok_or_else(|| err(format!("unknown node `{}`", b.trim())))?;
+                graph.add_edge(a, b, parse_expr(predicate.trim())?)?;
+            }
+            "corr" => {
+                // corr EXPR -> ATTR  (split on the LAST ` -> `)
+                let idx = rest
+                    .rfind(" -> ")
+                    .ok_or_else(|| err("corr line needs ` -> target_attr`".into()))?;
+                let expr = parse_expr(rest[..idx].trim())?;
+                let attr = rest[idx + 4..].trim();
+                if attr.is_empty() {
+                    return Err(err("corr line has an empty target attribute".into()));
+                }
+                correspondences.push(ValueCorrespondence::new(expr, attr));
+            }
+            "where" => {
+                let (kind, pred) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err("where line needs `source|target predicate`".into()))?;
+                let e = parse_expr(pred.trim())?;
+                match kind {
+                    "source" => source_filters.push(e),
+                    "target" => target_filters.push(e),
+                    other => return Err(err(format!("unknown filter kind `{other}`"))),
+                }
+            }
+            other => return Err(err(format!("unknown directive `{other}`"))),
+        }
+    }
+
+    let target = target.ok_or_else(|| Error::Invalid("mapping script has no target line".into()))?;
+    let mut m = Mapping::new(graph, target);
+    m.correspondences = correspondences;
+    m.source_filters = source_filters;
+    m.target_filters = target_filters;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clio_relational::expr::Expr;
+    use clio_relational::schema::Attribute;
+    use clio_relational::value::DataType;
+
+    fn sample_mapping() -> Mapping {
+        let mut g = QueryGraph::new();
+        let c = g.add_node(Node::new("Children")).unwrap();
+        let p2 = g.add_node(Node::copy_of("Parents2", "Parents")).unwrap();
+        let ph = g.add_node(Node::new("PhoneDir")).unwrap();
+        g.add_edge(c, p2, Expr::col_eq("Children.mid", "Parents2.ID")).unwrap();
+        g.add_edge(p2, ph, Expr::col_eq("PhoneDir.ID", "Parents2.ID")).unwrap();
+        let target = RelSchema::new(
+            "Kids",
+            vec![
+                Attribute::not_null("ID", DataType::Str),
+                Attribute::new("contactPh", DataType::Str),
+                Attribute::new("FamilyIncome", DataType::Int),
+            ],
+        )
+        .unwrap();
+        Mapping::new(g, target)
+            .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
+            .with_correspondence(
+                ValueCorrespondence::parse(
+                    "concat(PhoneDir.type, ',', PhoneDir.number)",
+                    "contactPh",
+                )
+                .unwrap(),
+            )
+            .with_source_filter(clio_relational::parser::parse_expr("Children.age < 7").unwrap())
+            .with_target_not_null_filters()
+    }
+
+    #[test]
+    fn round_trip_sample() {
+        let m = sample_mapping();
+        let text = write_mapping(&m);
+        let parsed = parse_mapping(&text).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn script_text_is_readable() {
+        let text = write_mapping(&sample_mapping());
+        assert!(text.contains("target Kids (ID str not null, contactPh str, FamilyIncome int)"));
+        assert!(text.contains("node Parents2 = Parents"));
+        assert!(text.contains("edge Children -- Parents2 : Children.mid = Parents2.ID"));
+        assert!(text.contains("corr Children.ID -> ID"));
+        assert!(text.contains("where source Children.age < 7"));
+        assert!(text.contains("where target Kids.ID IS NOT NULL"));
+    }
+
+    #[test]
+    fn round_trip_paper_mappings() {
+        // exercised again at integration level; kept here for fast feedback
+        let m = sample_mapping().without_filters();
+        let parsed = parse_mapping(&write_mapping(&m)).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# a comment\ntarget T (a int)\n\nnode R\n";
+        let m = parse_mapping(text).unwrap();
+        assert_eq!(m.target.name(), "T");
+        assert_eq!(m.graph.node_count(), 1);
+    }
+
+    #[test]
+    fn custom_code_round_trips() {
+        let mut g = QueryGraph::new();
+        g.add_node(Node::new("PhoneDir").with_code("D")).unwrap();
+        let m = Mapping::new(
+            g,
+            RelSchema::new("T", vec![Attribute::new("a", DataType::Int)]).unwrap(),
+        );
+        let text = write_mapping(&m);
+        assert!(text.contains("node PhoneDir code D"));
+        assert_eq!(parse_mapping(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        for (text, needle) in [
+            ("node R", "no target line"),
+            ("target T (a int)\nfrobnicate x", "unknown directive"),
+            ("target T (a int)\nedge A -- B : x = y", "unknown node"),
+            ("target T (a int)\nnode R\nedge R : x", "edge line needs"),
+            ("target T (a int)\ncorr a + b", "corr line needs"),
+            ("target T (a int)\nwhere sideways a = 1", "unknown filter kind"),
+            ("target T (a frobs)", "unknown type"),
+            ("target T (a int)\ntarget T (b int)", "duplicate target"),
+            ("target T (a int zesty)", "unexpected attribute modifier"),
+        ] {
+            let err = parse_mapping(text).unwrap_err().to_string();
+            assert!(err.contains(needle), "for {text:?}: got {err}");
+        }
+    }
+
+    #[test]
+    fn corr_splits_on_last_arrow() {
+        // an expression containing `>` plus the arrow separator
+        let text = "target T (a int)\nnode R\ncorr CASE WHEN R.x > 1 THEN R.x ELSE 0 END -> a\n";
+        let m = parse_mapping(text).unwrap();
+        assert_eq!(m.correspondences.len(), 1);
+        assert_eq!(m.correspondences[0].target_attr, "a");
+    }
+}

@@ -1,0 +1,264 @@
+//! Target mappings: the set of accepted mappings that together populate
+//! one target relation (paper Sec 6.2: "Since each mapping produces a
+//! subset of the tuples of a single target \[relation\], many mappings may
+//! need to be created to map an entire target schema").
+//!
+//! Two combination semantics are provided:
+//!
+//! * [`TargetMapping::evaluate_union`] — plain set union of the mapping
+//!   results (SQL `UNION`);
+//! * [`TargetMapping::evaluate_merged`] — **minimum union**: tuples
+//!   strictly subsumed by a more complete tuple from another mapping are
+//!   merged away. This is the data-merging semantics the paper builds its
+//!   machinery around — a kid contributed as `(002, null)` by one mapping
+//!   and `(002, 555-0103)` by another appears once, complete.
+
+use clio_relational::database::Database;
+use clio_relational::error::{Error, Result};
+use clio_relational::funcs::FuncRegistry;
+use clio_relational::ops::remove_subsumed_partitioned;
+use clio_relational::schema::{RelSchema, Scheme};
+use clio_relational::table::Table;
+
+use crate::mapping::Mapping;
+
+/// The mappings accepted for one target relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetMapping {
+    /// The target relation scheme.
+    pub target: RelSchema,
+    mappings: Vec<Mapping>,
+}
+
+/// Per-mapping contribution statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contribution {
+    /// Index of the mapping within the target mapping.
+    pub mapping_index: usize,
+    /// Tuples this mapping produces.
+    pub produced: usize,
+    /// Of those, tuples no other mapping produces.
+    pub exclusive: usize,
+}
+
+impl TargetMapping {
+    /// An empty target mapping.
+    #[must_use]
+    pub fn new(target: RelSchema) -> TargetMapping {
+        TargetMapping { target, mappings: Vec::new() }
+    }
+
+    /// Accept a mapping; its target schema must match.
+    pub fn accept(&mut self, mapping: Mapping) -> Result<()> {
+        if mapping.target != self.target {
+            return Err(Error::Invalid(format!(
+                "mapping targets `{}`, expected `{}`",
+                mapping.target.name(),
+                self.target.name()
+            )));
+        }
+        self.mappings.push(mapping);
+        Ok(())
+    }
+
+    /// The accepted mappings.
+    #[must_use]
+    pub fn mappings(&self) -> &[Mapping] {
+        &self.mappings
+    }
+
+    fn target_scheme(&self) -> Scheme {
+        Scheme::of_relation(&self.target, self.target.name())
+    }
+
+    /// Plain set union of all mapping results.
+    pub fn evaluate_union(&self, db: &Database, funcs: &FuncRegistry) -> Result<Table> {
+        let mut out = Table::empty(self.target_scheme());
+        for m in &self.mappings {
+            for row in m.evaluate(db, funcs)?.into_rows() {
+                out.push_distinct(row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Minimum union of all mapping results: strictly subsumed tuples are
+    /// merged away, so partial contributions collapse into the most
+    /// complete tuple available.
+    pub fn evaluate_merged(&self, db: &Database, funcs: &FuncRegistry) -> Result<Table> {
+        let mut out = self.evaluate_union(db, funcs)?;
+        remove_subsumed_partitioned(&mut out);
+        Ok(out)
+    }
+
+    /// How much does each mapping contribute, and how much exclusively?
+    pub fn contributions(&self, db: &Database, funcs: &FuncRegistry) -> Result<Vec<Contribution>> {
+        let results: Vec<Table> = self
+            .mappings
+            .iter()
+            .map(|m| m.evaluate(db, funcs))
+            .collect::<Result<_>>()?;
+        let mut out = Vec::with_capacity(results.len());
+        for (i, mine) in results.iter().enumerate() {
+            let mut exclusive = 0;
+            for row in mine.rows() {
+                let elsewhere = results
+                    .iter()
+                    .enumerate()
+                    .any(|(j, other)| j != i && other.rows().contains(row));
+                if !elsewhere {
+                    exclusive += 1;
+                }
+            }
+            out.push(Contribution { mapping_index: i, produced: mine.len(), exclusive });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correspondence::ValueCorrespondence;
+    use crate::query_graph::{Node, QueryGraph};
+    use clio_relational::parser::parse_expr;
+    use clio_relational::relation::RelationBuilder;
+    use clio_relational::schema::Attribute;
+    use clio_relational::value::{DataType, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_relation(
+            RelationBuilder::new("Children")
+                .attr_not_null("ID", DataType::Str)
+                .attr("mid", DataType::Str)
+                .attr("fid", DataType::Str)
+                .row(vec!["001".into(), "201".into(), "202".into()])
+                .row(vec!["004".into(), Value::Null, "202".into()])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            RelationBuilder::new("PhoneDir")
+                .attr_not_null("ID", DataType::Str)
+                .attr("number", DataType::Str)
+                .row(vec!["201".into(), "555-1".into()])
+                .row(vec!["202".into(), "555-2".into()])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn target() -> RelSchema {
+        RelSchema::new(
+            "Kids",
+            vec![
+                Attribute::not_null("ID", DataType::Str),
+                Attribute::new("contactPh", DataType::Str),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Phone via the mother (loses Tom), as in Example 6.1.
+    fn mother_mapping() -> Mapping {
+        let mut g = QueryGraph::new();
+        let c = g.add_node(Node::new("Children")).unwrap();
+        let d = g.add_node(Node::new("PhoneDir")).unwrap();
+        g.add_edge(c, d, parse_expr("Children.mid = PhoneDir.ID").unwrap()).unwrap();
+        Mapping::new(g, target())
+            .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
+            .with_correspondence(ValueCorrespondence::identity("PhoneDir.number", "contactPh"))
+            .with_source_filter(parse_expr("Children.mid IS NOT NULL").unwrap())
+            .with_target_not_null_filters()
+    }
+
+    /// Father's phone when there is no mother.
+    fn father_mapping() -> Mapping {
+        let mut g = QueryGraph::new();
+        let c = g.add_node(Node::new("Children")).unwrap();
+        let d = g.add_node(Node::new("PhoneDir")).unwrap();
+        g.add_edge(c, d, parse_expr("Children.fid = PhoneDir.ID").unwrap()).unwrap();
+        Mapping::new(g, target())
+            .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
+            .with_correspondence(ValueCorrespondence::identity("PhoneDir.number", "contactPh"))
+            .with_source_filter(parse_expr("Children.mid IS NULL").unwrap())
+            .with_target_not_null_filters()
+    }
+
+    /// IDs only (no phones) — a partial contributor for merge tests.
+    fn ids_mapping() -> Mapping {
+        let mut g = QueryGraph::new();
+        g.add_node(Node::new("Children")).unwrap();
+        Mapping::new(g, target())
+            .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
+            .with_target_not_null_filters()
+    }
+
+    fn funcs() -> FuncRegistry {
+        FuncRegistry::with_builtins()
+    }
+
+    #[test]
+    fn accept_validates_target() {
+        let mut tm = TargetMapping::new(target());
+        tm.accept(mother_mapping()).unwrap();
+        let other =
+            RelSchema::new("Other", vec![Attribute::new("x", DataType::Int)]).unwrap();
+        let mut g = QueryGraph::new();
+        g.add_node(Node::new("Children")).unwrap();
+        assert!(tm.accept(Mapping::new(g, other)).is_err());
+    }
+
+    #[test]
+    fn example_6_1_union_covers_all_children() {
+        let mut tm = TargetMapping::new(target());
+        tm.accept(mother_mapping()).unwrap();
+        tm.accept(father_mapping()).unwrap();
+        let out = tm.evaluate_union(&db(), &funcs()).unwrap();
+        assert_eq!(out.len(), 2);
+        let tom = out.rows().iter().find(|r| r[0] == Value::str("004")).unwrap();
+        assert_eq!(tom[1], Value::str("555-2")); // father's phone
+    }
+
+    #[test]
+    fn merged_semantics_collapses_partial_tuples() {
+        let mut tm = TargetMapping::new(target());
+        tm.accept(ids_mapping()).unwrap(); // (001, null), (004, null)
+        tm.accept(mother_mapping()).unwrap(); // (001, 555-1)
+        let union = tm.evaluate_union(&db(), &funcs()).unwrap();
+        assert_eq!(union.len(), 3); // 001 appears twice
+        let merged = tm.evaluate_merged(&db(), &funcs()).unwrap();
+        assert_eq!(merged.len(), 2); // (001,null) merged into (001,555-1)
+        let anna = merged.rows().iter().find(|r| r[0] == Value::str("001")).unwrap();
+        assert_eq!(anna[1], Value::str("555-1"));
+    }
+
+    #[test]
+    fn contributions_report_exclusive_tuples() {
+        let mut tm = TargetMapping::new(target());
+        tm.accept(mother_mapping()).unwrap();
+        tm.accept(father_mapping()).unwrap();
+        tm.accept(ids_mapping()).unwrap();
+        let contribs = tm.contributions(&db(), &funcs()).unwrap();
+        assert_eq!(contribs.len(), 3);
+        // mother mapping: (001, 555-1) — exclusive
+        assert_eq!(contribs[0].produced, 1);
+        assert_eq!(contribs[0].exclusive, 1);
+        // ids mapping produces (001,null),(004,null) — both exclusive as
+        // exact tuples (other mappings emit non-null phones)
+        assert_eq!(contribs[2].produced, 2);
+        assert_eq!(contribs[2].exclusive, 2);
+    }
+
+    #[test]
+    fn empty_target_mapping_evaluates_empty() {
+        let tm = TargetMapping::new(target());
+        assert!(tm.evaluate_union(&db(), &funcs()).unwrap().is_empty());
+        assert!(tm.evaluate_merged(&db(), &funcs()).unwrap().is_empty());
+        assert!(tm.contributions(&db(), &funcs()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,6 @@
+//! `clio-datagen` — the reconstructed paper dataset and synthetic
+//! workload generators for the Clio reproduction.
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod synthetic;

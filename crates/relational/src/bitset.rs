@@ -1,0 +1,143 @@
+//! A small growable bitset used for null masks and coverage sets.
+
+use std::fmt;
+
+/// A fixed-universe bitset backed by `u64` words.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitset {
+    /// All-zero bitset over a universe of `len` bits.
+    #[must_use]
+    pub fn new(len: usize) -> Bitset {
+        Bitset { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Universe size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the universe empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i`.
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Get bit `i`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is `self ⊆ other`?
+    #[must_use]
+    pub fn is_subset(&self, other: &Bitset) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Is `self ⊊ other`?
+    #[must_use]
+    pub fn is_strict_subset(&self, other: &Bitset) -> bool {
+        self.is_subset(other) && self != other
+    }
+
+    /// Iterate indexes of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+
+    /// Build from the indexes of set bits.
+    #[must_use]
+    pub fn from_ones(len: usize, ones: &[usize]) -> Bitset {
+        let mut b = Bitset::new(len);
+        for &i in ones {
+            b.set(i);
+        }
+        b
+    }
+}
+
+impl fmt::Debug for Bitset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitset{{{:?}}}", self.iter_ones().collect::<Vec<_>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitset::new(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(65));
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = Bitset::from_ones(10, &[1, 3]);
+        let b = Bitset::from_ones(10, &[1, 3, 7]);
+        assert!(a.is_subset(&b));
+        assert!(a.is_strict_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(!a.is_strict_subset(&a));
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let b = Bitset::from_ones(70, &[69, 0, 33]);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 33, 69]);
+    }
+
+    #[test]
+    fn equality_and_hash_by_content() {
+        use std::collections::HashSet;
+        let a = Bitset::from_ones(10, &[2, 4]);
+        let b = Bitset::from_ones(10, &[4, 2]);
+        assert_eq!(a, b);
+        let mut s = HashSet::new();
+        s.insert(a);
+        assert!(s.contains(&b));
+    }
+
+    #[test]
+    fn zero_length_universe() {
+        let b = Bitset::new(0);
+        assert_eq!(b.count(), 0);
+        assert!(b.is_empty());
+        assert!(b.is_subset(&Bitset::new(0)));
+    }
+}

@@ -1,0 +1,171 @@
+//! Databases: named relations over mutually disjoint schemes, plus
+//! constraints (paper Sec 3, *Preliminaries*).
+
+use std::fmt;
+
+use crate::constraints::Constraints;
+use crate::error::{Error, Result};
+use crate::relation::Relation;
+
+/// A database: a set of relations plus schema constraints.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Database {
+    relations: Vec<Relation>,
+    /// Declared/mined constraints over the schema.
+    pub constraints: Constraints,
+}
+
+impl Database {
+    /// An empty database.
+    #[must_use]
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Add a relation; names must be unique.
+    pub fn add_relation(&mut self, rel: Relation) -> Result<()> {
+        if self.relations.iter().any(|r| r.name() == rel.name()) {
+            return Err(Error::DuplicateRelation(rel.name().to_owned()));
+        }
+        self.relations.push(rel);
+        Ok(())
+    }
+
+    /// Look up a relation by name.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .iter()
+            .find(|r| r.name() == name)
+            .ok_or_else(|| Error::UnknownRelation(name.to_owned()))
+    }
+
+    /// Mutable lookup.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .iter_mut()
+            .find(|r| r.name() == name)
+            .ok_or_else(|| Error::UnknownRelation(name.to_owned()))
+    }
+
+    /// All relations, in insertion order.
+    #[must_use]
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// All relation names, in insertion order.
+    #[must_use]
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.iter().map(Relation::name).collect()
+    }
+
+    /// Does a relation with this name exist?
+    #[must_use]
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.relations.iter().any(|r| r.name() == name)
+    }
+
+    /// Total number of stored tuples across relations.
+    #[must_use]
+    pub fn total_rows(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Validate all declared constraints against the current instance.
+    pub fn check_constraints(&self) -> Result<()> {
+        self.constraints.check_all(self)
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rel in &self.relations {
+            writeln!(f, "{}", rel.schema())?;
+            writeln!(f, "{rel}")?;
+        }
+        for k in &self.constraints.keys {
+            writeln!(f, "{k}")?;
+        }
+        for fk in &self.constraints.foreign_keys {
+            writeln!(f, "{fk}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::ForeignKey;
+    use crate::relation::RelationBuilder;
+    use crate::value::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_relation(
+            RelationBuilder::new("Children")
+                .attr_not_null("ID", DataType::Str)
+                .row(vec!["001".into()])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            RelationBuilder::new("Parents")
+                .attr_not_null("ID", DataType::Str)
+                .row(vec!["201".into()])
+                .row(vec!["202".into()])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let db = db();
+        assert!(db.has_relation("Children"));
+        assert!(!db.has_relation("Kids"));
+        assert_eq!(db.relation("Parents").unwrap().len(), 2);
+        assert!(matches!(db.relation("Kids"), Err(Error::UnknownRelation(_))));
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut db = db();
+        let dup = RelationBuilder::new("Children")
+            .attr("x", DataType::Int)
+            .build()
+            .unwrap();
+        assert!(matches!(db.add_relation(dup), Err(Error::DuplicateRelation(_))));
+    }
+
+    #[test]
+    fn names_and_counts() {
+        let db = db();
+        assert_eq!(db.relation_names(), vec!["Children", "Parents"]);
+        assert_eq!(db.total_rows(), 3);
+    }
+
+    #[test]
+    fn mutation_through_relation_mut() {
+        let mut db = db();
+        db.relation_mut("Children")
+            .unwrap()
+            .insert(vec!["002".into()])
+            .unwrap();
+        assert_eq!(db.relation("Children").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn display_includes_schema_and_constraints() {
+        let mut db = db();
+        db.constraints
+            .foreign_keys
+            .push(ForeignKey::simple("Children", "ID", "Parents", "ID"));
+        let s = db.to_string();
+        assert!(s.contains("Children(ID: str not null)"));
+        assert!(s.contains("fk Children(ID) -> Parents(ID)"));
+    }
+}

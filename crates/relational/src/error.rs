@@ -1,0 +1,116 @@
+//! Error type shared by the relational engine.
+
+use std::fmt;
+
+/// Errors produced by schema resolution, expression evaluation, and
+/// relational operators.
+///
+/// The engine is strict: referencing an unknown column or applying an
+/// operator to incompatible types is an error rather than a silent `NULL`,
+/// so mapping bugs surface early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // struct-variant fields are self-describing
+pub enum Error {
+    /// A column reference did not resolve against the scheme in scope.
+    UnknownColumn(String),
+    /// A column reference matched more than one column (missing qualifier).
+    AmbiguousColumn(String),
+    /// A relation name did not resolve against the database.
+    UnknownRelation(String),
+    /// A relation with this name already exists in the database.
+    DuplicateRelation(String),
+    /// An attribute name appears twice in one relation scheme.
+    DuplicateAttribute { relation: String, attribute: String },
+    /// A scalar function name did not resolve against the registry.
+    UnknownFunction(String),
+    /// A scalar function was called with the wrong number of arguments.
+    FunctionArity {
+        name: String,
+        expected: usize,
+        got: usize,
+    },
+    /// An operator or function was applied to values of unsupported types.
+    TypeMismatch(String),
+    /// A tuple's width does not match its relation scheme.
+    ArityMismatch { expected: usize, got: usize },
+    /// A `NOT NULL` attribute received a null value.
+    NullViolation { relation: String, attribute: String },
+    /// A key constraint was violated on insert.
+    KeyViolation { relation: String, key: String },
+    /// Text failed to parse as an expression; carries position and message.
+    Parse { pos: usize, message: String },
+    /// Division by zero (or modulo by zero) during evaluation.
+    DivisionByZero,
+    /// Anything else worth reporting with a message.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            Error::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            Error::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            Error::DuplicateRelation(r) => write!(f, "relation `{r}` already exists"),
+            Error::DuplicateAttribute { relation, attribute } => {
+                write!(f, "duplicate attribute `{attribute}` in relation `{relation}`")
+            }
+            Error::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            Error::FunctionArity { name, expected, got } => {
+                write!(f, "function `{name}` expects {expected} argument(s), got {got}")
+            }
+            Error::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            Error::ArityMismatch { expected, got } => {
+                write!(f, "tuple arity mismatch: expected {expected} values, got {got}")
+            }
+            Error::NullViolation { relation, attribute } => {
+                write!(f, "null value in NOT NULL attribute `{relation}.{attribute}`")
+            }
+            Error::KeyViolation { relation, key } => {
+                write!(f, "key violation on `{relation}` (key {key})")
+            }
+            Error::Parse { pos, message } => write!(f, "parse error at offset {pos}: {message}"),
+            Error::DivisionByZero => write!(f, "division by zero"),
+            Error::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_human_readable() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::UnknownColumn("C.age".into()), "unknown column `C.age`"),
+            (Error::AmbiguousColumn("ID".into()), "ambiguous column `ID`"),
+            (Error::UnknownRelation("Kids".into()), "unknown relation `Kids`"),
+            (
+                Error::DuplicateRelation("Kids".into()),
+                "relation `Kids` already exists",
+            ),
+            (Error::DivisionByZero, "division by zero"),
+        ];
+        for (err, expect) in cases {
+            assert_eq!(err.to_string(), expect);
+        }
+    }
+
+    #[test]
+    fn parse_error_carries_position() {
+        let e = Error::Parse { pos: 7, message: "expected `)`".into() };
+        assert_eq!(e.to_string(), "parse error at offset 7: expected `)`");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::DivisionByZero);
+    }
+}

@@ -1,0 +1,196 @@
+//! Inverted value index over a database.
+//!
+//! The **data chase** (paper Sec 5.2) starts from a value the user selects
+//! ("chase 002") and must locate *every occurrence of that value in the
+//! data source*. A full scan per chase is quadratic in practice; the
+//! [`ValueIndex`] answers occurrence queries in O(1) per probe. Benchmark
+//! **B5** compares the two.
+
+use std::collections::HashMap;
+
+use crate::database::Database;
+use crate::value::Value;
+
+/// One occurrence of a value in the database.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Occurrence {
+    /// Relation name.
+    pub relation: String,
+    /// Attribute name.
+    pub attribute: String,
+    /// Row index within the relation.
+    pub row: usize,
+}
+
+/// An inverted index from value to all its occurrences.
+#[derive(Debug, Clone, Default)]
+pub struct ValueIndex {
+    map: HashMap<Value, Vec<Occurrence>>,
+}
+
+impl ValueIndex {
+    /// Build the index over every non-null cell of `db`.
+    #[must_use]
+    pub fn build(db: &Database) -> ValueIndex {
+        let mut map: HashMap<Value, Vec<Occurrence>> = HashMap::new();
+        for rel in db.relations() {
+            let attrs: Vec<String> =
+                rel.schema().attrs().iter().map(|a| a.name.clone()).collect();
+            for (ri, row) in rel.rows().iter().enumerate() {
+                for (ai, v) in row.iter().enumerate() {
+                    if v.is_null() {
+                        continue;
+                    }
+                    map.entry(v.clone()).or_default().push(Occurrence {
+                        relation: rel.name().to_owned(),
+                        attribute: attrs[ai].clone(),
+                        row: ri,
+                    });
+                }
+            }
+        }
+        ValueIndex { map }
+    }
+
+    /// All occurrences of `value` (empty slice when absent). Null has no
+    /// occurrences by construction.
+    #[must_use]
+    pub fn occurrences(&self, value: &Value) -> &[Occurrence] {
+        self.map.get(value).map_or(&[], Vec::as_slice)
+    }
+
+    /// Distinct `(relation, attribute)` pairs where `value` occurs —
+    /// exactly what a chase needs ("002 appears in one attribute of SBPS
+    /// and in two attributes of XmasBazaar").
+    #[must_use]
+    pub fn occurrence_sites(&self, value: &Value) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = Vec::new();
+        for occ in self.occurrences(value) {
+            let site = (occ.relation.clone(), occ.attribute.clone());
+            if !out.contains(&site) {
+                out.push(site);
+            }
+        }
+        out
+    }
+
+    /// Number of distinct indexed values.
+    #[must_use]
+    pub fn distinct_values(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Reference implementation: find occurrences by scanning the database.
+/// Used by tests and the chase benchmark as the unindexed baseline.
+#[must_use]
+pub fn scan_occurrences(db: &Database, value: &Value) -> Vec<Occurrence> {
+    let mut out = Vec::new();
+    if value.is_null() {
+        return out;
+    }
+    for rel in db.relations() {
+        let attrs: Vec<&str> = rel.schema().attrs().iter().map(|a| a.name.as_str()).collect();
+        for (ri, row) in rel.rows().iter().enumerate() {
+            for (ai, v) in row.iter().enumerate() {
+                if !v.is_null() && v == value {
+                    out.push(Occurrence {
+                        relation: rel.name().to_owned(),
+                        attribute: attrs[ai].to_owned(),
+                        row: ri,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use crate::value::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_relation(
+            RelationBuilder::new("Children")
+                .attr("ID", DataType::Str)
+                .attr("name", DataType::Str)
+                .row(vec!["002".into(), "Maya".into()])
+                .row(vec!["001".into(), "Anna".into()])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            RelationBuilder::new("SBPS")
+                .attr("ID", DataType::Str)
+                .attr("time", DataType::Str)
+                .row(vec!["002".into(), "8:15".into()])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            RelationBuilder::new("XmasBazaar")
+                .attr("seller", DataType::Str)
+                .attr("buyer", DataType::Str)
+                .row(vec!["002".into(), "001".into()])
+                .row(vec!["001".into(), "002".into()])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn finds_all_occurrences_of_maya_id() {
+        let idx = ValueIndex::build(&db());
+        let occ = idx.occurrences(&Value::str("002"));
+        assert_eq!(occ.len(), 4);
+        let sites = idx.occurrence_sites(&Value::str("002"));
+        assert_eq!(
+            sites,
+            vec![
+                ("Children".to_owned(), "ID".to_owned()),
+                ("SBPS".to_owned(), "ID".to_owned()),
+                ("XmasBazaar".to_owned(), "seller".to_owned()),
+                ("XmasBazaar".to_owned(), "buyer".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn index_agrees_with_scan() {
+        let database = db();
+        let idx = ValueIndex::build(&database);
+        for v in ["001", "002", "Maya", "8:15", "nope"] {
+            let val = Value::str(v);
+            assert_eq!(idx.occurrences(&val), scan_occurrences(&database, &val).as_slice());
+        }
+    }
+
+    #[test]
+    fn absent_and_null_values_have_no_occurrences() {
+        let idx = ValueIndex::build(&db());
+        assert!(idx.occurrences(&Value::str("zzz")).is_empty());
+        assert!(idx.occurrences(&Value::Null).is_empty());
+        assert!(scan_occurrences(&db(), &Value::Null).is_empty());
+    }
+
+    #[test]
+    fn nulls_are_not_indexed() {
+        let mut database = db();
+        database
+            .relation_mut("Children")
+            .unwrap()
+            .insert(vec!["003".into(), Value::Null])
+            .unwrap();
+        let idx = ValueIndex::build(&database);
+        // distinct values: 001 002 Maya Anna 8:15 003 = 6
+        assert_eq!(idx.distinct_values(), 6);
+    }
+}

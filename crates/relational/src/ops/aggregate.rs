@@ -1,0 +1,366 @@
+//! Grouping and aggregation.
+//!
+//! The paper's Def 3.1 allows a value correspondence to combine "a value
+//! (or **set of values**) from a source database"; its `FamilyIncome`
+//! example sums salaries. With relation copies the paper expresses the
+//! two-parent case; the general set-valued form needs aggregation, which
+//! this module supplies as an engine-level operator:
+//! `group_by(table, keys, aggregates)`.
+//!
+//! Null handling follows SQL: aggregates skip nulls; `COUNT(*)` counts
+//! rows; an aggregate over an empty/all-null group is null (except
+//! `COUNT`, which is 0).
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::expr::Expr;
+use crate::funcs::FuncRegistry;
+use crate::schema::{Column, Scheme};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Number of rows in the group (counts nulls too).
+    CountRows,
+    /// Number of non-null values of the aggregated expression.
+    Count,
+    /// Sum of non-null numeric values.
+    Sum,
+    /// Minimum non-null value (SQL ordering).
+    Min,
+    /// Maximum non-null value.
+    Max,
+    /// Arithmetic mean of non-null numeric values.
+    Avg,
+}
+
+impl AggFunc {
+    /// Render as SQL.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::CountRows => "COUNT(*)",
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+/// One aggregate output column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// The function.
+    pub func: AggFunc,
+    /// The aggregated expression (ignored for `CountRows`).
+    pub expr: Expr,
+    /// Output column.
+    pub output: Column,
+}
+
+impl Aggregate {
+    /// Construct an aggregate over a qualified column.
+    pub fn over(func: AggFunc, source_col: &str, qualifier: &str, name: &str) -> Aggregate {
+        let ty = match func {
+            AggFunc::CountRows | AggFunc::Count => DataType::Int,
+            AggFunc::Avg => DataType::Float,
+            _ => DataType::Int, // numeric; Min/Max of strings still works at runtime
+        };
+        Aggregate { func, expr: Expr::col(source_col), output: Column::new(qualifier, name, ty) }
+    }
+}
+
+/// Group `table` by the given key columns (qualified names) and compute
+/// the aggregates per group. Output scheme: key columns (in the given
+/// order) followed by the aggregate outputs. Groups follow SQL `GROUP BY`
+/// semantics: nulls form their own group per distinct key combination.
+///
+/// ```
+/// use clio_relational::prelude::*;
+///
+/// let lines = RelationBuilder::new("L")
+///     .attr("ord", DataType::Str)
+///     .attr("amount", DataType::Int)
+///     .row(vec!["O-1".into(), 500i64.into()])
+///     .row(vec!["O-1".into(), 1250i64.into()])
+///     .row(vec!["O-2".into(), 2400i64.into()])
+///     .build()
+///     .unwrap()
+///     .to_table("L");
+/// let totals = group_by(
+///     &lines,
+///     &["L.ord"],
+///     &[Aggregate::over(AggFunc::Sum, "L.amount", "T", "total")],
+///     &FuncRegistry::with_builtins(),
+/// )
+/// .unwrap();
+/// assert_eq!(totals.rows()[0], vec![Value::str("O-1"), Value::Int(1750)]);
+/// ```
+pub fn group_by(
+    table: &Table,
+    keys: &[&str],
+    aggregates: &[Aggregate],
+    funcs: &FuncRegistry,
+) -> Result<Table> {
+    let key_idx: Vec<usize> = keys
+        .iter()
+        .map(|k| table.scheme().resolve(&crate::schema::ColumnRef::parse_simple(k)))
+        .collect::<Result<_>>()?;
+    let bound: Vec<_> = aggregates
+        .iter()
+        .map(|a| a.expr.bind(table.scheme()))
+        .collect::<Result<_>>()?;
+
+    let mut out_cols: Vec<Column> =
+        key_idx.iter().map(|&i| table.scheme().columns()[i].clone()).collect();
+    out_cols.extend(aggregates.iter().map(|a| a.output.clone()));
+    let out_scheme = Scheme::new(out_cols);
+
+    // group rows, preserving first-appearance order of groups
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (ri, row) in table.rows().iter().enumerate() {
+        let key: Vec<Value> = key_idx.iter().map(|&i| row[i].clone()).collect();
+        match groups.get_mut(&key) {
+            Some(g) => g.push(ri),
+            None => {
+                groups.insert(key.clone(), vec![ri]);
+                order.push(key);
+            }
+        }
+    }
+
+    let mut out = Table::empty(out_scheme);
+    for key in order {
+        let members = &groups[&key];
+        let mut row = key.clone();
+        for (a, b) in aggregates.iter().zip(&bound) {
+            let mut values: Vec<Value> = Vec::with_capacity(members.len());
+            for &ri in members {
+                values.push(b.eval(&table.rows()[ri], funcs)?);
+            }
+            row.push(fold_aggregate(a.func, &values)?);
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+fn fold_aggregate(func: AggFunc, values: &[Value]) -> Result<Value> {
+    let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+    Ok(match func {
+        AggFunc::CountRows => Value::Int(values.len() as i64),
+        AggFunc::Count => Value::Int(non_null.len() as i64),
+        AggFunc::Sum => {
+            let mut acc: Option<Value> = None;
+            for v in non_null {
+                acc = Some(match acc {
+                    None => (*v).clone(),
+                    Some(a) => a.add(v)?,
+                });
+            }
+            acc.unwrap_or(Value::Null)
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Option<&Value> = None;
+            for v in non_null {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => match v.sql_cmp(b) {
+                        Some(std::cmp::Ordering::Less) if func == AggFunc::Min => v,
+                        Some(std::cmp::Ordering::Greater) if func == AggFunc::Max => v,
+                        Some(_) => b,
+                        None => {
+                            return Err(Error::TypeMismatch(
+                                "MIN/MAX over incomparable values".into(),
+                            ))
+                        }
+                    },
+                });
+            }
+            best.cloned().unwrap_or(Value::Null)
+        }
+        AggFunc::Avg => {
+            if non_null.is_empty() {
+                Value::Null
+            } else {
+                let mut sum = 0.0f64;
+                for v in &non_null {
+                    sum += v.as_f64().ok_or_else(|| {
+                        Error::TypeMismatch(format!("AVG over non-numeric value {v}"))
+                    })?;
+                }
+                Value::Float(sum / non_null.len() as f64)
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+
+    /// Children joined with ALL their parents (one row per parent).
+    fn table() -> Table {
+        RelationBuilder::new("CP")
+            .attr("child", DataType::Str)
+            .attr("salary", DataType::Int)
+            .attr("affiliation", DataType::Str)
+            .row(vec!["001".into(), 90_000i64.into(), "IBM".into()])
+            .row(vec!["001".into(), 85_000i64.into(), "UofT".into()])
+            .row(vec!["002".into(), 95_000i64.into(), "Almaden".into()])
+            .row(vec!["002".into(), Value::Null, "AT&T".into()])
+            .row(vec!["004".into(), Value::Null, Value::Null])
+            .build()
+            .unwrap()
+            .to_table("CP")
+    }
+
+    fn funcs() -> FuncRegistry {
+        FuncRegistry::with_builtins()
+    }
+
+    #[test]
+    fn family_income_as_sum_over_parents() {
+        // the set-valued form of Example 3.2's FamilyIncome
+        let out = group_by(
+            &table(),
+            &["CP.child"],
+            &[Aggregate::over(AggFunc::Sum, "CP.salary", "Kids", "FamilyIncome")],
+            &funcs(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.scheme().columns()[1].qualified_name(), "Kids.FamilyIncome");
+        assert_eq!(out.rows()[0], vec!["001".into(), Value::Int(175_000)]);
+        assert_eq!(out.rows()[1], vec!["002".into(), Value::Int(95_000)]); // null skipped
+        assert_eq!(out.rows()[2], vec!["004".into(), Value::Null]); // all null
+    }
+
+    #[test]
+    fn count_variants() {
+        let out = group_by(
+            &table(),
+            &["CP.child"],
+            &[
+                Aggregate::over(AggFunc::CountRows, "CP.salary", "K", "rows"),
+                Aggregate::over(AggFunc::Count, "CP.salary", "K", "salaries"),
+            ],
+            &funcs(),
+        )
+        .unwrap();
+        assert_eq!(out.rows()[0][1], Value::Int(2));
+        assert_eq!(out.rows()[0][2], Value::Int(2));
+        assert_eq!(out.rows()[1][1], Value::Int(2));
+        assert_eq!(out.rows()[1][2], Value::Int(1)); // one null salary
+        assert_eq!(out.rows()[2][2], Value::Int(0));
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let out = group_by(
+            &table(),
+            &["CP.child"],
+            &[
+                Aggregate::over(AggFunc::Min, "CP.salary", "K", "lo"),
+                Aggregate::over(AggFunc::Max, "CP.salary", "K", "hi"),
+                Aggregate::over(AggFunc::Avg, "CP.salary", "K", "avg"),
+            ],
+            &funcs(),
+        )
+        .unwrap();
+        assert_eq!(out.rows()[0][1], Value::Int(85_000));
+        assert_eq!(out.rows()[0][2], Value::Int(90_000));
+        assert_eq!(out.rows()[0][3], Value::Float(87_500.0));
+        assert_eq!(out.rows()[2][3], Value::Null);
+    }
+
+    #[test]
+    fn min_max_on_strings() {
+        let out = group_by(
+            &table(),
+            &["CP.child"],
+            &[Aggregate::over(AggFunc::Min, "CP.affiliation", "K", "first")],
+            &funcs(),
+        )
+        .unwrap();
+        assert_eq!(out.rows()[0][1], Value::str("IBM"));
+    }
+
+    #[test]
+    fn group_over_expression() {
+        // aggregate over a computed expression
+        let agg = Aggregate {
+            func: AggFunc::Sum,
+            expr: crate::parser::parse_expr("CP.salary / 1000").unwrap(),
+            output: Column::new("K", "k_salary", DataType::Int),
+        };
+        let out = group_by(&table(), &["CP.child"], &[agg], &funcs()).unwrap();
+        assert_eq!(out.rows()[0][1], Value::Int(175));
+    }
+
+    #[test]
+    fn empty_keys_aggregate_whole_table() {
+        let out = group_by(
+            &table(),
+            &[],
+            &[Aggregate::over(AggFunc::CountRows, "CP.child", "K", "n")],
+            &funcs(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(5));
+    }
+
+    #[test]
+    fn null_keys_form_their_own_group() {
+        let mut t = table();
+        t.push(vec![Value::Null, 1i64.into(), Value::Null]);
+        t.push(vec![Value::Null, 2i64.into(), Value::Null]);
+        let out = group_by(
+            &t,
+            &["CP.child"],
+            &[Aggregate::over(AggFunc::Sum, "CP.salary", "K", "s")],
+            &funcs(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 4);
+        let null_group = out.rows().iter().find(|r| r[0].is_null()).unwrap();
+        assert_eq!(null_group[1], Value::Int(3));
+    }
+
+    #[test]
+    fn avg_of_strings_errors() {
+        assert!(group_by(
+            &table(),
+            &["CP.child"],
+            &[Aggregate::over(AggFunc::Avg, "CP.affiliation", "K", "x")],
+            &funcs(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        assert!(group_by(&table(), &["CP.nope"], &[], &funcs()).is_err());
+    }
+
+    #[test]
+    fn group_order_is_first_appearance() {
+        let out = group_by(
+            &table(),
+            &["CP.child"],
+            &[Aggregate::over(AggFunc::CountRows, "CP.child", "K", "n")],
+            &funcs(),
+        )
+        .unwrap();
+        let keys: Vec<String> = out.rows().iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(keys, vec!["001", "002", "004"]);
+    }
+}

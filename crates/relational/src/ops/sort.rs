@@ -1,0 +1,181 @@
+//! Ordering and limiting: `ORDER BY` over expressions and `LIMIT`.
+//!
+//! Used by front-ends to show stable, digestible samples of large
+//! relations (the paper's Sec 6 concern with large data volumes) and by
+//! tests to canonicalize results.
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::funcs::FuncRegistry;
+use crate::table::Table;
+use crate::value::Value;
+
+/// One sort key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    /// The key expression.
+    pub expr: Expr,
+    /// Descending order?
+    pub descending: bool,
+    /// Place nulls last (default: nulls first, as in the total order).
+    pub nulls_last: bool,
+}
+
+impl SortKey {
+    /// Ascending key over a column.
+    #[must_use]
+    pub fn asc(col: &str) -> SortKey {
+        SortKey { expr: Expr::col(col), descending: false, nulls_last: false }
+    }
+
+    /// Descending key over a column.
+    #[must_use]
+    pub fn desc(col: &str) -> SortKey {
+        SortKey { expr: Expr::col(col), descending: true, nulls_last: false }
+    }
+}
+
+/// Sort a table by the given keys (stable). Key expressions are evaluated
+/// once per row.
+pub fn order_by(table: &Table, keys: &[SortKey], funcs: &FuncRegistry) -> Result<Table> {
+    let bound: Vec<_> = keys
+        .iter()
+        .map(|k| k.expr.bind(table.scheme()))
+        .collect::<Result<_>>()?;
+    // precompute key tuples
+    let mut keyed: Vec<(Vec<Value>, &Vec<Value>)> = Vec::with_capacity(table.len());
+    for row in table.rows() {
+        let kv: Vec<Value> =
+            bound.iter().map(|b| b.eval(row, funcs)).collect::<Result<_>>()?;
+        keyed.push((kv, row));
+    }
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for (i, key) in keys.iter().enumerate() {
+            let (a, b) = (&ka[i], &kb[i]);
+            let ord = match (a.is_null(), b.is_null()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => {
+                    if key.nulls_last {
+                        std::cmp::Ordering::Greater
+                    } else {
+                        std::cmp::Ordering::Less
+                    }
+                }
+                (false, true) => {
+                    if key.nulls_last {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    }
+                }
+                (false, false) => {
+                    let o = a.total_cmp(b);
+                    if key.descending {
+                        o.reverse()
+                    } else {
+                        o
+                    }
+                }
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(Table::new(
+        table.scheme().clone(),
+        keyed.into_iter().map(|(_, r)| r.clone()).collect(),
+    ))
+}
+
+/// The first `n` rows of a table.
+#[must_use]
+pub fn limit(table: &Table, n: usize) -> Table {
+    Table::new(
+        table.scheme().clone(),
+        table.rows().iter().take(n).cloned().collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use crate::relation::RelationBuilder;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        RelationBuilder::new("R")
+            .attr("name", DataType::Str)
+            .attr("age", DataType::Int)
+            .row(vec!["Maya".into(), 4i64.into()])
+            .row(vec!["Anna".into(), 6i64.into()])
+            .row(vec!["Ben".into(), 9i64.into()])
+            .row(vec!["Tom".into(), Value::Null])
+            .build()
+            .unwrap()
+            .to_table("R")
+    }
+
+    fn funcs() -> FuncRegistry {
+        FuncRegistry::with_builtins()
+    }
+
+    #[test]
+    fn ascending_with_nulls_first() {
+        let out = order_by(&table(), &[SortKey::asc("R.age")], &funcs()).unwrap();
+        let names: Vec<String> = out.rows().iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(names, vec!["Tom", "Maya", "Anna", "Ben"]);
+    }
+
+    #[test]
+    fn descending_with_nulls_last() {
+        let key = SortKey { nulls_last: true, ..SortKey::desc("R.age") };
+        let out = order_by(&table(), &[key], &funcs()).unwrap();
+        let names: Vec<String> = out.rows().iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(names, vec!["Ben", "Anna", "Maya", "Tom"]);
+    }
+
+    #[test]
+    fn expression_keys_and_tie_breaks() {
+        // sort by age bucket (CASE), then name
+        let bucket = parse_expr(
+            "CASE WHEN R.age < 7 THEN 'young' ELSE 'old' END",
+        )
+        .unwrap();
+        let keys = [
+            SortKey { expr: bucket, descending: false, nulls_last: true },
+            SortKey::asc("R.name"),
+        ];
+        let out = order_by(&table(), &keys, &funcs()).unwrap();
+        let names: Vec<String> = out.rows().iter().map(|r| r[0].to_string()).collect();
+        // buckets: old {Ben, Tom(null->else 'old')}, young {Anna, Maya}
+        assert_eq!(names, vec!["Ben", "Tom", "Anna", "Maya"]);
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let mut t = table();
+        t.push(vec!["Zed".into(), 4i64.into()]);
+        let out = order_by(&t, &[SortKey::asc("R.age")], &funcs()).unwrap();
+        let names: Vec<String> = out.rows().iter().map(|r| r[0].to_string()).collect();
+        // Maya appears before Zed (both age 4, original order preserved)
+        let maya = names.iter().position(|n| n == "Maya").unwrap();
+        let zed = names.iter().position(|n| n == "Zed").unwrap();
+        assert!(maya < zed);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let out = limit(&table(), 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(limit(&table(), 100).len(), 4);
+        assert_eq!(limit(&table(), 0).len(), 0);
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        assert!(order_by(&table(), &[SortKey::asc("R.nope")], &funcs()).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Tuple subsumption and subsumption removal (paper Def 3.8).
+//!
+//! A tuple `t1` **subsumes** `t2` (same scheme) when `t1[A] = t2[A]` for
+//! every attribute `A` on which `t2` is non-null; the subsumption is
+//! **strict** when `t1 ≠ t2`. The minimum union operator removes strictly
+//! subsumed tuples — they are redundant, repeating information carried by a
+//! more complete tuple (paper Sec 3.2).
+//!
+//! Two algorithms are provided:
+//!
+//! * [`remove_subsumed_naive`] — the definitional `O(n²)` pairwise check,
+//!   kept as the reference implementation;
+//! * [`remove_subsumed_partitioned`] — partitions tuples by their non-null
+//!   mask; `t1` can only strictly subsume `t2` when
+//!   `mask(t2) ⊊ mask(t1)`, so only mask pairs in strict-subset relation
+//!   are probed, via a hash index on the subsumee-mask projection.
+//!
+//! Benchmark **B2** (`cargo bench -p clio-bench --bench subsumption`)
+//! compares them; a property test asserts they agree.
+
+use std::collections::HashMap;
+
+use crate::bitset::Bitset;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Algorithm selector for subsumption removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SubsumptionAlgo {
+    /// Definitional `O(n²)` pairwise comparison.
+    Naive,
+    /// Null-mask partitioning + hash probing (default).
+    #[default]
+    Partitioned,
+}
+
+/// Does `t1` subsume `t2`? Both rows must have the same arity.
+#[must_use]
+pub fn subsumes(t1: &[Value], t2: &[Value]) -> bool {
+    debug_assert_eq!(t1.len(), t2.len());
+    t1.iter().zip(t2).all(|(a, b)| b.is_null() || a == b)
+}
+
+/// Does `t1` strictly subsume `t2`?
+#[must_use]
+pub fn strictly_subsumes(t1: &[Value], t2: &[Value]) -> bool {
+    t1 != t2 && subsumes(t1, t2)
+}
+
+/// Remove strictly subsumed rows (and exact duplicates) from `table`,
+/// preserving first-occurrence order of the survivors.
+pub fn remove_subsumed(table: &mut Table, algo: SubsumptionAlgo) {
+    match algo {
+        SubsumptionAlgo::Naive => remove_subsumed_naive(table),
+        SubsumptionAlgo::Partitioned => remove_subsumed_partitioned(table),
+    }
+}
+
+/// Reference implementation: pairwise `O(n²)` scan.
+pub fn remove_subsumed_naive(table: &mut Table) {
+    table.dedup();
+    let rows = table.rows();
+    let n = rows.len();
+    let mut keep = vec![true; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && keep[i] && strictly_subsumes(&rows[j], &rows[i]) {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    retain_by_mask(table, &keep);
+}
+
+/// Optimized implementation: group rows by non-null mask; for each strict
+/// mask-subset pair `(m_small, m_big)`, probe a hash index of the big
+/// group's rows projected onto `m_small`'s positions.
+pub fn remove_subsumed_partitioned(table: &mut Table) {
+    table.dedup();
+    let arity = table.scheme().arity();
+    let rows = table.rows();
+    let n = rows.len();
+
+    // group row indexes by non-null mask
+    let mut groups: HashMap<Bitset, Vec<usize>> = HashMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        let mut mask = Bitset::new(arity);
+        for (k, v) in row.iter().enumerate() {
+            if !v.is_null() {
+                mask.set(k);
+            }
+        }
+        groups.entry(mask).or_default().push(i);
+    }
+
+    let masks: Vec<&Bitset> = groups.keys().collect();
+    let mut keep = vec![true; n];
+
+    for small in &masks {
+        let positions: Vec<usize> = small.iter_ones().collect();
+        // Build the set of projections of all rows in strictly-larger groups.
+        let mut projections: HashMap<Vec<&Value>, ()> = HashMap::new();
+        for big in &masks {
+            if small.is_strict_subset(big) {
+                for &ri in &groups[*big] {
+                    let proj: Vec<&Value> = positions.iter().map(|&p| &rows[ri][p]).collect();
+                    projections.insert(proj, ());
+                }
+            }
+        }
+        if projections.is_empty() {
+            continue;
+        }
+        for &ri in &groups[*small] {
+            let proj: Vec<&Value> = positions.iter().map(|&p| &rows[ri][p]).collect();
+            if projections.contains_key(&proj) {
+                keep[ri] = false;
+            }
+        }
+    }
+
+    retain_by_mask(table, &keep);
+}
+
+fn retain_by_mask(table: &mut Table, keep: &[bool]) {
+    let mut i = 0;
+    table.rows_mut().retain(|_| {
+        let k = keep[i];
+        i += 1;
+        k
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Scheme};
+    use crate::value::DataType;
+
+    fn scheme(n: usize) -> Scheme {
+        Scheme::new(
+            (0..n)
+                .map(|i| Column::new("R", format!("a{i}"), DataType::Str))
+                .collect(),
+        )
+    }
+
+    fn v(s: &str) -> Value {
+        if s == "-" {
+            Value::Null
+        } else {
+            Value::str(s)
+        }
+    }
+
+    fn table(rows: &[&[&str]]) -> Table {
+        let arity = rows.first().map_or(0, |r| r.len());
+        Table::new(
+            scheme(arity),
+            rows.iter().map(|r| r.iter().map(|s| v(s)).collect()).collect(),
+        )
+    }
+
+    #[test]
+    fn subsumes_basic() {
+        assert!(subsumes(&[v("a"), v("b")], &[v("a"), v("-")]));
+        assert!(!subsumes(&[v("a"), v("b")], &[v("x"), v("-")]));
+        assert!(subsumes(&[v("a"), v("-")], &[v("a"), v("-")]));
+        assert!(!strictly_subsumes(&[v("a"), v("-")], &[v("a"), v("-")]));
+        assert!(strictly_subsumes(&[v("a"), v("b")], &[v("a"), v("-")]));
+        // subsumption is one-directional
+        assert!(!subsumes(&[v("a"), v("-")], &[v("a"), v("b")]));
+    }
+
+    #[test]
+    fn paper_figure7_u_subsumed_by_v() {
+        // u = Children+Parents association padded with nulls on PhoneDir,
+        // v = the full association; v strictly subsumes u.
+        let u = [v("002"), v("Maya"), v("202"), v("-"), v("-")];
+        let w = [v("002"), v("Maya"), v("202"), v("202"), v("555")];
+        assert!(strictly_subsumes(&w, &u));
+    }
+
+    #[test]
+    fn removal_keeps_maximal_rows() {
+        for algo in [SubsumptionAlgo::Naive, SubsumptionAlgo::Partitioned] {
+            let mut t = table(&[
+                &["a", "b", "-"],
+                &["a", "b", "c"],
+                &["x", "-", "-"],
+                &["-", "-", "z"],
+            ]);
+            remove_subsumed(&mut t, algo);
+            assert_eq!(t.len(), 3, "{algo:?}");
+            assert!(t.rows().iter().all(|r| r[0] != v("a") || !r[2].is_null()));
+        }
+    }
+
+    #[test]
+    fn exact_duplicates_are_collapsed() {
+        for algo in [SubsumptionAlgo::Naive, SubsumptionAlgo::Partitioned] {
+            let mut t = table(&[&["a", "b"], &["a", "b"], &["c", "-"]]);
+            remove_subsumed(&mut t, algo);
+            assert_eq!(t.len(), 2, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn incomparable_rows_all_survive() {
+        for algo in [SubsumptionAlgo::Naive, SubsumptionAlgo::Partitioned] {
+            let mut t = table(&[&["a", "-"], &["-", "b"], &["c", "-"]]);
+            remove_subsumed(&mut t, algo);
+            assert_eq!(t.len(), 3, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn equal_masks_different_values_survive() {
+        for algo in [SubsumptionAlgo::Naive, SubsumptionAlgo::Partitioned] {
+            let mut t = table(&[&["a", "-"], &["b", "-"]]);
+            remove_subsumed(&mut t, algo);
+            assert_eq!(t.len(), 2, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn chains_of_subsumption_leave_only_top() {
+        for algo in [SubsumptionAlgo::Naive, SubsumptionAlgo::Partitioned] {
+            let mut t = table(&[
+                &["a", "-", "-"],
+                &["a", "b", "-"],
+                &["a", "b", "c"],
+            ]);
+            remove_subsumed(&mut t, algo);
+            assert_eq!(t.len(), 1, "{algo:?}");
+            assert_eq!(t.rows()[0][2], v("c"));
+        }
+    }
+
+    #[test]
+    fn order_of_survivors_is_preserved() {
+        let mut t = table(&[&["z", "-"], &["a", "b"], &["z", "y"]]);
+        remove_subsumed(&mut t, SubsumptionAlgo::Partitioned);
+        assert_eq!(t.rows()[0][0], v("a"));
+        assert_eq!(t.rows()[1][0], v("z"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn empty_table_is_fine() {
+        for algo in [SubsumptionAlgo::Naive, SubsumptionAlgo::Partitioned] {
+            let mut t = table(&[]);
+            remove_subsumed(&mut t, algo);
+            assert!(t.is_empty());
+        }
+    }
+}

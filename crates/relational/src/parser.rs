@@ -1,0 +1,859 @@
+//! Lexer and recursive-descent parser for the predicate / correspondence
+//! expression language.
+//!
+//! The surface syntax is the SQL fragment the paper writes its predicates
+//! in: `C.age < 7`, `Children.mid = Parents.ID`, `Kids.ID IS NOT NULL`,
+//! `concat(Ph.type, ',', Ph.number)`, `P.salary + P2.salary`.
+//!
+//! Grammar (lowest to highest precedence):
+//!
+//! ```text
+//! expr    := and ( OR and )*
+//! and     := not ( AND not )*
+//! not     := NOT not | cmp
+//! cmp     := add ( (= | <> | != | < | <= | > | >=) add
+//!               | IS [NOT] NULL
+//!               | [NOT] LIKE add
+//!               | [NOT] IN ( expr [, expr]* )
+//!               | [NOT] BETWEEN add AND add )?
+//! add     := mul ( (+ | - | ||) mul )*
+//! mul     := unary ( (* | /) unary )*
+//! unary   := - unary | primary
+//! primary := NULL | TRUE | FALSE | number | 'string'
+//!          | ident [ . ident ] | ident ( args )
+//!          | CASE (WHEN expr THEN expr)+ [ELSE expr] END
+//!          | ( expr )
+//! ```
+
+use crate::error::{Error, Result};
+use crate::expr::{BinOp, Expr};
+use crate::schema::ColumnRef;
+use crate::value::Value;
+
+/// Parse a complete expression from text.
+///
+/// ```
+/// use clio_relational::parser::parse_expr;
+///
+/// let join = parse_expr("Children.mid = Parents.ID").unwrap();
+/// assert_eq!(join.qualifiers(), vec!["Children", "Parents"]);
+///
+/// let filter = parse_expr("C.age < 7 AND C.name IS NOT NULL").unwrap();
+/// assert_eq!(filter.to_string(), "(C.age < 7) AND (C.name IS NOT NULL)");
+///
+/// // errors carry byte offsets
+/// let err = parse_expr("C.age <").unwrap_err();
+/// assert!(err.to_string().contains("parse error"));
+/// ```
+pub fn parse_expr(input: &str) -> Result<Expr> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.parse_or()?;
+    if let Some(tok) = p.peek() {
+        return Err(Error::Parse {
+            pos: tok.pos,
+            message: format!("unexpected trailing input `{}`", tok.kind.describe()),
+        });
+    }
+    Ok(e)
+}
+
+/// Parse a comma-separated list of expressions (filter lists).
+pub fn parse_expr_list(input: &str) -> Result<Vec<Expr>> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    if p.peek().is_none() {
+        return Ok(out);
+    }
+    loop {
+        out.push(p.parse_or()?);
+        match p.peek() {
+            None => break,
+            Some(t) if t.kind == TokenKind::Comma => {
+                p.pos += 1;
+            }
+            Some(t) => {
+                return Err(Error::Parse {
+                    pos: t.pos,
+                    message: format!("expected `,`, found `{}`", t.kind.describe()),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum TokenKind {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // symbols
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    ConcatOp,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    // keywords
+    And,
+    Or,
+    Not,
+    Is,
+    Null,
+    Like,
+    True,
+    False,
+    In,
+    Between,
+    Case,
+    When,
+    Then,
+    Else,
+    End,
+}
+
+impl TokenKind {
+    fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => s.clone(),
+            TokenKind::Int(i) => i.to_string(),
+            TokenKind::Float(f) => f.to_string(),
+            TokenKind::Str(s) => format!("'{s}'"),
+            TokenKind::Plus => "+".into(),
+            TokenKind::Minus => "-".into(),
+            TokenKind::Star => "*".into(),
+            TokenKind::Slash => "/".into(),
+            TokenKind::ConcatOp => "||".into(),
+            TokenKind::Eq => "=".into(),
+            TokenKind::Ne => "<>".into(),
+            TokenKind::Lt => "<".into(),
+            TokenKind::Le => "<=".into(),
+            TokenKind::Gt => ">".into(),
+            TokenKind::Ge => ">=".into(),
+            TokenKind::LParen => "(".into(),
+            TokenKind::RParen => ")".into(),
+            TokenKind::Comma => ",".into(),
+            TokenKind::Dot => ".".into(),
+            TokenKind::And => "AND".into(),
+            TokenKind::Or => "OR".into(),
+            TokenKind::Not => "NOT".into(),
+            TokenKind::Is => "IS".into(),
+            TokenKind::Null => "NULL".into(),
+            TokenKind::Like => "LIKE".into(),
+            TokenKind::True => "TRUE".into(),
+            TokenKind::False => "FALSE".into(),
+            TokenKind::In => "IN".into(),
+            TokenKind::Between => "BETWEEN".into(),
+            TokenKind::Case => "CASE".into(),
+            TokenKind::When => "WHEN".into(),
+            TokenKind::Then => "THEN".into(),
+            TokenKind::Else => "ELSE".into(),
+            TokenKind::End => "END".into(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Token {
+    kind: TokenKind,
+    pos: usize,
+}
+
+fn keyword(word: &str) -> Option<TokenKind> {
+    match word.to_ascii_uppercase().as_str() {
+        "AND" => Some(TokenKind::And),
+        "OR" => Some(TokenKind::Or),
+        "NOT" => Some(TokenKind::Not),
+        "IS" => Some(TokenKind::Is),
+        "NULL" => Some(TokenKind::Null),
+        "LIKE" => Some(TokenKind::Like),
+        "TRUE" => Some(TokenKind::True),
+        "FALSE" => Some(TokenKind::False),
+        "IN" => Some(TokenKind::In),
+        "BETWEEN" => Some(TokenKind::Between),
+        "CASE" => Some(TokenKind::Case),
+        "WHEN" => Some(TokenKind::When),
+        "THEN" => Some(TokenKind::Then),
+        "ELSE" => Some(TokenKind::Else),
+        "END" => Some(TokenKind::End),
+        _ => None,
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, pos });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, pos });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, pos });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token { kind: TokenKind::Dot, pos });
+                i += 1;
+            }
+            '+' => {
+                out.push(Token { kind: TokenKind::Plus, pos });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token { kind: TokenKind::Minus, pos });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { kind: TokenKind::Star, pos });
+                i += 1;
+            }
+            '/' => {
+                out.push(Token { kind: TokenKind::Slash, pos });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token { kind: TokenKind::Eq, pos });
+                i += 1;
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&'|') {
+                    out.push(Token { kind: TokenKind::ConcatOp, pos });
+                    i += 2;
+                } else {
+                    return Err(Error::Parse { pos, message: "expected `||`".into() });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token { kind: TokenKind::Ne, pos });
+                    i += 2;
+                } else {
+                    return Err(Error::Parse { pos, message: "expected `!=`".into() });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some('=') => {
+                    out.push(Token { kind: TokenKind::Le, pos });
+                    i += 2;
+                }
+                Some('>') => {
+                    out.push(Token { kind: TokenKind::Ne, pos });
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token { kind: TokenKind::Lt, pos });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token { kind: TokenKind::Ge, pos });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, pos });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(Error::Parse {
+                                pos,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(c) => {
+                            s.push(*c);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), pos });
+            }
+            c if c.is_ascii_digit() => {
+                let mut end = i;
+                let mut is_float = false;
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                // a fractional part requires a digit after '.', so that
+                // `R.1x` style errors are caught and `2.attr` never lexes
+                if end < bytes.len()
+                    && bytes[end] == '.'
+                    && bytes.get(end + 1).is_some_and(char::is_ascii_digit)
+                {
+                    is_float = true;
+                    end += 1;
+                    while end < bytes.len() && bytes[end].is_ascii_digit() {
+                        end += 1;
+                    }
+                }
+                let text: String = bytes[i..end].iter().collect();
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| Error::Parse {
+                        pos,
+                        message: format!("invalid float `{text}`"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| Error::Parse {
+                        pos,
+                        message: format!("invalid integer `{text}`"),
+                    })?)
+                };
+                out.push(Token { kind, pos });
+                i = end;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut end = i;
+                while end < bytes.len() && (bytes[end].is_alphanumeric() || bytes[end] == '_') {
+                    end += 1;
+                }
+                let word: String = bytes[i..end].iter().collect();
+                let kind = keyword(&word).unwrap_or(TokenKind::Ident(word));
+                out.push(Token { kind, pos });
+                i = end;
+            }
+            other => {
+                return Err(Error::Parse {
+                    pos,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek().map(|t| &t.kind) == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            let (pos, found) = match self.peek() {
+                Some(t) => (t.pos, t.kind.describe()),
+                None => (usize::MAX, "end of input".into()),
+            };
+            Err(Error::Parse {
+                pos,
+                message: format!("expected `{}`, found `{found}`", kind.describe()),
+            })
+        }
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> Error {
+        Error::Parse {
+            pos: self.peek().map_or(usize::MAX, |t| t.pos),
+            message: message.into(),
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat(&TokenKind::Or) {
+            let right = self.parse_and()?;
+            left = Expr::binary(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat(&TokenKind::And) {
+            let right = self.parse_not()?;
+            left = Expr::binary(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Not) {
+            Ok(Expr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_cmp()
+        }
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr> {
+        let left = self.parse_add()?;
+        let op = match self.peek().map(|t| &t.kind) {
+            Some(TokenKind::Eq) => Some(BinOp::Eq),
+            Some(TokenKind::Ne) => Some(BinOp::Ne),
+            Some(TokenKind::Lt) => Some(BinOp::Lt),
+            Some(TokenKind::Le) => Some(BinOp::Le),
+            Some(TokenKind::Gt) => Some(BinOp::Gt),
+            Some(TokenKind::Ge) => Some(BinOp::Ge),
+            Some(TokenKind::Like) => Some(BinOp::Like),
+            Some(TokenKind::Is) => {
+                self.pos += 1;
+                let negated = self.eat(&TokenKind::Not);
+                self.expect(&TokenKind::Null)?;
+                return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            }
+            Some(TokenKind::In) => {
+                self.pos += 1;
+                return self.parse_in_tail(left, false);
+            }
+            Some(TokenKind::Between) => {
+                self.pos += 1;
+                return self.parse_between_tail(left, false);
+            }
+            Some(TokenKind::Not) => {
+                // NOT LIKE / NOT IN / NOT BETWEEN
+                self.pos += 1;
+                if self.eat(&TokenKind::In) {
+                    return self.parse_in_tail(left, true);
+                }
+                if self.eat(&TokenKind::Between) {
+                    return self.parse_between_tail(left, true);
+                }
+                self.expect(&TokenKind::Like)?;
+                let right = self.parse_add()?;
+                return Ok(Expr::Not(Box::new(Expr::binary(BinOp::Like, left, right))));
+            }
+            _ => None,
+        };
+        match op {
+            None => Ok(left),
+            Some(op) => {
+                self.pos += 1;
+                let right = self.parse_add()?;
+                Ok(Expr::binary(op, left, right))
+            }
+        }
+    }
+
+    /// `IN ( expr [, expr]* )` — the opening paren is still pending.
+    fn parse_in_tail(&mut self, left: Expr, negated: bool) -> Result<Expr> {
+        self.expect(&TokenKind::LParen)?;
+        let mut list = Vec::new();
+        loop {
+            list.push(self.parse_or()?);
+            if self.eat(&TokenKind::RParen) {
+                break;
+            }
+            self.expect(&TokenKind::Comma)?;
+        }
+        Ok(Expr::InList { expr: Box::new(left), list, negated })
+    }
+
+    /// `BETWEEN add AND add` — bounds parse at `add` level so the `AND`
+    /// separator is unambiguous.
+    fn parse_between_tail(&mut self, left: Expr, negated: bool) -> Result<Expr> {
+        let low = self.parse_add()?;
+        self.expect(&TokenKind::And)?;
+        let high = self.parse_add()?;
+        Ok(Expr::Between {
+            expr: Box::new(left),
+            low: Box::new(low),
+            high: Box::new(high),
+            negated,
+        })
+    }
+
+    fn parse_add(&mut self) -> Result<Expr> {
+        let mut left = self.parse_mul()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                Some(TokenKind::ConcatOp) => BinOp::Concat,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_mul()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Star) => BinOp::Mul,
+                Some(TokenKind::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            Ok(Expr::Neg(Box::new(self.parse_unary()?)))
+        } else {
+            self.parse_primary()
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        let tok = match self.peek() {
+            Some(t) => t.clone(),
+            None => return Err(self.err_here("unexpected end of input")),
+        };
+        match tok.kind {
+            TokenKind::Null => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Null))
+            }
+            TokenKind::True => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Bool(true)))
+            }
+            TokenKind::False => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Bool(false)))
+            }
+            TokenKind::Int(i) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            TokenKind::Float(f) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Float(f)))
+            }
+            TokenKind::Str(s) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            TokenKind::LParen => {
+                self.pos += 1;
+                let e = self.parse_or()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Case => {
+                self.pos += 1;
+                let mut branches = Vec::new();
+                while self.eat(&TokenKind::When) {
+                    let cond = self.parse_or()?;
+                    self.expect(&TokenKind::Then)?;
+                    let value = self.parse_or()?;
+                    branches.push((cond, value));
+                }
+                if branches.is_empty() {
+                    return Err(self.err_here("CASE requires at least one WHEN branch"));
+                }
+                let otherwise = if self.eat(&TokenKind::Else) {
+                    Some(Box::new(self.parse_or()?))
+                } else {
+                    None
+                };
+                self.expect(&TokenKind::End)?;
+                Ok(Expr::Case { branches, otherwise })
+            }
+            TokenKind::Ident(name) => {
+                self.pos += 1;
+                if self.eat(&TokenKind::LParen) {
+                    // function call
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.parse_or()?);
+                            if self.eat(&TokenKind::RParen) {
+                                break;
+                            }
+                            self.expect(&TokenKind::Comma)?;
+                        }
+                    }
+                    Ok(Expr::Func { name, args })
+                } else if self.eat(&TokenKind::Dot) {
+                    match self.peek().map(|t| t.kind.clone()) {
+                        Some(TokenKind::Ident(attr)) => {
+                            self.pos += 1;
+                            Ok(Expr::Column(ColumnRef::qualified(name, attr)))
+                        }
+                        _ => Err(self.err_here("expected attribute name after `.`")),
+                    }
+                } else {
+                    Ok(Expr::Column(ColumnRef::bare(name)))
+                }
+            }
+            other => Err(Error::Parse {
+                pos: tok.pos,
+                message: format!("unexpected token `{}`", other.describe()),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    fn p(s: &str) -> Expr {
+        parse_expr(s).unwrap()
+    }
+
+    #[test]
+    fn parses_paper_join_predicates() {
+        assert_eq!(p("Children.mid = Parents.ID"), Expr::col_eq("Children.mid", "Parents.ID"));
+        assert_eq!(p("C.fid = P.ID"), Expr::col_eq("C.fid", "P.ID"));
+    }
+
+    #[test]
+    fn parses_paper_filters() {
+        assert_eq!(
+            p("C.age < 7"),
+            Expr::binary(BinOp::Lt, Expr::col("C.age"), Expr::lit(7i64))
+        );
+        assert_eq!(
+            p("Kids.FamilyIncome < 100000"),
+            Expr::binary(BinOp::Lt, Expr::col("Kids.FamilyIncome"), Expr::lit(100_000i64))
+        );
+    }
+
+    #[test]
+    fn parses_is_null_family() {
+        assert_eq!(
+            p("Kids.ID IS NOT NULL"),
+            Expr::IsNull { expr: Box::new(Expr::col("Kids.ID")), negated: true }
+        );
+        assert_eq!(
+            p("C.mid is null"),
+            Expr::IsNull { expr: Box::new(Expr::col("C.mid")), negated: false }
+        );
+    }
+
+    #[test]
+    fn precedence_and_over_or_cmp_over_and() {
+        let e = p("a = 1 OR b = 2 AND c = 3");
+        // OR(a=1, AND(b=2, c=3))
+        match e {
+            Expr::Binary { op: BinOp::Or, right, .. } => match *right {
+                Expr::Binary { op: BinOp::And, .. } => {}
+                other => panic!("expected AND on the right, got {other}"),
+            },
+            other => panic!("expected OR at top, got {other}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = p("P.salary + P2.salary * 2");
+        match e {
+            Expr::Binary { op: BinOp::Add, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("expected +, got {other}"),
+        }
+        // parens override
+        let e = p("(P.salary + P2.salary) * 2");
+        assert!(matches!(e, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn family_income_correspondence_parses() {
+        // v: Parents.Salary + Parents2.Salary -> Kids.FamilyIncome
+        let e = p("Parents.salary + Parents2.salary");
+        assert_eq!(e.qualifiers(), vec!["Parents", "Parents2"]);
+    }
+
+    #[test]
+    fn function_calls_and_nesting() {
+        let e = p("concat(Ph.type, ',', Ph.number)");
+        match &e {
+            Expr::Func { name, args } => {
+                assert_eq!(name, "concat");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("expected function, got {other}"),
+        }
+        let e = p("upper(concat(a, b))");
+        assert!(matches!(e, Expr::Func { .. }));
+        let e = p("coalesce()");
+        assert!(matches!(e, Expr::Func { ref args, .. } if args.is_empty()));
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(p("'O''Hare'"), Expr::lit("O'Hare"));
+        assert_eq!(p("name = 'Maya'"), Expr::binary(BinOp::Eq, Expr::col("name"), Expr::lit("Maya")));
+    }
+
+    #[test]
+    fn not_and_not_like() {
+        assert_eq!(
+            p("NOT a = 1"),
+            Expr::Not(Box::new(Expr::binary(BinOp::Eq, Expr::col("a"), Expr::lit(1i64))))
+        );
+        let e = p("name NOT LIKE 'M%'");
+        assert!(matches!(e, Expr::Not(_)));
+        let e = p("name LIKE 'M%'");
+        assert!(matches!(e, Expr::Binary { op: BinOp::Like, .. }));
+    }
+
+    #[test]
+    fn ne_spellings() {
+        assert_eq!(p("a <> 1"), p("a != 1"));
+    }
+
+    #[test]
+    fn concat_operator_parses() {
+        let e = p("Ph.type || ',' || Ph.number");
+        assert!(matches!(e, Expr::Binary { op: BinOp::Concat, .. }));
+    }
+
+    #[test]
+    fn unary_minus_and_floats() {
+        assert_eq!(p("-3"), Expr::Neg(Box::new(Expr::lit(3i64))));
+        assert_eq!(p("2.5"), Expr::lit(2.5f64));
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let err = parse_expr("a = ").unwrap_err();
+        assert!(matches!(err, Error::Parse { .. }));
+        let err = parse_expr("a = 'unterminated").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+        let err = parse_expr("a # b").unwrap_err();
+        assert!(err.to_string().contains('#'));
+        assert!(parse_expr("(a = 1").is_err());
+        assert!(parse_expr("a = 1 extra junk +").is_err());
+    }
+
+    #[test]
+    fn expr_list_parsing() {
+        let list = parse_expr_list("C.age < 7, Kids.ID IS NOT NULL").unwrap();
+        assert_eq!(list.len(), 2);
+        assert!(parse_expr_list("").unwrap().is_empty());
+        assert!(parse_expr_list("a = 1,").is_err());
+    }
+
+    #[test]
+    fn round_trip_display_reparses_to_same_ast() {
+        for src in [
+            "C.mid = P.ID",
+            "C.age < 7 AND Kids.ID IS NOT NULL",
+            "concat(Ph.type, ',', Ph.number)",
+            "NOT (a = 1) OR b IS NULL",
+            "P.salary + P2.salary",
+            "(x + 1) * 2 = 6",
+            "name LIKE 'M%'",
+        ] {
+            let e1 = p(src);
+            let e2 = p(&e1.to_string());
+            assert_eq!(e1, e2, "round-trip failed for `{src}`");
+        }
+    }
+
+    #[test]
+    fn parses_in_lists() {
+        let e = p("C.ID IN ('001', '002')");
+        assert!(matches!(e, Expr::InList { negated: false, ref list, .. } if list.len() == 2));
+        let e = p("C.ID NOT IN ('001')");
+        assert!(matches!(e, Expr::InList { negated: true, .. }));
+        assert!(parse_expr("C.ID IN ()").is_err());
+        assert!(parse_expr("C.ID IN ('a',)").is_err());
+    }
+
+    #[test]
+    fn parses_between() {
+        let e = p("C.age BETWEEN 4 AND 7");
+        assert!(matches!(e, Expr::Between { negated: false, .. }));
+        let e = p("C.age NOT BETWEEN 4 AND 7");
+        assert!(matches!(e, Expr::Between { negated: true, .. }));
+        // the AND after the BETWEEN bounds still works as conjunction
+        let e = p("C.age BETWEEN 4 AND 7 AND C.ID = '1'");
+        assert!(matches!(e, Expr::Binary { op: BinOp::And, .. }));
+        assert!(parse_expr("C.age BETWEEN 4").is_err());
+    }
+
+    #[test]
+    fn parses_case_expressions() {
+        let e = p("CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' ELSE 'many' END");
+        match &e {
+            Expr::Case { branches, otherwise } => {
+                assert_eq!(branches.len(), 2);
+                assert!(otherwise.is_some());
+            }
+            other => panic!("expected CASE, got {other}"),
+        }
+        let e = p("CASE WHEN a IS NULL THEN 0 END");
+        assert!(matches!(e, Expr::Case { ref otherwise, .. } if otherwise.is_none()));
+        // nested
+        let e = p("CASE WHEN a = 1 THEN CASE WHEN b = 2 THEN 3 END ELSE 4 END");
+        assert!(matches!(e, Expr::Case { .. }));
+        assert!(parse_expr("CASE ELSE 1 END").is_err());
+        assert!(parse_expr("CASE WHEN a THEN 1").is_err());
+    }
+
+    #[test]
+    fn new_forms_round_trip() {
+        for src in [
+            "C.ID IN ('001', '002')",
+            "C.ID NOT IN ('001')",
+            "C.age BETWEEN 4 AND 7",
+            "C.age NOT BETWEEN 4 AND 7",
+            "CASE WHEN a = 1 THEN 'one' ELSE 'many' END",
+            "CASE WHEN a IS NULL THEN 0 END",
+        ] {
+            let e1 = p(src);
+            let e2 = p(&e1.to_string());
+            assert_eq!(e1, e2, "round-trip failed for `{src}`");
+        }
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(p("a and b or not c"), p("a AND b OR NOT c"));
+        assert_eq!(p("x Is NoT nUlL"), p("x IS NOT NULL"));
+    }
+}

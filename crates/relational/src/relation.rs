@@ -1,0 +1,304 @@
+//! Stored relations: a [`RelSchema`] plus a set of tuples.
+//!
+//! Following the paper's preliminaries, a relation is a *named, finite set
+//! of tuples*; we additionally enforce the paper's standing assumption that
+//! no stored tuple is null on **all** attributes ("the relations in the
+//! source database do not contain any tuples that are null on all
+//! attributes").
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::schema::{Attribute, RelSchema, Scheme};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+
+/// A stored relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: RelSchema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// An empty relation with the given scheme.
+    #[must_use]
+    pub fn empty(schema: RelSchema) -> Relation {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// Build a relation and insert all `rows`, validating each.
+    pub fn with_rows(schema: RelSchema, rows: Vec<Vec<Value>>) -> Result<Relation> {
+        let mut rel = Relation::empty(schema);
+        for row in rows {
+            rel.insert(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation scheme.
+    #[must_use]
+    pub fn schema(&self) -> &RelSchema {
+        &self.schema
+    }
+
+    /// The relation name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// The stored tuples, in insertion order.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Number of tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the relation empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a tuple. Validates arity, types, `NOT NULL` attributes, the
+    /// all-null prohibition, and set semantics (exact duplicates are
+    /// silently ignored, as relations are sets).
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(Error::ArityMismatch { expected: self.schema.arity(), got: row.len() });
+        }
+        if row.iter().all(Value::is_null) {
+            return Err(Error::Invalid(format!(
+                "all-null tuple rejected in relation `{}` (paper Sec 3 assumption)",
+                self.name()
+            )));
+        }
+        for (v, a) in row.iter().zip(self.schema.attrs()) {
+            if v.is_null() && a.not_null {
+                return Err(Error::NullViolation {
+                    relation: self.name().to_owned(),
+                    attribute: a.name.clone(),
+                });
+            }
+            if !v.conforms_to(a.ty) {
+                return Err(Error::TypeMismatch(format!(
+                    "value `{v}` does not conform to {}.{}: {}",
+                    self.name(),
+                    a.name,
+                    a.ty
+                )));
+            }
+        }
+        if !self.rows.contains(&row) {
+            self.rows.push(row);
+        }
+        Ok(())
+    }
+
+    /// The value at `(row, attr)`.
+    pub fn value(&self, row: usize, attr: &str) -> Result<&Value> {
+        let idx = self.schema.index_of(attr)?;
+        self.rows
+            .get(row)
+            .map(|r| &r[idx])
+            .ok_or_else(|| Error::Invalid(format!("row {row} out of bounds in `{}`", self.name())))
+    }
+
+    /// All values of one attribute, in row order.
+    pub fn column(&self, attr: &str) -> Result<Vec<&Value>> {
+        let idx = self.schema.index_of(attr)?;
+        Ok(self.rows.iter().map(|r| &r[idx]).collect())
+    }
+
+    /// Find rows where `attr == value` under SQL equality.
+    pub fn rows_where(&self, attr: &str, value: &Value) -> Result<Vec<&Vec<Value>>> {
+        let idx = self.schema.index_of(attr)?;
+        Ok(self
+            .rows
+            .iter()
+            .filter(|r| r[idx].sql_eq(value).passes())
+            .collect())
+    }
+
+    /// Convert to a derived [`Table`] under the given alias.
+    #[must_use]
+    pub fn to_table(&self, alias: &str) -> Table {
+        Table::new(Scheme::of_relation(&self.schema, alias), self.rows.clone())
+    }
+
+    /// A renamed copy (relation copies in mappings, e.g. `Parents2`).
+    #[must_use]
+    pub fn renamed(&self, new_name: &str) -> Relation {
+        Relation { schema: self.schema.renamed(new_name), rows: self.rows.clone() }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table(self.schema.name()))
+    }
+}
+
+/// Fluent builder for relations in tests, examples, and the paper dataset.
+///
+/// ```
+/// use clio_relational::relation::RelationBuilder;
+/// use clio_relational::value::DataType;
+///
+/// let rel = RelationBuilder::new("Children")
+///     .attr_not_null("ID", DataType::Str)
+///     .attr("name", DataType::Str)
+///     .attr("age", DataType::Int)
+///     .row(vec!["001".into(), "Anna".into(), 6i64.into()])
+///     .row(vec!["002".into(), "Maya".into(), 4i64.into()])
+///     .build()
+///     .unwrap();
+/// assert_eq!(rel.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RelationBuilder {
+    name: String,
+    attrs: Vec<Attribute>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl RelationBuilder {
+    /// Start a builder for relation `name`.
+    pub fn new(name: impl Into<String>) -> RelationBuilder {
+        RelationBuilder { name: name.into(), attrs: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Add a nullable attribute.
+    #[must_use]
+    pub fn attr(mut self, name: impl Into<String>, ty: DataType) -> Self {
+        self.attrs.push(Attribute::new(name, ty));
+        self
+    }
+
+    /// Add a `NOT NULL` attribute.
+    #[must_use]
+    pub fn attr_not_null(mut self, name: impl Into<String>, ty: DataType) -> Self {
+        self.attrs.push(Attribute::not_null(name, ty));
+        self
+    }
+
+    /// Add a tuple (validated at [`RelationBuilder::build`]).
+    #[must_use]
+    pub fn row(mut self, row: Vec<Value>) -> Self {
+        self.rows.push(row);
+        self
+    }
+
+    /// Validate and build the relation.
+    pub fn build(self) -> Result<Relation> {
+        let schema = RelSchema::new(self.name, self.attrs)?;
+        Relation::with_rows(schema, self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        RelationBuilder::new("Children")
+            .attr_not_null("ID", DataType::Str)
+            .attr("name", DataType::Str)
+            .attr("age", DataType::Int)
+            .row(vec!["001".into(), "Anna".into(), 6i64.into()])
+            .row(vec!["002".into(), "Maya".into(), 4i64.into()])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let rel = sample();
+        assert_eq!(rel.name(), "Children");
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.value(1, "name").unwrap(), &Value::str("Maya"));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut rel = sample();
+        assert!(matches!(
+            rel.insert(vec!["003".into(), "Ben".into()]),
+            Err(Error::ArityMismatch { expected: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn all_null_tuple_rejected() {
+        let schema = RelSchema::new("R", vec![Attribute::new("a", DataType::Int)]).unwrap();
+        let mut rel = Relation::empty(schema);
+        assert!(rel.insert(vec![Value::Null]).is_err());
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut rel = sample();
+        let err = rel.insert(vec![Value::Null, "Ben".into(), 5i64.into()]).unwrap_err();
+        assert!(matches!(err, Error::NullViolation { .. }));
+    }
+
+    #[test]
+    fn type_checked_on_insert() {
+        let mut rel = sample();
+        let err = rel.insert(vec!["003".into(), "Ben".into(), "five".into()]).unwrap_err();
+        assert!(matches!(err, Error::TypeMismatch(_)));
+    }
+
+    #[test]
+    fn null_allowed_in_nullable_attribute() {
+        let mut rel = sample();
+        rel.insert(vec!["003".into(), Value::Null, 5i64.into()]).unwrap();
+        assert_eq!(rel.len(), 3);
+        assert!(rel.value(2, "name").unwrap().is_null());
+    }
+
+    #[test]
+    fn set_semantics_deduplicates() {
+        let mut rel = sample();
+        rel.insert(vec!["001".into(), "Anna".into(), 6i64.into()]).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn rows_where_uses_sql_equality() {
+        let rel = sample();
+        let hits = rel.rows_where("ID", &Value::str("002")).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0][1], Value::str("Maya"));
+        // null probe matches nothing under SQL equality
+        let misses = rel.rows_where("name", &Value::Null).unwrap();
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn column_extraction() {
+        let rel = sample();
+        let ages: Vec<_> = rel.column("age").unwrap();
+        assert_eq!(ages, vec![&Value::Int(6), &Value::Int(4)]);
+    }
+
+    #[test]
+    fn to_table_qualifies_by_alias() {
+        let t = sample().to_table("C");
+        assert_eq!(t.scheme().columns()[0].qualified_name(), "C.ID");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn renamed_copy_shares_rows() {
+        let r2 = sample().renamed("Children2");
+        assert_eq!(r2.name(), "Children2");
+        assert_eq!(r2.len(), 2);
+    }
+}

@@ -1,0 +1,229 @@
+//! Expression simplification, safe under three-valued logic.
+//!
+//! Mapping operators build predicates mechanically (`Expr::conjunction`,
+//! instantiated join specs, copied filters), which leaves `TRUE AND x`
+//! and doubly-negated shapes behind. [`simplify`] normalizes them for
+//! display and SQL generation. Every rewrite is an *equivalence under
+//! Kleene logic* — identities that only hold in two-valued logic (like
+//! `x AND NOT x → FALSE`) are deliberately not applied.
+
+use crate::expr::{BinOp, Expr};
+use crate::value::Value;
+
+/// Simplify an expression. Guaranteed to evaluate identically (including
+/// error behaviour on the surviving subexpressions) on every row.
+#[must_use]
+pub fn simplify(e: &Expr) -> Expr {
+    match e {
+        Expr::Binary { op: BinOp::And, left, right } => {
+            let l = simplify(left);
+            let r = simplify(right);
+            match (&l, &r) {
+                // TRUE AND x == x ; FALSE AND x == FALSE (both 3VL-safe)
+                (Expr::Literal(Value::Bool(true)), _) => r,
+                (_, Expr::Literal(Value::Bool(true))) => l,
+                (Expr::Literal(Value::Bool(false)), _)
+                | (_, Expr::Literal(Value::Bool(false))) => Expr::lit(false),
+                _ => Expr::binary(BinOp::And, l, r),
+            }
+        }
+        Expr::Binary { op: BinOp::Or, left, right } => {
+            let l = simplify(left);
+            let r = simplify(right);
+            match (&l, &r) {
+                (Expr::Literal(Value::Bool(false)), _) => r,
+                (_, Expr::Literal(Value::Bool(false))) => l,
+                (Expr::Literal(Value::Bool(true)), _)
+                | (_, Expr::Literal(Value::Bool(true))) => Expr::lit(true),
+                _ => Expr::binary(BinOp::Or, l, r),
+            }
+        }
+        Expr::Not(inner) => {
+            let i = simplify(inner);
+            match i {
+                // NOT NOT x == x in Kleene logic
+                Expr::Not(x) => *x,
+                Expr::Literal(Value::Bool(b)) => Expr::lit(!b),
+                // NOT (x IS [NOT] NULL) == x IS [NOT] NULL flipped
+                Expr::IsNull { expr, negated } => Expr::IsNull { expr, negated: !negated },
+                other => Expr::Not(Box::new(other)),
+            }
+        }
+        Expr::Neg(inner) => {
+            let i = simplify(inner);
+            match i {
+                Expr::Neg(x) => *x,
+                Expr::Literal(Value::Int(n)) => Expr::lit(-n),
+                Expr::Literal(Value::Float(f)) => Expr::lit(-f),
+                other => Expr::Neg(Box::new(other)),
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let i = simplify(expr);
+            match &i {
+                // literals have a statically-known nullness
+                Expr::Literal(v) => Expr::lit(v.is_null() != *negated),
+                _ => Expr::IsNull { expr: Box::new(i), negated: *negated },
+            }
+        }
+        Expr::Binary { op, left, right } => {
+            Expr::binary(*op, simplify(left), simplify(right))
+        }
+        Expr::Func { name, args } => Expr::Func {
+            name: name.clone(),
+            args: args.iter().map(simplify).collect(),
+        },
+        Expr::Case { branches, otherwise } => {
+            // drop branches whose condition is literally FALSE; stop at a
+            // literally-TRUE condition (it always wins)
+            let mut new_branches = Vec::new();
+            let mut new_otherwise = otherwise.as_ref().map(|o| simplify(o));
+            for (c, v) in branches {
+                let c = simplify(c);
+                let v = simplify(v);
+                match c {
+                    Expr::Literal(Value::Bool(false)) => continue,
+                    Expr::Literal(Value::Bool(true)) => {
+                        new_otherwise = Some(v);
+                        break;
+                    }
+                    other => new_branches.push((other, v)),
+                }
+            }
+            match (new_branches.is_empty(), new_otherwise) {
+                (true, Some(o)) => o,
+                (true, None) => Expr::Literal(Value::Null),
+                (false, o) => Expr::Case {
+                    branches: new_branches,
+                    otherwise: o.map(Box::new),
+                },
+            }
+        }
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(simplify(expr)),
+            list: list.iter().map(simplify).collect(),
+            negated: *negated,
+        },
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(simplify(expr)),
+            low: Box::new(simplify(low)),
+            high: Box::new(simplify(high)),
+            negated: *negated,
+        },
+        Expr::Column(_) | Expr::Literal(_) => e.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::funcs::FuncRegistry;
+    use crate::parser::parse_expr;
+    use crate::schema::{Column, Scheme};
+    use crate::value::DataType;
+
+    fn s(input: &str) -> String {
+        simplify(&parse_expr(input).unwrap()).to_string()
+    }
+
+    #[test]
+    fn conjunction_identities() {
+        assert_eq!(s("TRUE AND a = 1"), "a = 1");
+        assert_eq!(s("a = 1 AND TRUE"), "a = 1");
+        assert_eq!(s("FALSE AND a = 1"), "FALSE");
+        assert_eq!(s("a = 1 AND FALSE"), "FALSE");
+        assert_eq!(s("TRUE AND TRUE AND a = 1"), "a = 1");
+    }
+
+    #[test]
+    fn disjunction_identities() {
+        assert_eq!(s("FALSE OR a = 1"), "a = 1");
+        assert_eq!(s("TRUE OR a = 1"), "TRUE");
+        assert_eq!(s("a = 1 OR FALSE"), "a = 1");
+    }
+
+    #[test]
+    fn negation_identities() {
+        assert_eq!(s("NOT NOT a = 1"), "a = 1");
+        assert_eq!(s("NOT TRUE"), "FALSE");
+        assert_eq!(s("NOT (a IS NULL)"), "a IS NOT NULL");
+        assert_eq!(s("NOT (a IS NOT NULL)"), "a IS NULL");
+        assert_eq!(s("--5"), "5");
+        assert_eq!(s("-5"), "-5");
+    }
+
+    #[test]
+    fn literal_nullness_folds() {
+        assert_eq!(s("NULL IS NULL"), "TRUE");
+        assert_eq!(s("1 IS NULL"), "FALSE");
+        assert_eq!(s("'x' IS NOT NULL"), "TRUE");
+        assert_eq!(s("a IS NULL"), "a IS NULL"); // columns untouched
+    }
+
+    #[test]
+    fn case_branch_pruning() {
+        assert_eq!(
+            s("CASE WHEN FALSE THEN 1 WHEN a = 2 THEN 2 ELSE 3 END"),
+            "CASE WHEN a = 2 THEN 2 ELSE 3 END"
+        );
+        assert_eq!(s("CASE WHEN TRUE THEN 1 ELSE 2 END"), "1");
+        assert_eq!(s("CASE WHEN FALSE THEN 1 END"), "NULL");
+        assert_eq!(
+            s("CASE WHEN a = 1 THEN 1 WHEN TRUE THEN 2 WHEN b = 3 THEN 3 END"),
+            "CASE WHEN a = 1 THEN 1 ELSE 2 END"
+        );
+    }
+
+    #[test]
+    fn unknown_preserving_shapes_are_not_folded() {
+        // x AND NOT x is Unknown when x is Unknown — must not fold to FALSE
+        assert_eq!(s("a = 1 AND NOT (a = 1)"), "(a = 1) AND (NOT (a = 1))");
+        // x OR NOT x likewise
+        assert_eq!(s("a = 1 OR NOT (a = 1)"), "(a = 1) OR (NOT (a = 1))");
+    }
+
+    #[test]
+    fn simplify_preserves_evaluation() {
+        let scheme = Scheme::new(vec![
+            Column::new("R", "a", DataType::Int),
+            Column::new("R", "b", DataType::Int),
+        ]);
+        let funcs = FuncRegistry::with_builtins();
+        let exprs = [
+            "TRUE AND R.a = 1",
+            "FALSE OR (R.a = 1 AND TRUE)",
+            "NOT NOT (R.a < R.b)",
+            "CASE WHEN FALSE THEN 0 WHEN R.a IS NULL THEN 1 ELSE 2 END",
+            "NOT (R.a IS NULL)",
+        ];
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::Int(1), Value::Int(2)],
+            vec![Value::Null, Value::Int(2)],
+            vec![Value::Int(3), Value::Null],
+        ];
+        for src in exprs {
+            let original = parse_expr(src).unwrap();
+            let simplified = simplify(&original);
+            for row in &rows {
+                assert_eq!(
+                    original.eval(&scheme, row, &funcs).unwrap(),
+                    simplified.eval(&scheme, row, &funcs).unwrap(),
+                    "{src} with {row:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        for src in [
+            "TRUE AND (FALSE OR a = 1)",
+            "NOT NOT NOT a = 1",
+            "CASE WHEN TRUE THEN 1 END",
+        ] {
+            let once = simplify(&parse_expr(src).unwrap());
+            let twice = simplify(&once);
+            assert_eq!(once, twice, "{src}");
+        }
+    }
+}

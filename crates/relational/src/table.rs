@@ -1,0 +1,215 @@
+//! Derived tables: the working representation of join results and data
+//! associations.
+//!
+//! A [`Table`] pairs a wide, qualified [`Scheme`] with rows. Unlike stored
+//! [`Relation`](crate::relation::Relation)s, tables permit all-null rows
+//! (padding during outer operations produces them transiently) and do not
+//! deduplicate on push — operators deduplicate where the algebra requires it.
+
+use std::fmt;
+
+use crate::display::render_table;
+use crate::error::Result;
+use crate::schema::{ColumnRef, Scheme};
+use crate::value::Value;
+
+/// A derived table: wide scheme + rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    scheme: Scheme,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Build from parts. Rows must match the scheme's arity; this is
+    /// asserted (operator code constructs rows, not end users).
+    #[must_use]
+    pub fn new(scheme: Scheme, rows: Vec<Vec<Value>>) -> Table {
+        debug_assert!(rows.iter().all(|r| r.len() == scheme.arity()));
+        Table { scheme, rows }
+    }
+
+    /// An empty table over `scheme`.
+    #[must_use]
+    pub fn empty(scheme: Scheme) -> Table {
+        Table { scheme, rows: Vec::new() }
+    }
+
+    /// The scheme.
+    #[must_use]
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
+    }
+
+    /// The rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Mutable access to the rows. Callers must keep every row at the
+    /// scheme's arity.
+    pub fn rows_mut(&mut self) -> &mut Vec<Vec<Value>> {
+        &mut self.rows
+    }
+
+    /// Consume into rows.
+    #[must_use]
+    pub fn into_rows(self) -> Vec<Vec<Value>> {
+        self.rows
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Push a row (no dedup).
+    pub fn push(&mut self, row: Vec<Value>) {
+        debug_assert_eq!(row.len(), self.scheme.arity());
+        self.rows.push(row);
+    }
+
+    /// Push a row only if an identical row is not already present.
+    pub fn push_distinct(&mut self, row: Vec<Value>) {
+        if !self.rows.contains(&row) {
+            self.rows.push(row);
+        }
+    }
+
+    /// Remove exact duplicate rows, preserving first-occurrence order.
+    pub fn dedup(&mut self) {
+        let mut seen: Vec<&Vec<Value>> = Vec::with_capacity(self.rows.len());
+        let mut keep = vec![false; self.rows.len()];
+        for (i, row) in self.rows.iter().enumerate() {
+            if !seen.contains(&row) {
+                seen.push(row);
+                keep[i] = true;
+            }
+        }
+        let mut i = 0;
+        self.rows.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
+    }
+
+    /// The value of `col` in row `row_idx`.
+    pub fn value(&self, row_idx: usize, col: &ColumnRef) -> Result<&Value> {
+        let idx = self.scheme.resolve(col)?;
+        Ok(&self.rows[row_idx][idx])
+    }
+
+    /// Sort rows by the total value order, column by column. Gives
+    /// deterministic output for golden tests and rendered figures.
+    pub fn sort_canonical(&mut self) {
+        self.rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let ord = x.total_cmp(y);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    /// Is `row` null on every column of the qualifier? Used to compute
+    /// coverage of data associations.
+    pub fn qualifier_is_all_null(&self, row_idx: usize, qualifier: &str) -> bool {
+        self.scheme
+            .indexes_of_qualifier(qualifier)
+            .iter()
+            .all(|&i| self.rows[row_idx][i].is_null())
+    }
+
+    /// Project row `row_idx` onto the columns of `sub` (which must be a
+    /// sub-scheme of this table's scheme).
+    pub fn project_row(&self, row_idx: usize, sub: &Scheme) -> Result<Vec<Value>> {
+        let pos = self.scheme.positions_of(sub)?;
+        Ok(pos.iter().map(|&i| self.rows[row_idx][i].clone()).collect())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&render_table(&self.scheme, &self.rows, &[]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use crate::value::DataType;
+
+    fn t() -> Table {
+        RelationBuilder::new("R")
+            .attr("a", DataType::Int)
+            .attr("b", DataType::Str)
+            .row(vec![2i64.into(), "y".into()])
+            .row(vec![1i64.into(), "x".into()])
+            .build()
+            .unwrap()
+            .to_table("R")
+    }
+
+    #[test]
+    fn value_lookup() {
+        let t = t();
+        assert_eq!(t.value(0, &ColumnRef::qualified("R", "b")).unwrap(), &Value::str("y"));
+        assert!(t.value(0, &ColumnRef::qualified("S", "b")).is_err());
+    }
+
+    #[test]
+    fn sort_canonical_orders_rows() {
+        let mut t = t();
+        t.sort_canonical();
+        assert_eq!(t.rows()[0][0], Value::Int(1));
+        assert_eq!(t.rows()[1][0], Value::Int(2));
+    }
+
+    #[test]
+    fn push_distinct_and_dedup() {
+        let mut t = t();
+        t.push_distinct(vec![1i64.into(), "x".into()]);
+        assert_eq!(t.len(), 2);
+        t.push(vec![1i64.into(), "x".into()]);
+        assert_eq!(t.len(), 3);
+        t.dedup();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn qualifier_null_detection() {
+        let mut t = t();
+        t.push(vec![Value::Null, Value::Null]);
+        assert!(t.qualifier_is_all_null(2, "R"));
+        assert!(!t.qualifier_is_all_null(0, "R"));
+    }
+
+    #[test]
+    fn project_row_onto_sub_scheme() {
+        let t = t();
+        let sub = Scheme::new(vec![t.scheme().columns()[1].clone()]);
+        assert_eq!(t.project_row(0, &sub).unwrap(), vec![Value::str("y")]);
+    }
+
+    #[test]
+    fn display_contains_headers_and_null_dash() {
+        let mut t = t();
+        t.push(vec![Value::Null, "z".into()]);
+        let s = t.to_string();
+        assert!(s.contains("R.a"));
+        assert!(s.contains("R.b"));
+        assert!(s.contains('-'));
+    }
+}

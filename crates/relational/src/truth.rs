@@ -1,0 +1,169 @@
+//! SQL three-valued logic.
+//!
+//! Predicates over tuples containing nulls evaluate to one of three truth
+//! values. Following SQL (and the paper's Section 3 preliminaries), a filter
+//! keeps a tuple only when the predicate evaluates to [`Truth::True`]; both
+//! `False` and `Unknown` reject it. This is what makes SQL join predicates
+//! *strong* in the paper's sense.
+
+/// A three-valued truth value: `True`, `False`, or `Unknown` (null).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Truth {
+    /// Definitely true.
+    True,
+    /// Definitely false.
+    False,
+    /// Null was involved; truth cannot be determined.
+    Unknown,
+}
+
+impl Truth {
+    /// Kleene conjunction.
+    #[must_use]
+    pub fn and(self, other: Truth) -> Truth {
+        use Truth::{False, True, Unknown};
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// Kleene disjunction.
+    #[must_use]
+    pub fn or(self, other: Truth) -> Truth {
+        use Truth::{False, True, Unknown};
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    /// Kleene negation.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // std::ops::Not is also implemented
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// SQL filter semantics: only `True` passes a `WHERE` clause.
+    #[must_use]
+    pub fn passes(self) -> bool {
+        self == Truth::True
+    }
+
+    /// Lift a Boolean into three-valued logic.
+    #[must_use]
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// Convert to an optional Boolean (`Unknown` becomes `None`).
+    #[must_use]
+    pub fn to_option(self) -> Option<bool> {
+        match self {
+            Truth::True => Some(true),
+            Truth::False => Some(false),
+            Truth::Unknown => None,
+        }
+    }
+}
+
+impl std::ops::Not for Truth {
+    type Output = Truth;
+
+    fn not(self) -> Truth {
+        Truth::not(self)
+    }
+}
+
+impl From<bool> for Truth {
+    fn from(b: bool) -> Self {
+        Truth::from_bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Truth::{self, False, True, Unknown};
+
+    const ALL: [Truth; 3] = [True, False, Unknown];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+        assert_eq!(Unknown.and(False), False);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(False.or(False), False);
+        assert_eq!(False.or(True), True);
+        assert_eq!(Unknown.or(True), True);
+        assert_eq!(Unknown.or(False), Unknown);
+        assert_eq!(Unknown.or(Unknown), Unknown);
+    }
+
+    #[test]
+    fn not_involution_on_definite_values() {
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+        assert_eq!(Unknown.not(), Unknown);
+        for t in ALL {
+            assert_eq!(t.not().not(), t);
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds_in_kleene_logic() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn and_or_are_commutative_and_associative() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                for c in ALL {
+                    assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+                    assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn only_true_passes() {
+        assert!(True.passes());
+        assert!(!False.passes());
+        assert!(!Unknown.passes());
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Truth::from(true), True);
+        assert_eq!(Truth::from(false), False);
+        assert_eq!(True.to_option(), Some(true));
+        assert_eq!(False.to_option(), Some(false));
+        assert_eq!(Unknown.to_option(), None);
+    }
+}

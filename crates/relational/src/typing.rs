@@ -1,0 +1,302 @@
+//! Static type inference for expressions.
+//!
+//! Evaluation is dynamically checked; inference lets tools report type
+//! problems (`'a' + 1`, comparing a string column to an integer) at
+//! mapping-construction time instead of at first evaluation. Inference is
+//! *advisory*: `Unknown` is returned wherever the language is genuinely
+//! dynamic (function results, null literals), and only definite
+//! mismatches produce errors.
+
+use crate::error::{Error, Result};
+use crate::expr::{BinOp, Expr};
+use crate::schema::Scheme;
+use crate::value::DataType;
+
+/// The inferred type of an expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferredType {
+    /// Definitely this data type (possibly null at runtime).
+    Known(DataType),
+    /// Statically unknowable (function call, null literal, CASE over
+    /// mixed branches).
+    Unknown,
+}
+
+impl InferredType {
+    fn known(self) -> Option<DataType> {
+        match self {
+            InferredType::Known(t) => Some(t),
+            InferredType::Unknown => None,
+        }
+    }
+}
+
+fn numeric(t: DataType) -> bool {
+    matches!(t, DataType::Int | DataType::Float)
+}
+
+/// Are two known types comparable under SQL comparison semantics?
+fn comparable(a: DataType, b: DataType) -> bool {
+    a == b || (numeric(a) && numeric(b))
+}
+
+/// Infer the type of `e` against `scheme`. Returns an error only for
+/// *definite* type mismatches; columns must resolve.
+pub fn infer_type(e: &Expr, scheme: &Scheme) -> Result<InferredType> {
+    use InferredType::{Known, Unknown};
+    Ok(match e {
+        Expr::Column(c) => {
+            let idx = scheme.resolve(c)?;
+            Known(scheme.columns()[idx].ty)
+        }
+        Expr::Literal(v) => match v.data_type() {
+            Some(t) => Known(t),
+            None => Unknown, // null inhabits every type
+        },
+        Expr::Neg(inner) => {
+            let t = infer_type(inner, scheme)?;
+            if let Some(k) = t.known() {
+                if !numeric(k) {
+                    return Err(Error::TypeMismatch(format!("cannot negate {k}: `{inner}`")));
+                }
+            }
+            t
+        }
+        Expr::Not(inner) => {
+            let t = infer_type(inner, scheme)?;
+            if let Some(k) = t.known() {
+                if k != DataType::Bool {
+                    return Err(Error::TypeMismatch(format!(
+                        "NOT expects a boolean, got {k}: `{inner}`"
+                    )));
+                }
+            }
+            Known(DataType::Bool)
+        }
+        Expr::IsNull { expr, .. } => {
+            infer_type(expr, scheme)?; // columns must resolve
+            Known(DataType::Bool)
+        }
+        Expr::Binary { op, left, right } => {
+            let lt = infer_type(left, scheme)?;
+            let rt = infer_type(right, scheme)?;
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                    for (t, side) in [(lt, left), (rt, right)] {
+                        if let Some(k) = t.known() {
+                            if !numeric(k) {
+                                return Err(Error::TypeMismatch(format!(
+                                    "arithmetic over non-numeric {k}: `{side}`"
+                                )));
+                            }
+                        }
+                    }
+                    match (lt.known(), rt.known()) {
+                        (Some(DataType::Int), Some(DataType::Int)) => Known(DataType::Int),
+                        (Some(_), Some(_)) => Known(DataType::Float),
+                        _ => Unknown,
+                    }
+                }
+                BinOp::Concat => Known(DataType::Str),
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    if let (Some(a), Some(b)) = (lt.known(), rt.known()) {
+                        if !comparable(a, b) {
+                            return Err(Error::TypeMismatch(format!(
+                                "cannot compare {a} with {b}: `{e}`"
+                            )));
+                        }
+                    }
+                    Known(DataType::Bool)
+                }
+                BinOp::Like => {
+                    for (t, side) in [(lt, left), (rt, right)] {
+                        if let Some(k) = t.known() {
+                            if k != DataType::Str {
+                                return Err(Error::TypeMismatch(format!(
+                                    "LIKE expects strings, got {k}: `{side}`"
+                                )));
+                            }
+                        }
+                    }
+                    Known(DataType::Bool)
+                }
+                BinOp::And | BinOp::Or => {
+                    for (t, side) in [(lt, left), (rt, right)] {
+                        if let Some(k) = t.known() {
+                            if k != DataType::Bool {
+                                return Err(Error::TypeMismatch(format!(
+                                    "{} expects booleans, got {k}: `{side}`",
+                                    op.symbol()
+                                )));
+                            }
+                        }
+                    }
+                    Known(DataType::Bool)
+                }
+            }
+        }
+        Expr::Func { args, .. } => {
+            for a in args {
+                infer_type(a, scheme)?;
+            }
+            Unknown // function signatures are dynamic (registry-defined)
+        }
+        Expr::Case { branches, otherwise } => {
+            let mut result: Option<InferredType> = None;
+            for (c, v) in branches {
+                let ct = infer_type(c, scheme)?;
+                if let Some(k) = ct.known() {
+                    if k != DataType::Bool {
+                        return Err(Error::TypeMismatch(format!(
+                            "CASE condition must be boolean, got {k}: `{c}`"
+                        )));
+                    }
+                }
+                let vt = infer_type(v, scheme)?;
+                result = merge_branch(result, vt);
+            }
+            if let Some(o) = otherwise {
+                let vt = infer_type(o, scheme)?;
+                result = merge_branch(result, vt);
+            }
+            result.unwrap_or(Unknown)
+        }
+        Expr::InList { expr, list, .. } => {
+            let t = infer_type(expr, scheme)?;
+            for item in list {
+                let it = infer_type(item, scheme)?;
+                if let (Some(a), Some(b)) = (t.known(), it.known()) {
+                    if !comparable(a, b) {
+                        return Err(Error::TypeMismatch(format!(
+                            "IN list mixes {a} with {b}: `{item}`"
+                        )));
+                    }
+                }
+            }
+            Known(DataType::Bool)
+        }
+        Expr::Between { expr, low, high, .. } => {
+            let t = infer_type(expr, scheme)?;
+            for bound in [low, high] {
+                let bt = infer_type(bound, scheme)?;
+                if let (Some(a), Some(b)) = (t.known(), bt.known()) {
+                    if !comparable(a, b) {
+                        return Err(Error::TypeMismatch(format!(
+                            "BETWEEN bound type {b} does not match {a}: `{bound}`"
+                        )));
+                    }
+                }
+            }
+            Known(DataType::Bool)
+        }
+    })
+}
+
+fn merge_branch(acc: Option<InferredType>, next: InferredType) -> Option<InferredType> {
+    use InferredType::{Known, Unknown};
+    Some(match (acc, next) {
+        (None, t) => t,
+        (Some(Unknown), _) | (_, Unknown) => Unknown,
+        (Some(Known(a)), Known(b)) if a == b => Known(a),
+        (Some(Known(a)), Known(b)) if numeric(a) && numeric(b) => Known(DataType::Float),
+        _ => Unknown, // mixed branches: dynamic, not an error
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use crate::schema::Column;
+
+    fn scheme() -> Scheme {
+        Scheme::new(vec![
+            Column::new("C", "ID", DataType::Str),
+            Column::new("C", "age", DataType::Int),
+            Column::new("C", "score", DataType::Float),
+            Column::new("C", "ok", DataType::Bool),
+        ])
+    }
+
+    fn infer(src: &str) -> Result<InferredType> {
+        infer_type(&parse_expr(src).unwrap(), &scheme())
+    }
+
+    #[test]
+    fn columns_and_literals() {
+        assert_eq!(infer("C.age").unwrap(), InferredType::Known(DataType::Int));
+        assert_eq!(infer("'x'").unwrap(), InferredType::Known(DataType::Str));
+        assert_eq!(infer("NULL").unwrap(), InferredType::Unknown);
+        assert!(infer("C.nope").is_err()); // unknown column is a hard error
+    }
+
+    #[test]
+    fn arithmetic_types() {
+        assert_eq!(infer("C.age + 1").unwrap(), InferredType::Known(DataType::Int));
+        assert_eq!(infer("C.age + C.score").unwrap(), InferredType::Known(DataType::Float));
+        assert_eq!(infer("C.age + NULL").unwrap(), InferredType::Unknown);
+        assert!(infer("C.ID + 1").is_err());
+        assert!(infer("-C.ID").is_err());
+        assert_eq!(infer("-C.age").unwrap(), InferredType::Known(DataType::Int));
+    }
+
+    #[test]
+    fn comparison_types() {
+        assert_eq!(infer("C.age < 7").unwrap(), InferredType::Known(DataType::Bool));
+        assert_eq!(infer("C.age < C.score").unwrap(), InferredType::Known(DataType::Bool));
+        assert!(infer("C.ID = 1").is_err());
+        assert!(infer("C.ok < C.age").is_err());
+        // null comparisons are fine statically
+        assert_eq!(infer("C.ID = NULL").unwrap(), InferredType::Known(DataType::Bool));
+    }
+
+    #[test]
+    fn logical_and_like() {
+        assert_eq!(
+            infer("C.ok AND C.age < 7").unwrap(),
+            InferredType::Known(DataType::Bool)
+        );
+        assert!(infer("C.age AND C.ok").is_err());
+        assert!(infer("NOT C.ID").is_err());
+        assert_eq!(infer("C.ID LIKE 'M%'").unwrap(), InferredType::Known(DataType::Bool));
+        assert!(infer("C.age LIKE 'M%'").is_err());
+    }
+
+    #[test]
+    fn case_in_between() {
+        assert_eq!(
+            infer("CASE WHEN C.ok THEN 1 ELSE 2 END").unwrap(),
+            InferredType::Known(DataType::Int)
+        );
+        assert_eq!(
+            infer("CASE WHEN C.ok THEN 1 ELSE 'x' END").unwrap(),
+            InferredType::Unknown // mixed branches: dynamic, not an error
+        );
+        assert!(infer("CASE WHEN C.age THEN 1 END").is_err());
+        assert_eq!(
+            infer("C.age BETWEEN 1 AND 7").unwrap(),
+            InferredType::Known(DataType::Bool)
+        );
+        assert!(infer("C.age BETWEEN 'a' AND 'b'").is_err());
+        assert_eq!(
+            infer("C.ID IN ('001', '002')").unwrap(),
+            InferredType::Known(DataType::Bool)
+        );
+        assert!(infer("C.ID IN (1, 2)").is_err());
+    }
+
+    #[test]
+    fn functions_are_dynamic() {
+        assert_eq!(infer("upper(C.ID)").unwrap(), InferredType::Unknown);
+        // but their arguments are still checked for column resolution
+        assert!(infer("upper(C.nope)").is_err());
+    }
+
+    #[test]
+    fn concat_is_string() {
+        assert_eq!(
+            infer("C.ID || '!'").unwrap(),
+            InferredType::Known(DataType::Str)
+        );
+    }
+}

@@ -1,0 +1,407 @@
+//! Typed attribute values with SQL null semantics.
+//!
+//! [`Value`] is the cell type of every relation. Equality and hashing treat
+//! `Null` as a regular variant (so values can key hash maps, which the
+//! subsumption and join machinery relies on), while the *SQL* comparison
+//! methods ([`Value::sql_eq`], [`Value::sql_cmp`]) implement three-valued
+//! semantics where any comparison against null is [`Truth::Unknown`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::{Error, Result};
+use crate::truth::Truth;
+
+/// The type of an attribute's domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single attribute value, possibly null.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL: value missing or inapplicable.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// Floating-point value.
+    Float(f64),
+    /// String value.
+    Str(String),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// Construct a string value from anything string-like.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Is this value null?
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value's type, or `None` for null (which inhabits every domain).
+    #[must_use]
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// Does this value inhabit `ty`? Null inhabits every domain.
+    #[must_use]
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        match self.data_type() {
+            None => true,
+            Some(t) => t == ty || (t == DataType::Int && ty == DataType::Float),
+        }
+    }
+
+    /// Numeric view: integers widen to floats. `None` for non-numerics.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// SQL equality: `Unknown` if either side is null, otherwise
+    /// a definite answer. Int/Float compare numerically.
+    #[must_use]
+    pub fn sql_eq(&self, other: &Value) -> Truth {
+        match self.sql_cmp(other) {
+            None => Truth::Unknown,
+            Some(ord) => Truth::from_bool(ord == Ordering::Equal),
+        }
+    }
+
+    /// SQL ordering comparison. Returns `None` when either side is null or
+    /// the types are incomparable (which SQL would reject statically; we
+    /// treat it as unknown at run time for robustness in walks over
+    /// heterogeneous columns).
+    #[must_use]
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::{Bool, Float, Int, Null, Str};
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Total ordering used for deterministic output (sorting rendered
+    /// tables, canonicalizing test fixtures). Nulls sort first; across
+    /// types the order is Null < Bool < Int/Float < Str.
+    #[must_use]
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::{Bool, Float, Int, Null, Str};
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+
+    /// Arithmetic addition with SQL null propagation.
+    pub fn add(&self, other: &Value) -> Result<Value> {
+        self.numeric_binop(other, "+", |a, b| a.checked_add(b), |a, b| a + b)
+    }
+
+    /// Arithmetic subtraction with SQL null propagation.
+    pub fn sub(&self, other: &Value) -> Result<Value> {
+        self.numeric_binop(other, "-", |a, b| a.checked_sub(b), |a, b| a - b)
+    }
+
+    /// Arithmetic multiplication with SQL null propagation.
+    pub fn mul(&self, other: &Value) -> Result<Value> {
+        self.numeric_binop(other, "*", |a, b| a.checked_mul(b), |a, b| a * b)
+    }
+
+    /// Arithmetic division with SQL null propagation. Integer division by
+    /// zero is an error; float division follows IEEE.
+    pub fn div(&self, other: &Value) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        match (self, other) {
+            (Value::Int(_), Value::Int(0)) => Err(Error::DivisionByZero),
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a / b)),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => Ok(Value::Float(a / b)),
+                _ => Err(Error::TypeMismatch(format!("cannot divide {self} by {other}"))),
+            },
+        }
+    }
+
+    fn numeric_binop(
+        &self,
+        other: &Value,
+        op: &str,
+        int_op: impl Fn(i64, i64) -> Option<i64>,
+        float_op: impl Fn(f64, f64) -> f64,
+    ) -> Result<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => int_op(*a, *b)
+                .map(Value::Int)
+                .ok_or_else(|| Error::Invalid(format!("integer overflow in {a} {op} {b}"))),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => Ok(Value::Float(float_op(a, b))),
+                _ => Err(Error::TypeMismatch(format!(
+                    "cannot apply `{op}` to {self} and {other}"
+                ))),
+            },
+        }
+    }
+}
+
+/// Structural equality: `Null == Null`, floats compare bitwise-by-total-order.
+/// This is the *container* equality (hash maps, dedup), not SQL equality.
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Float hash consistently with total_cmp equality:
+            // an Int and the equal Float must share a hash.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("-"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => f.write_str(s),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Null), Truth::Unknown);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), Truth::Unknown);
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn sql_eq_across_numeric_types() {
+        assert_eq!(Value::Int(2).sql_eq(&Value::Float(2.0)), Truth::True);
+        assert_eq!(Value::Int(2).sql_eq(&Value::Float(2.5)), Truth::False);
+        assert_eq!(Value::Float(1.5).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn incomparable_types_are_unknown() {
+        assert_eq!(Value::Int(1).sql_eq(&Value::str("1")), Truth::Unknown);
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn container_equality_treats_null_as_equal_to_null() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::Int(0));
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+    }
+
+    #[test]
+    fn hash_consistent_with_container_equality() {
+        let mut set = HashSet::new();
+        set.insert(Value::Int(3));
+        assert!(set.contains(&Value::Float(3.0)));
+        set.insert(Value::Null);
+        assert!(set.contains(&Value::Null));
+        assert!(!set.contains(&Value::str("3")));
+    }
+
+    #[test]
+    fn arithmetic_propagates_null() {
+        assert_eq!(Value::Null.add(&Value::Int(1)).unwrap(), Value::Null);
+        assert_eq!(Value::Int(1).mul(&Value::Null).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(Value::Int(2).sub(&Value::Int(3)).unwrap(), Value::Int(-1));
+        assert_eq!(Value::Int(2).mul(&Value::Float(1.5)).unwrap(), Value::Float(3.0));
+        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(Value::Float(7.0).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error_for_ints() {
+        assert_eq!(Value::Int(1).div(&Value::Int(0)), Err(Error::DivisionByZero));
+    }
+
+    #[test]
+    fn string_arithmetic_is_a_type_error() {
+        assert!(Value::str("a").add(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        assert!(Value::Int(i64::MAX).add(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn total_cmp_orders_nulls_first_and_is_total() {
+        let mut vals = [Value::str("b"),
+            Value::Int(1),
+            Value::Null,
+            Value::Bool(false),
+            Value::Float(0.5)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Bool(false));
+        assert_eq!(*vals.last().unwrap(), Value::str("b"));
+    }
+
+    #[test]
+    fn conforms_to_allows_null_everywhere_and_int_widening() {
+        assert!(Value::Null.conforms_to(DataType::Str));
+        assert!(Value::Int(1).conforms_to(DataType::Float));
+        assert!(!Value::Float(1.0).conforms_to(DataType::Int));
+        assert!(Value::str("x").conforms_to(DataType::Str));
+    }
+
+    #[test]
+    fn display_renders_null_as_dash() {
+        assert_eq!(Value::Null.to_string(), "-");
+        assert_eq!(Value::str("Maya").to_string(), "Maya");
+        assert_eq!(Value::Int(2).to_string(), "2");
+    }
+
+    #[test]
+    fn from_option_maps_none_to_null() {
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(3i64)), Value::Int(3));
+    }
+}

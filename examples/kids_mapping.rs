@@ -1,0 +1,122 @@
+//! The complete Section-2 user scenario, replayed end to end:
+//! correspondences v1–v5, the affiliation walk (Figure 3), the phone walk
+//! with a `Parents2` copy (Figure 4), the chase of Maya's ID 002
+//! (Figure 5), the required-field refinement, and the final
+//! `CREATE VIEW Kids` SQL.
+//!
+//! ```sh
+//! cargo run --example kids_mapping
+//! ```
+
+use clio::prelude::*;
+
+fn banner(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+fn main() -> Result<()> {
+    let db = paper_database();
+    let mut session = Session::new(db, kids_target());
+
+    banner("step 1: correspondences v1, v2 (Children.ID, Children.name)");
+    session.add_correspondence("Children.ID", "ID")?;
+    session.add_correspondence("Children.name", "name")?;
+    print!("{}", session.target_preview()?);
+
+    banner("step 2: v3 Parents.affiliation - two scenarios (Figure 3)");
+    let scenarios = session.add_correspondence("Parents.affiliation", "affiliation")?;
+    for id in &scenarios {
+        let w = session.workspaces().iter().find(|w| w.id == *id).unwrap();
+        println!("scenario (workspace {}): {}", w.id, w.description);
+    }
+    // Maya's example disambiguates: she recognizes mid/fid as mother/
+    // father; she picks Scenario 1 (father's affiliation).
+    let father = scenarios
+        .iter()
+        .find(|id| {
+            let w = session.workspaces().iter().find(|w| w.id == **id).unwrap();
+            w.description.contains("fid")
+        })
+        .copied()
+        .unwrap();
+    session.confirm(father)?;
+    println!("confirmed the father scenario");
+
+    banner("step 3: data walk to PhoneDir (Figure 4)");
+    let walks = session.data_walk(None, "PhoneDir")?;
+    for id in &walks {
+        let w = session.workspaces().iter().find(|w| w.id == *id).unwrap();
+        println!("scenario (workspace {}): {}", w.id, w.description);
+    }
+    // The user chooses the mother's phone: the walk that goes through a
+    // second copy of Parents (Parents2) via mid.
+    let mothers_phone = walks
+        .iter()
+        .find(|id| {
+            let w = session.workspaces().iter().find(|w| w.id == **id).unwrap();
+            w.mapping.graph.node_by_alias("Parents2").is_some()
+                && w.description.contains("mid")
+        })
+        .copied()
+        .expect("mother's-phone scenario");
+    session.confirm(mothers_phone)?;
+    session.add_correspondence("PhoneDir.number", "contactPh")?;
+    println!("confirmed mother's phone; v4 added");
+
+    banner("step 4: chase Maya's ID 002 to find the bus schedule (Figure 5)");
+    let chases = session.data_chase("Children", "ID", &Value::str("002"))?;
+    for id in &chases {
+        let w = session.workspaces().iter().find(|w| w.id == *id).unwrap();
+        println!("scenario (workspace {}): {}", w.id, w.description);
+    }
+    // SBPS — "School Bus Pickup Schedule" — is the right link.
+    let sbps = chases
+        .iter()
+        .find(|id| {
+            let w = session.workspaces().iter().find(|w| w.id == **id).unwrap();
+            w.mapping.graph.node_by_alias("SBPS").is_some()
+        })
+        .copied()
+        .unwrap();
+    session.confirm(sbps)?;
+    session.add_correspondence("SBPS.time", "BusSchedule")?;
+    println!("confirmed SBPS; v5 added");
+
+    banner("step 5: the target view (WYSIWYG)");
+    let preview = session.target_preview()?;
+    print!("{preview}");
+
+    banner("step 6: illustration of the final mapping");
+    let db_ref = session.database().clone();
+    {
+        let w = session.active().unwrap();
+        let scheme = w.mapping.graph.scheme(&db_ref)?;
+        print!("{}", w.illustration.render(&w.mapping.graph, &scheme));
+    }
+
+    banner("step 7: generated SQL (paper Section 2)");
+    let w = session.active().unwrap();
+    let sql = generate_sql(
+        &w.mapping,
+        &db_ref,
+        &SqlOptions { root: Some("Children".into()), create_view: true },
+    )?;
+    println!("{sql}");
+
+    banner("step 8: refine - BusSchedule is required (left join -> inner join)");
+    let required = require_target_attribute(&w.mapping, "BusSchedule");
+    let effect = trim_effect(&w.mapping, &required, &db_ref, &FuncRegistry::with_builtins())?;
+    println!(
+        "positives {} -> {}; {} example(s) turned negative",
+        effect.positive_before,
+        effect.positive_after,
+        effect.newly_negative.len()
+    );
+    let sql = generate_sql(
+        &required,
+        &db_ref,
+        &SqlOptions { root: Some("Children".into()), create_view: true },
+    )?;
+    println!("{sql}");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: build a schema mapping interactively, driven by data
+//! examples, and read the generated SQL.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use clio::prelude::*;
+
+fn main() -> Result<()> {
+    // The paper's Figure-1 source database and Kids target schema.
+    let db = paper_database();
+    let target = kids_target();
+    println!("== source schema ==");
+    for rel in db.relations() {
+        println!("  {}", rel.schema());
+    }
+    println!("\n== target schema ==\n  {target}\n");
+
+    // A session holds workspaces (one per mapping alternative), schema
+    // knowledge mined from foreign keys, and a value index for chases.
+    let mut session = Session::new(db, target);
+
+    // v1, v2: identity correspondences into Kids.
+    session.add_correspondence("Children.ID", "ID")?;
+    session.add_correspondence("Children.name", "name")?;
+    println!("== target preview after v1, v2 (WYSIWYG) ==");
+    print!("{}", session.target_preview()?);
+
+    // v3: Parents.affiliation — Parents is not linked yet, so Clio walks
+    // the schema knowledge and proposes one workspace per way of joining
+    // Children to Parents (mother vs father).
+    let scenarios = session.add_correspondence("Parents.affiliation", "affiliation")?;
+    println!("\n== affiliation scenarios ==");
+    for id in &scenarios {
+        let w = session.workspaces().iter().find(|w| w.id == *id).unwrap();
+        println!("workspace {}: {}", w.id, w.description);
+    }
+
+    // Pick the father scenario (the paper's Scenario 1), then accept.
+    let father = scenarios
+        .iter()
+        .find(|id| {
+            let w = session.workspaces().iter().find(|w| w.id == **id).unwrap();
+            w.description.contains("fid")
+        })
+        .copied()
+        .expect("father scenario exists");
+    session.confirm(father)?;
+
+    println!("\n== illustration of the active mapping ==");
+    let db_ref = session.database().clone();
+    let w = session.active().unwrap();
+    let scheme = w.mapping.graph.scheme(&db_ref)?;
+    print!("{}", w.illustration.render(&w.mapping.graph, &scheme));
+
+    // Generate the SQL Clio would install for this mapping.
+    let sql = generate_sql(
+        &w.mapping,
+        &db_ref,
+        &SqlOptions { root: Some("Children".into()), create_view: true },
+    )?;
+    println!("\n== generated SQL ==\n{sql}");
+    Ok(())
+}

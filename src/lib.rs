@@ -1,0 +1,63 @@
+//! # clio — data-driven understanding and refinement of schema mappings
+//!
+//! A from-scratch Rust reproduction of *"Data-Driven Understanding and
+//! Refinement of Schema Mappings"* (Yan, Miller, Haas, Fagin — SIGMOD
+//! 2001), the Clio paper that introduced example-driven construction and
+//! refinement of schema mappings.
+//!
+//! The workspace is organized as:
+//!
+//! * [`relational`] (`clio-relational`) — the in-memory relational engine:
+//!   values with SQL null semantics, three-valued logic, an SQL-ish
+//!   expression language, joins/outer joins, outer union, subsumption
+//!   removal, and **minimum union**;
+//! * [`core`] (`clio-core`) — the paper's contribution: query graphs, data
+//!   associations, **full disjunctions**, mappings `⟨G, V, C_S, C_T⟩`,
+//!   mapping examples, **sufficient illustrations**, focused
+//!   illustrations, the **data walk** and **data chase** operators,
+//!   continuous illustration evolution, the workspace/session framework,
+//!   and SQL generation;
+//! * [`datagen`] (`clio-datagen`) — the reconstructed Figure-1 paper
+//!   dataset and synthetic workload generators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use clio::prelude::*;
+//!
+//! // The paper's source database (Figure 1) and Kids target schema.
+//! let db = clio::datagen::paper::paper_database();
+//! let target = clio::datagen::paper::kids_target();
+//!
+//! // Drive a mapping session with data examples, as in Section 2.
+//! let mut session = Session::new(db, target);
+//! session.add_correspondence("Children.ID", "ID").unwrap();   // v1
+//! session.add_correspondence("Children.name", "name").unwrap(); // v2
+//!
+//! // Adding Parents.affiliation forces a data walk: two scenarios
+//! // (mother's vs father's affiliation), each in its own workspace.
+//! let scenarios = session
+//!     .add_correspondence("Parents.affiliation", "affiliation")
+//!     .unwrap();
+//! assert_eq!(scenarios.len(), 2);
+//! session.confirm(scenarios[0]).unwrap();
+//!
+//! // WYSIWYG: the target view under the active mapping.
+//! let preview = session.target_preview().unwrap();
+//! assert_eq!(preview.len(), 4); // all four children
+//! ```
+
+pub use clio_core as core;
+pub use clio_datagen as datagen;
+pub use clio_relational as relational;
+
+/// One-stop prelude re-exporting the most used types from all crates.
+pub mod prelude {
+    pub use clio_core::prelude::*;
+    pub use clio_datagen::paper::{
+        example_3_15_mapping, figure6_graph, kids_target, paper_database, paper_knowledge,
+        running_graph, section2_mapping,
+    };
+    pub use clio_datagen::synthetic::{generate, SyntheticSpec, Topology};
+    pub use clio_relational::prelude::*;
+}
