@@ -22,7 +22,10 @@ fn tables(rows: usize) -> (Table, Table) {
         .attr("id", DataType::Str)
         .attr("payload", DataType::Str);
     for k in 0..rows {
-        a = a.row(vec![format!("a{k}").into(), format!("b{}", k % (rows / 2 + 1)).into()]);
+        a = a.row(vec![
+            format!("a{k}").into(),
+            format!("b{}", k % (rows / 2 + 1)).into(),
+        ]);
         b = b.row(vec![format!("b{k}").into(), format!("p{k}").into()]);
     }
     (
@@ -43,7 +46,9 @@ fn bench_hash_vs_nested(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("hash", rows), &rows, |bch, _| {
             bch.iter(|| {
                 black_box(
-                    join(&a, &b, &hash_pred, JoinKind::Inner, &funcs).expect("joins").len(),
+                    join(&a, &b, &hash_pred, JoinKind::Inner, &funcs)
+                        .expect("joins")
+                        .len(),
                 )
             });
         });

@@ -18,10 +18,7 @@ use clio_relational::value::DataType;
 const EXPRS: &[(&str, &str)] = &[
     ("join_pred", "C.mid = P.ID"),
     ("filter", "C.age < 7 AND C.name IS NOT NULL"),
-    (
-        "correspondence",
-        "concat(Ph.type, ',', Ph.number)",
-    ),
+    ("correspondence", "concat(Ph.type, ',', Ph.number)"),
     (
         "complex",
         "CASE WHEN C.age BETWEEN 0 AND 4 THEN 'small' \

@@ -9,9 +9,9 @@
 
 use std::time::{Duration, Instant};
 
-use clio_bench::{
-    chain, chain_prefix_mapping, cycle, example_population, nullable_table, star,
-};
+use clio_obs::metrics::MetricsSnapshot;
+
+use clio_bench::{chain, chain_prefix_mapping, cycle, example_population, nullable_table, star};
 use clio_core::evolution::evolve_illustration;
 use clio_core::full_disjunction::FdAlgo;
 use clio_core::illustration::{select_exact, select_greedy, Illustration, SufficiencyScope};
@@ -55,22 +55,48 @@ fn ratio(a: Duration, b: Duration) -> String {
     format!("{:.1}x", a.as_secs_f64() / b.as_secs_f64())
 }
 
+/// Work counters for one un-timed run of `f` (timed reps stay
+/// uninstrumented so counting overhead never pollutes the medians).
+fn counted(f: impl FnOnce()) -> MetricsSnapshot {
+    clio_obs::set_metrics_enabled(true);
+    let base = clio_obs::snapshot();
+    f();
+    let delta = clio_obs::snapshot().since(&base);
+    clio_obs::set_metrics_enabled(false);
+    delta
+}
+
 fn b1_full_disjunction() {
     println!("\n## B1 — full disjunction: naive vs outer-join plan\n");
-    println!("| topology | nodes | rows/rel | naive | outer-join | speedup | |D(G)| |");
-    println!("|---|---|---|---|---|---|---|");
-    for (name, ns, rows) in [("chain", vec![2usize, 4, 6, 8], 100), ("star", vec![3, 5, 7], 100)]
-    {
+    println!(
+        "| topology | nodes | rows/rel | naive | outer-join | speedup | |D(G)| \
+         | subgraphs | join probes |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for (name, ns, rows) in [
+        ("chain", vec![2usize, 4, 6, 8], 100),
+        ("star", vec![3, 5, 7], 100),
+    ] {
         for n in ns {
-            let w = if name == "chain" { chain(n, rows) } else { star(n, rows) };
+            let w = if name == "chain" {
+                chain(n, rows)
+            } else {
+                star(n, rows)
+            };
             let mut count = 0;
             let naive = time(|| count = clio_bench::fd(&w, FdAlgo::Naive));
             let outer = time(|| count = clio_bench::fd(&w, FdAlgo::OuterJoin));
+            let work = counted(|| {
+                let _ = clio_bench::fd(&w, FdAlgo::Naive);
+                let _ = clio_bench::fd(&w, FdAlgo::OuterJoin);
+            });
             println!(
-                "| {name} | {n} | {rows} | {} | {} | {} | {count} |",
+                "| {name} | {n} | {rows} | {} | {} | {} | {count} | {} | {} |",
                 fmt(naive),
                 fmt(outer),
-                ratio(naive, outer)
+                ratio(naive, outer),
+                work.get(clio_obs::Counter::SubgraphsEnumerated),
+                work.get(clio_obs::Counter::JoinProbes)
             );
         }
     }
@@ -80,11 +106,17 @@ fn b1_full_disjunction() {
         let mut count = 0;
         let naive = time(|| count = clio_bench::fd(&w, FdAlgo::Naive));
         let outer = time(|| count = clio_bench::fd(&w, FdAlgo::OuterJoin));
+        let work = counted(|| {
+            let _ = clio_bench::fd(&w, FdAlgo::Naive);
+            let _ = clio_bench::fd(&w, FdAlgo::OuterJoin);
+        });
         println!(
-            "| chain | 4 | {rows} | {} | {} | {} | {count} |",
+            "| chain | 4 | {rows} | {} | {} | {} | {count} | {} | {} |",
             fmt(naive),
             fmt(outer),
-            ratio(naive, outer)
+            ratio(naive, outer),
+            work.get(clio_obs::Counter::SubgraphsEnumerated),
+            work.get(clio_obs::Counter::JoinProbes)
         );
     }
     // cyclic: naive only
@@ -101,8 +133,11 @@ fn b1_full_disjunction() {
 
 fn b2_subsumption() {
     println!("\n## B2 — subsumption removal: naive O(n^2) vs partitioned\n");
-    println!("| rows | null rate | naive | partitioned | speedup | survivors |");
-    println!("|---|---|---|---|---|---|");
+    println!(
+        "| rows | null rate | naive | partitioned | speedup | survivors \
+         | naive cmps | part cmps |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
     for (rows, null_rate) in [
         (500usize, 0.4),
         (2000, 0.4),
@@ -122,19 +157,32 @@ fn b2_subsumption() {
             remove_subsumed_partitioned(&mut t);
             survivors = t.len();
         });
+        let naive_work = counted(|| {
+            let mut t = t0.clone();
+            remove_subsumed_naive(&mut t);
+        });
+        let part_work = counted(|| {
+            let mut t = t0.clone();
+            remove_subsumed_partitioned(&mut t);
+        });
         println!(
-            "| {rows} | {null_rate} | {} | {} | {} | {survivors} |",
+            "| {rows} | {null_rate} | {} | {} | {} | {survivors} | {} | {} |",
             fmt(naive),
             fmt(part),
-            ratio(naive, part)
+            ratio(naive, part),
+            naive_work.get(clio_obs::Counter::SubsumptionComparisons),
+            part_work.get(clio_obs::Counter::SubsumptionComparisons)
         );
     }
 }
 
 fn b3_illustration() {
     println!("\n## B3 — minimal sufficient illustration selection\n");
-    println!("| workload | examples | greedy | exact (B&B) | greedy size | exact size |");
-    println!("|---|---|---|---|---|---|");
+    println!(
+        "| workload | examples | greedy | exact (B&B) | greedy size | exact size \
+         | req checks (greedy) |"
+    );
+    println!("|---|---|---|---|---|---|---|");
     // the paper-scale instance, where exact search completes
     {
         let db = clio_datagen::paper::paper_database();
@@ -147,12 +195,16 @@ fn b3_illustration() {
         let greedy = time(|| gsize = select_greedy(&pop, arity, scope).len());
         let mut esize: Option<usize> = None;
         let exact = time(|| esize = select_exact(&pop, arity, scope, 200_000).map(|v| v.len()));
+        let work = counted(|| {
+            let _ = select_greedy(&pop, arity, scope);
+        });
         println!(
-            "| paper (Ex 3.15) | {} | {} | {} | {gsize} | {} |",
+            "| paper (Ex 3.15) | {} | {} | {} | {gsize} | {} | {} |",
             pop.len(),
             fmt(greedy),
             fmt(exact),
-            esize.map_or("timeout".to_owned(), |n| n.to_string())
+            esize.map_or("timeout".to_owned(), |n| n.to_string()),
+            work.get(clio_obs::Counter::RequirementsChecked)
         );
     }
     for (name, w) in [
@@ -167,12 +219,16 @@ fn b3_illustration() {
         let greedy = time(|| gsize = select_greedy(&pop, arity, scope).len());
         let mut esize: Option<usize> = None;
         let exact = time(|| esize = select_exact(&pop, arity, scope, 200_000).map(|v| v.len()));
+        let work = counted(|| {
+            let _ = select_greedy(&pop, arity, scope);
+        });
         println!(
-            "| {name} | {} | {} | {} | {gsize} | {} |",
+            "| {name} | {} | {} | {} | {gsize} | {} | {} |",
             pop.len(),
             fmt(greedy),
             fmt(exact),
-            esize.map_or("timeout".to_owned(), |n| n.to_string())
+            esize.map_or("timeout".to_owned(), |n| n.to_string()),
+            work.get(clio_obs::Counter::RequirementsChecked)
         );
     }
 }
@@ -223,11 +279,17 @@ fn b5_chase() {
         let b = time(|| {
             std::hint::black_box(ValueIndex::build(&w.db).distinct_values());
         });
-        println!("| {rows} | {} | {} | {} | {} |", fmt(p), fmt(s), ratio(s, p), fmt(b));
+        println!(
+            "| {rows} | {} | {} | {} | {} |",
+            fmt(p),
+            fmt(s),
+            ratio(s, p),
+            fmt(b)
+        );
     }
     println!("\nchase operator end to end:\n");
-    println!("| total rows | scenarios | time |");
-    println!("|---|---|---|");
+    println!("| total rows | scenarios | pruned sites | time |");
+    println!("|---|---|---|---|");
     let funcs = FuncRegistry::with_builtins();
     for rows in [1000usize, 10_000] {
         let w = chain(4, rows / 4);
@@ -240,14 +302,21 @@ fn b5_chase() {
                 .expect("valid")
                 .len();
         });
-        println!("| {rows} | {count} | {} |", fmt(t));
+        let work = counted(|| {
+            data_chase(&m, &w.db, &index, "R0", "id", &probe, &funcs).expect("valid");
+        });
+        println!(
+            "| {rows} | {count} | {} | {} |",
+            work.get(clio_obs::Counter::ChaseAlternativesPruned),
+            fmt(t)
+        );
     }
 }
 
 fn b6_mapping_eval() {
     println!("\n## B6 — end-to-end mapping evaluation (WYSIWYG refresh)\n");
-    println!("| workload | rows/rel | target tuples | time |");
-    println!("|---|---|---|---|");
+    println!("| workload | rows/rel | target tuples | time | tuples scanned | join probes |");
+    println!("|---|---|---|---|---|---|");
     let funcs = FuncRegistry::with_builtins();
     for (name, w) in [
         ("chain4", chain(4, 100)),
@@ -259,7 +328,15 @@ fn b6_mapping_eval() {
         let rows = w.db.relation("R0").unwrap().len();
         let mut count = 0;
         let t = time(|| count = w.mapping.evaluate(&w.db, &funcs).expect("valid").len());
-        println!("| {name} | {rows} | {count} | {} |", fmt(t));
+        let work = counted(|| {
+            w.mapping.evaluate(&w.db, &funcs).expect("valid");
+        });
+        println!(
+            "| {name} | {rows} | {count} | {} | {} | {} |",
+            fmt(t),
+            work.get(clio_obs::Counter::TuplesScanned),
+            work.get(clio_obs::Counter::JoinProbes)
+        );
     }
 }
 
@@ -277,8 +354,8 @@ fn b7_evolution() {
         let mut extended = 0;
         let mut repaired = 0;
         let evolve = time(|| {
-            let evo = evolve_illustration(&old_ill, &old_m, &w.mapping, &w.db, &funcs)
-                .expect("valid");
+            let evo =
+                evolve_illustration(&old_ill, &old_m, &w.mapping, &w.db, &funcs).expect("valid");
             evo_size = evo.illustration.len();
             extended = evo.extended_count;
             repaired = evo.repair_count;

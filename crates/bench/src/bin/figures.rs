@@ -70,7 +70,10 @@ fn main() -> Result<()> {
         let m = Mapping::new(g, kids_target())
             .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
             .with_correspondence(ValueCorrespondence::identity("Children.name", "name"))
-            .with_correspondence(ValueCorrespondence::identity("Parents.affiliation", "affiliation"))
+            .with_correspondence(ValueCorrespondence::identity(
+                "Parents.affiliation",
+                "affiliation",
+            ))
             .with_target_not_null_filters();
         // correspondence references Parents; enumerate the walks
         let base = {
@@ -95,7 +98,10 @@ fn main() -> Result<()> {
             let examples = focused_examples(&scenario, &db, &funcs, &focus)?;
             let scheme = scenario.graph.scheme(&db)?;
             let refs: Vec<&clio_core::example::Example> = examples.iter().collect();
-            print!("{}", clio_core::example::render_examples(&scenario.graph, &scheme, &refs));
+            print!(
+                "{}",
+                clio_core::example::render_examples(&scenario.graph, &scheme, &refs)
+            );
         }
     }
 
@@ -123,7 +129,15 @@ fn main() -> Result<()> {
         g.add_node(Node::new("Children"))?;
         let m = Mapping::new(g, kids_target())
             .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"));
-        let alts = data_chase(&m, &db, &index, "Children", "ID", &Value::str("002"), &funcs)?;
+        let alts = data_chase(
+            &m,
+            &db,
+            &index,
+            "Children",
+            "ID",
+            &Value::str("002"),
+            &funcs,
+        )?;
         for (i, alt) in alts.iter().enumerate() {
             println!("Scenario {}: {}", i + 1, alt.description);
         }
@@ -160,7 +174,10 @@ fn main() -> Result<()> {
         let v = AssociationSet::pad_row(&scheme, f_full.scheme(), &v_row)?;
         let rows = vec![u.clone(), v.clone()];
         let tags = vec!["u (possible, padded)".to_owned(), "v (full)".to_owned()];
-        print!("{}", clio_relational::display::render_table(&scheme, &rows, &tags));
+        print!(
+            "{}",
+            clio_relational::display::render_table(&scheme, &rows, &tags)
+        );
         println!(
             "v strictly subsumes u: {}",
             clio_relational::ops::strictly_subsumes(&v, &u)
@@ -207,7 +224,15 @@ fn main() -> Result<()> {
         let index = ValueIndex::build(&db);
         let m = Mapping::new(figure6_graph(), kids_target())
             .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"));
-        let alts = data_chase(&m, &db, &index, "Children", "ID", &Value::str("002"), &funcs)?;
+        let alts = data_chase(
+            &m,
+            &db,
+            &index,
+            "Children",
+            "ID",
+            &Value::str("002"),
+            &funcs,
+        )?;
         for alt in &alts {
             println!("{}", alt.mapping.graph);
         }
@@ -218,7 +243,10 @@ fn main() -> Result<()> {
         let sql = generate_sql(
             &section2_mapping(),
             &db,
-            &SqlOptions { root: Some("Children".into()), create_view: true },
+            &SqlOptions {
+                root: Some("Children".into()),
+                create_view: true,
+            },
         )?;
         println!("{sql}");
     }

@@ -137,8 +137,11 @@ pub fn chain_prefix_mapping(w: &Synthetic, prefix: usize) -> Mapping {
     let mut m = w.mapping.clone();
     m.graph = g;
     let keep: Vec<String> = (0..prefix).map(|i| format!("R{i}")).collect();
-    m.correspondences
-        .retain(|c| c.source_qualifiers().iter().all(|q| keep.contains(&(*q).to_owned())));
+    m.correspondences.retain(|c| {
+        c.source_qualifiers()
+            .iter()
+            .all(|q| keep.contains(&(*q).to_owned()))
+    });
     m
 }
 

@@ -78,8 +78,10 @@ impl Shell {
                 if ids.len() == 1 {
                     Ok(format!("ok (workspace {})\n", ids[0]))
                 } else {
-                    let mut out =
-                        format!("{} scenario(s) created; inspect and confirm one:\n", ids.len());
+                    let mut out = format!(
+                        "{} scenario(s) created; inspect and confirm one:\n",
+                        ids.len()
+                    );
                     for id in ids {
                         let w = self.workspace(id)?;
                         let _ = writeln!(out, "  workspace {id}: {}", w.description);
@@ -112,7 +114,9 @@ impl Shell {
                 let (alias, attr) = site
                     .split_once('.')
                     .ok_or_else(|| Error::Invalid("usage: chase <alias>.<attr> <value>".into()))?;
-                let ids = self.session.data_chase(alias, attr, &Value::str(value.trim()))?;
+                let ids = self
+                    .session
+                    .data_chase(alias, attr, &Value::str(value.trim()))?;
                 let mut out = format!("{} scenario(s):\n", ids.len());
                 for id in ids {
                     let w = self.workspace(id)?;
@@ -143,7 +147,10 @@ impl Shell {
             }
             "accept" => {
                 self.session.accept_active()?;
-                Ok(format!("accepted ({} total)\n", self.session.accepted().len()))
+                Ok(format!(
+                    "accepted ({} total)\n",
+                    self.session.accepted().len()
+                ))
             }
             "illustration" => {
                 let db = self.session.database().clone();
@@ -164,7 +171,14 @@ impl Shell {
             "sql" => {
                 let db = self.session.database().clone();
                 let m = self.active()?.mapping.clone();
-                generate_sql(&m, &db, &SqlOptions { root: None, create_view: true })
+                generate_sql(
+                    &m,
+                    &db,
+                    &SqlOptions {
+                        root: None,
+                        create_view: true,
+                    },
+                )
             }
             "filter" => {
                 let (kind, pred) = rest
@@ -173,9 +187,7 @@ impl Shell {
                 match kind {
                     "source" => self.session.add_source_filter(pred.trim())?,
                     "target" => self.session.add_target_filter(pred.trim())?,
-                    other => {
-                        return Err(Error::Invalid(format!("unknown filter kind `{other}`")))
-                    }
+                    other => return Err(Error::Invalid(format!("unknown filter kind `{other}`"))),
                 }
                 Ok("ok\n".to_owned())
             }
@@ -193,7 +205,9 @@ impl Shell {
                 let text = std::fs::read_to_string(rest)
                     .map_err(|e| Error::Invalid(format!("cannot read `{rest}`: {e}")))?;
                 let m = parse_mapping(&text)?;
-                let id = self.session.adopt_mapping(m, &format!("loaded from {rest}"))?;
+                let id = self
+                    .session
+                    .adopt_mapping(m, &format!("loaded from {rest}"))?;
                 Ok(format!("loaded as workspace {id}\n"))
             }
             "status" => {
@@ -204,7 +218,11 @@ impl Shell {
                     self.session.database().relations().len(),
                     self.session.database().total_rows()
                 );
-                let _ = writeln!(out, "knowledge: {} join spec(s)", self.session.knowledge.specs().len());
+                let _ = writeln!(
+                    out,
+                    "knowledge: {} join spec(s)",
+                    self.session.knowledge.specs().len()
+                );
                 let _ = writeln!(out, "workspaces: {}", self.session.workspaces().len());
                 let _ = writeln!(out, "accepted mappings: {}", self.session.accepted().len());
                 if let Some(w) = self.session.active() {
@@ -226,13 +244,18 @@ impl Shell {
                 let alts = self.session.example_alternatives(slot)?;
                 if alts.is_empty() {
                     return Ok("no alternatives for this slot
-".to_owned());
+"
+                    .to_owned());
                 }
                 let db = self.session.database().clone();
                 let w = self.active()?;
                 let scheme = w.mapping.graph.scheme(&db)?;
                 let refs: Vec<&clio_core::example::Example> = alts.iter().collect();
-                Ok(clio_core::example::render_examples(&w.mapping.graph, &scheme, &refs))
+                Ok(clio_core::example::render_examples(
+                    &w.mapping.graph,
+                    &scheme,
+                    &refs,
+                ))
             }
             "swap" => {
                 let (slot, alt) = rest
@@ -240,11 +263,11 @@ impl Shell {
                     .ok_or_else(|| Error::Invalid("usage: swap <slot> <alternative>".into()))?;
                 self.session.swap_example(parse_id(slot)?, parse_id(alt)?)?;
                 Ok("ok
-".to_owned())
+"
+                .to_owned())
             }
             "profile" => {
-                let profiles =
-                    clio_core::profile::profile_database(self.session.database());
+                let profiles = clio_core::profile::profile_database(self.session.database());
                 Ok(clio_core::profile::render_profile(&profiles))
             }
             "mine" => {
@@ -261,11 +284,8 @@ impl Shell {
                     ..clio_core::mining::MiningConfig::default()
                 };
                 let db = self.session.database().clone();
-                let added = clio_core::mining::enrich_knowledge(
-                    &mut self.session.knowledge,
-                    &db,
-                    &config,
-                );
+                let added =
+                    clio_core::mining::enrich_knowledge(&mut self.session.knowledge, &db, &config);
                 let mut out = format!("mined {} new join candidate(s):\n", added.len());
                 for d in added {
                     let _ = writeln!(
@@ -320,11 +340,26 @@ impl Shell {
                 }
                 Ok(out)
             }
+            "stats" => {
+                if rest == "reset" {
+                    clio_obs::reset_metrics();
+                    return Ok("counters reset\n".to_owned());
+                }
+                let mut out = clio_obs::snapshot().render_table();
+                if !clio_obs::metrics_enabled() {
+                    out.push_str(
+                        "(counting is off — run the shell with --metrics <file> to collect)\n",
+                    );
+                }
+                Ok(out)
+            }
             "examples" => {
                 // full example population of the active mapping, capped
                 let db = self.session.database().clone();
                 let w = self.active()?;
-                let all = w.mapping.examples(&db, &clio_relational::funcs::FuncRegistry::with_builtins())?;
+                let all = w
+                    .mapping
+                    .examples(&db, &clio_relational::funcs::FuncRegistry::with_builtins())?;
                 let ill = Illustration { examples: all };
                 let scheme = w.mapping.graph.scheme(&db)?;
                 Ok(ill.render(&w.mapping.graph, &scheme))
@@ -378,6 +413,7 @@ commands:
   filter source|target <pred> add a data-trimming filter
   require <attr>              make a target attribute required
   status                      session summary
+  stats [reset]               engine work counters (see docs/observability.md)
   profile                     per-attribute statistics of the source
   mine [containment]          mine join candidates from the data
   verify [key,attrs]          data-driven mapping diagnostics
@@ -483,7 +519,7 @@ mod tests {
         assert!(run(&mut sh, "walk").starts_with("error:"));
         assert!(run(&mut sh, "confirm x").starts_with("error:"));
         assert!(run(&mut sh, "sql").starts_with("error:")); // no workspace yet
-        // shell still alive
+                                                            // shell still alive
         assert!(run(&mut sh, "help").contains("commands"));
     }
 

@@ -6,6 +6,7 @@
 //! cargo run -p clio-cli -- --script cmds.txt  # run a command script
 //! cargo run -p clio-cli -- --synthetic chain,4,100
 //! cargo run -p clio-cli -- --source data/ --target "T (id str not null, x str)"
+//! cargo run -p clio-cli -- --script cmds.txt --metrics out.json --trace
 //! ```
 
 use std::io::{BufRead, Write};
@@ -29,7 +30,9 @@ fn synthetic_session(spec_text: &str) -> Result<Session, String> {
     };
     let spec = SyntheticSpec {
         topology,
-        relations: relations.parse().map_err(|e| format!("bad relation count: {e}"))?,
+        relations: relations
+            .parse()
+            .map_err(|e| format!("bad relation count: {e}"))?,
         rows: rows.parse().map_err(|e| format!("bad row count: {e}"))?,
         match_rate: 0.7,
         payload_attrs: 1,
@@ -40,14 +43,50 @@ fn synthetic_session(spec_text: &str) -> Result<Session, String> {
     db.constraints = clio_relational::constraints::Constraints::none();
     // make walks possible: re-declare the edges as foreign keys
     for s in w.knowledge.specs() {
-        db.constraints.foreign_keys.push(clio_relational::constraints::ForeignKey {
-            from_relation: s.rel_a.clone(),
-            from_attrs: s.attr_pairs.iter().map(|(a, _)| a.clone()).collect(),
-            to_relation: s.rel_b.clone(),
-            to_attrs: s.attr_pairs.iter().map(|(_, b)| b.clone()).collect(),
-        });
+        db.constraints
+            .foreign_keys
+            .push(clio_relational::constraints::ForeignKey {
+                from_relation: s.rel_a.clone(),
+                from_attrs: s.attr_pairs.iter().map(|(a, _)| a.clone()).collect(),
+                to_relation: s.rel_b.clone(),
+                to_attrs: s.attr_pairs.iter().map(|(_, b)| b.clone()).collect(),
+            });
     }
     Ok(Session::new(db, w.target))
+}
+
+/// Usage text printed by `--help` (flags first, then the shell commands).
+fn usage() -> String {
+    format!(
+        "\
+clio — interactive mapping-refinement shell (Clio, SIGMOD 2001)
+
+usage: clio-shell [flags]
+
+flags:
+  --script <file>        run commands from a script instead of stdin
+  --source <dir>         load a source database from CSV files (needs --target)
+  --target <schema>      target schema, e.g. \"Kids (ID str not null, name str)\"
+  --synthetic <spec>     generate a source: <topology>,<relations>,<rows>
+                         (topology: chain | star | cycle | tree)
+  --metrics <file>       collect work counters; write a JSON report on exit
+  --trace                collect spans; print the span tree on exit
+  --help, -h             show this help
+
+{}",
+        clio_cli::engine::HELP
+    )
+}
+
+/// The value of flag `flag`, or exit 2 when it is missing.
+fn require_value(args: &[String], i: usize, flag: &str) -> String {
+    match args.get(i) {
+        Some(v) => v.clone(),
+        None => {
+            eprintln!("{flag} requires a value (see --help)");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
@@ -56,24 +95,36 @@ fn main() {
     let mut session: Option<Session> = None;
     let mut source_dir: Option<String> = None;
     let mut target_spec: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut trace = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return;
+            }
             "--script" => {
                 i += 1;
-                script = args.get(i).cloned();
+                script = Some(require_value(&args, i, "--script"));
             }
             "--source" => {
                 i += 1;
-                source_dir = args.get(i).cloned();
+                source_dir = Some(require_value(&args, i, "--source"));
             }
             "--target" => {
                 i += 1;
-                target_spec = args.get(i).cloned();
+                target_spec = Some(require_value(&args, i, "--target"));
             }
+            "--metrics" => {
+                i += 1;
+                metrics_path = Some(require_value(&args, i, "--metrics"));
+            }
+            "--trace" => trace = true,
             "--synthetic" => {
                 i += 1;
-                match synthetic_session(args.get(i).map(String::as_str).unwrap_or("")) {
+                let spec = require_value(&args, i, "--synthetic");
+                match synthetic_session(&spec) {
                     Ok(s) => session = Some(s),
                     Err(e) => {
                         eprintln!("{e}");
@@ -82,11 +133,18 @@ fn main() {
                 }
             }
             other => {
-                eprintln!("unknown flag `{other}`");
+                eprintln!("unknown flag `{other}` (see --help)");
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+
+    if metrics_path.is_some() {
+        clio_obs::set_metrics_enabled(true);
+    }
+    if trace {
+        clio_obs::set_trace_enabled(true);
     }
 
     if let Some(dir) = source_dir {
@@ -158,6 +216,22 @@ fn main() {
         if interactive {
             print!("clio> ");
             out.flush().ok();
+        }
+    }
+
+    if let Some(path) = &metrics_path {
+        let report = clio_obs::report_json();
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("cannot write metrics to `{path}`: {e}");
+            std::process::exit(2);
+        }
+    }
+    if trace {
+        let records = clio_obs::take_spans();
+        if records.is_empty() {
+            println!("trace: no spans recorded");
+        } else {
+            print!("{}", clio_obs::trace::render_tree(&records));
         }
     }
 }

@@ -20,7 +20,11 @@ fn run_script(script: &str, extra_args: &[&str]) -> String {
         .output()
         .expect("binary runs");
     std::fs::remove_file(&path).ok();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     String::from_utf8_lossy(&out.stdout).into_owned()
 }
 

@@ -1,0 +1,140 @@
+//! End-to-end tests of the `clio-shell` binary: flag handling, the
+//! `--metrics`/`--trace` observability surface, and counter determinism.
+//! Each test runs the real binary in a subprocess, so the global counters
+//! of concurrent tests never interfere.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn shell() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_clio-shell"))
+}
+
+fn demo_script() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/scripts/demo.clio")
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("clio_shell_cli_{}_{name}", std::process::id()))
+}
+
+fn run_demo_with_metrics(metrics: &PathBuf) -> Output {
+    shell()
+        .arg("--script")
+        .arg(demo_script())
+        .arg("--metrics")
+        .arg(metrics)
+        .output()
+        .expect("binary runs")
+}
+
+/// The integer value of `"name": <n>` in a JSON snapshot.
+fn counter(json: &str, name: &str) -> u64 {
+    let key = format!("\"{name}\": ");
+    let start = json
+        .find(&key)
+        .unwrap_or_else(|| panic!("`{name}` in {json}"))
+        + key.len();
+    let digits: String = json[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().expect("counter value")
+}
+
+#[test]
+fn scripted_run_emits_metrics_json_with_nonzero_work_counters() {
+    let path = tmp_path("metrics.json");
+    let out = run_demo_with_metrics(&path);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&path).expect("metrics file written");
+    std::fs::remove_file(&path).ok();
+    assert!(json.contains("\"counters\""), "{json}");
+    assert!(counter(&json, "join.probes") > 0, "{json}");
+    assert!(counter(&json, "subsumption.comparisons") > 0, "{json}");
+    assert!(counter(&json, "scan.tuples") > 0, "{json}");
+    assert!(counter(&json, "chase.alternatives_generated") > 0, "{json}");
+}
+
+#[test]
+fn counters_are_deterministic_across_identical_runs() {
+    let (p1, p2) = (tmp_path("det1.json"), tmp_path("det2.json"));
+    let o1 = run_demo_with_metrics(&p1);
+    let o2 = run_demo_with_metrics(&p2);
+    assert!(o1.status.success() && o2.status.success());
+    let j1 = std::fs::read_to_string(&p1).expect("first report");
+    let j2 = std::fs::read_to_string(&p2).expect("second report");
+    std::fs::remove_file(&p1).ok();
+    std::fs::remove_file(&p2).ok();
+    // without --trace the report holds only counters, no timings, so two
+    // identical seeded runs must produce byte-identical documents
+    assert_eq!(j1, j2);
+}
+
+#[test]
+fn trace_flag_prints_span_tree() {
+    let out = shell()
+        .arg("--script")
+        .arg(demo_script())
+        .arg("--trace")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trace:"), "{stdout}");
+    assert!(stdout.contains("- mapping.evaluate"), "{stdout}");
+    // nested child spans are indented under their parent
+    assert!(stdout.contains("  - fd.outer_join"), "{stdout}");
+}
+
+#[test]
+fn stats_command_reports_counters_in_shell() {
+    let path = tmp_path("stats.json");
+    let out = run_demo_with_metrics(&path);
+    std::fs::remove_file(&path).ok();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("join.probes"), "{stdout}");
+    assert!(
+        stdout.contains("illustration.greedy_iterations"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn help_flag_prints_usage_and_exits_zero() {
+    for flag in ["--help", "-h"] {
+        let out = shell().arg(flag).output().expect("binary runs");
+        assert!(out.status.success(), "{flag}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage:"), "{stdout}");
+        assert!(stdout.contains("--metrics"), "{stdout}");
+        assert!(stdout.contains("commands:"), "{stdout}");
+    }
+}
+
+#[test]
+fn missing_flag_values_exit_2() {
+    for flag in [
+        "--script",
+        "--source",
+        "--target",
+        "--synthetic",
+        "--metrics",
+    ] {
+        let out = shell().arg(flag).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{flag}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("requires a value"), "{flag}: {stderr}");
+    }
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    let out = shell().arg("--bogus").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}

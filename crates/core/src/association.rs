@@ -137,8 +137,11 @@ impl AssociationSet {
     /// coverage (`CPPh`, `PPh`, …).
     #[must_use]
     pub fn render(&self, graph: &QueryGraph) -> String {
-        let tags: Vec<String> =
-            self.coverages.iter().map(|&c| graph.coverage_tag(c)).collect();
+        let tags: Vec<String> = self
+            .coverages
+            .iter()
+            .map(|&c| graph.coverage_tag(c))
+            .collect();
         clio_relational::display::render_table(self.table.scheme(), self.table.rows(), &tags)
     }
 
@@ -182,9 +185,18 @@ mod tests {
     fn coverage_from_non_null_columns() {
         let g = graph();
         let s = scheme();
-        assert_eq!(row_coverage(&g, &s, &["002".into(), "202".into(), "202".into()]), 0b11);
-        assert_eq!(row_coverage(&g, &s, &["002".into(), Value::Null, Value::Null]), 0b01);
-        assert_eq!(row_coverage(&g, &s, &[Value::Null, Value::Null, "205".into()]), 0b10);
+        assert_eq!(
+            row_coverage(&g, &s, &["002".into(), "202".into(), "202".into()]),
+            0b11
+        );
+        assert_eq!(
+            row_coverage(&g, &s, &["002".into(), Value::Null, Value::Null]),
+            0b01
+        );
+        assert_eq!(
+            row_coverage(&g, &s, &[Value::Null, Value::Null, "205".into()]),
+            0b10
+        );
     }
 
     #[test]

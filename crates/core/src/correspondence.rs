@@ -26,7 +26,10 @@ pub struct ValueCorrespondence {
 impl ValueCorrespondence {
     /// Build a correspondence.
     pub fn new(expr: Expr, target_attr: impl Into<String>) -> ValueCorrespondence {
-        ValueCorrespondence { target_attr: target_attr.into(), expr }
+        ValueCorrespondence {
+            target_attr: target_attr.into(),
+            expr,
+        }
     }
 
     /// Identity correspondence from one qualified source column
@@ -44,9 +47,9 @@ impl ValueCorrespondence {
     /// the expression must bind, and the target attribute must exist.
     pub fn validate(&self, graph_scheme: &Scheme, target: &RelSchema) -> Result<()> {
         self.expr.bind(graph_scheme)?;
-        target.index_of(&self.target_attr).map_err(|_| {
-            Error::UnknownColumn(format!("{}.{}", target.name(), self.target_attr))
-        })?;
+        target
+            .index_of(&self.target_attr)
+            .map_err(|_| Error::UnknownColumn(format!("{}.{}", target.name(), self.target_attr)))?;
         Ok(())
     }
 
@@ -98,8 +101,8 @@ mod tests {
 
     #[test]
     fn family_income_correspondence_from_example_3_2() {
-        let v = ValueCorrespondence::parse("Parents.salary + Parents2.salary", "FamilyIncome")
-            .unwrap();
+        let v =
+            ValueCorrespondence::parse("Parents.salary + Parents2.salary", "FamilyIncome").unwrap();
         v.validate(&graph_scheme(), &target()).unwrap();
         assert_eq!(v.source_qualifiers(), vec!["Parents", "Parents2"]);
     }

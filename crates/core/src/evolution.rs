@@ -17,9 +17,7 @@ use clio_relational::ops::subsumes;
 use clio_relational::schema::Scheme;
 use clio_relational::value::Value;
 
-use crate::illustration::{
-    requirements, satisfies, Illustration, SufficiencyScope,
-};
+use crate::illustration::{requirements, satisfies, Illustration, SufficiencyScope};
 use crate::mapping::Mapping;
 
 /// The outcome of evolving an illustration across a mapping change.
@@ -58,6 +56,7 @@ pub fn evolve_illustration(
     db: &Database,
     funcs: &FuncRegistry,
 ) -> Result<Evolution> {
+    let _span = clio_obs::span("evolution.evolve");
     let old_scheme = old_mapping.graph.scheme(db)?;
     let new_scheme = new_mapping.graph.scheme(db)?;
     if !new_scheme.contains_scheme(&old_scheme) {
@@ -75,7 +74,12 @@ pub fn evolve_illustration(
             if chosen.contains(&i) {
                 continue;
             }
-            if extends(&old_scheme, &old.association, &new_scheme, &candidate.association)? {
+            if extends(
+                &old_scheme,
+                &old.association,
+                &new_scheme,
+                &candidate.association,
+            )? {
                 chosen.push(i);
             }
         }
@@ -92,6 +96,7 @@ pub fn evolve_illustration(
         .map(|r| chosen.iter().any(|&i| satisfies(&population[i], r)))
         .collect();
     loop {
+        clio_obs::metrics::incr(clio_obs::metrics::Counter::GreedyIterations);
         let mut best: Option<(usize, usize)> = None;
         for (i, e) in population.iter().enumerate() {
             if chosen.contains(&i) {
@@ -211,10 +216,14 @@ mod tests {
         let mut g = QueryGraph::new();
         let c = g.add_node(Node::new("Children")).unwrap();
         let p = g.add_node(Node::new("Parents")).unwrap();
-        g.add_edge(c, p, Expr::col_eq("Children.mid", "Parents.ID")).unwrap();
+        g.add_edge(c, p, Expr::col_eq("Children.mid", "Parents.ID"))
+            .unwrap();
         let mut m = old_mapping();
         m.graph = g;
-        m.set_correspondence(ValueCorrespondence::identity("Parents.affiliation", "affiliation"));
+        m.set_correspondence(ValueCorrespondence::identity(
+            "Parents.affiliation",
+            "affiliation",
+        ));
         m
     }
 
@@ -311,11 +320,14 @@ mod tests {
         let old_m = old_mapping();
         let new_m = new_mapping();
         let old_pop = old_m.examples(&database, &funcs()).unwrap();
-        let old_ill = Illustration { examples: old_pop.clone() };
+        let old_ill = Illustration {
+            examples: old_pop.clone(),
+        };
         let old_scheme = old_m.graph.scheme(&database).unwrap();
         let new_scheme = new_m.graph.scheme(&database).unwrap();
         // an empty new illustration violates continuity
-        assert!(!continuity_holds(&old_ill, &Illustration::empty(), &old_scheme, &new_scheme)
-            .unwrap());
+        assert!(
+            !continuity_holds(&old_ill, &Illustration::empty(), &old_scheme, &new_scheme).unwrap()
+        );
     }
 }

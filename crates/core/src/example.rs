@@ -56,12 +56,12 @@ pub fn render_examples(graph: &QueryGraph, scheme: &Scheme, examples: &[&Example
 
 /// Render the *target side* of a set of examples (the induced tuples).
 #[must_use]
-pub fn render_example_targets(
-    target_scheme: &Scheme,
-    examples: &[&Example],
-) -> String {
+pub fn render_example_targets(target_scheme: &Scheme, examples: &[&Example]) -> String {
     let rows: Vec<Vec<Value>> = examples.iter().map(|e| e.target.clone()).collect();
-    let tags: Vec<String> = examples.iter().map(|e| e.polarity_tag().to_owned()).collect();
+    let tags: Vec<String> = examples
+        .iter()
+        .map(|e| e.polarity_tag().to_owned())
+        .collect();
     clio_relational::display::render_table(target_scheme, &rows, &tags)
 }
 
@@ -77,7 +77,8 @@ mod tests {
         let mut g = QueryGraph::new();
         g.add_node(Node::new("Children")).unwrap();
         g.add_node(Node::new("Parents")).unwrap();
-        g.add_edge(0, 1, Expr::col_eq("Children.mid", "Parents.ID")).unwrap();
+        g.add_edge(0, 1, Expr::col_eq("Children.mid", "Parents.ID"))
+            .unwrap();
         g
     }
 

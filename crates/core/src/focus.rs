@@ -45,11 +45,7 @@ impl Focus {
             .ok_or_else(|| Error::Invalid("focus node out of range".into()))?
             .relation;
         let rel = db.relation(rel_name)?;
-        let tuples = rel
-            .rows_where(attr, value)?
-            .into_iter()
-            .cloned()
-            .collect();
+        let tuples = rel.rows_where(attr, value)?.into_iter().cloned().collect();
         Ok(Focus { node, tuples })
     }
 
@@ -140,15 +136,22 @@ mod tests {
         let mut g = QueryGraph::new();
         let c = g.add_node(Node::new("Children")).unwrap();
         let p = g.add_node(Node::new("Parents")).unwrap();
-        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap()).unwrap();
+        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap())
+            .unwrap();
         let target = RelSchema::new(
             "Kids",
-            vec![Attribute::not_null("ID", DataType::Str), Attribute::new("affiliation", DataType::Str)],
+            vec![
+                Attribute::not_null("ID", DataType::Str),
+                Attribute::new("affiliation", DataType::Str),
+            ],
         )
         .unwrap();
         Mapping::new(g, target)
             .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
-            .with_correspondence(ValueCorrespondence::identity("Parents.affiliation", "affiliation"))
+            .with_correspondence(ValueCorrespondence::identity(
+                "Parents.affiliation",
+                "affiliation",
+            ))
             .with_target_not_null_filters()
     }
 
@@ -176,21 +179,38 @@ mod tests {
 
         // illustration holding every child example but NOT parent 205's
         let child_only = Illustration {
-            examples: all.iter().filter(|e| e.coverage & 0b01 != 0).cloned().collect(),
+            examples: all
+                .iter()
+                .filter(|e| e.coverage & 0b01 != 0)
+                .cloned()
+                .collect(),
         };
         let focus_children = Focus {
             node: 0,
             tuples: database.relation("Children").unwrap().rows().to_vec(),
         };
-        assert!(is_focused(&child_only, &all, &scheme, "Children", &focus_children));
+        assert!(is_focused(
+            &child_only,
+            &all,
+            &scheme,
+            "Children",
+            &focus_children
+        ));
 
         // but it is NOT focused on parent 205
-        let focus_205 =
-            Focus::on_value(&m, &database, 1, "ID", &Value::str("205")).unwrap();
-        assert!(!is_focused(&child_only, &all, &scheme, "Parents", &focus_205));
+        let focus_205 = Focus::on_value(&m, &database, 1, "ID", &Value::str("205")).unwrap();
+        assert!(!is_focused(
+            &child_only,
+            &all,
+            &scheme,
+            "Parents",
+            &focus_205
+        ));
 
         // adding 205's association makes it focused
-        let full = Illustration { examples: all.clone() };
+        let full = Illustration {
+            examples: all.clone(),
+        };
         assert!(is_focused(&full, &all, &scheme, "Parents", &focus_205));
     }
 
@@ -200,8 +220,17 @@ mod tests {
         let database = db();
         let all = m.examples(&database, &funcs()).unwrap();
         let scheme = m.graph.scheme(&database).unwrap();
-        let focus = Focus { node: 0, tuples: vec![] };
-        assert!(is_focused(&Illustration::empty(), &all, &scheme, "Children", &focus));
+        let focus = Focus {
+            node: 0,
+            tuples: vec![],
+        };
+        assert!(is_focused(
+            &Illustration::empty(),
+            &all,
+            &scheme,
+            "Children",
+            &focus
+        ));
     }
 
     #[test]

@@ -19,13 +19,12 @@
 //! quantifies the gap between the two algorithms, and a property test in
 //! `tests/properties.rs` checks they agree on random tree graphs.
 
+use clio_obs::metrics::{self, Counter};
 use clio_relational::database::Database;
 use clio_relational::error::{Error, Result};
 use clio_relational::expr::Expr;
 use clio_relational::funcs::FuncRegistry;
-use clio_relational::ops::{
-    join, minimum_union_all, pad_to, select, JoinKind, SubsumptionAlgo,
-};
+use clio_relational::ops::{join, minimum_union_all, pad_to, select, JoinKind, SubsumptionAlgo};
 use clio_relational::table::Table;
 
 use crate::association::AssociationSet;
@@ -59,7 +58,9 @@ pub fn full_associations(
     funcs: &FuncRegistry,
 ) -> Result<Table> {
     if mask == 0 {
-        return Err(Error::Invalid("empty node set has no full associations".into()));
+        return Err(Error::Invalid(
+            "empty node set has no full associations".into(),
+        ));
     }
     if !graph.is_subset_connected(mask) {
         return Err(Error::Invalid(
@@ -92,14 +93,19 @@ pub fn full_associations(
             .edges()
             .iter()
             .filter(|e| {
-                (e.a == n && included & (1 << e.b) != 0)
-                    || (e.b == n && included & (1 << e.a) != 0)
+                (e.a == n && included & (1 << e.b) != 0) || (e.b == n && included & (1 << e.a) != 0)
             })
             .map(|e| e.predicate.clone())
             .collect();
         debug_assert!(!preds.is_empty(), "connected order guarantees an edge");
         let pred = Expr::conjunction(preds);
-        acc = join(&acc, &graph.node_table(db, n)?, &pred, JoinKind::Inner, funcs)?;
+        acc = join(
+            &acc,
+            &graph.node_table(db, n)?,
+            &pred,
+            JoinKind::Inner,
+            funcs,
+        )?;
         included |= 1 << n;
     }
     Ok(acc)
@@ -113,12 +119,14 @@ pub fn full_disjunction_naive(
     funcs: &FuncRegistry,
     subsumption: SubsumptionAlgo,
 ) -> Result<AssociationSet> {
+    let _span = clio_obs::span("fd.naive");
     let scheme = graph.scheme(db)?;
     let mut padded: Vec<Table> = Vec::new();
     for mask in connected_subsets(graph) {
         let f = full_associations(db, graph, mask, funcs)?;
         padded.push(pad_to(&f, &scheme)?);
     }
+    metrics::add(Counter::SubgraphsEnumerated, padded.len() as u64);
     let refs: Vec<&Table> = padded.iter().collect();
     let table = minimum_union_all(&refs, subsumption)?;
     Ok(AssociationSet::from_table(graph, table))
@@ -131,6 +139,7 @@ pub fn full_disjunction_outer_join(
     graph: &QueryGraph,
     funcs: &FuncRegistry,
 ) -> Result<AssociationSet> {
+    let _span = clio_obs::span("fd.outer_join");
     if !graph.is_tree() {
         return Err(Error::Invalid(
             "outer-join full disjunction requires a tree query graph".into(),
@@ -144,8 +153,7 @@ pub fn full_disjunction_outer_join(
             .edges()
             .iter()
             .find(|e| {
-                (e.a == n && included & (1 << e.b) != 0)
-                    || (e.b == n && included & (1 << e.a) != 0)
+                (e.a == n && included & (1 << e.b) != 0) || (e.b == n && included & (1 << e.a) != 0)
             })
             .expect("tree + connected order guarantee exactly one edge");
         acc = join(
@@ -155,6 +163,7 @@ pub fn full_disjunction_outer_join(
             JoinKind::FullOuter,
             funcs,
         )?;
+        metrics::incr(Counter::OuterJoinSteps);
         included |= 1 << n;
     }
     // reorder columns into the canonical graph scheme
@@ -257,8 +266,10 @@ mod tests {
         let c = g.add_node(Node::new("Children")).unwrap();
         let p = g.add_node(Node::new("Parents")).unwrap();
         let ph = g.add_node(Node::new("PhoneDir").with_code("Ph")).unwrap();
-        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap()).unwrap();
-        g.add_edge(p, ph, parse_expr("PhoneDir.ID = Parents.ID").unwrap()).unwrap();
+        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap())
+            .unwrap();
+        g.add_edge(p, ph, parse_expr("PhoneDir.ID = Parents.ID").unwrap())
+            .unwrap();
         g
     }
 
@@ -325,7 +336,8 @@ mod tests {
     #[test]
     fn outer_join_rejects_cycles() {
         let mut g = path_graph();
-        g.add_edge(0, 2, parse_expr("Children.ID = PhoneDir.ID").unwrap()).unwrap();
+        g.add_edge(0, 2, parse_expr("Children.ID = PhoneDir.ID").unwrap())
+            .unwrap();
         assert!(full_disjunction_outer_join(&db(), &g, &funcs()).is_err());
         // but auto dispatch falls back to naive
         full_disjunction(&db(), &g, FdAlgo::Auto, &funcs()).unwrap();
@@ -355,7 +367,8 @@ mod tests {
         // triangle: Children-Parents (mid), Parents-PhoneDir (ID),
         // Children-PhoneDir (mid = PhoneDir.ID) — consistent cycle
         let mut g = path_graph();
-        g.add_edge(0, 2, parse_expr("Children.mid = PhoneDir.ID").unwrap()).unwrap();
+        g.add_edge(0, 2, parse_expr("Children.mid = PhoneDir.ID").unwrap())
+            .unwrap();
         let d = full_disjunction_naive(&db(), &g, &funcs(), SubsumptionAlgo::Partitioned).unwrap();
         // full CPPh coverage still has both children; the CP and CPh pairs
         // are subsumed; PPh for 205, P for 207 survive
@@ -390,6 +403,10 @@ mod tests {
         assert_eq!(d.len(), 2);
         assert_eq!(d.categories(), vec![0b01, 0b10]);
         // every association is half-null
-        assert!(d.table().rows().iter().all(|r| r.iter().any(Value::is_null)));
+        assert!(d
+            .table()
+            .rows()
+            .iter()
+            .all(|r| r.iter().any(Value::is_null)));
     }
 }

@@ -22,6 +22,8 @@
 
 use std::collections::HashMap;
 
+use clio_obs::metrics::{self, Counter};
+
 use crate::example::Example;
 use crate::query_graph::QueryGraph;
 
@@ -52,14 +54,17 @@ pub enum Requirement {
 /// Does example `e` satisfy requirement `r`?
 #[must_use]
 pub fn satisfies(e: &Example, r: &Requirement) -> bool {
+    metrics::incr(Counter::RequirementsChecked);
     match *r {
         Requirement::Coverage(c) => e.coverage == c,
         Requirement::Polarity { coverage, positive } => {
             e.coverage == coverage && e.positive == positive
         }
-        Requirement::AttrValue { coverage, attr, non_null } => {
-            e.positive && e.coverage == coverage && e.target[attr].is_null() != non_null
-        }
+        Requirement::AttrValue {
+            coverage,
+            attr,
+            non_null,
+        } => e.positive && e.coverage == coverage && e.target[attr].is_null() != non_null,
     }
 }
 
@@ -78,25 +83,41 @@ impl SufficiencyScope {
     /// Def 4.6: everything.
     #[must_use]
     pub fn mapping() -> SufficiencyScope {
-        SufficiencyScope { graph: true, filters: true, correspondences: true }
+        SufficiencyScope {
+            graph: true,
+            filters: true,
+            correspondences: true,
+        }
     }
 
     /// Def 4.2 only.
     #[must_use]
     pub fn graph_only() -> SufficiencyScope {
-        SufficiencyScope { graph: true, filters: false, correspondences: false }
+        SufficiencyScope {
+            graph: true,
+            filters: false,
+            correspondences: false,
+        }
     }
 
     /// Def 4.4 only.
     #[must_use]
     pub fn filters_only() -> SufficiencyScope {
-        SufficiencyScope { graph: false, filters: true, correspondences: false }
+        SufficiencyScope {
+            graph: false,
+            filters: true,
+            correspondences: false,
+        }
     }
 
     /// Def 4.5 only.
     #[must_use]
     pub fn correspondences_only() -> SufficiencyScope {
-        SufficiencyScope { graph: false, filters: false, correspondences: true }
+        SufficiencyScope {
+            graph: false,
+            filters: false,
+            correspondences: true,
+        }
     }
 }
 
@@ -124,7 +145,10 @@ pub fn requirements(
         }
         if scope.filters {
             for positive in [true, false] {
-                let r = Requirement::Polarity { coverage: c, positive };
+                let r = Requirement::Polarity {
+                    coverage: c,
+                    positive,
+                };
                 if all.iter().any(|e| satisfies(e, &r)) {
                     out.push(r);
                 }
@@ -133,7 +157,11 @@ pub fn requirements(
         if scope.correspondences {
             for attr in 0..target_arity {
                 for non_null in [true, false] {
-                    let r = Requirement::AttrValue { coverage: c, attr, non_null };
+                    let r = Requirement::AttrValue {
+                        coverage: c,
+                        attr,
+                        non_null,
+                    };
                     if all.iter().any(|e| satisfies(e, &r)) {
                         out.push(r);
                     }
@@ -162,15 +190,13 @@ pub fn is_sufficient(
 /// example covering the most uncovered requirements. Returns indexes into
 /// `all`.
 #[must_use]
-pub fn select_greedy(
-    all: &[Example],
-    target_arity: usize,
-    scope: SufficiencyScope,
-) -> Vec<usize> {
+pub fn select_greedy(all: &[Example], target_arity: usize, scope: SufficiencyScope) -> Vec<usize> {
+    let _span = clio_obs::span("illustration.select_greedy");
     let reqs = requirements(all, target_arity, scope);
     let mut covered = vec![false; reqs.len()];
     let mut chosen: Vec<usize> = Vec::new();
     loop {
+        metrics::incr(Counter::GreedyIterations);
         let mut best: Option<(usize, usize)> = None; // (example idx, gain)
         for (i, e) in all.iter().enumerate() {
             if chosen.contains(&i) {
@@ -215,11 +241,7 @@ pub fn select_exact(
     // candidates per requirement
     let cands: Vec<Vec<usize>> = reqs
         .iter()
-        .map(|r| {
-            (0..all.len())
-                .filter(|&i| satisfies(&all[i], r))
-                .collect()
-        })
+        .map(|r| (0..all.len()).filter(|&i| satisfies(&all[i], r)).collect())
         .collect();
     let greedy = select_greedy(all, target_arity, scope);
     let mut best: Vec<usize> = greedy;
@@ -245,9 +267,10 @@ pub fn select_exact(
         let mut pick: Option<usize> = None;
         for (k, r) in reqs.iter().enumerate() {
             if !chosen.iter().any(|&i| satisfies(&all[i], r))
-                && pick.is_none_or(|p| cands[k].len() < cands[p].len()) {
-                    pick = Some(k);
-                }
+                && pick.is_none_or(|p| cands[k].len() < cands[p].len())
+            {
+                pick = Some(k);
+            }
         }
         let Some(k) = pick else {
             // all covered: new best
@@ -266,7 +289,15 @@ pub fn select_exact(
     }
 
     let mut chosen = Vec::new();
-    let completed = recurse(all, &reqs, &cands, &mut chosen, &mut best, &mut nodes, node_limit);
+    let completed = recurse(
+        all,
+        &reqs,
+        &cands,
+        &mut chosen,
+        &mut best,
+        &mut nodes,
+        node_limit,
+    );
     completed.then(|| {
         best.sort_unstable();
         best
@@ -285,13 +316,17 @@ impl Illustration {
     /// An empty illustration.
     #[must_use]
     pub fn empty() -> Illustration {
-        Illustration { examples: Vec::new() }
+        Illustration {
+            examples: Vec::new(),
+        }
     }
 
     /// Build from chosen indexes into a population.
     #[must_use]
     pub fn from_indexes(all: &[Example], idxs: &[usize]) -> Illustration {
-        Illustration { examples: idxs.iter().map(|&i| all[i].clone()).collect() }
+        Illustration {
+            examples: idxs.iter().map(|&i| all[i].clone()).collect(),
+        }
     }
 
     /// A minimal sufficient illustration of the mapping (Def 4.6): exact
@@ -322,6 +357,7 @@ impl Illustration {
             .map(|r| examples.iter().any(|e| satisfies(e, r)))
             .collect();
         loop {
+            metrics::incr(Counter::GreedyIterations);
             let mut best: Option<(usize, usize)> = None;
             for (i, e) in all.iter().enumerate() {
                 if examples.contains(e) {
@@ -483,15 +519,29 @@ mod tests {
         let pop = population();
         assert!(satisfies(&pop[0], &Requirement::Coverage(0b11)));
         assert!(!satisfies(&pop[3], &Requirement::Coverage(0b11)));
-        assert!(satisfies(&pop[2], &Requirement::Polarity { coverage: 0b11, positive: false }));
+        assert!(satisfies(
+            &pop[2],
+            &Requirement::Polarity {
+                coverage: 0b11,
+                positive: false
+            }
+        ));
         assert!(satisfies(
             &pop[1],
-            &Requirement::AttrValue { coverage: 0b11, attr: 1, non_null: false }
+            &Requirement::AttrValue {
+                coverage: 0b11,
+                attr: 1,
+                non_null: false
+            }
         ));
         // negative examples never satisfy AttrValue requirements
         assert!(!satisfies(
             &pop[2],
-            &Requirement::AttrValue { coverage: 0b11, attr: 1, non_null: true }
+            &Requirement::AttrValue {
+                coverage: 0b11,
+                attr: 1,
+                non_null: true
+            }
         ));
     }
 
@@ -500,15 +550,29 @@ mod tests {
         let pop = population();
         let reqs = requirements(&pop, 2, SufficiencyScope::mapping());
         // no positive example with coverage 0b10 → no such polarity req
-        assert!(!reqs.contains(&Requirement::Polarity { coverage: 0b10, positive: true }));
-        assert!(reqs.contains(&Requirement::Polarity { coverage: 0b10, positive: false }));
+        assert!(!reqs.contains(&Requirement::Polarity {
+            coverage: 0b10,
+            positive: true
+        }));
+        assert!(reqs.contains(&Requirement::Polarity {
+            coverage: 0b10,
+            positive: false
+        }));
         // coverage reqs for all three categories
         for c in [0b01u64, 0b10, 0b11] {
             assert!(reqs.contains(&Requirement::Coverage(c)));
         }
         // 0b01 positives never have attr1 non-null → only the null variant
-        assert!(reqs.contains(&Requirement::AttrValue { coverage: 0b01, attr: 1, non_null: false }));
-        assert!(!reqs.contains(&Requirement::AttrValue { coverage: 0b01, attr: 1, non_null: true }));
+        assert!(reqs.contains(&Requirement::AttrValue {
+            coverage: 0b01,
+            attr: 1,
+            non_null: false
+        }));
+        assert!(!reqs.contains(&Requirement::AttrValue {
+            coverage: 0b01,
+            attr: 1,
+            non_null: true
+        }));
     }
 
     #[test]
@@ -521,27 +585,55 @@ mod tests {
     fn dropping_a_category_breaks_graph_sufficiency() {
         let pop = population();
         let partial: Vec<Example> = pop.iter().filter(|e| e.coverage != 0b10).cloned().collect();
-        assert!(!is_sufficient(&partial, &pop, 2, SufficiencyScope::graph_only()));
+        assert!(!is_sufficient(
+            &partial,
+            &pop,
+            2,
+            SufficiencyScope::graph_only()
+        ));
         // but removing one of two CPPh-full examples keeps it sufficient
-        let partial: Vec<Example> =
-            pop.iter().enumerate().filter(|(i, _)| *i != 0).map(|(_, e)| e.clone()).collect();
-        assert!(is_sufficient(&partial, &pop, 2, SufficiencyScope::graph_only()));
+        let partial: Vec<Example> = pop
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 0)
+            .map(|(_, e)| e.clone())
+            .collect();
+        assert!(is_sufficient(
+            &partial,
+            &pop,
+            2,
+            SufficiencyScope::graph_only()
+        ));
     }
 
     #[test]
     fn filters_sufficiency_needs_both_polarities() {
         let pop = population();
         let only_positive: Vec<Example> = pop.iter().filter(|e| e.positive).cloned().collect();
-        assert!(!is_sufficient(&only_positive, &pop, 2, SufficiencyScope::filters_only()));
+        assert!(!is_sufficient(
+            &only_positive,
+            &pop,
+            2,
+            SufficiencyScope::filters_only()
+        ));
     }
 
     #[test]
     fn correspondence_sufficiency_needs_null_and_non_null_witnesses() {
         let pop = population();
         // drop example 1 (the only positive 0b11 with null attr1)
-        let partial: Vec<Example> =
-            pop.iter().enumerate().filter(|(i, _)| *i != 1).map(|(_, e)| e.clone()).collect();
-        assert!(!is_sufficient(&partial, &pop, 2, SufficiencyScope::correspondences_only()));
+        let partial: Vec<Example> = pop
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .map(|(_, e)| e.clone())
+            .collect();
+        assert!(!is_sufficient(
+            &partial,
+            &pop,
+            2,
+            SufficiencyScope::correspondences_only()
+        ));
     }
 
     #[test]
@@ -549,7 +641,12 @@ mod tests {
         let pop = population();
         let idxs = select_greedy(&pop, 2, SufficiencyScope::mapping());
         let ill = Illustration::from_indexes(&pop, &idxs);
-        assert!(is_sufficient(&ill.examples, &pop, 2, SufficiencyScope::mapping()));
+        assert!(is_sufficient(
+            &ill.examples,
+            &pop,
+            2,
+            SufficiencyScope::mapping()
+        ));
     }
 
     #[test]
@@ -557,7 +654,12 @@ mod tests {
         let pop = population();
         let idxs = select_exact(&pop, 2, SufficiencyScope::mapping(), 100_000).unwrap();
         let ill = Illustration::from_indexes(&pop, &idxs);
-        assert!(is_sufficient(&ill.examples, &pop, 2, SufficiencyScope::mapping()));
+        assert!(is_sufficient(
+            &ill.examples,
+            &pop,
+            2,
+            SufficiencyScope::mapping()
+        ));
         // this instance needs examples 1 (null attr1), one of {0} (non-null
         // attr1 + non-null attr0), 2 (negative 0b11), 3, 4 → exactly 5? No:
         // example 0 covers several reqs; count must be ≤ greedy's
@@ -576,7 +678,12 @@ mod tests {
     fn minimal_sufficient_constructor() {
         let pop = population();
         let ill = Illustration::minimal_sufficient(&pop, 2);
-        assert!(is_sufficient(&ill.examples, &pop, 2, SufficiencyScope::mapping()));
+        assert!(is_sufficient(
+            &ill.examples,
+            &pop,
+            2,
+            SufficiencyScope::mapping()
+        ));
         let (p, n) = ill.polarity_counts();
         assert!(p >= 1 && n >= 1);
         assert_eq!(ill.category_histogram().len(), 3);

@@ -77,9 +77,7 @@ impl JoinSpec {
         Expr::conjunction(
             self.attr_pairs
                 .iter()
-                .map(|(a, b)| {
-                    Expr::col_eq(&format!("{alias_a}.{a}"), &format!("{alias_b}.{b}"))
-                })
+                .map(|(a, b)| Expr::col_eq(&format!("{alias_a}.{a}"), &format!("{alias_b}.{b}")))
                 .collect(),
         )
     }
@@ -237,10 +235,34 @@ mod tests {
     /// PhoneDir.ID → Parents.ID, plus a mined Children.ID = PhoneDir.ID.
     fn knowledge() -> SchemaKnowledge {
         let mut k = SchemaKnowledge::new();
-        k.add_spec(JoinSpec::simple("Children", "mid", "Parents", "ID", Provenance::ForeignKey));
-        k.add_spec(JoinSpec::simple("Children", "fid", "Parents", "ID", Provenance::ForeignKey));
-        k.add_spec(JoinSpec::simple("PhoneDir", "ID", "Parents", "ID", Provenance::ForeignKey));
-        k.add_spec(JoinSpec::simple("Children", "ID", "PhoneDir", "ID", Provenance::Mined));
+        k.add_spec(JoinSpec::simple(
+            "Children",
+            "mid",
+            "Parents",
+            "ID",
+            Provenance::ForeignKey,
+        ));
+        k.add_spec(JoinSpec::simple(
+            "Children",
+            "fid",
+            "Parents",
+            "ID",
+            Provenance::ForeignKey,
+        ));
+        k.add_spec(JoinSpec::simple(
+            "PhoneDir",
+            "ID",
+            "Parents",
+            "ID",
+            Provenance::ForeignKey,
+        ));
+        k.add_spec(JoinSpec::simple(
+            "Children",
+            "ID",
+            "PhoneDir",
+            "ID",
+            Provenance::Mined,
+        ));
         k
     }
 
@@ -296,7 +318,8 @@ mod tests {
         let spec = JoinSpec::simple("Children", "mid", "Parents", "ID", Provenance::ForeignKey);
         assert_eq!(spec.instantiate("C", "P").to_string(), "C.mid = P.ID");
         assert_eq!(
-            spec.instantiate_from("Parents", "Parents2", "Children").to_string(),
+            spec.instantiate_from("Parents", "Parents2", "Children")
+                .to_string(),
             "Children.mid = Parents2.ID"
         );
     }
@@ -309,11 +332,17 @@ mod tests {
 
         let mut db = Database::new();
         db.add_relation(
-            RelationBuilder::new("Children").attr("mid", DataType::Str).build().unwrap(),
+            RelationBuilder::new("Children")
+                .attr("mid", DataType::Str)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         db.add_relation(
-            RelationBuilder::new("Parents").attr("ID", DataType::Str).build().unwrap(),
+            RelationBuilder::new("Parents")
+                .attr("ID", DataType::Str)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         db.constraints
@@ -328,7 +357,13 @@ mod tests {
     fn duplicate_specs_ignored() {
         let mut k = knowledge();
         let n = k.specs().len();
-        k.add_spec(JoinSpec::simple("Children", "mid", "Parents", "ID", Provenance::ForeignKey));
+        k.add_spec(JoinSpec::simple(
+            "Children",
+            "mid",
+            "Parents",
+            "ID",
+            Provenance::ForeignKey,
+        ));
         assert_eq!(k.specs().len(), n);
     }
 

@@ -30,8 +30,8 @@ pub mod prelude {
     pub use crate::example::Example;
     pub use crate::focus::{focused_examples, is_focused, Focus};
     pub use crate::full_disjunction::{
-        full_associations, full_disjunction, full_disjunction_naive,
-        full_disjunction_outer_join, FdAlgo,
+        full_associations, full_disjunction, full_disjunction_naive, full_disjunction_outer_join,
+        FdAlgo,
     };
     pub use crate::illustration::{
         is_sufficient, requirements, select_exact, select_greedy, Illustration, Requirement,
@@ -39,18 +39,20 @@ pub mod prelude {
     };
     pub use crate::knowledge::{JoinSpec, PathStep, Provenance, SchemaKnowledge};
     pub use crate::mapping::{Mapping, MappingEvaluator};
-    pub use crate::mining::{enrich_knowledge, mine_inclusion_dependencies, MinedDependency, MiningConfig};
-    pub use crate::profile::{profile_database, render_profile, AttributeProfile};
+    pub use crate::mining::{
+        enrich_knowledge, mine_inclusion_dependencies, MinedDependency, MiningConfig,
+    };
     pub use crate::operators::{
         add_correspondence, data_chase, data_walk, require_target_attribute, trim_effect,
         AddOutcome, ChaseAlternative, TrimEffect, WalkAlternative,
     };
+    pub use crate::profile::{profile_database, render_profile, AttributeProfile};
     pub use crate::query_graph::{Edge, Node, NodeId, QueryGraph};
     pub use crate::ranking::{join_support, rank_walk_alternatives, RankScore};
     pub use crate::script::{parse_mapping, write_mapping};
-    pub use crate::target_mapping::{Contribution, TargetMapping};
-    pub use crate::verify::{verify_mapping, Finding};
     pub use crate::session::{Session, Workspace};
     pub use crate::sql::{generate_sql, SqlOptions};
     pub use crate::subgraph::{connected_subsets, connected_subsets_exhaustive};
+    pub use crate::target_mapping::{Contribution, TargetMapping};
+    pub use crate::verify::{verify_mapping, Finding};
 }

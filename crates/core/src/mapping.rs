@@ -239,6 +239,7 @@ impl Mapping {
     /// Evaluate the mapping query: the subset of the target relation this
     /// mapping produces (paper Def 3.14). Result rows are distinct.
     pub fn evaluate(&self, db: &Database, funcs: &FuncRegistry) -> Result<Table> {
+        let _span = clio_obs::span("mapping.evaluate");
         let assocs = self.associations(db, FdAlgo::Auto, funcs)?;
         let eval = self.evaluator(db, funcs)?;
         let mut out = Table::empty(self.target_scheme());
@@ -254,6 +255,7 @@ impl Mapping {
     /// association `d`, with target tuple `Q_{φ(M)}(d)` and positive flag
     /// `d ⊨ C_S ∧ t ⊨ C_T`.
     pub fn examples(&self, db: &Database, funcs: &FuncRegistry) -> Result<Vec<Example>> {
+        let _span = clio_obs::span("mapping.examples");
         let assocs = self.associations(db, FdAlgo::Auto, funcs)?;
         self.examples_for(&assocs, db, funcs)
     }
@@ -439,7 +441,8 @@ mod tests {
         let mut g = QueryGraph::new();
         let c = g.add_node(Node::new("Children")).unwrap();
         let p = g.add_node(Node::new("Parents")).unwrap();
-        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap()).unwrap();
+        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap())
+            .unwrap();
         g
     }
 
@@ -447,7 +450,10 @@ mod tests {
         Mapping::new(graph(), target())
             .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
             .with_correspondence(ValueCorrespondence::identity("Children.name", "name"))
-            .with_correspondence(ValueCorrespondence::identity("Parents.affiliation", "affiliation"))
+            .with_correspondence(ValueCorrespondence::identity(
+                "Parents.affiliation",
+                "affiliation",
+            ))
             .with_source_filter(parse_expr("Children.age < 7").unwrap())
             .with_target_not_null_filters()
     }
@@ -483,7 +489,11 @@ mod tests {
         assert!(names.contains(&"Maya".to_owned()));
         assert!(names.contains(&"Tom".to_owned()));
         // Tom has no mother, so his affiliation is null
-        let tom = out.rows().iter().find(|r| r[1] == Value::str("Tom")).unwrap();
+        let tom = out
+            .rows()
+            .iter()
+            .find(|r| r[1] == Value::str("Tom"))
+            .unwrap();
         assert!(tom[2].is_null());
     }
 
@@ -531,7 +541,10 @@ mod tests {
         m.set_correspondence(ValueCorrespondence::identity("Parents.ID", "affiliation"));
         assert_eq!(m.correspondences.len(), 3);
         assert_eq!(
-            m.correspondence_for("affiliation").unwrap().expr.to_string(),
+            m.correspondence_for("affiliation")
+                .unwrap()
+                .expr
+                .to_string(),
             "Parents.ID"
         );
     }
@@ -539,7 +552,8 @@ mod tests {
     #[test]
     fn duplicate_correspondences_rejected_by_validate() {
         let mut m = mapping();
-        m.correspondences.push(ValueCorrespondence::identity("Parents.ID", "ID"));
+        m.correspondences
+            .push(ValueCorrespondence::identity("Parents.ID", "ID"));
         assert!(m.validate(&db(), &funcs()).is_err());
     }
 

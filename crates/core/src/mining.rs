@@ -34,7 +34,11 @@ pub struct MiningConfig {
 
 impl Default for MiningConfig {
     fn default() -> Self {
-        MiningConfig { min_containment: 0.95, min_shared_values: 2, require_same_type: true }
+        MiningConfig {
+            min_containment: 0.95,
+            min_shared_values: 2,
+            require_same_type: true,
+        }
     }
 }
 
@@ -139,15 +143,18 @@ pub fn enrich_knowledge(
     let mined = mine_inclusion_dependencies(db, config);
     let mut added = Vec::new();
     for dep in mined {
-        let duplicate = knowledge.specs_between(&dep.from.0, &dep.to.0).iter().any(|s| {
-            s.attr_pairs.len() == 1
-                && ((s.rel_a == dep.from.0
-                    && s.attr_pairs[0].0 == dep.from.1
-                    && s.attr_pairs[0].1 == dep.to.1)
-                    || (s.rel_b == dep.from.0
-                        && s.attr_pairs[0].1 == dep.from.1
-                        && s.attr_pairs[0].0 == dep.to.1))
-        });
+        let duplicate = knowledge
+            .specs_between(&dep.from.0, &dep.to.0)
+            .iter()
+            .any(|s| {
+                s.attr_pairs.len() == 1
+                    && ((s.rel_a == dep.from.0
+                        && s.attr_pairs[0].0 == dep.from.1
+                        && s.attr_pairs[0].1 == dep.to.1)
+                        || (s.rel_b == dep.from.0
+                            && s.attr_pairs[0].1 == dep.from.1
+                            && s.attr_pairs[0].0 == dep.to.1))
+            });
         if !duplicate {
             knowledge.add_spec(dep.to_spec());
             added.push(dep);
@@ -240,7 +247,11 @@ mod tests {
     }
 
     fn strict() -> MiningConfig {
-        MiningConfig { min_containment: 1.0, min_shared_values: 2, require_same_type: true }
+        MiningConfig {
+            min_containment: 1.0,
+            min_shared_values: 2,
+            require_same_type: true,
+        }
     }
 
     #[test]
@@ -260,27 +271,41 @@ mod tests {
     fn mining_discovers_the_undeclared_links() {
         let mined = mine_inclusion_dependencies(&db(), &strict());
         // SBPS.ID is contained in Children.ID — the Figure-5 chase link
-        assert!(mined.iter().any(|d| d.from == ("SBPS".into(), "ID".into())
-            && d.to == ("Children".into(), "ID".into())));
-        assert!(mined.iter().any(|d| d.from == ("XmasBazaar".into(), "seller".into())
-            && d.to == ("Children".into(), "ID".into())));
+        assert!(mined
+            .iter()
+            .any(|d| d.from == ("SBPS".into(), "ID".into())
+                && d.to == ("Children".into(), "ID".into())));
+        assert!(mined
+            .iter()
+            .any(|d| d.from == ("XmasBazaar".into(), "seller".into())
+                && d.to == ("Children".into(), "ID".into())));
     }
 
     #[test]
     fn containment_threshold_filters_weak_candidates() {
         // Children.ID only half-contained in SBPS.ID (2/4)
-        let loose = MiningConfig { min_containment: 0.4, ..strict() };
+        let loose = MiningConfig {
+            min_containment: 0.4,
+            ..strict()
+        };
         let mined = mine_inclusion_dependencies(&db(), &loose);
-        assert!(mined.iter().any(|d| d.from == ("Children".into(), "ID".into())
-            && d.to == ("SBPS".into(), "ID".into())));
+        assert!(mined
+            .iter()
+            .any(|d| d.from == ("Children".into(), "ID".into())
+                && d.to == ("SBPS".into(), "ID".into())));
         let tight = mine_inclusion_dependencies(&db(), &strict());
-        assert!(!tight.iter().any(|d| d.from == ("Children".into(), "ID".into())
-            && d.to == ("SBPS".into(), "ID".into())));
+        assert!(!tight
+            .iter()
+            .any(|d| d.from == ("Children".into(), "ID".into())
+                && d.to == ("SBPS".into(), "ID".into())));
     }
 
     #[test]
     fn min_shared_values_filters_coincidences() {
-        let config = MiningConfig { min_shared_values: 3, ..strict() };
+        let config = MiningConfig {
+            min_shared_values: 3,
+            ..strict()
+        };
         for d in mine_inclusion_dependencies(&db(), &config) {
             assert!(d.shared_values >= 3);
         }

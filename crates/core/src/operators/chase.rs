@@ -6,6 +6,7 @@
 //! by the mapping and offers one extension per occurrence site: a new node
 //! plus an outer equijoin edge `Q.A = R.B`.
 
+use clio_obs::metrics::{self, Counter};
 use clio_relational::database::Database;
 use clio_relational::error::{Error, Result};
 use clio_relational::funcs::FuncRegistry;
@@ -62,6 +63,7 @@ pub fn data_chase(
     value: &Value,
     funcs: &FuncRegistry,
 ) -> Result<Vec<ChaseAlternative>> {
+    let _span = clio_obs::span("op.chase");
     let start = mapping
         .graph
         .node_by_alias(start_alias)
@@ -74,8 +76,10 @@ pub fn data_chase(
     }
 
     let mut out = Vec::new();
+    let mut pruned: u64 = 0;
     for (relation, attribute) in index.occurrence_sites(value) {
         if !mapping.graph.nodes_of_relation(&relation).is_empty() {
+            pruned += 1;
             continue; // paper: only relations not referenced by a node in M
         }
         let occurrence_count = index
@@ -103,14 +107,14 @@ pub fn data_chase(
         m.graph = g;
         out.push(ChaseAlternative {
             mapping: m,
-            description: format!(
-                "found `{value}` in {relation}.{attribute}; link {pred}"
-            ),
+            description: format!("found `{value}` in {relation}.{attribute}; link {pred}"),
             relation,
             attribute,
             occurrence_count,
         });
     }
+    metrics::add(Counter::ChaseAlternativesGenerated, out.len() as u64);
+    metrics::add(Counter::ChaseAlternativesPruned, pruned);
     Ok(out)
 }
 
@@ -184,7 +188,8 @@ mod tests {
         let mut g = QueryGraph::new();
         let c = g.add_node(Node::new("Children")).unwrap();
         let p = g.add_node(Node::new("Parents")).unwrap();
-        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap()).unwrap();
+        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap())
+            .unwrap();
         let target =
             RelSchema::new("Kids", vec![Attribute::not_null("ID", DataType::Str)]).unwrap();
         Mapping::new(g, target)
@@ -251,9 +256,16 @@ mod tests {
         let database = db();
         let index = ValueIndex::build(&database);
         let m = mapping().with_source_filter(parse_expr("Children.ID IS NOT NULL").unwrap());
-        let alts =
-            data_chase(&m, &database, &index, "Children", "ID", &Value::str("002"), &funcs())
-                .unwrap();
+        let alts = data_chase(
+            &m,
+            &database,
+            &index,
+            "Children",
+            "ID",
+            &Value::str("002"),
+            &funcs(),
+        )
+        .unwrap();
         for a in &alts {
             assert_eq!(a.mapping.correspondences, m.correspondences);
             assert_eq!(a.mapping.source_filters, m.source_filters);

@@ -64,17 +64,23 @@ pub fn add_correspondence(
                 // drop pieces that no longer bind against the rolled-back
                 // graph (correspondences/filters added for the replaced
                 // computation)
-                let aliases: Vec<String> =
-                    g.nodes().iter().map(|n| n.alias.clone()).collect();
+                let aliases: Vec<String> = g.nodes().iter().map(|n| n.alias.clone()).collect();
                 alternative.correspondences.retain(|c| {
-                    c.source_qualifiers().iter().all(|q| aliases.contains(&(*q).to_owned()))
+                    c.source_qualifiers()
+                        .iter()
+                        .all(|q| aliases.contains(&(*q).to_owned()))
                 });
                 alternative.source_filters.retain(|f| {
-                    f.qualifiers().iter().all(|q| aliases.contains(&(*q).to_owned()))
+                    f.qualifiers()
+                        .iter()
+                        .all(|q| aliases.contains(&(*q).to_owned()))
                 });
             }
             alternative.set_correspondence(v);
-            AddOutcome::NewAlternative { alternative, replaced }
+            AddOutcome::NewAlternative {
+                alternative,
+                replaced,
+            }
         }
     }
 }
@@ -104,7 +110,8 @@ mod tests {
     fn extended_graph() -> QueryGraph {
         let mut g = base_graph();
         let b = g.add_node(Node::new("BusSchedule").with_code("B")).unwrap();
-        g.add_edge(0, b, Expr::col_eq("Children.ID", "BusSchedule.ID")).unwrap();
+        g.add_edge(0, b, Expr::col_eq("Children.ID", "BusSchedule.ID"))
+            .unwrap();
         g
     }
 
@@ -122,11 +129,7 @@ mod tests {
     #[test]
     fn first_correspondence_extends() {
         let m = Mapping::new(base_graph(), target());
-        let out = add_correspondence(
-            &m,
-            ValueCorrespondence::identity("Children.ID", "ID"),
-            None,
-        );
+        let out = add_correspondence(&m, ValueCorrespondence::identity("Children.ID", "ID"), None);
         match out {
             AddOutcome::Extended(m2) => assert_eq!(m2.correspondences.len(), 1),
             other => panic!("expected Extended, got {other:?}"),
@@ -138,7 +141,10 @@ mod tests {
         // mapping computing ArrivalTime from the bus schedule
         let m = Mapping::new(extended_graph(), target())
             .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
-            .with_correspondence(ValueCorrespondence::identity("BusSchedule.time", "ArrivalTime"))
+            .with_correspondence(ValueCorrespondence::identity(
+                "BusSchedule.time",
+                "ArrivalTime",
+            ))
             .with_source_filter(Expr::IsNull {
                 expr: Box::new(Expr::col("BusSchedule.time")),
                 negated: true,
@@ -151,7 +157,11 @@ mod tests {
             ValueCorrespondence::identity("Children.lastClassEnd", "ArrivalTime"),
             Some(&base_graph()),
         );
-        let AddOutcome::NewAlternative { alternative, replaced } = out else {
+        let AddOutcome::NewAlternative {
+            alternative,
+            replaced,
+        } = out
+        else {
             panic!("expected NewAlternative");
         };
         assert_eq!(replaced.expr.to_string(), "BusSchedule.time");
@@ -161,22 +171,30 @@ mod tests {
         // (references a node no longer in the graph); new one in place
         assert_eq!(alternative.correspondences.len(), 2);
         assert_eq!(
-            alternative.correspondence_for("ArrivalTime").unwrap().expr.to_string(),
+            alternative
+                .correspondence_for("ArrivalTime")
+                .unwrap()
+                .expr
+                .to_string(),
             "Children.lastClassEnd"
         );
         // filter referencing the dropped node removed
         assert!(alternative.source_filters.is_empty());
         // the original mapping is untouched
         assert_eq!(
-            m.correspondence_for("ArrivalTime").unwrap().expr.to_string(),
+            m.correspondence_for("ArrivalTime")
+                .unwrap()
+                .expr
+                .to_string(),
             "BusSchedule.time"
         );
     }
 
     #[test]
     fn alternative_without_rollback_keeps_graph() {
-        let m = Mapping::new(extended_graph(), target())
-            .with_correspondence(ValueCorrespondence::identity("BusSchedule.time", "ArrivalTime"));
+        let m = Mapping::new(extended_graph(), target()).with_correspondence(
+            ValueCorrespondence::identity("BusSchedule.time", "ArrivalTime"),
+        );
         let out = add_correspondence(
             &m,
             ValueCorrespondence::identity("Children.ID", "ArrivalTime"),

@@ -101,7 +101,9 @@ pub fn remove_node(
         .node_by_alias(alias)
         .ok_or_else(|| Error::Invalid(format!("unknown node `{alias}`")))?;
     if g.node_count() == 1 {
-        return Err(Error::Invalid("cannot remove the last node of a mapping".into()));
+        return Err(Error::Invalid(
+            "cannot remove the last node of a mapping".into(),
+        ));
     }
 
     let mut new_graph = QueryGraph::new();
@@ -127,8 +129,10 @@ pub fn remove_node(
 
     let mut m = mapping.clone();
     m.graph = new_graph;
-    m.correspondences.retain(|c| !c.source_qualifiers().contains(&alias));
-    m.source_filters.retain(|f| !f.qualifiers().contains(&alias));
+    m.correspondences
+        .retain(|c| !c.source_qualifiers().contains(&alias));
+    m.source_filters
+        .retain(|f| !f.qualifiers().contains(&alias));
     m.validate(db, funcs)?;
     Ok(m)
 }
@@ -169,8 +173,10 @@ mod tests {
         let c = g.add_node(Node::new("Children")).unwrap();
         let p = g.add_node(Node::new("Parents")).unwrap();
         let ph = g.add_node(Node::new("PhoneDir")).unwrap();
-        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap()).unwrap();
-        g.add_edge(p, ph, parse_expr("PhoneDir.ID = Parents.ID").unwrap()).unwrap();
+        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap())
+            .unwrap();
+        g.add_edge(p, ph, parse_expr("PhoneDir.ID = Parents.ID").unwrap())
+            .unwrap();
         let target = RelSchema::new(
             "Kids",
             vec![
@@ -205,7 +211,10 @@ mod tests {
         let e = g.edge_between(0, 1).unwrap();
         assert_eq!(e.predicate.to_string(), "Children.fid = Parents.ID");
         // other edges untouched
-        assert_eq!(g.edge_between(1, 2).unwrap().predicate.to_string(), "PhoneDir.ID = Parents.ID");
+        assert_eq!(
+            g.edge_between(1, 2).unwrap().predicate.to_string(),
+            "PhoneDir.ID = Parents.ID"
+        );
         // the result evaluates: Maya's father 204 has no parent row here,
         // so number becomes null but Maya is still produced
         let out = m2.evaluate(&db(), &funcs()).unwrap();

@@ -17,5 +17,7 @@ pub mod walk;
 pub use chase::{data_chase, ChaseAlternative};
 pub use correspondence_ops::{add_correspondence, remove_correspondence, AddOutcome};
 pub use link::{conjoin_edge_predicate, remove_node, replace_edge_predicate};
-pub use trim::{add_source_filter, add_target_filter, require_target_attribute, trim_effect, TrimEffect};
+pub use trim::{
+    add_source_filter, add_target_filter, require_target_attribute, trim_effect, TrimEffect,
+};
 pub use walk::{data_walk, WalkAlternative};

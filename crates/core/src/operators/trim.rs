@@ -145,7 +145,8 @@ mod tests {
         let mut g = QueryGraph::new();
         let c = g.add_node(Node::new("Children")).unwrap();
         let s = g.add_node(Node::new("SBPS").with_code("S")).unwrap();
-        g.add_edge(c, s, Expr::col_eq("Children.ID", "SBPS.ID")).unwrap();
+        g.add_edge(c, s, Expr::col_eq("Children.ID", "SBPS.ID"))
+            .unwrap();
         let target = RelSchema::new(
             "Kids",
             vec![

@@ -8,6 +8,7 @@
 //! existing edge — otherwise a fresh **copy** of the relation is
 //! introduced (the paper's `Parents2` in Figure 11).
 
+use clio_obs::metrics::{self, Counter};
 use clio_relational::database::Database;
 use clio_relational::error::{Error, Result};
 use clio_relational::funcs::FuncRegistry;
@@ -47,6 +48,7 @@ pub fn data_walk(
     max_steps: usize,
     funcs: &FuncRegistry,
 ) -> Result<Vec<WalkAlternative>> {
+    let _span = clio_obs::span("op.walk");
     let start = mapping
         .graph
         .node_by_alias(start_alias)
@@ -61,6 +63,7 @@ pub fn data_walk(
 
     let start_rel = mapping.graph.nodes()[start].relation.clone();
     let mut alternatives: Vec<WalkAlternative> = Vec::new();
+    let mut pruned: u64 = 0;
 
     for path in knowledge.paths(&start_rel, end_relation, max_steps) {
         let mut results: Vec<(QueryGraph, NodeId, Vec<String>, Vec<String>)> = vec![(
@@ -87,11 +90,18 @@ pub fn data_walk(
                 .any(|a| a.mapping.graph == alt.mapping.graph)
             {
                 alternatives.push(alt);
+            } else {
+                pruned += 1;
             }
         }
     }
 
     alternatives.sort_by_key(|a| (a.path_len, a.new_nodes.len()));
+    metrics::add(
+        Counter::WalkAlternativesGenerated,
+        alternatives.len() as u64,
+    );
+    metrics::add(Counter::WalkAlternativesPruned, pruned);
     Ok(alternatives)
 }
 
@@ -116,7 +126,9 @@ fn extend_step(
             }
             let n_alias = graph.nodes()[n].alias.clone();
             let n_is_new = new_nodes.contains(&n_alias);
-            let pred = step.spec.instantiate_from(&step.from, &current_alias, &n_alias);
+            let pred = step
+                .spec
+                .instantiate_from(&step.from, &current_alias, &n_alias);
             if current_is_new || n_is_new {
                 // at least one endpoint is new: a fresh edge is allowed
                 if graph.edge_between(current, n).is_none() {
@@ -151,7 +163,9 @@ fn extend_step(
                 Node::copy_of(alias.clone(), step.to.clone())
             };
             let id = g.add_node(node)?;
-            let pred = step.spec.instantiate_from(&step.from, &current_alias, &alias);
+            let pred = step
+                .spec
+                .instantiate_from(&step.from, &current_alias, &alias);
             g.add_edge(current, id, pred.clone())?;
             let mut nn = new_nodes.clone();
             nn.push(alias.clone());
@@ -192,9 +206,27 @@ mod tests {
 
     fn knowledge() -> SchemaKnowledge {
         let mut k = SchemaKnowledge::new();
-        k.add_spec(JoinSpec::simple("Children", "mid", "Parents", "ID", Provenance::ForeignKey));
-        k.add_spec(JoinSpec::simple("Children", "fid", "Parents", "ID", Provenance::ForeignKey));
-        k.add_spec(JoinSpec::simple("PhoneDir", "ID", "Parents", "ID", Provenance::ForeignKey));
+        k.add_spec(JoinSpec::simple(
+            "Children",
+            "mid",
+            "Parents",
+            "ID",
+            Provenance::ForeignKey,
+        ));
+        k.add_spec(JoinSpec::simple(
+            "Children",
+            "fid",
+            "Parents",
+            "ID",
+            Provenance::ForeignKey,
+        ));
+        k.add_spec(JoinSpec::simple(
+            "PhoneDir",
+            "ID",
+            "Parents",
+            "ID",
+            Provenance::ForeignKey,
+        ));
         k
     }
 
@@ -207,7 +239,8 @@ mod tests {
         let mut g = QueryGraph::new();
         let c = g.add_node(Node::new("Children")).unwrap();
         let p = g.add_node(Node::new("Parents")).unwrap();
-        g.add_edge(c, p, parse_expr("Children.fid = Parents.ID").unwrap()).unwrap();
+        g.add_edge(c, p, parse_expr("Children.fid = Parents.ID").unwrap())
+            .unwrap();
         Mapping::new(g, target())
             .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
     }
@@ -265,9 +298,16 @@ mod tests {
 
     #[test]
     fn walk_from_parents_reuses_single_step() {
-        let alts =
-            data_walk(&mapping_g1(), &db(), &knowledge(), "Parents", "PhoneDir", 3, &funcs())
-                .unwrap();
+        let alts = data_walk(
+            &mapping_g1(),
+            &db(),
+            &knowledge(),
+            "Parents",
+            "PhoneDir",
+            3,
+            &funcs(),
+        )
+        .unwrap();
         // one-step walk Parents → PhoneDir
         assert_eq!(alts[0].path_len, 1);
         assert_eq!(alts[0].new_nodes, vec!["PhoneDir".to_owned()]);
@@ -275,8 +315,16 @@ mod tests {
 
     #[test]
     fn walk_to_unreachable_relation_is_empty() {
-        let alts =
-            data_walk(&mapping_g1(), &db(), &knowledge(), "Children", "SBPS", 3, &funcs()).unwrap();
+        let alts = data_walk(
+            &mapping_g1(),
+            &db(),
+            &knowledge(),
+            "Children",
+            "SBPS",
+            3,
+            &funcs(),
+        )
+        .unwrap();
         assert!(alts.is_empty());
     }
 
@@ -296,12 +344,26 @@ mod tests {
 
     #[test]
     fn walk_rejects_unknown_start_or_end() {
-        assert!(
-            data_walk(&mapping_g1(), &db(), &knowledge(), "SBPS", "PhoneDir", 3, &funcs()).is_err()
-        );
-        assert!(
-            data_walk(&mapping_g1(), &db(), &knowledge(), "Children", "Nope", 3, &funcs()).is_err()
-        );
+        assert!(data_walk(
+            &mapping_g1(),
+            &db(),
+            &knowledge(),
+            "SBPS",
+            "PhoneDir",
+            3,
+            &funcs()
+        )
+        .is_err());
+        assert!(data_walk(
+            &mapping_g1(),
+            &db(),
+            &knowledge(),
+            "Children",
+            "Nope",
+            3,
+            &funcs()
+        )
+        .is_err());
     }
 
     #[test]
@@ -316,8 +378,10 @@ mod tests {
             &funcs(),
         )
         .unwrap();
-        let keys: Vec<(usize, usize)> =
-            alts.iter().map(|a| (a.path_len, a.new_nodes.len())).collect();
+        let keys: Vec<(usize, usize)> = alts
+            .iter()
+            .map(|a| (a.path_len, a.new_nodes.len()))
+            .collect();
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         assert_eq!(keys, sorted);

@@ -169,7 +169,10 @@ mod tests {
         let mut database = Database::new();
         database
             .add_relation(
-                RelationBuilder::new("Empty").attr("x", DataType::Int).build().unwrap(),
+                RelationBuilder::new("Empty")
+                    .attr("x", DataType::Int)
+                    .build()
+                    .unwrap(),
             )
             .unwrap();
         let profiles = profile_database(&database);

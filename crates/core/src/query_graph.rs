@@ -35,13 +35,21 @@ impl Node {
     /// A node whose alias equals the relation name, with a derived code.
     pub fn new(name: impl Into<String>) -> Node {
         let name = name.into();
-        Node { code: derive_code(&name), relation: name.clone(), alias: name }
+        Node {
+            code: derive_code(&name),
+            relation: name.clone(),
+            alias: name,
+        }
     }
 
     /// A relation copy: alias differs from the stored relation name.
     pub fn copy_of(alias: impl Into<String>, relation: impl Into<String>) -> Node {
         let alias = alias.into();
-        Node { code: derive_code(&alias), relation: relation.into(), alias }
+        Node {
+            code: derive_code(&alias),
+            relation: relation.into(),
+            alias,
+        }
     }
 
     /// Override the coverage code (the paper uses `Ph` for `PhoneDir`).
@@ -70,7 +78,11 @@ fn derive_code(alias: &str) -> String {
             }
         }
     }
-    let digits: String = chars.iter().rev().take_while(|c| c.is_ascii_digit()).collect();
+    let digits: String = chars
+        .iter()
+        .rev()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
     out.extend(digits.chars().rev());
     out
 }
@@ -127,7 +139,9 @@ impl QueryGraph {
             return Err(Error::Invalid("edge endpoint out of range".into()));
         }
         if a == b {
-            return Err(Error::Invalid("self-loops are not allowed in query graphs".into()));
+            return Err(Error::Invalid(
+                "self-loops are not allowed in query graphs".into(),
+            ));
         }
         if self.edge_between(a, b).is_some() {
             return Err(Error::Invalid(format!(
@@ -412,8 +426,10 @@ mod tests {
         let c = g.add_node(Node::new("Children")).unwrap();
         let p = g.add_node(Node::new("Parents")).unwrap();
         let ph = g.add_node(Node::new("PhoneDir").with_code("Ph")).unwrap();
-        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap()).unwrap();
-        g.add_edge(p, ph, parse_expr("PhoneDir.ID = Parents.ID").unwrap()).unwrap();
+        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap())
+            .unwrap();
+        g.add_edge(p, ph, parse_expr("PhoneDir.ID = Parents.ID").unwrap())
+            .unwrap();
         g
     }
 
@@ -471,7 +487,8 @@ mod tests {
         assert!(g.is_tree());
         let s = g.add_node(Node::new("SBPS").with_code("S")).unwrap();
         assert!(!g.is_tree()); // disconnected
-        g.add_edge(0, s, parse_expr("Children.ID = SBPS.ID").unwrap()).unwrap();
+        g.add_edge(0, s, parse_expr("Children.ID = SBPS.ID").unwrap())
+            .unwrap();
         assert!(g.is_tree()); // star-ish tree again
     }
 
@@ -504,8 +521,12 @@ mod tests {
         let mut bad = QueryGraph::new();
         let c = bad.add_node(Node::new("Children")).unwrap();
         let p = bad.add_node(Node::new("Parents")).unwrap();
-        bad.add_edge(c, p, parse_expr("Children.mid = Parents.ID OR Children.mid IS NULL").unwrap())
-            .unwrap();
+        bad.add_edge(
+            c,
+            p,
+            parse_expr("Children.mid = Parents.ID OR Children.mid IS NULL").unwrap(),
+        )
+        .unwrap();
         assert!(bad.validate(&db(), &FuncRegistry::with_builtins()).is_err());
     }
 
@@ -514,7 +535,8 @@ mod tests {
         let mut g = QueryGraph::new();
         g.add_node(Node::new("Children")).unwrap();
         let k = g.add_node(Node::new("Kids")).unwrap();
-        g.add_edge(0, k, parse_expr("Children.ID = Kids.ID").unwrap()).unwrap();
+        g.add_edge(0, k, parse_expr("Children.ID = Kids.ID").unwrap())
+            .unwrap();
         assert!(g.validate(&db(), &FuncRegistry::with_builtins()).is_err());
     }
 

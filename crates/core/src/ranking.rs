@@ -114,13 +114,18 @@ mod tests {
         let mut g = QueryGraph::new();
         g.add_node(Node::new("A")).unwrap();
         let target = RelSchema::new("T", vec![Attribute::new("x", DataType::Str)]).unwrap();
-        Mapping::new(g, target)
-            .with_correspondence(ValueCorrespondence::identity("A.id", "x"))
+        Mapping::new(g, target).with_correspondence(ValueCorrespondence::identity("A.id", "x"))
     }
 
     fn knowledge() -> SchemaKnowledge {
         let mut k = SchemaKnowledge::new();
-        k.add_spec(JoinSpec::simple("A", "good", "B", "id", Provenance::ForeignKey));
+        k.add_spec(JoinSpec::simple(
+            "A",
+            "good",
+            "B",
+            "id",
+            Provenance::ForeignKey,
+        ));
         k.add_spec(JoinSpec::simple("A", "bad", "B", "id", Provenance::Mined));
         k
     }
@@ -143,7 +148,10 @@ mod tests {
         assert_eq!(ranked[0].1.join_support, 2);
         assert_eq!(ranked[1].1.join_support, 0);
         let edge = ranked[0].0.mapping.graph.edges()[0].predicate.to_string();
-        assert!(edge.contains("good"), "best alternative should use the good link: {edge}");
+        assert!(
+            edge.contains("good"),
+            "best alternative should use the good link: {edge}"
+        );
     }
 
     #[test]

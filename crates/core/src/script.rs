@@ -90,7 +90,9 @@ fn parse_data_type(s: &str) -> Result<DataType> {
         "float" => Ok(DataType::Float),
         "str" => Ok(DataType::Str),
         "bool" => Ok(DataType::Bool),
-        other => Err(Error::Invalid(format!("unknown type `{other}` in mapping script"))),
+        other => Err(Error::Invalid(format!(
+            "unknown type `{other}` in mapping script"
+        ))),
     }
 }
 
@@ -244,7 +246,8 @@ pub fn parse_mapping(text: &str) -> Result<Mapping> {
         }
     }
 
-    let target = target.ok_or_else(|| Error::Invalid("mapping script has no target line".into()))?;
+    let target =
+        target.ok_or_else(|| Error::Invalid("mapping script has no target line".into()))?;
     let mut m = Mapping::new(graph, target);
     m.correspondences = correspondences;
     m.source_filters = source_filters;
@@ -264,8 +267,10 @@ mod tests {
         let c = g.add_node(Node::new("Children")).unwrap();
         let p2 = g.add_node(Node::copy_of("Parents2", "Parents")).unwrap();
         let ph = g.add_node(Node::new("PhoneDir")).unwrap();
-        g.add_edge(c, p2, Expr::col_eq("Children.mid", "Parents2.ID")).unwrap();
-        g.add_edge(p2, ph, Expr::col_eq("PhoneDir.ID", "Parents2.ID")).unwrap();
+        g.add_edge(c, p2, Expr::col_eq("Children.mid", "Parents2.ID"))
+            .unwrap();
+        g.add_edge(p2, ph, Expr::col_eq("PhoneDir.ID", "Parents2.ID"))
+            .unwrap();
         let target = RelSchema::new(
             "Kids",
             vec![
@@ -344,7 +349,10 @@ mod tests {
             ("target T (a int)\nedge A -- B : x = y", "unknown node"),
             ("target T (a int)\nnode R\nedge R : x", "edge line needs"),
             ("target T (a int)\ncorr a + b", "corr line needs"),
-            ("target T (a int)\nwhere sideways a = 1", "unknown filter kind"),
+            (
+                "target T (a int)\nwhere sideways a = 1",
+                "unknown filter kind",
+            ),
             ("target T (a frobs)", "unknown type"),
             ("target T (a int)\ntarget T (b int)", "duplicate target"),
             ("target T (a int zesty)", "unexpected attribute modifier"),

@@ -114,11 +114,14 @@ impl Session {
     /// The active workspace, if any.
     #[must_use]
     pub fn active(&self) -> Option<&Workspace> {
-        self.active.and_then(|id| self.workspaces.iter().find(|w| w.id == id))
+        self.active
+            .and_then(|id| self.workspaces.iter().find(|w| w.id == id))
     }
 
     fn active_mut(&mut self) -> Result<&mut Workspace> {
-        let id = self.active.ok_or_else(|| Error::Invalid("no active workspace".into()))?;
+        let id = self
+            .active
+            .ok_or_else(|| Error::Invalid("no active workspace".into()))?;
         self.workspaces
             .iter_mut()
             .find(|w| w.id == id)
@@ -163,7 +166,8 @@ impl Session {
             .find(|w| w.id == id)
             .ok_or_else(|| Error::Invalid(format!("no workspace {id}")))?
             .generation;
-        self.workspaces.retain(|w| w.id == id || w.generation != generation);
+        self.workspaces
+            .retain(|w| w.id == id || w.generation != generation);
         self.active = Some(id);
         Ok(())
     }
@@ -205,7 +209,10 @@ impl Session {
 
     fn illustrate(&self, mapping: &Mapping) -> Result<Illustration> {
         let population = mapping.examples(&self.db, &self.funcs)?;
-        Ok(Illustration::minimal_sufficient(&population, mapping.target.arity()))
+        Ok(Illustration::minimal_sufficient(
+            &population,
+            mapping.target.arity(),
+        ))
     }
 
     /// Add a value correspondence (text form: `"Children.ID"`,
@@ -328,8 +335,13 @@ impl Session {
         }
         // walk from every node, merging alternatives
         let mut all = Vec::new();
-        let aliases: Vec<String> =
-            patched.mapping.graph.nodes().iter().map(|n| n.alias.clone()).collect();
+        let aliases: Vec<String> = patched
+            .mapping
+            .graph
+            .nodes()
+            .iter()
+            .map(|n| n.alias.clone())
+            .collect();
         for alias in aliases {
             let mut alts = data_walk(
                 &patched.mapping,
@@ -355,8 +367,13 @@ impl Session {
         correspondence: Option<ValueCorrespondence>,
     ) -> Result<Vec<usize>> {
         let mut all = Vec::new();
-        let aliases: Vec<String> =
-            active.mapping.graph.nodes().iter().map(|n| n.alias.clone()).collect();
+        let aliases: Vec<String> = active
+            .mapping
+            .graph
+            .nodes()
+            .iter()
+            .map(|n| n.alias.clone())
+            .collect();
         for alias in aliases {
             let mut alts = data_walk(
                 &active.mapping,
@@ -429,8 +446,15 @@ impl Session {
             .active()
             .ok_or_else(|| Error::Invalid("no active workspace".into()))?
             .clone();
-        let alternatives =
-            data_chase(&active.mapping, &self.db, &self.index, alias, attr, value, &self.funcs)?;
+        let alternatives = data_chase(
+            &active.mapping,
+            &self.db,
+            &self.index,
+            alias,
+            attr,
+            value,
+            &self.funcs,
+        )?;
         if alternatives.is_empty() {
             return Err(Error::Invalid(format!(
                 "value `{value}` does not occur outside the current mapping"
@@ -616,15 +640,18 @@ impl Session {
     pub fn target_mapping(&self) -> crate::target_mapping::TargetMapping {
         let mut tm = crate::target_mapping::TargetMapping::new(self.target.clone());
         for m in &self.accepted {
-            tm.accept(m.clone()).expect("accepted mappings share the session target");
+            tm.accept(m.clone())
+                .expect("accepted mappings share the session target");
         }
         tm
     }
 
-    /// The WYSIWYG target view: the union of all accepted mappings' query
-    /// results plus the active mapping's (paper Sec 6.1: "the target view
-    /// always shows the contents of the target as they would be under the
-    /// \[active\] mapping").
+    /// The WYSIWYG target view: the minimum union of all accepted
+    /// mappings' query results plus the active mapping's (paper Sec 6.1:
+    /// "the target view always shows the contents of the target as they
+    /// would be under the \[active\] mapping"). Minimum-union semantics
+    /// (Def 3.9): a tuple another mapping strictly extends is merged into
+    /// the more complete one.
     pub fn target_preview(&self) -> Result<Table> {
         let mut out = Table::empty(clio_relational::schema::Scheme::of_relation(
             &self.target,
@@ -639,6 +666,7 @@ impl Session {
                 out.push_distinct(row);
             }
         }
+        clio_relational::ops::remove_subsumed_partitioned(&mut out);
         Ok(out)
     }
 }
@@ -660,8 +688,18 @@ mod tests {
                 .attr("name", DataType::Str)
                 .attr("mid", DataType::Str)
                 .attr("fid", DataType::Str)
-                .row(vec!["001".into(), "Anna".into(), "201".into(), "202".into()])
-                .row(vec!["002".into(), "Maya".into(), "203".into(), "204".into()])
+                .row(vec![
+                    "001".into(),
+                    "Anna".into(),
+                    "201".into(),
+                    "202".into(),
+                ])
+                .row(vec![
+                    "002".into(),
+                    "Maya".into(),
+                    "203".into(),
+                    "204".into(),
+                ])
                 .row(vec!["004".into(), "Tom".into(), Value::Null, "201".into()])
                 .build()
                 .unwrap(),
@@ -747,7 +785,9 @@ mod tests {
         let mut s = session();
         s.add_correspondence("Children.ID", "ID").unwrap();
         s.add_correspondence("Children.name", "name").unwrap();
-        let ids = s.add_correspondence("Parents.affiliation", "affiliation").unwrap();
+        let ids = s
+            .add_correspondence("Parents.affiliation", "affiliation")
+            .unwrap();
         assert_eq!(ids.len(), 2);
         // both alternatives carry the new correspondence and the old ones
         for id in &ids {
@@ -783,7 +823,8 @@ mod tests {
     fn explicit_data_walk_creates_ranked_alternatives() {
         let mut s = session();
         s.add_correspondence("Children.ID", "ID").unwrap();
-        s.add_correspondence("Parents.affiliation", "affiliation").unwrap();
+        s.add_correspondence("Parents.affiliation", "affiliation")
+            .unwrap();
         let picked = s.workspaces()[0].id;
         s.confirm(picked).unwrap();
         // Figure 4: find phone numbers — several scenarios, some via a
@@ -825,7 +866,9 @@ mod tests {
     fn example_6_1_accepting_two_complementary_mappings() {
         let mut s = session();
         s.add_correspondence("Children.ID", "ID").unwrap();
-        let ids = s.add_correspondence("Parents.affiliation", "affiliation").unwrap();
+        let ids = s
+            .add_correspondence("Parents.affiliation", "affiliation")
+            .unwrap();
         // scenario joined via mid
         let mid = ids
             .iter()
@@ -850,7 +893,8 @@ mod tests {
         let mut g = QueryGraph::new();
         let c = g.add_node(Node::new("Children")).unwrap();
         let p = g.add_node(Node::new("Parents")).unwrap();
-        g.add_edge(c, p, parse_expr("Children.fid = Parents.ID").unwrap()).unwrap();
+        g.add_edge(c, p, parse_expr("Children.fid = Parents.ID").unwrap())
+            .unwrap();
         m2.graph = g;
         let ws = s.active_mut().unwrap();
         ws.mapping = m2;
@@ -858,7 +902,11 @@ mod tests {
         assert_eq!(s.accepted().len(), 2);
         // the union covers all children exactly once each
         let preview = s.target_preview().unwrap();
-        let toms: Vec<_> = preview.rows().iter().filter(|r| r[0] == Value::str("004")).collect();
+        let toms: Vec<_> = preview
+            .rows()
+            .iter()
+            .filter(|r| r[0] == Value::str("004"))
+            .collect();
         assert_eq!(toms.len(), 1);
         assert_eq!(toms[0][2], Value::str("IBM")); // father's affiliation
     }
@@ -867,7 +915,9 @@ mod tests {
     fn confirm_and_delete_manage_alternatives() {
         let mut s = session();
         s.add_correspondence("Children.ID", "ID").unwrap();
-        let ids = s.add_correspondence("Parents.affiliation", "affiliation").unwrap();
+        let ids = s
+            .add_correspondence("Parents.affiliation", "affiliation")
+            .unwrap();
         assert_eq!(s.workspaces().len(), 2);
         s.delete(ids[1]).unwrap();
         assert_eq!(s.workspaces().len(), 1);
@@ -879,7 +929,9 @@ mod tests {
     fn add_correspondence_errors() {
         let mut s = session();
         // multi-relation first correspondence
-        assert!(s.add_correspondence("Children.ID || Parents.ID", "ID").is_err());
+        assert!(s
+            .add_correspondence("Children.ID || Parents.ID", "ID")
+            .is_err());
         // unknown target attribute
         assert!(s.add_correspondence("Children.ID", "Nope").is_err());
         s.add_correspondence("Children.ID", "ID").unwrap();
@@ -920,7 +972,9 @@ mod tests {
     #[test]
     fn unregistered_function_fails_loudly() {
         let mut s = session();
-        assert!(s.add_correspondence("no_such_fn(Children.ID)", "ID").is_err());
+        assert!(s
+            .add_correspondence("no_such_fn(Children.ID)", "ID")
+            .is_err());
         assert!(s.active().is_none());
     }
 
@@ -928,7 +982,9 @@ mod tests {
     fn data_walk_with_explicit_start() {
         let mut s = session();
         s.add_correspondence("Children.ID", "ID").unwrap();
-        let ids = s.add_correspondence("Parents.affiliation", "affiliation").unwrap();
+        let ids = s
+            .add_correspondence("Parents.affiliation", "affiliation")
+            .unwrap();
         s.confirm(ids[0]).unwrap();
         // explicit start narrows the search to walks beginning at Parents
         let ids = s.data_walk(Some("Parents"), "PhoneDir").unwrap();

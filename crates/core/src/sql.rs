@@ -37,7 +37,11 @@ pub struct SqlOptions {
 pub fn required_nodes(mapping: &Mapping) -> Vec<NodeId> {
     let mut required = Vec::new();
     for filter in &mapping.target_filters {
-        let Expr::IsNull { expr, negated: true } = filter else {
+        let Expr::IsNull {
+            expr,
+            negated: true,
+        } = filter
+        else {
             continue;
         };
         let Expr::Column(col) = expr.as_ref() else {
@@ -60,7 +64,9 @@ pub fn required_nodes(mapping: &Mapping) -> Vec<NodeId> {
 pub fn generate_sql(mapping: &Mapping, db: &Database, options: &SqlOptions) -> Result<String> {
     let graph = &mapping.graph;
     if graph.node_count() == 0 {
-        return Err(Error::Invalid("cannot render SQL for an empty graph".into()));
+        return Err(Error::Invalid(
+            "cannot render SQL for an empty graph".into(),
+        ));
     }
     let required = required_nodes(mapping);
     let root = match &options.root {
@@ -107,13 +113,16 @@ pub fn generate_sql(mapping: &Mapping, db: &Database, options: &SqlOptions) -> R
             .edges()
             .iter()
             .filter(|e| {
-                (e.a == n && included & (1 << e.b) != 0)
-                    || (e.b == n && included & (1 << e.a) != 0)
+                (e.a == n && included & (1 << e.b) != 0) || (e.b == n && included & (1 << e.a) != 0)
             })
             .map(|e| e.predicate.clone())
             .collect();
         let on = simplify(&Expr::conjunction(preds));
-        let kind = if required.contains(&n) { "JOIN" } else { "LEFT JOIN" };
+        let kind = if required.contains(&n) {
+            "JOIN"
+        } else {
+            "LEFT JOIN"
+        };
         sql.push_str(&format!("\n  {kind} {} ON {on}", render_rel(n)));
         included |= 1 << n;
     }
@@ -177,7 +186,11 @@ fn absorbed_by_joins(
     required: &[NodeId],
     root: NodeId,
 ) -> bool {
-    let Expr::IsNull { expr, negated: true } = filter else {
+    let Expr::IsNull {
+        expr,
+        negated: true,
+    } = filter
+    else {
         return false;
     };
     let Expr::Column(col) = expr.as_ref() else {
@@ -203,13 +216,20 @@ fn absorbed_by_joins(
     // declared NOT NULL
     let node = &mapping.graph.nodes()[id];
     match db.relation(&node.relation) {
-        Ok(rel) => rel.schema().attr(&src.name).map(|a| a.not_null).unwrap_or(false),
+        Ok(rel) => rel
+            .schema()
+            .attr(&src.name)
+            .map(|a| a.not_null)
+            .unwrap_or(false),
         Err(_) => false,
     }
 }
 
 fn indent(s: &str) -> String {
-    s.lines().map(|l| format!("  {l}")).collect::<Vec<_>>().join("\n")
+    s.lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[cfg(test)]
@@ -253,10 +273,14 @@ mod tests {
         let p2 = g.add_node(Node::copy_of("Parents2", "Parents")).unwrap();
         let d = g.add_node(Node::new("PhoneDir").with_code("Ph")).unwrap();
         let s = g.add_node(Node::new("SBPS").with_code("S")).unwrap();
-        g.add_edge(c, p, parse_expr("Children.fid = Parents.ID").unwrap()).unwrap();
-        g.add_edge(c, p2, parse_expr("Children.mid = Parents2.ID").unwrap()).unwrap();
-        g.add_edge(p2, d, parse_expr("PhoneDir.ID = Parents2.ID").unwrap()).unwrap();
-        g.add_edge(c, s, parse_expr("Children.ID = SBPS.ID").unwrap()).unwrap();
+        g.add_edge(c, p, parse_expr("Children.fid = Parents.ID").unwrap())
+            .unwrap();
+        g.add_edge(c, p2, parse_expr("Children.mid = Parents2.ID").unwrap())
+            .unwrap();
+        g.add_edge(p2, d, parse_expr("PhoneDir.ID = Parents2.ID").unwrap())
+            .unwrap();
+        g.add_edge(c, s, parse_expr("Children.ID = SBPS.ID").unwrap())
+            .unwrap();
 
         let target = RelSchema::new(
             "Kids",
@@ -272,8 +296,14 @@ mod tests {
         Mapping::new(g, target)
             .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
             .with_correspondence(ValueCorrespondence::identity("Children.name", "name"))
-            .with_correspondence(ValueCorrespondence::identity("Parents.affiliation", "affiliation"))
-            .with_correspondence(ValueCorrespondence::identity("PhoneDir.number", "contactPh"))
+            .with_correspondence(ValueCorrespondence::identity(
+                "Parents.affiliation",
+                "affiliation",
+            ))
+            .with_correspondence(ValueCorrespondence::identity(
+                "PhoneDir.number",
+                "contactPh",
+            ))
             .with_correspondence(ValueCorrespondence::identity("SBPS.time", "BusSchedule"))
             .with_target_not_null_filters()
     }
@@ -283,7 +313,10 @@ mod tests {
         let sql = generate_sql(
             &section2_mapping(),
             &db(),
-            &SqlOptions { root: Some("Children".into()), create_view: true },
+            &SqlOptions {
+                root: Some("Children".into()),
+                create_view: true,
+            },
         )
         .unwrap();
         assert!(sql.starts_with("CREATE VIEW Kids AS"));
@@ -304,14 +337,15 @@ mod tests {
     fn requiring_bus_schedule_turns_left_join_inner() {
         // the paper: "Clio would then change this left outer join to an
         // inner join"
-        let m = crate::operators::trim::require_target_attribute(
-            &section2_mapping(),
-            "BusSchedule",
-        );
+        let m =
+            crate::operators::trim::require_target_attribute(&section2_mapping(), "BusSchedule");
         let sql = generate_sql(
             &m,
             &db(),
-            &SqlOptions { root: Some("Children".into()), create_view: false },
+            &SqlOptions {
+                root: Some("Children".into()),
+                create_view: false,
+            },
         )
         .unwrap();
         assert!(sql.contains("\n  JOIN SBPS ON Children.ID = SBPS.ID"));
@@ -320,12 +354,15 @@ mod tests {
 
     #[test]
     fn source_filters_render_in_where() {
-        let m = section2_mapping()
-            .with_source_filter(parse_expr("Children.name IS NOT NULL").unwrap());
+        let m =
+            section2_mapping().with_source_filter(parse_expr("Children.name IS NOT NULL").unwrap());
         let sql = generate_sql(
             &m,
             &db(),
-            &SqlOptions { root: Some("Children".into()), create_view: false },
+            &SqlOptions {
+                root: Some("Children".into()),
+                create_view: false,
+            },
         )
         .unwrap();
         assert!(sql.contains("WHERE Children.name IS NOT NULL"));
@@ -333,12 +370,14 @@ mod tests {
 
     #[test]
     fn residual_target_filters_wrap_the_query() {
-        let m = section2_mapping()
-            .with_target_filter(parse_expr("Kids.name IS NOT NULL").unwrap());
+        let m = section2_mapping().with_target_filter(parse_expr("Kids.name IS NOT NULL").unwrap());
         let sql = generate_sql(
             &m,
             &db(),
-            &SqlOptions { root: Some("Children".into()), create_view: false },
+            &SqlOptions {
+                root: Some("Children".into()),
+                create_view: false,
+            },
         )
         .unwrap();
         // name is nullable in the source, so the filter is not absorbed
@@ -353,7 +392,10 @@ mod tests {
         let sql = generate_sql(
             &m,
             &db(),
-            &SqlOptions { root: Some("Children".into()), create_view: false },
+            &SqlOptions {
+                root: Some("Children".into()),
+                create_view: false,
+            },
         )
         .unwrap();
         assert!(sql.contains("NULL AS BusSchedule"));
@@ -370,18 +412,23 @@ mod tests {
     #[test]
     fn unknown_root_alias_errors() {
         let m = section2_mapping();
-        let opts = SqlOptions { root: Some("Nope".into()), create_view: false };
+        let opts = SqlOptions {
+            root: Some("Nope".into()),
+            create_view: false,
+        };
         assert!(generate_sql(&m, &db(), &opts).is_err());
     }
 
     #[test]
     fn create_view_wraps_residual_filter_correctly() {
-        let m = section2_mapping()
-            .with_target_filter(parse_expr("Kids.name IS NOT NULL").unwrap());
+        let m = section2_mapping().with_target_filter(parse_expr("Kids.name IS NOT NULL").unwrap());
         let sql = generate_sql(
             &m,
             &db(),
-            &SqlOptions { root: Some("Children".into()), create_view: true },
+            &SqlOptions {
+                root: Some("Children".into()),
+                create_view: true,
+            },
         )
         .unwrap();
         assert!(sql.starts_with("CREATE VIEW Kids AS\nSELECT * FROM ("));

@@ -38,7 +38,13 @@ pub fn connected_subsets(g: &QueryGraph) -> Vec<u64> {
         // forbidden: nodes < anchor (they would change the anchor)
         let forbidden: u64 = (1u64 << anchor) - 1;
         let start = 1u64 << anchor;
-        grow(g, start, neighbourhood(g, start) & !forbidden & !start, forbidden, &mut out);
+        grow(
+            g,
+            start,
+            neighbourhood(g, start) & !forbidden & !start,
+            forbidden,
+            &mut out,
+        );
     }
     sort_masks(&mut out);
     out
@@ -92,7 +98,8 @@ mod tests {
             g.add_node(Node::new(format!("R{i}"))).unwrap();
         }
         for &(a, b) in edges {
-            g.add_edge(a, b, Expr::col_eq(&format!("R{a}.x"), &format!("R{b}.x"))).unwrap();
+            g.add_edge(a, b, Expr::col_eq(&format!("R{a}.x"), &format!("R{b}.x")))
+                .unwrap();
         }
         g
     }
@@ -113,9 +120,9 @@ mod tests {
             (1usize, vec![]),
             (2, vec![(0, 1)]),
             (3, vec![(0, 1), (1, 2)]),
-            (4, vec![(0, 1), (0, 2), (0, 3)]),            // star
-            (4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]),    // cycle
-            (5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]),    // path
+            (4, vec![(0, 1), (0, 2), (0, 3)]),         // star
+            (4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]), // cycle
+            (5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]), // path
             (5, vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]), // lollipop
         ] {
             let g = graph(n, &edges);

@@ -45,7 +45,10 @@ impl TargetMapping {
     /// An empty target mapping.
     #[must_use]
     pub fn new(target: RelSchema) -> TargetMapping {
-        TargetMapping { target, mappings: Vec::new() }
+        TargetMapping {
+            target,
+            mappings: Vec::new(),
+        }
     }
 
     /// Accept a mapping; its target schema must match.
@@ -110,7 +113,11 @@ impl TargetMapping {
                     exclusive += 1;
                 }
             }
-            out.push(Contribution { mapping_index: i, produced: mine.len(), exclusive });
+            out.push(Contribution {
+                mapping_index: i,
+                produced: mine.len(),
+                exclusive,
+            });
         }
         Ok(out)
     }
@@ -168,10 +175,14 @@ mod tests {
         let mut g = QueryGraph::new();
         let c = g.add_node(Node::new("Children")).unwrap();
         let d = g.add_node(Node::new("PhoneDir")).unwrap();
-        g.add_edge(c, d, parse_expr("Children.mid = PhoneDir.ID").unwrap()).unwrap();
+        g.add_edge(c, d, parse_expr("Children.mid = PhoneDir.ID").unwrap())
+            .unwrap();
         Mapping::new(g, target())
             .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
-            .with_correspondence(ValueCorrespondence::identity("PhoneDir.number", "contactPh"))
+            .with_correspondence(ValueCorrespondence::identity(
+                "PhoneDir.number",
+                "contactPh",
+            ))
             .with_source_filter(parse_expr("Children.mid IS NOT NULL").unwrap())
             .with_target_not_null_filters()
     }
@@ -181,10 +192,14 @@ mod tests {
         let mut g = QueryGraph::new();
         let c = g.add_node(Node::new("Children")).unwrap();
         let d = g.add_node(Node::new("PhoneDir")).unwrap();
-        g.add_edge(c, d, parse_expr("Children.fid = PhoneDir.ID").unwrap()).unwrap();
+        g.add_edge(c, d, parse_expr("Children.fid = PhoneDir.ID").unwrap())
+            .unwrap();
         Mapping::new(g, target())
             .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
-            .with_correspondence(ValueCorrespondence::identity("PhoneDir.number", "contactPh"))
+            .with_correspondence(ValueCorrespondence::identity(
+                "PhoneDir.number",
+                "contactPh",
+            ))
             .with_source_filter(parse_expr("Children.mid IS NULL").unwrap())
             .with_target_not_null_filters()
     }
@@ -206,8 +221,7 @@ mod tests {
     fn accept_validates_target() {
         let mut tm = TargetMapping::new(target());
         tm.accept(mother_mapping()).unwrap();
-        let other =
-            RelSchema::new("Other", vec![Attribute::new("x", DataType::Int)]).unwrap();
+        let other = RelSchema::new("Other", vec![Attribute::new("x", DataType::Int)]).unwrap();
         let mut g = QueryGraph::new();
         g.add_node(Node::new("Children")).unwrap();
         assert!(tm.accept(Mapping::new(g, other)).is_err());
@@ -220,7 +234,11 @@ mod tests {
         tm.accept(father_mapping()).unwrap();
         let out = tm.evaluate_union(&db(), &funcs()).unwrap();
         assert_eq!(out.len(), 2);
-        let tom = out.rows().iter().find(|r| r[0] == Value::str("004")).unwrap();
+        let tom = out
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::str("004"))
+            .unwrap();
         assert_eq!(tom[1], Value::str("555-2")); // father's phone
     }
 
@@ -233,7 +251,11 @@ mod tests {
         assert_eq!(union.len(), 3); // 001 appears twice
         let merged = tm.evaluate_merged(&db(), &funcs()).unwrap();
         assert_eq!(merged.len(), 2); // (001,null) merged into (001,555-1)
-        let anna = merged.rows().iter().find(|r| r[0] == Value::str("001")).unwrap();
+        let anna = merged
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::str("001"))
+            .unwrap();
         assert_eq!(anna[1], Value::str("555-1"));
     }
 

@@ -74,11 +74,19 @@ impl fmt::Display for Finding {
                 "required target attribute `{attr}` is unmapped: the mapping can never \
                  produce a tuple once its NOT NULL constraint is enforced"
             ),
-            Finding::KeyConflict { key, key_values, tuples } => write!(
+            Finding::KeyConflict {
+                key,
+                key_values,
+                tuples,
+            } => write!(
                 f,
                 "key conflict: {tuples} distinct tuples share {}({})",
                 key.join(","),
-                key_values.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+                key_values
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
             ),
             Finding::UnusedNode { alias } => write!(
                 f,
@@ -148,9 +156,13 @@ pub fn verify_mapping(
     for attr in mapping.target.attrs() {
         if mapping.correspondence_for(&attr.name).is_none() {
             if attr.not_null {
-                findings.push(Finding::RequiredAttributeUnmapped { attr: attr.name.clone() });
+                findings.push(Finding::RequiredAttributeUnmapped {
+                    attr: attr.name.clone(),
+                });
             } else {
-                findings.push(Finding::UnmappedAttribute { attr: attr.name.clone() });
+                findings.push(Finding::UnmappedAttribute {
+                    attr: attr.name.clone(),
+                });
             }
         }
     }
@@ -165,16 +177,23 @@ pub fn verify_mapping(
             .correspondences
             .iter()
             .any(|v| v.source_qualifiers().contains(&alias));
-        let used_by_filter =
-            mapping.source_filters.iter().any(|e| e.qualifiers().contains(&alias));
+        let used_by_filter = mapping
+            .source_filters
+            .iter()
+            .any(|e| e.qualifiers().contains(&alias));
         if !used_by_corr && !used_by_filter && mapping.graph.node_count() > 1 {
-            findings.push(Finding::UnusedNode { alias: alias.to_owned() });
+            findings.push(Finding::UnusedNode {
+                alias: alias.to_owned(),
+            });
         }
     }
 
     // evaluate once for the data-driven checks — unless static typing
     // already found definite errors (evaluation would fail the same way)
-    if findings.iter().any(|f| matches!(f, Finding::TypeError { .. })) {
+    if findings
+        .iter()
+        .any(|f| matches!(f, Finding::TypeError { .. }))
+    {
         return Ok(findings);
     }
     let out = mapping.evaluate(db, funcs)?;
@@ -265,7 +284,8 @@ mod tests {
         let mut g = QueryGraph::new();
         let c = g.add_node(Node::new("Children")).unwrap();
         let p = g.add_node(Node::new("Parents")).unwrap();
-        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap()).unwrap();
+        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap())
+            .unwrap();
         Mapping::new(g, target())
             .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
             .with_correspondence(ValueCorrespondence::identity("Parents.phone", "phone"))
@@ -289,7 +309,10 @@ mod tests {
             .iter()
             .find(|f| matches!(f, Finding::KeyConflict { .. }))
             .expect("expected a key conflict");
-        let Finding::KeyConflict { key_values, tuples, .. } = conflict else {
+        let Finding::KeyConflict {
+            key_values, tuples, ..
+        } = conflict
+        else {
             unreachable!()
         };
         assert_eq!(key_values, &vec![Value::str("001")]);
@@ -334,12 +357,16 @@ mod tests {
         // swap the node to the clean copy
         let mut g = QueryGraph::new();
         let c = g.add_node(Node::new("Children")).unwrap();
-        let p = g.add_node(Node::copy_of("Parents", "ParentsClean")).unwrap();
-        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap()).unwrap();
+        let p = g
+            .add_node(Node::copy_of("Parents", "ParentsClean"))
+            .unwrap();
+        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap())
+            .unwrap();
         m.graph = g;
-        let findings =
-            verify_mapping(&m, &database, &funcs(), &[vec!["ID".to_owned()]]).unwrap();
-        assert!(!findings.iter().any(|f| matches!(f, Finding::KeyConflict { .. })));
+        let findings = verify_mapping(&m, &database, &funcs(), &[vec!["ID".to_owned()]]).unwrap();
+        assert!(!findings
+            .iter()
+            .any(|f| matches!(f, Finding::KeyConflict { .. })));
         assert!(!findings.contains(&Finding::EmptyResult));
     }
 
@@ -347,7 +374,8 @@ mod tests {
     fn type_errors_surface_as_findings() {
         let mut m = mapping();
         // comparing a string ID with an integer is a definite mismatch
-        m.source_filters.push(parse_expr("Children.ID < 5").unwrap());
+        m.source_filters
+            .push(parse_expr("Children.ID < 5").unwrap());
         let findings = verify_mapping(&m, &db(), &funcs(), &[]).unwrap();
         let type_err = findings
             .iter()
@@ -363,13 +391,11 @@ mod tests {
     #[test]
     fn arithmetic_type_error_in_correspondence() {
         let mut m = mapping();
-        m.set_correspondence(
-            ValueCorrespondence::parse("Children.ID + 1", "phone").unwrap(),
-        );
+        m.set_correspondence(ValueCorrespondence::parse("Children.ID + 1", "phone").unwrap());
         let findings = verify_mapping(&m, &db(), &funcs(), &[]).unwrap();
-        assert!(findings.iter().any(
-            |f| matches!(f, Finding::TypeError { context, .. } if context.contains("phone"))
-        ));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, Finding::TypeError { context, .. } if context.contains("phone"))));
     }
 
     #[test]
@@ -379,7 +405,10 @@ mod tests {
             key_values: vec![Value::str("001")],
             tuples: 2,
         };
-        assert_eq!(f.to_string(), "key conflict: 2 distinct tuples share ID(001)");
+        assert_eq!(
+            f.to_string(),
+            "key conflict: 2 distinct tuples share ID(001)"
+        );
         assert!(Finding::EmptyResult.to_string().contains("no tuples"));
     }
 }

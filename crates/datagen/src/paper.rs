@@ -54,10 +54,38 @@ pub fn paper_database() -> Database {
             .attr("mid", DataType::Str)
             .attr("fid", DataType::Str)
             .attr("docid", DataType::Str)
-            .row(vec!["001".into(), "Anna".into(), 6i64.into(), "201".into(), "202".into(), "D1".into()])
-            .row(vec!["002".into(), "Maya".into(), 4i64.into(), "203".into(), "204".into(), "D2".into()])
-            .row(vec!["004".into(), "Tom".into(), 5i64.into(), Value::Null, "202".into(), "D3".into()])
-            .row(vec!["009".into(), "Ben".into(), 9i64.into(), "206".into(), "207".into(), "D4".into()])
+            .row(vec![
+                "001".into(),
+                "Anna".into(),
+                6i64.into(),
+                "201".into(),
+                "202".into(),
+                "D1".into(),
+            ])
+            .row(vec![
+                "002".into(),
+                "Maya".into(),
+                4i64.into(),
+                "203".into(),
+                "204".into(),
+                "D2".into(),
+            ])
+            .row(vec![
+                "004".into(),
+                "Tom".into(),
+                5i64.into(),
+                Value::Null,
+                "202".into(),
+                "D3".into(),
+            ])
+            .row(vec![
+                "009".into(),
+                "Ben".into(),
+                9i64.into(),
+                "206".into(),
+                "207".into(),
+                "D4".into(),
+            ])
             .build()
             .expect("static Children relation"),
     )
@@ -69,13 +97,48 @@ pub fn paper_database() -> Database {
             .attr("affiliation", DataType::Str)
             .attr("address", DataType::Str)
             .attr("salary", DataType::Int)
-            .row(vec!["201".into(), "IBM".into(), "12 Oak St".into(), 90_000i64.into()])
-            .row(vec!["202".into(), "UofT".into(), "12 Oak St".into(), 85_000i64.into()])
-            .row(vec!["203".into(), "Almaden".into(), "7 Pine Rd".into(), 95_000i64.into()])
-            .row(vec!["204".into(), "AT&T".into(), "7 Pine Rd".into(), 88_000i64.into()])
-            .row(vec!["205".into(), "MIT".into(), "9 Maple Ave".into(), 99_000i64.into()])
-            .row(vec!["206".into(), "Acme".into(), "3 Elm Ct".into(), 70_000i64.into()])
-            .row(vec!["207".into(), "Initech".into(), "3 Elm Ct".into(), 72_000i64.into()])
+            .row(vec![
+                "201".into(),
+                "IBM".into(),
+                "12 Oak St".into(),
+                90_000i64.into(),
+            ])
+            .row(vec![
+                "202".into(),
+                "UofT".into(),
+                "12 Oak St".into(),
+                85_000i64.into(),
+            ])
+            .row(vec![
+                "203".into(),
+                "Almaden".into(),
+                "7 Pine Rd".into(),
+                95_000i64.into(),
+            ])
+            .row(vec![
+                "204".into(),
+                "AT&T".into(),
+                "7 Pine Rd".into(),
+                88_000i64.into(),
+            ])
+            .row(vec![
+                "205".into(),
+                "MIT".into(),
+                "9 Maple Ave".into(),
+                99_000i64.into(),
+            ])
+            .row(vec![
+                "206".into(),
+                "Acme".into(),
+                "3 Elm Ct".into(),
+                70_000i64.into(),
+            ])
+            .row(vec![
+                "207".into(),
+                "Initech".into(),
+                "3 Elm Ct".into(),
+                72_000i64.into(),
+            ])
             .build()
             .expect("static Parents relation"),
     )
@@ -174,12 +237,24 @@ pub fn running_graph() -> QueryGraph {
     let mut g = QueryGraph::new();
     let c = g.add_node(Node::new("Children")).expect("fresh alias");
     let p = g.add_node(Node::new("Parents")).expect("fresh alias");
-    let ph = g.add_node(Node::new("PhoneDir").with_code("Ph")).expect("fresh alias");
-    let s = g.add_node(Node::new("SBPS").with_code("S")).expect("fresh alias");
-    g.add_edge(c, p, parse_expr("Children.fid = Parents.ID").expect("static"))
-        .expect("valid edge");
-    g.add_edge(p, ph, parse_expr("PhoneDir.ID = Parents.ID").expect("static"))
-        .expect("valid edge");
+    let ph = g
+        .add_node(Node::new("PhoneDir").with_code("Ph"))
+        .expect("fresh alias");
+    let s = g
+        .add_node(Node::new("SBPS").with_code("S"))
+        .expect("fresh alias");
+    g.add_edge(
+        c,
+        p,
+        parse_expr("Children.fid = Parents.ID").expect("static"),
+    )
+    .expect("valid edge");
+    g.add_edge(
+        p,
+        ph,
+        parse_expr("PhoneDir.ID = Parents.ID").expect("static"),
+    )
+    .expect("valid edge");
     g.add_edge(c, s, parse_expr("Children.ID = SBPS.ID").expect("static"))
         .expect("valid edge");
     g
@@ -192,11 +267,21 @@ pub fn figure6_graph() -> QueryGraph {
     let mut g = QueryGraph::new();
     let c = g.add_node(Node::new("Children")).expect("fresh alias");
     let p = g.add_node(Node::new("Parents")).expect("fresh alias");
-    let ph = g.add_node(Node::new("PhoneDir").with_code("Ph")).expect("fresh alias");
-    g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").expect("static"))
-        .expect("valid edge");
-    g.add_edge(p, ph, parse_expr("PhoneDir.ID = Parents.ID").expect("static"))
-        .expect("valid edge");
+    let ph = g
+        .add_node(Node::new("PhoneDir").with_code("Ph"))
+        .expect("fresh alias");
+    g.add_edge(
+        c,
+        p,
+        parse_expr("Children.mid = Parents.ID").expect("static"),
+    )
+    .expect("valid edge");
+    g.add_edge(
+        p,
+        ph,
+        parse_expr("PhoneDir.ID = Parents.ID").expect("static"),
+    )
+    .expect("valid edge");
     g
 }
 
@@ -209,7 +294,10 @@ pub fn example_3_15_mapping() -> Mapping {
     Mapping::new(running_graph(), kids_target())
         .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
         .with_correspondence(ValueCorrespondence::identity("Children.name", "name"))
-        .with_correspondence(ValueCorrespondence::identity("Parents.affiliation", "affiliation"))
+        .with_correspondence(ValueCorrespondence::identity(
+            "Parents.affiliation",
+            "affiliation",
+        ))
         .with_correspondence(
             ValueCorrespondence::parse("concat(PhoneDir.type, ',', PhoneDir.number)", "contactPh")
                 .expect("static expression"),
@@ -228,24 +316,48 @@ pub fn section2_mapping() -> Mapping {
     let mut g = QueryGraph::new();
     let c = g.add_node(Node::new("Children")).expect("fresh alias");
     let p = g.add_node(Node::new("Parents")).expect("fresh alias");
-    let p2 = g.add_node(Node::copy_of("Parents2", "Parents")).expect("fresh alias");
-    let ph = g.add_node(Node::new("PhoneDir").with_code("Ph")).expect("fresh alias");
-    let s = g.add_node(Node::new("SBPS").with_code("S")).expect("fresh alias");
-    g.add_edge(c, p, parse_expr("Children.fid = Parents.ID").expect("static"))
-        .expect("valid edge");
-    g.add_edge(c, p2, parse_expr("Children.mid = Parents2.ID").expect("static"))
-        .expect("valid edge");
-    g.add_edge(p2, ph, parse_expr("PhoneDir.ID = Parents2.ID").expect("static"))
-        .expect("valid edge");
+    let p2 = g
+        .add_node(Node::copy_of("Parents2", "Parents"))
+        .expect("fresh alias");
+    let ph = g
+        .add_node(Node::new("PhoneDir").with_code("Ph"))
+        .expect("fresh alias");
+    let s = g
+        .add_node(Node::new("SBPS").with_code("S"))
+        .expect("fresh alias");
+    g.add_edge(
+        c,
+        p,
+        parse_expr("Children.fid = Parents.ID").expect("static"),
+    )
+    .expect("valid edge");
+    g.add_edge(
+        c,
+        p2,
+        parse_expr("Children.mid = Parents2.ID").expect("static"),
+    )
+    .expect("valid edge");
+    g.add_edge(
+        p2,
+        ph,
+        parse_expr("PhoneDir.ID = Parents2.ID").expect("static"),
+    )
+    .expect("valid edge");
     g.add_edge(c, s, parse_expr("Children.ID = SBPS.ID").expect("static"))
         .expect("valid edge");
 
     Mapping::new(g, kids_target())
         .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
         .with_correspondence(ValueCorrespondence::identity("Children.name", "name"))
-        .with_correspondence(ValueCorrespondence::identity("Parents.affiliation", "affiliation"))
+        .with_correspondence(ValueCorrespondence::identity(
+            "Parents.affiliation",
+            "affiliation",
+        ))
         .with_correspondence(ValueCorrespondence::identity("Parents.address", "address"))
-        .with_correspondence(ValueCorrespondence::identity("PhoneDir.number", "contactPh"))
+        .with_correspondence(ValueCorrespondence::identity(
+            "PhoneDir.number",
+            "contactPh",
+        ))
         .with_correspondence(ValueCorrespondence::identity("SBPS.time", "BusSchedule"))
         .with_correspondence(
             ValueCorrespondence::parse("Parents.salary + Parents2.salary", "FamilyIncome")
@@ -273,7 +385,11 @@ mod tests {
     #[test]
     fn maya_is_002_and_under_seven() {
         let db = paper_database();
-        let maya = db.relation("Children").unwrap().rows_where("ID", &Value::str("002")).unwrap();
+        let maya = db
+            .relation("Children")
+            .unwrap()
+            .rows_where("ID", &Value::str("002"))
+            .unwrap();
         assert_eq!(maya.len(), 1);
         assert_eq!(maya[0][1], Value::str("Maya"));
         assert_eq!(maya[0][2], Value::Int(4));
@@ -337,7 +453,10 @@ mod tests {
         assert!(tags.contains(&"PPh".to_owned()));
         // absent: CP, C, CPS, P
         for absent in ["CP", "C", "CPS", "P"] {
-            assert!(!tags.contains(&absent.to_owned()), "category {absent} should be empty");
+            assert!(
+                !tags.contains(&absent.to_owned()),
+                "category {absent} should be empty"
+            );
         }
         // two CPPhS members (001 and 002 ride the bus)
         let cpphs_mask = d
@@ -363,7 +482,10 @@ mod tests {
         assert!(ids.contains(&"001".to_owned()));
         assert!(ids.contains(&"002".to_owned()));
         assert!(ids.contains(&"004".to_owned()));
-        assert!(!ids.contains(&"009".to_owned()), "Ben (age 9) must be trimmed");
+        assert!(
+            !ids.contains(&"009".to_owned()),
+            "Ben (age 9) must be trimmed"
+        );
     }
 
     #[test]
@@ -373,13 +495,21 @@ mod tests {
         assert_eq!(out.len(), 4);
         // Maya: father's affiliation AT&T, mother's phone 555-0103,
         // bus 8:15, family income 95k + 88k
-        let maya = out.rows().iter().find(|r| r[0] == Value::str("002")).unwrap();
+        let maya = out
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::str("002"))
+            .unwrap();
         assert_eq!(maya[2], Value::str("AT&T"));
         assert_eq!(maya[4], Value::str("555-0103"));
         assert_eq!(maya[5], Value::str("8:15"));
         assert_eq!(maya[6], Value::Int(183_000));
         // Tom is motherless: no contact phone, no family income, but kept
-        let tom = out.rows().iter().find(|r| r[0] == Value::str("004")).unwrap();
+        let tom = out
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::str("004"))
+            .unwrap();
         assert!(tom[4].is_null());
         assert!(tom[6].is_null());
         assert_eq!(tom[2], Value::str("UofT"));

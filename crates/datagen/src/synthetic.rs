@@ -90,8 +90,7 @@ pub fn edges_for(topology: Topology, n: usize, seed: u64) -> Vec<(usize, usize)>
         Topology::Chain => (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect(),
         Topology::Star => (1..n).map(|i| (0, i)).collect(),
         Topology::Cycle => {
-            let mut e: Vec<(usize, usize)> =
-                (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+            let mut e: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
             if n > 2 {
                 e.push((0, n - 1));
             }
@@ -133,8 +132,11 @@ pub fn generate(spec: &SyntheticSpec) -> Synthetic {
 
     // data
     for i in 0..n {
-        let link_sources: Vec<usize> =
-            edges.iter().filter(|&&(_, bb)| bb == i).map(|&(a, _)| a).collect();
+        let link_sources: Vec<usize> = edges
+            .iter()
+            .filter(|&&(_, bb)| bb == i)
+            .map(|&(a, _)| a)
+            .collect();
         for k in 0..spec.rows {
             let mut row: Vec<Value> = vec![Value::str(format!("r{i}-{k}"))];
             for &a in &link_sources {
@@ -161,14 +163,13 @@ pub fn generate(spec: &SyntheticSpec) -> Synthetic {
     // query graph + knowledge
     let mut graph = QueryGraph::new();
     for i in 0..n {
-        graph.add_node(Node::new(format!("R{i}"))).expect("fresh alias");
+        graph
+            .add_node(Node::new(format!("R{i}")))
+            .expect("fresh alias");
     }
     let mut knowledge = SchemaKnowledge::new();
     for &(a, b) in &edges {
-        let pred = clio_relational::expr::Expr::col_eq(
-            &format!("R{b}.l{a}"),
-            &format!("R{a}.id"),
-        );
+        let pred = clio_relational::expr::Expr::col_eq(&format!("R{b}.l{a}"), &format!("R{a}.id"));
         graph.add_edge(a, b, pred).expect("valid edge");
         knowledge.add_spec(JoinSpec::simple(
             format!("R{b}"),
@@ -194,12 +195,22 @@ pub fn generate(spec: &SyntheticSpec) -> Synthetic {
         };
         mapping.set_correspondence(ValueCorrespondence::identity(
             &src,
-            if i == 0 { "B0".to_owned() } else { format!("B{i}") },
+            if i == 0 {
+                "B0".to_owned()
+            } else {
+                format!("B{i}")
+            },
         ));
     }
     let mapping = mapping.with_target_not_null_filters();
 
-    Synthetic { db, graph, knowledge, target, mapping }
+    Synthetic {
+        db,
+        graph,
+        knowledge,
+        target,
+        mapping,
+    }
 }
 
 /// A knowledge graph alone (no data): `relations` nodes named `R<i>`,
@@ -246,8 +257,14 @@ mod tests {
 
     #[test]
     fn edges_match_topologies() {
-        assert_eq!(edges_for(Topology::Chain, 4, 0), vec![(0, 1), (1, 2), (2, 3)]);
-        assert_eq!(edges_for(Topology::Star, 4, 0), vec![(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(
+            edges_for(Topology::Chain, 4, 0),
+            vec![(0, 1), (1, 2), (2, 3)]
+        );
+        assert_eq!(
+            edges_for(Topology::Star, 4, 0),
+            vec![(0, 1), (0, 2), (0, 3)]
+        );
         assert_eq!(
             edges_for(Topology::Cycle, 4, 0),
             vec![(0, 1), (1, 2), (2, 3), (0, 3)]
@@ -270,7 +287,12 @@ mod tests {
 
     #[test]
     fn generated_workload_is_consistent() {
-        for topology in [Topology::Chain, Topology::Star, Topology::Cycle, Topology::RandomTree] {
+        for topology in [
+            Topology::Chain,
+            Topology::Star,
+            Topology::Cycle,
+            Topology::RandomTree,
+        ] {
             let spec = SyntheticSpec::small(topology);
             let w = generate(&spec);
             let funcs = FuncRegistry::with_builtins();
@@ -316,7 +338,10 @@ mod tests {
         let w = generate(&spec);
         let funcs = FuncRegistry::with_builtins();
         let d = full_disjunction(&w.db, &w.graph, FdAlgo::Auto, &funcs).unwrap();
-        assert!(d.categories().len() > 1, "expected several coverage categories");
+        assert!(
+            d.categories().len() > 1,
+            "expected several coverage categories"
+        );
     }
 
     #[test]

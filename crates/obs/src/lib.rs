@@ -1,0 +1,64 @@
+//! # clio-obs — observability for the Clio engine
+//!
+//! A **std-only** (zero external dependencies) observability layer with
+//! two halves:
+//!
+//! * [`metrics`] — a registry of named **monotonic counters** for engine
+//!   work units (tuples scanned, join probes, subsumption comparisons,
+//!   …). Counters are global relaxed `AtomicU64`s behind a single
+//!   relaxed `AtomicBool`; when disabled, every instrumentation site
+//!   costs one atomic load and a branch.
+//! * [`trace`] — hierarchical **span tracing** via RAII guards. Spans
+//!   nest through a thread-local stack and finished spans land in a
+//!   thread-safe global collector; the whole subsystem is gated by one
+//!   relaxed `AtomicBool` so disabled tracing is a load-and-branch with
+//!   no clock reads.
+//!
+//! Hot loops are expected to accumulate counts in locals and flush once
+//! per operation via [`metrics::add`]; see `clio-relational`'s
+//! `ops/join.rs` for the idiom.
+//!
+//! ## Reports
+//!
+//! [`report_json`] renders the counter snapshot (and the span tree, when
+//! any spans were recorded) as a JSON document; the schema is documented
+//! in `docs/observability.md`. [`trace::render_tree`] renders finished
+//! spans as an indented human-readable tree whose per-span totals sum
+//! consistently with their parents (`self = total − Σ children`).
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    add, incr, metrics_enabled, reset_metrics, set_metrics_enabled, snapshot, Counter,
+};
+pub use trace::{clear_spans, set_trace_enabled, span, take_spans, trace_enabled, Span};
+
+/// Enable or disable both halves at once.
+pub fn set_enabled(on: bool) {
+    metrics::set_metrics_enabled(on);
+    trace::set_trace_enabled(on);
+}
+
+/// One JSON document with the current counter snapshot and (when any
+/// spans have been collected) the aggregated span tree:
+///
+/// ```json
+/// {"counters": {"join.probes": 42, ...}, "spans": [...]}
+/// ```
+#[must_use]
+pub fn report_json() -> String {
+    let snap = metrics::snapshot();
+    let spans = trace::snapshot_spans();
+    let mut out = String::from("{\n  \"counters\": ");
+    out.push_str(&snap.to_json_object(2));
+    if !spans.is_empty() {
+        out.push_str(",\n  \"spans\": ");
+        out.push_str(&trace::spans_to_json(&spans, 2));
+    }
+    out.push_str("\n}\n");
+    out
+}

@@ -1,0 +1,268 @@
+//! Named monotonic counters for engine work units.
+//!
+//! Counters are global relaxed `AtomicU64`s indexed by the [`Counter`]
+//! enum, gated by a single relaxed `AtomicBool`. Disabled counting is a
+//! load-and-branch; enabled counting is a relaxed `fetch_add`. Hot
+//! loops should accumulate into locals and [`add`] once per operation.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Every engine counter. The discriminant doubles as the index into the
+/// global counter table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Input tuples visited by scans, joins, and selections.
+    TuplesScanned,
+    /// Hash-table probes (or nested-loop pair tests) performed by joins.
+    JoinProbes,
+    /// Tuples emitted by join operators.
+    JoinOutputRows,
+    /// Tuple-pair subsumption tests (naive) or partition probes
+    /// (partitioned) performed during subsumption removal.
+    SubsumptionComparisons,
+    /// Tuples removed because another tuple subsumed them.
+    TuplesSubsumed,
+    /// Connected subgraphs enumerated by the naive full disjunction.
+    SubgraphsEnumerated,
+    /// Binary outer-join steps executed by the outer-join full
+    /// disjunction.
+    OuterJoinSteps,
+    /// Chase alternatives produced by `data_chase`.
+    ChaseAlternativesGenerated,
+    /// Chase candidate sites skipped (relation already in the graph).
+    ChaseAlternativesPruned,
+    /// Walk alternatives produced by `data_walk`.
+    WalkAlternativesGenerated,
+    /// Walk candidates dropped as duplicates of an existing alternative.
+    WalkAlternativesPruned,
+    /// Requirement-satisfaction tests evaluated during illustration
+    /// selection.
+    RequirementsChecked,
+    /// Iterations of the greedy set-cover loop in illustration
+    /// selection (one per chosen example).
+    GreedyIterations,
+}
+
+/// Number of counters (length of [`Counter::ALL`]).
+pub const COUNTER_COUNT: usize = Counter::ALL.len();
+
+impl Counter {
+    /// All counters, in table order.
+    pub const ALL: [Counter; 13] = [
+        Counter::TuplesScanned,
+        Counter::JoinProbes,
+        Counter::JoinOutputRows,
+        Counter::SubsumptionComparisons,
+        Counter::TuplesSubsumed,
+        Counter::SubgraphsEnumerated,
+        Counter::OuterJoinSteps,
+        Counter::ChaseAlternativesGenerated,
+        Counter::ChaseAlternativesPruned,
+        Counter::WalkAlternativesGenerated,
+        Counter::WalkAlternativesPruned,
+        Counter::RequirementsChecked,
+        Counter::GreedyIterations,
+    ];
+
+    /// The stable dotted name used in JSON snapshots and the `stats`
+    /// shell command.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::TuplesScanned => "scan.tuples",
+            Counter::JoinProbes => "join.probes",
+            Counter::JoinOutputRows => "join.output_rows",
+            Counter::SubsumptionComparisons => "subsumption.comparisons",
+            Counter::TuplesSubsumed => "subsumption.removed",
+            Counter::SubgraphsEnumerated => "fd.subgraphs",
+            Counter::OuterJoinSteps => "fd.outer_join_steps",
+            Counter::ChaseAlternativesGenerated => "chase.alternatives_generated",
+            Counter::ChaseAlternativesPruned => "chase.alternatives_pruned",
+            Counter::WalkAlternativesGenerated => "walk.alternatives_generated",
+            Counter::WalkAlternativesPruned => "walk.alternatives_pruned",
+            Counter::RequirementsChecked => "illustration.requirements_checked",
+            Counter::GreedyIterations => "illustration.greedy_iterations",
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+static COUNTERS: [AtomicU64; COUNTER_COUNT] = [ZERO; COUNTER_COUNT];
+
+/// Turn counting on or off (off by default).
+pub fn set_metrics_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether counting is currently on.
+#[must_use]
+pub fn metrics_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Add `n` to a counter (no-op while disabled).
+#[inline]
+pub fn add(counter: Counter, n: u64) {
+    if ENABLED.load(Ordering::Relaxed) {
+        COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Add 1 to a counter (no-op while disabled).
+#[inline]
+pub fn incr(counter: Counter) {
+    add(counter, 1);
+}
+
+/// Current value of one counter.
+#[must_use]
+pub fn value(counter: Counter) -> u64 {
+    COUNTERS[counter as usize].load(Ordering::Relaxed)
+}
+
+/// Zero every counter (leaves the enabled flag untouched).
+pub fn reset_metrics() {
+    for c in &COUNTERS {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of every counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    values: [u64; COUNTER_COUNT],
+}
+
+/// Read all counters at once.
+#[must_use]
+pub fn snapshot() -> MetricsSnapshot {
+    let mut values = [0u64; COUNTER_COUNT];
+    for (slot, c) in values.iter_mut().zip(&COUNTERS) {
+        *slot = c.load(Ordering::Relaxed);
+    }
+    MetricsSnapshot { values }
+}
+
+impl MetricsSnapshot {
+    /// Value of one counter in this snapshot.
+    #[must_use]
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.values[counter as usize]
+    }
+
+    /// `(name, value)` pairs in table order.
+    pub fn entries(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        Counter::ALL.iter().map(|&c| (c.name(), self.get(c)))
+    }
+
+    /// Counter-wise difference `self - earlier` (for measuring one
+    /// operation against a baseline snapshot).
+    #[must_use]
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut values = [0u64; COUNTER_COUNT];
+        for (i, slot) in values.iter_mut().enumerate() {
+            *slot = self.values[i].saturating_sub(earlier.values[i]);
+        }
+        MetricsSnapshot { values }
+    }
+
+    /// Render as a JSON object `{"scan.tuples": 0, ...}`, indented by
+    /// `indent` spaces (nested one level deeper).
+    #[must_use]
+    pub fn to_json_object(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let inner = " ".repeat(indent + 2);
+        let mut out = String::from("{\n");
+        let mut first = true;
+        for (name, value) in self.entries() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!("{inner}{}: {value}", crate::json::quote(name)));
+        }
+        out.push('\n');
+        out.push_str(&pad);
+        out.push('}');
+        out
+    }
+
+    /// Human-readable aligned table (used by the `stats` shell command).
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let width = Counter::ALL
+            .iter()
+            .map(|c| c.name().len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in self.entries() {
+            out.push_str(&format!("{name:<width$}  {value}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Counter state is process-global; tests in this module serialize
+    // themselves so their exact-value assertions cannot race.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn disabled_adds_are_dropped() {
+        let _guard = LOCK.lock().unwrap();
+        set_metrics_enabled(false);
+        reset_metrics();
+        add(Counter::JoinProbes, 100);
+        assert_eq!(value(Counter::JoinProbes), 0);
+    }
+
+    #[test]
+    fn enabled_adds_accumulate_and_snapshot() {
+        let _guard = LOCK.lock().unwrap();
+        set_metrics_enabled(true);
+        reset_metrics();
+        add(Counter::JoinProbes, 3);
+        incr(Counter::JoinProbes);
+        add(Counter::TuplesSubsumed, 7);
+        let snap = snapshot();
+        set_metrics_enabled(false);
+        assert_eq!(snap.get(Counter::JoinProbes), 4);
+        assert_eq!(snap.get(Counter::TuplesSubsumed), 7);
+        assert_eq!(snap.get(Counter::GreedyIterations), 0);
+        let json = snap.to_json_object(0);
+        assert!(json.contains("\"join.probes\": 4"));
+        assert!(json.contains("\"subsumption.removed\": 7"));
+        let table = snap.render_table();
+        assert!(table.contains("join.probes"));
+    }
+
+    #[test]
+    fn since_subtracts_baseline() {
+        let _guard = LOCK.lock().unwrap();
+        set_metrics_enabled(true);
+        reset_metrics();
+        add(Counter::TuplesScanned, 10);
+        let base = snapshot();
+        add(Counter::TuplesScanned, 5);
+        let delta = snapshot().since(&base);
+        set_metrics_enabled(false);
+        assert_eq!(delta.get(Counter::TuplesScanned), 5);
+    }
+
+    #[test]
+    fn names_are_unique_and_dotted() {
+        let mut names: Vec<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        assert!(names.iter().all(|n| n.contains('.')));
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), COUNTER_COUNT);
+    }
+}

@@ -1,0 +1,388 @@
+//! Hierarchical span tracing via RAII guards.
+//!
+//! [`span`] returns a guard; guards opened while another guard is alive
+//! on the same thread become its children (a thread-local stack tracks
+//! nesting). Finished spans are appended to a thread-safe global
+//! collector. The whole subsystem is gated by one relaxed `AtomicBool`:
+//! while disabled, [`span`] is a load-and-branch that never reads the
+//! clock and its guard's `Drop` does nothing.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+static COLLECTOR: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ORDINAL: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Turn tracing on or off (off by default).
+pub fn set_trace_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether tracing is currently on.
+#[must_use]
+pub fn trace_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One finished span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique id, monotonically increasing in start order.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Static span name (dotted, e.g. `fd.naive`).
+    pub name: &'static str,
+    /// Wall-clock duration in nanoseconds.
+    pub nanos: u128,
+    /// Ordinal of the thread the span ran on.
+    pub thread: u64,
+}
+
+/// RAII guard for one span; the span finishes when the guard drops.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct Span {
+    inner: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start: Instant,
+}
+
+/// Open a span. While tracing is disabled this is one relaxed atomic
+/// load and returns an inert guard.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !trace_enabled() {
+        return Span { inner: None };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    Span {
+        inner: Some(ActiveSpan {
+            id,
+            parent,
+            name,
+            start: Instant::now(),
+        }),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.inner.take() else {
+            return;
+        };
+        let nanos = active.start.elapsed().as_nanos();
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Pop back to (and including) this span; robust against
+            // out-of-order drops of sibling guards.
+            while let Some(top) = stack.pop() {
+                if top == active.id {
+                    break;
+                }
+            }
+        });
+        let record = SpanRecord {
+            id: active.id,
+            parent: active.parent,
+            name: active.name,
+            nanos,
+            thread: THREAD_ORDINAL.with(|t| *t),
+        };
+        COLLECTOR
+            .lock()
+            .expect("span collector poisoned")
+            .push(record);
+    }
+}
+
+/// Drain the collector, returning every finished span.
+#[must_use]
+pub fn take_spans() -> Vec<SpanRecord> {
+    std::mem::take(&mut *COLLECTOR.lock().expect("span collector poisoned"))
+}
+
+/// Copy the collector without draining it.
+#[must_use]
+pub fn snapshot_spans() -> Vec<SpanRecord> {
+    COLLECTOR.lock().expect("span collector poisoned").clone()
+}
+
+/// Discard all collected spans.
+pub fn clear_spans() {
+    COLLECTOR.lock().expect("span collector poisoned").clear();
+}
+
+/// Aggregated view of same-named sibling spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: &'static str,
+    /// How many spans were aggregated into this node.
+    pub count: u64,
+    /// Summed wall-clock nanoseconds.
+    pub total_ns: u128,
+    /// `total_ns` minus the children's summed `total_ns` (clamped at 0),
+    /// so a parent's total always equals `self + Σ children`.
+    pub self_ns: u128,
+    /// Aggregated child spans, in first-start order.
+    pub children: Vec<SpanNode>,
+}
+
+/// Build the aggregated span forest from raw records: siblings with the
+/// same name merge into one node (count/total accumulate); spans whose
+/// parent never finished are treated as roots.
+#[must_use]
+pub fn aggregate(records: &[SpanRecord]) -> Vec<SpanNode> {
+    let finished: HashMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+    let mut children_of: HashMap<Option<u64>, Vec<&SpanRecord>> = HashMap::new();
+    for r in records {
+        let key = match r.parent {
+            Some(p) if finished.contains_key(&p) => Some(p),
+            _ => None,
+        };
+        children_of.entry(key).or_default().push(r);
+    }
+    fn level(
+        group: &[&SpanRecord],
+        children_of: &HashMap<Option<u64>, Vec<&SpanRecord>>,
+    ) -> Vec<SpanNode> {
+        // group by name, preserving first-start order
+        let mut order: Vec<&'static str> = Vec::new();
+        let mut by_name: HashMap<&'static str, Vec<&SpanRecord>> = HashMap::new();
+        let mut sorted: Vec<&&SpanRecord> = group.iter().collect();
+        sorted.sort_by_key(|r| r.id);
+        for r in sorted {
+            if !by_name.contains_key(r.name) {
+                order.push(r.name);
+            }
+            by_name.entry(r.name).or_default().push(r);
+        }
+        order
+            .into_iter()
+            .map(|name| {
+                let members = &by_name[name];
+                let total_ns: u128 = members.iter().map(|r| r.nanos).sum();
+                let mut kids: Vec<&SpanRecord> = Vec::new();
+                for m in members {
+                    if let Some(c) = children_of.get(&Some(m.id)) {
+                        kids.extend(c.iter().copied());
+                    }
+                }
+                let children = level(&kids, children_of);
+                let child_total: u128 = children.iter().map(|c| c.total_ns).sum();
+                SpanNode {
+                    name,
+                    count: members.len() as u64,
+                    total_ns,
+                    self_ns: total_ns.saturating_sub(child_total),
+                    children,
+                }
+            })
+            .collect()
+    }
+    let roots = children_of.get(&None).cloned().unwrap_or_default();
+    level(&roots, &children_of)
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Render records as an indented tree. Same-named siblings aggregate
+/// into one line with a `×count`; `self` is total minus children, so
+/// every parent's total equals its self time plus its children's totals.
+#[must_use]
+pub fn render_tree(records: &[SpanRecord]) -> String {
+    if records.is_empty() {
+        return String::from("trace: no spans recorded\n");
+    }
+    let mut threads: Vec<u64> = records.iter().map(|r| r.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    let mut out = format!(
+        "trace: {} span{} on {} thread{}\n",
+        records.len(),
+        if records.len() == 1 { "" } else { "s" },
+        threads.len(),
+        if threads.len() == 1 { "" } else { "s" },
+    );
+    for &t in &threads {
+        if threads.len() > 1 {
+            out.push_str(&format!("thread {t}:\n"));
+        }
+        let subset: Vec<SpanRecord> = records.iter().filter(|r| r.thread == t).cloned().collect();
+        let forest = aggregate(&subset);
+        fn walk(node: &SpanNode, depth: usize, out: &mut String) {
+            let indent = "  ".repeat(depth);
+            out.push_str(&format!(
+                "{indent}- {}  ×{}  total {}  self {}\n",
+                node.name,
+                node.count,
+                fmt_ns(node.total_ns),
+                fmt_ns(node.self_ns),
+            ));
+            for child in &node.children {
+                walk(child, depth + 1, out);
+            }
+        }
+        for root in &forest {
+            walk(root, 0, &mut out);
+        }
+    }
+    out
+}
+
+/// Render records as a JSON array of aggregated span nodes:
+/// `[{"name": ..., "count": n, "total_ns": n, "self_ns": n,
+/// "children": [...]}]`. `indent` is the indentation of the array.
+#[must_use]
+pub fn spans_to_json(records: &[SpanRecord], indent: usize) -> String {
+    fn node_json(node: &SpanNode, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let inner = " ".repeat(indent + 2);
+        let mut out = format!(
+            "{{\n{inner}\"name\": {},\n{inner}\"count\": {},\n{inner}\"total_ns\": {},\n{inner}\"self_ns\": {}",
+            crate::json::quote(node.name),
+            node.count,
+            node.total_ns,
+            node.self_ns,
+        );
+        if !node.children.is_empty() {
+            out.push_str(&format!(",\n{inner}\"children\": ["));
+            for (i, c) in node.children.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&node_json(c, indent + 4));
+            }
+            out.push(']');
+        }
+        out.push_str(&format!("\n{pad}}}"));
+        out
+    }
+    let forest = aggregate(records);
+    let mut out = String::from("[");
+    for (i, node) in forest.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&node_json(node, indent + 2));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = LOCK.lock().unwrap();
+        set_trace_enabled(false);
+        clear_spans();
+        {
+            let _s = span("outer");
+            let _t = span("inner");
+        }
+        assert!(take_spans().is_empty());
+    }
+
+    #[test]
+    fn nesting_and_aggregation_are_consistent() {
+        let _guard = LOCK.lock().unwrap();
+        set_trace_enabled(true);
+        clear_spans();
+        {
+            let _root = span("root");
+            for _ in 0..3 {
+                let _child = span("child");
+                let _leaf = span("leaf");
+            }
+            let _other = span("other");
+        }
+        set_trace_enabled(false);
+        let records = take_spans();
+        assert_eq!(records.len(), 8);
+        let forest = aggregate(&records);
+        assert_eq!(forest.len(), 1);
+        let root = &forest[0];
+        assert_eq!(root.name, "root");
+        assert_eq!(root.count, 1);
+        let names: Vec<_> = root.children.iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["child", "other"]);
+        let child = &root.children[0];
+        assert_eq!(child.count, 3);
+        assert_eq!(child.children.len(), 1);
+        assert_eq!(child.children[0].name, "leaf");
+        assert_eq!(child.children[0].count, 3);
+        // parent totals always cover their children
+        fn check(node: &SpanNode) {
+            let child_total: u128 = node.children.iter().map(|c| c.total_ns).sum();
+            assert_eq!(node.total_ns, node.self_ns + child_total);
+            assert!(node.total_ns >= child_total);
+            for c in &node.children {
+                check(c);
+            }
+        }
+        check(root);
+        let rendered = render_tree(&records);
+        assert!(rendered.contains("- root"));
+        assert!(rendered.contains("  - child  ×3"));
+        let json = spans_to_json(&records, 0);
+        assert!(json.contains("\"name\": \"root\""));
+        assert!(json.contains("\"count\": 3"));
+    }
+
+    #[test]
+    fn spans_from_spawned_threads_collect_globally() {
+        let _guard = LOCK.lock().unwrap();
+        set_trace_enabled(true);
+        clear_spans();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _s = span("worker");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        set_trace_enabled(false);
+        let records = take_spans();
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().all(|r| r.name == "worker"));
+    }
+}

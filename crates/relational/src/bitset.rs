@@ -13,7 +13,10 @@ impl Bitset {
     /// All-zero bitset over a universe of `len` bits.
     #[must_use]
     pub fn new(len: usize) -> Bitset {
-        Bitset { words: vec![0; len.div_ceil(64)], len }
+        Bitset {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Universe size.
@@ -57,7 +60,10 @@ impl Bitset {
     #[must_use]
     pub fn is_subset(&self, other: &Bitset) -> bool {
         debug_assert_eq!(self.len, other.len);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Is `self ⊊ other`?

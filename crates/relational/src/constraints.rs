@@ -242,7 +242,9 @@ mod tests {
             .unwrap()
             .insert(vec!["201".into(), "MIT".into()])
             .unwrap();
-        let err = Key::new("Parents", vec!["ID"]).check(&database).unwrap_err();
+        let err = Key::new("Parents", vec!["ID"])
+            .check(&database)
+            .unwrap_err();
         assert!(matches!(err, Error::KeyViolation { .. }));
     }
 
@@ -255,7 +257,9 @@ mod tests {
             .unwrap()
             .insert(vec!["201".into(), "MIT".into()])
             .unwrap();
-        Key::new("Parents", vec!["ID", "affiliation"]).check(&database).unwrap();
+        Key::new("Parents", vec!["ID", "affiliation"])
+            .check(&database)
+            .unwrap();
     }
 
     #[test]
@@ -281,9 +285,12 @@ mod tests {
     #[test]
     fn constraint_set_navigation() {
         let mut c = Constraints::none();
-        c.foreign_keys.push(ForeignKey::simple("Children", "mid", "Parents", "ID"));
-        c.foreign_keys.push(ForeignKey::simple("Children", "fid", "Parents", "ID"));
-        c.foreign_keys.push(ForeignKey::simple("PhoneDir", "ID", "Parents", "ID"));
+        c.foreign_keys
+            .push(ForeignKey::simple("Children", "mid", "Parents", "ID"));
+        c.foreign_keys
+            .push(ForeignKey::simple("Children", "fid", "Parents", "ID"));
+        c.foreign_keys
+            .push(ForeignKey::simple("PhoneDir", "ID", "Parents", "ID"));
         assert_eq!(c.fks_from("Children").len(), 2);
         assert_eq!(c.fks_to("Parents").len(), 3);
         assert!(c.fks_from("Parents").is_empty());
@@ -293,7 +300,8 @@ mod tests {
     fn check_all_aggregates() {
         let mut c = Constraints::none();
         c.keys.push(Key::new("Parents", vec!["ID"]));
-        c.foreign_keys.push(ForeignKey::simple("Children", "mid", "Parents", "ID"));
+        c.foreign_keys
+            .push(ForeignKey::simple("Children", "mid", "Parents", "ID"));
         c.check_all(&db()).unwrap();
     }
 

@@ -42,7 +42,12 @@ fn write_field(out: &mut String, v: &Value) {
 #[must_use]
 pub fn relation_to_csv(rel: &Relation) -> String {
     let mut out = String::new();
-    let names: Vec<&str> = rel.schema().attrs().iter().map(|a| a.name.as_str()).collect();
+    let names: Vec<&str> = rel
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
     out.push_str(&names.join(","));
     out.push('\n');
     for row in rel.rows() {
@@ -93,7 +98,9 @@ fn parse_record(line: &str) -> Result<Vec<Option<String>>> {
                 None => break,
                 Some(',') => i += 1,
                 Some(c) => {
-                    return Err(Error::Invalid(format!("unexpected `{c}` after quoted field")))
+                    return Err(Error::Invalid(format!(
+                        "unexpected `{c}` after quoted field"
+                    )))
                 }
             }
         } else {
@@ -212,12 +219,17 @@ fn parse_type(s: &str) -> Result<DataType> {
         "float" => Ok(DataType::Float),
         "str" => Ok(DataType::Str),
         "bool" => Ok(DataType::Bool),
-        other => Err(Error::Invalid(format!("unknown type `{other}` in schema manifest"))),
+        other => Err(Error::Invalid(format!(
+            "unknown type `{other}` in schema manifest"
+        ))),
     }
 }
 
 fn parse_name_list(s: &str) -> Vec<String> {
-    s.split(',').map(|x| x.trim().to_owned()).filter(|x| !x.is_empty()).collect()
+    s.split(',')
+        .map(|x| x.trim().to_owned())
+        .filter(|x| !x.is_empty())
+        .collect()
 }
 
 /// Parse a `_schema.txt` manifest into schemas + constraints (relations
@@ -231,7 +243,8 @@ pub fn parse_manifest(text: &str) -> Result<(Vec<RelSchema>, Vec<Key>, Vec<Forei
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = |msg: String| Error::Invalid(format!("schema manifest line {}: {msg}", lineno + 1));
+        let err =
+            |msg: String| Error::Invalid(format!("schema manifest line {}: {msg}", lineno + 1));
         if let Some(rest) = line.strip_prefix("relation ") {
             let (name, attrs_part) = rest
                 .split_once('(')
@@ -246,10 +259,13 @@ pub fn parse_manifest(text: &str) -> Result<(Vec<RelSchema>, Vec<Key>, Vec<Forei
                     continue;
                 }
                 let mut words = spec.split_whitespace();
-                let aname =
-                    words.next().ok_or_else(|| err("empty attribute spec".into()))?;
+                let aname = words
+                    .next()
+                    .ok_or_else(|| err("empty attribute spec".into()))?;
                 let ty = parse_type(
-                    words.next().ok_or_else(|| err(format!("attribute `{aname}` missing type")))?,
+                    words
+                        .next()
+                        .ok_or_else(|| err(format!("attribute `{aname}` missing type")))?,
                 )?;
                 let rest: Vec<&str> = words.collect();
                 let not_null = rest == ["not", "null"];
@@ -267,7 +283,9 @@ pub fn parse_manifest(text: &str) -> Result<(Vec<RelSchema>, Vec<Key>, Vec<Forei
             let (rel, attrs) = rest
                 .split_once('(')
                 .ok_or_else(|| err("key line needs `(attrs)`".into()))?;
-            let attrs = attrs.strip_suffix(')').ok_or_else(|| err("key line missing `)`".into()))?;
+            let attrs = attrs
+                .strip_suffix(')')
+                .ok_or_else(|| err("key line missing `)`".into()))?;
             keys.push(Key {
                 relation: rel.trim().to_owned(),
                 attrs: parse_name_list(attrs),
@@ -288,7 +306,12 @@ pub fn parse_manifest(text: &str) -> Result<(Vec<RelSchema>, Vec<Key>, Vec<Forei
             };
             let (from_relation, from_attrs) = parse_side(from)?;
             let (to_relation, to_attrs) = parse_side(to)?;
-            fks.push(ForeignKey { from_relation, from_attrs, to_relation, to_attrs });
+            fks.push(ForeignKey {
+                from_relation,
+                from_attrs,
+                to_relation,
+                to_attrs,
+            });
         } else {
             return Err(err(format!("unknown directive in `{line}`")));
         }
@@ -303,8 +326,11 @@ pub fn write_database(db: &Database, dir: &Path) -> Result<()> {
     std::fs::create_dir_all(dir).map_err(io_err)?;
     std::fs::write(dir.join("_schema.txt"), schema_manifest(db)).map_err(io_err)?;
     for rel in db.relations() {
-        std::fs::write(dir.join(format!("{}.csv", rel.name())), relation_to_csv(rel))
-            .map_err(io_err)?;
+        std::fs::write(
+            dir.join(format!("{}.csv", rel.name())),
+            relation_to_csv(rel),
+        )
+        .map_err(io_err)?;
     }
     Ok(())
 }
@@ -313,8 +339,7 @@ pub fn write_database(db: &Database, dir: &Path) -> Result<()> {
 /// hand-authored in the same layout).
 pub fn read_database(dir: &Path) -> Result<Database> {
     let io_err = |e: std::io::Error| Error::Invalid(format!("csv import: {e}"));
-    let manifest =
-        std::fs::read_to_string(dir.join("_schema.txt")).map_err(io_err)?;
+    let manifest = std::fs::read_to_string(dir.join("_schema.txt")).map_err(io_err)?;
     let (schemas, keys, fks) = parse_manifest(&manifest)?;
     let mut db = Database::new();
     for schema in schemas {
@@ -339,9 +364,24 @@ mod tests {
             .attr("text", DataType::Str)
             .attr("score", DataType::Float)
             .attr("flag", DataType::Bool)
-            .row(vec![1i64.into(), "plain".into(), 1.5f64.into(), true.into()])
-            .row(vec![2i64.into(), "comma, inside".into(), Value::Null, false.into()])
-            .row(vec![3i64.into(), "quote \" here".into(), (-0.25f64).into(), Value::Null])
+            .row(vec![
+                1i64.into(),
+                "plain".into(),
+                1.5f64.into(),
+                true.into(),
+            ])
+            .row(vec![
+                2i64.into(),
+                "comma, inside".into(),
+                Value::Null,
+                false.into(),
+            ])
+            .row(vec![
+                3i64.into(),
+                "quote \" here".into(),
+                (-0.25f64).into(),
+                Value::Null,
+            ])
             .row(vec![4i64.into(), "".into(), 0f64.into(), true.into()]) // empty string != null
             .row(vec![5i64.into(), Value::Null, 2f64.into(), false.into()])
             .build()
@@ -368,22 +408,17 @@ mod tests {
     #[test]
     fn header_mismatch_rejected() {
         let rel = tricky_relation();
-        let schema = RelSchema::new(
-            "Tricky",
-            vec![Attribute::new("wrong", DataType::Int)],
-        )
-        .unwrap();
+        let schema =
+            RelSchema::new("Tricky", vec![Attribute::new("wrong", DataType::Int)]).unwrap();
         assert!(relation_from_csv(schema, &relation_to_csv(&rel)).is_err());
     }
 
     #[test]
     fn bad_values_are_reported() {
-        let schema =
-            RelSchema::new("R", vec![Attribute::new("n", DataType::Int)]).unwrap();
+        let schema = RelSchema::new("R", vec![Attribute::new("n", DataType::Int)]).unwrap();
         assert!(relation_from_csv(schema.clone(), "n\nxyz\n").is_err());
         assert!(relation_from_csv(schema.clone(), "n\n\"unterminated\n").is_err());
-        let schema_b =
-            RelSchema::new("R", vec![Attribute::new("b", DataType::Bool)]).unwrap();
+        let schema_b = RelSchema::new("R", vec![Attribute::new("b", DataType::Bool)]).unwrap();
         assert!(relation_from_csv(schema_b, "b\nmaybe\n").is_err());
         // arity mismatch
         assert!(relation_from_csv(schema, "n\n1,2\n").is_err());

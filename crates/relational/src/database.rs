@@ -128,7 +128,10 @@ mod tests {
         assert!(db.has_relation("Children"));
         assert!(!db.has_relation("Kids"));
         assert_eq!(db.relation("Parents").unwrap().len(), 2);
-        assert!(matches!(db.relation("Kids"), Err(Error::UnknownRelation(_))));
+        assert!(matches!(
+            db.relation("Kids"),
+            Err(Error::UnknownRelation(_))
+        ));
     }
 
     #[test]
@@ -138,7 +141,10 @@ mod tests {
             .attr("x", DataType::Int)
             .build()
             .unwrap();
-        assert!(matches!(db.add_relation(dup), Err(Error::DuplicateRelation(_))));
+        assert!(matches!(
+            db.add_relation(dup),
+            Err(Error::DuplicateRelation(_))
+        ));
     }
 
     #[test]

@@ -16,7 +16,11 @@ pub fn render_table(scheme: &Scheme, rows: &[Vec<Value>], tags: &[String]) -> St
     let has_tags = !tags.is_empty();
     debug_assert!(!has_tags || tags.len() == rows.len());
 
-    let mut headers: Vec<String> = scheme.columns().iter().map(|c| c.qualified_name()).collect();
+    let mut headers: Vec<String> = scheme
+        .columns()
+        .iter()
+        .map(|c| c.qualified_name())
+        .collect();
     if has_tags {
         headers.push(String::new());
     }

@@ -52,19 +52,41 @@ impl fmt::Display for Error {
             Error::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
             Error::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
             Error::DuplicateRelation(r) => write!(f, "relation `{r}` already exists"),
-            Error::DuplicateAttribute { relation, attribute } => {
-                write!(f, "duplicate attribute `{attribute}` in relation `{relation}`")
+            Error::DuplicateAttribute {
+                relation,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "duplicate attribute `{attribute}` in relation `{relation}`"
+                )
             }
             Error::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
-            Error::FunctionArity { name, expected, got } => {
-                write!(f, "function `{name}` expects {expected} argument(s), got {got}")
+            Error::FunctionArity {
+                name,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "function `{name}` expects {expected} argument(s), got {got}"
+                )
             }
             Error::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
             Error::ArityMismatch { expected, got } => {
-                write!(f, "tuple arity mismatch: expected {expected} values, got {got}")
+                write!(
+                    f,
+                    "tuple arity mismatch: expected {expected} values, got {got}"
+                )
             }
-            Error::NullViolation { relation, attribute } => {
-                write!(f, "null value in NOT NULL attribute `{relation}.{attribute}`")
+            Error::NullViolation {
+                relation,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "null value in NOT NULL attribute `{relation}.{attribute}`"
+                )
             }
             Error::KeyViolation { relation, key } => {
                 write!(f, "key violation on `{relation}` (key {key})")
@@ -88,9 +110,15 @@ mod tests {
     #[test]
     fn display_formats_are_human_readable() {
         let cases: Vec<(Error, &str)> = vec![
-            (Error::UnknownColumn("C.age".into()), "unknown column `C.age`"),
+            (
+                Error::UnknownColumn("C.age".into()),
+                "unknown column `C.age`",
+            ),
             (Error::AmbiguousColumn("ID".into()), "ambiguous column `ID`"),
-            (Error::UnknownRelation("Kids".into()), "unknown relation `Kids`"),
+            (
+                Error::UnknownRelation("Kids".into()),
+                "unknown relation `Kids`",
+            ),
             (
                 Error::DuplicateRelation("Kids".into()),
                 "relation `Kids` already exists",
@@ -104,7 +132,10 @@ mod tests {
 
     #[test]
     fn parse_error_carries_position() {
-        let e = Error::Parse { pos: 7, message: "expected `)`".into() };
+        let e = Error::Parse {
+            pos: 7,
+            message: "expected `)`".into(),
+        };
         assert_eq!(e.to_string(), "parse error at offset 7: expected `)`");
     }
 

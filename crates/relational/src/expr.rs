@@ -174,7 +174,11 @@ impl Expr {
     /// Convenience: build a binary node.
     #[must_use]
     pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// Convenience: conjunction of a list (empty list is `TRUE`).
@@ -228,7 +232,10 @@ impl Expr {
                     a.walk(f);
                 }
             }
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 for (c, v) in branches {
                     c.walk(f);
                     v.walk(f);
@@ -243,7 +250,9 @@ impl Expr {
                     e.walk(f);
                 }
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.walk(f);
                 low.walk(f);
                 high.walk(f);
@@ -276,19 +285,31 @@ impl Expr {
                 name: name.clone(),
                 args: args.iter().map(|a| a.map_qualifiers(f)).collect(),
             },
-            Expr::Case { branches, otherwise } => Expr::Case {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => Expr::Case {
                 branches: branches
                     .iter()
                     .map(|(c, v)| (c.map_qualifiers(f), v.map_qualifiers(f)))
                     .collect(),
                 otherwise: otherwise.as_ref().map(|e| Box::new(e.map_qualifiers(f))),
             },
-            Expr::InList { expr, list, negated } => Expr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
                 expr: Box::new(expr.map_qualifiers(f)),
                 list: list.iter().map(|e| e.map_qualifiers(f)).collect(),
                 negated: *negated,
             },
-            Expr::Between { expr, low, high, negated } => Expr::Between {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
                 expr: Box::new(expr.map_qualifiers(f)),
                 low: Box::new(low.map_qualifiers(f)),
                 high: Box::new(high.map_qualifiers(f)),
@@ -317,7 +338,10 @@ impl Expr {
                 name: name.clone(),
                 args: args.iter().map(|a| a.bind(scheme)).collect::<Result<_>>()?,
             },
-            Expr::Case { branches, otherwise } => BoundExpr::Case {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => BoundExpr::Case {
                 branches: branches
                     .iter()
                     .map(|(c, v)| Ok((c.bind(scheme)?, v.bind(scheme)?)))
@@ -327,12 +351,21 @@ impl Expr {
                     None => None,
                 },
             },
-            Expr::InList { expr, list, negated } => BoundExpr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => BoundExpr::InList {
                 expr: Box::new(expr.bind(scheme)?),
                 list: list.iter().map(|e| e.bind(scheme)).collect::<Result<_>>()?,
                 negated: *negated,
             },
-            Expr::Between { expr, low, high, negated } => BoundExpr::Between {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => BoundExpr::Between {
                 expr: Box::new(expr.bind(scheme)?),
                 low: Box::new(low.bind(scheme)?),
                 high: Box::new(high.bind(scheme)?),
@@ -348,7 +381,12 @@ impl Expr {
     }
 
     /// Evaluate as a predicate (three-valued).
-    pub fn eval_truth(&self, scheme: &Scheme, row: &[Value], funcs: &FuncRegistry) -> Result<Truth> {
+    pub fn eval_truth(
+        &self,
+        scheme: &Scheme,
+        row: &[Value],
+        funcs: &FuncRegistry,
+    ) -> Result<Truth> {
         self.bind(scheme)?.eval_truth(row, funcs)
     }
 
@@ -415,7 +453,10 @@ impl fmt::Display for Expr {
                 }
                 f.write_str(")")
             }
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 f.write_str("CASE")?;
                 for (c, v) in branches {
                     write!(f, " WHEN {c} THEN {v}")?;
@@ -425,7 +466,11 @@ impl fmt::Display for Expr {
                 }
                 f.write_str(" END")
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 wrapped(f, expr)?;
                 write!(f, " {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, e) in list.iter().enumerate() {
@@ -436,7 +481,12 @@ impl fmt::Display for Expr {
                 }
                 f.write_str(")")
             }
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 wrapped(f, expr)?;
                 write!(f, " {}BETWEEN ", if *negated { "NOT " } else { "" })?;
                 wrapped(f, low)?;
@@ -532,7 +582,11 @@ impl BoundExpr {
                 if *op == BinOp::And || *op == BinOp::Or {
                     let l = left.eval_truth(row, funcs)?;
                     let r = right.eval_truth(row, funcs)?;
-                    return Ok(truth_to_value(if *op == BinOp::And { l.and(r) } else { l.or(r) }));
+                    return Ok(truth_to_value(if *op == BinOp::And {
+                        l.and(r)
+                    } else {
+                        l.or(r)
+                    }));
                 }
                 let l = left.eval(row, funcs)?;
                 let r = right.eval(row, funcs)?;
@@ -552,11 +606,16 @@ impl BoundExpr {
                 }
             }
             BoundExpr::Func { name, args } => {
-                let vals: Vec<Value> =
-                    args.iter().map(|a| a.eval(row, funcs)).collect::<Result<_>>()?;
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| a.eval(row, funcs))
+                    .collect::<Result<_>>()?;
                 funcs.call(name, &vals)?
             }
-            BoundExpr::Case { branches, otherwise } => {
+            BoundExpr::Case {
+                branches,
+                otherwise,
+            } => {
                 let mut out = Value::Null;
                 let mut matched = false;
                 for (c, v) in branches {
@@ -573,7 +632,11 @@ impl BoundExpr {
                 }
                 out
             }
-            BoundExpr::InList { expr, list, negated } => {
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let needle = expr.eval(row, funcs)?;
                 let mut t = Truth::False;
                 for e in list {
@@ -585,7 +648,12 @@ impl BoundExpr {
                 }
                 truth_to_value(if *negated { t.not() } else { t })
             }
-            BoundExpr::Between { expr, low, high, negated } => {
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 let v = expr.eval(row, funcs)?;
                 let lo = low.eval(row, funcs)?;
                 let hi = high.eval(row, funcs)?;
@@ -600,7 +668,9 @@ impl BoundExpr {
         match self.eval(row, funcs)? {
             Value::Bool(b) => Ok(Truth::from_bool(b)),
             Value::Null => Ok(Truth::Unknown),
-            v => Err(Error::TypeMismatch(format!("expected boolean predicate, got {v}"))),
+            v => Err(Error::TypeMismatch(format!(
+                "expected boolean predicate, got {v}"
+            ))),
         }
     }
 }
@@ -723,21 +793,39 @@ mod tests {
 
     #[test]
     fn is_null_and_is_not_null() {
-        let e = Expr::IsNull { expr: Box::new(Expr::col("C.name")), negated: false };
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::col("C.name")),
+            negated: false,
+        };
         assert_eq!(truth(&e, &row("1", None, None)), Truth::True);
         assert_eq!(truth(&e, &row("1", Some("x"), None)), Truth::False);
-        let ne = Expr::IsNull { expr: Box::new(Expr::col("C.name")), negated: true };
+        let ne = Expr::IsNull {
+            expr: Box::new(Expr::col("C.name")),
+            negated: true,
+        };
         assert_eq!(truth(&ne, &row("1", Some("x"), None)), Truth::True);
     }
 
     #[test]
     fn and_or_not_follow_kleene() {
-        let is_null = Expr::IsNull { expr: Box::new(Expr::col("C.name")), negated: false };
+        let is_null = Expr::IsNull {
+            expr: Box::new(Expr::col("C.name")),
+            negated: false,
+        };
         let unknown = Expr::binary(BinOp::Eq, Expr::col("C.name"), Expr::lit("x"));
         let r = row("1", None, None);
-        assert_eq!(truth(&Expr::binary(BinOp::Or, is_null.clone(), unknown.clone()), &r), Truth::True);
         assert_eq!(
-            truth(&Expr::binary(BinOp::And, is_null.clone(), unknown.clone()), &r),
+            truth(
+                &Expr::binary(BinOp::Or, is_null.clone(), unknown.clone()),
+                &r
+            ),
+            Truth::True
+        );
+        assert_eq!(
+            truth(
+                &Expr::binary(BinOp::And, is_null.clone(), unknown.clone()),
+                &r
+            ),
             Truth::Unknown
         );
         assert_eq!(truth(&Expr::Not(Box::new(unknown)), &r), Truth::Unknown);
@@ -784,7 +872,10 @@ mod tests {
 
     #[test]
     fn is_null_predicate_is_not_strong() {
-        let e = Expr::IsNull { expr: Box::new(Expr::col("C.name")), negated: false };
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::col("C.name")),
+            negated: false,
+        };
         assert!(!e.is_strong(&scheme(), &funcs()).unwrap());
     }
 
@@ -818,7 +909,11 @@ mod tests {
     fn map_qualifiers_renames_copies() {
         let e = Expr::col_eq("C.mid", "Parents.ID");
         let renamed = e.map_qualifiers(&|q| {
-            if q == "Parents" { "Parents2".to_owned() } else { q.to_owned() }
+            if q == "Parents" {
+                "Parents2".to_owned()
+            } else {
+                q.to_owned()
+            }
         });
         assert_eq!(renamed.to_string(), "C.mid = Parents2.ID");
     }
@@ -828,9 +923,15 @@ mod tests {
         let e = Expr::binary(
             BinOp::Or,
             Expr::Not(Box::new(Expr::col_eq("C.ID", "C.name"))),
-            Expr::IsNull { expr: Box::new(Expr::col("C.age")), negated: true },
+            Expr::IsNull {
+                expr: Box::new(Expr::col("C.age")),
+                negated: true,
+            },
         );
-        assert_eq!(e.to_string(), "(NOT (C.ID = C.name)) OR (C.age IS NOT NULL)");
+        assert_eq!(
+            e.to_string(),
+            "(NOT (C.ID = C.name)) OR (C.age IS NOT NULL)"
+        );
         let s = Expr::lit("O'Hare").to_string();
         assert_eq!(s, "'O''Hare'");
     }
@@ -845,7 +946,10 @@ mod tests {
         let e = Expr::binary(BinOp::Add, Expr::col("C.age"), Expr::lit(1i64));
         let b = e.bind(&scheme()).unwrap();
         let r = row("002", Some("Maya"), Some(4));
-        assert_eq!(b.eval(&r, &funcs()).unwrap(), e.eval(&scheme(), &r, &funcs()).unwrap());
+        assert_eq!(
+            b.eval(&r, &funcs()).unwrap(),
+            e.eval(&scheme(), &r, &funcs()).unwrap()
+        );
     }
 
     #[test]
@@ -910,7 +1014,10 @@ mod tests {
             list: vec![Expr::lit("zzz"), Expr::Literal(Value::Null)],
             negated: false,
         };
-        assert_eq!(truth(&null_in_list, &row("002", None, None)), Truth::Unknown);
+        assert_eq!(
+            truth(&null_in_list, &row("002", None, None)),
+            Truth::Unknown
+        );
     }
 
     #[test]

@@ -50,7 +50,9 @@ impl fmt::Debug for FuncRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut names: Vec<&str> = self.funcs.keys().map(String::as_str).collect();
         names.sort_unstable();
-        f.debug_struct("FuncRegistry").field("functions", &names).finish()
+        f.debug_struct("FuncRegistry")
+            .field("functions", &names)
+            .finish()
     }
 }
 
@@ -64,7 +66,9 @@ impl FuncRegistry {
     /// An empty registry (no builtins).
     #[must_use]
     pub fn empty() -> FuncRegistry {
-        FuncRegistry { funcs: HashMap::new() }
+        FuncRegistry {
+            funcs: HashMap::new(),
+        }
     }
 
     /// The standard registry with all built-in functions.
@@ -81,7 +85,11 @@ impl FuncRegistry {
         r.register("nullif", Arity::Exact(2), Arc::new(builtin_nullif));
         r.register("trim", Arity::Exact(1), Arc::new(builtin_trim));
         r.register("replace", Arity::Exact(3), Arc::new(builtin_replace));
-        r.register("starts_with", Arity::Exact(2), Arc::new(builtin_starts_with));
+        r.register(
+            "starts_with",
+            Arity::Exact(2),
+            Arc::new(builtin_starts_with),
+        );
         r.register("ends_with", Arity::Exact(2), Arc::new(builtin_ends_with));
         r.register("lpad", Arity::Exact(3), Arc::new(builtin_lpad));
         r.register("to_int", Arity::Exact(1), Arc::new(builtin_to_int));
@@ -144,14 +152,20 @@ fn builtin_concat(args: &[Value]) -> Result<Value> {
 }
 
 fn builtin_coalesce(args: &[Value]) -> Result<Value> {
-    Ok(args.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null))
+    Ok(args
+        .iter()
+        .find(|v| !v.is_null())
+        .cloned()
+        .unwrap_or(Value::Null))
 }
 
 fn builtin_upper(args: &[Value]) -> Result<Value> {
     match &args[0] {
         Value::Null => Ok(Value::Null),
         Value::Str(s) => Ok(Value::Str(s.to_uppercase())),
-        v => Err(Error::TypeMismatch(format!("upper: expected string, got {v}"))),
+        v => Err(Error::TypeMismatch(format!(
+            "upper: expected string, got {v}"
+        ))),
     }
 }
 
@@ -159,7 +173,9 @@ fn builtin_lower(args: &[Value]) -> Result<Value> {
     match &args[0] {
         Value::Null => Ok(Value::Null),
         Value::Str(s) => Ok(Value::Str(s.to_lowercase())),
-        v => Err(Error::TypeMismatch(format!("lower: expected string, got {v}"))),
+        v => Err(Error::TypeMismatch(format!(
+            "lower: expected string, got {v}"
+        ))),
     }
 }
 
@@ -167,7 +183,9 @@ fn builtin_length(args: &[Value]) -> Result<Value> {
     match &args[0] {
         Value::Null => Ok(Value::Null),
         Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
-        v => Err(Error::TypeMismatch(format!("length: expected string, got {v}"))),
+        v => Err(Error::TypeMismatch(format!(
+            "length: expected string, got {v}"
+        ))),
     }
 }
 
@@ -176,7 +194,9 @@ fn builtin_abs(args: &[Value]) -> Result<Value> {
         Value::Null => Ok(Value::Null),
         Value::Int(i) => Ok(Value::Int(i.abs())),
         Value::Float(f) => Ok(Value::Float(f.abs())),
-        v => Err(Error::TypeMismatch(format!("abs: expected number, got {v}"))),
+        v => Err(Error::TypeMismatch(format!(
+            "abs: expected number, got {v}"
+        ))),
     }
 }
 
@@ -187,14 +207,24 @@ fn builtin_substr(args: &[Value]) -> Result<Value> {
     }
     let s = match &args[0] {
         Value::Str(s) => s,
-        v => return Err(Error::TypeMismatch(format!("substr: expected string, got {v}"))),
+        v => {
+            return Err(Error::TypeMismatch(format!(
+                "substr: expected string, got {v}"
+            )))
+        }
     };
     let (start, len) = match (&args[1], &args[2]) {
         (Value::Int(a), Value::Int(b)) => (*a, *b),
-        _ => return Err(Error::TypeMismatch("substr: start/len must be integers".into())),
+        _ => {
+            return Err(Error::TypeMismatch(
+                "substr: start/len must be integers".into(),
+            ))
+        }
     };
     if start < 1 || len < 0 {
-        return Err(Error::Invalid("substr: start must be >= 1 and len >= 0".into()));
+        return Err(Error::Invalid(
+            "substr: start must be >= 1 and len >= 0".into(),
+        ));
     }
     let chars: Vec<char> = s.chars().collect();
     let from = (start - 1) as usize;
@@ -209,7 +239,9 @@ fn builtin_trim(args: &[Value]) -> Result<Value> {
     match &args[0] {
         Value::Null => Ok(Value::Null),
         Value::Str(s) => Ok(Value::Str(s.trim().to_owned())),
-        v => Err(Error::TypeMismatch(format!("trim: expected string, got {v}"))),
+        v => Err(Error::TypeMismatch(format!(
+            "trim: expected string, got {v}"
+        ))),
     }
 }
 
@@ -222,7 +254,9 @@ fn builtin_replace(args: &[Value]) -> Result<Value> {
         (Value::Str(s), Value::Str(from), Value::Str(to)) => {
             Ok(Value::Str(s.replace(from.as_str(), to)))
         }
-        _ => Err(Error::TypeMismatch("replace: expected three strings".into())),
+        _ => Err(Error::TypeMismatch(
+            "replace: expected three strings".into(),
+        )),
     }
 }
 
@@ -232,7 +266,9 @@ fn builtin_starts_with(args: &[Value]) -> Result<Value> {
     }
     match (&args[0], &args[1]) {
         (Value::Str(s), Value::Str(p)) => Ok(Value::Bool(s.starts_with(p.as_str()))),
-        _ => Err(Error::TypeMismatch("starts_with: expected two strings".into())),
+        _ => Err(Error::TypeMismatch(
+            "starts_with: expected two strings".into(),
+        )),
     }
 }
 
@@ -242,7 +278,9 @@ fn builtin_ends_with(args: &[Value]) -> Result<Value> {
     }
     match (&args[0], &args[1]) {
         (Value::Str(s), Value::Str(p)) => Ok(Value::Bool(s.ends_with(p.as_str()))),
-        _ => Err(Error::TypeMismatch("ends_with: expected two strings".into())),
+        _ => Err(Error::TypeMismatch(
+            "ends_with: expected two strings".into(),
+        )),
     }
 }
 
@@ -257,7 +295,9 @@ fn builtin_lpad(args: &[Value]) -> Result<Value> {
         _ => return Err(Error::TypeMismatch("lpad: expected (str, int, str)".into())),
     };
     if pad.is_empty() || len < 0 {
-        return Err(Error::Invalid("lpad: pad must be non-empty and len >= 0".into()));
+        return Err(Error::Invalid(
+            "lpad: pad must be non-empty and len >= 0".into(),
+        ));
     }
     let want = len as usize;
     let have = s.chars().count();
@@ -319,7 +359,10 @@ mod tests {
             .call("concat", &["home".into(), ",".into(), "555-0100".into()])
             .unwrap();
         assert_eq!(v, Value::str("home,555-0100"));
-        assert_eq!(reg().call("concat", &["x".into(), 5i64.into()]).unwrap(), Value::str("x5"));
+        assert_eq!(
+            reg().call("concat", &["x".into(), 5i64.into()]).unwrap(),
+            Value::str("x5")
+        );
     }
 
     #[test]
@@ -331,7 +374,10 @@ mod tests {
     #[test]
     fn coalesce_picks_first_non_null() {
         let v = reg()
-            .call("coalesce", &[Value::Null, Value::Null, "x".into(), "y".into()])
+            .call(
+                "coalesce",
+                &[Value::Null, Value::Null, "x".into(), "y".into()],
+            )
             .unwrap();
         assert_eq!(v, Value::str("x"));
         assert_eq!(reg().call("coalesce", &[Value::Null]).unwrap(), Value::Null);
@@ -339,54 +385,89 @@ mod tests {
 
     #[test]
     fn case_functions() {
-        assert_eq!(reg().call("upper", &["maya".into()]).unwrap(), Value::str("MAYA"));
-        assert_eq!(reg().call("lower", &["MAYA".into()]).unwrap(), Value::str("maya"));
+        assert_eq!(
+            reg().call("upper", &["maya".into()]).unwrap(),
+            Value::str("MAYA")
+        );
+        assert_eq!(
+            reg().call("lower", &["MAYA".into()]).unwrap(),
+            Value::str("maya")
+        );
         assert_eq!(reg().call("upper", &[Value::Null]).unwrap(), Value::Null);
     }
 
     #[test]
     fn length_and_abs() {
-        assert_eq!(reg().call("length", &["Maya".into()]).unwrap(), Value::Int(4));
+        assert_eq!(
+            reg().call("length", &["Maya".into()]).unwrap(),
+            Value::Int(4)
+        );
         assert_eq!(reg().call("abs", &[(-7i64).into()]).unwrap(), Value::Int(7));
-        assert_eq!(reg().call("abs", &[(-1.5f64).into()]).unwrap(), Value::Float(1.5));
+        assert_eq!(
+            reg().call("abs", &[(-1.5f64).into()]).unwrap(),
+            Value::Float(1.5)
+        );
     }
 
     #[test]
     fn substr_is_one_based_and_clamped() {
         assert_eq!(
-            reg().call("substr", &["schoolbus".into(), 1i64.into(), 6i64.into()]).unwrap(),
+            reg()
+                .call("substr", &["schoolbus".into(), 1i64.into(), 6i64.into()])
+                .unwrap(),
             Value::str("school")
         );
         assert_eq!(
-            reg().call("substr", &["bus".into(), 2i64.into(), 10i64.into()]).unwrap(),
+            reg()
+                .call("substr", &["bus".into(), 2i64.into(), 10i64.into()])
+                .unwrap(),
             Value::str("us")
         );
         assert_eq!(
-            reg().call("substr", &["bus".into(), 9i64.into(), 2i64.into()]).unwrap(),
+            reg()
+                .call("substr", &["bus".into(), 9i64.into(), 2i64.into()])
+                .unwrap(),
             Value::str("")
         );
-        assert!(reg().call("substr", &["bus".into(), 0i64.into(), 1i64.into()]).is_err());
+        assert!(reg()
+            .call("substr", &["bus".into(), 0i64.into(), 1i64.into()])
+            .is_err());
     }
 
     #[test]
     fn nullif_blanks_matching_values() {
-        assert_eq!(reg().call("nullif", &["x".into(), "x".into()]).unwrap(), Value::Null);
-        assert_eq!(reg().call("nullif", &["x".into(), "y".into()]).unwrap(), Value::str("x"));
+        assert_eq!(
+            reg().call("nullif", &["x".into(), "x".into()]).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            reg().call("nullif", &["x".into(), "y".into()]).unwrap(),
+            Value::str("x")
+        );
     }
 
     #[test]
     fn string_utilities() {
-        assert_eq!(reg().call("trim", &["  x  ".into()]).unwrap(), Value::str("x"));
         assert_eq!(
-            reg().call("replace", &["555-0101".into(), "-".into(), ".".into()]).unwrap(),
+            reg().call("trim", &["  x  ".into()]).unwrap(),
+            Value::str("x")
+        );
+        assert_eq!(
+            reg()
+                .call("replace", &["555-0101".into(), "-".into(), ".".into()])
+                .unwrap(),
             Value::str("555.0101")
         );
         assert_eq!(
-            reg().call("starts_with", &["Maya".into(), "Ma".into()]).unwrap(),
+            reg()
+                .call("starts_with", &["Maya".into(), "Ma".into()])
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            reg().call("ends_with", &["Maya".into(), "Ma".into()]).unwrap(),
+            reg()
+                .call("ends_with", &["Maya".into(), "Ma".into()])
+                .unwrap(),
             Value::Bool(false)
         );
         assert_eq!(reg().call("trim", &[Value::Null]).unwrap(), Value::Null);
@@ -395,22 +476,37 @@ mod tests {
     #[test]
     fn lpad_pads_and_preserves_long_strings() {
         assert_eq!(
-            reg().call("lpad", &["7".into(), 3i64.into(), "0".into()]).unwrap(),
+            reg()
+                .call("lpad", &["7".into(), 3i64.into(), "0".into()])
+                .unwrap(),
             Value::str("007")
         );
         assert_eq!(
-            reg().call("lpad", &["12345".into(), 3i64.into(), "0".into()]).unwrap(),
+            reg()
+                .call("lpad", &["12345".into(), 3i64.into(), "0".into()])
+                .unwrap(),
             Value::str("12345")
         );
-        assert!(reg().call("lpad", &["x".into(), 3i64.into(), "".into()]).is_err());
+        assert!(reg()
+            .call("lpad", &["x".into(), 3i64.into(), "".into()])
+            .is_err());
     }
 
     #[test]
     fn casts_are_lenient() {
-        assert_eq!(reg().call("to_int", &[" 42 ".into()]).unwrap(), Value::Int(42));
+        assert_eq!(
+            reg().call("to_int", &[" 42 ".into()]).unwrap(),
+            Value::Int(42)
+        );
         assert_eq!(reg().call("to_int", &["4x2".into()]).unwrap(), Value::Null);
-        assert_eq!(reg().call("to_int", &[Value::Float(3.9)]).unwrap(), Value::Int(3));
-        assert_eq!(reg().call("to_str", &[42i64.into()]).unwrap(), Value::str("42"));
+        assert_eq!(
+            reg().call("to_int", &[Value::Float(3.9)]).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            reg().call("to_str", &[42i64.into()]).unwrap(),
+            Value::str("42")
+        );
         assert_eq!(reg().call("to_str", &[Value::Null]).unwrap(), Value::Null);
     }
 

@@ -34,8 +34,12 @@ impl ValueIndex {
     pub fn build(db: &Database) -> ValueIndex {
         let mut map: HashMap<Value, Vec<Occurrence>> = HashMap::new();
         for rel in db.relations() {
-            let attrs: Vec<String> =
-                rel.schema().attrs().iter().map(|a| a.name.clone()).collect();
+            let attrs: Vec<String> = rel
+                .schema()
+                .attrs()
+                .iter()
+                .map(|a| a.name.clone())
+                .collect();
             for (ri, row) in rel.rows().iter().enumerate() {
                 for (ai, v) in row.iter().enumerate() {
                     if v.is_null() {
@@ -90,7 +94,12 @@ pub fn scan_occurrences(db: &Database, value: &Value) -> Vec<Occurrence> {
         return out;
     }
     for rel in db.relations() {
-        let attrs: Vec<&str> = rel.schema().attrs().iter().map(|a| a.name.as_str()).collect();
+        let attrs: Vec<&str> = rel
+            .schema()
+            .attrs()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
         for (ri, row) in rel.rows().iter().enumerate() {
             for (ai, v) in row.iter().enumerate() {
                 if !v.is_null() && v == value {
@@ -169,7 +178,10 @@ mod tests {
         let idx = ValueIndex::build(&database);
         for v in ["001", "002", "Maya", "8:15", "nope"] {
             let val = Value::str(v);
-            assert_eq!(idx.occurrences(&val), scan_occurrences(&database, &val).as_slice());
+            assert_eq!(
+                idx.occurrences(&val),
+                scan_occurrences(&database, &val).as_slice()
+            );
         }
     }
 

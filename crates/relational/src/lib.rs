@@ -70,15 +70,15 @@ pub mod prelude {
     pub use crate::funcs::{Arity, FuncRegistry};
     pub use crate::index::ValueIndex;
     pub use crate::ops::{
-        group_by, join, minimum_union, minimum_union_all, outer_union, select, AggFunc,
-        Aggregate, JoinKind, SubsumptionAlgo,
+        group_by, join, minimum_union, minimum_union_all, outer_union, select, AggFunc, Aggregate,
+        JoinKind, SubsumptionAlgo,
     };
     pub use crate::parser::{parse_expr, parse_expr_list};
-    pub use crate::simplify::simplify;
-    pub use crate::typing::{infer_type, InferredType};
     pub use crate::relation::{Relation, RelationBuilder};
     pub use crate::schema::{Attribute, Column, ColumnRef, RelSchema, Scheme};
+    pub use crate::simplify::simplify;
     pub use crate::table::Table;
     pub use crate::truth::Truth;
+    pub use crate::typing::{infer_type, InferredType};
     pub use crate::value::{DataType, Value};
 }

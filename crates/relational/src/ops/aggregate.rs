@@ -71,7 +71,11 @@ impl Aggregate {
             AggFunc::Avg => DataType::Float,
             _ => DataType::Int, // numeric; Min/Max of strings still works at runtime
         };
-        Aggregate { func, expr: Expr::col(source_col), output: Column::new(qualifier, name, ty) }
+        Aggregate {
+            func,
+            expr: Expr::col(source_col),
+            output: Column::new(qualifier, name, ty),
+        }
     }
 }
 
@@ -109,15 +113,21 @@ pub fn group_by(
 ) -> Result<Table> {
     let key_idx: Vec<usize> = keys
         .iter()
-        .map(|k| table.scheme().resolve(&crate::schema::ColumnRef::parse_simple(k)))
+        .map(|k| {
+            table
+                .scheme()
+                .resolve(&crate::schema::ColumnRef::parse_simple(k))
+        })
         .collect::<Result<_>>()?;
     let bound: Vec<_> = aggregates
         .iter()
         .map(|a| a.expr.bind(table.scheme()))
         .collect::<Result<_>>()?;
 
-    let mut out_cols: Vec<Column> =
-        key_idx.iter().map(|&i| table.scheme().columns()[i].clone()).collect();
+    let mut out_cols: Vec<Column> = key_idx
+        .iter()
+        .map(|&i| table.scheme().columns()[i].clone())
+        .collect();
     out_cols.extend(aggregates.iter().map(|a| a.output.clone()));
     let out_scheme = Scheme::new(out_cols);
 
@@ -232,12 +242,20 @@ mod tests {
         let out = group_by(
             &table(),
             &["CP.child"],
-            &[Aggregate::over(AggFunc::Sum, "CP.salary", "Kids", "FamilyIncome")],
+            &[Aggregate::over(
+                AggFunc::Sum,
+                "CP.salary",
+                "Kids",
+                "FamilyIncome",
+            )],
             &funcs(),
         )
         .unwrap();
         assert_eq!(out.len(), 3);
-        assert_eq!(out.scheme().columns()[1].qualified_name(), "Kids.FamilyIncome");
+        assert_eq!(
+            out.scheme().columns()[1].qualified_name(),
+            "Kids.FamilyIncome"
+        );
         assert_eq!(out.rows()[0], vec!["001".into(), Value::Int(175_000)]);
         assert_eq!(out.rows()[1], vec!["002".into(), Value::Int(95_000)]); // null skipped
         assert_eq!(out.rows()[2], vec!["004".into(), Value::Null]); // all null
@@ -286,7 +304,12 @@ mod tests {
         let out = group_by(
             &table(),
             &["CP.child"],
-            &[Aggregate::over(AggFunc::Min, "CP.affiliation", "K", "first")],
+            &[Aggregate::over(
+                AggFunc::Min,
+                "CP.affiliation",
+                "K",
+                "first",
+            )],
             &funcs(),
         )
         .unwrap();

@@ -11,6 +11,8 @@
 
 use std::collections::HashMap;
 
+use clio_obs::metrics::{self, Counter};
+
 use crate::error::Result;
 use crate::expr::{BinOp, Expr};
 use crate::funcs::FuncRegistry;
@@ -40,6 +42,8 @@ pub fn cartesian_product(left: &Table, right: &Table) -> Result<Table> {
             out.push(row);
         }
     }
+    metrics::add(Counter::TuplesScanned, (left.len() + right.len()) as u64);
+    metrics::add(Counter::JoinOutputRows, out.len() as u64);
     Ok(out)
 }
 
@@ -51,6 +55,7 @@ pub fn join(
     kind: JoinKind,
     funcs: &FuncRegistry,
 ) -> Result<Table> {
+    let _span = clio_obs::span("ops.join");
     let scheme = left.scheme().concat(right.scheme())?;
 
     // Split the predicate into equi-conjuncts usable as hash keys and a
@@ -78,12 +83,15 @@ pub fn join(
     let right_arity = right.scheme().arity();
     let mut out = Table::empty(scheme);
     let mut right_matched = vec![false; right.len()];
+    // Work counters, accumulated locally and flushed once on return.
+    let mut probes: u64 = 0;
 
     if left_keys.is_empty() {
         // Pure nested loop.
         let bound = pred.bind(out.scheme())?;
         for l in left.rows() {
             let mut matched = false;
+            probes += right.len() as u64;
             for (ri, r) in right.rows().iter().enumerate() {
                 let mut row = l.clone();
                 row.extend(r.iter().cloned());
@@ -113,6 +121,7 @@ pub fn join(
             let key: Vec<Value> = left_keys.iter().map(|&i| l[i].clone()).collect();
             let mut matched = false;
             if !key.iter().any(Value::is_null) {
+                probes += 1;
                 if let Some(candidates) = index.get(&key) {
                     for &ri in candidates {
                         let r = &right.rows()[ri];
@@ -152,13 +161,20 @@ pub fn join(
         }
     }
 
+    metrics::add(Counter::TuplesScanned, (left.len() + right.len()) as u64);
+    metrics::add(Counter::JoinProbes, probes);
+    metrics::add(Counter::JoinOutputRows, out.len() as u64);
     Ok(out)
 }
 
 /// Flatten a conjunction tree into its conjuncts.
 fn flatten_conjuncts(e: &Expr) -> Vec<Expr> {
     match e {
-        Expr::Binary { op: BinOp::And, left, right } => {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
             let mut out = flatten_conjuncts(left);
             out.extend(flatten_conjuncts(right));
             out
@@ -170,7 +186,12 @@ fn flatten_conjuncts(e: &Expr) -> Vec<Expr> {
 /// If `e` is `col_a = col_b` with one column per side, return the pair of
 /// column indexes `(left_idx, right_idx)`.
 fn equi_key(e: &Expr, left: &Scheme, right: &Scheme) -> Option<(usize, usize)> {
-    if let Expr::Binary { op: BinOp::Eq, left: a, right: b } = e {
+    if let Expr::Binary {
+        op: BinOp::Eq,
+        left: a,
+        right: b,
+    } = e
+    {
         if let (Expr::Column(ca), Expr::Column(cb)) = (a.as_ref(), b.as_ref()) {
             if let (Ok(li), Ok(ri)) = (left.resolve(ca), right.resolve(cb)) {
                 return Some((li, ri));
@@ -240,7 +261,14 @@ mod tests {
 
     #[test]
     fn left_outer_pads_unmatched_left() {
-        let out = join(&children(), &parents(), &pred(), JoinKind::LeftOuter, &funcs()).unwrap();
+        let out = join(
+            &children(),
+            &parents(),
+            &pred(),
+            JoinKind::LeftOuter,
+            &funcs(),
+        )
+        .unwrap();
         assert_eq!(out.len(), 3);
         let unmatched: Vec<_> = out.rows().iter().filter(|r| r[2].is_null()).collect();
         assert_eq!(unmatched.len(), 1);
@@ -249,7 +277,14 @@ mod tests {
 
     #[test]
     fn full_outer_pads_both_sides() {
-        let out = join(&children(), &parents(), &pred(), JoinKind::FullOuter, &funcs()).unwrap();
+        let out = join(
+            &children(),
+            &parents(),
+            &pred(),
+            JoinKind::FullOuter,
+            &funcs(),
+        )
+        .unwrap();
         // 2 matches + motherless child + childless parent
         assert_eq!(out.len(), 4);
         let right_only: Vec<_> = out.rows().iter().filter(|r| r[0].is_null()).collect();
@@ -261,7 +296,14 @@ mod tests {
     fn nested_loop_path_agrees_with_hash_path() {
         // force nested loop with a non-equi predicate that is equivalent
         let nl = parse_expr("C.mid >= P.ID AND C.mid <= P.ID").unwrap();
-        let a = join(&children(), &parents(), &pred(), JoinKind::FullOuter, &funcs()).unwrap();
+        let a = join(
+            &children(),
+            &parents(),
+            &pred(),
+            JoinKind::FullOuter,
+            &funcs(),
+        )
+        .unwrap();
         let b = join(&children(), &parents(), &nl, JoinKind::FullOuter, &funcs()).unwrap();
         let mut ra = a.rows().to_vec();
         let mut rb = b.rows().to_vec();

@@ -51,11 +51,10 @@ pub fn pad_to(table: &Table, target: &Scheme) -> Result<Table> {
         })
         .collect();
     // every source column must appear in the target
-    debug_assert!(table
-        .scheme()
+    debug_assert!(table.scheme().columns().iter().all(|c| target
         .columns()
         .iter()
-        .all(|c| target.columns().iter().any(|d| d.qualifier == c.qualifier && d.name == c.name)));
+        .any(|d| d.qualifier == c.qualifier && d.name == c.name)));
     for row in table.rows() {
         out.push(
             mapping
@@ -101,6 +100,7 @@ pub fn outer_union(a: &Table, b: &Table) -> Result<Table> {
 /// assert_eq!(merged.rows()[0][1], Value::str("555-0103"));
 /// ```
 pub fn minimum_union(a: &Table, b: &Table, algo: SubsumptionAlgo) -> Result<Table> {
+    let _span = clio_obs::span("ops.minimum_union");
     let mut out = outer_union(a, b)?;
     remove_subsumed(&mut out, algo);
     Ok(out)
@@ -111,6 +111,7 @@ pub fn minimum_union(a: &Table, b: &Table, algo: SubsumptionAlgo) -> Result<Tabl
 /// union is not associative in general, this one-shot form is the correct
 /// way to combine the `F(J)` tables of a full disjunction.
 pub fn minimum_union_all(tables: &[&Table], algo: SubsumptionAlgo) -> Result<Table> {
+    let _span = clio_obs::span("ops.minimum_union_all");
     if tables.is_empty() {
         return Ok(Table::empty(Scheme::empty()));
     }
@@ -223,16 +224,13 @@ mod tests {
         let r1 = table(
             "CP2",
             &["cid", "pid"],
-            vec![vec!["002".into(), "202".into()], vec!["009".into(), "205".into()]],
+            vec![
+                vec!["002".into(), "202".into()],
+                vec!["009".into(), "205".into()],
+            ],
         );
-        let s = unified_scheme(&[
-            &r1,
-            &table("Ph", &["number"], vec![]),
-        ]);
-        let wide = Table::new(
-            s,
-            vec![vec!["002".into(), "202".into(), "555".into()]],
-        );
+        let s = unified_scheme(&[&r1, &table("Ph", &["number"], vec![])]);
+        let wide = Table::new(s, vec![vec!["002".into(), "202".into(), "555".into()]]);
         let m = minimum_union(&r1, &wide, SubsumptionAlgo::Naive).unwrap();
         assert_eq!(m.len(), 2);
     }

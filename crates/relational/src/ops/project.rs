@@ -10,11 +10,7 @@ use crate::value::DataType;
 /// π over expressions: each `(expr, qualifier, name, ty)` becomes an output
 /// column. This is how mapping queries apply value correspondences to data
 /// associations (paper Def 3.14's `SELECT v_1(...) AS B_1, ...`).
-pub fn project(
-    table: &Table,
-    outputs: &[(Expr, Column)],
-    funcs: &FuncRegistry,
-) -> Result<Table> {
+pub fn project(table: &Table, outputs: &[(Expr, Column)], funcs: &FuncRegistry) -> Result<Table> {
     let bound: Vec<_> = outputs
         .iter()
         .map(|(e, _)| e.bind(table.scheme()))
@@ -87,7 +83,10 @@ mod tests {
             out_col("Kids", "FamilyIncome", DataType::Int),
         )];
         let out = project(&table(), &outputs, &FuncRegistry::with_builtins()).unwrap();
-        assert_eq!(out.scheme().columns()[0].qualified_name(), "Kids.FamilyIncome");
+        assert_eq!(
+            out.scheme().columns()[0].qualified_name(),
+            "Kids.FamilyIncome"
+        );
         assert_eq!(out.rows()[0][0], Value::Int(100));
         assert_eq!(out.rows()[1][0], Value::Null); // null propagates
     }

@@ -1,5 +1,7 @@
 //! Selection: keep rows on which a predicate evaluates to `True`.
 
+use clio_obs::metrics::{self, Counter};
+
 use crate::error::Result;
 use crate::expr::Expr;
 use crate::funcs::FuncRegistry;
@@ -14,6 +16,7 @@ pub fn select(table: &Table, pred: &Expr, funcs: &FuncRegistry) -> Result<Table>
             out.push(row.clone());
         }
     }
+    metrics::add(Counter::TuplesScanned, table.len() as u64);
     Ok(out)
 }
 

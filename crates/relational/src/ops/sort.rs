@@ -25,13 +25,21 @@ impl SortKey {
     /// Ascending key over a column.
     #[must_use]
     pub fn asc(col: &str) -> SortKey {
-        SortKey { expr: Expr::col(col), descending: false, nulls_last: false }
+        SortKey {
+            expr: Expr::col(col),
+            descending: false,
+            nulls_last: false,
+        }
     }
 
     /// Descending key over a column.
     #[must_use]
     pub fn desc(col: &str) -> SortKey {
-        SortKey { expr: Expr::col(col), descending: true, nulls_last: false }
+        SortKey {
+            expr: Expr::col(col),
+            descending: true,
+            nulls_last: false,
+        }
     }
 }
 
@@ -45,8 +53,10 @@ pub fn order_by(table: &Table, keys: &[SortKey], funcs: &FuncRegistry) -> Result
     // precompute key tuples
     let mut keyed: Vec<(Vec<Value>, &Vec<Value>)> = Vec::with_capacity(table.len());
     for row in table.rows() {
-        let kv: Vec<Value> =
-            bound.iter().map(|b| b.eval(row, funcs)).collect::<Result<_>>()?;
+        let kv: Vec<Value> = bound
+            .iter()
+            .map(|b| b.eval(row, funcs))
+            .collect::<Result<_>>()?;
         keyed.push((kv, row));
     }
     keyed.sort_by(|(ka, _), (kb, _)| {
@@ -131,7 +141,10 @@ mod tests {
 
     #[test]
     fn descending_with_nulls_last() {
-        let key = SortKey { nulls_last: true, ..SortKey::desc("R.age") };
+        let key = SortKey {
+            nulls_last: true,
+            ..SortKey::desc("R.age")
+        };
         let out = order_by(&table(), &[key], &funcs()).unwrap();
         let names: Vec<String> = out.rows().iter().map(|r| r[0].to_string()).collect();
         assert_eq!(names, vec!["Ben", "Anna", "Maya", "Tom"]);
@@ -140,12 +153,13 @@ mod tests {
     #[test]
     fn expression_keys_and_tie_breaks() {
         // sort by age bucket (CASE), then name
-        let bucket = parse_expr(
-            "CASE WHEN R.age < 7 THEN 'young' ELSE 'old' END",
-        )
-        .unwrap();
+        let bucket = parse_expr("CASE WHEN R.age < 7 THEN 'young' ELSE 'old' END").unwrap();
         let keys = [
-            SortKey { expr: bucket, descending: false, nulls_last: true },
+            SortKey {
+                expr: bucket,
+                descending: false,
+                nulls_last: true,
+            },
             SortKey::asc("R.name"),
         ];
         let out = order_by(&table(), &keys, &funcs()).unwrap();

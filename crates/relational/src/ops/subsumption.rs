@@ -20,6 +20,8 @@
 
 use std::collections::HashMap;
 
+use clio_obs::metrics::{self, Counter};
+
 use crate::bitset::Bitset;
 use crate::table::Table;
 use crate::value::Value;
@@ -58,18 +60,26 @@ pub fn remove_subsumed(table: &mut Table, algo: SubsumptionAlgo) {
 
 /// Reference implementation: pairwise `O(n²)` scan.
 pub fn remove_subsumed_naive(table: &mut Table) {
+    let _span = clio_obs::span("ops.remove_subsumed");
     table.dedup();
     let rows = table.rows();
     let n = rows.len();
     let mut keep = vec![true; n];
+    let mut comparisons: u64 = 0;
     for i in 0..n {
         for j in 0..n {
-            if i != j && keep[i] && strictly_subsumes(&rows[j], &rows[i]) {
-                keep[i] = false;
-                break;
+            if i != j && keep[i] {
+                comparisons += 1;
+                if strictly_subsumes(&rows[j], &rows[i]) {
+                    keep[i] = false;
+                    break;
+                }
             }
         }
     }
+    let removed = keep.iter().filter(|k| !**k).count() as u64;
+    metrics::add(Counter::SubsumptionComparisons, comparisons);
+    metrics::add(Counter::TuplesSubsumed, removed);
     retain_by_mask(table, &keep);
 }
 
@@ -77,6 +87,7 @@ pub fn remove_subsumed_naive(table: &mut Table) {
 /// mask-subset pair `(m_small, m_big)`, probe a hash index of the big
 /// group's rows projected onto `m_small`'s positions.
 pub fn remove_subsumed_partitioned(table: &mut Table) {
+    let _span = clio_obs::span("ops.remove_subsumed");
     table.dedup();
     let arity = table.scheme().arity();
     let rows = table.rows();
@@ -96,6 +107,9 @@ pub fn remove_subsumed_partitioned(table: &mut Table) {
 
     let masks: Vec<&Bitset> = groups.keys().collect();
     let mut keep = vec![true; n];
+    // Work counter: index insertions + probes play the role the pairwise
+    // tests play in the naive algorithm.
+    let mut comparisons: u64 = 0;
 
     for small in &masks {
         let positions: Vec<usize> = small.iter_ones().collect();
@@ -105,6 +119,7 @@ pub fn remove_subsumed_partitioned(table: &mut Table) {
             if small.is_strict_subset(big) {
                 for &ri in &groups[*big] {
                     let proj: Vec<&Value> = positions.iter().map(|&p| &rows[ri][p]).collect();
+                    comparisons += 1;
                     projections.insert(proj, ());
                 }
             }
@@ -114,12 +129,16 @@ pub fn remove_subsumed_partitioned(table: &mut Table) {
         }
         for &ri in &groups[*small] {
             let proj: Vec<&Value> = positions.iter().map(|&p| &rows[ri][p]).collect();
+            comparisons += 1;
             if projections.contains_key(&proj) {
                 keep[ri] = false;
             }
         }
     }
 
+    let removed = keep.iter().filter(|k| !**k).count() as u64;
+    metrics::add(Counter::SubsumptionComparisons, comparisons);
+    metrics::add(Counter::TuplesSubsumed, removed);
     retain_by_mask(table, &keep);
 }
 
@@ -158,7 +177,9 @@ mod tests {
         let arity = rows.first().map_or(0, |r| r.len());
         Table::new(
             scheme(arity),
-            rows.iter().map(|r| r.iter().map(|s| v(s)).collect()).collect(),
+            rows.iter()
+                .map(|r| r.iter().map(|s| v(s)).collect())
+                .collect(),
         )
     }
 
@@ -227,11 +248,7 @@ mod tests {
     #[test]
     fn chains_of_subsumption_leave_only_top() {
         for algo in [SubsumptionAlgo::Naive, SubsumptionAlgo::Partitioned] {
-            let mut t = table(&[
-                &["a", "-", "-"],
-                &["a", "b", "-"],
-                &["a", "b", "c"],
-            ]);
+            let mut t = table(&[&["a", "-", "-"], &["a", "b", "-"], &["a", "b", "c"]]);
             remove_subsumed(&mut t, algo);
             assert_eq!(t.len(), 1, "{algo:?}");
             assert_eq!(t.rows()[0][2], v("c"));

@@ -204,77 +204,131 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             '(' => {
-                out.push(Token { kind: TokenKind::LParen, pos });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    pos,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: TokenKind::RParen, pos });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    pos,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { kind: TokenKind::Comma, pos });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    pos,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Token { kind: TokenKind::Dot, pos });
+                out.push(Token {
+                    kind: TokenKind::Dot,
+                    pos,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Token { kind: TokenKind::Plus, pos });
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    pos,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Token { kind: TokenKind::Minus, pos });
+                out.push(Token {
+                    kind: TokenKind::Minus,
+                    pos,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { kind: TokenKind::Star, pos });
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    pos,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Token { kind: TokenKind::Slash, pos });
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    pos,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Token { kind: TokenKind::Eq, pos });
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    pos,
+                });
                 i += 1;
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&'|') {
-                    out.push(Token { kind: TokenKind::ConcatOp, pos });
+                    out.push(Token {
+                        kind: TokenKind::ConcatOp,
+                        pos,
+                    });
                     i += 2;
                 } else {
-                    return Err(Error::Parse { pos, message: "expected `||`".into() });
+                    return Err(Error::Parse {
+                        pos,
+                        message: "expected `||`".into(),
+                    });
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    out.push(Token { kind: TokenKind::Ne, pos });
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        pos,
+                    });
                     i += 2;
                 } else {
-                    return Err(Error::Parse { pos, message: "expected `!=`".into() });
+                    return Err(Error::Parse {
+                        pos,
+                        message: "expected `!=`".into(),
+                    });
                 }
             }
             '<' => match bytes.get(i + 1) {
                 Some('=') => {
-                    out.push(Token { kind: TokenKind::Le, pos });
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        pos,
+                    });
                     i += 2;
                 }
                 Some('>') => {
-                    out.push(Token { kind: TokenKind::Ne, pos });
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        pos,
+                    });
                     i += 2;
                 }
                 _ => {
-                    out.push(Token { kind: TokenKind::Lt, pos });
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        pos,
+                    });
                     i += 1;
                 }
             },
             '>' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    out.push(Token { kind: TokenKind::Ge, pos });
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        pos,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Gt, pos });
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        pos,
+                    });
                     i += 1;
                 }
             }
@@ -303,7 +357,10 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                out.push(Token { kind: TokenKind::Str(s), pos });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    pos,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut end = i;
@@ -440,7 +497,10 @@ impl Parser {
                 self.pos += 1;
                 let negated = self.eat(&TokenKind::Not);
                 self.expect(&TokenKind::Null)?;
-                return Ok(Expr::IsNull { expr: Box::new(left), negated });
+                return Ok(Expr::IsNull {
+                    expr: Box::new(left),
+                    negated,
+                });
             }
             Some(TokenKind::In) => {
                 self.pos += 1;
@@ -486,7 +546,11 @@ impl Parser {
             }
             self.expect(&TokenKind::Comma)?;
         }
-        Ok(Expr::InList { expr: Box::new(left), list, negated })
+        Ok(Expr::InList {
+            expr: Box::new(left),
+            list,
+            negated,
+        })
     }
 
     /// `BETWEEN add AND add` — bounds parse at `add` level so the `AND`
@@ -596,7 +660,10 @@ impl Parser {
                     None
                 };
                 self.expect(&TokenKind::End)?;
-                Ok(Expr::Case { branches, otherwise })
+                Ok(Expr::Case {
+                    branches,
+                    otherwise,
+                })
             }
             TokenKind::Ident(name) => {
                 self.pos += 1;
@@ -644,7 +711,10 @@ mod tests {
 
     #[test]
     fn parses_paper_join_predicates() {
-        assert_eq!(p("Children.mid = Parents.ID"), Expr::col_eq("Children.mid", "Parents.ID"));
+        assert_eq!(
+            p("Children.mid = Parents.ID"),
+            Expr::col_eq("Children.mid", "Parents.ID")
+        );
         assert_eq!(p("C.fid = P.ID"), Expr::col_eq("C.fid", "P.ID"));
     }
 
@@ -656,7 +726,11 @@ mod tests {
         );
         assert_eq!(
             p("Kids.FamilyIncome < 100000"),
-            Expr::binary(BinOp::Lt, Expr::col("Kids.FamilyIncome"), Expr::lit(100_000i64))
+            Expr::binary(
+                BinOp::Lt,
+                Expr::col("Kids.FamilyIncome"),
+                Expr::lit(100_000i64)
+            )
         );
     }
 
@@ -664,11 +738,17 @@ mod tests {
     fn parses_is_null_family() {
         assert_eq!(
             p("Kids.ID IS NOT NULL"),
-            Expr::IsNull { expr: Box::new(Expr::col("Kids.ID")), negated: true }
+            Expr::IsNull {
+                expr: Box::new(Expr::col("Kids.ID")),
+                negated: true
+            }
         );
         assert_eq!(
             p("C.mid is null"),
-            Expr::IsNull { expr: Box::new(Expr::col("C.mid")), negated: false }
+            Expr::IsNull {
+                expr: Box::new(Expr::col("C.mid")),
+                negated: false
+            }
         );
     }
 
@@ -677,7 +757,11 @@ mod tests {
         let e = p("a = 1 OR b = 2 AND c = 3");
         // OR(a=1, AND(b=2, c=3))
         match e {
-            Expr::Binary { op: BinOp::Or, right, .. } => match *right {
+            Expr::Binary {
+                op: BinOp::Or,
+                right,
+                ..
+            } => match *right {
                 Expr::Binary { op: BinOp::And, .. } => {}
                 other => panic!("expected AND on the right, got {other}"),
             },
@@ -689,7 +773,11 @@ mod tests {
     fn arithmetic_precedence() {
         let e = p("P.salary + P2.salary * 2");
         match e {
-            Expr::Binary { op: BinOp::Add, right, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("expected +, got {other}"),
@@ -725,19 +813,32 @@ mod tests {
     #[test]
     fn string_literals_with_escapes() {
         assert_eq!(p("'O''Hare'"), Expr::lit("O'Hare"));
-        assert_eq!(p("name = 'Maya'"), Expr::binary(BinOp::Eq, Expr::col("name"), Expr::lit("Maya")));
+        assert_eq!(
+            p("name = 'Maya'"),
+            Expr::binary(BinOp::Eq, Expr::col("name"), Expr::lit("Maya"))
+        );
     }
 
     #[test]
     fn not_and_not_like() {
         assert_eq!(
             p("NOT a = 1"),
-            Expr::Not(Box::new(Expr::binary(BinOp::Eq, Expr::col("a"), Expr::lit(1i64))))
+            Expr::Not(Box::new(Expr::binary(
+                BinOp::Eq,
+                Expr::col("a"),
+                Expr::lit(1i64)
+            )))
         );
         let e = p("name NOT LIKE 'M%'");
         assert!(matches!(e, Expr::Not(_)));
         let e = p("name LIKE 'M%'");
-        assert!(matches!(e, Expr::Binary { op: BinOp::Like, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinOp::Like,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -748,7 +849,13 @@ mod tests {
     #[test]
     fn concat_operator_parses() {
         let e = p("Ph.type || ',' || Ph.number");
-        assert!(matches!(e, Expr::Binary { op: BinOp::Concat, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinOp::Concat,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -820,7 +927,10 @@ mod tests {
     fn parses_case_expressions() {
         let e = p("CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' ELSE 'many' END");
         match &e {
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 assert_eq!(branches.len(), 2);
                 assert!(otherwise.is_some());
             }

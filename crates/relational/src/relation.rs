@@ -24,7 +24,10 @@ impl Relation {
     /// An empty relation with the given scheme.
     #[must_use]
     pub fn empty(schema: RelSchema) -> Relation {
-        Relation { schema, rows: Vec::new() }
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Build a relation and insert all `rows`, validating each.
@@ -71,7 +74,10 @@ impl Relation {
     /// silently ignored, as relations are sets).
     pub fn insert(&mut self, row: Vec<Value>) -> Result<()> {
         if row.len() != self.schema.arity() {
-            return Err(Error::ArityMismatch { expected: self.schema.arity(), got: row.len() });
+            return Err(Error::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
         }
         if row.iter().all(Value::is_null) {
             return Err(Error::Invalid(format!(
@@ -135,7 +141,10 @@ impl Relation {
     /// A renamed copy (relation copies in mappings, e.g. `Parents2`).
     #[must_use]
     pub fn renamed(&self, new_name: &str) -> Relation {
-        Relation { schema: self.schema.renamed(new_name), rows: self.rows.clone() }
+        Relation {
+            schema: self.schema.renamed(new_name),
+            rows: self.rows.clone(),
+        }
     }
 }
 
@@ -171,7 +180,11 @@ pub struct RelationBuilder {
 impl RelationBuilder {
     /// Start a builder for relation `name`.
     pub fn new(name: impl Into<String>) -> RelationBuilder {
-        RelationBuilder { name: name.into(), attrs: Vec::new(), rows: Vec::new() }
+        RelationBuilder {
+            name: name.into(),
+            attrs: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Add a nullable attribute.
@@ -230,7 +243,10 @@ mod tests {
         let mut rel = sample();
         assert!(matches!(
             rel.insert(vec!["003".into(), "Ben".into()]),
-            Err(Error::ArityMismatch { expected: 3, got: 2 })
+            Err(Error::ArityMismatch {
+                expected: 3,
+                got: 2
+            })
         ));
     }
 
@@ -244,21 +260,26 @@ mod tests {
     #[test]
     fn not_null_enforced() {
         let mut rel = sample();
-        let err = rel.insert(vec![Value::Null, "Ben".into(), 5i64.into()]).unwrap_err();
+        let err = rel
+            .insert(vec![Value::Null, "Ben".into(), 5i64.into()])
+            .unwrap_err();
         assert!(matches!(err, Error::NullViolation { .. }));
     }
 
     #[test]
     fn type_checked_on_insert() {
         let mut rel = sample();
-        let err = rel.insert(vec!["003".into(), "Ben".into(), "five".into()]).unwrap_err();
+        let err = rel
+            .insert(vec!["003".into(), "Ben".into(), "five".into()])
+            .unwrap_err();
         assert!(matches!(err, Error::TypeMismatch(_)));
     }
 
     #[test]
     fn null_allowed_in_nullable_attribute() {
         let mut rel = sample();
-        rel.insert(vec!["003".into(), Value::Null, 5i64.into()]).unwrap();
+        rel.insert(vec!["003".into(), Value::Null, 5i64.into()])
+            .unwrap();
         assert_eq!(rel.len(), 3);
         assert!(rel.value(2, "name").unwrap().is_null());
     }
@@ -266,7 +287,8 @@ mod tests {
     #[test]
     fn set_semantics_deduplicates() {
         let mut rel = sample();
-        rel.insert(vec!["001".into(), "Anna".into(), 6i64.into()]).unwrap();
+        rel.insert(vec!["001".into(), "Anna".into(), 6i64.into()])
+            .unwrap();
         assert_eq!(rel.len(), 2);
     }
 

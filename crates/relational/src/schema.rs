@@ -29,12 +29,20 @@ pub struct Attribute {
 impl Attribute {
     /// A nullable attribute.
     pub fn new(name: impl Into<String>, ty: DataType) -> Attribute {
-        Attribute { name: name.into(), ty, not_null: false }
+        Attribute {
+            name: name.into(),
+            ty,
+            not_null: false,
+        }
     }
 
     /// A `NOT NULL` attribute.
     pub fn not_null(name: impl Into<String>, ty: DataType) -> Attribute {
-        Attribute { name: name.into(), ty, not_null: true }
+        Attribute {
+            name: name.into(),
+            ty,
+            not_null: true,
+        }
     }
 }
 
@@ -95,7 +103,10 @@ impl RelSchema {
     /// second copy of a relation, e.g. `Parents2`).
     #[must_use]
     pub fn renamed(&self, new_name: impl Into<String>) -> RelSchema {
-        RelSchema { name: new_name.into(), attrs: self.attrs.clone() }
+        RelSchema {
+            name: new_name.into(),
+            attrs: self.attrs.clone(),
+        }
     }
 }
 
@@ -129,12 +140,18 @@ pub struct ColumnRef {
 impl ColumnRef {
     /// A qualified reference `qualifier.name`.
     pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>) -> ColumnRef {
-        ColumnRef { qualifier: Some(qualifier.into()), name: name.into() }
+        ColumnRef {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
     }
 
     /// An unqualified reference `name`.
     pub fn bare(name: impl Into<String>) -> ColumnRef {
-        ColumnRef { qualifier: None, name: name.into() }
+        ColumnRef {
+            qualifier: None,
+            name: name.into(),
+        }
     }
 
     /// Parse `a.b` or `b` (no whitespace handling; use the full parser for
@@ -172,7 +189,11 @@ pub struct Column {
 impl Column {
     /// Construct a column.
     pub fn new(qualifier: impl Into<String>, name: impl Into<String>, ty: DataType) -> Column {
-        Column { qualifier: qualifier.into(), name: name.into(), ty }
+        Column {
+            qualifier: qualifier.into(),
+            name: name.into(),
+            ty,
+        }
     }
 
     /// `qualifier.name` rendering.
@@ -277,7 +298,10 @@ impl Scheme {
     pub fn concat(&self, other: &Scheme) -> Result<Scheme> {
         let mut cols = self.cols.clone();
         for c in &other.cols {
-            if cols.iter().any(|d| d.qualifier == c.qualifier && d.name == c.name) {
+            if cols
+                .iter()
+                .any(|d| d.qualifier == c.qualifier && d.name == c.name)
+            {
                 return Err(Error::Invalid(format!(
                     "duplicate column `{}` when concatenating schemes; \
                      rename the relation copy first",
@@ -344,7 +368,10 @@ mod tests {
     fn rel_schema_rejects_duplicate_attributes() {
         let err = RelSchema::new(
             "R",
-            vec![Attribute::new("a", DataType::Int), Attribute::new("a", DataType::Str)],
+            vec![
+                Attribute::new("a", DataType::Int),
+                Attribute::new("a", DataType::Str),
+            ],
         )
         .unwrap_err();
         assert!(matches!(err, Error::DuplicateAttribute { .. }));
@@ -429,7 +456,10 @@ mod tests {
 
     #[test]
     fn column_ref_parse_simple() {
-        assert_eq!(ColumnRef::parse_simple("C.age"), ColumnRef::qualified("C", "age"));
+        assert_eq!(
+            ColumnRef::parse_simple("C.age"),
+            ColumnRef::qualified("C", "age")
+        );
         assert_eq!(ColumnRef::parse_simple("age"), ColumnRef::bare("age"));
     }
 }

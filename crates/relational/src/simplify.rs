@@ -15,26 +15,36 @@ use crate::value::Value;
 #[must_use]
 pub fn simplify(e: &Expr) -> Expr {
     match e {
-        Expr::Binary { op: BinOp::And, left, right } => {
+        Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
             let l = simplify(left);
             let r = simplify(right);
             match (&l, &r) {
                 // TRUE AND x == x ; FALSE AND x == FALSE (both 3VL-safe)
                 (Expr::Literal(Value::Bool(true)), _) => r,
                 (_, Expr::Literal(Value::Bool(true))) => l,
-                (Expr::Literal(Value::Bool(false)), _)
-                | (_, Expr::Literal(Value::Bool(false))) => Expr::lit(false),
+                (Expr::Literal(Value::Bool(false)), _) | (_, Expr::Literal(Value::Bool(false))) => {
+                    Expr::lit(false)
+                }
                 _ => Expr::binary(BinOp::And, l, r),
             }
         }
-        Expr::Binary { op: BinOp::Or, left, right } => {
+        Expr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+        } => {
             let l = simplify(left);
             let r = simplify(right);
             match (&l, &r) {
                 (Expr::Literal(Value::Bool(false)), _) => r,
                 (_, Expr::Literal(Value::Bool(false))) => l,
-                (Expr::Literal(Value::Bool(true)), _)
-                | (_, Expr::Literal(Value::Bool(true))) => Expr::lit(true),
+                (Expr::Literal(Value::Bool(true)), _) | (_, Expr::Literal(Value::Bool(true))) => {
+                    Expr::lit(true)
+                }
                 _ => Expr::binary(BinOp::Or, l, r),
             }
         }
@@ -45,7 +55,10 @@ pub fn simplify(e: &Expr) -> Expr {
                 Expr::Not(x) => *x,
                 Expr::Literal(Value::Bool(b)) => Expr::lit(!b),
                 // NOT (x IS [NOT] NULL) == x IS [NOT] NULL flipped
-                Expr::IsNull { expr, negated } => Expr::IsNull { expr, negated: !negated },
+                Expr::IsNull { expr, negated } => Expr::IsNull {
+                    expr,
+                    negated: !negated,
+                },
                 other => Expr::Not(Box::new(other)),
             }
         }
@@ -63,17 +76,21 @@ pub fn simplify(e: &Expr) -> Expr {
             match &i {
                 // literals have a statically-known nullness
                 Expr::Literal(v) => Expr::lit(v.is_null() != *negated),
-                _ => Expr::IsNull { expr: Box::new(i), negated: *negated },
+                _ => Expr::IsNull {
+                    expr: Box::new(i),
+                    negated: *negated,
+                },
             }
         }
-        Expr::Binary { op, left, right } => {
-            Expr::binary(*op, simplify(left), simplify(right))
-        }
+        Expr::Binary { op, left, right } => Expr::binary(*op, simplify(left), simplify(right)),
         Expr::Func { name, args } => Expr::Func {
             name: name.clone(),
             args: args.iter().map(simplify).collect(),
         },
-        Expr::Case { branches, otherwise } => {
+        Expr::Case {
+            branches,
+            otherwise,
+        } => {
             // drop branches whose condition is literally FALSE; stop at a
             // literally-TRUE condition (it always wins)
             let mut new_branches = Vec::new();
@@ -99,12 +116,21 @@ pub fn simplify(e: &Expr) -> Expr {
                 },
             }
         }
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(simplify(expr)),
             list: list.iter().map(simplify).collect(),
             negated: *negated,
         },
-        Expr::Between { expr, low, high, negated } => Expr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(simplify(expr)),
             low: Box::new(simplify(low)),
             high: Box::new(simplify(high)),

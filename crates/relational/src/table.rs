@@ -32,7 +32,10 @@ impl Table {
     /// An empty table over `scheme`.
     #[must_use]
     pub fn empty(scheme: Scheme) -> Table {
-        Table { scheme, rows: Vec::new() }
+        Table {
+            scheme,
+            rows: Vec::new(),
+        }
     }
 
     /// The scheme.
@@ -165,7 +168,10 @@ mod tests {
     #[test]
     fn value_lookup() {
         let t = t();
-        assert_eq!(t.value(0, &ColumnRef::qualified("R", "b")).unwrap(), &Value::str("y"));
+        assert_eq!(
+            t.value(0, &ColumnRef::qualified("R", "b")).unwrap(),
+            &Value::str("y")
+        );
         assert!(t.value(0, &ColumnRef::qualified("S", "b")).is_err());
     }
 

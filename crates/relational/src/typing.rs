@@ -141,7 +141,10 @@ pub fn infer_type(e: &Expr, scheme: &Scheme) -> Result<InferredType> {
             }
             Unknown // function signatures are dynamic (registry-defined)
         }
-        Expr::Case { branches, otherwise } => {
+        Expr::Case {
+            branches,
+            otherwise,
+        } => {
             let mut result: Option<InferredType> = None;
             for (c, v) in branches {
                 let ct = infer_type(c, scheme)?;
@@ -175,7 +178,9 @@ pub fn infer_type(e: &Expr, scheme: &Scheme) -> Result<InferredType> {
             }
             Known(DataType::Bool)
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             let t = infer_type(expr, scheme)?;
             for bound in [low, high] {
                 let bt = infer_type(bound, scheme)?;
@@ -232,8 +237,14 @@ mod tests {
 
     #[test]
     fn arithmetic_types() {
-        assert_eq!(infer("C.age + 1").unwrap(), InferredType::Known(DataType::Int));
-        assert_eq!(infer("C.age + C.score").unwrap(), InferredType::Known(DataType::Float));
+        assert_eq!(
+            infer("C.age + 1").unwrap(),
+            InferredType::Known(DataType::Int)
+        );
+        assert_eq!(
+            infer("C.age + C.score").unwrap(),
+            InferredType::Known(DataType::Float)
+        );
         assert_eq!(infer("C.age + NULL").unwrap(), InferredType::Unknown);
         assert!(infer("C.ID + 1").is_err());
         assert!(infer("-C.ID").is_err());
@@ -242,12 +253,21 @@ mod tests {
 
     #[test]
     fn comparison_types() {
-        assert_eq!(infer("C.age < 7").unwrap(), InferredType::Known(DataType::Bool));
-        assert_eq!(infer("C.age < C.score").unwrap(), InferredType::Known(DataType::Bool));
+        assert_eq!(
+            infer("C.age < 7").unwrap(),
+            InferredType::Known(DataType::Bool)
+        );
+        assert_eq!(
+            infer("C.age < C.score").unwrap(),
+            InferredType::Known(DataType::Bool)
+        );
         assert!(infer("C.ID = 1").is_err());
         assert!(infer("C.ok < C.age").is_err());
         // null comparisons are fine statically
-        assert_eq!(infer("C.ID = NULL").unwrap(), InferredType::Known(DataType::Bool));
+        assert_eq!(
+            infer("C.ID = NULL").unwrap(),
+            InferredType::Known(DataType::Bool)
+        );
     }
 
     #[test]
@@ -258,7 +278,10 @@ mod tests {
         );
         assert!(infer("C.age AND C.ok").is_err());
         assert!(infer("NOT C.ID").is_err());
-        assert_eq!(infer("C.ID LIKE 'M%'").unwrap(), InferredType::Known(DataType::Bool));
+        assert_eq!(
+            infer("C.ID LIKE 'M%'").unwrap(),
+            InferredType::Known(DataType::Bool)
+        );
         assert!(infer("C.age LIKE 'M%'").is_err());
     }
 

@@ -177,7 +177,9 @@ impl Value {
             (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a / b)),
             _ => match (self.as_f64(), other.as_f64()) {
                 (Some(a), Some(b)) => Ok(Value::Float(a / b)),
-                _ => Err(Error::TypeMismatch(format!("cannot divide {self} by {other}"))),
+                _ => Err(Error::TypeMismatch(format!(
+                    "cannot divide {self} by {other}"
+                ))),
             },
         }
     }
@@ -315,7 +317,10 @@ mod tests {
     fn sql_eq_across_numeric_types() {
         assert_eq!(Value::Int(2).sql_eq(&Value::Float(2.0)), Truth::True);
         assert_eq!(Value::Int(2).sql_eq(&Value::Float(2.5)), Truth::False);
-        assert_eq!(Value::Float(1.5).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
@@ -351,14 +356,23 @@ mod tests {
     fn arithmetic_basics() {
         assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
         assert_eq!(Value::Int(2).sub(&Value::Int(3)).unwrap(), Value::Int(-1));
-        assert_eq!(Value::Int(2).mul(&Value::Float(1.5)).unwrap(), Value::Float(3.0));
+        assert_eq!(
+            Value::Int(2).mul(&Value::Float(1.5)).unwrap(),
+            Value::Float(3.0)
+        );
         assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Int(3));
-        assert_eq!(Value::Float(7.0).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
+        assert_eq!(
+            Value::Float(7.0).div(&Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
     }
 
     #[test]
     fn division_by_zero_is_an_error_for_ints() {
-        assert_eq!(Value::Int(1).div(&Value::Int(0)), Err(Error::DivisionByZero));
+        assert_eq!(
+            Value::Int(1).div(&Value::Int(0)),
+            Err(Error::DivisionByZero)
+        );
     }
 
     #[test]
@@ -373,11 +387,13 @@ mod tests {
 
     #[test]
     fn total_cmp_orders_nulls_first_and_is_total() {
-        let mut vals = [Value::str("b"),
+        let mut vals = [
+            Value::str("b"),
             Value::Int(1),
             Value::Null,
             Value::Bool(false),
-            Value::Float(0.5)];
+            Value::Float(0.5),
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(false));

@@ -34,10 +34,34 @@ fn build_source() -> Result<Database> {
             .attr("sku", DataType::Str)
             .attr("qty", DataType::Int)
             .attr("unit_price", DataType::Int)
-            .row(vec!["O-1001".into(), 1i64.into(), "SKU-A".into(), 2i64.into(), 500i64.into()])
-            .row(vec!["O-1001".into(), 2i64.into(), "SKU-B".into(), 1i64.into(), 1250i64.into()])
-            .row(vec!["O-1002".into(), 1i64.into(), "SKU-A".into(), 5i64.into(), 480i64.into()])
-            .row(vec!["O-1003".into(), 1i64.into(), "SKU-C".into(), 1i64.into(), 9900i64.into()])
+            .row(vec![
+                "O-1001".into(),
+                1i64.into(),
+                "SKU-A".into(),
+                2i64.into(),
+                500i64.into(),
+            ])
+            .row(vec![
+                "O-1001".into(),
+                2i64.into(),
+                "SKU-B".into(),
+                1i64.into(),
+                1250i64.into(),
+            ])
+            .row(vec![
+                "O-1002".into(),
+                1i64.into(),
+                "SKU-A".into(),
+                5i64.into(),
+                480i64.into(),
+            ])
+            .row(vec![
+                "O-1003".into(),
+                1i64.into(),
+                "SKU-C".into(),
+                1i64.into(),
+                9900i64.into(),
+            ])
             .build()?,
     )?;
     db.add_relation(
@@ -160,7 +184,10 @@ fn main() -> Result<()> {
     // the mapping, chase the totals in
     let mapping_script = clio::core::script::write_mapping(&session.active().unwrap().mapping);
     let mut session2 = Session::new(db2, target());
-    session2.adopt_mapping(clio::core::script::parse_mapping(&mapping_script)?, "resumed")?;
+    session2.adopt_mapping(
+        clio::core::script::parse_mapping(&mapping_script)?,
+        "resumed",
+    )?;
     let chases = session2.data_chase("ORD_HDR", "ord_no", &Value::str("O-1001"))?;
     let totals_ws = chases
         .iter()
@@ -184,7 +211,10 @@ fn main() -> Result<()> {
         generate_sql(
             &w.mapping,
             &db_ref,
-            &SqlOptions { root: Some("ORD_HDR".into()), create_view: true }
+            &SqlOptions {
+                root: Some("ORD_HDR".into()),
+                create_view: true
+            }
         )?
     );
     Ok(())

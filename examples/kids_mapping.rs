@@ -54,8 +54,7 @@ fn main() -> Result<()> {
         .iter()
         .find(|id| {
             let w = session.workspaces().iter().find(|w| w.id == **id).unwrap();
-            w.mapping.graph.node_by_alias("Parents2").is_some()
-                && w.description.contains("mid")
+            w.mapping.graph.node_by_alias("Parents2").is_some() && w.description.contains("mid")
         })
         .copied()
         .expect("mother's-phone scenario");
@@ -99,13 +98,21 @@ fn main() -> Result<()> {
     let sql = generate_sql(
         &w.mapping,
         &db_ref,
-        &SqlOptions { root: Some("Children".into()), create_view: true },
+        &SqlOptions {
+            root: Some("Children".into()),
+            create_view: true,
+        },
     )?;
     println!("{sql}");
 
     banner("step 8: refine - BusSchedule is required (left join -> inner join)");
     let required = require_target_attribute(&w.mapping, "BusSchedule");
-    let effect = trim_effect(&w.mapping, &required, &db_ref, &FuncRegistry::with_builtins())?;
+    let effect = trim_effect(
+        &w.mapping,
+        &required,
+        &db_ref,
+        &FuncRegistry::with_builtins(),
+    )?;
     println!(
         "positives {} -> {}; {} example(s) turned negative",
         effect.positive_before,
@@ -115,7 +122,10 @@ fn main() -> Result<()> {
     let sql = generate_sql(
         &required,
         &db_ref,
-        &SqlOptions { root: Some("Children".into()), create_view: true },
+        &SqlOptions {
+            root: Some("Children".into()),
+            create_view: true,
+        },
     )?;
     println!("{sql}");
     Ok(())

@@ -15,7 +15,10 @@ fn main() -> Result<()> {
     let funcs = FuncRegistry::with_builtins();
 
     println!("== full disjunction: naive vs outer-join plan (chains) ==");
-    println!("{:>6} {:>8} {:>12} {:>12} {:>8}", "nodes", "rows", "naive", "outer-join", "|D(G)|");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>8}",
+        "nodes", "rows", "naive", "outer-join", "|D(G)|"
+    );
     for n in [3usize, 5, 7] {
         let spec = SyntheticSpec {
             topology: Topology::Chain,

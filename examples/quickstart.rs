@@ -58,7 +58,10 @@ fn main() -> Result<()> {
     let sql = generate_sql(
         &w.mapping,
         &db_ref,
-        &SqlOptions { root: Some("Children".into()), create_view: true },
+        &SqlOptions {
+            root: Some("Children".into()),
+            create_view: true,
+        },
     )?;
     println!("\n== generated SQL ==\n{sql}");
     Ok(())

@@ -32,7 +32,10 @@ fn main() -> Result<()> {
         .with_target_not_null_filters();
     let walks = data_walk(&base, &db, &knowledge, "Parents", "PhoneDir", 3, &funcs)?;
     let mut mapping_a = walks[0].mapping.clone();
-    mapping_a.set_correspondence(ValueCorrespondence::identity("PhoneDir.number", "contactPh"));
+    mapping_a.set_correspondence(ValueCorrespondence::identity(
+        "PhoneDir.number",
+        "contactPh",
+    ));
     let mapping_a = mapping_a.with_source_filter(parse_expr("Children.mid IS NOT NULL")?);
 
     // Its illustration shows the problem: motherless children vanish.
@@ -50,11 +53,17 @@ fn main() -> Result<()> {
     let mapping_b = Mapping::new(g, kids_target())
         .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"))
         .with_correspondence(ValueCorrespondence::identity("Children.name", "name"))
-        .with_correspondence(ValueCorrespondence::identity("PhoneDir.number", "contactPh"))
+        .with_correspondence(ValueCorrespondence::identity(
+            "PhoneDir.number",
+            "contactPh",
+        ))
         .with_source_filter(parse_expr("Children.mid IS NULL")?)
         .with_target_not_null_filters();
     let out_b = mapping_b.evaluate(&db, &funcs)?;
-    println!("\nmapping B (father's phone for motherless kids) produces {} kid(s):", out_b.len());
+    println!(
+        "\nmapping B (father's phone for motherless kids) produces {} kid(s):",
+        out_b.len()
+    );
     print!("{out_b}");
 
     // The accepted union covers everyone exactly once.
@@ -85,10 +94,19 @@ fn main() -> Result<()> {
         Some(&rolled_back),
     );
     match outcome {
-        AddOutcome::NewAlternative { alternative, replaced } => {
-            println!("spawned an alternative mapping (replacing `{}`):", replaced.expr);
+        AddOutcome::NewAlternative {
+            alternative,
+            replaced,
+        } => {
+            println!(
+                "spawned an alternative mapping (replacing `{}`):",
+                replaced.expr
+            );
             println!("{alternative}");
-            println!("reused correspondences: {}", alternative.correspondences.len());
+            println!(
+                "reused correspondences: {}",
+                alternative.correspondences.len()
+            );
         }
         AddOutcome::Extended(_) => unreachable!("BusSchedule was already mapped"),
     }

@@ -38,7 +38,10 @@ fn main() -> Result<()> {
     // graph becomes a ranked alternative.
     let far = format!("R{}", spec.relations - 1);
     let alts = data_walk(&mapping, &w.db, &w.knowledge, "R0", &far, 6, &funcs)?;
-    println!("\n== data walk R0 -> {far}: {} alternative(s) ==", alts.len());
+    println!(
+        "\n== data walk R0 -> {far}: {} alternative(s) ==",
+        alts.len()
+    );
     for (i, a) in alts.iter().enumerate() {
         println!(
             "  #{i}: {} steps, {} new node(s): {}",
@@ -65,9 +68,15 @@ fn main() -> Result<()> {
     let index = ValueIndex::build(&w.db);
     let probe = Value::str("r0-1");
     let chases = data_chase(&mapping, &w.db, &index, "R0", "id", &probe, &funcs)?;
-    println!("\n== data chase of `{probe}` from R0.id: {} scenario(s) ==", chases.len());
+    println!(
+        "\n== data chase of `{probe}` from R0.id: {} scenario(s) ==",
+        chases.len()
+    );
     for c in &chases {
-        println!("  {} (value occurs in {} row(s))", c.description, c.occurrence_count);
+        println!(
+            "  {} (value occurs in {} row(s))",
+            c.description, c.occurrence_count
+        );
     }
 
     // Confirming a chase records the discovered join in the knowledge.

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate for this repo (see ROADMAP.md).
+#
+# Offline-safe: every dependency is a path dependency (workspace crates
+# plus the std-only shims under vendor/), so no network access is needed.
+# Run from anywhere; the script cd's to the repo root.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "verify: OK"

@@ -78,7 +78,12 @@ fn selection_does_not_commute_with_outer_join() {
     .unwrap();
     let before = join(
         &children(),
-        &select(&parents(), &parse_expr("P.affiliation = 'Almaden'").unwrap(), &funcs).unwrap(),
+        &select(
+            &parents(),
+            &parse_expr("P.affiliation = 'Almaden'").unwrap(),
+            &funcs,
+        )
+        .unwrap(),
         &p,
         JoinKind::LeftOuter,
         &funcs,
@@ -197,10 +202,10 @@ fn complex_expressions_evaluate_over_associations() {
     for i in 0..d.len() {
         labels.push(bound.eval(d.row(i), &funcs).unwrap().to_string());
     }
-    assert!(labels.contains(&"bus".to_owned()));    // Anna, Maya
-    assert!(labels.contains(&"walks".to_owned()));  // Tom (5), Ben (9), lone parents
-    // Maya is 4 but rides the bus, so 'carried' requires a 0-4 child
-    // without a bus — none in this instance
+    assert!(labels.contains(&"bus".to_owned())); // Anna, Maya
+    assert!(labels.contains(&"walks".to_owned())); // Tom (5), Ben (9), lone parents
+                                                   // Maya is 4 but rides the bus, so 'carried' requires a 0-4 child
+                                                   // without a bus — none in this instance
     assert!(!labels.contains(&"carried".to_owned()));
 
     let in_expr = parse_expr("Children.ID IN ('001', '002')").unwrap();
@@ -221,7 +226,9 @@ fn paper_database_round_trips_through_csv_directory() {
     // a session over the reloaded database behaves identically
     let mut session = Session::new(back, kids_target());
     session.add_correspondence("Children.ID", "ID").unwrap();
-    let scenarios = session.add_correspondence("Parents.affiliation", "affiliation").unwrap();
+    let scenarios = session
+        .add_correspondence("Parents.affiliation", "affiliation")
+        .unwrap();
     assert_eq!(scenarios.len(), 2);
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -237,5 +244,8 @@ fn table_rendering_is_stable_and_grid_aligned() {
     let s2 = d.render(&g);
     assert_eq!(s1, s2); // deterministic
     let widths: Vec<usize> = s1.lines().map(str::len).collect();
-    assert!(widths.windows(2).all(|w| w[0] == w[1]), "grid must be rectangular");
+    assert!(
+        widths.windows(2).all(|w| w[0] == w[1]),
+        "grid must be rectangular"
+    );
 }

@@ -18,12 +18,20 @@ fn figure1_invariants() {
         vec!["Children", "Parents", "PhoneDir", "SBPS", "XmasBazaar"]
     );
     // Maya = 002
-    let maya = db.relation("Children").unwrap().rows_where("ID", &Value::str("002")).unwrap();
+    let maya = db
+        .relation("Children")
+        .unwrap()
+        .rows_where("ID", &Value::str("002"))
+        .unwrap();
     assert_eq!(maya[0][1], Value::str("Maya"));
     // focus children of Figure 9
     for id in ["001", "002", "004", "009"] {
         assert_eq!(
-            db.relation("Children").unwrap().rows_where("ID", &Value::str(id)).unwrap().len(),
+            db.relation("Children")
+                .unwrap()
+                .rows_where("ID", &Value::str(id))
+                .unwrap()
+                .len(),
             1
         );
     }
@@ -59,7 +67,9 @@ fn figure2_target_after_v1_v2() {
 fn figure3_two_scenarios() {
     let mut session = Session::new(paper_database(), kids_target());
     session.add_correspondence("Children.ID", "ID").unwrap();
-    let ids = session.add_correspondence("Parents.affiliation", "affiliation").unwrap();
+    let ids = session
+        .add_correspondence("Parents.affiliation", "affiliation")
+        .unwrap();
     assert_eq!(ids.len(), 2);
 
     // Maya's affiliation differs across scenarios: Almaden (mother 203)
@@ -68,7 +78,11 @@ fn figure3_two_scenarios() {
     for id in ids {
         let w = session.workspaces().iter().find(|w| w.id == id).unwrap();
         let out = w.mapping.evaluate(session.database(), &funcs()).unwrap();
-        let maya = out.rows().iter().find(|r| r[0] == Value::str("002")).unwrap();
+        let maya = out
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::str("002"))
+            .unwrap();
         maya_affiliations.push(maya[2].to_string());
     }
     maya_affiliations.sort();
@@ -81,7 +95,9 @@ fn figure3_two_scenarios() {
 fn figure4_copy_introduced() {
     let mut session = Session::new(paper_database(), kids_target());
     session.add_correspondence("Children.ID", "ID").unwrap();
-    let ids = session.add_correspondence("Parents.affiliation", "affiliation").unwrap();
+    let ids = session
+        .add_correspondence("Parents.affiliation", "affiliation")
+        .unwrap();
     let fid = ids
         .iter()
         .find(|id| {
@@ -115,7 +131,16 @@ fn figure5_chase_002() {
     g.add_node(Node::new("Children")).unwrap();
     let m = Mapping::new(g, kids_target())
         .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"));
-    let alts = data_chase(&m, &db, &index, "Children", "ID", &Value::str("002"), &funcs()).unwrap();
+    let alts = data_chase(
+        &m,
+        &db,
+        &index,
+        "Children",
+        "ID",
+        &Value::str("002"),
+        &funcs(),
+    )
+    .unwrap();
     assert_eq!(alts.len(), 3);
     let sbps: Vec<_> = alts.iter().filter(|a| a.relation == "SBPS").collect();
     let bazaar: Vec<_> = alts.iter().filter(|a| a.relation == "XmasBazaar").collect();
@@ -183,7 +208,11 @@ fn figure8_full_disjunction() {
     assert_eq!(naive.table().rows(), outer.table().rows());
 
     // categories per Example 4.3 / Figure 9
-    let tags: Vec<String> = naive.categories().iter().map(|&c| g.coverage_tag(c)).collect();
+    let tags: Vec<String> = naive
+        .categories()
+        .iter()
+        .map(|&c| g.coverage_tag(c))
+        .collect();
     assert_eq!(tags, vec!["PPh", "CPPh", "CPPhS"]);
     // 4 children + 4 childless-or-motherless... exactly: 2 bus kids
     // (CPPhS), 2 non-bus kids (CPPh), 4 non-father parents (PPh)
@@ -272,8 +301,14 @@ fn figure9_focus_example_4_8() {
     assert!(is_focused(&ill, &all, &scheme, "Children", &focus_children));
 
     // not focused on parent 205
-    let focus_205 = Focus::on_value(&m, &db, m.graph.node_by_alias("Parents").unwrap(), "ID", &Value::str("205"))
-        .unwrap();
+    let focus_205 = Focus::on_value(
+        &m,
+        &db,
+        m.graph.node_by_alias("Parents").unwrap(),
+        "ID",
+        &Value::str("205"),
+    )
+    .unwrap();
     assert!(!is_focused(&ill, &all, &scheme, "Parents", &focus_205));
 }
 
@@ -293,10 +328,18 @@ fn figure9_focused_and_sufficient() {
     assert_eq!(required.len(), 1);
 
     let ill = Illustration::minimal_sufficient_focused(&all, m.target.arity(), &required);
-    assert!(is_sufficient(&ill.examples, &all, m.target.arity(), SufficiencyScope::mapping()));
+    assert!(is_sufficient(
+        &ill.examples,
+        &all,
+        m.target.arity(),
+        SufficiencyScope::mapping()
+    ));
     assert!(is_focused(&ill, &all, &scheme, "Children", &focus));
     // Maya's example is in there
-    assert!(ill.examples.iter().any(|e| e.association[0] == Value::str("002")));
+    assert!(ill
+        .examples
+        .iter()
+        .any(|e| e.association[0] == Value::str("002")));
     // and the result is not much larger than the unfocused minimum
     let unfocused = Illustration::minimal_sufficient(&all, m.target.arity());
     assert!(ill.len() <= unfocused.len() + required.len());
@@ -312,14 +355,18 @@ fn figure11_walks_example_5_1() {
     let mut g1 = QueryGraph::new();
     let c = g1.add_node(Node::new("Children")).unwrap();
     let p = g1.add_node(Node::new("Parents")).unwrap();
-    g1.add_edge(c, p, parse_expr("Children.fid = Parents.ID").unwrap()).unwrap();
+    g1.add_edge(c, p, parse_expr("Children.fid = Parents.ID").unwrap())
+        .unwrap();
     let m = Mapping::new(g1, kids_target())
         .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"));
 
     let alts = data_walk(&m, &db, &knowledge, "Children", "PhoneDir", 3, &funcs()).unwrap();
     // G2-style: reuse Parents (fid edge matches); G3-style: Parents2 copy
     assert_eq!(alts.len(), 2);
-    let reuse = alts.iter().find(|a| a.new_nodes == vec!["PhoneDir".to_owned()]).unwrap();
+    let reuse = alts
+        .iter()
+        .find(|a| a.new_nodes == vec!["PhoneDir".to_owned()])
+        .unwrap();
     assert_eq!(reuse.mapping.graph.node_count(), 3);
     let copy = alts
         .iter()
@@ -337,7 +384,16 @@ fn figure12_chase_graphs_example_5_2() {
     let g1 = figure6_graph();
     let m = Mapping::new(g1.clone(), kids_target())
         .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"));
-    let alts = data_chase(&m, &db, &index, "Children", "ID", &Value::str("002"), &funcs()).unwrap();
+    let alts = data_chase(
+        &m,
+        &db,
+        &index,
+        "Children",
+        "ID",
+        &Value::str("002"),
+        &funcs(),
+    )
+    .unwrap();
     for a in &alts {
         assert_eq!(a.mapping.graph.node_count(), g1.node_count() + 1);
         assert_eq!(a.mapping.graph.edges().len(), g1.edges().len() + 1);
@@ -379,11 +435,19 @@ fn example_3_15_mapping_query() {
     assert_eq!(out.len(), 3);
     assert!(!ids.contains(&"009".to_owned()));
     // contactPh = concat(type, ',', number) of the father's phone
-    let maya = out.rows().iter().find(|r| r[0] == Value::str("002")).unwrap();
+    let maya = out
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::str("002"))
+        .unwrap();
     assert_eq!(maya[4], Value::str("work,555-0104"));
     // bus schedule present for Maya, absent for Tom
     assert_eq!(maya[5], Value::str("8:15"));
-    let tom = out.rows().iter().find(|r| r[0] == Value::str("004")).unwrap();
+    let tom = out
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::str("004"))
+        .unwrap();
     assert!(tom[5].is_null());
 }
 
@@ -394,7 +458,9 @@ fn example_3_15_mapping_query() {
 fn example_6_2_session_flow() {
     let mut session = Session::new(paper_database(), kids_target());
     session.add_correspondence("Children.ID", "ID").unwrap();
-    let chases = session.data_chase("Children", "ID", &Value::str("002")).unwrap();
+    let chases = session
+        .data_chase("Children", "ID", &Value::str("002"))
+        .unwrap();
     let sbps = chases
         .iter()
         .find(|id| {
@@ -404,14 +470,20 @@ fn example_6_2_session_flow() {
         .copied()
         .unwrap();
     session.confirm(sbps).unwrap();
-    session.add_correspondence("SBPS.time", "BusSchedule").unwrap();
+    session
+        .add_correspondence("SBPS.time", "BusSchedule")
+        .unwrap();
 
     // second computation of BusSchedule: from Children.docid
     let ids = session
         .add_correspondence("'doc-' || Children.docid", "BusSchedule")
         .unwrap();
     assert_eq!(ids.len(), 1);
-    let alt = session.workspaces().iter().find(|w| w.id == ids[0]).unwrap();
+    let alt = session
+        .workspaces()
+        .iter()
+        .find(|w| w.id == ids[0])
+        .unwrap();
     // the alternative rolled back to the pre-chase graph (Children only)
     assert_eq!(alt.mapping.graph.node_count(), 1);
     // and reuses the ID correspondence

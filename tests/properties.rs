@@ -24,14 +24,16 @@ fn spec_strategy(topologies: &'static [Topology]) -> impl Strategy<Value = Synth
         0.0f64..1.0,
         proptest::num::u64::ANY,
     )
-        .prop_map(move |(t, relations, rows, match_rate, seed)| SyntheticSpec {
-            topology: topologies[t],
-            relations,
-            rows,
-            match_rate,
-            payload_attrs: 1,
-            seed,
-        })
+        .prop_map(
+            move |(t, relations, rows, match_rate, seed)| SyntheticSpec {
+                topology: topologies[t],
+                relations,
+                rows,
+                match_rate,
+                payload_attrs: 1,
+                seed,
+            },
+        )
 }
 
 proptest! {
@@ -383,12 +385,24 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),
-                Just(BinOp::Eq), Just(BinOp::Ne), Just(BinOp::Lt),
-                Just(BinOp::Le), Just(BinOp::Gt), Just(BinOp::Ge),
-                Just(BinOp::And), Just(BinOp::Or), Just(BinOp::Concat),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                    Just(BinOp::Concat),
+                ]
+            )
                 .prop_map(|(l, r, op)| Expr::binary(op, l, r)),
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
             (inner.clone(), proptest::bool::ANY).prop_map(|(e, negated)| Expr::IsNull {
@@ -407,7 +421,11 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                     branches,
                     otherwise: otherwise.map(Box::new),
                 }),
-            (inner.clone(), proptest::collection::vec(inner.clone(), 1..3), proptest::bool::ANY)
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 1..3),
+                proptest::bool::ANY
+            )
                 .prop_map(|(e, list, negated)| Expr::InList {
                     expr: Box::new(e),
                     list,

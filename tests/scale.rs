@@ -81,12 +81,14 @@ fn session_on_a_large_synthetic_source() {
     let mut db = w.db.clone();
     // redeclare knowledge edges as FKs so the session can walk
     for s in w.knowledge.specs() {
-        db.constraints.foreign_keys.push(clio::relational::constraints::ForeignKey {
-            from_relation: s.rel_a.clone(),
-            from_attrs: s.attr_pairs.iter().map(|(a, _)| a.clone()).collect(),
-            to_relation: s.rel_b.clone(),
-            to_attrs: s.attr_pairs.iter().map(|(_, b)| b.clone()).collect(),
-        });
+        db.constraints
+            .foreign_keys
+            .push(clio::relational::constraints::ForeignKey {
+                from_relation: s.rel_a.clone(),
+                from_attrs: s.attr_pairs.iter().map(|(a, _)| a.clone()).collect(),
+                to_relation: s.rel_b.clone(),
+                to_attrs: s.attr_pairs.iter().map(|(_, b)| b.clone()).collect(),
+            });
     }
     let mut session = Session::new(db, w.target.clone());
     session.add_correspondence("R0.p0", "B0").unwrap();
@@ -94,7 +96,14 @@ fn session_on_a_large_synthetic_source() {
     // alternative each time
     for i in 1..8 {
         let rel = format!("R{i}");
-        if session.active().unwrap().mapping.graph.node_by_alias(&rel).is_some() {
+        if session
+            .active()
+            .unwrap()
+            .mapping
+            .graph
+            .node_by_alias(&rel)
+            .is_some()
+        {
             continue;
         }
         let ids = session.data_walk(None, &rel).unwrap();
@@ -161,8 +170,10 @@ fn mining_scales_and_stays_consistent() {
     // every chain link is rediscovered
     for i in 0..4 {
         assert!(
-            mined.iter().any(|d| d.from == (format!("R{}", i + 1), format!("l{i}"))
-                && d.to == (format!("R{i}"), "id".into())),
+            mined
+                .iter()
+                .any(|d| d.from == (format!("R{}", i + 1), format!("l{i}"))
+                    && d.to == (format!("R{i}"), "id".into())),
             "link R{}.l{i} -> R{i}.id not mined",
             i + 1
         );

@@ -18,7 +18,10 @@ fn section2_sql_golden() {
     let sql = generate_sql(
         &m,
         &db,
-        &SqlOptions { root: Some("Children".into()), create_view: true },
+        &SqlOptions {
+            root: Some("Children".into()),
+            create_view: true,
+        },
     )
     .unwrap();
 
@@ -51,7 +54,10 @@ fn section2_required_field_refinement() {
     let sql = generate_sql(
         &required,
         &db,
-        &SqlOptions { root: Some("Children".into()), create_view: false },
+        &SqlOptions {
+            root: Some("Children".into()),
+            create_view: false,
+        },
     )
     .unwrap();
     assert!(sql.contains("\n  JOIN SBPS ON Children.ID = SBPS.ID"));
@@ -109,7 +115,9 @@ fn section2_session_drive_matches_static_mapping() {
     session.add_correspondence("Children.ID", "ID").unwrap();
     session.add_correspondence("Children.name", "name").unwrap();
 
-    let ids = session.add_correspondence("Parents.affiliation", "affiliation").unwrap();
+    let ids = session
+        .add_correspondence("Parents.affiliation", "affiliation")
+        .unwrap();
     let fid = ids
         .iter()
         .find(|id| {
@@ -130,9 +138,13 @@ fn section2_session_drive_matches_static_mapping() {
         .copied()
         .unwrap();
     session.confirm(mothers).unwrap();
-    session.add_correspondence("PhoneDir.number", "contactPh").unwrap();
+    session
+        .add_correspondence("PhoneDir.number", "contactPh")
+        .unwrap();
 
-    let chases = session.data_chase("Children", "ID", &Value::str("002")).unwrap();
+    let chases = session
+        .data_chase("Children", "ID", &Value::str("002"))
+        .unwrap();
     let sbps = chases
         .iter()
         .find(|id| {
@@ -142,10 +154,14 @@ fn section2_session_drive_matches_static_mapping() {
         .copied()
         .unwrap();
     session.confirm(sbps).unwrap();
-    session.add_correspondence("SBPS.time", "BusSchedule").unwrap();
+    session
+        .add_correspondence("SBPS.time", "BusSchedule")
+        .unwrap();
 
     let preview = session.target_preview().unwrap();
-    let reference = section2_mapping().evaluate(session.database(), &funcs()).unwrap();
+    let reference = section2_mapping()
+        .evaluate(session.database(), &funcs())
+        .unwrap();
     assert_eq!(preview.len(), reference.len());
     // ID, name, affiliation, contactPh, BusSchedule must agree
     for row in preview.rows() {
@@ -170,24 +186,77 @@ fn mapping_eval_matches_left_join_plan() {
     // engine-level emulation of the generated SQL
     let children = db.relation("Children").unwrap().to_table("Children");
     let parents = db.relation("Parents").unwrap().to_table("Parents");
-    let parents2 = db.relation("Parents").unwrap().renamed("Parents2").to_table("Parents2");
+    let parents2 = db
+        .relation("Parents")
+        .unwrap()
+        .renamed("Parents2")
+        .to_table("Parents2");
     let phone = db.relation("PhoneDir").unwrap().to_table("PhoneDir");
     let sbps = db.relation("SBPS").unwrap().to_table("SBPS");
 
-    let j1 = join(&children, &parents, &parse_expr("Children.fid = Parents.ID").unwrap(), JoinKind::LeftOuter, &funcs).unwrap();
-    let j2 = join(&j1, &parents2, &parse_expr("Children.mid = Parents2.ID").unwrap(), JoinKind::LeftOuter, &funcs).unwrap();
-    let j3 = join(&j2, &phone, &parse_expr("PhoneDir.ID = Parents2.ID").unwrap(), JoinKind::LeftOuter, &funcs).unwrap();
-    let j4 = join(&j3, &sbps, &parse_expr("Children.ID = SBPS.ID").unwrap(), JoinKind::LeftOuter, &funcs).unwrap();
+    let j1 = join(
+        &children,
+        &parents,
+        &parse_expr("Children.fid = Parents.ID").unwrap(),
+        JoinKind::LeftOuter,
+        &funcs,
+    )
+    .unwrap();
+    let j2 = join(
+        &j1,
+        &parents2,
+        &parse_expr("Children.mid = Parents2.ID").unwrap(),
+        JoinKind::LeftOuter,
+        &funcs,
+    )
+    .unwrap();
+    let j3 = join(
+        &j2,
+        &phone,
+        &parse_expr("PhoneDir.ID = Parents2.ID").unwrap(),
+        JoinKind::LeftOuter,
+        &funcs,
+    )
+    .unwrap();
+    let j4 = join(
+        &j3,
+        &sbps,
+        &parse_expr("Children.ID = SBPS.ID").unwrap(),
+        JoinKind::LeftOuter,
+        &funcs,
+    )
+    .unwrap();
 
     // project the correspondences
     let outputs: Vec<(Expr, Column)> = vec![
-        (parse_expr("Children.ID").unwrap(), Column::new("Kids", "ID", DataType::Str)),
-        (parse_expr("Children.name").unwrap(), Column::new("Kids", "name", DataType::Str)),
-        (parse_expr("Parents.affiliation").unwrap(), Column::new("Kids", "affiliation", DataType::Str)),
-        (parse_expr("Parents.address").unwrap(), Column::new("Kids", "address", DataType::Str)),
-        (parse_expr("PhoneDir.number").unwrap(), Column::new("Kids", "contactPh", DataType::Str)),
-        (parse_expr("SBPS.time").unwrap(), Column::new("Kids", "BusSchedule", DataType::Str)),
-        (parse_expr("Parents.salary + Parents2.salary").unwrap(), Column::new("Kids", "FamilyIncome", DataType::Int)),
+        (
+            parse_expr("Children.ID").unwrap(),
+            Column::new("Kids", "ID", DataType::Str),
+        ),
+        (
+            parse_expr("Children.name").unwrap(),
+            Column::new("Kids", "name", DataType::Str),
+        ),
+        (
+            parse_expr("Parents.affiliation").unwrap(),
+            Column::new("Kids", "affiliation", DataType::Str),
+        ),
+        (
+            parse_expr("Parents.address").unwrap(),
+            Column::new("Kids", "address", DataType::Str),
+        ),
+        (
+            parse_expr("PhoneDir.number").unwrap(),
+            Column::new("Kids", "contactPh", DataType::Str),
+        ),
+        (
+            parse_expr("SBPS.time").unwrap(),
+            Column::new("Kids", "BusSchedule", DataType::Str),
+        ),
+        (
+            parse_expr("Parents.salary + Parents2.salary").unwrap(),
+            Column::new("Kids", "FamilyIncome", DataType::Int),
+        ),
     ];
     let mut sql_result = clio::relational::ops::project(&j4, &outputs, &funcs).unwrap();
     sql_result.dedup();

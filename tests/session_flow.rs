@@ -1,9 +1,7 @@
 //! Long-running session flows, persistence, link operators, and ranking —
 //! integration coverage beyond the figure golden tests.
 
-use clio::core::operators::link::{
-    conjoin_edge_predicate, remove_node, replace_edge_predicate,
-};
+use clio::core::operators::link::{conjoin_edge_predicate, remove_node, replace_edge_predicate};
 use clio::core::ranking::{join_support, rank_walk_alternatives};
 use clio::core::script::{parse_mapping, write_mapping};
 use clio::prelude::*;
@@ -19,7 +17,9 @@ fn session_persistence_round_trip() {
     let mut session = Session::new(paper_database(), kids_target());
     session.add_correspondence("Children.ID", "ID").unwrap();
     session.add_correspondence("Children.name", "name").unwrap();
-    let ids = session.add_correspondence("Parents.affiliation", "affiliation").unwrap();
+    let ids = session
+        .add_correspondence("Parents.affiliation", "affiliation")
+        .unwrap();
     let fid = ids
         .iter()
         .find(|id| {
@@ -54,8 +54,7 @@ fn session_persistence_round_trip() {
 #[test]
 fn adopt_mapping_rejects_wrong_target() {
     let mut session = Session::new(paper_database(), kids_target());
-    let other_target =
-        RelSchema::new("Other", vec![Attribute::new("x", DataType::Int)]).unwrap();
+    let other_target = RelSchema::new("Other", vec![Attribute::new("x", DataType::Int)]).unwrap();
     let mut g = QueryGraph::new();
     g.add_node(Node::new("Children")).unwrap();
     let m = Mapping::new(g, other_target);
@@ -94,7 +93,11 @@ fn replace_edge_switches_scenarios() {
     )
     .unwrap();
     let out = flipped.evaluate(&db, &funcs()).unwrap();
-    let maya = out.rows().iter().find(|r| r[0] == Value::str("002")).unwrap();
+    let maya = out
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::str("002"))
+        .unwrap();
     // affiliation now comes from the mother (Almaden), phone unchanged
     assert_eq!(maya[2], Value::str("Almaden"));
     assert_eq!(maya[4], Value::str("555-0103"));
@@ -116,8 +119,16 @@ fn conjoin_edge_narrows_linkage() {
     let out = narrowed.evaluate(&db, &funcs()).unwrap();
     // only Anna's 8:05 pickup survives the narrowed link; Maya's 8:15
     // no longer joins, so her BusSchedule is null
-    let anna = out.rows().iter().find(|r| r[0] == Value::str("001")).unwrap();
-    let maya = out.rows().iter().find(|r| r[0] == Value::str("002")).unwrap();
+    let anna = out
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::str("001"))
+        .unwrap();
+    let maya = out
+        .rows()
+        .iter()
+        .find(|r| r[0] == Value::str("002"))
+        .unwrap();
     assert_eq!(anna[5], Value::str("8:05"));
     assert!(maya[5].is_null());
 }
@@ -168,10 +179,15 @@ fn mining_enriches_walks_on_paper_database() {
     use clio::core::mining::{enrich_knowledge, mine_inclusion_dependencies, MiningConfig};
 
     let db = paper_database();
-    let strict = MiningConfig { min_containment: 1.0, min_shared_values: 2, require_same_type: true };
+    let strict = MiningConfig {
+        min_containment: 1.0,
+        min_shared_values: 2,
+        require_same_type: true,
+    };
     let mined = mine_inclusion_dependencies(&db, &strict);
-    assert!(mined.iter().any(|d| d.from == ("SBPS".into(), "ID".into())
-        && d.to == ("Children".into(), "ID".into())));
+    assert!(mined.iter().any(
+        |d| d.from == ("SBPS".into(), "ID".into()) && d.to == ("Children".into(), "ID".into())
+    ));
 
     let mut knowledge = paper_knowledge();
     assert!(knowledge.paths("Children", "SBPS", 3).is_empty());
@@ -232,7 +248,9 @@ fn session_fuzz_smoke() {
     // a fixed pseudo-random order, long enough to hit interesting states
     let mut state = 0x9E3779B97F4A7C15u64;
     for _ in 0..120 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let k = (state >> 33) as usize % gestures.len();
         gestures[k](&mut session);
         // invariant: the active workspace (if any) holds a valid mapping

@@ -1,0 +1,703 @@
+//! Minimal, std-only stand-in for the parts of the `proptest` crate this
+//! workspace uses. The environment has no registry access, so the real
+//! crate cannot be fetched.
+//!
+//! Differences from real proptest:
+//!
+//! * **No shrinking.** A failing case reports its deterministic case
+//!   index (generation is a pure function of `module::test_name` and the
+//!   case number), so failures reproduce exactly but are not minimized.
+//! * **No persistence.** `*.proptest-regressions` files are ignored.
+//! * **Tiny regex subset** for string strategies: literal characters,
+//!   `[a-z]`-style character classes (with ranges), the `\PC`
+//!   (non-control) class, and `{m,n}` / `{n}` quantifiers — exactly what
+//!   this repo's tests use.
+
+pub mod test_runner {
+    //! Deterministic per-case RNG and run configuration.
+
+    /// Run configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// Config running `cases` cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// xoshiro256++ seeded from a hash of (test id, case index): every
+    /// case is reproducible from the test name alone.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// Deterministic RNG for one test case.
+        #[must_use]
+        pub fn for_case(test_id: &str, case: u32) -> Self {
+            // FNV-1a over the test id, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_id.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut sm = h ^ (u64::from(case) << 32) ^ u64::from(case);
+            TestRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform integer in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            let threshold = bound.wrapping_neg() % bound;
+            loop {
+                let x = self.next_u64();
+                let m = u128::from(x) * u128::from(bound);
+                if (m as u64) >= threshold {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase into a cloneable, reference-counted strategy.
+        fn boxed(self) -> RcStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            RcStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+
+        /// Build a recursive strategy: `self` is the leaf; `recurse`
+        /// wraps an inner strategy into a composite one. `depth` bounds
+        /// the recursion depth; the size/branch hints are accepted for
+        /// API compatibility but unused.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> RcStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(RcStrategy<Self::Value>) -> S,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let expanded = recurse(current).boxed();
+                // 2/3 chance of recursing at each level below the cap.
+                current = OneOf::new(vec![leaf.clone(), expanded.clone(), expanded]).boxed();
+            }
+            current
+        }
+    }
+
+    /// Cloneable type-erased strategy (`BoxedStrategy` equivalent).
+    pub struct RcStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for RcStrategy<T> {
+        fn clone(&self) -> Self {
+            RcStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for RcStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct OneOf<T> {
+        arms: Vec<RcStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Choose uniformly among `arms` (must be non-empty).
+        #[must_use]
+        pub fn new(arms: Vec<RcStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty => $wide:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    let off = rng.below(span);
+                    ((self.start as $wide).wrapping_add(off as $wide)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy! {
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),* $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+    }
+
+    /// Full-range numeric strategy (`proptest::num::<ty>::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct NumAny<T>(PhantomData<T>);
+
+    impl<T> NumAny<T> {
+        /// Const constructor (used by the `ANY` consts).
+        #[must_use]
+        pub const fn new() -> Self {
+            NumAny(PhantomData)
+        }
+    }
+
+    impl<T> Default for NumAny<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    macro_rules! impl_num_any {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for NumAny<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_num_any!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Uniform boolean strategy (`proptest::bool::ANY`).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    // String literals are regex-subset string strategies.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod num {
+    //! `proptest::num::<ty>::ANY` strategies.
+    #![allow(missing_docs)]
+
+    macro_rules! num_mod {
+        ($($m:ident : $t:ty),* $(,)?) => {$(
+            pub mod $m {
+                /// Uniform over the full range of the type.
+                pub const ANY: crate::strategy::NumAny<$t> =
+                    crate::strategy::NumAny::new();
+            }
+        )*};
+    }
+
+    num_mod! {
+        u8: u8, u16: u16, u32: u32, u64: u64, usize: usize,
+        i8: i8, i16: i16, i32: i32, i64: i64, isize: isize,
+    }
+}
+
+pub mod bool {
+    //! `proptest::bool::ANY`.
+
+    /// Uniform boolean.
+    pub const ANY: crate::strategy::BoolAny = crate::strategy::BoolAny;
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy producing `None` ~30% of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Result of [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.unit_f64() < 0.3 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-subset string generation for `&str` strategies.
+
+    use super::test_runner::TestRng;
+
+    enum Atom {
+        /// Choose one char from the set.
+        Class(Vec<char>),
+        /// A literal char.
+        Literal(char),
+    }
+
+    struct Quantified {
+        atom: Atom,
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    /// Characters for the `\PC` (non-control) class: printable ASCII plus
+    /// a few multi-byte code points so parsers see non-ASCII input.
+    fn non_control_chars() -> Vec<char> {
+        let mut chars: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+        chars.extend(['\u{e9}', '\u{3b1}', '\u{2192}', '\u{6f22}', '\u{1d11e}']);
+        chars
+    }
+
+    fn parse(pattern: &str) -> Vec<Quantified> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut out = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let mut set = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let (lo, hi) = (chars[i], chars[i + 2]);
+                            assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                            set.extend(lo..=hi);
+                            i += 3;
+                        } else {
+                            set.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                    i += 1; // skip ']'
+                    assert!(!set.is_empty(), "empty class in {pattern:?}");
+                    Atom::Class(set)
+                }
+                '\\' => {
+                    assert!(
+                        i + 2 < chars.len() && chars[i + 1] == 'P' && chars[i + 2] == 'C',
+                        "unsupported escape in pattern {pattern:?} (only \\PC is known)"
+                    );
+                    i += 3;
+                    Atom::Class(non_control_chars())
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // optional {m,n} / {n}
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "inverted quantifier in {pattern:?}");
+            out.push(Quantified { atom, min, max });
+        }
+        out
+    }
+
+    /// Generate a string matching the (subset) regex `pattern`.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse(pattern);
+        let mut s = String::new();
+        for q in &atoms {
+            let count = q.min + rng.below((q.max - q.min + 1) as u64) as usize;
+            for _ in 0..count {
+                match &q.atom {
+                    Atom::Literal(c) => s.push(*c),
+                    Atom::Class(set) => {
+                        s.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*` imports.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert inside a property (panics with the message on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip a case when an assumption fails. This shim simply returns from
+/// the case closure (the case counts as passed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let test_id = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.cases {
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            let mut rng =
+                                $crate::test_runner::TestRng::for_case(test_id, case);
+                            $(
+                                let $arg = $crate::strategy::Strategy::generate(
+                                    &($strat), &mut rng);
+                            )*
+                            $body
+                        })
+                    );
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest shim: {test_id} failed at case {case} of {} \
+                             (cases are deterministic; rerun reproduces this)",
+                            config.cases
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn pattern_generation_matches_subset() {
+        let mut rng = TestRng::for_case("pattern", 0);
+        for _ in 0..200 {
+            let s = crate::string::generate_from_pattern("[a-z]{0,6}", &mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = crate::string::generate_from_pattern("[ -~]{0,12}", &mut rng);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+            let u = crate::string::generate_from_pattern("\\PC{0,60}", &mut rng);
+            assert!(u.chars().all(|c| !c.is_control()));
+            assert!(u.chars().count() <= 60);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u8..17, 0..9);
+        let a = strat.generate(&mut TestRng::for_case("d", 3));
+        let b = strat.generate(&mut TestRng::for_case("d", 3));
+        assert_eq!(a, b);
+        for v in &a {
+            assert!(*v < 17);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself compiles and runs: tuples, oneof, map, vec.
+        #[test]
+        fn macro_smoke(
+            v in crate::collection::vec((0usize..5, prop_oneof![Just(1i64), -4i64..4]), 0..8),
+            flag in crate::bool::ANY,
+            s in "[a-c]{2,4}",
+        ) {
+            prop_assert!(v.len() < 8);
+            for (a, b) in &v {
+                prop_assert!(*a < 5);
+                prop_assert!((-4..4).contains(b) || *b == 1);
+            }
+            let _ = flag;
+            prop_assert!((2..=4).contains(&s.len()));
+        }
+    }
+}
