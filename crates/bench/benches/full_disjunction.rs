@@ -67,9 +67,27 @@ fn bench_cycles(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_cycle_threads(c: &mut Criterion) {
+    // parallel scaling of the naive algorithm: the per-subgraph F(J)
+    // evaluations fan out on the exec worker pool; output is
+    // byte-identical at every thread count (pinned by a property test)
+    let mut group = c.benchmark_group("fd_cycle_threads");
+    let w = cycle(5, 200);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &w, |b, w| {
+            b.iter(|| {
+                clio_relational::exec::with_threads(threads, || {
+                    black_box(clio_bench::fd(w, FdAlgo::Naive))
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_chains, bench_stars, bench_rows_scaling, bench_cycles
+    targets = bench_chains, bench_stars, bench_rows_scaling, bench_cycles, bench_cycle_threads
 }
 criterion_main!(benches);

@@ -1,5 +1,5 @@
 //! Run the parameter sweeps behind EXPERIMENTS.md and print one markdown
-//! table per experiment (B1–B7). Wall-clock medians over a few
+//! table per experiment (B1–B9). Wall-clock medians over a few
 //! repetitions — the Criterion benches give rigorous statistics; this
 //! binary gives the compact tables the docs quote.
 //!
@@ -20,8 +20,11 @@ use clio_core::operators::walk::data_walk;
 use clio_datagen::synthetic::random_knowledge;
 use clio_relational::funcs::FuncRegistry;
 use clio_relational::index::{scan_occurrences, ValueIndex};
-use clio_relational::ops::{remove_subsumed_naive, remove_subsumed_partitioned};
-use clio_relational::value::Value;
+use clio_relational::ops::{join, remove_subsumed_naive, remove_subsumed_partitioned, JoinKind};
+use clio_relational::parser::parse_expr;
+use clio_relational::relation::RelationBuilder;
+use clio_relational::table::Table;
+use clio_relational::value::{DataType, Value};
 
 const REPS: usize = 5;
 
@@ -128,6 +131,30 @@ fn b1_full_disjunction() {
         let mut count = 0;
         let naive = time(|| count = clio_bench::fd(&w, FdAlgo::Naive));
         println!("| {n} | 100 | {} | {count} |", fmt(naive));
+    }
+    // parallel naive: the per-subgraph F(J) evaluations fan out on the
+    // exec worker pool; output is byte-identical at every thread count
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("\nparallel naive on cycles ({hw} hardware thread(s) available):\n");
+    println!("| nodes | rows/rel | threads=1 | threads=2 | threads=4 | speedup 1->4 |");
+    println!("|---|---|---|---|---|---|");
+    for (n, rows) in [(4usize, 200usize), (5, 200)] {
+        let w = cycle(n, rows);
+        let timed = |threads: usize| {
+            time(|| {
+                clio_relational::exec::with_threads(threads, || {
+                    std::hint::black_box(clio_bench::fd(&w, FdAlgo::Naive));
+                });
+            })
+        };
+        let (t1, t2, t4) = (timed(1), timed(2), timed(4));
+        println!(
+            "| {n} | {rows} | {} | {} | {} | {} |",
+            fmt(t1),
+            fmt(t2),
+            fmt(t4),
+            ratio(t1, t4)
+        );
     }
 }
 
@@ -245,8 +272,8 @@ fn b4_walk() {
         println!("| {n} | {} | {count} | {} |", n / 2, fmt(t));
     }
     println!("\nfull walk operator on chains (prefix mapping of 2 nodes):\n");
-    println!("| chain length | alternatives | time |");
-    println!("|---|---|---|");
+    println!("| chain length | alternatives | time | generated | pruned |");
+    println!("|---|---|---|---|---|");
     let funcs = FuncRegistry::with_builtins();
     for n in [4usize, 6, 8] {
         let w = chain(n, 30);
@@ -258,7 +285,15 @@ fn b4_walk() {
                 .expect("valid")
                 .len();
         });
-        println!("| {n} | {count} | {} |", fmt(t));
+        let work = counted(|| {
+            data_walk(&m, &w.db, &w.knowledge, "R0", &target, n, &funcs).expect("valid");
+        });
+        println!(
+            "| {n} | {count} | {} | {} | {} |",
+            fmt(t),
+            work.get(clio_obs::Counter::WalkAlternativesGenerated),
+            work.get(clio_obs::Counter::WalkAlternativesPruned)
+        );
     }
 }
 
@@ -342,8 +377,11 @@ fn b6_mapping_eval() {
 
 fn b7_evolution() {
     println!("\n## B7 — illustration evolution vs recompute\n");
-    println!("| rows/rel | evolve | recompute | evolve size | extended | repaired |");
-    println!("|---|---|---|---|---|---|");
+    println!(
+        "| rows/rel | evolve | recompute | evolve size | extended | repaired \
+         | req checks (evolve) | req checks (recompute) |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
     let funcs = FuncRegistry::with_builtins();
     for rows in [100usize, 400, 1600] {
         let w = chain(4, rows);
@@ -366,10 +404,161 @@ fn b7_evolution() {
                 Illustration::minimal_sufficient(&pop, w.mapping.target.arity()).len(),
             );
         });
+        let evolve_work = counted(|| {
+            evolve_illustration(&old_ill, &old_m, &w.mapping, &w.db, &funcs).expect("valid");
+        });
+        let recompute_work = counted(|| {
+            let pop = w.mapping.examples(&w.db, &funcs).expect("valid");
+            std::hint::black_box(
+                Illustration::minimal_sufficient(&pop, w.mapping.target.arity()).len(),
+            );
+        });
         println!(
-            "| {rows} | {} | {} | {evo_size} | {extended} | {repaired} |",
+            "| {rows} | {} | {} | {evo_size} | {extended} | {repaired} | {} | {} |",
             fmt(evolve),
-            fmt(recompute)
+            fmt(recompute),
+            evolve_work.get(clio_obs::Counter::RequirementsChecked),
+            recompute_work.get(clio_obs::Counter::RequirementsChecked)
+        );
+    }
+}
+
+/// The B8 wide table: six columns, string/int mixed, `rows` rows.
+fn wide_table(rows: i64) -> Table {
+    let mut b = RelationBuilder::new("W")
+        .attr("w0", DataType::Str)
+        .attr("w1", DataType::Str)
+        .attr("w2", DataType::Int)
+        .attr("w3", DataType::Str);
+    for k in 0..rows {
+        b = b.row(vec![
+            format!("id{k}").into(),
+            format!("id{}", k % 97).into(),
+            (k % 13).into(),
+            format!("name{k}").into(),
+        ]);
+    }
+    b.build().expect("valid").to_table("W")
+}
+
+fn b8_expressions() {
+    println!("\n## B8 — expression pipeline: bind-once vs rebind-per-row\n");
+    println!("| rows | bind-once eval | rebind per row | ratio | select scan.tuples |");
+    println!("|---|---|---|---|---|");
+    let funcs = FuncRegistry::with_builtins();
+    let e = parse_expr(
+        "CASE WHEN W.w2 BETWEEN 0 AND 4 THEN 'small' \
+              WHEN W.w0 IN ('id1', 'id2') THEN 'known' \
+              ELSE upper(W.w3) || '!' END",
+    )
+    .expect("valid");
+    let pred = parse_expr("W.w2 < 5 AND W.w3 IS NOT NULL").expect("valid");
+    for rows in [1000i64, 4000] {
+        let t = wide_table(rows);
+        let bound_once = time(|| {
+            let bound = e.bind(t.scheme()).expect("binds");
+            let mut n = 0usize;
+            for row in t.rows() {
+                if !bound.eval(row, &funcs).expect("evals").is_null() {
+                    n += 1;
+                }
+            }
+            std::hint::black_box(n);
+        });
+        let rebind = time(|| {
+            let mut n = 0usize;
+            for row in t.rows() {
+                if !e.eval(t.scheme(), row, &funcs).expect("evals").is_null() {
+                    n += 1;
+                }
+            }
+            std::hint::black_box(n);
+        });
+        let work = counted(|| {
+            std::hint::black_box(
+                clio_relational::ops::select(&t, &pred, &funcs)
+                    .expect("valid")
+                    .len(),
+            );
+        });
+        println!(
+            "| {rows} | {} | {} | {} | {} |",
+            fmt(bound_once),
+            fmt(rebind),
+            ratio(rebind, bound_once),
+            work.get(clio_obs::Counter::TuplesScanned)
+        );
+    }
+}
+
+/// The B9 join inputs: `A(id, link)` and `B(id, payload)` with a ~2:1
+/// fan-in of `A.link` onto `B.id`.
+fn join_tables(rows: usize) -> (Table, Table) {
+    let mut a = RelationBuilder::new("A")
+        .attr("id", DataType::Str)
+        .attr("link", DataType::Str);
+    let mut b = RelationBuilder::new("B")
+        .attr("id", DataType::Str)
+        .attr("payload", DataType::Str);
+    for k in 0..rows {
+        a = a.row(vec![
+            format!("a{k}").into(),
+            format!("b{}", k % (rows / 2 + 1)).into(),
+        ]);
+        b = b.row(vec![format!("b{k}").into(), format!("p{k}").into()]);
+    }
+    (
+        a.build().expect("valid").to_table("A"),
+        b.build().expect("valid").to_table("B"),
+    )
+}
+
+fn b9_join_ablation() {
+    println!("\n## B9 — join ablation: hash-equijoin fast path vs nested loop\n");
+    println!(
+        "| rows/side | hash | nested loop | ratio | hash join.probes \
+         | nested join.probes | scan.tuples |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    let funcs = FuncRegistry::with_builtins();
+    // the same predicate, phrased to take each path: `=` hashes,
+    // `>= AND <=` defeats equi-extraction and falls back to nested loop
+    let hash_pred = parse_expr("A.link = B.id").expect("valid");
+    let nested_pred = parse_expr("A.link >= B.id AND A.link <= B.id").expect("valid");
+    for rows in [200usize, 1000] {
+        let (a, b) = join_tables(rows);
+        let hash = time(|| {
+            std::hint::black_box(
+                join(&a, &b, &hash_pred, JoinKind::Inner, &funcs)
+                    .expect("joins")
+                    .len(),
+            );
+        });
+        let nested = time(|| {
+            std::hint::black_box(
+                join(&a, &b, &nested_pred, JoinKind::Inner, &funcs)
+                    .expect("joins")
+                    .len(),
+            );
+        });
+        let hash_work = counted(|| {
+            join(&a, &b, &hash_pred, JoinKind::Inner, &funcs).expect("joins");
+        });
+        let nested_work = counted(|| {
+            join(&a, &b, &nested_pred, JoinKind::Inner, &funcs).expect("joins");
+        });
+        // nested-loop pair tests count as probes too, so the fallback
+        // shows up as quadratic (rows^2) vs linear probes — the
+        // tell-tale the golden counter gate in scripts/verify.sh
+        // watches for
+        println!(
+            "| {rows} | {} | {} | {} | {} | {} | {} |",
+            fmt(hash),
+            fmt(nested),
+            ratio(nested, hash),
+            hash_work.get(clio_obs::Counter::JoinProbes),
+            nested_work.get(clio_obs::Counter::JoinProbes),
+            hash_work.get(clio_obs::Counter::TuplesScanned)
         );
     }
 }
@@ -398,5 +587,11 @@ fn main() {
     }
     if run("b7") {
         b7_evolution();
+    }
+    if run("b8") {
+        b8_expressions();
+    }
+    if run("b9") {
+        b9_join_ablation();
     }
 }

@@ -345,7 +345,9 @@ impl Shell {
                     clio_obs::reset_metrics();
                     return Ok("counters reset\n".to_owned());
                 }
-                let mut out = clio_obs::snapshot().render_table();
+                // `stats <operation>` keeps only counters whose dotted
+                // name contains the argument (e.g. `stats chase`)
+                let mut out = clio_obs::snapshot().render_table_filtered(rest);
                 if !clio_obs::metrics_enabled() {
                     out.push_str(
                         "(counting is off — run the shell with --metrics <file> to collect)\n",
@@ -413,7 +415,9 @@ commands:
   filter source|target <pred> add a data-trimming filter
   require <attr>              make a target attribute required
   status                      session summary
-  stats [reset]               engine work counters (see docs/observability.md)
+  stats [reset|<operation>]   engine work counters, optionally filtered
+                              by name, e.g. `stats chase` (see
+                              docs/observability.md)
   profile                     per-attribute statistics of the source
   mine [containment]          mine join candidates from the data
   verify [key,attrs]          data-driven mapping diagnostics
@@ -607,6 +611,23 @@ mod tests {
         // explicit key attrs
         let v = run(&mut sh, "verify ID");
         assert!(!v.starts_with("error"), "{v}");
+    }
+
+    #[test]
+    fn stats_takes_an_operation_filter() {
+        let mut sh = shell();
+        let all = run(&mut sh, "stats");
+        assert!(all.contains("join.probes"), "{all}");
+        assert!(all.contains("chase.alternatives_generated"), "{all}");
+        let filtered = run(&mut sh, "stats chase");
+        assert!(
+            filtered.contains("chase.alternatives_generated"),
+            "{filtered}"
+        );
+        assert!(filtered.contains("chase.alternatives_pruned"), "{filtered}");
+        assert!(!filtered.contains("join.probes"), "{filtered}");
+        let none = run(&mut sh, "stats bogus");
+        assert!(none.contains("no counters match `bogus`"), "{none}");
     }
 
     #[test]

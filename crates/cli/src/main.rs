@@ -71,6 +71,10 @@ flags:
                          (topology: chain | star | cycle | tree)
   --metrics <file>       collect work counters; write a JSON report on exit
   --trace                collect spans; print the span tree on exit
+  --trace-filter <name>  like --trace, but only print subtrees whose span
+                         name contains <name> (e.g. fd.naive)
+  --threads <n>          worker threads for parallel evaluation
+                         (default: CLIO_THREADS or the hardware)
   --help, -h             show this help
 
 {}",
@@ -97,6 +101,7 @@ fn main() {
     let mut target_spec: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut trace = false;
+    let mut trace_filter: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -121,6 +126,22 @@ fn main() {
                 metrics_path = Some(require_value(&args, i, "--metrics"));
             }
             "--trace" => trace = true,
+            "--trace-filter" => {
+                i += 1;
+                trace_filter = Some(require_value(&args, i, "--trace-filter"));
+                trace = true;
+            }
+            "--threads" => {
+                i += 1;
+                let value = require_value(&args, i, "--threads");
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => clio_relational::exec::set_threads(n),
+                    _ => {
+                        eprintln!("--threads expects a positive integer, got `{value}`");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--synthetic" => {
                 i += 1;
                 let spec = require_value(&args, i, "--synthetic");
@@ -231,7 +252,11 @@ fn main() {
         if records.is_empty() {
             println!("trace: no spans recorded");
         } else {
-            print!("{}", clio_obs::trace::render_tree(&records));
+            let filter = trace_filter.as_deref().unwrap_or("");
+            print!(
+                "{}",
+                clio_obs::trace::render_tree_filtered(&records, filter)
+            );
         }
     }
 }

@@ -117,6 +117,63 @@ fn help_flag_prints_usage_and_exits_zero() {
 }
 
 #[test]
+fn metrics_json_is_byte_identical_across_thread_counts() {
+    let (p1, p4) = (tmp_path("thr1.json"), tmp_path("thr4.json"));
+    let mut runs = Vec::new();
+    for (path, threads) in [(&p1, "1"), (&p4, "4")] {
+        let out = shell()
+            .arg("--script")
+            .arg(demo_script())
+            .arg("--metrics")
+            .arg(path)
+            .arg("--threads")
+            .arg(threads)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "--threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        runs.push(std::fs::read_to_string(path).expect("metrics file written"));
+        std::fs::remove_file(path).ok();
+    }
+    // counters are per-work-unit sums, independent of scheduling, so the
+    // report must not change with the worker pool size
+    assert_eq!(runs[0], runs[1], "counters drifted with thread count");
+}
+
+#[test]
+fn trace_filter_restricts_span_tree() {
+    let out = shell()
+        .arg("--script")
+        .arg(demo_script())
+        .arg("--trace-filter")
+        .arg("chase")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("- op.chase"), "{stdout}");
+    // unrelated top-level spans are filtered out of the tree
+    assert!(!stdout.contains("- mapping.evaluate"), "{stdout}");
+}
+
+#[test]
+fn bad_threads_value_exits_2() {
+    for bad in ["0", "-1", "many"] {
+        let out = shell()
+            .arg("--threads")
+            .arg(bad)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "--threads {bad}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("positive integer"), "{bad}: {stderr}");
+    }
+}
+
+#[test]
 fn missing_flag_values_exit_2() {
     for flag in [
         "--script",
@@ -124,6 +181,8 @@ fn missing_flag_values_exit_2() {
         "--target",
         "--synthetic",
         "--metrics",
+        "--trace-filter",
+        "--threads",
     ] {
         let out = shell().arg(flag).output().expect("binary runs");
         assert_eq!(out.status.code(), Some(2), "{flag}");

@@ -113,6 +113,14 @@ pub fn full_associations(
 
 /// Definitional `D(G)`: minimum union of the padded `F(J)` over every
 /// induced connected subgraph `J` (paper Def 3.11 / Example 3.12).
+///
+/// The per-subgraph `F(J)` + padding evaluations are independent, so
+/// they run on the [`clio_relational::exec`] worker pool (sized by
+/// `--threads` / `CLIO_THREADS` / the hardware): each worker opens an
+/// `fd.naive.worker` span, and results come back in canonical subgraph
+/// order, so the minimum union — and therefore the output table, row
+/// order included — is byte-identical to a serial run. A property test
+/// in `tests/properties.rs` pins this.
 pub fn full_disjunction_naive(
     db: &Database,
     graph: &QueryGraph,
@@ -121,11 +129,14 @@ pub fn full_disjunction_naive(
 ) -> Result<AssociationSet> {
     let _span = clio_obs::span("fd.naive");
     let scheme = graph.scheme(db)?;
-    let mut padded: Vec<Table> = Vec::new();
-    for mask in connected_subsets(graph) {
-        let f = full_associations(db, graph, mask, funcs)?;
-        padded.push(pad_to(&f, &scheme)?);
-    }
+    let masks = connected_subsets(graph);
+    let padded: Vec<Table> =
+        clio_relational::exec::map_slice(&masks, "fd.naive.worker", |_, &mask| -> Result<Table> {
+            let f = full_associations(db, graph, mask, funcs)?;
+            pad_to(&f, &scheme)
+        })
+        .into_iter()
+        .collect::<Result<_>>()?;
     metrics::add(Counter::SubgraphsEnumerated, padded.len() as u64);
     let refs: Vec<&Table> = padded.iter().collect();
     let table = minimum_union_all(&refs, subsumption)?;
@@ -172,23 +183,32 @@ pub fn full_disjunction_outer_join(
     Ok(AssociationSet::from_table(graph, table))
 }
 
-/// Compute `D(G)` with the selected algorithm.
+/// The subsumption algorithm the engine uses wherever a caller does not
+/// choose one explicitly — the single place the default is decided.
+#[must_use]
+pub fn engine_subsumption() -> SubsumptionAlgo {
+    SubsumptionAlgo::default() // Adaptive
+}
+
+/// Compute `D(G)` with the selected algorithm. `Auto` resolves to the
+/// outer-join plan on trees and the naive plan otherwise; the naive
+/// plan's subsumption pass uses [`engine_subsumption`] (adaptive).
 pub fn full_disjunction(
     db: &Database,
     graph: &QueryGraph,
     algo: FdAlgo,
     funcs: &FuncRegistry,
 ) -> Result<AssociationSet> {
+    let algo = match algo {
+        FdAlgo::Auto if graph.is_tree() => FdAlgo::OuterJoin,
+        FdAlgo::Auto => FdAlgo::Naive,
+        chosen => chosen,
+    };
     match algo {
-        FdAlgo::Naive => full_disjunction_naive(db, graph, funcs, SubsumptionAlgo::Partitioned),
-        FdAlgo::OuterJoin => full_disjunction_outer_join(db, graph, funcs),
-        FdAlgo::Auto => {
-            if graph.is_tree() {
-                full_disjunction_outer_join(db, graph, funcs)
-            } else {
-                full_disjunction_naive(db, graph, funcs, SubsumptionAlgo::Partitioned)
-            }
+        FdAlgo::Naive | FdAlgo::Auto => {
+            full_disjunction_naive(db, graph, funcs, engine_subsumption())
         }
+        FdAlgo::OuterJoin => full_disjunction_outer_join(db, graph, funcs),
     }
 }
 
@@ -374,6 +394,42 @@ mod tests {
         // are subsumed; PPh for 205, P for 207 survive
         assert_eq!(d.in_category(0b111).len(), 2);
         assert!(d.categories().contains(&0b010));
+    }
+
+    #[test]
+    fn parallel_naive_fd_is_byte_identical_to_serial() {
+        // cyclic graph forces the naive path; compare WITHOUT sorting so
+        // row order is part of the contract
+        let mut g = path_graph();
+        g.add_edge(0, 2, parse_expr("Children.mid = PhoneDir.ID").unwrap())
+            .unwrap();
+        let serial = clio_relational::exec::with_threads(1, || {
+            full_disjunction_naive(&db(), &g, &funcs(), SubsumptionAlgo::Adaptive).unwrap()
+        });
+        let parallel = clio_relational::exec::with_threads(4, || {
+            full_disjunction_naive(&db(), &g, &funcs(), SubsumptionAlgo::Adaptive).unwrap()
+        });
+        assert_eq!(serial.table().rows(), parallel.table().rows());
+        assert_eq!(serial.table().scheme(), parallel.table().scheme());
+    }
+
+    #[test]
+    fn parallel_naive_fd_emits_worker_spans() {
+        let mut g = path_graph();
+        g.add_edge(0, 2, parse_expr("Children.mid = PhoneDir.ID").unwrap())
+            .unwrap();
+        clio_obs::set_trace_enabled(true);
+        clio_relational::exec::with_threads(4, || {
+            full_disjunction_naive(&db(), &g, &funcs(), SubsumptionAlgo::Adaptive).unwrap()
+        });
+        clio_obs::set_trace_enabled(false);
+        let spans = clio_obs::take_spans();
+        let workers = spans.iter().filter(|s| s.name == "fd.naive.worker").count();
+        // one span per worker thread that participated; the pool spawns
+        // min(threads, items) workers, and a triangle has 7 connected
+        // subgraphs, so at least one worker span must exist
+        assert!(workers >= 1, "no fd.naive.worker spans in {spans:?}");
+        assert!(spans.iter().any(|s| s.name == "fd.naive"), "{spans:?}");
     }
 
     #[test]

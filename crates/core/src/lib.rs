@@ -30,8 +30,8 @@ pub mod prelude {
     pub use crate::example::Example;
     pub use crate::focus::{focused_examples, is_focused, Focus};
     pub use crate::full_disjunction::{
-        full_associations, full_disjunction, full_disjunction_naive, full_disjunction_outer_join,
-        FdAlgo,
+        engine_subsumption, full_associations, full_disjunction, full_disjunction_naive,
+        full_disjunction_outer_join, FdAlgo,
     };
     pub use crate::illustration::{
         is_sufficient, requirements, select_exact, select_greedy, Illustration, Requirement,

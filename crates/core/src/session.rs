@@ -666,7 +666,10 @@ impl Session {
                 out.push_distinct(row);
             }
         }
-        clio_relational::ops::remove_subsumed_partitioned(&mut out);
+        clio_relational::ops::remove_subsumed(
+            &mut out,
+            crate::full_disjunction::engine_subsumption(),
+        );
         Ok(out)
     }
 }

@@ -16,7 +16,7 @@
 use clio_relational::database::Database;
 use clio_relational::error::{Error, Result};
 use clio_relational::funcs::FuncRegistry;
-use clio_relational::ops::remove_subsumed_partitioned;
+use clio_relational::ops::remove_subsumed;
 use clio_relational::schema::{RelSchema, Scheme};
 use clio_relational::table::Table;
 
@@ -90,7 +90,7 @@ impl TargetMapping {
     /// complete tuple available.
     pub fn evaluate_merged(&self, db: &Database, funcs: &FuncRegistry) -> Result<Table> {
         let mut out = self.evaluate_union(db, funcs)?;
-        remove_subsumed_partitioned(&mut out);
+        remove_subsumed(&mut out, crate::full_disjunction::engine_subsumption());
         Ok(out)
     }
 

@@ -23,6 +23,9 @@ pub enum Counter {
     SubsumptionComparisons,
     /// Tuples removed because another tuple subsumed them.
     TuplesSubsumed,
+    /// Adaptive subsumption dispatches (`SubsumptionAlgo::Adaptive`
+    /// calls that picked a concrete algorithm).
+    SubsumptionAdaptiveChoices,
     /// Connected subgraphs enumerated by the naive full disjunction.
     SubgraphsEnumerated,
     /// Binary outer-join steps executed by the outer-join full
@@ -49,12 +52,13 @@ pub const COUNTER_COUNT: usize = Counter::ALL.len();
 
 impl Counter {
     /// All counters, in table order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 14] = [
         Counter::TuplesScanned,
         Counter::JoinProbes,
         Counter::JoinOutputRows,
         Counter::SubsumptionComparisons,
         Counter::TuplesSubsumed,
+        Counter::SubsumptionAdaptiveChoices,
         Counter::SubgraphsEnumerated,
         Counter::OuterJoinSteps,
         Counter::ChaseAlternativesGenerated,
@@ -75,6 +79,7 @@ impl Counter {
             Counter::JoinOutputRows => "join.output_rows",
             Counter::SubsumptionComparisons => "subsumption.comparisons",
             Counter::TuplesSubsumed => "subsumption.removed",
+            Counter::SubsumptionAdaptiveChoices => "subsumption.adaptive_choices",
             Counter::SubgraphsEnumerated => "fd.subgraphs",
             Counter::OuterJoinSteps => "fd.outer_join_steps",
             Counter::ChaseAlternativesGenerated => "chase.alternatives_generated",
@@ -194,13 +199,25 @@ impl MetricsSnapshot {
     /// Human-readable aligned table (used by the `stats` shell command).
     #[must_use]
     pub fn render_table(&self) -> String {
-        let width = Counter::ALL
-            .iter()
-            .map(|c| c.name().len())
-            .max()
-            .unwrap_or(0);
+        self.render_table_filtered("")
+    }
+
+    /// Like [`MetricsSnapshot::render_table`], keeping only counters
+    /// whose dotted name contains `filter` (`"chase"` keeps
+    /// `chase.alternatives_generated` and `chase.alternatives_pruned`).
+    /// An empty filter keeps everything.
+    #[must_use]
+    pub fn render_table_filtered(&self, filter: &str) -> String {
+        let names: Vec<(&'static str, u64)> = self
+            .entries()
+            .filter(|(name, _)| name.contains(filter))
+            .collect();
+        if names.is_empty() {
+            return format!("no counters match `{filter}`\n");
+        }
+        let width = names.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
         let mut out = String::new();
-        for (name, value) in self.entries() {
+        for (name, value) in names {
             out.push_str(&format!("{name:<width$}  {value}\n"));
         }
         out

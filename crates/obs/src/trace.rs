@@ -222,25 +222,66 @@ fn fmt_ns(ns: u128) -> String {
 /// every parent's total equals its self time plus its children's totals.
 #[must_use]
 pub fn render_tree(records: &[SpanRecord]) -> String {
+    render_tree_filtered(records, "")
+}
+
+/// Subtrees of `forest` rooted at the shallowest nodes whose name
+/// contains `filter` (a kept root keeps its whole subtree).
+fn filter_forest(forest: &[SpanNode], filter: &str) -> Vec<SpanNode> {
+    let mut kept = Vec::new();
+    for node in forest {
+        if node.name.contains(filter) {
+            kept.push(node.clone());
+        } else {
+            kept.extend(filter_forest(&node.children, filter));
+        }
+    }
+    kept
+}
+
+fn count_spans(forest: &[SpanNode]) -> u64 {
+    forest
+        .iter()
+        .map(|n| n.count + count_spans(&n.children))
+        .sum()
+}
+
+/// Like [`render_tree`], keeping only subtrees rooted at spans whose
+/// name contains `filter` (the `--trace-filter` CLI flag). An empty
+/// filter keeps the full tree.
+#[must_use]
+pub fn render_tree_filtered(records: &[SpanRecord], filter: &str) -> String {
     if records.is_empty() {
         return String::from("trace: no spans recorded\n");
     }
     let mut threads: Vec<u64> = records.iter().map(|r| r.thread).collect();
     threads.sort_unstable();
     threads.dedup();
+    let mut per_thread: Vec<(u64, Vec<SpanNode>)> = Vec::new();
+    let mut total: u64 = 0;
+    for &t in &threads {
+        let subset: Vec<SpanRecord> = records.iter().filter(|r| r.thread == t).cloned().collect();
+        let forest = filter_forest(&aggregate(&subset), filter);
+        total += count_spans(&forest);
+        if !forest.is_empty() {
+            per_thread.push((t, forest));
+        }
+    }
+    if per_thread.is_empty() {
+        return format!("trace: no spans matching `{filter}`\n");
+    }
     let mut out = format!(
         "trace: {} span{} on {} thread{}\n",
-        records.len(),
-        if records.len() == 1 { "" } else { "s" },
-        threads.len(),
-        if threads.len() == 1 { "" } else { "s" },
+        total,
+        if total == 1 { "" } else { "s" },
+        per_thread.len(),
+        if per_thread.len() == 1 { "" } else { "s" },
     );
-    for &t in &threads {
-        if threads.len() > 1 {
+    let multi = per_thread.len() > 1;
+    for (t, forest) in &per_thread {
+        if multi {
             out.push_str(&format!("thread {t}:\n"));
         }
-        let subset: Vec<SpanRecord> = records.iter().filter(|r| r.thread == t).cloned().collect();
-        let forest = aggregate(&subset);
         fn walk(node: &SpanNode, depth: usize, out: &mut String) {
             let indent = "  ".repeat(depth);
             out.push_str(&format!(
@@ -254,7 +295,7 @@ pub fn render_tree(records: &[SpanRecord]) -> String {
                 walk(child, depth + 1, out);
             }
         }
-        for root in &forest {
+        for root in forest {
             walk(root, 0, &mut out);
         }
     }
@@ -363,6 +404,33 @@ mod tests {
         let json = spans_to_json(&records, 0);
         assert!(json.contains("\"name\": \"root\""));
         assert!(json.contains("\"count\": 3"));
+    }
+
+    #[test]
+    fn filtered_tree_keeps_matching_subtrees() {
+        let _guard = LOCK.lock().unwrap();
+        set_trace_enabled(true);
+        clear_spans();
+        {
+            let _root = span("mapping.evaluate");
+            {
+                let _c = span("fd.naive");
+                let _l = span("ops.join");
+            }
+            let _o = span("ops.remove_subsumed");
+        }
+        set_trace_enabled(false);
+        let records = take_spans();
+        let full = render_tree_filtered(&records, "");
+        assert_eq!(full, render_tree(&records));
+        let fd = render_tree_filtered(&records, "fd.");
+        assert!(fd.contains("- fd.naive"), "{fd}");
+        assert!(fd.contains("  - ops.join"), "{fd}"); // subtree kept
+        assert!(!fd.contains("mapping.evaluate"), "{fd}");
+        assert!(!fd.contains("remove_subsumed"), "{fd}");
+        assert!(fd.starts_with("trace: 2 spans"), "{fd}");
+        let none = render_tree_filtered(&records, "bogus");
+        assert!(none.contains("no spans matching `bogus`"), "{none}");
     }
 
     #[test]

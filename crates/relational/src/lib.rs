@@ -48,6 +48,7 @@ pub mod csv;
 pub mod database;
 pub mod display;
 pub mod error;
+pub mod exec;
 pub mod expr;
 pub mod funcs;
 pub mod index;
@@ -66,6 +67,7 @@ pub mod prelude {
     pub use crate::constraints::{Constraints, ForeignKey, Key};
     pub use crate::database::Database;
     pub use crate::error::{Error, Result};
+    pub use crate::exec;
     pub use crate::expr::{BinOp, Expr};
     pub use crate::funcs::{Arity, FuncRegistry};
     pub use crate::index::ValueIndex;

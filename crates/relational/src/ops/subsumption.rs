@@ -6,23 +6,30 @@
 //! subsumed tuples — they are redundant, repeating information carried by a
 //! more complete tuple (paper Sec 3.2).
 //!
-//! Two algorithms are provided:
+//! Two base algorithms are provided, plus an adaptive dispatcher:
 //!
 //! * [`remove_subsumed_naive`] — the definitional `O(n²)` pairwise check,
 //!   kept as the reference implementation;
 //! * [`remove_subsumed_partitioned`] — partitions tuples by their non-null
 //!   mask; `t1` can only strictly subsume `t2` when
 //!   `mask(t2) ⊊ mask(t1)`, so only mask pairs in strict-subset relation
-//!   are probed, via a hash index on the subsumee-mask projection.
+//!   are probed, via a hash index on the subsumee-mask projection. The
+//!   per-mask probe passes are independent, so on large tables they run
+//!   on the [`crate::exec`] worker pool (`subsumption.worker` spans);
+//! * [`SubsumptionAlgo::Adaptive`] — the engine default: picks one of the
+//!   two per call from the input size and the observed partition shape,
+//!   recording each decision in the `subsumption.adaptive_choices`
+//!   counter.
 //!
 //! Benchmark **B2** (`cargo bench -p clio-bench --bench subsumption`)
 //! compares them; a property test asserts they agree.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use clio_obs::metrics::{self, Counter};
 
 use crate::bitset::Bitset;
+use crate::exec;
 use crate::table::Table;
 use crate::value::Value;
 
@@ -31,10 +38,26 @@ use crate::value::Value;
 pub enum SubsumptionAlgo {
     /// Definitional `O(n²)` pairwise comparison.
     Naive,
-    /// Null-mask partitioning + hash probing (default).
-    #[default]
+    /// Null-mask partitioning + hash probing.
     Partitioned,
+    /// Per-call choice between the two from input size and partition
+    /// shape (default; see [`remove_subsumed`] for the heuristic).
+    #[default]
+    Adaptive,
 }
+
+/// Tables at or below this row count always take the naive algorithm
+/// under [`SubsumptionAlgo::Adaptive`] — at ≤ 64² cheap row comparisons
+/// the quadratic scan beats the partitioned pass's hashing constants.
+const ADAPTIVE_NAIVE_MAX_ROWS: usize = 64;
+
+/// How many leading rows [`SubsumptionAlgo::Adaptive`] samples to
+/// estimate the partition shape (distinct null-mask density).
+const ADAPTIVE_SAMPLE_ROWS: usize = 128;
+
+/// Below this row count the partitioned algorithm stays on the calling
+/// thread — fan-out overhead would exceed the probe work.
+const PARTITIONED_PARALLEL_MIN_ROWS: usize = 256;
 
 /// Does `t1` subsume `t2`? Both rows must have the same arity.
 #[must_use]
@@ -51,11 +74,60 @@ pub fn strictly_subsumes(t1: &[Value], t2: &[Value]) -> bool {
 
 /// Remove strictly subsumed rows (and exact duplicates) from `table`,
 /// preserving first-occurrence order of the survivors.
+///
+/// [`SubsumptionAlgo::Adaptive`] resolves to one of the two base
+/// algorithms per call:
+///
+/// * ≤ [`ADAPTIVE_NAIVE_MAX_ROWS`] rows → naive (the quadratic scan's
+///   constant factors beat partitioning on small inputs);
+/// * a leading-row sample whose null-masks are almost all distinct →
+///   naive (near-unique masks mean tiny partitions, so the partitioned
+///   pass degenerates into a mask-pair scan with hashing overhead);
+/// * otherwise → partitioned.
+///
+/// Every adaptive dispatch increments `subsumption.adaptive_choices`.
 pub fn remove_subsumed(table: &mut Table, algo: SubsumptionAlgo) {
     match algo {
         SubsumptionAlgo::Naive => remove_subsumed_naive(table),
         SubsumptionAlgo::Partitioned => remove_subsumed_partitioned(table),
+        SubsumptionAlgo::Adaptive => {
+            metrics::incr(Counter::SubsumptionAdaptiveChoices);
+            if pick_naive(table) {
+                remove_subsumed_naive(table);
+            } else {
+                remove_subsumed_partitioned(table);
+            }
+        }
     }
+}
+
+/// The [`SubsumptionAlgo::Adaptive`] decision: `true` → naive.
+fn pick_naive(table: &Table) -> bool {
+    let n = table.len();
+    if n <= ADAPTIVE_NAIVE_MAX_ROWS {
+        return true;
+    }
+    // Partition shape from a leading sample: count distinct null-masks.
+    let sample = n.min(ADAPTIVE_SAMPLE_ROWS);
+    let arity = table.scheme().arity();
+    let mut masks: HashSet<Bitset> = HashSet::with_capacity(sample);
+    for row in &table.rows()[..sample] {
+        masks.insert(null_mask(row, arity));
+    }
+    // Near-unique masks → partitions of ~1 row each; the partitioned
+    // algorithm would pay a quadratic mask-pair scan plus hashing for no
+    // pruning, so fall back to the straight quadratic row scan.
+    masks.len() * 2 > sample
+}
+
+fn null_mask(row: &[Value], arity: usize) -> Bitset {
+    let mut mask = Bitset::new(arity);
+    for (k, v) in row.iter().enumerate() {
+        if !v.is_null() {
+            mask.set(k);
+        }
+    }
+    mask
 }
 
 /// Reference implementation: pairwise `O(n²)` scan.
@@ -86,6 +158,13 @@ pub fn remove_subsumed_naive(table: &mut Table) {
 /// Optimized implementation: group rows by non-null mask; for each strict
 /// mask-subset pair `(m_small, m_big)`, probe a hash index of the big
 /// group's rows projected onto `m_small`'s positions.
+///
+/// The per-mask passes only read the shared row/group structures and
+/// only ever remove rows of their own partition, so they are
+/// independent; tables of at least [`PARTITIONED_PARALLEL_MIN_ROWS`]
+/// rows run them on the [`exec`] pool (`subsumption.worker` spans). The
+/// survivors — and the flushed counters, which sum the same per-mask
+/// totals in any schedule — are identical to the serial pass.
 pub fn remove_subsumed_partitioned(table: &mut Table) {
     let _span = clio_obs::span("ops.remove_subsumed");
     table.dedup();
@@ -96,24 +175,25 @@ pub fn remove_subsumed_partitioned(table: &mut Table) {
     // group row indexes by non-null mask
     let mut groups: HashMap<Bitset, Vec<usize>> = HashMap::new();
     for (i, row) in rows.iter().enumerate() {
-        let mut mask = Bitset::new(arity);
-        for (k, v) in row.iter().enumerate() {
-            if !v.is_null() {
-                mask.set(k);
-            }
-        }
-        groups.entry(mask).or_default().push(i);
+        groups.entry(null_mask(row, arity)).or_default().push(i);
+    }
+
+    if groups.len() <= 1 {
+        // one partition ⇒ no strict mask-subset pairs ⇒ nothing beyond
+        // the dedup above can be removed
+        metrics::add(Counter::TuplesSubsumed, 0);
+        return;
     }
 
     let masks: Vec<&Bitset> = groups.keys().collect();
-    let mut keep = vec![true; n];
-    // Work counter: index insertions + probes play the role the pairwise
-    // tests play in the naive algorithm.
-    let mut comparisons: u64 = 0;
 
-    for small in &masks {
+    // One pass per subsumee mask: probe a hash index of the projections
+    // of every strictly-larger group, returning this partition's doomed
+    // row indexes plus its work count (index insertions + probes — the
+    // role the pairwise tests play in the naive algorithm).
+    let probe_mask = |_i: usize, small: &&Bitset| -> (Vec<usize>, u64) {
+        let mut comparisons: u64 = 0;
         let positions: Vec<usize> = small.iter_ones().collect();
-        // Build the set of projections of all rows in strictly-larger groups.
         let mut projections: HashMap<Vec<&Value>, ()> = HashMap::new();
         for big in &masks {
             if small.is_strict_subset(big) {
@@ -124,19 +204,39 @@ pub fn remove_subsumed_partitioned(table: &mut Table) {
                 }
             }
         }
-        if projections.is_empty() {
-            continue;
-        }
-        for &ri in &groups[*small] {
-            let proj: Vec<&Value> = positions.iter().map(|&p| &rows[ri][p]).collect();
-            comparisons += 1;
-            if projections.contains_key(&proj) {
-                keep[ri] = false;
+        let mut doomed = Vec::new();
+        if !projections.is_empty() {
+            for &ri in &groups[*small] {
+                let proj: Vec<&Value> = positions.iter().map(|&p| &rows[ri][p]).collect();
+                comparisons += 1;
+                if projections.contains_key(&proj) {
+                    doomed.push(ri);
+                }
             }
         }
-    }
+        (doomed, comparisons)
+    };
 
-    let removed = keep.iter().filter(|k| !**k).count() as u64;
+    let results: Vec<(Vec<usize>, u64)> = if n >= PARTITIONED_PARALLEL_MIN_ROWS {
+        exec::map_slice(&masks, "subsumption.worker", probe_mask)
+    } else {
+        masks
+            .iter()
+            .enumerate()
+            .map(|(i, m)| probe_mask(i, m))
+            .collect()
+    };
+
+    let mut keep = vec![true; n];
+    let mut comparisons: u64 = 0;
+    let mut removed: u64 = 0;
+    for (doomed, work) in results {
+        comparisons += work;
+        removed += doomed.len() as u64;
+        for ri in doomed {
+            keep[ri] = false;
+        }
+    }
     metrics::add(Counter::SubsumptionComparisons, comparisons);
     metrics::add(Counter::TuplesSubsumed, removed);
     retain_by_mask(table, &keep);
@@ -205,7 +305,11 @@ mod tests {
 
     #[test]
     fn removal_keeps_maximal_rows() {
-        for algo in [SubsumptionAlgo::Naive, SubsumptionAlgo::Partitioned] {
+        for algo in [
+            SubsumptionAlgo::Naive,
+            SubsumptionAlgo::Partitioned,
+            SubsumptionAlgo::Adaptive,
+        ] {
             let mut t = table(&[
                 &["a", "b", "-"],
                 &["a", "b", "c"],
@@ -220,7 +324,11 @@ mod tests {
 
     #[test]
     fn exact_duplicates_are_collapsed() {
-        for algo in [SubsumptionAlgo::Naive, SubsumptionAlgo::Partitioned] {
+        for algo in [
+            SubsumptionAlgo::Naive,
+            SubsumptionAlgo::Partitioned,
+            SubsumptionAlgo::Adaptive,
+        ] {
             let mut t = table(&[&["a", "b"], &["a", "b"], &["c", "-"]]);
             remove_subsumed(&mut t, algo);
             assert_eq!(t.len(), 2, "{algo:?}");
@@ -229,7 +337,11 @@ mod tests {
 
     #[test]
     fn incomparable_rows_all_survive() {
-        for algo in [SubsumptionAlgo::Naive, SubsumptionAlgo::Partitioned] {
+        for algo in [
+            SubsumptionAlgo::Naive,
+            SubsumptionAlgo::Partitioned,
+            SubsumptionAlgo::Adaptive,
+        ] {
             let mut t = table(&[&["a", "-"], &["-", "b"], &["c", "-"]]);
             remove_subsumed(&mut t, algo);
             assert_eq!(t.len(), 3, "{algo:?}");
@@ -238,7 +350,11 @@ mod tests {
 
     #[test]
     fn equal_masks_different_values_survive() {
-        for algo in [SubsumptionAlgo::Naive, SubsumptionAlgo::Partitioned] {
+        for algo in [
+            SubsumptionAlgo::Naive,
+            SubsumptionAlgo::Partitioned,
+            SubsumptionAlgo::Adaptive,
+        ] {
             let mut t = table(&[&["a", "-"], &["b", "-"]]);
             remove_subsumed(&mut t, algo);
             assert_eq!(t.len(), 2, "{algo:?}");
@@ -247,7 +363,11 @@ mod tests {
 
     #[test]
     fn chains_of_subsumption_leave_only_top() {
-        for algo in [SubsumptionAlgo::Naive, SubsumptionAlgo::Partitioned] {
+        for algo in [
+            SubsumptionAlgo::Naive,
+            SubsumptionAlgo::Partitioned,
+            SubsumptionAlgo::Adaptive,
+        ] {
             let mut t = table(&[&["a", "-", "-"], &["a", "b", "-"], &["a", "b", "c"]]);
             remove_subsumed(&mut t, algo);
             assert_eq!(t.len(), 1, "{algo:?}");
@@ -266,10 +386,94 @@ mod tests {
 
     #[test]
     fn empty_table_is_fine() {
-        for algo in [SubsumptionAlgo::Naive, SubsumptionAlgo::Partitioned] {
+        for algo in [
+            SubsumptionAlgo::Naive,
+            SubsumptionAlgo::Partitioned,
+            SubsumptionAlgo::Adaptive,
+        ] {
             let mut t = table(&[]);
             remove_subsumed(&mut t, algo);
             assert!(t.is_empty());
+        }
+    }
+
+    /// Deterministic pseudo-random nullable table (xorshift, no deps):
+    /// small domain so subsumption pairs actually occur.
+    fn random_table(rows: usize, arity: usize, seed: u64) -> Table {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let rows: Vec<Vec<Value>> = (0..rows)
+            .map(|_| {
+                (0..arity)
+                    .map(|_| match next() % 5 {
+                        0 => Value::Null,
+                        v => Value::Int(v as i64),
+                    })
+                    .collect()
+            })
+            .collect();
+        Table::new(scheme(arity), rows)
+    }
+
+    #[test]
+    fn parallel_partitioned_is_byte_identical_to_serial() {
+        // 1200 rows exceeds PARTITIONED_PARALLEL_MIN_ROWS, so the probe
+        // passes fan out; survivors must match the serial pass exactly,
+        // row order included.
+        let base = random_table(1200, 6, 0xC110);
+        let mut serial = base.clone();
+        let mut parallel = base.clone();
+        crate::exec::with_threads(1, || remove_subsumed_partitioned(&mut serial));
+        crate::exec::with_threads(4, || remove_subsumed_partitioned(&mut parallel));
+        assert!(serial.len() < base.len(), "workload must exercise removal");
+        assert_eq!(serial.rows(), parallel.rows());
+    }
+
+    #[test]
+    fn adaptive_picks_naive_on_small_and_partitioned_on_large() {
+        // small: under the row floor
+        assert!(super::pick_naive(&random_table(
+            ADAPTIVE_NAIVE_MAX_ROWS,
+            4,
+            1
+        )));
+        // large with few distinct masks (arity 4, domain {null,1..4}):
+        // the sample repeats masks, so partitioning pays off
+        assert!(!super::pick_naive(&random_table(1000, 4, 2)));
+        // large but every sampled row has a distinct mask → naive
+        let wide = Table::new(
+            scheme(12),
+            (0..200u32)
+                .map(|i| {
+                    (0..12)
+                        .map(|k| {
+                            if (i >> k) & 1 == 0 {
+                                Value::Null
+                            } else {
+                                Value::Int(1)
+                            }
+                        })
+                        .collect()
+                })
+                .collect(),
+        );
+        assert!(super::pick_naive(&wide));
+    }
+
+    #[test]
+    fn adaptive_agrees_with_reference_on_random_tables() {
+        for seed in [3u64, 17, 99] {
+            let base = random_table(700, 5, seed);
+            let mut reference = base.clone();
+            let mut adaptive = base.clone();
+            remove_subsumed_naive(&mut reference);
+            remove_subsumed(&mut adaptive, SubsumptionAlgo::Adaptive);
+            assert_eq!(reference.rows(), adaptive.rows(), "seed {seed}");
         }
     }
 }

@@ -12,10 +12,31 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q
+
+# Tier 2: golden work-counter gate. A scripted demo run with one worker
+# thread must reproduce the checked-in counter snapshot byte-for-byte —
+# counters are per-work-unit sums, so any drift means an algorithmic
+# change (e.g. a hash join silently degrading to a nested loop), which
+# must be acknowledged by regenerating the golden file:
+#
+#   target/release/clio-shell --script examples/scripts/demo.clio \
+#       --metrics scripts/golden/demo-counters.json --threads 1
+echo "==> golden counter gate (demo.clio, --threads 1)"
+tmp_metrics="$(mktemp)"
+trap 'rm -f "$tmp_metrics"' EXIT
+target/release/clio-shell \
+    --script examples/scripts/demo.clio \
+    --metrics "$tmp_metrics" \
+    --threads 1 >/dev/null
+if ! diff -u scripts/golden/demo-counters.json "$tmp_metrics"; then
+    echo "verify: FAILED — work counters drifted from scripts/golden/demo-counters.json" >&2
+    echo "         (if the change is intentional, regenerate the golden file)" >&2
+    exit 1
+fi
 
 echo "verify: OK"

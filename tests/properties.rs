@@ -79,6 +79,29 @@ proptest! {
         }
     }
 
+    /// Parallel naive FD is **byte-identical** to serial — same rows in
+    /// the same order, no canonical sort — on random tree and cyclic
+    /// workloads. This is the determinism contract of the exec layer:
+    /// per-subgraph results are merged in canonical subgraph order no
+    /// matter which worker computed them.
+    #[test]
+    fn parallel_fd_naive_is_byte_identical_to_serial(
+        spec in spec_strategy(&[
+            Topology::Chain, Topology::Star, Topology::RandomTree, Topology::Cycle,
+        ])
+    ) {
+        let w = generate(&spec);
+        let funcs = funcs();
+        let serial = clio::relational::exec::with_threads(1, || {
+            full_disjunction_naive(&w.db, &w.graph, &funcs, SubsumptionAlgo::Adaptive).unwrap()
+        });
+        let parallel = clio::relational::exec::with_threads(4, || {
+            full_disjunction_naive(&w.db, &w.graph, &funcs, SubsumptionAlgo::Adaptive).unwrap()
+        });
+        // deliberately NO sort_canonical: row order is part of the claim
+        prop_assert_eq!(serial.table().rows(), parallel.table().rows());
+    }
+
     /// Subsumption removal: the two algorithms agree on random nullable
     /// tables, and the result contains no strictly-subsumed pair.
     #[test]
