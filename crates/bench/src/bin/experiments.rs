@@ -18,6 +18,7 @@ use clio_core::illustration::{select_exact, select_greedy, Illustration, Suffici
 use clio_core::operators::chase::data_chase;
 use clio_core::operators::walk::data_walk;
 use clio_datagen::synthetic::random_knowledge;
+use clio_incr::EvalCache;
 use clio_relational::funcs::FuncRegistry;
 use clio_relational::index::{scan_occurrences, ValueIndex};
 use clio_relational::ops::{join, remove_subsumed_naive, remove_subsumed_partitioned, JoinKind};
@@ -563,6 +564,61 @@ fn b9_join_ablation() {
     }
 }
 
+fn b10_warm_path() {
+    println!("\n## B10 — operator-sequence warm path: the memoizing evaluation cache\n");
+    println!(
+        "| workload | cold | post-edit | warm | cold/warm | cache.hits \
+         | cache.misses |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    let funcs = FuncRegistry::with_builtins();
+    for (name, w) in [
+        ("chain4 x100", chain(4, 100)),
+        ("chain4 x1000", chain(4, 1000)),
+        ("star5 x1000", star(5, 1000)),
+        ("cycle4 x100", cycle(4, 100)),
+        ("cycle5 x100", cycle(5, 100)),
+    ] {
+        let cache = EvalCache::new();
+        let eval = || {
+            w.mapping
+                .evaluate_cached(&w.db, &funcs, Some(&cache))
+                .expect("valid")
+                .len()
+        };
+        let cold = time(|| {
+            cache.bump_epoch();
+            std::hint::black_box(eval());
+        });
+        eval();
+        let post_edit = time(|| {
+            // a content edit on one base relation: only entries that
+            // depend on R0 are invalidated, the rest are reused
+            cache.bump_version("R0");
+            std::hint::black_box(eval());
+        });
+        eval();
+        let warm = time(|| {
+            std::hint::black_box(eval());
+        });
+        // one counted edit → preview → preview round for the hit/miss mix
+        let work = counted(|| {
+            cache.bump_version("R0");
+            eval();
+            eval();
+        });
+        println!(
+            "| {name} | {} | {} | {} | {} | {} | {} |",
+            fmt(cold),
+            fmt(post_edit),
+            fmt(warm),
+            ratio(cold, warm),
+            work.get(clio_obs::Counter::CacheHits),
+            work.get(clio_obs::Counter::CacheMisses)
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run = |key: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(key));
@@ -593,5 +649,8 @@ fn main() {
     }
     if run("b9") {
         b9_join_ablation();
+    }
+    if run("b10") {
+        b10_warm_path();
     }
 }

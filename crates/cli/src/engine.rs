@@ -355,6 +355,37 @@ impl Shell {
                 }
                 Ok(out)
             }
+            "cache" => {
+                let cache = self.session.cache();
+                let stats = cache.stats();
+                let mut out = format!("cache: {}\n", if cache.enabled() { "on" } else { "off" });
+                let _ = writeln!(
+                    out,
+                    "entries: {} ({} bytes of {} capacity)",
+                    stats.entries,
+                    stats.bytes,
+                    cache.capacity()
+                );
+                let _ = writeln!(
+                    out,
+                    "hits: {}  misses: {}  invalidations: {}  evictions: {}",
+                    stats.hits, stats.misses, stats.invalidations, stats.evictions
+                );
+                Ok(out)
+            }
+            "trace" => {
+                // live span tree, optionally filtered by name — the
+                // in-session counterpart of --trace-filter
+                let records = clio_obs::snapshot_spans();
+                if records.is_empty() {
+                    return Ok(
+                        "no spans recorded (start the shell with --trace or --trace-filter \
+                         to collect)\n"
+                            .to_owned(),
+                    );
+                }
+                Ok(clio_obs::render_tree_filtered(&records, rest))
+            }
             "examples" => {
                 // full example population of the active mapping, capped
                 let db = self.session.database().clone();
@@ -418,6 +449,11 @@ commands:
   stats [reset|<operation>]   engine work counters, optionally filtered
                               by name, e.g. `stats chase` (see
                               docs/observability.md)
+  trace [<name>]              live span tree so far, optionally filtered
+                              by span name (requires --trace or
+                              --trace-filter)
+  cache                       incremental-cache statistics (see
+                              docs/incremental.md)
   profile                     per-attribute statistics of the source
   mine [containment]          mine join candidates from the data
   verify [key,attrs]          data-driven mapping diagnostics
@@ -636,5 +672,42 @@ mod tests {
         run(&mut sh, "corr Children.ID -> ID");
         let s = run(&mut sh, "workspaces");
         assert!(s.starts_with("* 0:"));
+    }
+
+    #[test]
+    fn cache_command_reports_hits_after_repeated_previews() {
+        let mut sh = shell();
+        let s = run(&mut sh, "cache");
+        assert!(s.contains("cache: on"), "{s}");
+        assert!(s.contains("entries: 0"), "{s}");
+        run(&mut sh, "corr Children.ID -> ID");
+        run(&mut sh, "target");
+        run(&mut sh, "target");
+        let s = run(&mut sh, "cache");
+        assert!(sh.session.cache().stats().hits > 0, "{s}");
+        assert!(!s.contains("hits: 0 "), "{s}");
+        // toggled off, the command says so
+        sh.session.set_cache_enabled(false);
+        assert!(run(&mut sh, "cache").contains("cache: off"));
+    }
+
+    #[test]
+    fn trace_command_mirrors_trace_filter() {
+        let mut sh = shell();
+        // with tracing off there is nothing to show, only a hint
+        let s = run(&mut sh, "trace");
+        assert!(s.contains("no spans recorded"), "{s}");
+        clio_obs::set_trace_enabled(true);
+        run(&mut sh, "corr Children.ID -> ID");
+        run(&mut sh, "target");
+        let all = run(&mut sh, "trace");
+        assert!(all.contains("mapping.evaluate"), "{all}");
+        let filtered = run(&mut sh, "trace mapping.evaluate");
+        assert!(filtered.contains("mapping.evaluate"), "{filtered}");
+        assert!(!filtered.contains("mapping.examples"), "{filtered}");
+        let none = run(&mut sh, "trace zzz-not-a-span");
+        assert!(none.contains("no spans matching"), "{none}");
+        clio_obs::set_trace_enabled(false);
+        clio_obs::clear_spans();
     }
 }

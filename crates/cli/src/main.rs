@@ -75,6 +75,9 @@ flags:
                          name contains <name> (e.g. fd.naive)
   --threads <n>          worker threads for parallel evaluation
                          (default: CLIO_THREADS or the hardware)
+  --no-cache             disable the incremental evaluation cache; every
+                         operator recomputes from scratch (see
+                         docs/incremental.md)
   --help, -h             show this help
 
 {}",
@@ -102,6 +105,7 @@ fn main() {
     let mut metrics_path: Option<String> = None;
     let mut trace = false;
     let mut trace_filter: Option<String> = None;
+    let mut no_cache = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -126,6 +130,7 @@ fn main() {
                 metrics_path = Some(require_value(&args, i, "--metrics"));
             }
             "--trace" => trace = true,
+            "--no-cache" => no_cache = true,
             "--trace-filter" => {
                 i += 1;
                 trace_filter = Some(require_value(&args, i, "--trace-filter"));
@@ -192,7 +197,10 @@ fn main() {
         session = Some(Session::new(db, target));
     }
 
-    let session = session.unwrap_or_else(|| Session::new(paper_database(), kids_target()));
+    let mut session = session.unwrap_or_else(|| Session::new(paper_database(), kids_target()));
+    if no_cache {
+        session.set_cache_enabled(false);
+    }
     let mut shell = Shell::new(session);
 
     let stdin;

@@ -197,3 +197,105 @@ fn unknown_flag_exits_2() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
 }
+
+#[test]
+fn no_cache_flag_leaves_stdout_byte_identical() {
+    // the evaluation cache must be invisible in every rendered table:
+    // the same script with and without --no-cache prints the same bytes
+    // (no --metrics here, so the `stats` table is all-zero either way)
+    let cached = shell()
+        .arg("--script")
+        .arg(demo_script())
+        .output()
+        .expect("binary runs");
+    let uncached = shell()
+        .arg("--script")
+        .arg(demo_script())
+        .arg("--no-cache")
+        .output()
+        .expect("binary runs");
+    assert!(cached.status.success() && uncached.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&cached.stdout),
+        String::from_utf8_lossy(&uncached.stdout),
+        "--no-cache changed visible output"
+    );
+}
+
+#[test]
+fn cache_command_and_metrics_report_hits() {
+    let script = tmp_path("cache_script.clio");
+    std::fs::write(
+        &script,
+        "corr Children.ID -> ID\ncorr Children.name -> name\ntarget\ntarget\ncache\nquit\n",
+    )
+    .expect("script written");
+    let metrics = tmp_path("cache_metrics.json");
+    let out = shell()
+        .arg("--script")
+        .arg(&script)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cache: on"), "{stdout}");
+    assert!(!stdout.contains("hits: 0 "), "{stdout}");
+    let json = std::fs::read_to_string(&metrics).expect("metrics file written");
+    std::fs::remove_file(&metrics).ok();
+    assert!(counter(&json, "cache.hits") > 0, "{json}");
+    assert!(counter(&json, "cache.misses") > 0, "{json}");
+    // same script under --no-cache: the command reports off, counters stay 0
+    let out = shell()
+        .arg("--script")
+        .arg(&script)
+        .arg("--metrics")
+        .arg(&metrics)
+        .arg("--no-cache")
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&script).ok();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cache: off"), "{stdout}");
+    let json = std::fs::read_to_string(&metrics).expect("metrics file written");
+    std::fs::remove_file(&metrics).ok();
+    assert_eq!(counter(&json, "cache.hits"), 0, "{json}");
+    assert_eq!(counter(&json, "cache.misses"), 0, "{json}");
+}
+
+#[test]
+fn trace_shell_command_prints_live_span_tree() {
+    let script = tmp_path("trace_script.clio");
+    std::fs::write(
+        &script,
+        "corr Children.ID -> ID\ntarget\ntrace mapping.evaluate\nquit\n",
+    )
+    .expect("script written");
+    // with --trace the in-shell `trace <name>` command shows the spans
+    // collected so far, filtered like --trace-filter
+    let out = shell()
+        .arg("--script")
+        .arg(&script)
+        .arg("--trace")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("- mapping.evaluate"), "{stdout}");
+    // without tracing enabled the command explains how to turn it on
+    let out = shell()
+        .arg("--script")
+        .arg(&script)
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&script).ok();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no spans recorded"), "{stdout}");
+}

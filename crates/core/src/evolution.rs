@@ -56,6 +56,22 @@ pub fn evolve_illustration(
     db: &Database,
     funcs: &FuncRegistry,
 ) -> Result<Evolution> {
+    evolve_illustration_cached(old_illustration, old_mapping, new_mapping, db, funcs, None)
+}
+
+/// Like [`evolve_illustration`], with the new mapping's example
+/// population built over cached data associations: continuity is then
+/// effectively checked against the *delta* of `D(G)` — the subgraphs an
+/// operator did not touch are served from the cache, only the new ones
+/// are joined. `None` is exactly the uncached path.
+pub fn evolve_illustration_cached(
+    old_illustration: &Illustration,
+    old_mapping: &Mapping,
+    new_mapping: &Mapping,
+    db: &Database,
+    funcs: &FuncRegistry,
+    cache: Option<&clio_incr::EvalCache>,
+) -> Result<Evolution> {
     let _span = clio_obs::span("evolution.evolve");
     let old_scheme = old_mapping.graph.scheme(db)?;
     let new_scheme = new_mapping.graph.scheme(db)?;
@@ -65,7 +81,7 @@ pub fn evolve_illustration(
         ));
     }
 
-    let population = new_mapping.examples(db, funcs)?;
+    let population = new_mapping.examples_cached(db, funcs, cache)?;
     let mut chosen: Vec<usize> = Vec::new();
 
     // 1. extend every old example
@@ -312,6 +328,97 @@ mod tests {
             new_m.target.arity(),
             SufficiencyScope::mapping(),
         ));
+    }
+
+    #[test]
+    fn extends_errors_when_old_scheme_is_not_contained() {
+        let database = db();
+        let small = old_mapping().graph.scheme(&database).unwrap();
+        let big = new_mapping().graph.scheme(&database).unwrap();
+        // asking whether a *small* row extends a *big* one is ill-posed:
+        // the big scheme is not contained in the small one
+        let old = vec![
+            Value::str("002"),
+            Value::str("202"),
+            Value::str("202"),
+            Value::str("UofT"),
+        ];
+        let new = vec![Value::str("002"), Value::str("202")];
+        assert!(extends(&big, &old, &small, &new).is_err());
+    }
+
+    #[test]
+    fn extends_on_identical_schemes_is_subsumption() {
+        let database = db();
+        let scheme = old_mapping().graph.scheme(&database).unwrap();
+        let sparse = vec![Value::str("002"), Value::Null];
+        let filled = vec![Value::str("002"), Value::str("202")];
+        // same scheme: extension = the new row subsumes the old one
+        assert!(extends(&scheme, &sparse, &scheme, &filled).unwrap());
+        assert!(extends(&scheme, &filled, &scheme, &filled).unwrap());
+        assert!(!extends(&scheme, &filled, &scheme, &sparse).unwrap());
+    }
+
+    #[test]
+    fn continuity_fails_on_nonempty_illustration_missing_one_old_example() {
+        let database = db();
+        let old_m = old_mapping();
+        let new_m = new_mapping();
+        let old_pop = old_m.examples(&database, &funcs()).unwrap();
+        assert!(old_pop.len() >= 2);
+        let old_ill = Illustration {
+            examples: old_pop.clone(),
+        };
+        let new_pop = new_m.examples(&database, &funcs()).unwrap();
+        let old_scheme = old_m.graph.scheme(&database).unwrap();
+        let new_scheme = new_m.graph.scheme(&database).unwrap();
+        // keep only the extensions of the FIRST old example: a non-empty
+        // new illustration that still violates continuity, because the
+        // other old examples have no extension in it
+        let partial = Illustration {
+            examples: new_pop
+                .iter()
+                .filter(|e| {
+                    extends(
+                        &old_scheme,
+                        &old_pop[0].association,
+                        &new_scheme,
+                        &e.association,
+                    )
+                    .unwrap()
+                })
+                .cloned()
+                .collect(),
+        };
+        assert!(!partial.is_empty());
+        assert!(!continuity_holds(&old_ill, &partial, &old_scheme, &new_scheme).unwrap());
+        // the full new population, by contrast, is continuous
+        let full = Illustration { examples: new_pop };
+        assert!(continuity_holds(&old_ill, &full, &old_scheme, &new_scheme).unwrap());
+    }
+
+    #[test]
+    fn cached_evolution_matches_uncached() {
+        let database = db();
+        let old_m = old_mapping();
+        let new_m = new_mapping();
+        let old_pop = old_m.examples(&database, &funcs()).unwrap();
+        let old_ill = Illustration::minimal_sufficient(&old_pop, old_m.target.arity());
+        let plain = evolve_illustration(&old_ill, &old_m, &new_m, &database, &funcs()).unwrap();
+        let cache = clio_incr::EvalCache::new();
+        for _ in 0..2 {
+            let cached = evolve_illustration_cached(
+                &old_ill,
+                &old_m,
+                &new_m,
+                &database,
+                &funcs(),
+                Some(&cache),
+            )
+            .unwrap();
+            assert_eq!(plain, cached);
+        }
+        assert!(cache.stats().hits >= 1, "second evolution must hit");
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! Incremental evaluation: structural fingerprints for query graphs and
+//! mappings, and cache-routed full disjunction.
+//!
+//! The paper's interactive loop (Sec 5.3, Sec 6) refines one mapping
+//! state into the next — each operator changes a single edge, filter, or
+//! correspondence, so most per-subgraph full data associations `F(J)`
+//! and most mapping-query results survive the step unchanged. This
+//! module keys those results by **structural fingerprints** and stores
+//! them in a [`clio_incr::EvalCache`]:
+//!
+//! * `F(J)` — one entry per induced connected subgraph, keyed by the
+//!   subgraph's node aliases/relations, its induced edge predicates, and
+//!   a content version per base relation. Cached *unpadded*, so growing
+//!   the graph reuses every old subgraph and computes only the ones
+//!   touching new nodes or edges.
+//! * `D(G)` — the assembled full disjunction per graph and algorithm.
+//! * `Q(M)` — the evaluated mapping query per full mapping state
+//!   (graph + correspondences + source filters + target filters).
+//!
+//! Every cached path is byte-identical to the uncached one: lookups are
+//! keyed by exactly the ingredients the computation reads, assembly
+//! happens in the same canonical order, and a property test in
+//! `tests/properties.rs` replays random operator sequences cache-on vs.
+//! cache-off. See `docs/incremental.md` for the full scheme.
+
+use clio_incr::{EvalCache, Fingerprint, FingerprintBuilder};
+use clio_obs::metrics::{self, Counter};
+use clio_relational::database::Database;
+use clio_relational::error::Result;
+use clio_relational::funcs::FuncRegistry;
+use clio_relational::ops::{minimum_union_all, pad_to};
+use clio_relational::table::Table;
+
+use crate::association::AssociationSet;
+use crate::full_disjunction::{
+    engine_subsumption, full_associations, full_disjunction, full_disjunction_outer_join, FdAlgo,
+};
+use crate::mapping::Mapping;
+use crate::query_graph::QueryGraph;
+use crate::subgraph::connected_subsets;
+
+/// Mix a graph's full structure into a fingerprint: every node (alias,
+/// stored relation, content version) in id order, every edge (endpoint
+/// ids, predicate text) in insertion order, plus the cache epoch. Node
+/// and edge *order* are deliberately part of the digest — join order,
+/// and therefore output column and row order, depend on them.
+fn hash_graph(fp: &mut FingerprintBuilder, graph: &QueryGraph, cache: &EvalCache) {
+    fp.number(cache.epoch());
+    for n in graph.nodes() {
+        fp.text(&n.alias)
+            .text(&n.relation)
+            .number(cache.version(&n.relation));
+    }
+    for e in graph.edges() {
+        fp.number(e.a as u64)
+            .number(e.b as u64)
+            .text(&e.predicate.to_string());
+    }
+}
+
+/// Fingerprint of the full data associations `F(J)` of the induced
+/// subgraph `mask`: the member nodes (with ids, so the join order is
+/// captured), the induced edges, and the content versions involved.
+#[must_use]
+pub fn subgraph_fingerprint(graph: &QueryGraph, mask: u64, cache: &EvalCache) -> Fingerprint {
+    let mut fp = FingerprintBuilder::new("F(J)");
+    fp.number(cache.epoch());
+    for (i, n) in graph.nodes().iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            fp.number(i as u64)
+                .text(&n.alias)
+                .text(&n.relation)
+                .number(cache.version(&n.relation));
+        }
+    }
+    for e in graph.edges() {
+        if mask & (1 << e.a) != 0 && mask & (1 << e.b) != 0 {
+            fp.number(e.a as u64)
+                .number(e.b as u64)
+                .text(&e.predicate.to_string());
+        }
+    }
+    fp.finish()
+}
+
+/// Fingerprint of the assembled `D(G)` under a given algorithm tag
+/// (`"D(G).tree"` / `"D(G).naive"` — the two plans emit different row
+/// orders, so they must not share entries).
+#[must_use]
+pub fn graph_fingerprint(graph: &QueryGraph, cache: &EvalCache, tag: &str) -> Fingerprint {
+    let mut fp = FingerprintBuilder::new(tag);
+    hash_graph(&mut fp, graph, cache);
+    fp.finish()
+}
+
+/// Fingerprint of a full mapping query `Q(M)`: the graph plus the
+/// correspondences, source filters, target filters, and target schema.
+#[must_use]
+pub fn mapping_fingerprint(mapping: &Mapping, cache: &EvalCache) -> Fingerprint {
+    let mut fp = FingerprintBuilder::new("Q(M)");
+    hash_graph(&mut fp, &mapping.graph, cache);
+    for v in &mapping.correspondences {
+        fp.text(&v.expr.to_string()).text(&v.target_attr);
+    }
+    for e in &mapping.source_filters {
+        fp.text(&e.to_string());
+    }
+    for e in &mapping.target_filters {
+        fp.text(&e.to_string());
+    }
+    fp.text(&mapping.target.to_string());
+    fp.finish()
+}
+
+/// The base relations a graph's evaluation reads (sorted, deduplicated)
+/// — the dependency set declared on cache entries.
+#[must_use]
+pub fn relation_deps(graph: &QueryGraph) -> Vec<String> {
+    let mut deps: Vec<String> = graph.nodes().iter().map(|n| n.relation.clone()).collect();
+    deps.sort_unstable();
+    deps.dedup();
+    deps
+}
+
+fn mask_deps(graph: &QueryGraph, mask: u64) -> Vec<String> {
+    let mut deps: Vec<String> = graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, n)| n.relation.clone())
+        .collect();
+    deps.sort_unstable();
+    deps.dedup();
+    deps
+}
+
+/// The naive `D(G)` plan with per-subgraph memoization: cached `F(J)`s
+/// are looked up first, only the misses are computed (on the worker
+/// pool, in canonical subgraph order), and assembly — padding then one
+/// n-ary minimum union — runs in the same order as the uncached plan,
+/// so the output is byte-identical. `fd.subgraphs` counts only the
+/// subgraphs actually computed.
+fn full_disjunction_naive_cached(
+    db: &Database,
+    graph: &QueryGraph,
+    funcs: &FuncRegistry,
+    cache: &EvalCache,
+) -> Result<AssociationSet> {
+    let _span = clio_obs::span("fd.naive");
+    let scheme = graph.scheme(db)?;
+    let masks = connected_subsets(graph);
+    let mut slots: Vec<Option<Table>> = masks
+        .iter()
+        .map(|&mask| cache.get(subgraph_fingerprint(graph, mask, cache)))
+        .collect();
+    let missing: Vec<(usize, u64)> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, slot)| slot.is_none())
+        .map(|(i, _)| (i, masks[i]))
+        .collect();
+    if !missing.is_empty() {
+        let fresh: Vec<Table> = clio_relational::exec::map_slice(
+            &missing,
+            "fd.naive.worker",
+            |_, &(_, mask)| -> Result<Table> { full_associations(db, graph, mask, funcs) },
+        )
+        .into_iter()
+        .collect::<Result<_>>()?;
+        metrics::add(Counter::SubgraphsEnumerated, fresh.len() as u64);
+        for (&(i, mask), table) in missing.iter().zip(&fresh) {
+            cache.insert(
+                subgraph_fingerprint(graph, mask, cache),
+                mask_deps(graph, mask),
+                table,
+            );
+            slots[i] = Some(table.clone());
+        }
+    }
+    let padded: Vec<Table> = slots
+        .iter()
+        .map(|t| pad_to(t.as_ref().expect("all slots filled"), &scheme))
+        .collect::<Result<_>>()?;
+    let refs: Vec<&Table> = padded.iter().collect();
+    let table = minimum_union_all(&refs, engine_subsumption())?;
+    Ok(AssociationSet::from_table(graph, table))
+}
+
+/// Compute `D(G)` through the cache. `cache: None` (or a disabled
+/// cache) takes exactly the uncached [`full_disjunction`] path. With a
+/// live cache, the assembled result is memoized per graph+algorithm,
+/// and the naive plan additionally memoizes per-subgraph `F(J)`s so an
+/// edit to one relation recomputes only the subgraphs touching it.
+pub fn full_disjunction_cached(
+    db: &Database,
+    graph: &QueryGraph,
+    algo: FdAlgo,
+    funcs: &FuncRegistry,
+    cache: Option<&EvalCache>,
+) -> Result<AssociationSet> {
+    let Some(cache) = cache.filter(|c| c.enabled()) else {
+        return full_disjunction(db, graph, algo, funcs);
+    };
+    let algo = match algo {
+        FdAlgo::Auto if graph.is_tree() => FdAlgo::OuterJoin,
+        FdAlgo::Auto => FdAlgo::Naive,
+        chosen => chosen,
+    };
+    let _span = clio_obs::span("incr.fd");
+    let tag = match algo {
+        FdAlgo::OuterJoin => "D(G).tree",
+        _ => "D(G).naive",
+    };
+    let fp = graph_fingerprint(graph, cache, tag);
+    if let Some(table) = cache.get(fp) {
+        return Ok(AssociationSet::from_table(graph, table));
+    }
+    let set = match algo {
+        FdAlgo::OuterJoin => full_disjunction_outer_join(db, graph, funcs)?,
+        _ => full_disjunction_naive_cached(db, graph, funcs, cache)?,
+    };
+    cache.insert(fp, relation_deps(graph), set.table());
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_graph::Node;
+    use clio_relational::parser::parse_expr;
+    use clio_relational::relation::RelationBuilder;
+    use clio_relational::value::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_relation(
+            RelationBuilder::new("Children")
+                .attr_not_null("ID", DataType::Str)
+                .attr("mid", DataType::Str)
+                .row(vec!["001".into(), "201".into()])
+                .row(vec!["002".into(), "202".into()])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            RelationBuilder::new("Parents")
+                .attr_not_null("ID", DataType::Str)
+                .attr("affiliation", DataType::Str)
+                .row(vec!["201".into(), "IBM".into()])
+                .row(vec!["202".into(), "UofT".into()])
+                .row(vec!["205".into(), "MIT".into()])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.add_relation(
+            RelationBuilder::new("PhoneDir")
+                .attr_not_null("ID", DataType::Str)
+                .attr("number", DataType::Str)
+                .row(vec!["201".into(), "555-0101".into()])
+                .row(vec!["202".into(), "555-0102".into()])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn tree_graph() -> QueryGraph {
+        let mut g = QueryGraph::new();
+        let c = g.add_node(Node::new("Children")).unwrap();
+        let p = g.add_node(Node::new("Parents")).unwrap();
+        g.add_edge(c, p, parse_expr("Children.mid = Parents.ID").unwrap())
+            .unwrap();
+        g
+    }
+
+    fn cyclic_graph() -> QueryGraph {
+        let mut g = tree_graph();
+        let ph = g.add_node(Node::new("PhoneDir").with_code("Ph")).unwrap();
+        g.add_edge(1, ph, parse_expr("PhoneDir.ID = Parents.ID").unwrap())
+            .unwrap();
+        g.add_edge(0, ph, parse_expr("Children.mid = PhoneDir.ID").unwrap())
+            .unwrap();
+        g
+    }
+
+    fn funcs() -> FuncRegistry {
+        FuncRegistry::with_builtins()
+    }
+
+    #[test]
+    fn cached_fd_is_byte_identical_on_trees_and_cycles() {
+        for g in [tree_graph(), cyclic_graph()] {
+            let cache = EvalCache::new();
+            let plain = full_disjunction(&db(), &g, FdAlgo::Auto, &funcs()).unwrap();
+            for _ in 0..2 {
+                let cached =
+                    full_disjunction_cached(&db(), &g, FdAlgo::Auto, &funcs(), Some(&cache))
+                        .unwrap();
+                assert_eq!(plain.table().scheme(), cached.table().scheme());
+                assert_eq!(plain.table().rows(), cached.table().rows());
+            }
+            assert!(cache.stats().hits >= 1, "second run must hit");
+        }
+    }
+
+    #[test]
+    fn version_bump_recomputes_only_affected_subgraphs() {
+        let g = cyclic_graph();
+        let cache = EvalCache::new();
+        full_disjunction_cached(&db(), &g, FdAlgo::Auto, &funcs(), Some(&cache)).unwrap();
+        let cold_misses = cache.stats().misses;
+        // a PhoneDir edit keeps every Children/Parents-only subgraph
+        cache.bump_version("PhoneDir");
+        full_disjunction_cached(&db(), &g, FdAlgo::Auto, &funcs(), Some(&cache)).unwrap();
+        let warm = cache.stats();
+        let warm_misses = warm.misses - cold_misses;
+        assert!(
+            warm_misses < cold_misses,
+            "post-edit run should reuse untouched subgraphs \
+             (cold {cold_misses} vs warm {warm_misses})"
+        );
+        assert!(warm.hits >= 1, "untouched subgraphs must be served");
+        assert!(warm.invalidations >= 1);
+        // and the recomputed result is still correct
+        let plain = full_disjunction(&db(), &g, FdAlgo::Auto, &funcs()).unwrap();
+        let cached =
+            full_disjunction_cached(&db(), &g, FdAlgo::Auto, &funcs(), Some(&cache)).unwrap();
+        assert_eq!(plain.table().rows(), cached.table().rows());
+    }
+
+    #[test]
+    fn none_and_disabled_caches_bypass_entirely() {
+        let g = tree_graph();
+        let plain = full_disjunction(&db(), &g, FdAlgo::Auto, &funcs()).unwrap();
+        let none = full_disjunction_cached(&db(), &g, FdAlgo::Auto, &funcs(), None).unwrap();
+        assert_eq!(plain.table().rows(), none.table().rows());
+        let cache = EvalCache::new();
+        cache.set_enabled(false);
+        let off = full_disjunction_cached(&db(), &g, FdAlgo::Auto, &funcs(), Some(&cache)).unwrap();
+        assert_eq!(plain.table().rows(), off.table().rows());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn fingerprints_separate_structure_versions_and_algorithms() {
+        let cache = EvalCache::new();
+        let tree = tree_graph();
+        let cyc = cyclic_graph();
+        assert_ne!(
+            graph_fingerprint(&tree, &cache, "D(G).tree"),
+            graph_fingerprint(&cyc, &cache, "D(G).tree")
+        );
+        assert_ne!(
+            graph_fingerprint(&tree, &cache, "D(G).tree"),
+            graph_fingerprint(&tree, &cache, "D(G).naive")
+        );
+        let before = graph_fingerprint(&tree, &cache, "D(G).tree");
+        cache.bump_version("Parents");
+        assert_ne!(before, graph_fingerprint(&tree, &cache, "D(G).tree"));
+        // subgraphs not touching Parents keep their fingerprint
+        let mask_children = 0b001;
+        let a = subgraph_fingerprint(&cyc, mask_children, &cache);
+        cache.bump_version("Parents");
+        assert_eq!(a, subgraph_fingerprint(&cyc, mask_children, &cache));
+        cache.bump_version("Children");
+        assert_ne!(a, subgraph_fingerprint(&cyc, mask_children, &cache));
+    }
+
+    #[test]
+    fn mapping_fingerprint_tracks_every_component() {
+        use crate::correspondence::ValueCorrespondence;
+        use clio_relational::schema::{Attribute, RelSchema};
+        let cache = EvalCache::new();
+        let target = RelSchema::new(
+            "Kids",
+            vec![
+                Attribute::not_null("ID", DataType::Str),
+                Attribute::new("affiliation", DataType::Str),
+            ],
+        )
+        .unwrap();
+        let base = Mapping::new(tree_graph(), target)
+            .with_correspondence(ValueCorrespondence::identity("Children.ID", "ID"));
+        let fp = mapping_fingerprint(&base, &cache);
+        let with_corr = base
+            .clone()
+            .with_correspondence(ValueCorrespondence::identity(
+                "Parents.affiliation",
+                "affiliation",
+            ));
+        assert_ne!(fp, mapping_fingerprint(&with_corr, &cache));
+        let with_source = base
+            .clone()
+            .with_source_filter(parse_expr("Children.mid IS NOT NULL").unwrap());
+        assert_ne!(fp, mapping_fingerprint(&with_source, &cache));
+        let with_target = base
+            .clone()
+            .with_target_filter(parse_expr("Kids.ID IS NOT NULL").unwrap());
+        assert_ne!(fp, mapping_fingerprint(&with_target, &cache));
+        assert_ne!(
+            mapping_fingerprint(&with_source, &cache),
+            mapping_fingerprint(&with_target, &cache)
+        );
+    }
+
+    #[test]
+    fn epoch_bump_changes_all_fingerprints() {
+        let cache = EvalCache::new();
+        let g = tree_graph();
+        let a = graph_fingerprint(&g, &cache, "D(G).tree");
+        let s = subgraph_fingerprint(&g, 0b11, &cache);
+        cache.bump_epoch();
+        assert_ne!(a, graph_fingerprint(&g, &cache, "D(G).tree"));
+        assert_ne!(s, subgraph_fingerprint(&g, 0b11, &cache));
+    }
+}

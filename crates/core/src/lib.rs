@@ -8,6 +8,7 @@ pub mod example;
 pub mod focus;
 pub mod full_disjunction;
 pub mod illustration;
+pub mod incremental;
 pub mod knowledge;
 pub mod mapping;
 pub mod mining;
@@ -26,7 +27,9 @@ pub mod verify;
 pub mod prelude {
     pub use crate::association::AssociationSet;
     pub use crate::correspondence::ValueCorrespondence;
-    pub use crate::evolution::{continuity_holds, evolve_illustration, Evolution};
+    pub use crate::evolution::{
+        continuity_holds, evolve_illustration, evolve_illustration_cached, Evolution,
+    };
     pub use crate::example::Example;
     pub use crate::focus::{focused_examples, is_focused, Focus};
     pub use crate::full_disjunction::{
@@ -36,6 +39,10 @@ pub mod prelude {
     pub use crate::illustration::{
         is_sufficient, requirements, select_exact, select_greedy, Illustration, Requirement,
         SufficiencyScope,
+    };
+    pub use crate::incremental::{
+        full_disjunction_cached, graph_fingerprint, mapping_fingerprint, relation_deps,
+        subgraph_fingerprint,
     };
     pub use crate::knowledge::{JoinSpec, PathStep, Provenance, SchemaKnowledge};
     pub use crate::mapping::{Mapping, MappingEvaluator};
@@ -55,4 +62,5 @@ pub mod prelude {
     pub use crate::subgraph::{connected_subsets, connected_subsets_exhaustive};
     pub use crate::target_mapping::{Contribution, TargetMapping};
     pub use crate::verify::{verify_mapping, Finding};
+    pub use clio_incr::{CacheStats, EvalCache, Fingerprint, FingerprintBuilder};
 }

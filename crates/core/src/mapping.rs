@@ -231,6 +231,18 @@ impl Mapping {
         full_disjunction(db, &self.graph, algo, funcs)
     }
 
+    /// Like [`Mapping::associations`], routed through an incremental
+    /// cache. `None` (or a disabled cache) is exactly the uncached path.
+    pub fn associations_cached(
+        &self,
+        db: &Database,
+        algo: FdAlgo,
+        funcs: &FuncRegistry,
+        cache: Option<&clio_incr::EvalCache>,
+    ) -> Result<AssociationSet> {
+        crate::incremental::full_disjunction_cached(db, &self.graph, algo, funcs, cache)
+    }
+
     /// Prepare an evaluator with all expressions bound.
     pub fn evaluator(&self, db: &Database, funcs: &FuncRegistry) -> Result<MappingEvaluator> {
         MappingEvaluator::new(self, db, funcs)
@@ -239,14 +251,38 @@ impl Mapping {
     /// Evaluate the mapping query: the subset of the target relation this
     /// mapping produces (paper Def 3.14). Result rows are distinct.
     pub fn evaluate(&self, db: &Database, funcs: &FuncRegistry) -> Result<Table> {
+        self.evaluate_cached(db, funcs, None)
+    }
+
+    /// Like [`Mapping::evaluate`], routed through an incremental cache:
+    /// the result table is memoized per full mapping state, and the
+    /// underlying `D(G)` per graph, so repeating an evaluation — or
+    /// re-evaluating after a change that left the graph intact — skips
+    /// the joins. `None` is exactly the uncached path.
+    pub fn evaluate_cached(
+        &self,
+        db: &Database,
+        funcs: &FuncRegistry,
+        cache: Option<&clio_incr::EvalCache>,
+    ) -> Result<Table> {
         let _span = clio_obs::span("mapping.evaluate");
-        let assocs = self.associations(db, FdAlgo::Auto, funcs)?;
+        let cache = cache.filter(|c| c.enabled());
+        let fp = cache.map(|c| crate::incremental::mapping_fingerprint(self, c));
+        if let (Some(c), Some(fp)) = (cache, fp) {
+            if let Some(table) = c.get(fp) {
+                return Ok(table);
+            }
+        }
+        let assocs = self.associations_cached(db, FdAlgo::Auto, funcs, cache)?;
         let eval = self.evaluator(db, funcs)?;
         let mut out = Table::empty(self.target_scheme());
         for i in 0..assocs.len() {
             if let Some(row) = eval.target_row_if_passing(assocs.row(i), funcs)? {
                 out.push_distinct(row);
             }
+        }
+        if let (Some(c), Some(fp)) = (cache, fp) {
+            c.insert(fp, crate::incremental::relation_deps(&self.graph), &out);
         }
         Ok(out)
     }
@@ -255,8 +291,19 @@ impl Mapping {
     /// association `d`, with target tuple `Q_{φ(M)}(d)` and positive flag
     /// `d ⊨ C_S ∧ t ⊨ C_T`.
     pub fn examples(&self, db: &Database, funcs: &FuncRegistry) -> Result<Vec<Example>> {
+        self.examples_cached(db, funcs, None)
+    }
+
+    /// Like [`Mapping::examples`], with the `D(G)` the population is
+    /// built over served from an incremental cache when available.
+    pub fn examples_cached(
+        &self,
+        db: &Database,
+        funcs: &FuncRegistry,
+        cache: Option<&clio_incr::EvalCache>,
+    ) -> Result<Vec<Example>> {
         let _span = clio_obs::span("mapping.examples");
-        let assocs = self.associations(db, FdAlgo::Auto, funcs)?;
+        let assocs = self.associations_cached(db, FdAlgo::Auto, funcs, cache)?;
         self.examples_for(&assocs, db, funcs)
     }
 

@@ -21,8 +21,10 @@ use clio_relational::schema::RelSchema;
 use clio_relational::table::Table;
 use clio_relational::value::Value;
 
+use clio_incr::EvalCache;
+
 use crate::correspondence::ValueCorrespondence;
-use crate::evolution::evolve_illustration;
+use crate::evolution::evolve_illustration_cached;
 use crate::illustration::Illustration;
 use crate::knowledge::SchemaKnowledge;
 use crate::mapping::Mapping;
@@ -68,6 +70,9 @@ pub struct Session {
     generation: usize,
     /// Maximum path length searched by data walks.
     pub walk_max_steps: usize,
+    /// Memoized evaluation results (`F(J)`, `D(G)`, mapping queries),
+    /// invalidated by relation edits and function-registry changes.
+    cache: EvalCache,
 }
 
 impl Session {
@@ -90,6 +95,7 @@ impl Session {
             next_id: 0,
             generation: 0,
             walk_max_steps: 4,
+            cache: EvalCache::new(),
         }
     }
 
@@ -100,9 +106,71 @@ impl Session {
     }
 
     /// The function registry (register custom correspondence functions
-    /// here before adding correspondences that use them).
+    /// here before adding correspondences that use them). Taking the
+    /// mutable registry conservatively invalidates the whole evaluation
+    /// cache — a redefined function can change any cached result.
     pub fn funcs_mut(&mut self) -> &mut FuncRegistry {
+        self.cache.bump_epoch();
         &mut self.funcs
+    }
+
+    /// The session's incremental evaluation cache (for statistics and
+    /// benchmarks; see `docs/incremental.md`).
+    #[must_use]
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Turn the incremental cache on or off (on by default). Disabling
+    /// routes every operator through the plain evaluation paths; output
+    /// is byte-identical either way.
+    pub fn set_cache_enabled(&mut self, on: bool) {
+        self.cache.set_enabled(on);
+    }
+
+    /// Replace the contents of one base relation (a content edit — the
+    /// schema must stay identical, so every mapping stays valid). The
+    /// value index is rebuilt, dependent cache entries are invalidated,
+    /// and each workspace's illustration is *evolved* over the new data
+    /// (paper Sec 5.3 continuity, applied to data instead of graph
+    /// changes): familiar examples that survive the edit are retained,
+    /// sufficiency is repaired by adding examples.
+    pub fn replace_relation(&mut self, rel: clio_relational::relation::Relation) -> Result<()> {
+        let name = rel.name().to_owned();
+        let old_schema = self.db.relation(&name)?.schema();
+        if old_schema != rel.schema() {
+            return Err(Error::Invalid(format!(
+                "replace_relation only supports content edits; \
+                 the schema of `{name}` changed"
+            )));
+        }
+        self.db.replace_relation(rel)?;
+        self.index = ValueIndex::build(&self.db);
+        self.cache.bump_version(&name);
+        let ids: Vec<usize> = self.workspaces.iter().map(|w| w.id).collect();
+        for id in ids {
+            let w = self
+                .workspaces
+                .iter()
+                .find(|w| w.id == id)
+                .expect("workspace ids are stable within this loop")
+                .clone();
+            let evo = evolve_illustration_cached(
+                &w.illustration,
+                &w.mapping,
+                &w.mapping,
+                &self.db,
+                &self.funcs,
+                Some(&self.cache),
+            )?;
+            let ws = self
+                .workspaces
+                .iter_mut()
+                .find(|w| w.id == id)
+                .expect("workspace ids are stable within this loop");
+            ws.illustration = evo.illustration;
+        }
+        Ok(())
     }
 
     /// All workspaces.
@@ -208,7 +276,7 @@ impl Session {
     }
 
     fn illustrate(&self, mapping: &Mapping) -> Result<Illustration> {
-        let population = mapping.examples(&self.db, &self.funcs)?;
+        let population = mapping.examples_cached(&self.db, &self.funcs, Some(&self.cache))?;
         Ok(Illustration::minimal_sufficient(
             &population,
             mapping.target.arity(),
@@ -414,12 +482,13 @@ impl Session {
             }
             m.validate(&self.db, &self.funcs)?;
             // continuity: evolve the origin's illustration
-            let evo = evolve_illustration(
+            let evo = evolve_illustration_cached(
                 &origin.illustration,
                 &origin.mapping,
                 &m,
                 &self.db,
                 &self.funcs,
+                Some(&self.cache),
             )?;
             let id = self.next_id;
             self.next_id += 1;
@@ -464,12 +533,13 @@ impl Session {
         let generation = self.generation;
         let mut ids = Vec::new();
         for alt in &alternatives {
-            let evo = evolve_illustration(
+            let evo = evolve_illustration_cached(
                 &active.illustration,
                 &active.mapping,
                 &alt.mapping,
                 &self.db,
                 &self.funcs,
+                Some(&self.cache),
             )?;
             let id = self.next_id;
             self.next_id += 1;
@@ -578,7 +648,9 @@ impl Session {
         let w = self
             .active()
             .ok_or_else(|| Error::Invalid("no active workspace".into()))?;
-        let population = w.mapping.examples(&self.db, &self.funcs)?;
+        let population = w
+            .mapping
+            .examples_cached(&self.db, &self.funcs, Some(&self.cache))?;
         Ok(w.illustration.alternatives_for(
             slot,
             &population,
@@ -603,7 +675,9 @@ impl Session {
         let w = self
             .active()
             .ok_or_else(|| Error::Invalid("no active workspace".into()))?;
-        let population = w.mapping.examples(&self.db, &self.funcs)?;
+        let population = w
+            .mapping
+            .examples_cached(&self.db, &self.funcs, Some(&self.cache))?;
         let arity = w.mapping.target.arity();
         let ws = self.active_mut()?;
         let ok = ws.illustration.swap(
@@ -662,7 +736,10 @@ impl Session {
             mappings.push(&w.mapping);
         }
         for m in mappings {
-            for row in m.evaluate(&self.db, &self.funcs)?.into_rows() {
+            for row in m
+                .evaluate_cached(&self.db, &self.funcs, Some(&self.cache))?
+                .into_rows()
+            {
                 out.push_distinct(row);
             }
         }
@@ -998,6 +1075,78 @@ mod tests {
         }
         // unknown start errors
         assert!(s.data_walk(Some("Nope"), "SBPS").is_err());
+    }
+
+    #[test]
+    fn replace_relation_invalidates_and_evolves() {
+        let mut s = session();
+        s.add_correspondence("Children.ID", "ID").unwrap();
+        s.add_correspondence("Children.name", "name").unwrap();
+        let before = s.target_preview().unwrap();
+        assert_eq!(before.len(), 3);
+        assert!(s.cache().stats().entries > 0, "preview should populate");
+        // content edit: a fourth child appears
+        let mut rel = s.database().relation("Children").unwrap().clone();
+        rel.insert(vec!["005".into(), "Zoe".into(), "205".into(), Value::Null])
+            .unwrap();
+        s.replace_relation(rel).unwrap();
+        assert!(s.cache().stats().invalidations > 0);
+        let after = s.target_preview().unwrap();
+        assert_eq!(after.len(), 4);
+        assert!(after.rows().iter().any(|r| r[0] == Value::str("005")));
+        // the illustration was refreshed over the new data
+        let ill = &s.active().unwrap().illustration;
+        assert!(!ill.is_empty());
+    }
+
+    #[test]
+    fn replace_relation_rejects_schema_changes_and_unknown_relations() {
+        let mut s = session();
+        let bad = RelationBuilder::new("Children")
+            .attr("other", DataType::Str)
+            .build()
+            .unwrap();
+        assert!(s.replace_relation(bad).is_err());
+        let unknown = RelationBuilder::new("Nope")
+            .attr("x", DataType::Str)
+            .build()
+            .unwrap();
+        assert!(s.replace_relation(unknown).is_err());
+    }
+
+    #[test]
+    fn cache_toggle_keeps_session_state_byte_identical() {
+        let run = |cached: bool| {
+            let mut s = session();
+            s.set_cache_enabled(cached);
+            s.add_correspondence("Children.ID", "ID").unwrap();
+            let ids = s
+                .add_correspondence("Parents.affiliation", "affiliation")
+                .unwrap();
+            s.confirm(ids[0]).unwrap();
+            s.add_source_filter("Children.mid IS NOT NULL").unwrap();
+            let preview1 = s.target_preview().unwrap();
+            let preview2 = s.target_preview().unwrap();
+            let ill = s.active().unwrap().illustration.clone();
+            (preview1, preview2, ill)
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.0.scheme(), off.0.scheme());
+        assert_eq!(on.0.rows(), off.0.rows());
+        assert_eq!(on.1.rows(), off.1.rows());
+        assert_eq!(on.2, off.2);
+    }
+
+    #[test]
+    fn funcs_mut_bumps_the_cache_epoch() {
+        let mut s = session();
+        s.add_correspondence("Children.ID", "ID").unwrap();
+        s.target_preview().unwrap();
+        let epoch = s.cache().epoch();
+        let _ = s.funcs_mut();
+        assert_eq!(s.cache().epoch(), epoch + 1);
+        assert_eq!(s.cache().stats().entries, 0);
     }
 
     #[test]

@@ -1,0 +1,418 @@
+//! The memoizing evaluation cache.
+//!
+//! [`EvalCache`] maps [`Fingerprint`]s to result [`Table`]s. Three
+//! mechanisms keep entries honest (see `docs/incremental.md`):
+//!
+//! * **Content versions** — every base relation has a monotonically
+//!   increasing version, mixed into fingerprints by the caller. Editing
+//!   a relation calls [`EvalCache::bump_version`], which both retires
+//!   the old fingerprints (they can never be asked for again) and
+//!   eagerly drops entries that declared the relation as a dependency.
+//! * **The epoch** — a cache-wide version covering ambient evaluation
+//!   state that is not per-relation (the function registry). Bumping it
+//!   clears everything.
+//! * **An LRU byte budget** — entries are charged an estimated byte
+//!   size; inserting past the capacity evicts least-recently-used
+//!   entries first.
+//!
+//! Lookups and insertions mirror into the global `cache.*` counters of
+//! [`clio_obs`] (when metrics are enabled) and into per-cache
+//! [`CacheStats`] (always, for the `cache` shell command).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use clio_obs::metrics::{self, Counter};
+use clio_relational::table::Table;
+use clio_relational::value::Value;
+
+use crate::fingerprint::Fingerprint;
+
+/// Default cache capacity: 64 MiB of estimated table bytes.
+pub const DEFAULT_CAPACITY_BYTES: usize = 64 << 20;
+
+/// Estimate the resident size of a table: one `Value` slot per cell plus
+/// string payloads. Good enough for budgeting; never used for
+/// correctness.
+#[must_use]
+pub fn table_bytes(table: &Table) -> usize {
+    let cell = std::mem::size_of::<Value>();
+    let mut bytes = 0;
+    for row in table.rows() {
+        bytes += row.len() * cell;
+        for v in row {
+            if let Value::Str(s) = v {
+                bytes += s.len();
+            }
+        }
+    }
+    bytes
+}
+
+/// Point-in-time statistics of one [`EvalCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a computation.
+    pub misses: u64,
+    /// Entries dropped because a dependency changed.
+    pub invalidations: u64,
+    /// Entries dropped to stay under the byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Estimated bytes currently resident.
+    pub bytes: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    table: Table,
+    deps: Vec<String>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Inner {
+    entries: HashMap<Fingerprint, Entry>,
+    versions: HashMap<String, u64>,
+    epoch: u64,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    evictions: u64,
+}
+
+/// A memoizing cache of evaluation results with dependency-tracked
+/// invalidation. Interior-mutable: lookups, insertions, and version
+/// bumps all take `&self`, so `&Session` methods like `target_preview`
+/// can populate it.
+pub struct EvalCache {
+    enabled: AtomicBool,
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl EvalCache {
+    /// An enabled cache with the default byte budget.
+    #[must_use]
+    pub fn new() -> EvalCache {
+        EvalCache::with_capacity(DEFAULT_CAPACITY_BYTES)
+    }
+
+    /// An enabled cache with an explicit byte budget.
+    #[must_use]
+    pub fn with_capacity(capacity_bytes: usize) -> EvalCache {
+        EvalCache {
+            enabled: AtomicBool::new(true),
+            capacity: capacity_bytes,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Whether lookups and insertions are active.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn the cache on or off. Disabling keeps resident entries and
+    /// keeps processing version bumps, so re-enabling is always safe.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// The byte budget.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current content version of a base relation (0 until first bump).
+    #[must_use]
+    pub fn version(&self, relation: &str) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .versions
+            .get(relation)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The cache-wide epoch covering non-relation evaluation state.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().unwrap().epoch
+    }
+
+    /// Record a content change to `relation`: bump its version and drop
+    /// every entry that declared it as a dependency. Processed even
+    /// while disabled, so stale entries cannot survive a disable/edit/
+    /// enable sequence.
+    pub fn bump_version(&self, relation: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.versions.entry(relation.to_owned()).or_insert(0) += 1;
+        let stale: Vec<Fingerprint> = inner
+            .entries
+            .iter()
+            .filter(|(_, e)| e.deps.iter().any(|d| d == relation))
+            .map(|(&fp, _)| fp)
+            .collect();
+        let dropped = stale.len() as u64;
+        for fp in stale {
+            if let Some(e) = inner.entries.remove(&fp) {
+                inner.bytes -= e.bytes;
+            }
+        }
+        inner.invalidations += dropped;
+        metrics::add(Counter::CacheInvalidations, dropped);
+    }
+
+    /// Record a change to ambient evaluation state (e.g. the function
+    /// registry): bump the epoch and drop everything.
+    pub fn bump_epoch(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.epoch += 1;
+        let dropped = inner.entries.len() as u64;
+        inner.entries.clear();
+        inner.bytes = 0;
+        inner.invalidations += dropped;
+        metrics::add(Counter::CacheInvalidations, dropped);
+    }
+
+    /// Look up a result. Counts a hit or a miss; returns `None` without
+    /// counting anything while disabled.
+    #[must_use]
+    pub fn get(&self, fp: Fingerprint) -> Option<Table> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(&fp) {
+            Some(e) => {
+                e.last_used = tick;
+                let table = e.table.clone();
+                inner.hits += 1;
+                metrics::incr(Counter::CacheHits);
+                Some(table)
+            }
+            None => {
+                inner.misses += 1;
+                metrics::incr(Counter::CacheMisses);
+                None
+            }
+        }
+    }
+
+    /// Store a result under `fp`, declaring the base relations it was
+    /// computed from. No-op while disabled, when the entry already
+    /// exists, or when the table alone exceeds the whole budget.
+    /// Evicts least-recently-used entries to stay under the budget.
+    pub fn insert(&self, fp: Fingerprint, deps: Vec<String>, table: &Table) {
+        if !self.enabled() {
+            return;
+        }
+        let bytes = table_bytes(table);
+        if bytes > self.capacity {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if inner.entries.contains_key(&fp) {
+            return;
+        }
+        while inner.bytes + bytes > self.capacity {
+            let Some((&victim, _)) = inner.entries.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            if let Some(e) = inner.entries.remove(&victim) {
+                inner.bytes -= e.bytes;
+                inner.evictions += 1;
+            }
+        }
+        inner.tick += 1;
+        let last_used = inner.tick;
+        inner.entries.insert(
+            fp,
+            Entry {
+                table: table.clone(),
+                deps,
+                bytes,
+                last_used,
+            },
+        );
+        inner.bytes += bytes;
+        metrics::add(Counter::CacheBytes, bytes as u64);
+    }
+
+    /// Current statistics (for the `cache` shell command and tests).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            invalidations: inner.invalidations,
+            evictions: inner.evictions,
+            entries: inner.entries.len(),
+            bytes: inner.bytes,
+        }
+    }
+
+    /// Drop every resident entry (statistics and versions survive).
+    /// Used by cold-path benchmarks.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.entries.clear();
+        inner.bytes = 0;
+    }
+}
+
+impl Default for EvalCache {
+    fn default() -> EvalCache {
+        EvalCache::new()
+    }
+}
+
+// Session derives Clone; a cloned session gets an independent cache with
+// the same resident entries, versions, and statistics.
+impl Clone for EvalCache {
+    fn clone(&self) -> EvalCache {
+        EvalCache {
+            enabled: AtomicBool::new(self.enabled()),
+            capacity: self.capacity,
+            inner: Mutex::new(self.inner.lock().unwrap().clone()),
+        }
+    }
+}
+
+impl std::fmt::Debug for EvalCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("EvalCache")
+            .field("enabled", &self.enabled())
+            .field("capacity", &self.capacity)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clio_relational::schema::{Column, Scheme};
+    use clio_relational::value::{DataType, Value};
+
+    fn table(rows: usize, tag: &str) -> Table {
+        let scheme = Scheme::new(vec![Column::new("T", "a", DataType::Str)]);
+        let rows = (0..rows)
+            .map(|i| vec![Value::str(format!("{tag}{i}"))])
+            .collect();
+        Table::new(scheme, rows)
+    }
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint(n)
+    }
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let cache = EvalCache::new();
+        assert!(cache.get(fp(1)).is_none());
+        cache.insert(fp(1), vec!["R".into()], &table(3, "r"));
+        let got = cache.get(fp(1)).expect("hit");
+        assert_eq!(got.len(), 3);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!(s.bytes, table_bytes(&table(3, "r")));
+    }
+
+    #[test]
+    fn bump_version_drops_only_dependents() {
+        let cache = EvalCache::new();
+        cache.insert(fp(1), vec!["R".into()], &table(1, "r"));
+        cache.insert(fp(2), vec!["S".into()], &table(1, "s"));
+        cache.insert(fp(3), vec!["R".into(), "S".into()], &table(1, "b"));
+        assert_eq!(cache.version("R"), 0);
+        cache.bump_version("R");
+        assert_eq!(cache.version("R"), 1);
+        assert!(cache.get(fp(1)).is_none());
+        assert!(cache.get(fp(3)).is_none());
+        assert!(cache.get(fp(2)).is_some());
+        assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn bump_epoch_clears_everything() {
+        let cache = EvalCache::new();
+        cache.insert(fp(1), vec!["R".into()], &table(1, "r"));
+        cache.insert(fp(2), vec!["S".into()], &table(1, "s"));
+        let epoch = cache.epoch();
+        cache.bump_epoch();
+        assert_eq!(cache.epoch(), epoch + 1);
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        let one = table_bytes(&table(1, "x"));
+        let cache = EvalCache::with_capacity(2 * one);
+        cache.insert(fp(1), vec![], &table(1, "a"));
+        cache.insert(fp(2), vec![], &table(1, "b"));
+        // touch 1 so 2 becomes the LRU victim
+        assert!(cache.get(fp(1)).is_some());
+        cache.insert(fp(3), vec![], &table(1, "c"));
+        assert!(cache.get(fp(2)).is_none(), "LRU entry should be evicted");
+        assert!(cache.get(fp(1)).is_some());
+        assert!(cache.get(fp(3)).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.bytes <= 2 * one);
+    }
+
+    #[test]
+    fn oversized_tables_are_not_cached() {
+        let cache = EvalCache::with_capacity(1);
+        cache.insert(fp(1), vec![], &table(10, "big"));
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn disabled_cache_neither_stores_nor_counts() {
+        let cache = EvalCache::new();
+        cache.set_enabled(false);
+        assert!(cache.get(fp(1)).is_none());
+        cache.insert(fp(1), vec![], &table(1, "r"));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn bump_version_works_while_disabled() {
+        let cache = EvalCache::new();
+        cache.insert(fp(1), vec!["R".into()], &table(1, "r"));
+        cache.set_enabled(false);
+        cache.bump_version("R");
+        cache.set_enabled(true);
+        assert!(cache.get(fp(1)).is_none(), "stale entry must not survive");
+        assert_eq!(cache.version("R"), 1);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let cache = EvalCache::new();
+        cache.insert(fp(1), vec![], &table(1, "r"));
+        let copy = cache.clone();
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(copy.stats().entries, 1);
+    }
+}

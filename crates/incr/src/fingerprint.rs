@@ -1,0 +1,105 @@
+//! Structural fingerprints: deterministic 64-bit digests of evaluation
+//! inputs, used as cache keys.
+//!
+//! A fingerprint must change whenever anything that could change the
+//! *bytes* of the cached result changes — relation contents (via the
+//! content version fed in by the caller), graph structure, predicate
+//! text, algorithm choice. Collisions are possible in principle with a
+//! 64-bit digest but need ~2³² live entries to become likely; the cache
+//! holds a few hundred.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::Hasher;
+
+/// A 64-bit structural digest identifying one cached computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+/// Incremental builder for a [`Fingerprint`].
+///
+/// Every ingredient is length-prefixed (strings) or fixed-width
+/// (numbers), so distinct ingredient sequences cannot collide by
+/// concatenation (`"ab" + "c"` vs `"a" + "bc"`). `DefaultHasher::new()`
+/// is specified to produce identical streams for identical input within
+/// a process, which is all a per-session in-memory cache needs.
+#[derive(Debug)]
+pub struct FingerprintBuilder {
+    hasher: DefaultHasher,
+}
+
+impl FingerprintBuilder {
+    /// Start a fingerprint in a named domain (`"F(J)"`, `"D(G).tree"`,
+    /// …). The domain keeps structurally similar computations from
+    /// sharing keys.
+    #[must_use]
+    pub fn new(domain: &str) -> FingerprintBuilder {
+        let mut b = FingerprintBuilder {
+            hasher: DefaultHasher::new(),
+        };
+        b.text(domain);
+        b
+    }
+
+    /// Mix in a string ingredient.
+    pub fn text(&mut self, s: &str) -> &mut FingerprintBuilder {
+        self.hasher.write_u64(s.len() as u64);
+        self.hasher.write(s.as_bytes());
+        self
+    }
+
+    /// Mix in a numeric ingredient (content versions, epochs, node ids).
+    pub fn number(&mut self, n: u64) -> &mut FingerprintBuilder {
+        self.hasher.write_u64(n);
+        self
+    }
+
+    /// Finish and produce the fingerprint.
+    #[must_use]
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.hasher.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_ingredients_identical_fingerprint() {
+        let mut a = FingerprintBuilder::new("F(J)");
+        a.text("Children").number(3);
+        let mut b = FingerprintBuilder::new("F(J)");
+        b.text("Children").number(3);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn domain_and_order_matter() {
+        let mut a = FingerprintBuilder::new("F(J)");
+        a.text("x").text("y");
+        let mut b = FingerprintBuilder::new("D(G).tree");
+        b.text("x").text("y");
+        let mut c = FingerprintBuilder::new("F(J)");
+        c.text("y").text("x");
+        assert_ne!(a.finish(), b.finish());
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn length_prefix_blocks_concatenation_collisions() {
+        let mut a = FingerprintBuilder::new("t");
+        a.text("ab").text("c");
+        let mut b = FingerprintBuilder::new("t");
+        b.text("a").text("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn versions_change_the_fingerprint() {
+        let mut a = FingerprintBuilder::new("F(J)");
+        a.text("Children").number(1);
+        let mut b = FingerprintBuilder::new("F(J)");
+        b.text("Children").number(2);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,25 @@
+//! Incremental evaluation support: a memoizing cache for engine result
+//! tables, keyed by structural fingerprints with dependency-tracked
+//! invalidation.
+//!
+//! The paper's Section 5.3 (continuous evolution of illustrations) is
+//! built on the observation that a refinement step — adding a
+//! correspondence, a filter, a walk — changes only part of the mapping
+//! state, so most of what the previous state established can be reused.
+//! This crate supplies the machinery: [`EvalCache`] stores result
+//! [`Table`]s under [`Fingerprint`] keys, tracks which base relations
+//! each entry depends on, and drops exactly the dependent entries when a
+//! relation's content version is bumped.
+//!
+//! The crate is deliberately generic: it knows nothing about query
+//! graphs or mappings. `clio-core` computes the fingerprints (see
+//! `clio_core::incremental` and `docs/incremental.md` for the scheme)
+//! and decides what to cache; this crate provides deterministic hashing
+//! ([`FingerprintBuilder`]), storage with an LRU byte budget, and
+//! observability (the `cache.*` counters in [`clio_obs`]).
+
+pub mod cache;
+pub mod fingerprint;
+
+pub use cache::{table_bytes, CacheStats, EvalCache, DEFAULT_CAPACITY_BYTES};
+pub use fingerprint::{Fingerprint, FingerprintBuilder};

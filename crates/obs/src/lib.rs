@@ -35,7 +35,10 @@ pub mod trace;
 pub use metrics::{
     add, incr, metrics_enabled, reset_metrics, set_metrics_enabled, snapshot, Counter,
 };
-pub use trace::{clear_spans, set_trace_enabled, span, take_spans, trace_enabled, Span};
+pub use trace::{
+    clear_spans, render_tree_filtered, set_trace_enabled, snapshot_spans, span, take_spans,
+    trace_enabled, Span,
+};
 
 /// Enable or disable both halves at once.
 pub fn set_enabled(on: bool) {

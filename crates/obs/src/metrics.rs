@@ -45,6 +45,16 @@ pub enum Counter {
     /// Iterations of the greedy set-cover loop in illustration
     /// selection (one per chosen example).
     GreedyIterations,
+    /// Incremental-cache lookups answered from the cache.
+    CacheHits,
+    /// Incremental-cache lookups that fell through to a computation.
+    CacheMisses,
+    /// Incremental-cache entries dropped because a dependency (base
+    /// relation content, function registry) changed.
+    CacheInvalidations,
+    /// Bytes of result tables stored into the incremental cache
+    /// (cumulative; the `cache` shell command reports the live size).
+    CacheBytes,
 }
 
 /// Number of counters (length of [`Counter::ALL`]).
@@ -52,7 +62,7 @@ pub const COUNTER_COUNT: usize = Counter::ALL.len();
 
 impl Counter {
     /// All counters, in table order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 18] = [
         Counter::TuplesScanned,
         Counter::JoinProbes,
         Counter::JoinOutputRows,
@@ -67,6 +77,10 @@ impl Counter {
         Counter::WalkAlternativesPruned,
         Counter::RequirementsChecked,
         Counter::GreedyIterations,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::CacheInvalidations,
+        Counter::CacheBytes,
     ];
 
     /// The stable dotted name used in JSON snapshots and the `stats`
@@ -88,6 +102,10 @@ impl Counter {
             Counter::WalkAlternativesPruned => "walk.alternatives_pruned",
             Counter::RequirementsChecked => "illustration.requirements_checked",
             Counter::GreedyIterations => "illustration.greedy_iterations",
+            Counter::CacheHits => "cache.hits",
+            Counter::CacheMisses => "cache.misses",
+            Counter::CacheInvalidations => "cache.invalidations",
+            Counter::CacheBytes => "cache.bytes",
         }
     }
 }

@@ -39,6 +39,16 @@ impl Database {
             .ok_or_else(|| Error::UnknownRelation(name.to_owned()))
     }
 
+    /// Replace an existing relation wholesale (content edit). Errors
+    /// when no relation with that name exists; the caller is
+    /// responsible for schema compatibility with anything derived from
+    /// the old contents.
+    pub fn replace_relation(&mut self, rel: Relation) -> Result<()> {
+        let slot = self.relation_mut(rel.name())?;
+        *slot = rel;
+        Ok(())
+    }
+
     /// Mutable lookup.
     pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
         self.relations

@@ -15,28 +15,66 @@ cargo fmt --check
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> cargo test -q"
 cargo test -q
 
-# Tier 2: golden work-counter gate. A scripted demo run with one worker
-# thread must reproduce the checked-in counter snapshot byte-for-byte —
-# counters are per-work-unit sums, so any drift means an algorithmic
-# change (e.g. a hash join silently degrading to a nested loop), which
-# must be acknowledged by regenerating the golden file:
+# Tier 2a: golden work-counter gate. A scripted demo run with one worker
+# thread and the evaluation cache off must reproduce the checked-in
+# counter snapshot byte-for-byte — counters are per-work-unit sums, so
+# any drift means an algorithmic change (e.g. a hash join silently
+# degrading to a nested loop), which must be acknowledged by
+# regenerating the golden file:
 #
 #   target/release/clio-shell --script examples/scripts/demo.clio \
-#       --metrics scripts/golden/demo-counters.json --threads 1
-echo "==> golden counter gate (demo.clio, --threads 1)"
+#       --metrics scripts/golden/demo-counters.json --threads 1 --no-cache
+#
+# --no-cache keeps the gate about the *algorithms*: with memoization on,
+# repeated operators legitimately skip work (gate 2b covers that path).
+echo "==> golden counter gate (demo.clio, --threads 1, --no-cache)"
 tmp_metrics="$(mktemp)"
-trap 'rm -f "$tmp_metrics"' EXIT
+tmp_twice_metrics="$(mktemp)"
+tmp_twice_script="$(mktemp)"
+trap 'rm -f "$tmp_metrics" "$tmp_twice_metrics" "$tmp_twice_script"' EXIT
 target/release/clio-shell \
     --script examples/scripts/demo.clio \
     --metrics "$tmp_metrics" \
-    --threads 1 >/dev/null
+    --threads 1 --no-cache >/dev/null
 if ! diff -u scripts/golden/demo-counters.json "$tmp_metrics"; then
     echo "verify: FAILED — work counters drifted from scripts/golden/demo-counters.json" >&2
     echo "         (if the change is intentional, regenerate the golden file)" >&2
     exit 1
 fi
+
+# Tier 2b: golden warm-path gate. The demo command sequence is replayed
+# TWICE through one engine process with the cache on; the second pass
+# re-runs every operator against already-memoized state. The combined
+# counters are pinned (the honest deterministic form of "the second run
+# does less algorithmic work": any regression in cache effectiveness
+# inflates join.probes/scan.tuples and shows up as a diff), and the run
+# must record at least one cache hit. Regenerate after intentional
+# changes with the same sed/cat recipe below, writing the --metrics
+# output over scripts/golden/demo-twice-counters.json.
+echo "==> golden warm-path gate (demo.clio twice, cache on, --threads 1)"
+sed '/^quit$/d' examples/scripts/demo.clio > "$tmp_twice_script"
+sed '/^quit$/d' examples/scripts/demo.clio >> "$tmp_twice_script"
+echo quit >> "$tmp_twice_script"
+target/release/clio-shell \
+    --script "$tmp_twice_script" \
+    --metrics "$tmp_twice_metrics" \
+    --threads 1 >/dev/null
+if ! diff -u scripts/golden/demo-twice-counters.json "$tmp_twice_metrics"; then
+    echo "verify: FAILED — warm-path counters drifted from scripts/golden/demo-twice-counters.json" >&2
+    echo "         (if the change is intentional, regenerate the golden file)" >&2
+    exit 1
+fi
+cache_hits="$(sed -n 's/.*"cache\.hits": \([0-9][0-9]*\).*/\1/p' "$tmp_twice_metrics")"
+if [ -z "$cache_hits" ] || [ "$cache_hits" -eq 0 ]; then
+    echo "verify: FAILED — replaying demo.clio twice recorded no cache hits" >&2
+    exit 1
+fi
+echo "    cache.hits = $cache_hits"
 
 echo "verify: OK"

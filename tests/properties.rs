@@ -393,6 +393,206 @@ proptest! {
     }
 }
 
+// ---- incremental-cache transparency --------------------------------------
+
+/// One session operator in a random refinement sequence. Each variant
+/// carries an index into a fixed pool so shrinking stays meaningful.
+#[derive(Debug, Clone, Copy)]
+enum SessionOp {
+    Corr(usize),
+    ConfirmFirst,
+    SourceFilter(usize),
+    TargetFilter(usize),
+    Walk(usize),
+    Chase(usize),
+    Require(usize),
+    Preview,
+    Accept,
+    EditChildren,
+}
+
+const CORR_POOL: &[(&str, &str)] = &[
+    ("Children.ID", "ID"),
+    ("Children.name", "name"),
+    ("Parents.affiliation", "affiliation"),
+    ("SBPS.time", "BusSchedule"),
+];
+const SOURCE_FILTER_POOL: &[&str] = &["Children.age > 3", "Parents.salary > 50000"];
+const TARGET_FILTER_POOL: &[&str] = &["name IS NOT NULL", "ID <> '009'"];
+const WALK_POOL: &[&str] = &["Parents", "SBPS", "PhoneDir"];
+const CHASE_POOL: &[(&str, &str, &str)] = &[("Children", "ID", "002"), ("Children", "mid", "201")];
+const REQUIRE_POOL: &[&str] = &["BusSchedule", "affiliation"];
+
+fn session_op_strategy() -> impl Strategy<Value = SessionOp> {
+    // `Corr` and `Preview` appear several times to weight the sequence
+    // toward operators that exercise (and then re-hit) the cache
+    prop_oneof![
+        (0..CORR_POOL.len()).prop_map(SessionOp::Corr),
+        (0..CORR_POOL.len()).prop_map(SessionOp::Corr),
+        (0..CORR_POOL.len()).prop_map(SessionOp::Corr),
+        Just(SessionOp::ConfirmFirst),
+        Just(SessionOp::ConfirmFirst),
+        (0..SOURCE_FILTER_POOL.len()).prop_map(SessionOp::SourceFilter),
+        (0..TARGET_FILTER_POOL.len()).prop_map(SessionOp::TargetFilter),
+        (0..WALK_POOL.len()).prop_map(SessionOp::Walk),
+        (0..CHASE_POOL.len()).prop_map(SessionOp::Chase),
+        (0..REQUIRE_POOL.len()).prop_map(SessionOp::Require),
+        Just(SessionOp::Preview),
+        Just(SessionOp::Preview),
+        Just(SessionOp::Preview),
+        Just(SessionOp::Accept),
+        Just(SessionOp::EditChildren),
+    ]
+}
+
+/// Apply one operator and render everything observable about the outcome
+/// into a string — success payloads, error messages, and preview tables
+/// alike — so two sessions can be compared step by step.
+fn apply_session_op(s: &mut Session, op: SessionOp, step: usize) -> String {
+    fn fmt<T: std::fmt::Debug, E: std::fmt::Display>(r: std::result::Result<T, E>) -> String {
+        match r {
+            Ok(v) => format!("ok {v:?}"),
+            Err(e) => format!("err {e}"),
+        }
+    }
+    match op {
+        SessionOp::Corr(i) => {
+            let (expr, attr) = CORR_POOL[i % CORR_POOL.len()];
+            fmt(s.add_correspondence(expr, attr))
+        }
+        SessionOp::ConfirmFirst => match s.workspaces().first().map(|w| w.id) {
+            Some(id) => fmt(s.confirm(id)),
+            None => "no workspace".to_owned(),
+        },
+        SessionOp::SourceFilter(i) => {
+            fmt(s.add_source_filter(SOURCE_FILTER_POOL[i % SOURCE_FILTER_POOL.len()]))
+        }
+        SessionOp::TargetFilter(i) => {
+            fmt(s.add_target_filter(TARGET_FILTER_POOL[i % TARGET_FILTER_POOL.len()]))
+        }
+        SessionOp::Walk(i) => fmt(s.data_walk(None, WALK_POOL[i % WALK_POOL.len()])),
+        SessionOp::Chase(i) => {
+            let (alias, attr, value) = CHASE_POOL[i % CHASE_POOL.len()];
+            fmt(s.data_chase(alias, attr, &Value::str(value)))
+        }
+        SessionOp::Require(i) => {
+            fmt(s.require_target_attribute(REQUIRE_POOL[i % REQUIRE_POOL.len()]))
+        }
+        SessionOp::Preview => fmt(s.target_preview()),
+        SessionOp::Accept => fmt(s.accept_active()),
+        SessionOp::EditChildren => {
+            // a content-only edit: one fresh child keyed by the step number
+            let mut rel = s.database().relation("Children").unwrap().clone();
+            let inserted = rel.insert(vec![
+                Value::str(format!("9{step:02}")),
+                Value::str(format!("kid{step}")),
+                Value::Int(3 + step as i64),
+                Value::str("201"),
+                Value::Null,
+                Value::str(format!("D9{step}")),
+            ]);
+            format!("{inserted:?} {}", fmt(s.replace_relation(rel)))
+        }
+    }
+}
+
+/// Everything user-visible about a session, rendered for comparison.
+fn session_digest(s: &Session) -> String {
+    let mut out = String::new();
+    for w in s.workspaces() {
+        out.push_str(&format!(
+            "workspace {}: {:?} {:?}\n",
+            w.id, w.mapping, w.illustration
+        ));
+    }
+    out.push_str(&format!("accepted: {:?}\n", s.accepted()));
+    out.push_str(&format!("preview: {:?}\n", s.target_preview()));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The evaluation cache is **transparent**: an arbitrary operator
+    /// sequence (correspondences, confirms, filters, walks, chases,
+    /// previews, accepts, relation edits) replayed on a cache-enabled and
+    /// a cache-disabled paper session produces byte-identical outcomes at
+    /// every step, and byte-identical final state.
+    #[test]
+    fn cache_is_transparent_to_operator_sequences(
+        ops in proptest::collection::vec(session_op_strategy(), 1..12)
+    ) {
+        let mut cached = Session::new(paper_database(), kids_target());
+        let mut plain = Session::new(paper_database(), kids_target());
+        plain.set_cache_enabled(false);
+        for (step, &op) in ops.iter().enumerate() {
+            let a = apply_session_op(&mut cached, op, step);
+            let b = apply_session_op(&mut plain, op, step);
+            prop_assert_eq!(a, b, "diverged at step {} ({:?})", step, op);
+        }
+        prop_assert_eq!(session_digest(&cached), session_digest(&plain));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cache transparency on **cyclic** graphs, where `D(G)` takes the
+    /// naive per-subgraph path and the cache memoizes individual `F(J)`
+    /// tables: previews, filters, and base-relation edits replay
+    /// identically with the cache on and off.
+    #[test]
+    fn cache_is_transparent_on_cyclic_workloads(
+        rows in 4usize..10,
+        seed in proptest::num::u64::ANY,
+        ops in proptest::collection::vec(0usize..4, 1..6),
+    ) {
+        let spec = SyntheticSpec {
+            topology: Topology::Cycle,
+            relations: 3,
+            rows,
+            match_rate: 0.6,
+            payload_attrs: 1,
+            seed,
+        };
+        let build = || {
+            let w = generate(&spec);
+            let mut s = Session::new(w.db, w.target);
+            s.adopt_mapping(w.mapping, "cycle under test").unwrap();
+            s
+        };
+        let mut cached = build();
+        let mut plain = build();
+        plain.set_cache_enabled(false);
+        let apply = |s: &mut Session, op: usize, step: usize| match op {
+            0 | 3 => format!("{:?}", s.target_preview()),
+            1 => {
+                // content edit on R0: synthesize a row from its schema
+                let mut rel = s.database().relation("R0").unwrap().clone();
+                let row: Vec<Value> = rel
+                    .schema()
+                    .attrs()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| match a.ty {
+                        DataType::Int => Value::Int(900 + (step * 10 + i) as i64),
+                        _ => Value::str(format!("z{step}-{i}")),
+                    })
+                    .collect();
+                let inserted = rel.insert(row);
+                format!("{inserted:?} {:?}", s.replace_relation(rel))
+            }
+            _ => format!("{:?}", s.add_source_filter("R0.id IS NOT NULL")),
+        };
+        for (step, &op) in ops.iter().enumerate() {
+            let a = apply(&mut cached, op, step);
+            let b = apply(&mut plain, op, step);
+            prop_assert_eq!(a, b, "diverged at step {} (op {})", step, op);
+        }
+        prop_assert_eq!(session_digest(&cached), session_digest(&plain));
+    }
+}
+
 // ---- expression round-trip ----------------------------------------------
 
 fn expr_strategy() -> impl Strategy<Value = Expr> {
