@@ -11,7 +11,9 @@ use std::time::{Duration, Instant};
 
 use clio_obs::metrics::MetricsSnapshot;
 
-use clio_bench::{chain, chain_prefix_mapping, cycle, example_population, nullable_table, star};
+use clio_bench::{
+    chain, chain_prefix_mapping, cycle, example_population, nullable_table, service_workload, star,
+};
 use clio_core::evolution::evolve_illustration;
 use clio_core::full_disjunction::FdAlgo;
 use clio_core::illustration::{select_exact, select_greedy, Illustration, SufficiencyScope};
@@ -619,6 +621,52 @@ fn b10_warm_path() {
     }
 }
 
+fn b11_concurrent_sessions() {
+    use clio_core::session::Session;
+    use clio_core::session_pool::SessionPool;
+
+    println!("\n## B11 — concurrent session service: shared snapshot vs per-session copies\n");
+    println!(
+        "| sessions | per-session copy (serial) | pooled width 1 | pooled width N \
+         | copy/pooled-N | sessions/s (pooled N) |"
+    );
+    println!("|---|---|---|---|---|---|");
+    // a big shared source for many small sessions: per-session setup
+    // (deep copy + index rebuild) dominates, which is what Arc sharing
+    // removes
+    let w = service_workload(6, 12_000);
+    let mapping = w.mapping.clone();
+    let run_one = |mut s: Session| {
+        s.adopt_mapping(mapping.clone(), "b11 session")
+            .expect("valid");
+        std::hint::black_box(s.target_preview().expect("valid").len());
+    };
+    for sessions in [1usize, 2, 4, 8] {
+        let copies = time(|| {
+            for _ in 0..sessions {
+                run_one(Session::new(w.db.clone(), w.target.clone()));
+            }
+        });
+        let pool = SessionPool::new(w.db.clone(), w.target.clone());
+        let pooled_serial = time(|| {
+            pool.clone().with_width(1).run(sessions, |_, s| run_one(s));
+        });
+        let pooled_wide = time(|| {
+            pool.clone()
+                .with_width(sessions)
+                .run(sessions, |_, s| run_one(s));
+        });
+        let throughput = sessions as f64 / pooled_wide.as_secs_f64();
+        println!(
+            "| {sessions} | {} | {} | {} | {} | {throughput:.1} |",
+            fmt(copies),
+            fmt(pooled_serial),
+            fmt(pooled_wide),
+            ratio(copies, pooled_wide),
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run = |key: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(key));
@@ -652,5 +700,8 @@ fn main() {
     }
     if run("b10") {
         b10_warm_path();
+    }
+    if run("b11") {
+        b11_concurrent_sessions();
     }
 }

@@ -14,6 +14,7 @@ use clio_core::mapping::Mapping;
 use clio_datagen::synthetic::{generate, Synthetic, SyntheticSpec, Topology};
 use clio_relational::funcs::FuncRegistry;
 use clio_relational::ops::SubsumptionAlgo;
+use clio_relational::relation::RelationBuilder;
 use clio_relational::schema::{Column, Scheme};
 use clio_relational::table::Table;
 use clio_relational::value::{DataType, Value};
@@ -57,6 +58,43 @@ pub fn cycle(n: usize, rows: usize) -> Synthetic {
         payload_attrs: 1,
         seed: 0xC11A,
     })
+}
+
+/// The B11 session-service workload: a small 2-relation chain (the slice
+/// each session actually maps, 400 rows per relation) embedded in a
+/// source database padded with `archive_relations` unrelated relations
+/// of `archive_rows` string rows each. This is the shape a session
+/// service sees — one large shared source instance, many sessions each
+/// touching a small part of it — so per-session snapshot setup (deep
+/// copy + value-index rebuild) dominates per-session query work, which
+/// is exactly the cost `Arc` sharing removes.
+#[must_use]
+pub fn service_workload(archive_relations: usize, archive_rows: usize) -> Synthetic {
+    let mut w = generate(&SyntheticSpec {
+        topology: Topology::Chain,
+        relations: 2,
+        rows: 400,
+        match_rate: 0.7,
+        payload_attrs: 1,
+        seed: 0xB11,
+    });
+    let mut rng = StdRng::seed_from_u64(0xB11);
+    for r in 0..archive_relations {
+        let mut b = RelationBuilder::new(format!("Archive{r}"));
+        for c in 0..4 {
+            b = b.attr(format!("a{c}"), DataType::Str);
+        }
+        for i in 0..archive_rows {
+            b = b.row(
+                (0..4)
+                    .map(|c| Value::str(format!("v{r}_{c}_{}", i ^ rng.random_range(0..1024))))
+                    .collect(),
+            );
+        }
+        w.db.add_relation(b.build().expect("valid archive relation"))
+            .expect("fresh archive name");
+    }
+    w
 }
 
 /// A random table with `rows` rows, `arity` columns, and roughly

@@ -153,7 +153,7 @@ impl Shell {
                 ))
             }
             "illustration" => {
-                let db = self.session.database().clone();
+                let db = self.session.shared_database();
                 let w = self.active()?;
                 let scheme = w.mapping.graph.scheme(&db)?;
                 Ok(w.illustration.render(&w.mapping.graph, &scheme))
@@ -169,7 +169,7 @@ impl Shell {
             }
             "mapping" => Ok(self.active()?.mapping.to_string()),
             "sql" => {
-                let db = self.session.database().clone();
+                let db = self.session.shared_database();
                 let m = self.active()?.mapping.clone();
                 generate_sql(
                     &m,
@@ -247,7 +247,7 @@ impl Shell {
 "
                     .to_owned());
                 }
-                let db = self.session.database().clone();
+                let db = self.session.shared_database();
                 let w = self.active()?;
                 let scheme = w.mapping.graph.scheme(&db)?;
                 let refs: Vec<&clio_core::example::Example> = alts.iter().collect();
@@ -283,7 +283,7 @@ impl Shell {
                     min_containment,
                     ..clio_core::mining::MiningConfig::default()
                 };
-                let db = self.session.database().clone();
+                let db = self.session.shared_database();
                 let added =
                     clio_core::mining::enrich_knowledge(&mut self.session.knowledge, &db, &config);
                 let mut out = format!("mined {} new join candidate(s):\n", added.len());
@@ -324,7 +324,7 @@ impl Shell {
             }
             "contributions" => {
                 let tm = self.session.target_mapping();
-                let db = self.session.database().clone();
+                let db = self.session.shared_database();
                 let funcs = clio_relational::funcs::FuncRegistry::with_builtins();
                 let contribs = tm.contributions(&db, &funcs)?;
                 if contribs.is_empty() {
@@ -346,8 +346,12 @@ impl Shell {
                     return Ok("counters reset\n".to_owned());
                 }
                 // `stats <operation>` keeps only counters whose dotted
-                // name contains the argument (e.g. `stats chase`)
-                let mut out = clio_obs::snapshot().render_table_filtered(rest);
+                // name contains the argument (e.g. `stats chase`). In a
+                // pooled session (batch mode) the thread carries a
+                // session label, so the table shows this session's own
+                // work rather than the process-wide totals — which also
+                // keeps concurrent `stats` output deterministic.
+                let mut out = clio_obs::metrics::context_snapshot().render_table_filtered(rest);
                 if !clio_obs::metrics_enabled() {
                     out.push_str(
                         "(counting is off — run the shell with --metrics <file> to collect)\n",
@@ -388,7 +392,7 @@ impl Shell {
             }
             "examples" => {
                 // full example population of the active mapping, capped
-                let db = self.session.database().clone();
+                let db = self.session.shared_database();
                 let w = self.active()?;
                 let all = w
                     .mapping

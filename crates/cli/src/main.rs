@@ -7,16 +7,20 @@
 //! cargo run -p clio-cli -- --synthetic chain,4,100
 //! cargo run -p clio-cli -- --source data/ --target "T (id str not null, x str)"
 //! cargo run -p clio-cli -- --script cmds.txt --metrics out.json --trace
+//! cargo run -p clio-cli -- --sessions 4 a.clio b.clio c.clio d.clio
 //! ```
 
 use std::io::{BufRead, Write};
 
 use clio_cli::engine::{Outcome, Shell};
 use clio_core::session::Session;
+use clio_core::session_pool::SessionPool;
 use clio_datagen::paper::{kids_target, paper_database};
 use clio_datagen::synthetic::{generate, SyntheticSpec, Topology};
+use clio_relational::database::Database;
+use clio_relational::schema::RelSchema;
 
-fn synthetic_session(spec_text: &str) -> Result<Session, String> {
+fn synthetic_source(spec_text: &str) -> Result<(Database, RelSchema), String> {
     let parts: Vec<&str> = spec_text.split(',').collect();
     let [topo, relations, rows] = parts.as_slice() else {
         return Err("expected --synthetic <topology>,<relations>,<rows>".into());
@@ -52,7 +56,47 @@ fn synthetic_session(spec_text: &str) -> Result<Session, String> {
                 to_attrs: s.attr_pairs.iter().map(|(_, b)| b.clone()).collect(),
             });
     }
-    Ok(Session::new(db, w.target))
+    Ok((db, w.target))
+}
+
+/// Execute script files as concurrent sessions over one shared source
+/// snapshot, printing each session's output (in input order) framed by a
+/// `=== session <i>: <path> ===` header. Each session's body is
+/// byte-identical to what `--script <path>` would print for the same
+/// source: scripts are read upfront (first unreadable file by input
+/// order exits 2), sessions run on the pool, and outputs are buffered
+/// per session and merged deterministically.
+fn run_batch(db: Database, target: RelSchema, scripts: &[String], width: usize, no_cache: bool) {
+    let mut bodies: Vec<String> = Vec::new();
+    for path in scripts {
+        match std::fs::read_to_string(path) {
+            Ok(text) => bodies.push(text),
+            Err(e) => {
+                eprintln!("cannot open `{path}`: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut pool = SessionPool::new(db, target).with_width(width);
+    pool.set_cache_enabled(!no_cache);
+    let outputs = pool.run(bodies.len(), |i, session| {
+        let mut shell = Shell::new(session);
+        let mut out = String::new();
+        for line in bodies[i].lines() {
+            out.push_str("clio> ");
+            out.push_str(line);
+            out.push('\n');
+            match shell.execute(line) {
+                Outcome::Continue(text) => out.push_str(&text),
+                Outcome::Quit => break,
+            }
+        }
+        out
+    });
+    for (i, (path, text)) in scripts.iter().zip(&outputs).enumerate() {
+        println!("=== session {i}: {path} ===");
+        print!("{text}");
+    }
 }
 
 /// Usage text printed by `--help` (flags first, then the shell commands).
@@ -61,10 +105,18 @@ fn usage() -> String {
         "\
 clio — interactive mapping-refinement shell (Clio, SIGMOD 2001)
 
-usage: clio-shell [flags]
+usage: clio-shell [flags] [script.clio ...]
+
+Positional arguments are script files executed as independent sessions
+over one shared source snapshot (batch mode); outputs are printed in
+input order, each framed by a `=== session <i>: <path> ===` header.
 
 flags:
   --script <file>        run commands from a script instead of stdin
+  --sessions <n>         batch mode: run the positional scripts up to
+                         <n> at a time as concurrent sessions (default
+                         1; requires script arguments, conflicts with
+                         --script)
   --source <dir>         load a source database from CSV files (needs --target)
   --target <schema>      target schema, e.g. \"Kids (ID str not null, name str)\"
   --synthetic <spec>     generate a source: <topology>,<relations>,<rows>
@@ -99,7 +151,9 @@ fn require_value(args: &[String], i: usize, flag: &str) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut script: Option<String> = None;
-    let mut session: Option<Session> = None;
+    let mut batch_scripts: Vec<String> = Vec::new();
+    let mut sessions_width: Option<usize> = None;
+    let mut source: Option<(Database, RelSchema)> = None;
     let mut source_dir: Option<String> = None;
     let mut target_spec: Option<String> = None;
     let mut metrics_path: Option<String> = None;
@@ -147,21 +201,33 @@ fn main() {
                     }
                 }
             }
+            "--sessions" => {
+                i += 1;
+                let value = require_value(&args, i, "--sessions");
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => sessions_width = Some(n),
+                    _ => {
+                        eprintln!("--sessions expects a positive integer, got `{value}`");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--synthetic" => {
                 i += 1;
                 let spec = require_value(&args, i, "--synthetic");
-                match synthetic_session(&spec) {
-                    Ok(s) => session = Some(s),
+                match synthetic_source(&spec) {
+                    Ok(s) => source = Some(s),
                     Err(e) => {
                         eprintln!("{e}");
                         std::process::exit(2);
                     }
                 }
             }
-            other => {
+            other if other.starts_with('-') => {
                 eprintln!("unknown flag `{other}` (see --help)");
                 std::process::exit(2);
             }
+            path => batch_scripts.push(path.to_owned()),
         }
         i += 1;
     }
@@ -194,10 +260,27 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        session = Some(Session::new(db, target));
+        source = Some((db, target));
     }
 
-    let mut session = session.unwrap_or_else(|| Session::new(paper_database(), kids_target()));
+    let (db, target) = source.unwrap_or_else(|| (paper_database(), kids_target()));
+
+    if !batch_scripts.is_empty() {
+        if script.is_some() {
+            eprintln!("--script conflicts with positional script arguments (see --help)");
+            std::process::exit(2);
+        }
+        let width = sessions_width.unwrap_or(1);
+        run_batch(db, target, &batch_scripts, width, no_cache);
+        finish_reports(metrics_path.as_deref(), trace, trace_filter.as_deref());
+        return;
+    }
+    if sessions_width.is_some() {
+        eprintln!("--sessions requires positional script arguments (see --help)");
+        std::process::exit(2);
+    }
+
+    let mut session = Session::new(db, target);
     if no_cache {
         session.set_cache_enabled(false);
     }
@@ -248,7 +331,13 @@ fn main() {
         }
     }
 
-    if let Some(path) = &metrics_path {
+    finish_reports(metrics_path.as_deref(), trace, trace_filter.as_deref());
+}
+
+/// Write the metrics JSON report and/or print the span tree, as
+/// requested by `--metrics` / `--trace` / `--trace-filter`.
+fn finish_reports(metrics_path: Option<&str>, trace: bool, trace_filter: Option<&str>) {
+    if let Some(path) = metrics_path {
         let report = clio_obs::report_json();
         if let Err(e) = std::fs::write(path, &report) {
             eprintln!("cannot write metrics to `{path}`: {e}");
@@ -260,7 +349,7 @@ fn main() {
         if records.is_empty() {
             println!("trace: no spans recorded");
         } else {
-            let filter = trace_filter.as_deref().unwrap_or("");
+            let filter = trace_filter.unwrap_or("");
             print!(
                 "{}",
                 clio_obs::trace::render_tree_filtered(&records, filter)

@@ -183,6 +183,7 @@ fn missing_flag_values_exit_2() {
         "--metrics",
         "--trace-filter",
         "--threads",
+        "--sessions",
     ] {
         let out = shell().arg(flag).output().expect("binary runs");
         assert_eq!(out.status.code(), Some(2), "{flag}");
@@ -196,6 +197,135 @@ fn unknown_flag_exits_2() {
     let out = shell().arg("--bogus").output().expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn bad_sessions_value_exits_2() {
+    for bad in ["0", "-1", "many"] {
+        let out = shell()
+            .arg("--sessions")
+            .arg(bad)
+            .arg(demo_script())
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "--sessions {bad}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("positive integer"), "{bad}: {stderr}");
+    }
+}
+
+#[test]
+fn sessions_flag_misuse_exits_2() {
+    // --sessions without script arguments
+    let out = shell()
+        .arg("--sessions")
+        .arg("2")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires positional script"));
+    // positional scripts conflict with --script
+    let out = shell()
+        .arg("--script")
+        .arg(demo_script())
+        .arg(demo_script())
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("conflicts"));
+    // the first unreadable script (by input order) is the one reported
+    let out = shell()
+        .arg("--sessions")
+        .arg("2")
+        .arg("/nonexistent/first.clio")
+        .arg("/nonexistent/second.clio")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("first.clio"), "{stderr}");
+    assert!(!stderr.contains("second.clio"), "{stderr}");
+}
+
+/// Split batch-mode stdout into per-session chunks by the
+/// `=== session <i>: <path> ===` headers, returning the chunk bodies.
+fn session_chunks(stdout: &str) -> Vec<String> {
+    let mut chunks: Vec<String> = Vec::new();
+    for line in stdout.lines() {
+        if line.starts_with("=== session ") && line.ends_with(" ===") {
+            chunks.push(String::new());
+        } else if let Some(last) = chunks.last_mut() {
+            last.push_str(line);
+            last.push('\n');
+        }
+    }
+    chunks
+}
+
+#[test]
+fn concurrent_sessions_match_serial_run_byte_for_byte() {
+    let serial = shell()
+        .arg("--script")
+        .arg(demo_script())
+        .arg("--threads")
+        .arg("1")
+        .output()
+        .expect("binary runs");
+    assert!(serial.status.success());
+    let serial_stdout = String::from_utf8_lossy(&serial.stdout).into_owned();
+    let batch = shell()
+        .arg("--sessions")
+        .arg("4")
+        .args([demo_script(), demo_script(), demo_script(), demo_script()])
+        .arg("--threads")
+        .arg("1")
+        .output()
+        .expect("binary runs");
+    assert!(
+        batch.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&batch.stderr)
+    );
+    let chunks = session_chunks(&String::from_utf8_lossy(&batch.stdout));
+    assert_eq!(chunks.len(), 4, "one chunk per session");
+    for (i, chunk) in chunks.iter().enumerate() {
+        assert_eq!(chunk, &serial_stdout, "session {i} diverged from serial");
+    }
+}
+
+#[test]
+fn sessions_metrics_json_reports_per_session_counters() {
+    let metrics = tmp_path("sessions_metrics.json");
+    let out = shell()
+        .arg("--sessions")
+        .arg("2")
+        .args([demo_script(), demo_script()])
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&metrics).expect("metrics file written");
+    std::fs::remove_file(&metrics).ok();
+    assert!(json.contains("\"sessions\""), "{json}");
+    // per-session tables exist and did real work
+    let s0 = json.find("\"0\": {").expect("session 0 table");
+    let s1 = json.find("\"1\": {").expect("session 1 table");
+    let (a, b) = (&json[s0..s1], &json[s1..]);
+    assert!(counter(a, "join.probes") > 0, "{a}");
+    // identical scripts over one snapshot do identical per-session work
+    assert_eq!(counter(a, "join.probes"), counter(b, "join.probes"));
+    assert_eq!(counter(a, "scan.tuples"), counter(b, "scan.tuples"));
+    // and the global table holds the sum of both sessions
+    let global = &json[..s0];
+    assert_eq!(
+        counter(global, "join.probes"),
+        2 * counter(a, "join.probes")
+    );
 }
 
 #[test]

@@ -18,6 +18,7 @@ pub mod query_graph;
 pub mod ranking;
 pub mod script;
 pub mod session;
+pub mod session_pool;
 pub mod sql;
 pub mod subgraph;
 pub mod target_mapping;
@@ -58,6 +59,7 @@ pub mod prelude {
     pub use crate::ranking::{join_support, rank_walk_alternatives, RankScore};
     pub use crate::script::{parse_mapping, write_mapping};
     pub use crate::session::{Session, Workspace};
+    pub use crate::session_pool::SessionPool;
     pub use crate::sql::{generate_sql, SqlOptions};
     pub use crate::subgraph::{connected_subsets, connected_subsets_exhaustive};
     pub use crate::target_mapping::{Contribution, TargetMapping};

@@ -12,6 +12,8 @@
 //! children); the target view is the union of all accepted mappings plus
 //! the active one.
 
+use std::sync::Arc;
+
 use clio_relational::database::Database;
 use clio_relational::error::{Error, Result};
 use clio_relational::funcs::FuncRegistry;
@@ -54,14 +56,22 @@ pub struct Workspace {
 }
 
 /// A Clio mapping session.
+///
+/// The source database and value index are held behind [`Arc`]s, so
+/// sessions spawned from one snapshot (see `SessionPool`) share them
+/// without copying. [`Session::replace_relation`] — the only mutation
+/// path — goes through [`Arc::make_mut`], i.e. copy-on-write: the first
+/// edit in a sharing session materializes a private copy, and sibling
+/// sessions keep observing the original snapshot
+/// (`docs/concurrency.md`).
 #[derive(Debug, Clone)]
 pub struct Session {
-    db: Database,
+    db: Arc<Database>,
     funcs: FuncRegistry,
     /// Schema knowledge driving data walks (seeded from foreign keys,
     /// extended by confirmed chases).
     pub knowledge: SchemaKnowledge,
-    index: ValueIndex,
+    index: Arc<ValueIndex>,
     target: RelSchema,
     workspaces: Vec<Workspace>,
     active: Option<usize>,
@@ -81,8 +91,36 @@ impl Session {
     /// value index is built eagerly.
     #[must_use]
     pub fn new(db: Database, target: RelSchema) -> Session {
+        Session::shared(Arc::new(db), target)
+    }
+
+    /// Start a session over an `Arc`-shared source snapshot without
+    /// copying it. Knowledge and the value index are still derived
+    /// eagerly; use [`Session::from_parts`] to share those too.
+    #[must_use]
+    pub fn shared(db: Arc<Database>, target: RelSchema) -> Session {
         let knowledge = SchemaKnowledge::from_database(&db);
-        let index = ValueIndex::build(&db);
+        let index = Arc::new(ValueIndex::build(&db));
+        Session::from_parts(db, index, knowledge, target)
+    }
+
+    /// Assemble a session from pre-built shared parts. This is the cheap
+    /// constructor `SessionPool` uses to spawn sessions: the database,
+    /// value index, and seed knowledge are computed once per pool and
+    /// shared by every session (the knowledge is cloned — sessions
+    /// extend it independently via confirmed chases). Each session still
+    /// gets its own function registry, workspaces, and [`EvalCache`].
+    ///
+    /// The caller is responsible for `index` and `knowledge` actually
+    /// matching `db`; mismatched parts produce wrong walk/chase results,
+    /// not errors.
+    #[must_use]
+    pub fn from_parts(
+        db: Arc<Database>,
+        index: Arc<ValueIndex>,
+        knowledge: SchemaKnowledge,
+        target: RelSchema,
+    ) -> Session {
         Session {
             knowledge,
             index,
@@ -103,6 +141,14 @@ impl Session {
     #[must_use]
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// The source database as a shareable snapshot handle. Cloning the
+    /// returned `Arc` is O(1); the snapshot stays valid even if this
+    /// session later edits its database (the edit copies first).
+    #[must_use]
+    pub fn shared_database(&self) -> Arc<Database> {
+        Arc::clone(&self.db)
     }
 
     /// The function registry (register custom correspondence functions
@@ -144,8 +190,10 @@ impl Session {
                  the schema of `{name}` changed"
             )));
         }
-        self.db.replace_relation(rel)?;
-        self.index = ValueIndex::build(&self.db);
+        // Copy-on-write: if the snapshot is shared with other sessions,
+        // clone it first; they keep seeing the pre-edit data.
+        Arc::make_mut(&mut self.db).replace_relation(rel)?;
+        self.index = Arc::new(ValueIndex::build(&self.db));
         self.cache.bump_version(&name);
         let ids: Vec<usize> = self.workspaces.iter().map(|w| w.id).collect();
         for id in ids {
@@ -1112,6 +1160,47 @@ mod tests {
             .build()
             .unwrap();
         assert!(s.replace_relation(unknown).is_err());
+    }
+
+    #[test]
+    fn shared_sessions_copy_on_write_isolates_edits() {
+        let snapshot = Arc::new(db());
+        let mut a = Session::shared(Arc::clone(&snapshot), target());
+        let mut b = Session::shared(Arc::clone(&snapshot), target());
+        // Spawning from one snapshot does not copy the database.
+        assert!(Arc::ptr_eq(&a.shared_database(), &snapshot));
+        assert!(Arc::ptr_eq(&b.shared_database(), &snapshot));
+        a.add_correspondence("Children.ID", "ID").unwrap();
+        b.add_correspondence("Children.ID", "ID").unwrap();
+        // Session `a` edits Children; `b` and the snapshot must not see it.
+        let mut rel = a.database().relation("Children").unwrap().clone();
+        rel.insert(vec!["005".into(), "Zoe".into(), "205".into(), Value::Null])
+            .unwrap();
+        a.replace_relation(rel).unwrap();
+        assert!(
+            !Arc::ptr_eq(&a.shared_database(), &snapshot),
+            "the edit must have materialized a private copy"
+        );
+        assert!(Arc::ptr_eq(&b.shared_database(), &snapshot));
+        assert_eq!(a.database().relation("Children").unwrap().len(), 4);
+        assert_eq!(b.database().relation("Children").unwrap().len(), 3);
+        assert_eq!(snapshot.relation("Children").unwrap().len(), 3);
+        assert_eq!(a.target_preview().unwrap().len(), 4);
+        assert_eq!(b.target_preview().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn uniquely_owned_session_edits_without_copying() {
+        let mut s = session();
+        let before = Arc::as_ptr(&s.shared_database());
+        let mut rel = s.database().relation("Parents").unwrap().clone();
+        rel.insert(vec!["206".into(), "Initech".into()]).unwrap();
+        s.replace_relation(rel).unwrap();
+        assert_eq!(
+            Arc::as_ptr(&s.shared_database()),
+            before,
+            "an unshared snapshot should be edited in place"
+        );
     }
 
     #[test]

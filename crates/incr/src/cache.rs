@@ -21,7 +21,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use clio_obs::metrics::{self, Counter};
 use clio_relational::table::Table;
@@ -99,6 +99,17 @@ pub struct EvalCache {
 }
 
 impl EvalCache {
+    /// Lock the inner state, recovering from mutex poisoning. Every
+    /// critical section leaves `Inner` consistent at each assignment
+    /// (bytes are adjusted in the same statement group as the entry map),
+    /// so a panic while the lock is held — e.g. a worker session dying
+    /// mid-operation — must not wedge every other session sharing the
+    /// process: we take the guard back with
+    /// `unwrap_or_else(PoisonError::into_inner)`.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// An enabled cache with the default byte budget.
     #[must_use]
     pub fn new() -> EvalCache {
@@ -136,19 +147,13 @@ impl EvalCache {
     /// Current content version of a base relation (0 until first bump).
     #[must_use]
     pub fn version(&self, relation: &str) -> u64 {
-        self.inner
-            .lock()
-            .unwrap()
-            .versions
-            .get(relation)
-            .copied()
-            .unwrap_or(0)
+        self.lock().versions.get(relation).copied().unwrap_or(0)
     }
 
     /// The cache-wide epoch covering non-relation evaluation state.
     #[must_use]
     pub fn epoch(&self) -> u64 {
-        self.inner.lock().unwrap().epoch
+        self.lock().epoch
     }
 
     /// Record a content change to `relation`: bump its version and drop
@@ -156,7 +161,7 @@ impl EvalCache {
     /// while disabled, so stale entries cannot survive a disable/edit/
     /// enable sequence.
     pub fn bump_version(&self, relation: &str) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         *inner.versions.entry(relation.to_owned()).or_insert(0) += 1;
         let stale: Vec<Fingerprint> = inner
             .entries
@@ -177,7 +182,7 @@ impl EvalCache {
     /// Record a change to ambient evaluation state (e.g. the function
     /// registry): bump the epoch and drop everything.
     pub fn bump_epoch(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         inner.epoch += 1;
         let dropped = inner.entries.len() as u64;
         inner.entries.clear();
@@ -193,7 +198,7 @@ impl EvalCache {
         if !self.enabled() {
             return None;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         match inner.entries.get_mut(&fp) {
@@ -224,7 +229,7 @@ impl EvalCache {
         if bytes > self.capacity {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         if inner.entries.contains_key(&fp) {
             return;
         }
@@ -255,7 +260,7 @@ impl EvalCache {
     /// Current statistics (for the `cache` shell command and tests).
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock();
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -269,7 +274,7 @@ impl EvalCache {
     /// Drop every resident entry (statistics and versions survive).
     /// Used by cold-path benchmarks.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         inner.entries.clear();
         inner.bytes = 0;
     }
@@ -288,7 +293,7 @@ impl Clone for EvalCache {
         EvalCache {
             enabled: AtomicBool::new(self.enabled()),
             capacity: self.capacity,
-            inner: Mutex::new(self.inner.lock().unwrap().clone()),
+            inner: Mutex::new(self.lock().clone()),
         }
     }
 }
@@ -404,6 +409,32 @@ mod tests {
         cache.set_enabled(true);
         assert!(cache.get(fp(1)).is_none(), "stale entry must not survive");
         assert_eq!(cache.version("R"), 1);
+    }
+
+    #[test]
+    fn poisoned_mutex_recovers_and_cache_stays_usable() {
+        let cache = EvalCache::new();
+        cache.insert(fp(1), vec!["R".into()], &table(1, "r"));
+        // Poison the inner mutex: panic while holding the guard, the way
+        // a dying worker session would.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.inner.lock().unwrap();
+            panic!("worker died mid-operation");
+        }));
+        assert!(caught.is_err());
+        assert!(cache.inner.is_poisoned(), "mutex should be poisoned");
+        // Every operation must still work on the recovered state.
+        assert_eq!(cache.get(fp(1)).expect("hit survives poisoning").len(), 1);
+        cache.insert(fp(2), vec!["S".into()], &table(2, "s"));
+        assert_eq!(cache.get(fp(2)).expect("insert after poisoning").len(), 2);
+        cache.bump_version("R");
+        assert!(cache.get(fp(1)).is_none(), "invalidation after poisoning");
+        assert_eq!(cache.version("R"), 1);
+        cache.bump_epoch();
+        assert_eq!(cache.stats().entries, 0);
+        let copy = cache.clone();
+        assert_eq!(copy.stats().entries, 0);
+        cache.clear();
     }
 
     #[test]

@@ -7,9 +7,17 @@
 //! text, algorithm choice. Collisions are possible in principle with a
 //! 64-bit digest but need ~2³² live entries to become likely; the cache
 //! holds a few hundred.
+//!
+//! The digest is FNV-1a 64. Unlike `DefaultHasher` (whose stream is only
+//! specified within a single process and may change between Rust
+//! releases), FNV-1a is a fixed public algorithm, so fingerprints are
+//! stable across processes, platforms, and toolchain upgrades — a
+//! prerequisite for ever persisting cache state. The
+//! `golden_fingerprints_are_stable` test pins exact digests to catch
+//! accidental drift.
 
-use std::collections::hash_map::DefaultHasher;
-use std::hash::Hasher;
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// A 64-bit structural digest identifying one cached computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -19,12 +27,12 @@ pub struct Fingerprint(pub u64);
 ///
 /// Every ingredient is length-prefixed (strings) or fixed-width
 /// (numbers), so distinct ingredient sequences cannot collide by
-/// concatenation (`"ab" + "c"` vs `"a" + "bc"`). `DefaultHasher::new()`
-/// is specified to produce identical streams for identical input within
-/// a process, which is all a per-session in-memory cache needs.
+/// concatenation (`"ab" + "c"` vs `"a" + "bc"`). The underlying digest
+/// is FNV-1a 64 over the ingredient byte stream; numbers are folded in
+/// as little-endian 8-byte words.
 #[derive(Debug)]
 pub struct FingerprintBuilder {
-    hasher: DefaultHasher,
+    state: u64,
 }
 
 impl FingerprintBuilder {
@@ -34,29 +42,36 @@ impl FingerprintBuilder {
     #[must_use]
     pub fn new(domain: &str) -> FingerprintBuilder {
         let mut b = FingerprintBuilder {
-            hasher: DefaultHasher::new(),
+            state: FNV_OFFSET_BASIS,
         };
         b.text(domain);
         b
     }
 
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
     /// Mix in a string ingredient.
     pub fn text(&mut self, s: &str) -> &mut FingerprintBuilder {
-        self.hasher.write_u64(s.len() as u64);
-        self.hasher.write(s.as_bytes());
+        self.number(s.len() as u64);
+        self.write(s.as_bytes());
         self
     }
 
     /// Mix in a numeric ingredient (content versions, epochs, node ids).
     pub fn number(&mut self, n: u64) -> &mut FingerprintBuilder {
-        self.hasher.write_u64(n);
+        self.write(&n.to_le_bytes());
         self
     }
 
     /// Finish and produce the fingerprint.
     #[must_use]
     pub fn finish(&self) -> Fingerprint {
-        Fingerprint(self.hasher.finish())
+        Fingerprint(self.state)
     }
 }
 
@@ -101,5 +116,26 @@ mod tests {
         let mut b = FingerprintBuilder::new("F(J)");
         b.text("Children").number(2);
         assert_ne!(a.finish(), b.finish());
+    }
+
+    /// Pins exact FNV-1a 64 digests. These values are part of the cache
+    /// key format: if this test ever fails, the hasher drifted and any
+    /// persisted fingerprints would be silently invalidated.
+    #[test]
+    fn golden_fingerprints_are_stable() {
+        assert_eq!(
+            FingerprintBuilder::new("F(J)").finish().0,
+            0x6fe6_2b74_b343_b3ea
+        );
+        let mut a = FingerprintBuilder::new("F(J)");
+        a.text("Children").number(3);
+        assert_eq!(a.finish().0, 0xcd96_4730_aa9b_eace);
+        let mut b = FingerprintBuilder::new("Q(M)");
+        b.text("Children.ID").number(0);
+        assert_eq!(b.finish().0, 0xf4dc_1475_3873_90b5);
+        assert_eq!(
+            FingerprintBuilder::new("D(G).tree").finish().0,
+            0x1d45_6285_fef9_4432
+        );
     }
 }

@@ -46,11 +46,13 @@ pub fn set_enabled(on: bool) {
     trace::set_trace_enabled(on);
 }
 
-/// One JSON document with the current counter snapshot and (when any
-/// spans have been collected) the aggregated span tree:
+/// One JSON document with the current counter snapshot, per-session
+/// counter tables (when any session labels recorded work — see
+/// [`metrics::with_session`]), and the aggregated span tree (when any
+/// spans have been collected):
 ///
 /// ```json
-/// {"counters": {"join.probes": 42, ...}, "spans": [...]}
+/// {"counters": {...}, "sessions": {"0": {...}, "1": {...}}, "spans": [...]}
 /// ```
 #[must_use]
 pub fn report_json() -> String {
@@ -58,6 +60,19 @@ pub fn report_json() -> String {
     let spans = trace::snapshot_spans();
     let mut out = String::from("{\n  \"counters\": ");
     out.push_str(&snap.to_json_object(2));
+    let labels = metrics::session_labels();
+    if !labels.is_empty() {
+        out.push_str(",\n  \"sessions\": {");
+        for (i, label) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let table = metrics::session_snapshot(*label).unwrap_or_else(metrics::snapshot);
+            out.push_str(&format!("\n    \"{label}\": "));
+            out.push_str(&table.to_json_object(4));
+        }
+        out.push_str("\n  }");
+    }
     if !spans.is_empty() {
         out.push_str(",\n  \"spans\": ");
         out.push_str(&trace::spans_to_json(&spans, 2));

@@ -4,8 +4,21 @@
 //! enum, gated by a single relaxed `AtomicBool`. Disabled counting is a
 //! load-and-branch; enabled counting is a relaxed `fetch_add`. Hot
 //! loops should accumulate into locals and [`add`] once per operation.
+//!
+//! ## Per-session aggregation
+//!
+//! A thread may carry an optional numeric **session label** (installed
+//! with [`with_session`] or [`set_session`]; inherited by `exec` pool
+//! workers). While a label is active, every enabled [`add`] is mirrored
+//! into a per-label counter table alongside the global one, giving each
+//! concurrent session its own view (see `docs/concurrency.md`). The
+//! labeled tables surface through [`session_snapshot`] and the
+//! `"sessions"` object of the `--metrics` JSON report.
 
+use std::cell::Cell;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Every engine counter. The discriminant doubles as the index into the
 /// global counter table.
@@ -116,6 +129,82 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 const ZERO: AtomicU64 = AtomicU64::new(0);
 static COUNTERS: [AtomicU64; COUNTER_COUNT] = [ZERO; COUNTER_COUNT];
 
+thread_local! {
+    /// The session label carried by the current thread, if any.
+    static SESSION: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Per-label counter tables, keyed by session label. A `BTreeMap` so
+/// JSON reports list sessions in label order.
+static SESSION_COUNTERS: Mutex<BTreeMap<u64, [u64; COUNTER_COUNT]>> = Mutex::new(BTreeMap::new());
+
+fn session_lock() -> MutexGuard<'static, BTreeMap<u64, [u64; COUNTER_COUNT]>> {
+    SESSION_COUNTERS
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Install (or clear, with `None`) the current thread's session label.
+/// Prefer [`with_session`], which restores the previous label.
+pub fn set_session(label: Option<u64>) {
+    SESSION.with(|s| s.set(label));
+}
+
+/// The current thread's session label, if one is installed.
+#[must_use]
+pub fn current_session() -> Option<u64> {
+    SESSION.with(Cell::get)
+}
+
+/// Run `f` with the given session label installed on this thread,
+/// restoring the previous label afterwards (also on panic).
+pub fn with_session<R>(label: Option<u64>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<u64>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SESSION.with(|s| s.set(self.0));
+        }
+    }
+    let _restore = Restore(SESSION.with(|s| s.replace(label)));
+    f()
+}
+
+/// Ensure a (possibly all-zero) counter table exists for `label`, so a
+/// session that did no counted work still appears in reports. No-op
+/// while metrics are disabled.
+pub fn touch_session(label: u64) {
+    if ENABLED.load(Ordering::Relaxed) {
+        session_lock().entry(label).or_insert([0; COUNTER_COUNT]);
+    }
+}
+
+/// Labels that have recorded (or touched) a per-session counter table,
+/// in ascending order.
+#[must_use]
+pub fn session_labels() -> Vec<u64> {
+    session_lock().keys().copied().collect()
+}
+
+/// Snapshot of one session's counter table, if that label has recorded
+/// anything.
+#[must_use]
+pub fn session_snapshot(label: u64) -> Option<MetricsSnapshot> {
+    session_lock()
+        .get(&label)
+        .map(|values| MetricsSnapshot { values: *values })
+}
+
+/// The snapshot for the current context: the per-session table when this
+/// thread carries a label (and the label has recorded work), the global
+/// table otherwise. The `stats` shell command uses this so each pooled
+/// session reports its own work.
+#[must_use]
+pub fn context_snapshot() -> MetricsSnapshot {
+    current_session()
+        .and_then(session_snapshot)
+        .unwrap_or_else(snapshot)
+}
+
 /// Turn counting on or off (off by default).
 pub fn set_metrics_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
@@ -127,11 +216,16 @@ pub fn metrics_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Add `n` to a counter (no-op while disabled).
+/// Add `n` to a counter (no-op while disabled). When the current thread
+/// carries a session label, the add is mirrored into that session's
+/// table as well as the global one.
 #[inline]
 pub fn add(counter: Counter, n: u64) {
     if ENABLED.load(Ordering::Relaxed) {
         COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+        if let Some(label) = SESSION.with(Cell::get) {
+            session_lock().entry(label).or_insert([0; COUNTER_COUNT])[counter as usize] += n;
+        }
     }
 }
 
@@ -147,11 +241,13 @@ pub fn value(counter: Counter) -> u64 {
     COUNTERS[counter as usize].load(Ordering::Relaxed)
 }
 
-/// Zero every counter (leaves the enabled flag untouched).
+/// Zero every counter, global and per-session (leaves the enabled flag
+/// and installed session labels untouched).
 pub fn reset_metrics() {
     for c in &COUNTERS {
         c.store(0, Ordering::Relaxed);
     }
+    session_lock().clear();
 }
 
 /// A point-in-time copy of every counter.
@@ -290,6 +386,54 @@ mod tests {
         let delta = snapshot().since(&base);
         set_metrics_enabled(false);
         assert_eq!(delta.get(Counter::TuplesScanned), 5);
+    }
+
+    #[test]
+    fn session_labels_mirror_adds_and_restore() {
+        let _guard = LOCK.lock().unwrap();
+        set_metrics_enabled(true);
+        reset_metrics();
+        assert!(session_labels().is_empty());
+        add(Counter::JoinProbes, 2); // unlabeled: global only
+        with_session(Some(7), || {
+            assert_eq!(current_session(), Some(7));
+            add(Counter::JoinProbes, 5);
+            with_session(Some(9), || add(Counter::TuplesScanned, 1));
+            assert_eq!(current_session(), Some(7), "nested label restored");
+        });
+        assert_eq!(current_session(), None);
+        touch_session(11);
+        set_metrics_enabled(false);
+        assert_eq!(session_labels(), vec![7, 9, 11]);
+        let s7 = session_snapshot(7).expect("session 7 recorded");
+        assert_eq!(s7.get(Counter::JoinProbes), 5);
+        assert_eq!(s7.get(Counter::TuplesScanned), 0);
+        let s9 = session_snapshot(9).expect("session 9 recorded");
+        assert_eq!(s9.get(Counter::TuplesScanned), 1);
+        let s11 = session_snapshot(11).expect("touched session present");
+        assert_eq!(s11.get(Counter::JoinProbes), 0);
+        // global table saw everything
+        assert_eq!(snapshot().get(Counter::JoinProbes), 7);
+        assert!(session_snapshot(42).is_none());
+        reset_metrics();
+        assert!(session_labels().is_empty(), "reset clears session tables");
+    }
+
+    #[test]
+    fn context_snapshot_prefers_the_thread_label() {
+        let _guard = LOCK.lock().unwrap();
+        set_metrics_enabled(true);
+        reset_metrics();
+        add(Counter::JoinProbes, 10);
+        let ctx = with_session(Some(3), || {
+            add(Counter::JoinProbes, 1);
+            context_snapshot()
+        });
+        let global = context_snapshot();
+        set_metrics_enabled(false);
+        assert_eq!(ctx.get(Counter::JoinProbes), 1);
+        assert_eq!(global.get(Counter::JoinProbes), 11);
+        reset_metrics();
     }
 
     #[test]

@@ -102,18 +102,41 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let workers = threads().min(items.len());
+    map_slice_with(threads(), items, span_name, f)
+}
+
+/// Like [`map_slice`], but with an explicit worker count instead of the
+/// resolved [`threads`] setting (clamped to at least 1 and at most the
+/// item count). `SessionPool` uses this so the *session* fan-out width
+/// is governed by `--sessions` while the engine parallelism *inside*
+/// each session stays governed by `--threads`.
+///
+/// Worker threads inherit the calling thread's [`with_threads`] override
+/// and its observability session label, so nested parallel operations
+/// and counters behave the same whether an item runs on the caller or on
+/// a pool worker.
+pub fn map_slice_with<T, R, F>(workers: usize, items: &[T], span_name: &'static str, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len());
     if workers <= 1 {
         let _span = clio_obs::span(span_name);
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
+    let inherited_override = OVERRIDE.with(Cell::get);
+    let inherited_session = clio_obs::metrics::current_session();
     let cursor = AtomicUsize::new(0);
     let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    OVERRIDE.with(|c| c.set(inherited_override));
+                    clio_obs::metrics::set_session(inherited_session);
                     let _span = clio_obs::span(span_name);
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
@@ -199,6 +222,28 @@ mod tests {
         });
         let first_err = out.iter().find_map(|r| r.as_ref().err());
         assert_eq!(first_err, Some(&3));
+    }
+
+    #[test]
+    fn map_slice_with_uses_explicit_width_and_inherits_context() {
+        // Width is explicit: even with a thread override of 1, an
+        // explicit width of 4 spawns real workers, and those workers see
+        // the caller's override (1) for their own nested operations.
+        let items: Vec<usize> = (0..32).collect();
+        let out = with_threads(1, || {
+            map_slice_with(4, &items, "test.worker", |i, &x| {
+                assert_eq!(threads(), 1, "worker inherits caller override");
+                i + x
+            })
+        });
+        assert_eq!(out, (0..32).map(|i| 2 * i).collect::<Vec<_>>());
+        // Session labels cross into workers too.
+        let labels = clio_obs::metrics::with_session(Some(5), || {
+            map_slice_with(3, &items, "test.worker", |_, _| {
+                clio_obs::metrics::current_session()
+            })
+        });
+        assert!(labels.iter().all(|&l| l == Some(5)));
     }
 
     #[test]

@@ -37,7 +37,9 @@ echo "==> golden counter gate (demo.clio, --threads 1, --no-cache)"
 tmp_metrics="$(mktemp)"
 tmp_twice_metrics="$(mktemp)"
 tmp_twice_script="$(mktemp)"
-trap 'rm -f "$tmp_metrics" "$tmp_twice_metrics" "$tmp_twice_script"' EXIT
+tmp_serial_out="$(mktemp)"
+tmp_chunk_dir="$(mktemp -d)"
+trap 'rm -f "$tmp_metrics" "$tmp_twice_metrics" "$tmp_twice_script" "$tmp_serial_out"; rm -rf "$tmp_chunk_dir"' EXIT
 target/release/clio-shell \
     --script examples/scripts/demo.clio \
     --metrics "$tmp_metrics" \
@@ -76,5 +78,29 @@ if [ -z "$cache_hits" ] || [ "$cache_hits" -eq 0 ]; then
     exit 1
 fi
 echo "    cache.hits = $cache_hits"
+
+# Tier 2c: concurrent-session determinism gate. The demo script is run
+# as FOUR concurrent sessions over one shared snapshot (the PR 4
+# session service, see docs/concurrency.md); each session's chunk of
+# the batch output must be byte-identical to a plain serial --script
+# run. Any divergence means session isolation broke — shared mutable
+# state leaking between sessions, or nondeterministic result merging.
+echo "==> concurrent-session gate (demo.clio x4, --sessions 4, --threads 1)"
+target/release/clio-shell \
+    --script examples/scripts/demo.clio --threads 1 > "$tmp_serial_out"
+target/release/clio-shell \
+    --sessions 4 --threads 1 \
+    examples/scripts/demo.clio examples/scripts/demo.clio \
+    examples/scripts/demo.clio examples/scripts/demo.clio \
+    | awk -v dir="$tmp_chunk_dir" '
+        /^=== session [0-9]+: / { n++; next }
+        n { print > (dir "/chunk" n-1) }'
+for i in 0 1 2 3; do
+    if ! diff -u "$tmp_serial_out" "$tmp_chunk_dir/chunk$i"; then
+        echo "verify: FAILED — concurrent session $i diverged from the serial demo run" >&2
+        exit 1
+    fi
+done
+echo "    4 concurrent sessions byte-identical to serial"
 
 echo "verify: OK"

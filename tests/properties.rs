@@ -535,6 +535,47 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Concurrency and caching are **transparent to the session
+    /// service**: the same per-session operator sequences replayed
+    /// through a `SessionPool` serially (width 1) and concurrently
+    /// (width 4), with the cache on and off, produce byte-identical
+    /// per-session step outputs and final digests. `EditChildren`
+    /// sequences exercise copy-on-write isolation: a session editing the
+    /// shared snapshot must never perturb its siblings.
+    #[test]
+    fn session_pool_is_transparent_to_width_and_caching(
+        per_session_ops in proptest::collection::vec(
+            proptest::collection::vec(session_op_strategy(), 1..8),
+            2..5,
+        )
+    ) {
+        let replay = |width: usize, cache: bool| -> Vec<String> {
+            let mut pool = SessionPool::new(paper_database(), kids_target()).with_width(width);
+            pool.set_cache_enabled(cache);
+            pool.run(per_session_ops.len(), |i, mut s| {
+                let mut log = String::new();
+                for (step, &op) in per_session_ops[i].iter().enumerate() {
+                    log.push_str(&apply_session_op(&mut s, op, step));
+                    log.push('\n');
+                }
+                log.push_str(&session_digest(&s));
+                log
+            })
+        };
+        let baseline = replay(1, true);
+        for (width, cache) in [(4, true), (1, false), (4, false)] {
+            let run = replay(width, cache);
+            prop_assert_eq!(
+                &baseline, &run,
+                "diverged at width {} cache {}", width, cache
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Cache transparency on **cyclic** graphs, where `D(G)` takes the
