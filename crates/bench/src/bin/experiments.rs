@@ -1,5 +1,5 @@
 //! Run the parameter sweeps behind EXPERIMENTS.md and print one markdown
-//! table per experiment (B1–B9). Wall-clock medians over a few
+//! table per experiment (B1–B12). Wall-clock medians over a few
 //! repetitions — the Criterion benches give rigorous statistics; this
 //! binary gives the compact tables the docs quote.
 //!
@@ -621,6 +621,123 @@ fn b10_warm_path() {
     }
 }
 
+fn b10_eviction_pressure() {
+    println!("\n### B10b — eviction pressure: post-edit replay under shrinking byte budgets\n");
+    println!("| workload | budget | post-edit replay | hits | misses | evictions |");
+    println!("|---|---|---|---|---|---|");
+    // cyclic workloads memoize one table per subgraph F(J); an edit to
+    // R0 invalidates only the dependent entries, so the replay's speed
+    // depends on the *other* entries still being resident — exactly what
+    // a shrinking byte budget destroys. Tree-shaped mappings cache a
+    // single result table and have nothing to evict.
+    let funcs = FuncRegistry::with_builtins();
+    for (name, w) in [
+        ("cycle4 x100", cycle(4, 100)),
+        ("cycle5 x100", cycle(5, 100)),
+    ] {
+        let eval = |cache: &EvalCache| {
+            w.mapping
+                .evaluate_cached(&w.db, &funcs, Some(cache))
+                .expect("valid")
+                .len()
+        };
+        // working set: resident bytes after one cold evaluation with an
+        // effectively unbounded budget
+        let probe = EvalCache::new();
+        eval(&probe);
+        let working = probe.stats().bytes.max(1);
+        for pct in [100usize, 50, 25, 10] {
+            let cache = EvalCache::with_capacity((working * pct / 100).max(1));
+            eval(&cache); // cold fill under the budget
+            let post_edit = time(|| {
+                cache.bump_version("R0");
+                std::hint::black_box(eval(&cache));
+            });
+            // one counted edit-replay round for the hit/miss/eviction mix
+            let before = cache.stats();
+            cache.bump_version("R0");
+            eval(&cache);
+            let s = cache.stats();
+            println!(
+                "| {name} | {pct}% | {} | {} | {} | {} |",
+                fmt(post_edit),
+                s.hits - before.hits,
+                s.misses - before.misses,
+                s.evictions - before.evictions,
+            );
+        }
+    }
+}
+
+fn b12_persistence() {
+    use clio_incr::CacheStore;
+
+    println!("\n## B12 — persistent cache: cold vs disk-warm vs memory-warm\n");
+    println!(
+        "| workload | cold | disk-warm | mem-warm | cold/disk-warm | disk hits/replay \
+         | disk bytes |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    let funcs = FuncRegistry::with_builtins();
+    for (name, w) in [
+        ("chain4 x100", chain(4, 100)),
+        ("chain4 x1000", chain(4, 1000)),
+        ("star5 x1000", star(5, 1000)),
+        ("cycle4 x100", cycle(4, 100)),
+    ] {
+        let dir = std::env::temp_dir().join(format!(
+            "clio-bench-b12-{}-{}",
+            std::process::id(),
+            name.replace(' ', "-")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store: std::sync::Arc<dyn CacheStore> = std::sync::Arc::new(
+            clio_incr::DiskStore::open(&dir, clio_incr::database_digest(&w.db)),
+        );
+        let eval = |cache: &EvalCache| {
+            w.mapping
+                .evaluate_cached(&w.db, &funcs, Some(cache))
+                .expect("valid")
+                .len()
+        };
+        // cold: a fresh cache with no store, every rep recomputes
+        let cold = time(|| {
+            let c = EvalCache::new();
+            std::hint::black_box(eval(&c));
+        });
+        // populate the store once (insert-time spills)
+        let spiller = EvalCache::new();
+        spiller.set_store(Some(std::sync::Arc::clone(&store)));
+        eval(&spiller);
+        // disk-warm: memory tier dropped before each rep — the restart
+        // path, where every lookup is decoded from the store's files
+        let cache = EvalCache::new();
+        cache.set_store(Some(std::sync::Arc::clone(&store)));
+        let disk_warm = time(|| {
+            cache.clear();
+            std::hint::black_box(eval(&cache));
+        });
+        let before = store.stats().hits;
+        cache.clear();
+        eval(&cache);
+        let hits_per_replay = store.stats().hits - before;
+        // mem-warm: entries resident, the store is never consulted
+        eval(&cache);
+        let mem_warm = time(|| {
+            std::hint::black_box(eval(&cache));
+        });
+        println!(
+            "| {name} | {} | {} | {} | {} | {hits_per_replay} | {} |",
+            fmt(cold),
+            fmt(disk_warm),
+            fmt(mem_warm),
+            ratio(cold, disk_warm),
+            store.stats().bytes,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 fn b11_concurrent_sessions() {
     use clio_core::session::Session;
     use clio_core::session_pool::SessionPool;
@@ -700,8 +817,12 @@ fn main() {
     }
     if run("b10") {
         b10_warm_path();
+        b10_eviction_pressure();
     }
     if run("b11") {
         b11_concurrent_sessions();
+    }
+    if run("b12") {
+        b12_persistence();
     }
 }

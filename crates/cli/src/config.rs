@@ -1,0 +1,267 @@
+//! Typed command-line configuration for the `clio-shell` binary.
+//!
+//! [`CliConfig::parse`] turns an argv slice into a [`CliConfig`] or a
+//! [`UsageError`] whose `Display` is exactly the message the binary
+//! prints to stderr before exiting 2 — so tests can assert on flag
+//! handling without spawning a process, and the binary's behavior is
+//! the library's behavior.
+
+use clio_datagen::synthetic::{SyntheticSpec, Topology};
+
+/// A command-line usage error. `Display` renders the exact stderr
+/// message of the `clio-shell` binary (which then exits 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Everything the `clio-shell` binary accepts on its command line, in
+/// typed form. See the binary's `--help` for flag semantics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CliConfig {
+    /// `--help` / `-h`: print usage and exit 0. Parsing stops at the
+    /// flag, so anything after it is neither validated nor applied.
+    pub help: bool,
+    /// `--script <file>`: run commands from a script instead of stdin.
+    pub script: Option<String>,
+    /// Positional arguments: script files run as a concurrent batch.
+    pub batch_scripts: Vec<String>,
+    /// `--sessions <n>`: batch width (validated positive).
+    pub sessions_width: Option<usize>,
+    /// `--source <dir>`: CSV source database directory.
+    pub source_dir: Option<String>,
+    /// `--target <schema>`: target schema text.
+    pub target_spec: Option<String>,
+    /// `--synthetic <spec>`: validated generator spec.
+    pub synthetic: Option<SyntheticSpec>,
+    /// `--metrics <file>`: counter JSON report path.
+    pub metrics_path: Option<String>,
+    /// `--trace` (or implied by `--trace-filter`).
+    pub trace: bool,
+    /// `--trace-filter <name>`.
+    pub trace_filter: Option<String>,
+    /// `--threads <n>`: engine worker threads (validated positive).
+    pub threads: Option<usize>,
+    /// `--no-cache`: disable the incremental evaluation cache.
+    pub no_cache: bool,
+    /// `--cache-dir <path>`: attach an on-disk cache store rooted at
+    /// this directory (see `docs/incremental.md`, Persistence).
+    pub cache_dir: Option<String>,
+}
+
+/// The value of flag `flag`, or the binary's exact missing-value error.
+fn require_value(args: &[String], i: usize, flag: &str) -> Result<String, UsageError> {
+    args.get(i)
+        .cloned()
+        .ok_or_else(|| UsageError(format!("{flag} requires a value (see --help)")))
+}
+
+/// Parse a `--synthetic` spec (`<topology>,<relations>,<rows>`),
+/// preserving the binary's historical error messages byte-for-byte.
+fn parse_synthetic(spec_text: &str) -> Result<SyntheticSpec, UsageError> {
+    let parts: Vec<&str> = spec_text.split(',').collect();
+    let [topo, relations, rows] = parts.as_slice() else {
+        return Err(UsageError(
+            "expected --synthetic <topology>,<relations>,<rows>".into(),
+        ));
+    };
+    let topology = match *topo {
+        "chain" => Topology::Chain,
+        "star" => Topology::Star,
+        "cycle" => Topology::Cycle,
+        "tree" => Topology::RandomTree,
+        other => return Err(UsageError(format!("unknown topology `{other}`"))),
+    };
+    Ok(SyntheticSpec {
+        topology,
+        relations: relations
+            .parse()
+            .map_err(|e| UsageError(format!("bad relation count: {e}")))?,
+        rows: rows
+            .parse()
+            .map_err(|e| UsageError(format!("bad row count: {e}")))?,
+        match_rate: 0.7,
+        payload_attrs: 1,
+        seed: 42,
+    })
+}
+
+impl CliConfig {
+    /// Parse an argv slice (without the program name). Flags are
+    /// processed left to right; the first invalid flag wins, and
+    /// `--help` stops parsing. Cross-flag constraints that depend on
+    /// runtime state (e.g. `--source` needing `--target`, `--script`
+    /// conflicting with positional scripts) are checked by the binary
+    /// in its historical order, not here.
+    pub fn parse(args: &[String]) -> Result<CliConfig, UsageError> {
+        let mut cfg = CliConfig::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--help" | "-h" => {
+                    cfg.help = true;
+                    return Ok(cfg);
+                }
+                "--script" => {
+                    i += 1;
+                    cfg.script = Some(require_value(args, i, "--script")?);
+                }
+                "--source" => {
+                    i += 1;
+                    cfg.source_dir = Some(require_value(args, i, "--source")?);
+                }
+                "--target" => {
+                    i += 1;
+                    cfg.target_spec = Some(require_value(args, i, "--target")?);
+                }
+                "--metrics" => {
+                    i += 1;
+                    cfg.metrics_path = Some(require_value(args, i, "--metrics")?);
+                }
+                "--cache-dir" => {
+                    i += 1;
+                    cfg.cache_dir = Some(require_value(args, i, "--cache-dir")?);
+                }
+                "--trace" => cfg.trace = true,
+                "--no-cache" => cfg.no_cache = true,
+                "--trace-filter" => {
+                    i += 1;
+                    cfg.trace_filter = Some(require_value(args, i, "--trace-filter")?);
+                    cfg.trace = true;
+                }
+                "--threads" => {
+                    i += 1;
+                    let value = require_value(args, i, "--threads")?;
+                    match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => cfg.threads = Some(n),
+                        _ => {
+                            return Err(UsageError(format!(
+                                "--threads expects a positive integer, got `{value}`"
+                            )))
+                        }
+                    }
+                }
+                "--sessions" => {
+                    i += 1;
+                    let value = require_value(args, i, "--sessions")?;
+                    match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => cfg.sessions_width = Some(n),
+                        _ => {
+                            return Err(UsageError(format!(
+                                "--sessions expects a positive integer, got `{value}`"
+                            )))
+                        }
+                    }
+                }
+                "--synthetic" => {
+                    i += 1;
+                    let spec = require_value(args, i, "--synthetic")?;
+                    cfg.synthetic = Some(parse_synthetic(&spec)?);
+                }
+                other if other.starts_with('-') => {
+                    return Err(UsageError(format!("unknown flag `{other}` (see --help)")));
+                }
+                path => cfg.batch_scripts.push(path.to_owned()),
+            }
+            i += 1;
+        }
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| (*w).to_owned()).collect()
+    }
+
+    #[test]
+    fn defaults_and_positionals() {
+        let cfg = CliConfig::parse(&argv(&["a.clio", "b.clio"])).unwrap();
+        assert_eq!(cfg.batch_scripts, vec!["a.clio", "b.clio"]);
+        assert!(!cfg.help && !cfg.trace && !cfg.no_cache);
+        assert_eq!(cfg.script, None);
+        assert_eq!(cfg.cache_dir, None);
+    }
+
+    #[test]
+    fn flags_with_values() {
+        let cfg = CliConfig::parse(&argv(&[
+            "--script",
+            "s.clio",
+            "--metrics",
+            "m.json",
+            "--cache-dir",
+            "/tmp/cc",
+            "--threads",
+            "3",
+            "--sessions",
+            "2",
+            "--trace-filter",
+            "fd.naive",
+            "--no-cache",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.script.as_deref(), Some("s.clio"));
+        assert_eq!(cfg.metrics_path.as_deref(), Some("m.json"));
+        assert_eq!(cfg.cache_dir.as_deref(), Some("/tmp/cc"));
+        assert_eq!(cfg.threads, Some(3));
+        assert_eq!(cfg.sessions_width, Some(2));
+        assert_eq!(cfg.trace_filter.as_deref(), Some("fd.naive"));
+        assert!(cfg.trace, "--trace-filter implies --trace");
+        assert!(cfg.no_cache);
+    }
+
+    #[test]
+    fn help_stops_parsing() {
+        let cfg = CliConfig::parse(&argv(&["--help", "--threads", "zero"])).unwrap();
+        assert!(cfg.help, "nothing after --help is validated");
+        let cfg = CliConfig::parse(&argv(&["-h"])).unwrap();
+        assert!(cfg.help);
+    }
+
+    #[test]
+    fn error_messages_are_the_binary_stderr_lines() {
+        let err = |words: &[&str]| CliConfig::parse(&argv(words)).unwrap_err().to_string();
+        assert_eq!(err(&["--script"]), "--script requires a value (see --help)");
+        assert_eq!(
+            err(&["--cache-dir"]),
+            "--cache-dir requires a value (see --help)"
+        );
+        assert_eq!(
+            err(&["--threads", "0"]),
+            "--threads expects a positive integer, got `0`"
+        );
+        assert_eq!(
+            err(&["--sessions", "x"]),
+            "--sessions expects a positive integer, got `x`"
+        );
+        assert_eq!(err(&["--wat"]), "unknown flag `--wat` (see --help)");
+        assert_eq!(
+            err(&["--synthetic", "chain,4"]),
+            "expected --synthetic <topology>,<relations>,<rows>"
+        );
+        assert_eq!(
+            err(&["--synthetic", "blob,4,10"]),
+            "unknown topology `blob`"
+        );
+        assert!(err(&["--synthetic", "chain,x,10"]).starts_with("bad relation count: "));
+        assert!(err(&["--synthetic", "chain,4,x"]).starts_with("bad row count: "));
+    }
+
+    #[test]
+    fn synthetic_spec_is_validated_and_typed() {
+        let cfg = CliConfig::parse(&argv(&["--synthetic", "star,5,20"])).unwrap();
+        let spec = cfg.synthetic.expect("spec");
+        assert_eq!(spec.relations, 5);
+        assert_eq!(spec.rows, 20);
+    }
+}

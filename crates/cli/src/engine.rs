@@ -1,6 +1,6 @@
-//! The command engine behind the `clio` shell: parses one command line at
-//! a time and drives a [`Session`]. Pure (text in, text out) so it is
-//! unit-testable and scriptable.
+//! The command engine behind the `clio` shell: parses one command line
+//! at a time (via [`crate::command::parse`]) and drives a [`Session`].
+//! Pure (text in, text out) so it is unit-testable and scriptable.
 
 use std::fmt::Write as _;
 
@@ -10,6 +10,8 @@ use clio_core::session::Session;
 use clio_core::sql::{generate_sql, SqlOptions};
 use clio_relational::error::{Error, Result};
 use clio_relational::value::Value;
+
+use crate::command::{self, CacheAction, Command, FilterKind, StatsAction};
 
 /// The shell state: a session plus presentation settings.
 pub struct Shell {
@@ -32,28 +34,31 @@ impl Shell {
         Shell { session }
     }
 
-    /// Execute one command line. Errors are rendered into the output
-    /// rather than propagated, so a shell script keeps going.
+    /// Execute one command line. Parse and dispatch errors are rendered
+    /// into the output rather than propagated, so a shell script keeps
+    /// going.
     pub fn execute(&mut self, line: &str) -> Outcome {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            return Outcome::Continue(String::new());
-        }
-        if line == "quit" || line == "exit" {
-            return Outcome::Quit;
-        }
-        match self.dispatch(line) {
-            Ok(out) => Outcome::Continue(out),
-            Err(e) => Outcome::Continue(format!("error: {e}\n")),
+        let cmd = match command::parse(line) {
+            Ok(cmd) => cmd,
+            Err(e) => return Outcome::Continue(format!("error: {e}\n")),
+        };
+        match cmd {
+            Command::Noop => Outcome::Continue(String::new()),
+            Command::Quit => Outcome::Quit,
+            cmd => match self.dispatch(cmd) {
+                Ok(out) => Outcome::Continue(out),
+                Err(e) => Outcome::Continue(format!("error: {e}\n")),
+            },
         }
     }
 
-    fn dispatch(&mut self, line: &str) -> Result<String> {
-        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
-        let rest = rest.trim();
+    fn dispatch(&mut self, cmd: Command) -> Result<String> {
         match cmd {
-            "help" => Ok(HELP.to_owned()),
-            "source" => {
+            // Noop/Quit are consumed by `execute`; they produce nothing.
+            Command::Noop => Ok(String::new()),
+            Command::Quit => Ok(String::new()),
+            Command::Help => Ok(command::help_text()),
+            Command::Source => {
                 let mut out = String::new();
                 for rel in self.session.database().relations() {
                     let _ = writeln!(out, "{} ({} rows)", rel.schema(), rel.len());
@@ -63,18 +68,13 @@ impl Shell {
                 }
                 Ok(out)
             }
-            "show" => {
-                let rel = self.session.database().relation(rest)?;
+            Command::Show { relation } => {
+                let rel = self.session.database().relation(&relation)?;
                 Ok(rel.to_string())
             }
-            "target" => Ok(self.session.target_preview()?.to_string()),
-            "corr" => {
-                let idx = rest
-                    .rfind(" -> ")
-                    .ok_or_else(|| Error::Invalid("usage: corr <expr> -> <attr>".into()))?;
-                let expr = rest[..idx].trim();
-                let attr = rest[idx + 4..].trim();
-                let ids = self.session.add_correspondence(expr, attr)?;
+            Command::Target => Ok(self.session.target_preview()?.to_string()),
+            Command::Corr { expr, attr } => {
+                let ids = self.session.add_correspondence(&expr, &attr)?;
                 if ids.len() == 1 {
                     Ok(format!("ok (workspace {})\n", ids[0]))
                 } else {
@@ -89,16 +89,8 @@ impl Shell {
                     Ok(out)
                 }
             }
-            "walk" => {
-                let mut words = rest.split_whitespace();
-                let first = words
-                    .next()
-                    .ok_or_else(|| Error::Invalid("usage: walk [<start>] <relation>".into()))?;
-                let (start, end) = match words.next() {
-                    Some(second) => (Some(first), second),
-                    None => (None, first),
-                };
-                let ids = self.session.data_walk(start, end)?;
+            Command::Walk { start, relation } => {
+                let ids = self.session.data_walk(start.as_deref(), &relation)?;
                 let mut out = format!("{} scenario(s):\n", ids.len());
                 for id in ids {
                     let w = self.workspace(id)?;
@@ -106,17 +98,8 @@ impl Shell {
                 }
                 Ok(out)
             }
-            "chase" => {
-                // chase <alias>.<attr> <value>
-                let (site, value) = rest
-                    .split_once(' ')
-                    .ok_or_else(|| Error::Invalid("usage: chase <alias>.<attr> <value>".into()))?;
-                let (alias, attr) = site
-                    .split_once('.')
-                    .ok_or_else(|| Error::Invalid("usage: chase <alias>.<attr> <value>".into()))?;
-                let ids = self
-                    .session
-                    .data_chase(alias, attr, &Value::str(value.trim()))?;
+            Command::Chase { alias, attr, value } => {
+                let ids = self.session.data_chase(&alias, &attr, &Value::str(value))?;
                 let mut out = format!("{} scenario(s):\n", ids.len());
                 for id in ids {
                     let w = self.workspace(id)?;
@@ -124,7 +107,7 @@ impl Shell {
                 }
                 Ok(out)
             }
-            "workspaces" => {
+            Command::Workspaces => {
                 let mut out = String::new();
                 let active = self.session.active().map(|w| w.id);
                 for w in self.session.workspaces() {
@@ -133,32 +116,32 @@ impl Shell {
                 }
                 Ok(out)
             }
-            "activate" => {
-                self.session.activate(parse_id(rest)?)?;
+            Command::Activate { id } => {
+                self.session.activate(id)?;
                 Ok("ok\n".to_owned())
             }
-            "confirm" => {
-                self.session.confirm(parse_id(rest)?)?;
+            Command::Confirm { id } => {
+                self.session.confirm(id)?;
                 Ok("ok\n".to_owned())
             }
-            "delete" => {
-                self.session.delete(parse_id(rest)?)?;
+            Command::Delete { id } => {
+                self.session.delete(id)?;
                 Ok("ok\n".to_owned())
             }
-            "accept" => {
+            Command::Accept => {
                 self.session.accept_active()?;
                 Ok(format!(
                     "accepted ({} total)\n",
                     self.session.accepted().len()
                 ))
             }
-            "illustration" => {
+            Command::Illustration => {
                 let db = self.session.shared_database();
                 let w = self.active()?;
                 let scheme = w.mapping.graph.scheme(&db)?;
                 Ok(w.illustration.render(&w.mapping.graph, &scheme))
             }
-            "induced" => {
+            Command::Induced => {
                 // target-side of the illustration: the tuples each
                 // example induces (paper Def 4.1's t = Q_phi(M)(d))
                 let w = self.active()?;
@@ -167,8 +150,8 @@ impl Shell {
                     w.illustration.examples.iter().collect();
                 Ok(clio_core::example::render_example_targets(&tscheme, &refs))
             }
-            "mapping" => Ok(self.active()?.mapping.to_string()),
-            "sql" => {
+            Command::Mapping => Ok(self.active()?.mapping.to_string()),
+            Command::Sql => {
                 let db = self.session.shared_database();
                 let m = self.active()?.mapping.clone();
                 generate_sql(
@@ -180,37 +163,33 @@ impl Shell {
                     },
                 )
             }
-            "filter" => {
-                let (kind, pred) = rest
-                    .split_once(' ')
-                    .ok_or_else(|| Error::Invalid("usage: filter source|target <pred>".into()))?;
+            Command::Filter { kind, predicate } => {
                 match kind {
-                    "source" => self.session.add_source_filter(pred.trim())?,
-                    "target" => self.session.add_target_filter(pred.trim())?,
-                    other => return Err(Error::Invalid(format!("unknown filter kind `{other}`"))),
+                    FilterKind::Source => self.session.add_source_filter(&predicate)?,
+                    FilterKind::Target => self.session.add_target_filter(&predicate)?,
                 }
                 Ok("ok\n".to_owned())
             }
-            "require" => {
-                self.session.require_target_attribute(rest)?;
+            Command::Require { attr } => {
+                self.session.require_target_attribute(&attr)?;
                 Ok("ok\n".to_owned())
             }
-            "save" => {
+            Command::SaveMapping { path } => {
                 let text = write_mapping(&self.active()?.mapping);
-                std::fs::write(rest, &text)
-                    .map_err(|e| Error::Invalid(format!("cannot write `{rest}`: {e}")))?;
-                Ok(format!("saved to {rest}\n"))
+                std::fs::write(&path, &text)
+                    .map_err(|e| Error::Invalid(format!("cannot write `{path}`: {e}")))?;
+                Ok(format!("saved to {path}\n"))
             }
-            "load" => {
-                let text = std::fs::read_to_string(rest)
-                    .map_err(|e| Error::Invalid(format!("cannot read `{rest}`: {e}")))?;
+            Command::LoadMapping { path } => {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| Error::Invalid(format!("cannot read `{path}`: {e}")))?;
                 let m = parse_mapping(&text)?;
                 let id = self
                     .session
-                    .adopt_mapping(m, &format!("loaded from {rest}"))?;
+                    .adopt_mapping(m, &format!("loaded from {path}"))?;
                 Ok(format!("loaded as workspace {id}\n"))
             }
-            "status" => {
+            Command::Status => {
                 let mut out = String::new();
                 let _ = writeln!(
                     out,
@@ -239,8 +218,7 @@ impl Shell {
                 }
                 Ok(out)
             }
-            "alternatives" => {
-                let slot = parse_id(rest)?;
+            Command::Alternatives { slot } => {
                 let alts = self.session.example_alternatives(slot)?;
                 if alts.is_empty() {
                     return Ok("no alternatives for this slot
@@ -257,30 +235,20 @@ impl Shell {
                     &refs,
                 ))
             }
-            "swap" => {
-                let (slot, alt) = rest
-                    .split_once(' ')
-                    .ok_or_else(|| Error::Invalid("usage: swap <slot> <alternative>".into()))?;
-                self.session.swap_example(parse_id(slot)?, parse_id(alt)?)?;
+            Command::Swap { slot, alt } => {
+                self.session.swap_example(slot, alt)?;
                 Ok("ok
 "
                 .to_owned())
             }
-            "profile" => {
+            Command::Profile => {
                 let profiles = clio_core::profile::profile_database(self.session.database());
                 Ok(clio_core::profile::render_profile(&profiles))
             }
-            "mine" => {
+            Command::Mine { min_containment } => {
                 // mine [containment] — enrich walk knowledge from data
-                let min_containment: f64 = if rest.is_empty() {
-                    0.95
-                } else {
-                    rest.parse().map_err(|_| {
-                        Error::Invalid(format!("expected a containment fraction, got `{rest}`"))
-                    })?
-                };
                 let config = clio_core::mining::MiningConfig {
-                    min_containment,
+                    min_containment: min_containment.unwrap_or(0.95),
                     ..clio_core::mining::MiningConfig::default()
                 };
                 let db = self.session.shared_database();
@@ -296,20 +264,20 @@ impl Shell {
                 }
                 Ok(out)
             }
-            "verify" => {
+            Command::Verify { keys } => {
                 // verify [attr[,attr]...] — key attrs for conflict checks;
                 // defaults to every NOT NULL target attribute as its own key
-                let keys: Vec<Vec<String>> = if rest.is_empty() {
-                    self.active()?
+                let keys: Vec<Vec<String>> = match keys {
+                    None => self
+                        .active()?
                         .mapping
                         .target
                         .attrs()
                         .iter()
                         .filter(|a| a.not_null)
                         .map(|a| vec![a.name.clone()])
-                        .collect()
-                } else {
-                    vec![rest.split(',').map(|s| s.trim().to_owned()).collect()]
+                        .collect(),
+                    Some(attrs) => vec![attrs],
                 };
                 let findings = self.session.verify_active(&keys)?;
                 if findings.is_empty() {
@@ -322,7 +290,7 @@ impl Shell {
                     Ok(out)
                 }
             }
-            "contributions" => {
+            Command::Contributions => {
                 let tm = self.session.target_mapping();
                 let db = self.session.shared_database();
                 let funcs = clio_relational::funcs::FuncRegistry::with_builtins();
@@ -340,18 +308,18 @@ impl Shell {
                 }
                 Ok(out)
             }
-            "stats" => {
-                if rest == "reset" {
-                    clio_obs::reset_metrics();
-                    return Ok("counters reset\n".to_owned());
-                }
+            Command::Stats(StatsAction::Reset) => {
+                clio_obs::reset_metrics();
+                Ok("counters reset\n".to_owned())
+            }
+            Command::Stats(StatsAction::Show(filter)) => {
                 // `stats <operation>` keeps only counters whose dotted
                 // name contains the argument (e.g. `stats chase`). In a
                 // pooled session (batch mode) the thread carries a
                 // session label, so the table shows this session's own
                 // work rather than the process-wide totals — which also
                 // keeps concurrent `stats` output deterministic.
-                let mut out = clio_obs::metrics::context_snapshot().render_table_filtered(rest);
+                let mut out = clio_obs::metrics::context_snapshot().render_table_filtered(&filter);
                 if !clio_obs::metrics_enabled() {
                     out.push_str(
                         "(counting is off — run the shell with --metrics <file> to collect)\n",
@@ -359,8 +327,41 @@ impl Shell {
                 }
                 Ok(out)
             }
-            "cache" => {
-                let cache = self.session.cache();
+            Command::Cache(action) => self.cache_command(action),
+            Command::Trace { filter } => {
+                // live span tree, optionally filtered by name — the
+                // in-session counterpart of --trace-filter
+                let records = clio_obs::snapshot_spans();
+                if records.is_empty() {
+                    return Ok(
+                        "no spans recorded (start the shell with --trace or --trace-filter \
+                         to collect)\n"
+                            .to_owned(),
+                    );
+                }
+                Ok(clio_obs::render_tree_filtered(&records, &filter))
+            }
+            Command::Examples => {
+                // full example population of the active mapping, capped
+                let db = self.session.shared_database();
+                let w = self.active()?;
+                let all = w
+                    .mapping
+                    .examples(&db, &clio_relational::funcs::FuncRegistry::with_builtins())?;
+                let ill = Illustration { examples: all };
+                let scheme = w.mapping.graph.scheme(&db)?;
+                Ok(ill.render(&w.mapping.graph, &scheme))
+            }
+        }
+    }
+
+    /// Dispatch a `cache …` subcommand. `cache` (stats) keeps its
+    /// legacy three-line output byte-for-byte when no persistent store
+    /// is attached; store lines are appended only when one is.
+    fn cache_command(&mut self, action: CacheAction) -> Result<String> {
+        let cache = self.session.cache();
+        match action {
+            CacheAction::Stats => {
                 let stats = cache.stats();
                 let mut out = format!("cache: {}\n", if cache.enabled() { "on" } else { "off" });
                 let _ = writeln!(
@@ -375,35 +376,69 @@ impl Shell {
                     "hits: {}  misses: {}  invalidations: {}  evictions: {}",
                     stats.hits, stats.misses, stats.invalidations, stats.evictions
                 );
-                Ok(out)
-            }
-            "trace" => {
-                // live span tree, optionally filtered by name — the
-                // in-session counterpart of --trace-filter
-                let records = clio_obs::snapshot_spans();
-                if records.is_empty() {
-                    return Ok(
-                        "no spans recorded (start the shell with --trace or --trace-filter \
-                         to collect)\n"
-                            .to_owned(),
+                if let Some(store) = cache.store() {
+                    let s = store.stats();
+                    let _ = writeln!(out, "store: {}", store.describe());
+                    let _ = writeln!(
+                        out,
+                        "spills: {}  disk hits: {}  disk bytes: {}  load errors: {}",
+                        s.spills, s.hits, s.bytes, s.load_errors
                     );
                 }
-                Ok(clio_obs::render_tree_filtered(&records, rest))
+                Ok(out)
             }
-            "examples" => {
-                // full example population of the active mapping, capped
-                let db = self.session.shared_database();
-                let w = self.active()?;
-                let all = w
-                    .mapping
-                    .examples(&db, &clio_relational::funcs::FuncRegistry::with_builtins())?;
-                let ill = Illustration { examples: all };
-                let scheme = w.mapping.graph.scheme(&db)?;
-                Ok(ill.render(&w.mapping.graph, &scheme))
+            CacheAction::Clear => {
+                cache.clear();
+                Ok("ok\n".to_owned())
             }
-            other => Err(Error::Invalid(format!(
-                "unknown command `{other}` (try `help`)"
-            ))),
+            CacheAction::Limit(bytes) => {
+                cache.set_capacity(bytes);
+                Ok("ok\n".to_owned())
+            }
+            CacheAction::Save(dir) => {
+                let n = match dir {
+                    Some(dir) => {
+                        let store = clio_incr::DiskStore::open(
+                            std::path::Path::new(&dir),
+                            clio_incr::database_digest(self.session.database()),
+                        );
+                        cache.spill_to(&store)
+                    }
+                    None => match cache.store() {
+                        Some(store) => cache.spill_to(store.as_ref()),
+                        None => {
+                            return Err(Error::Invalid(
+                                "no cache store attached (start the shell with --cache-dir \
+                                 or pass a directory: `cache save <dir>`)"
+                                    .into(),
+                            ))
+                        }
+                    },
+                };
+                Ok(format!("saved {n} entry(ies)\n"))
+            }
+            CacheAction::Load(dir) => {
+                let n = match dir {
+                    Some(dir) => {
+                        let store = clio_incr::DiskStore::open(
+                            std::path::Path::new(&dir),
+                            clio_incr::database_digest(self.session.database()),
+                        );
+                        cache.preload_from(&store)
+                    }
+                    None => match cache.store() {
+                        Some(store) => cache.preload_from(store.as_ref()),
+                        None => {
+                            return Err(Error::Invalid(
+                                "no cache store attached (start the shell with --cache-dir \
+                                 or pass a directory: `cache load <dir>`)"
+                                    .into(),
+                            ))
+                        }
+                    },
+                };
+                Ok(format!("loaded {n} entry(ies)\n"))
+            }
         }
     }
 
@@ -421,50 +456,6 @@ impl Shell {
             .ok_or_else(|| Error::Invalid(format!("no workspace {id}")))
     }
 }
-
-fn parse_id(s: &str) -> Result<usize> {
-    s.trim()
-        .parse()
-        .map_err(|_| Error::Invalid(format!("expected a workspace id, got `{s}`")))
-}
-
-/// The `help` text.
-pub const HELP: &str = "\
-commands:
-  source                      show the source schema and constraints
-  show <relation>             print a source relation
-  target                      WYSIWYG preview of the target
-  corr <expr> -> <attr>       add a value correspondence (may spawn scenarios)
-  walk [<start>] <relation>   link a relation via schema knowledge
-  chase <alias>.<attr> <val>  chase a value through the database
-  workspaces                  list mapping alternatives (* = active)
-  activate|confirm|delete <id>
-  accept                      accept the active mapping for the target
-  illustration                show the active mapping's illustration
-  induced                     the target tuples the illustration induces
-  alternatives <slot>         other examples that could fill a slot
-  swap <slot> <alt>           replace an illustration example
-  examples                    show ALL examples of the active mapping
-  mapping                     print the active mapping
-  sql                         generate SQL for the active mapping
-  filter source|target <pred> add a data-trimming filter
-  require <attr>              make a target attribute required
-  status                      session summary
-  stats [reset|<operation>]   engine work counters, optionally filtered
-                              by name, e.g. `stats chase` (see
-                              docs/observability.md)
-  trace [<name>]              live span tree so far, optionally filtered
-                              by span name (requires --trace or
-                              --trace-filter)
-  cache                       incremental-cache statistics (see
-                              docs/incremental.md)
-  profile                     per-attribute statistics of the source
-  mine [containment]          mine join candidates from the data
-  verify [key,attrs]          data-driven mapping diagnostics
-  contributions               per-accepted-mapping contribution report
-  save <file> / load <file>   persist the active mapping as a script
-  quit
-";
 
 #[cfg(test)]
 mod tests {
@@ -693,6 +684,77 @@ mod tests {
         // toggled off, the command says so
         sh.session.set_cache_enabled(false);
         assert!(run(&mut sh, "cache").contains("cache: off"));
+    }
+
+    #[test]
+    fn cache_clear_and_limit_commands() {
+        let mut sh = shell();
+        run(&mut sh, "corr Children.ID -> ID");
+        run(&mut sh, "target");
+        assert!(sh.session.cache().stats().entries > 0);
+        assert_eq!(run(&mut sh, "cache clear"), "ok\n");
+        assert_eq!(sh.session.cache().stats().entries, 0);
+        assert_eq!(run(&mut sh, "cache limit 4096"), "ok\n");
+        assert_eq!(sh.session.cache().capacity(), 4096);
+        let s = run(&mut sh, "cache");
+        assert!(s.contains("of 4096 capacity"), "{s}");
+        // bad arguments come back as parse errors, not panics
+        assert!(run(&mut sh, "cache limit lots").starts_with("error:"));
+        assert!(run(&mut sh, "cache wat").starts_with("error:"));
+    }
+
+    #[test]
+    fn cache_save_and_load_round_trip_through_a_directory() {
+        let dir = std::env::temp_dir().join(format!("clio-engine-save-{}", std::process::id()));
+        let dir_s = dir.display().to_string();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut sh = shell();
+        // without an attached store and without a directory: an error
+        assert!(run(&mut sh, "cache save").starts_with("error: no cache store attached"));
+        assert!(run(&mut sh, "cache load").starts_with("error: no cache store attached"));
+        run(&mut sh, "corr Children.ID -> ID");
+        run(&mut sh, "target");
+        let saved = run(&mut sh, format!("cache save {dir_s}").as_str());
+        assert!(saved.starts_with("saved "), "{saved}");
+        assert_ne!(saved, "saved 0 entry(ies)\n");
+
+        // a fresh shell loads the spilled entries back
+        let mut warm = shell();
+        let loaded = run(&mut warm, format!("cache load {dir_s}").as_str());
+        assert_eq!(loaded, saved.replace("saved", "loaded"));
+        assert!(warm.session.cache().stats().entries > 0);
+        // …and the warmed preview is byte-identical to the cold one
+        let mut cold = shell();
+        run(&mut cold, "corr Children.ID -> ID");
+        run(&mut warm, "corr Children.ID -> ID");
+        assert_eq!(run(&mut cold, "target"), run(&mut warm, "target"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_stats_show_store_lines_only_when_attached() {
+        let mut sh = shell();
+        let plain = run(&mut sh, "cache");
+        assert!(!plain.contains("store:"), "{plain}");
+        sh.session
+            .attach_store(std::sync::Arc::new(clio_incr::MemStore::new()));
+        let with_store = run(&mut sh, "cache");
+        assert!(
+            with_store.contains("store: mem (0 entries)"),
+            "{with_store}"
+        );
+        assert!(with_store.contains("disk hits: 0"), "{with_store}");
+        // with a store attached, eligible entries spill at insert time,
+        // so an explicit `cache save` finds nothing left to write
+        run(&mut sh, "corr Children.ID -> ID");
+        run(&mut sh, "target");
+        assert!(run(&mut sh, "cache").contains("spills: "), "store line");
+        assert!(
+            sh.session.cache().store().expect("attached").stats().spills > 0,
+            "insert-time spill"
+        );
+        assert_eq!(run(&mut sh, "cache save"), "saved 0 entry(ies)\n");
     }
 
     #[test]

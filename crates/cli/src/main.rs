@@ -8,44 +8,28 @@
 //! cargo run -p clio-cli -- --source data/ --target "T (id str not null, x str)"
 //! cargo run -p clio-cli -- --script cmds.txt --metrics out.json --trace
 //! cargo run -p clio-cli -- --sessions 4 a.clio b.clio c.clio d.clio
+//! cargo run -p clio-cli -- --script cmds.txt --cache-dir .clio-cache
 //! ```
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
+use clio_cli::config::CliConfig;
 use clio_cli::engine::{Outcome, Shell};
 use clio_core::session::Session;
 use clio_core::session_pool::SessionPool;
 use clio_datagen::paper::{kids_target, paper_database};
-use clio_datagen::synthetic::{generate, SyntheticSpec, Topology};
+use clio_datagen::synthetic::{generate, SyntheticSpec};
+use clio_incr::CacheStore;
 use clio_relational::database::Database;
 use clio_relational::schema::RelSchema;
 
-fn synthetic_source(spec_text: &str) -> Result<(Database, RelSchema), String> {
-    let parts: Vec<&str> = spec_text.split(',').collect();
-    let [topo, relations, rows] = parts.as_slice() else {
-        return Err("expected --synthetic <topology>,<relations>,<rows>".into());
-    };
-    let topology = match *topo {
-        "chain" => Topology::Chain,
-        "star" => Topology::Star,
-        "cycle" => Topology::Cycle,
-        "tree" => Topology::RandomTree,
-        other => return Err(format!("unknown topology `{other}`")),
-    };
-    let spec = SyntheticSpec {
-        topology,
-        relations: relations
-            .parse()
-            .map_err(|e| format!("bad relation count: {e}"))?,
-        rows: rows.parse().map_err(|e| format!("bad row count: {e}"))?,
-        match_rate: 0.7,
-        payload_attrs: 1,
-        seed: 42,
-    };
+/// Generate a synthetic source from a validated spec, re-declaring the
+/// generated edges as foreign keys so walks are possible.
+fn synthetic_source(spec: SyntheticSpec) -> (Database, RelSchema) {
     let w = generate(&spec);
     let mut db = w.db;
     db.constraints = clio_relational::constraints::Constraints::none();
-    // make walks possible: re-declare the edges as foreign keys
     for s in w.knowledge.specs() {
         db.constraints
             .foreign_keys
@@ -56,7 +40,7 @@ fn synthetic_source(spec_text: &str) -> Result<(Database, RelSchema), String> {
                 to_attrs: s.attr_pairs.iter().map(|(_, b)| b.clone()).collect(),
             });
     }
-    Ok((db, w.target))
+    (db, w.target)
 }
 
 /// Execute script files as concurrent sessions over one shared source
@@ -66,7 +50,14 @@ fn synthetic_source(spec_text: &str) -> Result<(Database, RelSchema), String> {
 /// source: scripts are read upfront (first unreadable file by input
 /// order exits 2), sessions run on the pool, and outputs are buffered
 /// per session and merged deterministically.
-fn run_batch(db: Database, target: RelSchema, scripts: &[String], width: usize, no_cache: bool) {
+fn run_batch(
+    db: Database,
+    target: RelSchema,
+    scripts: &[String],
+    width: usize,
+    no_cache: bool,
+    store: Option<Arc<dyn CacheStore>>,
+) {
     let mut bodies: Vec<String> = Vec::new();
     for path in scripts {
         match std::fs::read_to_string(path) {
@@ -78,6 +69,9 @@ fn run_batch(db: Database, target: RelSchema, scripts: &[String], width: usize, 
         }
     }
     let mut pool = SessionPool::new(db, target).with_width(width);
+    if let Some(store) = store {
+        pool = pool.with_store(store);
+    }
     pool.set_cache_enabled(!no_cache);
     let outputs = pool.run(bodies.len(), |i, session| {
         let mut shell = Shell::new(session);
@@ -130,124 +124,50 @@ flags:
   --no-cache             disable the incremental evaluation cache; every
                          operator recomputes from scratch (see
                          docs/incremental.md)
+  --cache-dir <path>     persist eligible cache entries under <path> and
+                         serve misses from it across runs (see
+                         docs/incremental.md, Persistence)
   --help, -h             show this help
 
 {}",
-        clio_cli::engine::HELP
+        clio_cli::command::help_text()
     )
-}
-
-/// The value of flag `flag`, or exit 2 when it is missing.
-fn require_value(args: &[String], i: usize, flag: &str) -> String {
-    match args.get(i) {
-        Some(v) => v.clone(),
-        None => {
-            eprintln!("{flag} requires a value (see --help)");
-            std::process::exit(2);
-        }
-    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut script: Option<String> = None;
-    let mut batch_scripts: Vec<String> = Vec::new();
-    let mut sessions_width: Option<usize> = None;
-    let mut source: Option<(Database, RelSchema)> = None;
-    let mut source_dir: Option<String> = None;
-    let mut target_spec: Option<String> = None;
-    let mut metrics_path: Option<String> = None;
-    let mut trace = false;
-    let mut trace_filter: Option<String> = None;
-    let mut no_cache = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--help" | "-h" => {
-                print!("{}", usage());
-                return;
-            }
-            "--script" => {
-                i += 1;
-                script = Some(require_value(&args, i, "--script"));
-            }
-            "--source" => {
-                i += 1;
-                source_dir = Some(require_value(&args, i, "--source"));
-            }
-            "--target" => {
-                i += 1;
-                target_spec = Some(require_value(&args, i, "--target"));
-            }
-            "--metrics" => {
-                i += 1;
-                metrics_path = Some(require_value(&args, i, "--metrics"));
-            }
-            "--trace" => trace = true,
-            "--no-cache" => no_cache = true,
-            "--trace-filter" => {
-                i += 1;
-                trace_filter = Some(require_value(&args, i, "--trace-filter"));
-                trace = true;
-            }
-            "--threads" => {
-                i += 1;
-                let value = require_value(&args, i, "--threads");
-                match value.parse::<usize>() {
-                    Ok(n) if n >= 1 => clio_relational::exec::set_threads(n),
-                    _ => {
-                        eprintln!("--threads expects a positive integer, got `{value}`");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--sessions" => {
-                i += 1;
-                let value = require_value(&args, i, "--sessions");
-                match value.parse::<usize>() {
-                    Ok(n) if n >= 1 => sessions_width = Some(n),
-                    _ => {
-                        eprintln!("--sessions expects a positive integer, got `{value}`");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--synthetic" => {
-                i += 1;
-                let spec = require_value(&args, i, "--synthetic");
-                match synthetic_source(&spec) {
-                    Ok(s) => source = Some(s),
-                    Err(e) => {
-                        eprintln!("{e}");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            other if other.starts_with('-') => {
-                eprintln!("unknown flag `{other}` (see --help)");
-                std::process::exit(2);
-            }
-            path => batch_scripts.push(path.to_owned()),
+    let cfg = match CliConfig::parse(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
         }
-        i += 1;
+    };
+    if cfg.help {
+        print!("{}", usage());
+        return;
     }
 
-    if metrics_path.is_some() {
+    if let Some(n) = cfg.threads {
+        clio_relational::exec::set_threads(n);
+    }
+    if cfg.metrics_path.is_some() {
         clio_obs::set_metrics_enabled(true);
     }
-    if trace {
+    if cfg.trace {
         clio_obs::set_trace_enabled(true);
     }
 
-    if let Some(dir) = source_dir {
-        let db = match clio_relational::csv::read_database(std::path::Path::new(&dir)) {
+    let mut source = cfg.synthetic.map(synthetic_source);
+    if let Some(dir) = &cfg.source_dir {
+        let db = match clio_relational::csv::read_database(std::path::Path::new(dir)) {
             Ok(db) => db,
             Err(e) => {
                 eprintln!("cannot load `{dir}`: {e}");
                 std::process::exit(2);
             }
         };
-        let target = match &target_spec {
+        let target = match &cfg.target_spec {
             Some(spec) => match clio_core::script::parse_target_schema(spec) {
                 Ok(t) => t,
                 Err(e) => {
@@ -265,30 +185,46 @@ fn main() {
 
     let (db, target) = source.unwrap_or_else(|| (paper_database(), kids_target()));
 
-    if !batch_scripts.is_empty() {
-        if script.is_some() {
+    // The on-disk store is namespaced by a digest of the source, so one
+    // --cache-dir can serve many databases without cross-talk.
+    let store: Option<Arc<dyn CacheStore>> = cfg.cache_dir.as_ref().map(|dir| {
+        Arc::new(clio_incr::DiskStore::open(
+            std::path::Path::new(dir),
+            clio_incr::database_digest(&db),
+        )) as Arc<dyn CacheStore>
+    });
+
+    if !cfg.batch_scripts.is_empty() {
+        if cfg.script.is_some() {
             eprintln!("--script conflicts with positional script arguments (see --help)");
             std::process::exit(2);
         }
-        let width = sessions_width.unwrap_or(1);
-        run_batch(db, target, &batch_scripts, width, no_cache);
-        finish_reports(metrics_path.as_deref(), trace, trace_filter.as_deref());
+        let width = cfg.sessions_width.unwrap_or(1);
+        run_batch(db, target, &cfg.batch_scripts, width, cfg.no_cache, store);
+        finish_reports(
+            cfg.metrics_path.as_deref(),
+            cfg.trace,
+            cfg.trace_filter.as_deref(),
+        );
         return;
     }
-    if sessions_width.is_some() {
+    if cfg.sessions_width.is_some() {
         eprintln!("--sessions requires positional script arguments (see --help)");
         std::process::exit(2);
     }
 
     let mut session = Session::new(db, target);
-    if no_cache {
+    if cfg.no_cache {
         session.set_cache_enabled(false);
+    }
+    if let Some(store) = store {
+        session.attach_store(store);
     }
     let mut shell = Shell::new(session);
 
     let stdin;
     let file;
-    let reader: Box<dyn BufRead> = match &script {
+    let reader: Box<dyn BufRead> = match &cfg.script {
         Some(path) => {
             file = std::fs::File::open(path).unwrap_or_else(|e| {
                 eprintln!("cannot open `{path}`: {e}");
@@ -302,7 +238,7 @@ fn main() {
         }
     };
 
-    let interactive = script.is_none();
+    let interactive = cfg.script.is_none();
     if interactive {
         println!("clio mapping shell — type `help` for commands");
     }
@@ -316,7 +252,7 @@ fn main() {
             Ok(l) => l,
             Err(_) => break,
         };
-        if script.is_some() {
+        if cfg.script.is_some() {
             println!("clio> {line}");
         }
         match shell.execute(&line) {
@@ -331,7 +267,11 @@ fn main() {
         }
     }
 
-    finish_reports(metrics_path.as_deref(), trace, trace_filter.as_deref());
+    finish_reports(
+        cfg.metrics_path.as_deref(),
+        cfg.trace,
+        cfg.trace_filter.as_deref(),
+    );
 }
 
 /// Write the metrics JSON report and/or print the span tree, as

@@ -184,6 +184,7 @@ fn missing_flag_values_exit_2() {
         "--trace-filter",
         "--threads",
         "--sessions",
+        "--cache-dir",
     ] {
         let out = shell().arg(flag).output().expect("binary runs");
         assert_eq!(out.status.code(), Some(2), "{flag}");
@@ -397,6 +398,204 @@ fn cache_command_and_metrics_report_hits() {
     std::fs::remove_file(&metrics).ok();
     assert_eq!(counter(&json, "cache.hits"), 0, "{json}");
     assert_eq!(counter(&json, "cache.misses"), 0, "{json}");
+}
+
+/// A mapping-building script with no introspection commands (`stats`,
+/// `cache`), so its stdout must be byte-identical no matter how the
+/// cache is served — memory, disk, or not at all.
+fn write_persistence_script(name: &str) -> PathBuf {
+    let script = tmp_path(name);
+    std::fs::write(
+        &script,
+        "corr Children.ID -> ID\ncorr Children.name -> name\n\
+         corr Parents.affiliation -> affiliation\nconfirm 1\n\
+         target\ntarget\nillustration\nmapping\nsql\nquit\n",
+    )
+    .expect("script written");
+    script
+}
+
+fn run_with_cache_dir(script: &PathBuf, dir: Option<&PathBuf>, metrics: &PathBuf) -> Output {
+    let mut cmd = shell();
+    cmd.arg("--script")
+        .arg(script)
+        .arg("--metrics")
+        .arg(metrics);
+    if let Some(dir) = dir {
+        cmd.arg("--cache-dir").arg(dir);
+    }
+    cmd.output().expect("binary runs")
+}
+
+#[test]
+fn cache_dir_restart_serves_disk_hits_with_identical_stdout() {
+    let script = write_persistence_script("persist.clio");
+    let dir = tmp_path("persist_cache_dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let metrics = tmp_path("persist_metrics.json");
+
+    // baseline: no cache dir at all
+    let baseline = run_with_cache_dir(&script, None, &metrics);
+    assert!(baseline.status.success());
+
+    // cold: populates the directory, nothing to hit yet
+    let cold = run_with_cache_dir(&script, Some(&dir), &metrics);
+    assert!(
+        cold.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let cold_json = std::fs::read_to_string(&metrics).expect("cold metrics");
+    assert!(counter(&cold_json, "cache.spills") > 0, "{cold_json}");
+    assert_eq!(counter(&cold_json, "cache.disk_hits"), 0, "{cold_json}");
+    assert!(counter(&cold_json, "cache.disk_bytes") > 0, "{cold_json}");
+
+    // warm: a NEW process over the same directory is served from disk
+    let warm = run_with_cache_dir(&script, Some(&dir), &metrics);
+    assert!(warm.status.success());
+    let warm_json = std::fs::read_to_string(&metrics).expect("warm metrics");
+    std::fs::remove_file(&metrics).ok();
+    assert!(counter(&warm_json, "cache.disk_hits") > 0, "{warm_json}");
+    assert_eq!(counter(&warm_json, "cache.load_errors"), 0, "{warm_json}");
+
+    // persistence must be invisible in the rendered output
+    let b = String::from_utf8_lossy(&baseline.stdout);
+    let c = String::from_utf8_lossy(&cold.stdout);
+    let w = String::from_utf8_lossy(&warm.stdout);
+    assert_eq!(b, c, "--cache-dir (cold) changed visible output");
+    assert_eq!(c, w, "disk-warm restart changed visible output");
+
+    std::fs::remove_file(&script).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_cache_files_degrade_to_a_cold_run() {
+    let script = write_persistence_script("corrupt.clio");
+    let dir = tmp_path("corrupt_cache_dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let metrics = tmp_path("corrupt_metrics.json");
+
+    let cold = run_with_cache_dir(&script, Some(&dir), &metrics);
+    assert!(cold.status.success());
+
+    // flip bytes in every spilled file: truncate one, scribble the rest
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "clc"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "cold run spilled nothing");
+    for (i, file) in files.iter().enumerate() {
+        if i == 0 {
+            let bytes = std::fs::read(file).expect("read entry");
+            std::fs::write(file, &bytes[..bytes.len() / 2]).expect("truncate");
+        } else {
+            std::fs::write(file, b"not a cache entry").expect("scribble");
+        }
+    }
+
+    let warm = run_with_cache_dir(&script, Some(&dir), &metrics);
+    assert!(
+        warm.status.success(),
+        "corrupt cache dir must not kill the run: {}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    let json = std::fs::read_to_string(&metrics).expect("metrics");
+    std::fs::remove_file(&metrics).ok();
+    assert!(counter(&json, "cache.load_errors") > 0, "{json}");
+    assert_eq!(counter(&json, "cache.disk_hits"), 0, "{json}");
+    assert_eq!(
+        String::from_utf8_lossy(&cold.stdout),
+        String::from_utf8_lossy(&warm.stdout),
+        "corruption changed visible output"
+    );
+
+    std::fs::remove_file(&script).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unusable_cache_dir_degrades_to_an_inert_store() {
+    let script = write_persistence_script("inert.clio");
+    // point --cache-dir at a regular FILE: the store cannot create or
+    // use the directory and must degrade, not fail the run
+    let blocker = tmp_path("inert_not_a_dir");
+    std::fs::write(&blocker, b"occupied").expect("blocker written");
+    let metrics = tmp_path("inert_metrics.json");
+
+    let out = run_with_cache_dir(&script, Some(&blocker), &metrics);
+    assert!(
+        out.status.success(),
+        "unusable --cache-dir must not kill the run: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&metrics).expect("metrics");
+    std::fs::remove_file(&metrics).ok();
+    assert!(counter(&json, "cache.load_errors") > 0, "{json}");
+    assert_eq!(counter(&json, "cache.spills"), 0, "{json}");
+
+    let baseline = run_with_cache_dir(&script, None, &metrics);
+    std::fs::remove_file(&metrics).ok();
+    assert_eq!(
+        String::from_utf8_lossy(&baseline.stdout),
+        String::from_utf8_lossy(&out.stdout),
+        "degraded store changed visible output"
+    );
+
+    std::fs::remove_file(&script).ok();
+    std::fs::remove_file(&blocker).ok();
+}
+
+#[test]
+fn batch_sessions_share_one_cache_dir() {
+    let script = write_persistence_script("batch_persist.clio");
+    let dir = tmp_path("batch_cache_dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let metrics = tmp_path("batch_metrics.json");
+
+    let out = shell()
+        .arg("--sessions")
+        .arg("2")
+        .args([&script, &script])
+        .arg("--cache-dir")
+        .arg(&dir)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&metrics).expect("metrics");
+    assert!(counter(&json, "cache.spills") > 0, "{json}");
+
+    // a second batch over the same directory is disk-warm
+    let out2 = shell()
+        .arg("--sessions")
+        .arg("2")
+        .args([&script, &script])
+        .arg("--cache-dir")
+        .arg(&dir)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .expect("binary runs");
+    assert!(out2.status.success());
+    let json2 = std::fs::read_to_string(&metrics).expect("metrics");
+    std::fs::remove_file(&metrics).ok();
+    assert!(counter(&json2, "cache.disk_hits") > 0, "{json2}");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out2.stdout),
+        "disk-warm batch changed visible output"
+    );
+
+    std::fs::remove_file(&script).ok();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

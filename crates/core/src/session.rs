@@ -174,6 +174,15 @@ impl Session {
         self.cache.set_enabled(on);
     }
 
+    /// Attach a persistent second-tier cache backend (e.g. a
+    /// [`clio_incr::DiskStore`] over the CLI's `--cache-dir`): eligible
+    /// cache insertions spill to it, and lookups that miss in memory
+    /// consult it before recomputing. Output stays byte-identical with
+    /// or without a store — only the work to produce it changes.
+    pub fn attach_store(&mut self, store: Arc<dyn clio_incr::CacheStore>) {
+        self.cache.set_store(Some(store));
+    }
+
     /// Replace the contents of one base relation (a content edit — the
     /// schema must stay identical, so every mapping stays valid). The
     /// value index is rebuilt, dependent cache entries are invalidated,

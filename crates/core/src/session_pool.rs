@@ -70,6 +70,7 @@ pub struct SessionPool {
     target: RelSchema,
     width: usize,
     cache_enabled: bool,
+    store: Option<Arc<dyn clio_incr::CacheStore>>,
 }
 
 impl SessionPool {
@@ -93,6 +94,7 @@ impl SessionPool {
             target,
             width: 1,
             cache_enabled: true,
+            store: None,
         }
     }
 
@@ -116,6 +118,22 @@ impl SessionPool {
         self.cache_enabled = on;
     }
 
+    /// Attach one shared persistent cache backend: every session the
+    /// pool spawns spills to — and is warmed from — the same store, so
+    /// a table computed by any session in a batch (or by an earlier
+    /// process over the same source) is a disk hit for all the others.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<dyn clio_incr::CacheStore>) -> SessionPool {
+        self.store = Some(store);
+        self
+    }
+
+    /// The shared persistent store, if one is attached.
+    #[must_use]
+    pub fn store(&self) -> Option<Arc<dyn clio_incr::CacheStore>> {
+        self.store.clone()
+    }
+
     /// The shared source snapshot.
     #[must_use]
     pub fn database(&self) -> &Arc<Database> {
@@ -134,6 +152,9 @@ impl SessionPool {
             self.target.clone(),
         );
         s.set_cache_enabled(self.cache_enabled);
+        if let Some(store) = &self.store {
+            s.attach_store(Arc::clone(store));
+        }
         s
     }
 
@@ -272,6 +293,35 @@ mod tests {
         assert!(pool.session().cache().enabled());
         pool.set_cache_enabled(false);
         assert!(!pool.session().cache().enabled());
+    }
+
+    #[test]
+    fn shared_store_warms_sessions_across_the_pool() {
+        use clio_incr::CacheStore as _;
+        let store = Arc::new(clio_incr::MemStore::new());
+        let pool = SessionPool::new(db(), target()).with_store(store.clone());
+        assert!(pool.store().is_some());
+        // first session computes and spills
+        assert_eq!(preview_rows(pool.session()), 2);
+        let spilled = store.stats().spills;
+        assert!(spilled > 0, "pooled session should spill");
+        // a later session is warmed from the shared store: identical
+        // output, at least one lookup answered by the store
+        assert_eq!(preview_rows(pool.session()), 2);
+        assert!(store.stats().hits > 0, "second session should be warmed");
+    }
+
+    #[test]
+    fn store_warming_keeps_batch_results_identical() {
+        let store = Arc::new(clio_incr::MemStore::new());
+        let cold = SessionPool::new(db(), target()).with_width(4);
+        let warm = SessionPool::new(db(), target())
+            .with_width(4)
+            .with_store(store);
+        assert_eq!(
+            cold.run(4, |_, s| preview_rows(s)),
+            warm.run(4, |_, s| preview_rows(s))
+        );
     }
 
     #[test]

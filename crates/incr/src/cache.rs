@@ -20,14 +20,15 @@
 //! [`CacheStats`] (always, for the `cache` shell command).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use clio_obs::metrics::{self, Counter};
 use clio_relational::table::Table;
 use clio_relational::value::Value;
 
 use crate::fingerprint::Fingerprint;
+use crate::store::{CacheStore, StoredEntry};
 
 /// Default cache capacity: 64 MiB of estimated table bytes.
 pub const DEFAULT_CAPACITY_BYTES: usize = 64 << 20;
@@ -86,6 +87,10 @@ struct Inner {
     misses: u64,
     invalidations: u64,
     evictions: u64,
+    /// Optional second tier behind the memory tier. Shared (`Arc`) so a
+    /// cloned session keeps spilling to — and loading from — the same
+    /// backend.
+    store: Option<Arc<dyn CacheStore>>,
 }
 
 /// A memoizing cache of evaluation results with dependency-tracked
@@ -94,7 +99,7 @@ struct Inner {
 /// can populate it.
 pub struct EvalCache {
     enabled: AtomicBool,
-    capacity: usize,
+    capacity: AtomicUsize,
     inner: Mutex<Inner>,
 }
 
@@ -121,7 +126,7 @@ impl EvalCache {
     pub fn with_capacity(capacity_bytes: usize) -> EvalCache {
         EvalCache {
             enabled: AtomicBool::new(true),
-            capacity: capacity_bytes,
+            capacity: AtomicUsize::new(capacity_bytes),
             inner: Mutex::new(Inner::default()),
         }
     }
@@ -141,7 +146,52 @@ impl EvalCache {
     /// The byte budget.
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Change the byte budget at runtime (`cache limit <bytes>`),
+    /// evicting least-recently-used entries until resident bytes fit.
+    pub fn set_capacity(&self, capacity_bytes: usize) {
+        self.capacity.store(capacity_bytes, Ordering::Relaxed);
+        let mut inner = self.lock();
+        Self::evict_to(&mut inner, capacity_bytes);
+    }
+
+    /// Attach (or detach, with `None`) a second-tier backend. Lookups
+    /// that miss in memory consult the store; eligible insertions spill
+    /// copies to it.
+    pub fn set_store(&self, store: Option<Arc<dyn CacheStore>>) {
+        self.lock().store = store;
+    }
+
+    /// The attached second-tier backend, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<Arc<dyn CacheStore>> {
+        self.lock().store.clone()
+    }
+
+    fn evict_to(inner: &mut Inner, capacity: usize) {
+        while inner.bytes > capacity {
+            let Some((&victim, _)) = inner.entries.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            if let Some(e) = inner.entries.remove(&victim) {
+                inner.bytes -= e.bytes;
+                inner.evictions += 1;
+            }
+        }
+    }
+
+    /// Is an entry with these dependencies in the pristine state that
+    /// makes its fingerprint reproducible by a fresh process — epoch
+    /// zero and every declared dependency still at content version
+    /// zero? Only such entries are worth spilling: post-edit
+    /// fingerprints can never be requested across a restart.
+    fn spill_eligible(inner: &Inner, deps: &[String]) -> bool {
+        inner.epoch == 0
+            && deps
+                .iter()
+                .all(|d| inner.versions.get(d).copied().unwrap_or(0) == 0)
     }
 
     /// Current content version of a base relation (0 until first bump).
@@ -191,8 +241,11 @@ impl EvalCache {
         metrics::add(Counter::CacheInvalidations, dropped);
     }
 
-    /// Look up a result. Counts a hit or a miss; returns `None` without
-    /// counting anything while disabled.
+    /// Look up a result. A memory hit counts `cache.hits`; a lookup
+    /// answered by the attached store counts `cache.disk_hits` (inside
+    /// the store) and warms the memory tier; only a full miss counts
+    /// `cache.misses` — so `hits + disk_hits + misses` equals lookups.
+    /// Returns `None` without counting anything while disabled.
     #[must_use]
     pub fn get(&self, fp: Fingerprint) -> Option<Table> {
         if !self.enabled() {
@@ -201,49 +254,77 @@ impl EvalCache {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        match inner.entries.get_mut(&fp) {
-            Some(e) => {
-                e.last_used = tick;
-                let table = e.table.clone();
-                inner.hits += 1;
-                metrics::incr(Counter::CacheHits);
-                Some(table)
-            }
-            None => {
-                inner.misses += 1;
-                metrics::incr(Counter::CacheMisses);
-                None
+        if let Some(e) = inner.entries.get_mut(&fp) {
+            e.last_used = tick;
+            let table = e.table.clone();
+            inner.hits += 1;
+            metrics::incr(Counter::CacheHits);
+            return Some(table);
+        }
+        // Memory miss: consult the second tier with the lock released
+        // (store loads may do I/O and must not serialize other sessions).
+        let store = inner.store.clone();
+        drop(inner);
+        if let Some(store) = store {
+            if let Some(entry) = store.load(fp) {
+                self.admit(fp, entry.deps, &entry.table);
+                return Some(entry.table);
             }
         }
+        let mut inner = self.lock();
+        inner.misses += 1;
+        metrics::incr(Counter::CacheMisses);
+        None
     }
 
     /// Store a result under `fp`, declaring the base relations it was
     /// computed from. No-op while disabled, when the entry already
     /// exists, or when the table alone exceeds the whole budget.
-    /// Evicts least-recently-used entries to stay under the budget.
+    /// Evicts least-recently-used entries to stay under the budget, and
+    /// spills a copy to the attached store when the entry is eligible
+    /// (see [`EvalCache::spill_all`] for the eligibility rule).
     pub fn insert(&self, fp: Fingerprint, deps: Vec<String>, table: &Table) {
         if !self.enabled() {
             return;
         }
+        let spill = self.admit(fp, deps.clone(), table);
+        if let Some(store) = spill {
+            store.spill(
+                fp,
+                &StoredEntry {
+                    deps,
+                    table: table.clone(),
+                },
+            );
+        }
+    }
+
+    /// Insert into the memory tier only. Returns the store to spill to
+    /// when the entry was admitted fresh and is spill-eligible (the
+    /// actual spill happens outside the lock).
+    fn admit(
+        &self,
+        fp: Fingerprint,
+        deps: Vec<String>,
+        table: &Table,
+    ) -> Option<Arc<dyn CacheStore>> {
+        let capacity = self.capacity();
         let bytes = table_bytes(table);
-        if bytes > self.capacity {
-            return;
+        if bytes > capacity {
+            return None;
         }
         let mut inner = self.lock();
         if inner.entries.contains_key(&fp) {
-            return;
+            return None;
         }
-        while inner.bytes + bytes > self.capacity {
-            let Some((&victim, _)) = inner.entries.iter().min_by_key(|(_, e)| e.last_used) else {
-                break;
-            };
-            if let Some(e) = inner.entries.remove(&victim) {
-                inner.bytes -= e.bytes;
-                inner.evictions += 1;
-            }
-        }
+        Self::evict_to(&mut inner, capacity.saturating_sub(bytes));
         inner.tick += 1;
         let last_used = inner.tick;
+        let spill_to = if Self::spill_eligible(&inner, &deps) {
+            inner.store.clone()
+        } else {
+            None
+        };
         inner.entries.insert(
             fp,
             Entry {
@@ -255,6 +336,82 @@ impl EvalCache {
         );
         inner.bytes += bytes;
         metrics::add(Counter::CacheBytes, bytes as u64);
+        spill_to
+    }
+
+    /// Spill every spill-eligible resident entry to the attached store
+    /// (`cache save`). An entry is eligible when the cache epoch is
+    /// zero and all its declared dependencies are still at content
+    /// version zero — exactly the entries whose fingerprints a fresh
+    /// process over the same source will reproduce. Returns the number
+    /// of entries newly written.
+    pub fn spill_all(&self) -> usize {
+        let Some(store) = self.store() else {
+            return 0;
+        };
+        self.spill_to(store.as_ref())
+    }
+
+    /// Spill every spill-eligible resident entry to an explicit store
+    /// (`cache save <dir>`), which need not be the attached one. Same
+    /// eligibility rule as [`EvalCache::spill_all`]; returns the number
+    /// of entries newly written.
+    pub fn spill_to(&self, store: &dyn CacheStore) -> usize {
+        let inner = self.lock();
+        let eligible: Vec<(Fingerprint, StoredEntry)> = inner
+            .entries
+            .iter()
+            .filter(|(_, e)| Self::spill_eligible(&inner, &e.deps))
+            .map(|(&fp, e)| {
+                (
+                    fp,
+                    StoredEntry {
+                        deps: e.deps.clone(),
+                        table: e.table.clone(),
+                    },
+                )
+            })
+            .collect();
+        drop(inner);
+        eligible
+            .into_iter()
+            .filter(|(fp, entry)| store.spill(*fp, entry))
+            .count()
+    }
+
+    /// Pre-warm the memory tier with every entry the attached store
+    /// holds (`cache load`). Entries are admitted only while the cache
+    /// is still in the pristine state their fingerprints were minted in
+    /// (epoch zero, dependency versions zero); anything else is skipped
+    /// — a post-edit session can never ask for those fingerprints.
+    /// Returns the number of entries admitted.
+    pub fn preload(&self) -> usize {
+        let Some(store) = self.store() else {
+            return 0;
+        };
+        self.preload_from(store.as_ref())
+    }
+
+    /// Pre-warm the memory tier from an explicit store (`cache load
+    /// \<dir\>`), which need not be the attached one. Same admission rule
+    /// as [`EvalCache::preload`]; returns the number of entries
+    /// admitted.
+    pub fn preload_from(&self, store: &dyn CacheStore) -> usize {
+        if !self.enabled() {
+            return 0;
+        }
+        let mut admitted = 0;
+        for (fp, entry) in store.load_all() {
+            let ok = {
+                let inner = self.lock();
+                !inner.entries.contains_key(&fp) && Self::spill_eligible(&inner, &entry.deps)
+            };
+            if ok {
+                self.admit(fp, entry.deps, &entry.table);
+                admitted += 1;
+            }
+        }
+        admitted
     }
 
     /// Current statistics (for the `cache` shell command and tests).
@@ -287,12 +444,14 @@ impl Default for EvalCache {
 }
 
 // Session derives Clone; a cloned session gets an independent cache with
-// the same resident entries, versions, and statistics.
+// the same resident entries, versions, and statistics. The attached
+// store (if any) is shared: both caches keep spilling to the same
+// backend.
 impl Clone for EvalCache {
     fn clone(&self) -> EvalCache {
         EvalCache {
             enabled: AtomicBool::new(self.enabled()),
-            capacity: self.capacity,
+            capacity: AtomicUsize::new(self.capacity()),
             inner: Mutex::new(self.lock().clone()),
         }
     }
@@ -303,7 +462,7 @@ impl std::fmt::Debug for EvalCache {
         let stats = self.stats();
         f.debug_struct("EvalCache")
             .field("enabled", &self.enabled())
-            .field("capacity", &self.capacity)
+            .field("capacity", &self.capacity())
             .field("stats", &stats)
             .finish()
     }
@@ -435,6 +594,108 @@ mod tests {
         let copy = cache.clone();
         assert_eq!(copy.stats().entries, 0);
         cache.clear();
+    }
+
+    #[test]
+    fn set_capacity_evicts_down_to_new_budget() {
+        let one = table_bytes(&table(1, "x"));
+        let cache = EvalCache::with_capacity(4 * one);
+        cache.insert(fp(1), vec![], &table(1, "a"));
+        cache.insert(fp(2), vec![], &table(1, "b"));
+        cache.insert(fp(3), vec![], &table(1, "c"));
+        assert!(cache.get(fp(1)).is_some(), "refresh 1 so 2 is the victim");
+        cache.set_capacity(2 * one);
+        assert_eq!(cache.capacity(), 2 * one);
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert!(s.bytes <= 2 * one);
+        assert!(cache.get(fp(2)).is_none(), "LRU entry evicted by shrink");
+        assert!(cache.get(fp(1)).is_some());
+    }
+
+    #[test]
+    fn insert_spills_to_store_and_miss_is_served_from_it() {
+        use crate::store::{CacheStore, MemStore};
+        let store = std::sync::Arc::new(MemStore::new());
+        let cache = EvalCache::new();
+        cache.set_store(Some(store.clone()));
+        cache.insert(fp(1), vec!["R".into()], &table(2, "r"));
+        assert_eq!(store.len(), 1, "eligible insert spills");
+        // a second cache sharing the store serves the memory miss from it
+        let warm = EvalCache::new();
+        warm.set_store(Some(store.clone()));
+        let got = warm.get(fp(1)).expect("disk hit");
+        assert_eq!(got.len(), 2);
+        let s = warm.stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "store hit is neither");
+        assert_eq!(store.stats().hits, 1);
+        // the entry is now memory-resident: a second lookup is a plain hit
+        assert!(warm.get(fp(1)).is_some());
+        assert_eq!(warm.stats().hits, 1);
+        // and a store-backed entry still honors invalidation
+        warm.bump_version("R");
+        assert_eq!(warm.stats().entries, 0);
+    }
+
+    #[test]
+    fn post_edit_entries_are_not_spilled() {
+        use crate::store::MemStore;
+        let store = std::sync::Arc::new(MemStore::new());
+        let cache = EvalCache::new();
+        cache.set_store(Some(store.clone()));
+        cache.bump_version("R");
+        cache.insert(fp(1), vec!["R".into()], &table(1, "r"));
+        assert_eq!(store.len(), 0, "version-1 dep blocks the spill");
+        cache.insert(fp(2), vec!["S".into()], &table(1, "s"));
+        assert_eq!(store.len(), 1, "untouched dep still spills");
+        cache.bump_epoch();
+        cache.insert(fp(3), vec!["T".into()], &table(1, "t"));
+        assert_eq!(store.len(), 1, "non-zero epoch blocks every spill");
+        assert_eq!(cache.spill_all(), 0, "nothing eligible after the bumps");
+    }
+
+    #[test]
+    fn spill_all_and_preload_round_trip() {
+        use crate::store::MemStore;
+        let store = std::sync::Arc::new(MemStore::new());
+        // build a warm cache with no store attached, then save explicitly
+        let cache = EvalCache::new();
+        cache.insert(fp(1), vec!["R".into()], &table(1, "r"));
+        cache.insert(fp(2), vec!["S".into()], &table(2, "s"));
+        assert_eq!(cache.spill_all(), 0, "no store attached");
+        cache.set_store(Some(store.clone()));
+        assert_eq!(cache.spill_all(), 2);
+        assert_eq!(cache.spill_all(), 0, "idempotent");
+        // preload into a fresh cache
+        let warm = EvalCache::new();
+        warm.set_store(Some(store.clone()));
+        assert_eq!(warm.preload(), 2);
+        assert_eq!(warm.stats().entries, 2);
+        assert_eq!(warm.preload(), 0, "already resident");
+        // preload after an edit skips the now-stale entry
+        let edited = EvalCache::new();
+        edited.set_store(Some(store));
+        edited.bump_version("R");
+        assert_eq!(edited.preload(), 1, "only the S-dependent entry");
+    }
+
+    #[test]
+    fn disabled_cache_ignores_the_store() {
+        use crate::store::MemStore;
+        let store = std::sync::Arc::new(MemStore::new());
+        store.spill(
+            fp(1),
+            &crate::store::StoredEntry {
+                deps: vec![],
+                table: table(1, "r"),
+            },
+        );
+        let cache = EvalCache::new();
+        cache.set_store(Some(store.clone()));
+        cache.set_enabled(false);
+        assert!(cache.get(fp(1)).is_none());
+        assert_eq!(store.stats().hits, 0, "store not consulted while off");
+        assert_eq!(cache.preload(), 0);
     }
 
     #[test]

@@ -1,0 +1,629 @@
+//! The on-disk [`CacheStore`]: fingerprint-keyed files under a cache
+//! directory, surviving process restarts.
+//!
+//! ## File format (version 1)
+//!
+//! One entry per file, named `{namespace:016x}-{fingerprint:016x}.clc`.
+//! All integers are little-endian; strings are `u32` length + UTF-8
+//! bytes. Layout:
+//!
+//! ```text
+//! magic      b"CLIC"
+//! version    u32            (currently 1)
+//! namespace  u64            (database_digest of the source)
+//! fp         u64            (the entry fingerprint)
+//! deps       u32 count, then count strings
+//! scheme     u32 ncols, then per column: qualifier, name, u8 type tag
+//! rows       u64 nrows, then nrows × ncols tagged values
+//! checksum   u64            (FNV-1a 64 over everything above)
+//! ```
+//!
+//! Value tags: `0` null, `1` int (`i64`), `2` float (`f64` bit pattern),
+//! `3` string, `4` bool (`u8`).
+//!
+//! ## Crash safety and tolerance
+//!
+//! Writes go to a `.tmp-{pid}-{seq}` file in the same directory and are
+//! renamed into place, so readers never observe a half-written entry
+//! and concurrent sessions spilling the same fingerprint race
+//! harmlessly (both rename byte-identical content). Reads never trust
+//! the directory: a truncated file, a wrong magic/version, a namespace
+//! or fingerprint mismatch, or a failed checksum logs one line to
+//! stderr, counts `cache.load_errors`, and behaves as a miss — the
+//! cache recomputes, so a damaged directory can degrade performance but
+//! never an answer. An unusable directory (e.g. unwritable) degrades
+//! the store to an inert no-op the same way.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use clio_relational::schema::{Column, Scheme};
+use clio_relational::table::Table;
+use clio_relational::value::{DataType, Value};
+
+use crate::fingerprint::Fingerprint;
+use crate::store::{CacheStore, StoreCounters, StoreStats, StoredEntry};
+
+/// Current file format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 4] = b"CLIC";
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut state = FNV_OFFSET_BASIS;
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// A persistent [`CacheStore`] over a directory of entry files.
+#[derive(Debug)]
+pub struct DiskStore {
+    /// `None` when the directory proved unusable at open time; the
+    /// store then answers every call as an inert no-op.
+    dir: Option<PathBuf>,
+    namespace: u64,
+    seq: AtomicU64,
+    counters: StoreCounters,
+}
+
+impl DiskStore {
+    /// Open (creating if needed) a store over `dir`, namespaced by
+    /// `namespace` (a [`database_digest`](crate::store::database_digest)
+    /// of the source). Never errors: an unusable directory is reported
+    /// once on stderr, counted as a load error, and yields a degraded
+    /// store that spills nothing and loads nothing.
+    #[must_use]
+    pub fn open(dir: &Path, namespace: u64) -> DiskStore {
+        let usable = fs::create_dir_all(dir)
+            .and_then(|()| {
+                // Probe writability up front so degradation happens once,
+                // loudly, instead of once per spill.
+                let probe = dir.join(format!(".probe-{}", std::process::id()));
+                fs::write(&probe, b"")?;
+                fs::remove_file(&probe)
+            })
+            .map(|()| dir.to_path_buf());
+        let counters = StoreCounters::default();
+        let dir = match usable {
+            Ok(dir) => Some(dir),
+            Err(e) => {
+                eprintln!(
+                    "clio: cache dir `{}` unusable ({e}); continuing without persistence",
+                    dir.display()
+                );
+                counters.record_load_error();
+                None
+            }
+        };
+        DiskStore {
+            dir,
+            namespace,
+            seq: AtomicU64::new(0),
+            counters,
+        }
+    }
+
+    /// The namespace this store serves.
+    #[must_use]
+    pub fn namespace(&self) -> u64 {
+        self.namespace
+    }
+
+    /// Is the store degraded (directory unusable)?
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.dir.is_none()
+    }
+
+    fn entry_path(&self, dir: &Path, fp: Fingerprint) -> PathBuf {
+        dir.join(format!("{:016x}-{:016x}.clc", self.namespace, fp.0))
+    }
+
+    fn read_entry(&self, path: &Path, fp: Fingerprint) -> Option<StoredEntry> {
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                eprintln!(
+                    "clio: cache entry `{}` unreadable ({e}); recomputing",
+                    path.display()
+                );
+                self.counters.record_load_error();
+                return None;
+            }
+        };
+        match decode(&bytes, self.namespace, fp) {
+            Ok(entry) => Some(entry),
+            Err(why) => {
+                eprintln!(
+                    "clio: cache entry `{}` rejected ({why}); recomputing",
+                    path.display()
+                );
+                self.counters.record_load_error();
+                None
+            }
+        }
+    }
+}
+
+impl CacheStore for DiskStore {
+    fn load(&self, fp: Fingerprint) -> Option<StoredEntry> {
+        let dir = self.dir.as_deref()?;
+        let entry = self.read_entry(&self.entry_path(dir, fp), fp)?;
+        self.counters.record_hit();
+        Some(entry)
+    }
+
+    fn spill(&self, fp: Fingerprint, entry: &StoredEntry) -> bool {
+        let Some(dir) = self.dir.as_deref() else {
+            return false;
+        };
+        let path = self.entry_path(dir, fp);
+        if path.exists() {
+            return false;
+        }
+        let bytes = encode(self.namespace, fp, entry);
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let written = fs::File::create(&tmp)
+            .and_then(|mut f| f.write_all(&bytes).and_then(|()| f.sync_all()))
+            .and_then(|()| fs::rename(&tmp, &path));
+        match written {
+            Ok(()) => {
+                self.counters.record_spill(bytes.len() as u64);
+                true
+            }
+            Err(e) => {
+                eprintln!(
+                    "clio: cache spill to `{}` failed ({e}); continuing",
+                    path.display()
+                );
+                let _ = fs::remove_file(&tmp);
+                self.counters.record_load_error();
+                false
+            }
+        }
+    }
+
+    fn load_all(&self) -> Vec<(Fingerprint, StoredEntry)> {
+        let Some(dir) = self.dir.as_deref() else {
+            return Vec::new();
+        };
+        let prefix = format!("{:016x}-", self.namespace);
+        let mut names: Vec<String> = match fs::read_dir(dir) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .filter(|n| n.starts_with(&prefix) && n.ends_with(".clc"))
+                .collect(),
+            Err(e) => {
+                eprintln!(
+                    "clio: cache dir `{}` unreadable ({e}); loading nothing",
+                    dir.display()
+                );
+                self.counters.record_load_error();
+                return Vec::new();
+            }
+        };
+        names.sort();
+        let mut out = Vec::new();
+        for name in names {
+            let hex = &name[prefix.len()..name.len() - ".clc".len()];
+            let Ok(raw) = u64::from_str_radix(hex, 16) else {
+                continue;
+            };
+            let fp = Fingerprint(raw);
+            if let Some(entry) = self.read_entry(&dir.join(&name), fp) {
+                out.push((fp, entry));
+            }
+        }
+        out
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.counters.stats()
+    }
+
+    fn describe(&self) -> String {
+        match &self.dir {
+            Some(dir) => format!("disk:{}", dir.display()),
+            None => "disk:(degraded)".to_owned(),
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, n: u32) {
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, n: u64) {
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn type_tag(ty: DataType) -> u8 {
+    match ty {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Str => 2,
+        DataType::Bool => 3,
+    }
+}
+
+fn type_from_tag(tag: u8) -> Option<DataType> {
+    Some(match tag {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Str,
+        3 => DataType::Bool,
+        _ => return None,
+    })
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            put_u64(out, *i as u64);
+        }
+        Value::Float(f) => {
+            out.push(2);
+            put_u64(out, f.to_bits());
+        }
+        Value::Str(s) => {
+            out.push(3);
+            put_str(out, s);
+        }
+        Value::Bool(b) => {
+            out.push(4);
+            out.push(u8::from(*b));
+        }
+    }
+}
+
+/// Encode one entry into the version-1 file bytes (checksum included).
+#[must_use]
+pub fn encode(namespace: u64, fp: Fingerprint, entry: &StoredEntry) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+    put_u64(&mut out, namespace);
+    put_u64(&mut out, fp.0);
+    put_u32(&mut out, entry.deps.len() as u32);
+    for dep in &entry.deps {
+        put_str(&mut out, dep);
+    }
+    let scheme = entry.table.scheme();
+    put_u32(&mut out, scheme.arity() as u32);
+    for col in scheme.columns() {
+        put_str(&mut out, &col.qualifier);
+        put_str(&mut out, &col.name);
+        out.push(type_tag(col.ty));
+    }
+    put_u64(&mut out, entry.table.len() as u64);
+    for row in entry.table.rows() {
+        for v in row {
+            put_value(&mut out, v);
+        }
+    }
+    let checksum = fnv1a(&out);
+    put_u64(&mut out, checksum);
+    out
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).ok_or("length overflow")?;
+        if end > self.bytes.len() {
+            return Err("truncated".to_owned());
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8".to_owned())
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Int(self.u64()? as i64),
+            2 => Value::Float(f64::from_bits(self.u64()?)),
+            3 => Value::Str(self.str()?),
+            4 => Value::Bool(self.u8()? != 0),
+            tag => return Err(format!("unknown value tag {tag}")),
+        })
+    }
+}
+
+/// Decode version-1 file bytes, verifying magic, version, namespace,
+/// fingerprint, and checksum. Any defect yields a description of why
+/// the file was rejected.
+pub fn decode(bytes: &[u8], namespace: u64, fp: Fingerprint) -> Result<StoredEntry, String> {
+    if bytes.len() < MAGIC.len() + 4 + 8 + 8 + 8 {
+        return Err("truncated".to_owned());
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let declared = u64::from_le_bytes(tail.try_into().unwrap());
+    if fnv1a(body) != declared {
+        return Err("checksum mismatch".to_owned());
+    }
+    let mut cur = Cursor {
+        bytes: body,
+        pos: 0,
+    };
+    if cur.take(MAGIC.len())? != MAGIC {
+        return Err("bad magic".to_owned());
+    }
+    let version = cur.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(format!(
+            "format version {version}, expected {FORMAT_VERSION}"
+        ));
+    }
+    let file_ns = cur.u64()?;
+    if file_ns != namespace {
+        return Err("namespace mismatch".to_owned());
+    }
+    let file_fp = cur.u64()?;
+    if file_fp != fp.0 {
+        return Err("fingerprint mismatch".to_owned());
+    }
+    let ndeps = cur.u32()? as usize;
+    let mut deps = Vec::with_capacity(ndeps.min(1024));
+    for _ in 0..ndeps {
+        deps.push(cur.str()?);
+    }
+    let ncols = cur.u32()? as usize;
+    let mut cols = Vec::with_capacity(ncols.min(1024));
+    for _ in 0..ncols {
+        let qualifier = cur.str()?;
+        let name = cur.str()?;
+        let ty = type_from_tag(cur.u8()?).ok_or("unknown type tag")?;
+        cols.push(Column::new(qualifier, name, ty));
+    }
+    let nrows = cur.u64()? as usize;
+    let mut rows = Vec::with_capacity(nrows.min(4096));
+    for _ in 0..nrows {
+        let mut row = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            row.push(cur.value()?);
+        }
+        rows.push(row);
+    }
+    if cur.pos != body.len() {
+        return Err("trailing bytes".to_owned());
+    }
+    Ok(StoredEntry {
+        deps,
+        table: Table::new(Scheme::new(cols), rows),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(rows: usize, tag: &str) -> StoredEntry {
+        let scheme = Scheme::new(vec![
+            Column::new("T", "a", DataType::Str),
+            Column::new("T", "n", DataType::Int),
+        ]);
+        let rows = (0..rows)
+            .map(|i| vec![Value::str(format!("{tag}{i}")), Value::Int(i as i64)])
+            .collect();
+        StoredEntry {
+            deps: vec!["R".into(), "S".into()],
+            table: Table::new(scheme, rows),
+        }
+    }
+
+    fn all_types_entry() -> StoredEntry {
+        let scheme = Scheme::new(vec![
+            Column::new("T", "i", DataType::Int),
+            Column::new("T", "f", DataType::Float),
+            Column::new("T", "s", DataType::Str),
+            Column::new("T", "b", DataType::Bool),
+        ]);
+        StoredEntry {
+            deps: vec![],
+            table: Table::new(
+                scheme,
+                vec![
+                    vec![
+                        Value::Int(-7),
+                        Value::Float(2.5),
+                        Value::str("x"),
+                        Value::Bool(true),
+                    ],
+                    vec![Value::Null, Value::Null, Value::Null, Value::Bool(false)],
+                ],
+            ),
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("clio-disk-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all_value_kinds() {
+        let e = all_types_entry();
+        let bytes = encode(7, Fingerprint(42), &e);
+        let back = decode(&bytes, 7, Fingerprint(42)).expect("round trip");
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn decode_rejects_defects() {
+        let e = entry(2, "r");
+        let good = encode(7, Fingerprint(42), &e);
+        // truncation at every prefix length fails, never panics
+        for n in 0..good.len() {
+            assert!(decode(&good[..n], 7, Fingerprint(42)).is_err(), "len {n}");
+        }
+        // single-byte corruption is caught by the checksum
+        let mut flipped = good.clone();
+        flipped[10] ^= 0xff;
+        assert!(decode(&flipped, 7, Fingerprint(42))
+            .unwrap_err()
+            .contains("checksum"));
+        // wrong version (re-checksummed so the version check fires)
+        let mut wrong_ver = good.clone();
+        wrong_ver[4] = 99;
+        let body_len = wrong_ver.len() - 8;
+        let sum = fnv1a(&wrong_ver[..body_len]);
+        wrong_ver[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(decode(&wrong_ver, 7, Fingerprint(42))
+            .unwrap_err()
+            .contains("version"));
+        // wrong namespace / fingerprint at lookup time
+        assert!(decode(&good, 8, Fingerprint(42))
+            .unwrap_err()
+            .contains("namespace"));
+        assert!(decode(&good, 7, Fingerprint(43))
+            .unwrap_err()
+            .contains("fingerprint"));
+    }
+
+    #[test]
+    fn disk_store_round_trips_across_instances() {
+        let dir = tmp_dir("roundtrip");
+        let e = entry(3, "r");
+        {
+            let store = DiskStore::open(&dir, 7);
+            assert!(!store.degraded());
+            assert!(store.load(Fingerprint(1)).is_none());
+            assert!(store.spill(Fingerprint(1), &e));
+            assert!(!store.spill(Fingerprint(1), &e), "idempotent");
+            let s = store.stats();
+            assert_eq!((s.spills, s.load_errors), (1, 0));
+            assert!(s.bytes > 0);
+        }
+        // a second instance (fresh process restart in miniature) sees it
+        let store = DiskStore::open(&dir, 7);
+        assert_eq!(store.load(Fingerprint(1)).expect("disk hit"), e);
+        assert_eq!(store.stats().hits, 1);
+        // but a different namespace does not
+        let other = DiskStore::open(&dir, 8);
+        assert!(other.load(Fingerprint(1)).is_none());
+        assert_eq!(other.stats().load_errors, 0, "a miss, not an error");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_all_returns_namespace_entries_in_order() {
+        let dir = tmp_dir("loadall");
+        let store = DiskStore::open(&dir, 7);
+        store.spill(Fingerprint(9), &entry(1, "c"));
+        store.spill(Fingerprint(2), &entry(1, "a"));
+        let other = DiskStore::open(&dir, 8);
+        other.spill(Fingerprint(5), &entry(1, "x"));
+        let fps: Vec<u64> = store.load_all().iter().map(|(fp, _)| fp.0).collect();
+        assert_eq!(fps, vec![2, 9], "sorted, other namespace excluded");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_files_degrade_to_misses() {
+        let dir = tmp_dir("corrupt");
+        let store = DiskStore::open(&dir, 7);
+        store.spill(Fingerprint(1), &entry(2, "r"));
+        let path = dir.join(format!("{:016x}-{:016x}.clc", 7, 1));
+        let bytes = fs::read(&path).unwrap();
+        // truncate
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(store.load(Fingerprint(1)).is_none());
+        assert_eq!(store.stats().load_errors, 1);
+        // corrupt one byte (restore length first)
+        let mut flipped = bytes.clone();
+        flipped[20] ^= 0x55;
+        fs::write(&path, &flipped).unwrap();
+        assert!(store.load(Fingerprint(1)).is_none());
+        assert_eq!(store.stats().load_errors, 2);
+        // future format version
+        let mut future = bytes.clone();
+        future[4] = 2;
+        let body_len = future.len() - 8;
+        let sum = fnv1a(&future[..body_len]);
+        future[body_len..].copy_from_slice(&sum.to_le_bytes());
+        fs::write(&path, &future).unwrap();
+        assert!(store.load(Fingerprint(1)).is_none());
+        assert_eq!(store.stats().load_errors, 3);
+        // load_all tolerates the same file
+        assert!(store.load_all().is_empty());
+        assert_eq!(store.stats().load_errors, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unusable_dir_degrades_to_inert_store() {
+        // a file where the directory should be → create_dir_all fails
+        let blocker =
+            std::env::temp_dir().join(format!("clio-disk-test-{}-blocker", std::process::id()));
+        fs::write(&blocker, b"not a directory").unwrap();
+        let store = DiskStore::open(&blocker, 7);
+        assert!(store.degraded());
+        assert_eq!(store.stats().load_errors, 1);
+        assert!(!store.spill(Fingerprint(1), &entry(1, "r")));
+        assert!(store.load(Fingerprint(1)).is_none());
+        assert!(store.load_all().is_empty());
+        assert_eq!(store.stats().spills, 0);
+        assert!(store.describe().contains("degraded"));
+        let _ = fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn no_tmp_files_left_behind() {
+        let dir = tmp_dir("tmpfiles");
+        let store = DiskStore::open(&dir, 7);
+        store.spill(Fingerprint(1), &entry(1, "r"));
+        store.spill(Fingerprint(2), &entry(1, "s"));
+        let leftovers: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray tmp files: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

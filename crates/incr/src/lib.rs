@@ -7,7 +7,8 @@
 //! correspondence, a filter, a walk — changes only part of the mapping
 //! state, so most of what the previous state established can be reused.
 //! This crate supplies the machinery: [`EvalCache`] stores result
-//! [`Table`]s under [`Fingerprint`] keys, tracks which base relations
+//! [`clio_relational::table::Table`]s under [`Fingerprint`] keys,
+//! tracks which base relations
 //! each entry depends on, and drops exactly the dependent entries when a
 //! relation's content version is bumped.
 //!
@@ -15,11 +16,17 @@
 //! graphs or mappings. `clio-core` computes the fingerprints (see
 //! `clio_core::incremental` and `docs/incremental.md` for the scheme)
 //! and decides what to cache; this crate provides deterministic hashing
-//! ([`FingerprintBuilder`]), storage with an LRU byte budget, and
+//! ([`FingerprintBuilder`]), storage with an LRU byte budget, pluggable
+//! persistence ([`CacheStore`], with [`DiskStore`] surviving process
+//! restarts — see `docs/incremental.md`, *Persistence*), and
 //! observability (the `cache.*` counters in [`clio_obs`]).
 
 pub mod cache;
+pub mod disk;
 pub mod fingerprint;
+pub mod store;
 
 pub use cache::{table_bytes, CacheStats, EvalCache, DEFAULT_CAPACITY_BYTES};
+pub use disk::DiskStore;
 pub use fingerprint::{Fingerprint, FingerprintBuilder};
+pub use store::{database_digest, CacheStore, MemStore, StoreStats, StoredEntry};

@@ -68,6 +68,17 @@ pub enum Counter {
     /// Bytes of result tables stored into the incremental cache
     /// (cumulative; the `cache` shell command reports the live size).
     CacheBytes,
+    /// Incremental-cache entries spilled to a persistent backend
+    /// (`clio_incr`'s `CacheStore`).
+    CacheSpills,
+    /// Incremental-cache lookups answered from a persistent backend
+    /// after missing in memory.
+    CacheDiskHits,
+    /// Bytes written to a persistent cache backend (cumulative).
+    CacheDiskBytes,
+    /// Persistent-backend load failures tolerated by falling back to
+    /// recomputation (corrupt files, version mismatches, I/O errors).
+    CacheLoadErrors,
 }
 
 /// Number of counters (length of [`Counter::ALL`]).
@@ -75,7 +86,7 @@ pub const COUNTER_COUNT: usize = Counter::ALL.len();
 
 impl Counter {
     /// All counters, in table order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 22] = [
         Counter::TuplesScanned,
         Counter::JoinProbes,
         Counter::JoinOutputRows,
@@ -94,6 +105,10 @@ impl Counter {
         Counter::CacheMisses,
         Counter::CacheInvalidations,
         Counter::CacheBytes,
+        Counter::CacheSpills,
+        Counter::CacheDiskHits,
+        Counter::CacheDiskBytes,
+        Counter::CacheLoadErrors,
     ];
 
     /// The stable dotted name used in JSON snapshots and the `stats`
@@ -119,6 +134,10 @@ impl Counter {
             Counter::CacheMisses => "cache.misses",
             Counter::CacheInvalidations => "cache.invalidations",
             Counter::CacheBytes => "cache.bytes",
+            Counter::CacheSpills => "cache.spills",
+            Counter::CacheDiskHits => "cache.disk_hits",
+            Counter::CacheDiskBytes => "cache.disk_bytes",
+            Counter::CacheLoadErrors => "cache.load_errors",
         }
     }
 }

@@ -78,7 +78,7 @@ pub fn strictly_subsumes(t1: &[Value], t2: &[Value]) -> bool {
 /// [`SubsumptionAlgo::Adaptive`] resolves to one of the two base
 /// algorithms per call:
 ///
-/// * ≤ [`ADAPTIVE_NAIVE_MAX_ROWS`] rows → naive (the quadratic scan's
+/// * ≤ `ADAPTIVE_NAIVE_MAX_ROWS` rows → naive (the quadratic scan's
 ///   constant factors beat partitioning on small inputs);
 /// * a leading-row sample whose null-masks are almost all distinct →
 ///   naive (near-unique masks mean tiny partitions, so the partitioned
@@ -161,7 +161,7 @@ pub fn remove_subsumed_naive(table: &mut Table) {
 ///
 /// The per-mask passes only read the shared row/group structures and
 /// only ever remove rows of their own partition, so they are
-/// independent; tables of at least [`PARTITIONED_PARALLEL_MIN_ROWS`]
+/// independent; tables of at least `PARTITIONED_PARALLEL_MIN_ROWS`
 /// rows run them on the [`exec`] pool (`subsumption.worker` spans). The
 /// survivors — and the flushed counters, which sum the same per-mask
 /// totals in any schedule — are identical to the serial pass.

@@ -18,6 +18,13 @@ cargo build --release --workspace
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# First-party packages only: the vendored std-only shims (vendor/) are
+# API stand-ins and are not held to the documentation bar.
+echo "==> cargo doc --no-deps (first-party, warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+    -p clio -p clio-relational -p clio-core -p clio-datagen \
+    -p clio-obs -p clio-incr -p clio-cli -p clio-bench
+
 echo "==> cargo test -q"
 cargo test -q
 
@@ -39,7 +46,10 @@ tmp_twice_metrics="$(mktemp)"
 tmp_twice_script="$(mktemp)"
 tmp_serial_out="$(mktemp)"
 tmp_chunk_dir="$(mktemp -d)"
-trap 'rm -f "$tmp_metrics" "$tmp_twice_metrics" "$tmp_twice_script" "$tmp_serial_out"; rm -rf "$tmp_chunk_dir"' EXIT
+tmp_cache_dir="$(mktemp -d)"
+tmp_diskwarm_out="$(mktemp)"
+tmp_diskwarm_metrics="$(mktemp)"
+trap 'rm -f "$tmp_metrics" "$tmp_twice_metrics" "$tmp_twice_script" "$tmp_serial_out" "$tmp_diskwarm_out" "$tmp_diskwarm_metrics"; rm -rf "$tmp_chunk_dir" "$tmp_cache_dir"' EXIT
 target/release/clio-shell \
     --script examples/scripts/demo.clio \
     --metrics "$tmp_metrics" \
@@ -102,5 +112,47 @@ for i in 0 1 2 3; do
     fi
 done
 echo "    4 concurrent sessions byte-identical to serial"
+
+# Tier 2d: disk-warm restart gate (PR 5 persistence). The demo runs
+# with --cache-dir into a fresh directory (cold, populating the store),
+# then FRESH PROCESSES replay it over the same directory. The cold run's
+# and the disk-warm replay's stdout must be byte-identical to the plain
+# serial run (persistence is invisible; the demo's in-shell `stats`
+# table is all-zero without --metrics, so the comparison is exact), and
+# a metrics-enabled replay's counter snapshot is pinned — it must match
+# scripts/golden/demo-diskwarm-counters.json, which records
+# cache.disk_hits > 0 (the replay really was served from disk).
+# Regenerate after intentional changes by re-running the commands below
+# and copying the --metrics output over the golden file.
+echo "==> disk-warm restart gate (demo.clio, --cache-dir, fresh process replay)"
+target/release/clio-shell \
+    --script examples/scripts/demo.clio --threads 1 \
+    --cache-dir "$tmp_cache_dir" > "$tmp_diskwarm_out"
+if ! diff -u "$tmp_serial_out" "$tmp_diskwarm_out"; then
+    echo "verify: FAILED — cold --cache-dir run diverged from the plain serial run" >&2
+    exit 1
+fi
+target/release/clio-shell \
+    --script examples/scripts/demo.clio --threads 1 \
+    --cache-dir "$tmp_cache_dir" > "$tmp_diskwarm_out"
+if ! diff -u "$tmp_serial_out" "$tmp_diskwarm_out"; then
+    echo "verify: FAILED — disk-warm restart diverged from the plain serial run" >&2
+    exit 1
+fi
+target/release/clio-shell \
+    --script examples/scripts/demo.clio --threads 1 \
+    --cache-dir "$tmp_cache_dir" \
+    --metrics "$tmp_diskwarm_metrics" >/dev/null
+if ! diff -u scripts/golden/demo-diskwarm-counters.json "$tmp_diskwarm_metrics"; then
+    echo "verify: FAILED — disk-warm counters drifted from scripts/golden/demo-diskwarm-counters.json" >&2
+    echo "         (if the change is intentional, regenerate the golden file)" >&2
+    exit 1
+fi
+disk_hits="$(sed -n 's/.*"cache\.disk_hits": \([0-9][0-9]*\).*/\1/p' "$tmp_diskwarm_metrics")"
+if [ -z "$disk_hits" ] || [ "$disk_hits" -eq 0 ]; then
+    echo "verify: FAILED — restarted --cache-dir process recorded no disk hits" >&2
+    exit 1
+fi
+echo "    cache.disk_hits = $disk_hits"
 
 echo "verify: OK"

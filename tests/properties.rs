@@ -578,6 +578,59 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
+    /// The **persistent** cache is transparent across a restart: replay
+    /// an arbitrary operator sequence in a session that spills to an
+    /// on-disk store, then replay the same sequence in a *fresh* session
+    /// over a *fresh* [`clio_incr::DiskStore`] on the same directory —
+    /// the disk-warmed replay must match a never-persisted baseline
+    /// byte for byte at every step and in the final digest.
+    #[test]
+    fn disk_cache_is_transparent_across_restart(
+        ops in proptest::collection::vec(session_op_strategy(), 1..10)
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "clio-props-restart-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let namespace = clio_incr::database_digest(&paper_database());
+        let open = || -> std::sync::Arc<dyn clio_incr::CacheStore> {
+            std::sync::Arc::new(clio_incr::DiskStore::open(&dir, namespace))
+        };
+
+        // process 1: a never-persisted baseline and a spilling session
+        // replay side by side; the spilling session populates the store
+        let mut baseline = Session::new(paper_database(), kids_target());
+        let mut first = Session::new(paper_database(), kids_target());
+        first.attach_store(open());
+        for (step, &op) in ops.iter().enumerate() {
+            let a = apply_session_op(&mut baseline, op, step);
+            let b = apply_session_op(&mut first, op, step);
+            prop_assert_eq!(&a, &b, "first run diverged at step {} ({:?})", step, op);
+        }
+        prop_assert_eq!(session_digest(&baseline), session_digest(&first));
+
+        // process 2: a fresh session over a fresh store instance on the
+        // same directory replays the same sequence disk-warm
+        let mut cold = Session::new(paper_database(), kids_target());
+        let mut restarted = Session::new(paper_database(), kids_target());
+        restarted.attach_store(open());
+        for (step, &op) in ops.iter().enumerate() {
+            let a = apply_session_op(&mut cold, op, step);
+            let b = apply_session_op(&mut restarted, op, step);
+            prop_assert_eq!(&a, &b, "restarted run diverged at step {} ({:?})", step, op);
+        }
+        prop_assert_eq!(session_digest(&cold), session_digest(&restarted));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
     /// Cache transparency on **cyclic** graphs, where `D(G)` takes the
     /// naive per-subgraph path and the cache memoizes individual `F(J)`
     /// tables: previews, filters, and base-relation edits replay
