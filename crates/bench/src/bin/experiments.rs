@@ -1,5 +1,5 @@
 //! Run the parameter sweeps behind EXPERIMENTS.md and print one markdown
-//! table per experiment (B1–B12). Wall-clock medians over a few
+//! table per experiment (B1–B13). Wall-clock medians over a few
 //! repetitions — the Criterion benches give rigorous statistics; this
 //! binary gives the compact tables the docs quote.
 //!
@@ -784,6 +784,51 @@ fn b11_concurrent_sessions() {
     }
 }
 
+fn b13_timing_telemetry() {
+    println!("\n## B13 — timing telemetry: span latency histograms under tracing\n");
+    let funcs = FuncRegistry::with_builtins();
+    let w = chain(4, 1000);
+    let eval = || {
+        let cache = EvalCache::new();
+        std::hint::black_box(
+            w.mapping
+                .evaluate_cached(&w.db, &funcs, Some(&cache))
+                .expect("valid")
+                .len(),
+        );
+    };
+    // tracing overhead: the same evaluation with spans off and on (the
+    // on-path also feeds histograms and the event ring)
+    let off = time(&eval);
+    clio_obs::clear_histograms();
+    clio_obs::clear_events();
+    clio_obs::set_trace_enabled(true);
+    let on = time(&eval);
+    clio_obs::set_trace_enabled(false);
+    let _ = clio_obs::take_spans();
+    clio_obs::clear_events();
+    let hists = clio_obs::snapshot_histograms();
+    clio_obs::clear_histograms();
+    println!(
+        "tracing overhead on chain4 x1000 mapping evaluation: off {} vs on {} ({})\n",
+        fmt(off),
+        fmt(on),
+        ratio(on, off),
+    );
+    println!("| span | count | p50 | p90 | p99 | max |");
+    println!("|---|---|---|---|---|---|");
+    for (name, h) in &hists {
+        println!(
+            "| {name} | {} | {} | {} | {} | {} |",
+            h.count,
+            clio_obs::fmt_ns(u128::from(h.percentile(50))),
+            clio_obs::fmt_ns(u128::from(h.percentile(90))),
+            clio_obs::fmt_ns(u128::from(h.percentile(99))),
+            clio_obs::fmt_ns(u128::from(h.max_ns)),
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run = |key: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(key));
@@ -824,5 +869,8 @@ fn main() {
     }
     if run("b12") {
         b12_persistence();
+    }
+    if run("b13") {
+        b13_timing_telemetry();
     }
 }

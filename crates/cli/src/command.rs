@@ -147,6 +147,14 @@ pub const COMMANDS: &[CommandSpec] = &[
         description: &["per-attribute statistics of the source"],
     },
     CommandSpec {
+        usage: "profile spans [<n>]",
+        description: &[
+            "top-n spans by self time with latency",
+            "percentiles (requires --trace,",
+            "--trace-out, or --slow-ms)",
+        ],
+    },
+    CommandSpec {
         usage: "mine [containment]",
         description: &["mine join candidates from the data"],
     },
@@ -337,6 +345,11 @@ pub enum Command {
     Cache(CacheAction),
     /// `profile`.
     Profile,
+    /// `profile spans [<n>]`.
+    ProfileSpans {
+        /// How many spans to list (dispatch default: 10).
+        top: Option<usize>,
+    },
     /// `mine [containment]`.
     Mine {
         /// Minimum containment fraction (default applied at dispatch).
@@ -519,7 +532,24 @@ pub fn parse(line: &str) -> Result<Command, ParseError> {
                 other => err(format!("unknown cache subcommand `{other}` (try `help`)")),
             }
         }
-        "profile" => Ok(Command::Profile),
+        "profile" => {
+            let (sub, arg) = rest.split_once(' ').unwrap_or((rest, ""));
+            let arg = arg.trim();
+            match sub {
+                "" => Ok(Command::Profile),
+                "spans" => {
+                    let top = if arg.is_empty() {
+                        None
+                    } else {
+                        Some(arg.parse().map_err(|_| {
+                            ParseError(format!("expected a span count, got `{arg}`"))
+                        })?)
+                    };
+                    Ok(Command::ProfileSpans { top })
+                }
+                other => err(format!("unknown profile subcommand `{other}` (try `help`)")),
+            }
+        }
         "mine" => {
             let min_containment = if rest.is_empty() {
                 None
@@ -653,6 +683,27 @@ mod tests {
             .unwrap_err()
             .0
             .contains("unknown cache subcommand"));
+    }
+
+    #[test]
+    fn profile_subcommands() {
+        assert_eq!(parse("profile").unwrap(), Command::Profile);
+        assert_eq!(
+            parse("profile spans").unwrap(),
+            Command::ProfileSpans { top: None }
+        );
+        assert_eq!(
+            parse("profile spans 5").unwrap(),
+            Command::ProfileSpans { top: Some(5) }
+        );
+        assert_eq!(
+            parse("profile spans many").unwrap_err().0,
+            "expected a span count, got `many`"
+        );
+        assert!(parse("profile everything")
+            .unwrap_err()
+            .0
+            .contains("unknown profile subcommand"));
     }
 
     #[test]

@@ -40,12 +40,18 @@ pub struct CliConfig {
     pub target_spec: Option<String>,
     /// `--synthetic <spec>`: validated generator spec.
     pub synthetic: Option<SyntheticSpec>,
-    /// `--metrics <file>`: counter JSON report path.
+    /// `--metrics <file>`: counter JSON report path (`-` = stdout).
     pub metrics_path: Option<String>,
     /// `--trace` (or implied by `--trace-filter`).
     pub trace: bool,
     /// `--trace-filter <name>`.
     pub trace_filter: Option<String>,
+    /// `--trace-out <file>`: Chrome trace-event JSONL export path.
+    /// Enables span collection without implying the `--trace` tree.
+    pub trace_out: Option<String>,
+    /// `--slow-ms <n>`: warn on spans at least this slow (validated
+    /// positive; `CLIO_SLOW_MS` is the environment fallback).
+    pub slow_ms: Option<u64>,
     /// `--threads <n>`: engine worker threads (validated positive).
     pub threads: Option<usize>,
     /// `--no-cache`: disable the incremental evaluation cache.
@@ -135,6 +141,22 @@ impl CliConfig {
                     cfg.trace_filter = Some(require_value(args, i, "--trace-filter")?);
                     cfg.trace = true;
                 }
+                "--trace-out" => {
+                    i += 1;
+                    cfg.trace_out = Some(require_value(args, i, "--trace-out")?);
+                }
+                "--slow-ms" => {
+                    i += 1;
+                    let value = require_value(args, i, "--slow-ms")?;
+                    match value.parse::<u64>() {
+                        Ok(n) if n >= 1 => cfg.slow_ms = Some(n),
+                        _ => {
+                            return Err(UsageError(format!(
+                                "--slow-ms expects a positive integer (milliseconds), got `{value}`"
+                            )))
+                        }
+                    }
+                }
                 "--threads" => {
                     i += 1;
                     let value = require_value(args, i, "--threads")?;
@@ -207,6 +229,10 @@ mod tests {
             "2",
             "--trace-filter",
             "fd.naive",
+            "--trace-out",
+            "t.jsonl",
+            "--slow-ms",
+            "25",
             "--no-cache",
         ]))
         .unwrap();
@@ -217,7 +243,17 @@ mod tests {
         assert_eq!(cfg.sessions_width, Some(2));
         assert_eq!(cfg.trace_filter.as_deref(), Some("fd.naive"));
         assert!(cfg.trace, "--trace-filter implies --trace");
+        assert_eq!(cfg.trace_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(cfg.slow_ms, Some(25));
         assert!(cfg.no_cache);
+    }
+
+    #[test]
+    fn trace_out_collects_without_implying_the_tree() {
+        let cfg = CliConfig::parse(&argv(&["--trace-out", "t.jsonl"])).unwrap();
+        assert!(!cfg.trace, "--trace-out must not print the span tree");
+        let cfg = CliConfig::parse(&argv(&["--metrics", "-"])).unwrap();
+        assert_eq!(cfg.metrics_path.as_deref(), Some("-"), "stdout sentinel");
     }
 
     #[test]
@@ -243,6 +279,14 @@ mod tests {
         assert_eq!(
             err(&["--sessions", "x"]),
             "--sessions expects a positive integer, got `x`"
+        );
+        assert_eq!(
+            err(&["--trace-out"]),
+            "--trace-out requires a value (see --help)"
+        );
+        assert_eq!(
+            err(&["--slow-ms", "0"]),
+            "--slow-ms expects a positive integer (milliseconds), got `0`"
         );
         assert_eq!(err(&["--wat"]), "unknown flag `--wat` (see --help)");
         assert_eq!(

@@ -245,6 +245,24 @@ impl Shell {
                 let profiles = clio_core::profile::profile_database(self.session.database());
                 Ok(clio_core::profile::render_profile(&profiles))
             }
+            Command::ProfileSpans { top } => {
+                // top-n spans by self time with per-name latency
+                // percentiles — the timing counterpart of `trace`
+                let records = clio_obs::snapshot_spans();
+                if records.is_empty() {
+                    return Ok(
+                        "no spans recorded (start the shell with --trace, --trace-out, or \
+                         --slow-ms to collect)\n"
+                            .to_owned(),
+                    );
+                }
+                let hists = clio_obs::hist::context_histograms();
+                Ok(clio_obs::render_profile(
+                    &records,
+                    &hists,
+                    top.unwrap_or(10),
+                ))
+            }
             Command::Mine { min_containment } => {
                 // mine [containment] — enrich walk knowledge from data
                 let config = clio_core::mining::MiningConfig {
@@ -461,6 +479,15 @@ impl Shell {
 mod tests {
     use super::*;
     use clio_datagen::paper::{kids_target, paper_database};
+
+    /// Serializes tests that toggle the process-global trace state.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+        OBS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     fn shell() -> Shell {
         Shell::new(Session::new(paper_database(), kids_target()))
@@ -759,7 +786,9 @@ mod tests {
 
     #[test]
     fn trace_command_mirrors_trace_filter() {
+        let _guard = obs_lock();
         let mut sh = shell();
+        clio_obs::clear_spans();
         // with tracing off there is nothing to show, only a hint
         let s = run(&mut sh, "trace");
         assert!(s.contains("no spans recorded"), "{s}");
@@ -775,5 +804,63 @@ mod tests {
         assert!(none.contains("no spans matching"), "{none}");
         clio_obs::set_trace_enabled(false);
         clio_obs::clear_spans();
+        clio_obs::clear_histograms();
+        clio_obs::clear_events();
+    }
+
+    /// The in-shell `trace <name>` and the `--trace-filter <name>` exit
+    /// tree share one renderer, so a filter matching nothing must
+    /// produce the same explicit line from both entry points,
+    /// byte-for-byte.
+    #[test]
+    fn no_match_filter_agrees_across_entry_points() {
+        let _guard = obs_lock();
+        let mut sh = shell();
+        clio_obs::clear_spans();
+        clio_obs::set_trace_enabled(true);
+        run(&mut sh, "corr Children.ID -> ID");
+        run(&mut sh, "target");
+        let shell_line = run(&mut sh, "trace zzz-not-a-span");
+        // what finish_reports prints for --trace-filter at exit
+        let records = clio_obs::snapshot_spans();
+        let exit_line = clio_obs::render_tree_filtered(&records, "zzz-not-a-span");
+        assert_eq!(shell_line, exit_line);
+        assert_eq!(shell_line, "trace: no spans matching `zzz-not-a-span`\n");
+        clio_obs::set_trace_enabled(false);
+        clio_obs::clear_spans();
+        clio_obs::clear_histograms();
+        clio_obs::clear_events();
+    }
+
+    #[test]
+    fn profile_spans_lists_top_spans_with_percentiles() {
+        let _guard = obs_lock();
+        let mut sh = shell();
+        clio_obs::clear_spans();
+        clio_obs::clear_histograms();
+        let hint = run(&mut sh, "profile spans");
+        assert!(hint.contains("no spans recorded"), "{hint}");
+        assert!(hint.contains("--trace-out"), "{hint}");
+        clio_obs::set_trace_enabled(true);
+        run(&mut sh, "corr Children.ID -> ID");
+        run(&mut sh, "target");
+        clio_obs::set_trace_enabled(false);
+        let out = run(&mut sh, "profile spans 3");
+        assert!(out.starts_with("profile: "), "{out}");
+        assert!(out.contains("top 3 by self time"), "{out}");
+        assert!(
+            out.lines().count() <= 4,
+            "header plus at most 3 rows: {out}"
+        );
+        assert!(out.contains("p50 "), "{out}");
+        // the plain form defaults to the top 10
+        let all = run(&mut sh, "profile spans");
+        assert!(
+            all.contains("top 10 by self time") || all.contains("by self time"),
+            "{all}"
+        );
+        clio_obs::clear_spans();
+        clio_obs::clear_histograms();
+        clio_obs::clear_events();
     }
 }

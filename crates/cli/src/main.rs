@@ -116,9 +116,17 @@ flags:
   --synthetic <spec>     generate a source: <topology>,<relations>,<rows>
                          (topology: chain | star | cycle | tree)
   --metrics <file>       collect work counters; write a JSON report on exit
+                         (`-` writes the report to stdout after the shell
+                         output)
   --trace                collect spans; print the span tree on exit
   --trace-filter <name>  like --trace, but only print subtrees whose span
                          name contains <name> (e.g. fd.naive)
+  --trace-out <file>     collect spans; export completed spans as Chrome
+                         trace-event JSONL (load in chrome://tracing or
+                         Perfetto; see docs/observability.md, Timing)
+  --slow-ms <n>          collect spans; warn on stderr whenever a span
+                         takes at least <n> milliseconds (environment
+                         fallback: CLIO_SLOW_MS)
   --threads <n>          worker threads for parallel evaluation
                          (default: CLIO_THREADS or the hardware)
   --no-cache             disable the incremental evaluation cache; every
@@ -154,7 +162,18 @@ fn main() {
     if cfg.metrics_path.is_some() {
         clio_obs::set_metrics_enabled(true);
     }
-    if cfg.trace {
+    let slow_ms = cfg.slow_ms.or_else(|| {
+        std::env::var("CLIO_SLOW_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|n| *n > 0)
+    });
+    if let Some(ms) = slow_ms {
+        clio_obs::set_slow_threshold_ns(ms.saturating_mul(1_000_000));
+    }
+    // Timing (histograms, the event ring, slow-span checks) rides on the
+    // span machinery, so any of the three timing flags enables tracing.
+    if cfg.trace || cfg.trace_out.is_some() || slow_ms.is_some() {
         clio_obs::set_trace_enabled(true);
     }
 
@@ -201,11 +220,7 @@ fn main() {
         }
         let width = cfg.sessions_width.unwrap_or(1);
         run_batch(db, target, &cfg.batch_scripts, width, cfg.no_cache, store);
-        finish_reports(
-            cfg.metrics_path.as_deref(),
-            cfg.trace,
-            cfg.trace_filter.as_deref(),
-        );
+        finish_reports(&cfg);
         return;
     }
     if cfg.sessions_width.is_some() {
@@ -267,33 +282,48 @@ fn main() {
         }
     }
 
-    finish_reports(
-        cfg.metrics_path.as_deref(),
-        cfg.trace,
-        cfg.trace_filter.as_deref(),
-    );
+    finish_reports(&cfg);
 }
 
-/// Write the metrics JSON report and/or print the span tree, as
-/// requested by `--metrics` / `--trace` / `--trace-filter`.
-fn finish_reports(metrics_path: Option<&str>, trace: bool, trace_filter: Option<&str>) {
-    if let Some(path) = metrics_path {
+/// Exit-time reporting, in a fixed order: the metrics JSON report
+/// (`--metrics`, where `-` means stdout), the span tree (`--trace` /
+/// `--trace-filter`), the Chrome trace-event JSONL export
+/// (`--trace-out`), and finally any rate-limited-warning summary on
+/// stderr. A report that cannot be written exits 2.
+fn finish_reports(cfg: &CliConfig) {
+    if let Some(path) = cfg.metrics_path.as_deref() {
         let report = clio_obs::report_json();
-        if let Err(e) = std::fs::write(path, &report) {
+        if path == "-" {
+            print!("{report}");
+        } else if let Err(e) = std::fs::write(path, &report) {
             eprintln!("cannot write metrics to `{path}`: {e}");
             std::process::exit(2);
         }
     }
-    if trace {
-        let records = clio_obs::take_spans();
+    if cfg.trace {
+        let records = clio_obs::snapshot_spans();
         if records.is_empty() {
             println!("trace: no spans recorded");
         } else {
-            let filter = trace_filter.unwrap_or("");
+            let filter = cfg.trace_filter.as_deref().unwrap_or("");
             print!(
                 "{}",
                 clio_obs::trace::render_tree_filtered(&records, filter)
             );
         }
+    }
+    if let Some(path) = cfg.trace_out.as_deref() {
+        let (events, dropped) = clio_obs::take_events();
+        let jsonl = clio_obs::chrome_trace_jsonl(&events);
+        if let Err(e) = std::fs::write(path, &jsonl) {
+            eprintln!("cannot write trace events to `{path}`: {e}");
+            std::process::exit(2);
+        }
+        if dropped > 0 {
+            eprintln!("clio: trace ring overflowed; {dropped} oldest span event(s) dropped");
+        }
+    }
+    if let Some(summary) = clio_obs::warn_summary() {
+        eprint!("{summary}");
     }
 }

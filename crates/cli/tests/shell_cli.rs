@@ -182,6 +182,8 @@ fn missing_flag_values_exit_2() {
         "--synthetic",
         "--metrics",
         "--trace-filter",
+        "--trace-out",
+        "--slow-ms",
         "--threads",
         "--sessions",
         "--cache-dir",
@@ -627,4 +629,216 @@ fn trace_shell_command_prints_live_span_tree() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("no spans recorded"), "{stdout}");
+}
+
+/// The span count from the `trace: <n> spans on <m> threads` header.
+fn span_count(stdout: &str) -> u64 {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("trace: "))
+        .unwrap_or_else(|| panic!("no trace header in {stdout}"));
+    line["trace: ".len()..]
+        .split_whitespace()
+        .next()
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable trace header `{line}`"))
+}
+
+#[test]
+fn trace_out_exports_one_chrome_event_per_span() {
+    let trace_path = tmp_path("events.jsonl");
+    let out = shell()
+        .arg("--script")
+        .arg(demo_script())
+        .arg("--trace")
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let jsonl = std::fs::read_to_string(&trace_path).expect("trace-out written");
+    std::fs::remove_file(&trace_path).ok();
+    // one complete event per finished span — counts must agree exactly
+    let events = jsonl.lines().count() as u64;
+    assert_eq!(events, span_count(&stdout), "{stdout}");
+    // every line is a self-contained Chrome trace-event object
+    for line in jsonl.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        for key in [
+            "\"ph\": \"X\"",
+            "\"name\":",
+            "\"ts\":",
+            "\"dur\":",
+            "\"pid\":",
+        ] {
+            assert!(line.contains(key), "missing {key}: {line}");
+        }
+    }
+}
+
+#[test]
+fn trace_out_alone_collects_without_printing_the_tree() {
+    let trace_path = tmp_path("quiet_events.jsonl");
+    let out = shell()
+        .arg("--script")
+        .arg(demo_script())
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("trace:"), "{stdout}");
+    let jsonl = std::fs::read_to_string(&trace_path).expect("trace-out written");
+    std::fs::remove_file(&trace_path).ok();
+    assert!(jsonl.lines().count() > 0, "no events exported");
+}
+
+#[test]
+fn metrics_dash_prints_report_to_stdout_with_histograms() {
+    let out = shell()
+        .arg("--script")
+        .arg(demo_script())
+        .arg("--trace-out")
+        .arg(tmp_path("dash_events.jsonl"))
+        .arg("--metrics")
+        .arg("-")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(tmp_path("dash_events.jsonl")).ok();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // the report follows the shell output on stdout
+    let report_at = stdout
+        .find("{\n  \"counters\"")
+        .expect("JSON report on stdout");
+    assert!(stdout[..report_at].contains("clio>"), "{stdout}");
+    let report = &stdout[report_at..];
+    assert!(report.contains("\"counters\""), "{report}");
+    // tracing is on (--trace-out), so per-span-name histograms appear
+    assert!(report.contains("\"histograms\""), "{report}");
+    assert!(report.contains("\"mapping.evaluate\""), "{report}");
+    assert!(report.contains("\"p99_ns\""), "{report}");
+    assert!(counter(report, "join.probes") > 0, "{report}");
+}
+
+#[test]
+fn trace_command_and_trace_filter_agree_on_no_match() {
+    let script = tmp_path("nomatch.clio");
+    std::fs::write(&script, "corr Children.ID -> ID\ntarget\ntrace zzz\nquit\n")
+        .expect("script written");
+    let in_shell = shell()
+        .arg("--script")
+        .arg(&script)
+        .arg("--trace")
+        .output()
+        .expect("binary runs");
+    let via_flag = shell()
+        .arg("--script")
+        .arg(&script)
+        .arg("--trace-filter")
+        .arg("zzz")
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&script).ok();
+    assert!(in_shell.status.success() && via_flag.status.success());
+    let needle = "trace: no spans matching `zzz`\n";
+    let a = String::from_utf8_lossy(&in_shell.stdout);
+    let b = String::from_utf8_lossy(&via_flag.stdout);
+    assert!(a.contains(needle), "{a}");
+    assert!(b.contains(needle), "{b}");
+}
+
+#[test]
+fn slow_ms_flag_warns_about_slow_spans_on_stderr() {
+    // threshold 1ms: building the value index over 80k synthetic rows
+    // comfortably exceeds it (the tiny paper dataset would not)
+    let script = tmp_path("slow.clio");
+    std::fs::write(&script, "quit\n").expect("script written");
+    let out = shell()
+        .arg("--script")
+        .arg(&script)
+        .arg("--synthetic")
+        .arg("chain,4,20000")
+        .arg("--slow-ms")
+        .arg("1")
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&script).ok();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("clio: slow span "), "{stderr}");
+    assert!(stderr.contains("threshold 1.000ms"), "{stderr}");
+    // rate limiting: at most WARN_LIMIT warning lines, then one summary
+    let warnings = stderr
+        .lines()
+        .filter(|l| l.starts_with("clio: slow span "))
+        .count();
+    assert!(warnings <= 5, "{stderr}");
+}
+
+#[test]
+fn slow_ms_env_fallback_enables_collection() {
+    let script = tmp_path("slowenv.clio");
+    std::fs::write(
+        &script,
+        "corr Children.ID -> ID\ntarget\ntrace mapping.evaluate\nquit\n",
+    )
+    .expect("script written");
+    let out = shell()
+        .arg("--script")
+        .arg(&script)
+        .env("CLIO_SLOW_MS", "60000")
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&script).ok();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // spans were collected (threshold too high to warn), so the in-shell
+    // trace command has something to show
+    assert!(stdout.contains("- mapping.evaluate"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("slow span"), "{stderr}");
+}
+
+#[test]
+fn profile_spans_command_ranks_spans_in_shell() {
+    let script = tmp_path("profile.clio");
+    std::fs::write(
+        &script,
+        "corr Children.ID -> ID\ntarget\nprofile spans 5\nquit\n",
+    )
+    .expect("script written");
+    let traced = shell()
+        .arg("--script")
+        .arg(&script)
+        .arg("--trace-out")
+        .arg(tmp_path("profile_events.jsonl"))
+        .output()
+        .expect("binary runs");
+    assert!(traced.status.success());
+    std::fs::remove_file(tmp_path("profile_events.jsonl")).ok();
+    let stdout = String::from_utf8_lossy(&traced.stdout);
+    assert!(stdout.contains("profile: "), "{stdout}");
+    assert!(stdout.contains("top 5 by self time"), "{stdout}");
+    assert!(stdout.contains("p50 "), "{stdout}");
+    // without any timing flag the command explains how to enable it
+    let cold = shell()
+        .arg("--script")
+        .arg(&script)
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&script).ok();
+    assert!(cold.status.success());
+    let stdout = String::from_utf8_lossy(&cold.stdout);
+    assert!(stdout.contains("--trace-out"), "{stdout}");
 }

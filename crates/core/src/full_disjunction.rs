@@ -415,6 +415,7 @@ mod tests {
 
     #[test]
     fn parallel_naive_fd_emits_worker_spans() {
+        let _guard = crate::obs_testutil::lock();
         let mut g = path_graph();
         g.add_edge(0, 2, parse_expr("Children.mid = PhoneDir.ID").unwrap())
             .unwrap();

@@ -23,7 +23,7 @@
 //! `tests/properties.rs` replays random operator sequences cache-on vs.
 //! cache-off. See `docs/incremental.md` for the full scheme.
 
-use clio_incr::{EvalCache, Fingerprint, FingerprintBuilder};
+use clio_incr::{EvalCache, Fingerprint, FingerprintBuilder, LookupTier};
 use clio_obs::metrics::{self, Counter};
 use clio_relational::database::Database;
 use clio_relational::error::Result;
@@ -213,7 +213,19 @@ pub fn full_disjunction_cached(
         _ => "D(G).naive",
     };
     let fp = graph_fingerprint(graph, cache, tag);
-    if let Some(table) = cache.get(fp) {
+    // Cache-tier timing: while tracing is on, the whole lookup — and,
+    // on a miss, the recompute + insert — lands in a per-tier latency
+    // histogram, the cost data the recompute-cost eviction model wants.
+    let timer = clio_obs::hist::start();
+    let (cached, tier) = cache.get_tiered(fp);
+    if let Some(table) = cached {
+        clio_obs::hist::finish(
+            match tier {
+                LookupTier::Memory => "incr.fd.memory_hit",
+                _ => "incr.fd.disk_hit",
+            },
+            timer,
+        );
         return Ok(AssociationSet::from_table(graph, table));
     }
     let set = match algo {
@@ -221,6 +233,7 @@ pub fn full_disjunction_cached(
         _ => full_disjunction_naive_cached(db, graph, funcs, cache)?,
     };
     cache.insert(fp, relation_deps(graph), set.table());
+    clio_obs::hist::finish("incr.fd.cold", timer);
     Ok(set)
 }
 
@@ -330,6 +343,38 @@ mod tests {
         let cached =
             full_disjunction_cached(&db(), &g, FdAlgo::Auto, &funcs(), Some(&cache)).unwrap();
         assert_eq!(plain.table().rows(), cached.table().rows());
+    }
+
+    #[test]
+    fn cache_tiers_record_distinct_histogram_keys() {
+        let _guard = crate::obs_testutil::lock();
+        clio_obs::set_trace_enabled(true);
+        clio_obs::clear_histograms();
+        let g = tree_graph();
+        let cache = EvalCache::new();
+        let store = std::sync::Arc::new(clio_incr::MemStore::new());
+        cache.set_store(Some(store));
+        // cold: computes and spills
+        full_disjunction_cached(&db(), &g, FdAlgo::Auto, &funcs(), Some(&cache)).unwrap();
+        // disk hit: memory dropped, the store answers
+        cache.clear();
+        full_disjunction_cached(&db(), &g, FdAlgo::Auto, &funcs(), Some(&cache)).unwrap();
+        // memory hit: the disk load warmed the memory tier
+        full_disjunction_cached(&db(), &g, FdAlgo::Auto, &funcs(), Some(&cache)).unwrap();
+        clio_obs::set_trace_enabled(false);
+        let _ = clio_obs::take_spans();
+        clio_obs::clear_events();
+        let hists = clio_obs::snapshot_histograms();
+        clio_obs::clear_histograms();
+        for key in ["incr.fd.cold", "incr.fd.disk_hit", "incr.fd.memory_hit"] {
+            let (_, h) = hists
+                .iter()
+                .find(|(n, _)| *n == key)
+                .unwrap_or_else(|| panic!("missing histogram key {key}"));
+            assert!(h.count >= 1, "{key} recorded nothing");
+        }
+        let s = cache.stats();
+        assert!(s.hits >= 1, "memory tier never hit: {s:?}");
     }
 
     #[test]

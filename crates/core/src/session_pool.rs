@@ -325,6 +325,34 @@ mod tests {
     }
 
     #[test]
+    fn pooled_jobs_mirror_histograms_per_session() {
+        let _guard = crate::obs_testutil::lock();
+        clio_obs::set_trace_enabled(true);
+        clio_obs::clear_histograms();
+        let pool = SessionPool::new(db(), target()).with_width(2);
+        let _ = pool.run(2, |_, s| preview_rows(s));
+        clio_obs::set_trace_enabled(false);
+        let _ = clio_obs::take_spans();
+        clio_obs::clear_events();
+        let sessions = clio_obs::hist::session_histograms();
+        clio_obs::clear_histograms();
+        let labels: Vec<u64> = sessions.iter().map(|(l, _)| *l).collect();
+        assert!(
+            labels.contains(&0) && labels.contains(&1),
+            "both jobs must mirror histograms: {labels:?}"
+        );
+        for (label, entries) in &sessions {
+            if *label > 1 {
+                continue; // spans leaked from concurrently-running tests
+            }
+            assert!(
+                entries.iter().any(|(n, _)| n.starts_with("session.")),
+                "session {label} missing its own span histogram: {entries:?}"
+            );
+        }
+    }
+
+    #[test]
     fn job_panics_propagate() {
         let pool = SessionPool::new(db(), target()).with_width(2);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

@@ -68,6 +68,20 @@ pub struct CacheStats {
     pub bytes: usize,
 }
 
+/// Which tier answered an [`EvalCache::get_tiered`] lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupTier {
+    /// The cache was disabled; nothing was counted.
+    Disabled,
+    /// Served from the in-memory table (counted as `cache.hits`).
+    Memory,
+    /// Served from the attached store (counted as `cache.disk_hits`
+    /// inside the store), warming the memory tier on the way.
+    Disk,
+    /// A full miss (counted as `cache.misses`).
+    Miss,
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
     table: Table,
@@ -248,8 +262,17 @@ impl EvalCache {
     /// Returns `None` without counting anything while disabled.
     #[must_use]
     pub fn get(&self, fp: Fingerprint) -> Option<Table> {
+        self.get_tiered(fp).0
+    }
+
+    /// [`get`](Self::get), also reporting which tier answered — the
+    /// timing-telemetry hook that lets callers record distinct latency
+    /// histograms for memory hits, store loads, and cold misses.
+    /// Counter semantics are identical to `get`.
+    #[must_use]
+    pub fn get_tiered(&self, fp: Fingerprint) -> (Option<Table>, LookupTier) {
         if !self.enabled() {
-            return None;
+            return (None, LookupTier::Disabled);
         }
         let mut inner = self.lock();
         inner.tick += 1;
@@ -259,7 +282,7 @@ impl EvalCache {
             let table = e.table.clone();
             inner.hits += 1;
             metrics::incr(Counter::CacheHits);
-            return Some(table);
+            return (Some(table), LookupTier::Memory);
         }
         // Memory miss: consult the second tier with the lock released
         // (store loads may do I/O and must not serialize other sessions).
@@ -268,13 +291,13 @@ impl EvalCache {
         if let Some(store) = store {
             if let Some(entry) = store.load(fp) {
                 self.admit(fp, entry.deps, &entry.table);
-                return Some(entry.table);
+                return (Some(entry.table), LookupTier::Disk);
             }
         }
         let mut inner = self.lock();
         inner.misses += 1;
         metrics::incr(Counter::CacheMisses);
-        None
+        (None, LookupTier::Miss)
     }
 
     /// Store a result under `fp`, declaring the base relations it was
@@ -496,6 +519,31 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
         assert_eq!(s.bytes, table_bytes(&table(3, "r")));
+    }
+
+    #[test]
+    fn get_tiered_reports_the_answering_tier() {
+        let cache = EvalCache::new();
+        cache.set_enabled(false);
+        assert_eq!(cache.get_tiered(fp(1)), (None, LookupTier::Disabled));
+        cache.set_enabled(true);
+        assert_eq!(cache.get_tiered(fp(1)), (None, LookupTier::Miss));
+        cache.insert(fp(1), vec!["R".into()], &table(2, "r"));
+        let (hit, tier) = cache.get_tiered(fp(1));
+        assert_eq!(hit.map(|t| t.len()), Some(2));
+        assert_eq!(tier, LookupTier::Memory);
+        // spill to a store, drop memory, and the store answers
+        let store = Arc::new(crate::store::MemStore::new());
+        cache.set_store(Some(store));
+        cache.insert(fp(2), vec![], &table(1, "s"));
+        cache.clear();
+        let (from_disk, tier) = cache.get_tiered(fp(2));
+        assert!(from_disk.is_some());
+        assert_eq!(tier, LookupTier::Disk);
+        // the disk hit warmed memory
+        assert_eq!(cache.get_tiered(fp(2)).1, LookupTier::Memory);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
     }
 
     #[test]

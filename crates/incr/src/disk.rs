@@ -29,10 +29,12 @@
 //! harmlessly (both rename byte-identical content). Reads never trust
 //! the directory: a truncated file, a wrong magic/version, a namespace
 //! or fingerprint mismatch, or a failed checksum logs one line to
-//! stderr, counts `cache.load_errors`, and behaves as a miss — the
-//! cache recomputes, so a damaged directory can degrade performance but
-//! never an answer. An unusable directory (e.g. unwritable) degrades
-//! the store to an inert no-op the same way.
+//! stderr (rate-limited per category via [`clio_obs::warn_limited`], so
+//! a directory of corrupt files cannot flood the terminal), counts
+//! `cache.load_errors`, and behaves as a miss — the cache recomputes,
+//! so a damaged directory can degrade performance but never an answer.
+//! An unusable directory (e.g. unwritable) degrades the store to an
+//! inert no-op the same way.
 
 use std::fs;
 use std::io::Write as _;
@@ -94,9 +96,12 @@ impl DiskStore {
         let dir = match usable {
             Ok(dir) => Some(dir),
             Err(e) => {
-                eprintln!(
-                    "clio: cache dir `{}` unusable ({e}); continuing without persistence",
-                    dir.display()
+                clio_obs::warn_limited(
+                    "cache.dir",
+                    &format!(
+                        "cache dir `{}` unusable ({e}); continuing without persistence",
+                        dir.display()
+                    ),
                 );
                 counters.record_load_error();
                 None
@@ -131,9 +136,12 @@ impl DiskStore {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
             Err(e) => {
-                eprintln!(
-                    "clio: cache entry `{}` unreadable ({e}); recomputing",
-                    path.display()
+                clio_obs::warn_limited(
+                    "cache.load",
+                    &format!(
+                        "cache entry `{}` unreadable ({e}); recomputing",
+                        path.display()
+                    ),
                 );
                 self.counters.record_load_error();
                 return None;
@@ -142,9 +150,12 @@ impl DiskStore {
         match decode(&bytes, self.namespace, fp) {
             Ok(entry) => Some(entry),
             Err(why) => {
-                eprintln!(
-                    "clio: cache entry `{}` rejected ({why}); recomputing",
-                    path.display()
+                clio_obs::warn_limited(
+                    "cache.load",
+                    &format!(
+                        "cache entry `{}` rejected ({why}); recomputing",
+                        path.display()
+                    ),
                 );
                 self.counters.record_load_error();
                 None
@@ -184,9 +195,12 @@ impl CacheStore for DiskStore {
                 true
             }
             Err(e) => {
-                eprintln!(
-                    "clio: cache spill to `{}` failed ({e}); continuing",
-                    path.display()
+                clio_obs::warn_limited(
+                    "cache.spill",
+                    &format!(
+                        "cache spill to `{}` failed ({e}); continuing",
+                        path.display()
+                    ),
                 );
                 let _ = fs::remove_file(&tmp);
                 self.counters.record_load_error();
@@ -207,9 +221,12 @@ impl CacheStore for DiskStore {
                 .filter(|n| n.starts_with(&prefix) && n.ends_with(".clc"))
                 .collect(),
             Err(e) => {
-                eprintln!(
-                    "clio: cache dir `{}` unreadable ({e}); loading nothing",
-                    dir.display()
+                clio_obs::warn_limited(
+                    "cache.dir",
+                    &format!(
+                        "cache dir `{}` unreadable ({e}); loading nothing",
+                        dir.display()
+                    ),
                 );
                 self.counters.record_load_error();
                 return Vec::new();
@@ -609,6 +626,33 @@ mod tests {
         assert_eq!(store.stats().spills, 0);
         assert!(store.describe().contains("degraded"));
         let _ = fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn corrupt_file_warnings_are_rate_limited() {
+        let dir = tmp_dir("ratelimit");
+        let store = DiskStore::open(&dir, 7);
+        let flood = clio_obs::warn::WARN_LIMIT + 20;
+        for i in 0..flood {
+            store.spill(Fingerprint(i), &entry(1, "r"));
+            let path = dir.join(format!("{:016x}-{:016x}.clc", 7u64, i));
+            fs::write(&path, b"garbage").unwrap();
+        }
+        let (printed_before, suppressed_before) = clio_obs::warn_counts("cache.load");
+        for i in 0..flood {
+            assert!(store.load(Fingerprint(i)).is_none());
+        }
+        assert_eq!(store.stats().load_errors, flood);
+        let (printed_after, suppressed_after) = clio_obs::warn_counts("cache.load");
+        // Other parallel tests share the category, so assert deltas and
+        // bounds rather than exact totals: every flood miss was tallied,
+        // but at most WARN_LIMIT lines ever print.
+        assert!(printed_after <= clio_obs::warn::WARN_LIMIT);
+        assert!(
+            (printed_after + suppressed_after) - (printed_before + suppressed_before) >= flood,
+            "all {flood} corrupt loads must be tallied"
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

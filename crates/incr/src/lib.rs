@@ -26,7 +26,7 @@ pub mod disk;
 pub mod fingerprint;
 pub mod store;
 
-pub use cache::{table_bytes, CacheStats, EvalCache, DEFAULT_CAPACITY_BYTES};
+pub use cache::{table_bytes, CacheStats, EvalCache, LookupTier, DEFAULT_CAPACITY_BYTES};
 pub use disk::DiskStore;
 pub use fingerprint::{Fingerprint, FingerprintBuilder};
 pub use store::{database_digest, CacheStore, MemStore, StoreStats, StoredEntry};

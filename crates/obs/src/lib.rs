@@ -28,17 +28,23 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod trace;
+pub mod warn;
 
+pub use events::{chrome_trace_jsonl, clear_events, snapshot_events, take_events, EventRecord};
+pub use hist::{clear_histograms, snapshot_histograms, HistSnapshot};
 pub use metrics::{
     add, incr, metrics_enabled, reset_metrics, set_metrics_enabled, snapshot, Counter,
 };
 pub use trace::{
-    clear_spans, render_tree_filtered, set_trace_enabled, snapshot_spans, span, take_spans,
-    trace_enabled, Span,
+    clear_spans, fmt_ns, render_profile, render_tree_filtered, set_slow_threshold_ns,
+    set_trace_enabled, slow_threshold_ns, snapshot_spans, span, take_spans, trace_enabled, Span,
 };
+pub use warn::{reset_warnings, warn_counts, warn_limited, warn_summary};
 
 /// Enable or disable both halves at once.
 pub fn set_enabled(on: bool) {
@@ -48,12 +54,20 @@ pub fn set_enabled(on: bool) {
 
 /// One JSON document with the current counter snapshot, per-session
 /// counter tables (when any session labels recorded work — see
-/// [`metrics::with_session`]), and the aggregated span tree (when any
-/// spans have been collected):
+/// [`metrics::with_session`]), per-span-name latency histograms and
+/// their per-session mirrors (when any durations were recorded — i.e.
+/// under tracing), and the aggregated span tree (when any spans have
+/// been collected):
 ///
 /// ```json
-/// {"counters": {...}, "sessions": {"0": {...}, "1": {...}}, "spans": [...]}
+/// {"counters": {...}, "sessions": {"0": {...}},
+///  "histograms": {...}, "session_histograms": {"0": {...}},
+///  "spans": [...]}
 /// ```
+///
+/// The timing keys are **omitted** when empty, so untraced runs keep
+/// producing byte-identical counter documents (the golden-gate
+/// invariant in `scripts/verify.sh`).
 #[must_use]
 pub fn report_json() -> String {
     let snap = metrics::snapshot();
@@ -73,10 +87,33 @@ pub fn report_json() -> String {
         }
         out.push_str("\n  }");
     }
+    let hists = hist::snapshot_histograms();
+    if !hists.is_empty() {
+        out.push_str(",\n  \"histograms\": ");
+        out.push_str(&hist::hists_to_json(&hists, 2));
+    }
+    let session_hists = hist::session_histograms();
+    if !session_hists.is_empty() {
+        out.push_str(",\n  \"session_histograms\": {");
+        for (i, (label, entries)) in session_hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{label}\": "));
+            out.push_str(&hist::hists_to_json(entries, 4));
+        }
+        out.push_str("\n  }");
+    }
     if !spans.is_empty() {
         out.push_str(",\n  \"spans\": ");
         out.push_str(&trace::spans_to_json(&spans, 2));
     }
     out.push_str("\n}\n");
     out
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Serializes tests that toggle the global trace/histogram/event state.
+    pub static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 }

@@ -6,6 +6,13 @@
 //! collector. The whole subsystem is gated by one relaxed `AtomicBool`:
 //! while disabled, [`span`] is a load-and-branch that never reads the
 //! clock and its guard's `Drop` does nothing.
+//!
+//! While enabled, each finished span also feeds the timing-telemetry
+//! surface: its duration lands in the per-name latency histogram
+//! ([`crate::hist`]) and the bounded event ring ([`crate::events`]),
+//! and a span slower than the configured threshold (see
+//! [`set_slow_threshold_ns`]) emits a rate-limited stderr warning with
+//! its ancestry path.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -17,15 +24,35 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
 static COLLECTOR: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+/// Spans at least this slow warn on drop; 0 disables the check.
+static SLOW_NS: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
-    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static STACK: RefCell<Vec<(u64, &'static str)>> = const { RefCell::new(Vec::new()) };
     static THREAD_ORDINAL: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
 }
 
-/// Turn tracing on or off (off by default).
+/// Turn tracing on or off (off by default). Enabling pins the process
+/// trace epoch (see [`crate::events::epoch`]) so event offsets start
+/// near zero.
 pub fn set_trace_enabled(on: bool) {
+    if on {
+        crate::events::epoch();
+    }
     ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Warn (rate-limited, with the span's ancestry path) whenever a span's
+/// wall-clock duration reaches `ns`. 0 — the default — disables the
+/// check. The CLI maps `--slow-ms <n>` / `CLIO_SLOW_MS` here.
+pub fn set_slow_threshold_ns(ns: u64) {
+    SLOW_NS.store(ns, Ordering::Relaxed);
+}
+
+/// The current slow-span threshold in nanoseconds (0 = disabled).
+#[must_use]
+pub fn slow_threshold_ns() -> u64 {
+    SLOW_NS.load(Ordering::Relaxed)
 }
 
 /// Whether tracing is currently on.
@@ -59,6 +86,7 @@ struct ActiveSpan {
     id: u64,
     parent: Option<u64>,
     name: &'static str,
+    epoch: Instant,
     start: Instant,
 }
 
@@ -72,15 +100,17 @@ pub fn span(name: &'static str) -> Span {
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
     let parent = STACK.with(|s| {
         let mut stack = s.borrow_mut();
-        let parent = stack.last().copied();
-        stack.push(id);
+        let parent = stack.last().map(|&(id, _)| id);
+        stack.push((id, name));
         parent
     });
+    let epoch = crate::events::epoch();
     Span {
         inner: Some(ActiveSpan {
             id,
             parent,
             name,
+            epoch,
             start: Instant::now(),
         }),
     }
@@ -92,27 +122,61 @@ impl Drop for Span {
             return;
         };
         let nanos = active.start.elapsed().as_nanos();
-        STACK.with(|s| {
+        let dur_ns = u64::try_from(nanos).unwrap_or(u64::MAX);
+        let slow_ns = slow_threshold_ns();
+        let slow_path = STACK.with(|s| {
             let mut stack = s.borrow_mut();
             // Pop back to (and including) this span; robust against
             // out-of-order drops of sibling guards.
-            while let Some(top) = stack.pop() {
+            while let Some((top, _)) = stack.pop() {
                 if top == active.id {
                     break;
                 }
             }
+            // Ancestry path, built only for spans that will warn.
+            (slow_ns != 0 && dur_ns >= slow_ns).then(|| {
+                let mut path: Vec<&str> = stack.iter().map(|&(_, n)| n).collect();
+                path.push(active.name);
+                path.join(" > ")
+            })
         });
+        let thread = THREAD_ORDINAL.with(|t| *t);
         let record = SpanRecord {
             id: active.id,
             parent: active.parent,
             name: active.name,
             nanos,
-            thread: THREAD_ORDINAL.with(|t| *t),
+            thread,
         };
         COLLECTOR
             .lock()
             .expect("span collector poisoned")
             .push(record);
+        crate::hist::record(active.name, dur_ns);
+        let start_ns = u64::try_from(
+            active
+                .start
+                .saturating_duration_since(active.epoch)
+                .as_nanos(),
+        )
+        .unwrap_or(u64::MAX);
+        crate::events::record(crate::events::EventRecord {
+            name: active.name,
+            thread,
+            session: crate::metrics::current_session(),
+            start_ns,
+            dur_ns,
+        });
+        if let Some(path) = slow_path {
+            crate::warn::warn_limited(
+                "slow",
+                &format!(
+                    "slow span {path}: {} (threshold {})",
+                    fmt_ns(nanos),
+                    fmt_ns(slow_ns as u128)
+                ),
+            );
+        }
     }
 }
 
@@ -205,7 +269,11 @@ pub fn aggregate(records: &[SpanRecord]) -> Vec<SpanNode> {
     level(&roots, &children_of)
 }
 
-fn fmt_ns(ns: u128) -> String {
+/// Render nanoseconds with an adaptive unit (`1.234s`, `5.678ms`,
+/// `9.1µs`, `42ns`) — the formatting `--trace` trees, `profile spans`,
+/// and slow-span warnings share.
+#[must_use]
+pub fn fmt_ns(ns: u128) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.3}s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {
@@ -342,11 +410,65 @@ pub fn spans_to_json(records: &[SpanRecord], indent: usize) -> String {
     out
 }
 
+/// Flat per-name profile of `records`: the `top` span names ranked by
+/// summed **self** time (descending, name ascending on ties), each with
+/// count, total, self, and — when a matching histogram entry is in
+/// `hists` — p50/p90/p99 latency percentiles. Backs the `profile spans`
+/// shell command.
+#[must_use]
+pub fn render_profile(
+    records: &[SpanRecord],
+    hists: &[(&'static str, crate::hist::HistSnapshot)],
+    top: usize,
+) -> String {
+    // Flatten the aggregated forest into per-name sums: the same name
+    // may appear at several tree positions (and on several threads).
+    let mut by_name: HashMap<&'static str, (u64, u128, u128)> = HashMap::new();
+    fn walk(node: &SpanNode, by_name: &mut HashMap<&'static str, (u64, u128, u128)>) {
+        let entry = by_name.entry(node.name).or_default();
+        entry.0 += node.count;
+        entry.1 += node.total_ns;
+        entry.2 += node.self_ns;
+        for c in &node.children {
+            walk(c, by_name);
+        }
+    }
+    for node in &aggregate(records) {
+        walk(node, &mut by_name);
+    }
+    let mut rows: Vec<(&'static str, (u64, u128, u128))> = by_name.into_iter().collect();
+    rows.sort_by(|a, b| b.1 .2.cmp(&a.1 .2).then(a.0.cmp(b.0)));
+    let names = rows.len();
+    let shown = top.min(names);
+    let mut out = format!(
+        "profile: {} span name{}, top {} by self time\n",
+        names,
+        if names == 1 { "" } else { "s" },
+        shown,
+    );
+    for (name, (count, total_ns, self_ns)) in rows.into_iter().take(top) {
+        out.push_str(&format!(
+            "- {name}  ×{count}  total {}  self {}",
+            fmt_ns(total_ns),
+            fmt_ns(self_ns),
+        ));
+        if let Some((_, h)) = hists.iter().find(|(n, _)| *n == name) {
+            out.push_str(&format!(
+                "  p50 {}  p90 {}  p99 {}",
+                fmt_ns(h.percentile(50) as u128),
+                fmt_ns(h.percentile(90) as u128),
+                fmt_ns(h.percentile(99) as u128),
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    static LOCK: Mutex<()> = Mutex::new(());
+    use crate::testutil::LOCK;
 
     #[test]
     fn disabled_spans_record_nothing() {
@@ -452,5 +574,111 @@ mod tests {
         let records = take_spans();
         assert_eq!(records.len(), 2);
         assert!(records.iter().all(|r| r.name == "worker"));
+    }
+
+    #[test]
+    fn finished_spans_feed_histograms_and_events() {
+        let _guard = LOCK.lock().unwrap();
+        set_trace_enabled(true);
+        clear_spans();
+        crate::hist::clear_histograms();
+        crate::events::clear_events();
+        {
+            let _outer = span("timed.outer");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            let _inner = span("timed.inner");
+        }
+        set_trace_enabled(false);
+        let records = take_spans();
+        assert_eq!(records.len(), 2);
+        let hists = crate::hist::snapshot_histograms();
+        let (_, outer) = hists
+            .iter()
+            .find(|(n, _)| *n == "timed.outer")
+            .expect("outer histogram");
+        assert_eq!(outer.count, 1);
+        assert!(outer.sum_ns >= 1_000_000, "slept 1ms, sum {}", outer.sum_ns);
+        assert_eq!(outer.percentile(50), outer.max_ns);
+        let events = crate::events::snapshot_events();
+        assert_eq!(events.len(), 2);
+        let outer_ev = events.iter().find(|e| e.name == "timed.outer").unwrap();
+        let inner_ev = events.iter().find(|e| e.name == "timed.inner").unwrap();
+        assert!(inner_ev.start_ns >= outer_ev.start_ns);
+        assert!(outer_ev.dur_ns >= inner_ev.dur_ns);
+        // the profile ranks by self time and shows percentiles
+        let profile = render_profile(&records, &hists, 10);
+        assert!(
+            profile.starts_with("profile: 2 span names, top 2"),
+            "{profile}"
+        );
+        assert!(profile.contains("- timed.outer  ×1"), "{profile}");
+        assert!(profile.contains("p50 "), "{profile}");
+        let top1 = render_profile(&records, &hists, 1);
+        assert!(top1.contains("top 1 by self time"), "{top1}");
+        assert_eq!(top1.lines().count(), 2, "{top1}");
+        crate::events::clear_events();
+        crate::hist::clear_histograms();
+    }
+
+    #[test]
+    fn profile_ranks_names_by_self_time() {
+        let records = vec![
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "outer",
+                nanos: 10_000,
+                thread: 0,
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "inner",
+                nanos: 9_000,
+                thread: 0,
+            },
+        ];
+        let profile = render_profile(&records, &[], 10);
+        // inner's self time (9.0µs) beats outer's (1.0µs)
+        assert!(
+            profile.contains("- inner  ×1  total 9.0µs  self 9.0µs"),
+            "{profile}"
+        );
+        assert!(
+            profile.contains("- outer  ×1  total 10.0µs  self 1.0µs"),
+            "{profile}"
+        );
+        let inner_at = profile.find("- inner").unwrap();
+        let outer_at = profile.find("- outer").unwrap();
+        assert!(inner_at < outer_at, "{profile}");
+    }
+
+    #[test]
+    fn slow_spans_warn_with_counts() {
+        let _guard = LOCK.lock().unwrap();
+        set_trace_enabled(true);
+        clear_spans();
+        let before = {
+            let (p, s) = crate::warn::warn_counts("slow");
+            p + s
+        };
+        set_slow_threshold_ns(1);
+        {
+            let _outer = span("slowtest.outer");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        set_slow_threshold_ns(0);
+        set_trace_enabled(false);
+        let _ = take_spans();
+        crate::events::clear_events();
+        crate::hist::clear_histograms();
+        let after = {
+            let (p, s) = crate::warn::warn_counts("slow");
+            p + s
+        };
+        assert!(
+            after > before,
+            "slow span did not warn ({before} -> {after})"
+        );
     }
 }

@@ -32,6 +32,7 @@ impl ValueIndex {
     /// Build the index over every non-null cell of `db`.
     #[must_use]
     pub fn build(db: &Database) -> ValueIndex {
+        let _span = clio_obs::span("index.build");
         let mut map: HashMap<Value, Vec<Occurrence>> = HashMap::new();
         for rel in db.relations() {
             let attrs: Vec<String> = rel

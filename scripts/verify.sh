@@ -49,7 +49,12 @@ tmp_chunk_dir="$(mktemp -d)"
 tmp_cache_dir="$(mktemp -d)"
 tmp_diskwarm_out="$(mktemp)"
 tmp_diskwarm_metrics="$(mktemp)"
-trap 'rm -f "$tmp_metrics" "$tmp_twice_metrics" "$tmp_twice_script" "$tmp_serial_out" "$tmp_diskwarm_out" "$tmp_diskwarm_metrics"; rm -rf "$tmp_chunk_dir" "$tmp_cache_dir"' EXIT
+tmp_cyclic_map="$(mktemp)"
+tmp_telemetry_script="$(mktemp)"
+tmp_telemetry_out="$(mktemp)"
+tmp_telemetry_metrics="$(mktemp)"
+tmp_trace_jsonl="$(mktemp)"
+trap 'rm -f "$tmp_metrics" "$tmp_twice_metrics" "$tmp_twice_script" "$tmp_serial_out" "$tmp_diskwarm_out" "$tmp_diskwarm_metrics" "$tmp_cyclic_map" "$tmp_telemetry_script" "$tmp_telemetry_out" "$tmp_telemetry_metrics" "$tmp_trace_jsonl"; rm -rf "$tmp_chunk_dir" "$tmp_cache_dir"' EXIT
 target/release/clio-shell \
     --script examples/scripts/demo.clio \
     --metrics "$tmp_metrics" \
@@ -154,5 +159,67 @@ if [ -z "$disk_hits" ] || [ "$disk_hits" -eq 0 ]; then
     exit 1
 fi
 echo "    cache.disk_hits = $disk_hits"
+
+# Tier 2e: timing-telemetry gate (PR 6, docs/observability.md § Timing).
+# The demo plus a loaded CYCLIC mapping (so the naive full-disjunction
+# plan runs, not just the tree-graph outer join) is traced with
+# --trace-out and --metrics. The gate checks the whole export path:
+# every JSONL line is a well-formed Chrome trace event, the event count
+# equals the --trace tree's span count, and the metrics report carries
+# nonzero latency histograms for `fd.naive` and `incr.fd`. The golden
+# gates above run WITHOUT tracing, so histogram keys never appear there
+# — timing stays invisible to the counter snapshots by construction.
+echo "==> timing-telemetry gate (demo + cyclic mapping, --trace-out, --metrics)"
+cat > "$tmp_cyclic_map" <<'EOF'
+target Kids (ID str not null, name str, affiliation str, address str, contactPh str, BusSchedule str, FamilyIncome int)
+node Children
+node Parents
+node PhoneDir
+edge Children -- Parents : Children.mid = Parents.ID
+edge Parents -- PhoneDir : PhoneDir.ID = Parents.ID
+edge Children -- PhoneDir : Children.mid = PhoneDir.ID
+corr Children.ID -> ID
+corr Children.name -> name
+corr Parents.affiliation -> affiliation
+corr PhoneDir.number -> contactPh
+EOF
+sed '/^quit$/d' examples/scripts/demo.clio > "$tmp_telemetry_script"
+{
+    echo "load $tmp_cyclic_map"
+    echo "target"
+    echo "quit"
+} >> "$tmp_telemetry_script"
+target/release/clio-shell \
+    --script "$tmp_telemetry_script" --threads 1 \
+    --trace --trace-out "$tmp_trace_jsonl" \
+    --metrics "$tmp_telemetry_metrics" > "$tmp_telemetry_out"
+span_count="$(sed -n 's/^trace: \([0-9][0-9]*\) spans* on .*/\1/p' "$tmp_telemetry_out")"
+if [ -z "$span_count" ] || [ "$span_count" -eq 0 ]; then
+    echo "verify: FAILED — traced telemetry run printed no span tree" >&2
+    exit 1
+fi
+event_count="$(wc -l < "$tmp_trace_jsonl" | tr -d ' ')"
+if [ "$event_count" -ne "$span_count" ]; then
+    echo "verify: FAILED — --trace-out exported $event_count events for $span_count spans" >&2
+    exit 1
+fi
+python3 - "$tmp_trace_jsonl" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    for lineno, line in enumerate(f, 1):
+        event = json.loads(line)
+        for key in ("ph", "ts", "dur", "name", "pid", "tid"):
+            assert key in event, f"line {lineno}: missing `{key}`: {line!r}"
+        assert event["ph"] == "X", f"line {lineno}: not a complete event"
+EOF
+python3 - "$tmp_telemetry_metrics" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+hists = report.get("histograms", {})
+for name in ("fd.naive", "incr.fd"):
+    count = hists.get(name, {}).get("count", 0)
+    assert count > 0, f"histogram `{name}` missing or empty: {sorted(hists)}"
+EOF
+echo "    $event_count trace events = $span_count spans; fd.naive + incr.fd histograms populated"
 
 echo "verify: OK"
