@@ -140,7 +140,11 @@ pub const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         usage: "cache limit <bytes>",
-        description: &["set the cache's LRU byte budget"],
+        description: &["set the cache's eviction byte budget"],
+    },
+    CommandSpec {
+        usage: "cache policy [lru|cost]",
+        description: &["show or switch the eviction policy"],
     },
     CommandSpec {
         usage: "profile",
@@ -232,8 +236,11 @@ pub enum CacheAction {
     Load(Option<String>),
     /// `cache clear` — drop every resident entry.
     Clear,
-    /// `cache limit <bytes>` — set the LRU byte budget at runtime.
+    /// `cache limit <bytes>` — set the eviction byte budget at runtime.
     Limit(usize),
+    /// `cache policy [lru|cost]` — show (`None`) or switch (`Some`)
+    /// the eviction policy at runtime.
+    Policy(Option<clio_incr::EvictionPolicy>),
 }
 
 /// One parsed shell command. Field-free variants read the session;
@@ -529,6 +536,15 @@ pub fn parse(line: &str) -> Result<Command, ParseError> {
                         .map_err(|_| ParseError(format!("expected a byte budget, got `{arg}`")))?;
                     Ok(Command::Cache(CacheAction::Limit(bytes)))
                 }
+                "policy" => {
+                    if arg.is_empty() {
+                        return Ok(Command::Cache(CacheAction::Policy(None)));
+                    }
+                    let policy = clio_incr::EvictionPolicy::parse(arg).ok_or_else(|| {
+                        ParseError(format!("expected a policy (lru|cost), got `{arg}`"))
+                    })?;
+                    Ok(Command::Cache(CacheAction::Policy(Some(policy))))
+                }
                 other => err(format!("unknown cache subcommand `{other}` (try `help`)")),
             }
         }
@@ -679,6 +695,24 @@ mod tests {
             parse("cache limit lots").unwrap_err().0,
             "expected a byte budget, got `lots`"
         );
+        assert_eq!(
+            parse("cache policy").unwrap(),
+            Command::Cache(CacheAction::Policy(None))
+        );
+        assert_eq!(
+            parse("cache policy lru").unwrap(),
+            Command::Cache(CacheAction::Policy(Some(clio_incr::EvictionPolicy::Lru)))
+        );
+        assert_eq!(
+            parse("cache policy cost").unwrap(),
+            Command::Cache(CacheAction::Policy(Some(
+                clio_incr::EvictionPolicy::CostAware
+            )))
+        );
+        assert_eq!(
+            parse("cache policy mru").unwrap_err().0,
+            "expected a policy (lru|cost), got `mru`"
+        );
         assert!(parse("cache frobnicate")
             .unwrap_err()
             .0
@@ -809,7 +843,8 @@ mod tests {
         assert!(help.starts_with("commands:\n"));
         // every described entry puts its description at column 30
         assert!(help.contains("  source                      show the source schema"));
-        assert!(help.contains("  cache limit <bytes>         set the cache's LRU byte budget"));
+        assert!(help.contains("  cache limit <bytes>         set the cache's eviction byte budget"));
+        assert!(help.contains("  cache policy [lru|cost]     show or switch the eviction policy"));
         assert!(help.contains("  quit\n"));
         // continuation lines land on the same column
         assert!(help.contains("\n                              by name, e.g. `stats chase`"));

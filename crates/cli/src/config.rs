@@ -59,6 +59,10 @@ pub struct CliConfig {
     /// `--cache-dir <path>`: attach an on-disk cache store rooted at
     /// this directory (see `docs/incremental.md`, Persistence).
     pub cache_dir: Option<String>,
+    /// `--cache-policy <lru|cost>`: how the cache evicts under
+    /// byte-budget pressure (cost-aware by default; see
+    /// `docs/incremental.md`, Eviction policy & cost model).
+    pub cache_policy: Option<clio_incr::EvictionPolicy>,
 }
 
 /// The value of flag `flag`, or the binary's exact missing-value error.
@@ -133,6 +137,18 @@ impl CliConfig {
                 "--cache-dir" => {
                     i += 1;
                     cfg.cache_dir = Some(require_value(args, i, "--cache-dir")?);
+                }
+                "--cache-policy" => {
+                    i += 1;
+                    let value = require_value(args, i, "--cache-policy")?;
+                    match clio_incr::EvictionPolicy::parse(&value) {
+                        Some(policy) => cfg.cache_policy = Some(policy),
+                        None => {
+                            return Err(UsageError(format!(
+                                "--cache-policy expects `lru` or `cost`, got `{value}`"
+                            )))
+                        }
+                    }
                 }
                 "--trace" => cfg.trace = true,
                 "--no-cache" => cfg.no_cache = true,
@@ -223,6 +239,8 @@ mod tests {
             "m.json",
             "--cache-dir",
             "/tmp/cc",
+            "--cache-policy",
+            "lru",
             "--threads",
             "3",
             "--sessions",
@@ -239,6 +257,7 @@ mod tests {
         assert_eq!(cfg.script.as_deref(), Some("s.clio"));
         assert_eq!(cfg.metrics_path.as_deref(), Some("m.json"));
         assert_eq!(cfg.cache_dir.as_deref(), Some("/tmp/cc"));
+        assert_eq!(cfg.cache_policy, Some(clio_incr::EvictionPolicy::Lru));
         assert_eq!(cfg.threads, Some(3));
         assert_eq!(cfg.sessions_width, Some(2));
         assert_eq!(cfg.trace_filter.as_deref(), Some("fd.naive"));
@@ -271,6 +290,14 @@ mod tests {
         assert_eq!(
             err(&["--cache-dir"]),
             "--cache-dir requires a value (see --help)"
+        );
+        assert_eq!(
+            err(&["--cache-policy"]),
+            "--cache-policy requires a value (see --help)"
+        );
+        assert_eq!(
+            err(&["--cache-policy", "mru"]),
+            "--cache-policy expects `lru` or `cost`, got `mru`"
         );
         assert_eq!(
             err(&["--threads", "0"]),

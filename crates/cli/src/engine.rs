@@ -373,9 +373,13 @@ impl Shell {
         }
     }
 
-    /// Dispatch a `cache …` subcommand. `cache` (stats) keeps its
-    /// legacy three-line output byte-for-byte when no persistent store
-    /// is attached; store lines are appended only when one is.
+    /// Dispatch a `cache …` subcommand. `cache` (stats) leads with its
+    /// legacy three lines (on/off, entries, hit counters) so scripted
+    /// greps keep working; the policy, cost, and warmth lines follow,
+    /// and store lines are appended only when a persistent store is
+    /// attached. The warmth probe uses the non-promoting
+    /// [`EvalCache::peek`], so printing statistics never perturbs
+    /// recency, frequency, or the hit/miss counters it reports.
     fn cache_command(&mut self, action: CacheAction) -> Result<String> {
         let cache = self.session.cache();
         match action {
@@ -394,6 +398,25 @@ impl Shell {
                     "hits: {}  misses: {}  invalidations: {}  evictions: {}",
                     stats.hits, stats.misses, stats.invalidations, stats.evictions
                 );
+                let _ = writeln!(
+                    out,
+                    "policy: {}  cost evictions: {}  saved: {:.1} ms",
+                    cache.policy().name(),
+                    stats.cost_evictions,
+                    stats.saved_ns as f64 / 1e6,
+                );
+                if let Some(w) = self.session.active() {
+                    let fp = clio_core::incremental::mapping_fingerprint(&w.mapping, cache);
+                    let _ = writeln!(
+                        out,
+                        "active Q(M): {}",
+                        if cache.peek(fp).is_some() {
+                            "warm"
+                        } else {
+                            "cold"
+                        }
+                    );
+                }
                 if let Some(store) = cache.store() {
                     let s = store.stats();
                     let _ = writeln!(out, "store: {}", store.describe());
@@ -411,6 +434,11 @@ impl Shell {
             }
             CacheAction::Limit(bytes) => {
                 cache.set_capacity(bytes);
+                Ok("ok\n".to_owned())
+            }
+            CacheAction::Policy(None) => Ok(format!("policy: {}\n", cache.policy().name())),
+            CacheAction::Policy(Some(policy)) => {
+                cache.set_policy(policy);
                 Ok("ok\n".to_owned())
             }
             CacheAction::Save(dir) => {
@@ -728,6 +756,47 @@ mod tests {
         // bad arguments come back as parse errors, not panics
         assert!(run(&mut sh, "cache limit lots").starts_with("error:"));
         assert!(run(&mut sh, "cache wat").starts_with("error:"));
+    }
+
+    #[test]
+    fn cache_policy_command_shows_and_switches() {
+        let mut sh = shell();
+        // cost-aware is the default, reported by both `cache` and
+        // `cache policy`
+        assert!(run(&mut sh, "cache").contains("policy: cost"));
+        assert_eq!(run(&mut sh, "cache policy"), "policy: cost\n");
+        assert_eq!(run(&mut sh, "cache policy lru"), "ok\n");
+        assert_eq!(run(&mut sh, "cache policy"), "policy: lru\n");
+        assert_eq!(sh.session.cache().policy(), clio_incr::EvictionPolicy::Lru);
+        assert_eq!(run(&mut sh, "cache policy cost"), "ok\n");
+        assert_eq!(
+            sh.session.cache().policy(),
+            clio_incr::EvictionPolicy::CostAware
+        );
+        assert_eq!(
+            run(&mut sh, "cache policy mru"),
+            "error: expected a policy (lru|cost), got `mru`\n"
+        );
+    }
+
+    /// The stats warmth probe is `peek`-based: printing `cache` must
+    /// not create hits, promote entries, or change the active
+    /// mapping's warmth.
+    #[test]
+    fn cache_stats_warmth_line_tracks_the_active_mapping() {
+        let mut sh = shell();
+        // no active workspace yet: no warmth line at all
+        assert!(!run(&mut sh, "cache").contains("active Q(M):"));
+        run(&mut sh, "corr Children.ID -> ID");
+        let s = run(&mut sh, "cache");
+        assert!(s.contains("active Q(M): cold"), "{s}");
+        run(&mut sh, "target");
+        let before = sh.session.cache().stats();
+        let s = run(&mut sh, "cache");
+        assert!(s.contains("active Q(M): warm"), "{s}");
+        let after = sh.session.cache().stats();
+        assert_eq!(before.hits, after.hits, "stats probe counted a hit");
+        assert_eq!(before.misses, after.misses, "stats probe counted a miss");
     }
 
     #[test]

@@ -56,6 +56,7 @@ fn run_batch(
     scripts: &[String],
     width: usize,
     no_cache: bool,
+    cache_policy: Option<clio_incr::EvictionPolicy>,
     store: Option<Arc<dyn CacheStore>>,
 ) {
     let mut bodies: Vec<String> = Vec::new();
@@ -73,6 +74,9 @@ fn run_batch(
         pool = pool.with_store(store);
     }
     pool.set_cache_enabled(!no_cache);
+    if let Some(policy) = cache_policy {
+        pool.set_cache_policy(policy);
+    }
     let outputs = pool.run(bodies.len(), |i, session| {
         let mut shell = Shell::new(session);
         let mut out = String::new();
@@ -135,6 +139,9 @@ flags:
   --cache-dir <path>     persist eligible cache entries under <path> and
                          serve misses from it across runs (see
                          docs/incremental.md, Persistence)
+  --cache-policy <p>     eviction policy under capacity pressure: `cost`
+                         (recompute-cost-weighted, the default) or `lru`
+                         (see docs/incremental.md, Eviction policy)
   --help, -h             show this help
 
 {}",
@@ -219,7 +226,15 @@ fn main() {
             std::process::exit(2);
         }
         let width = cfg.sessions_width.unwrap_or(1);
-        run_batch(db, target, &cfg.batch_scripts, width, cfg.no_cache, store);
+        run_batch(
+            db,
+            target,
+            &cfg.batch_scripts,
+            width,
+            cfg.no_cache,
+            cfg.cache_policy,
+            store,
+        );
         finish_reports(&cfg);
         return;
     }
@@ -231,6 +246,9 @@ fn main() {
     let mut session = Session::new(db, target);
     if cfg.no_cache {
         session.set_cache_enabled(false);
+    }
+    if let Some(policy) = cfg.cache_policy {
+        session.set_cache_policy(policy);
     }
     if let Some(store) = store {
         session.attach_store(store);

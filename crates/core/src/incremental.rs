@@ -135,46 +135,113 @@ fn mask_deps(graph: &QueryGraph, mask: u64) -> Vec<String> {
     deps
 }
 
-/// The naive `D(G)` plan with per-subgraph memoization: cached `F(J)`s
-/// are looked up first, only the misses are computed (on the worker
-/// pool, in canonical subgraph order), and assembly — padding then one
-/// n-ary minimum union — runs in the same order as the uncached plan,
-/// so the output is byte-identical. `fd.subgraphs` counts only the
-/// subgraphs actually computed.
+/// Row-count fallback when no sibling cost history exists: the product
+/// of the member relations' sizes (saturating), a proxy for the join
+/// work `full_associations` will do on the subgraph.
+fn heuristic_cost(db: &Database, graph: &QueryGraph, mask: u64) -> u64 {
+    let mut est: u64 = 1;
+    for (i, n) in graph.nodes().iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            let rows = db.relation(&n.relation).map_or(1, |r| r.len() as u64);
+            est = est.saturating_mul(rows.max(1));
+        }
+    }
+    est
+}
+
+/// The naive `D(G)` plan with per-subgraph memoization and
+/// warmth-guided scheduling. A non-promoting [`EvalCache::peek`] scan
+/// first plans the fan-out: expected-warm subgraphs will be served
+/// inline, expected-cold ones get a cost estimate (sibling-entry
+/// history via [`EvalCache::estimate_cost`], falling back to a
+/// row-count heuristic). The counted lookups then run in canonical
+/// subgraph order — counter semantics identical to the unscheduled plan
+/// — and the misses are dispatched to the worker pool
+/// longest-estimated-first, so a straggler subgraph no longer
+/// serializes the tail of the fan-out. Each computed subgraph's
+/// recompute time is measured and recorded on its cache entry, feeding
+/// cost-aware eviction. Assembly — padding then one n-ary minimum union
+/// — runs in the same order as the uncached plan, so the output is
+/// byte-identical. `fd.subgraphs` counts only the subgraphs actually
+/// computed.
+///
+/// Returns the association set together with the summed compute time of
+/// the subgraphs evaluated this call, so the caller can charge its own
+/// graph-level cache entry the *exclusive* assembly cost rather than
+/// double-counting work already priced on the children.
 fn full_disjunction_naive_cached(
     db: &Database,
     graph: &QueryGraph,
     funcs: &FuncRegistry,
     cache: &EvalCache,
-) -> Result<AssociationSet> {
+) -> Result<(AssociationSet, u64)> {
     let _span = clio_obs::span("fd.naive");
     let scheme = graph.scheme(db)?;
     let masks = connected_subsets(graph);
-    let mut slots: Vec<Option<Table>> = masks
+    let fps: Vec<Fingerprint> = masks
         .iter()
-        .map(|&mask| cache.get(subgraph_fingerprint(graph, mask, cache)))
+        .map(|&mask| subgraph_fingerprint(graph, mask, cache))
         .collect();
+    // Warmth pre-probe: peek perturbs no recency/priority order and
+    // counts nothing, so planning the dispatch cannot change which
+    // entries the eviction policy keeps. Estimates are pinned here,
+    // before any counted lookup warms the memory tier and shifts the
+    // sibling history mid-plan.
+    let estimates: Vec<u64> = masks
+        .iter()
+        .zip(&fps)
+        .map(|(&mask, &fp)| {
+            if cache.peek(fp).is_some() {
+                0 // expected warm: served inline below, never dispatched
+            } else {
+                cache
+                    .estimate_cost(&mask_deps(graph, mask))
+                    .unwrap_or_else(|| heuristic_cost(db, graph, mask))
+            }
+        })
+        .collect();
+    let mut slots: Vec<Option<Table>> = fps.iter().map(|&fp| cache.get(fp)).collect();
     let missing: Vec<(usize, u64)> = slots
         .iter()
         .enumerate()
         .filter(|(_, slot)| slot.is_none())
         .map(|(i, _)| (i, masks[i]))
         .collect();
+    let mut children_ns: u64 = 0;
     if !missing.is_empty() {
-        let fresh: Vec<Table> = clio_relational::exec::map_slice(
+        // Longest-estimated-first dispatch; results return in input
+        // order, so the scheduling decision is answer-invisible.
+        let mut order: Vec<usize> = (0..missing.len()).collect();
+        order.sort_by_key(|&pos| (std::cmp::Reverse(estimates[missing[pos].0]), pos));
+        let fresh: Vec<(Table, u64)> = clio_relational::exec::map_slice_prioritized(
             &missing,
+            &order,
             "fd.naive.worker",
-            |_, &(_, mask)| -> Result<Table> { full_associations(db, graph, mask, funcs) },
+            |_, &(_, mask)| -> Result<(Table, u64)> {
+                // Unconditional timing (unlike hist::start, which is
+                // trace-gated): the cost model needs real measurements
+                // even when tracing is off.
+                let t0 = std::time::Instant::now();
+                let table = full_associations(db, graph, mask, funcs)?;
+                let cost_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                Ok((table, cost_ns))
+            },
         )
         .into_iter()
         .collect::<Result<_>>()?;
         metrics::add(Counter::SubgraphsEnumerated, fresh.len() as u64);
-        for (&(i, mask), table) in missing.iter().zip(&fresh) {
-            cache.insert(
+        let tracing = clio_obs::trace::trace_enabled();
+        for (&(i, mask), (table, cost_ns)) in missing.iter().zip(&fresh) {
+            children_ns = children_ns.saturating_add(*cost_ns);
+            cache.insert_costed(
                 subgraph_fingerprint(graph, mask, cache),
                 mask_deps(graph, mask),
                 table,
+                *cost_ns,
             );
+            if tracing {
+                clio_obs::hist::record("incr.fd.scheduled", *cost_ns);
+            }
             slots[i] = Some(table.clone());
         }
     }
@@ -184,7 +251,7 @@ fn full_disjunction_naive_cached(
         .collect::<Result<_>>()?;
     let refs: Vec<&Table> = padded.iter().collect();
     let table = minimum_union_all(&refs, engine_subsumption())?;
-    Ok(AssociationSet::from_table(graph, table))
+    Ok((AssociationSet::from_table(graph, table), children_ns))
 }
 
 /// Compute `D(G)` through the cache. `cache: None` (or a disabled
@@ -228,11 +295,19 @@ pub fn full_disjunction_cached(
         );
         return Ok(AssociationSet::from_table(graph, table));
     }
-    let set = match algo {
-        FdAlgo::OuterJoin => full_disjunction_outer_join(db, graph, funcs)?,
+    let t0 = std::time::Instant::now();
+    // The naive plan memoizes its subgraphs individually, so the
+    // graph-level entry is charged only the exclusive assembly cost
+    // (padding + minimum union); the tree plan has no cached children
+    // and carries its full compute time.
+    let (set, children_ns) = match algo {
+        FdAlgo::OuterJoin => (full_disjunction_outer_join(db, graph, funcs)?, 0),
         _ => full_disjunction_naive_cached(db, graph, funcs, cache)?,
     };
-    cache.insert(fp, relation_deps(graph), set.table());
+    let cost_ns = u64::try_from(t0.elapsed().as_nanos())
+        .unwrap_or(u64::MAX)
+        .saturating_sub(children_ns);
+    cache.insert_costed(fp, relation_deps(graph), set.table(), cost_ns);
     clio_obs::hist::finish("incr.fd.cold", timer);
     Ok(set)
 }
@@ -375,6 +450,61 @@ mod tests {
         }
         let s = cache.stats();
         assert!(s.hits >= 1, "memory tier never hit: {s:?}");
+    }
+
+    #[test]
+    fn cold_runs_record_entry_costs_and_scheduled_histogram() {
+        let _guard = crate::obs_testutil::lock();
+        clio_obs::set_trace_enabled(true);
+        clio_obs::clear_histograms();
+        let g = cyclic_graph(); // non-tree: takes the scheduled naive plan
+        let cache = EvalCache::new();
+        full_disjunction_cached(&db(), &g, FdAlgo::Auto, &funcs(), Some(&cache)).unwrap();
+        clio_obs::set_trace_enabled(false);
+        let _ = clio_obs::take_spans();
+        clio_obs::clear_events();
+        let hists = clio_obs::snapshot_histograms();
+        clio_obs::clear_histograms();
+        let (_, h) = hists
+            .iter()
+            .find(|(n, _)| *n == "incr.fd.scheduled")
+            .expect("cold naive run must record scheduled-subgraph costs");
+        let n_subgraphs = connected_subsets(&g).len() as u64;
+        assert_eq!(h.count, n_subgraphs, "one cost per computed subgraph");
+        // the measured costs seeded the cache's cost model
+        assert!(
+            cache.estimate_cost(&relation_deps(&g)).is_some(),
+            "subgraph entries must carry measured costs"
+        );
+    }
+
+    #[test]
+    fn warm_subgraphs_are_never_dispatched() {
+        let _guard = crate::obs_testutil::lock();
+        clio_obs::set_trace_enabled(true);
+        let g = cyclic_graph();
+        let cache = EvalCache::new();
+        full_disjunction_cached(&db(), &g, FdAlgo::Auto, &funcs(), Some(&cache)).unwrap();
+        clio_obs::clear_histograms();
+        // a PhoneDir edit leaves the Children/Parents subgraphs warm:
+        // only the PhoneDir-touching ones may be scheduled
+        cache.bump_version("PhoneDir");
+        full_disjunction_cached(&db(), &g, FdAlgo::Auto, &funcs(), Some(&cache)).unwrap();
+        clio_obs::set_trace_enabled(false);
+        let _ = clio_obs::take_spans();
+        clio_obs::clear_events();
+        let hists = clio_obs::snapshot_histograms();
+        clio_obs::clear_histograms();
+        let scheduled = hists
+            .iter()
+            .find(|(n, _)| *n == "incr.fd.scheduled")
+            .map_or(0, |(_, h)| h.count);
+        let total = connected_subsets(&g).len() as u64;
+        assert!(
+            scheduled > 0 && scheduled < total,
+            "post-edit run must dispatch only the cold subset \
+             ({scheduled} of {total})"
+        );
     }
 
     #[test]

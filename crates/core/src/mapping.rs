@@ -273,7 +273,14 @@ impl Mapping {
                 return Ok(table);
             }
         }
+        let t0 = std::time::Instant::now();
         let assocs = self.associations_cached(db, FdAlgo::Auto, funcs, cache)?;
+        // Exclusive cost: the association step memoizes its own layers,
+        // so this entry is charged only the projection/filter work a
+        // recompute would redo when those layers are warm. Charging the
+        // whole pipeline would double-count the children and hand this
+        // low-reuse aggregate an inflated eviction priority.
+        let inner_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let eval = self.evaluator(db, funcs)?;
         let mut out = Table::empty(self.target_scheme());
         for i in 0..assocs.len() {
@@ -282,7 +289,15 @@ impl Mapping {
             }
         }
         if let (Some(c), Some(fp)) = (cache, fp) {
-            c.insert(fp, crate::incremental::relation_deps(&self.graph), &out);
+            let cost_ns = u64::try_from(t0.elapsed().as_nanos())
+                .unwrap_or(u64::MAX)
+                .saturating_sub(inner_ns);
+            c.insert_costed(
+                fp,
+                crate::incremental::relation_deps(&self.graph),
+                &out,
+                cost_ns,
+            );
         }
         Ok(out)
     }

@@ -11,16 +11,19 @@
 //! * **The epoch** — a cache-wide version covering ambient evaluation
 //!   state that is not per-relation (the function registry). Bumping it
 //!   clears everything.
-//! * **An LRU byte budget** — entries are charged an estimated byte
-//!   size; inserting past the capacity evicts least-recently-used
-//!   entries first.
+//! * **A byte budget with a pluggable eviction policy** — entries are
+//!   charged an estimated byte size; inserting past the capacity evicts
+//!   entries chosen by the active [`EvictionPolicy`]: plain
+//!   least-recently-used, or (the default) a GreedyDual-style
+//!   cost-aware priority that keeps expensive-to-recompute tables
+//!   resident (see `docs/incremental.md`).
 //!
 //! Lookups and insertions mirror into the global `cache.*` counters of
 //! [`clio_obs`] (when metrics are enabled) and into per-cache
 //! [`CacheStats`] (always, for the `cache` shell command).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use clio_obs::metrics::{self, Counter};
@@ -32,6 +35,78 @@ use crate::store::{CacheStore, StoredEntry};
 
 /// Default cache capacity: 64 MiB of estimated table bytes.
 pub const DEFAULT_CAPACITY_BYTES: usize = 64 << 20;
+
+/// How victims are chosen when resident bytes exceed the budget.
+///
+/// Both policies are *answer-invisible*: they only decide what stays
+/// resident, never what a lookup returns (pinned by the Lru-vs-CostAware
+/// byte-identity proptest in `tests/properties.rs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used entry first, ignoring costs.
+    Lru,
+    /// GreedyDual-style cost-aware eviction (the default). Each entry
+    /// carries a priority
+    /// `H = clock + freq · cost_ns · SCALE / bytes`, recomputed on
+    /// every hit (which also bumps `freq`). The victim is the minimum
+    /// `H` (ties broken least-recently-used), and the clock inflates to
+    /// the victim's priority so long-resident entries age out instead
+    /// of squatting forever. Entries with no recorded cost degenerate
+    /// to exact LRU order.
+    #[default]
+    CostAware,
+}
+
+impl EvictionPolicy {
+    /// Parse a CLI/shell policy name (`lru` | `cost`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<EvictionPolicy> {
+        match name {
+            "lru" => Some(EvictionPolicy::Lru),
+            "cost" => Some(EvictionPolicy::CostAware),
+            _ => None,
+        }
+    }
+
+    /// The CLI/shell name (`lru` | `cost`), inverse of
+    /// [`EvictionPolicy::parse`].
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::CostAware => "cost",
+        }
+    }
+
+    fn from_u8(v: u8) -> EvictionPolicy {
+        if v == 0 {
+            EvictionPolicy::Lru
+        } else {
+            EvictionPolicy::CostAware
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            EvictionPolicy::Lru => 0,
+            EvictionPolicy::CostAware => 1,
+        }
+    }
+}
+
+/// Fixed-point scale for the cost/size ratio in the GreedyDual
+/// priority, so small ratios (cheap-but-large tables) still order
+/// against each other instead of all truncating to zero.
+const PRIORITY_SCALE: u64 = 1 << 10;
+
+/// The GreedyDual priority `clock + freq · cost_ns · SCALE / bytes`
+/// (saturating). Zero-cost entries collapse to `clock`, which makes
+/// the cost-aware policy degrade to exact LRU via the recency
+/// tie-break.
+fn gd_priority(clock: u64, cost_ns: u64, bytes: usize, freq: u64) -> u64 {
+    let value = cost_ns.saturating_mul(freq).saturating_mul(PRIORITY_SCALE) / (bytes.max(1) as u64);
+    clock.saturating_add(value)
+}
 
 /// Estimate the resident size of a table: one `Value` slot per cell plus
 /// string payloads. Good enough for budgeting; never used for
@@ -62,6 +137,11 @@ pub struct CacheStats {
     pub invalidations: u64,
     /// Entries dropped to stay under the byte budget.
     pub evictions: u64,
+    /// The subset of `evictions` chosen by the cost-aware policy.
+    pub cost_evictions: u64,
+    /// Recompute nanoseconds avoided by hits (sum of the answering
+    /// entries' recorded costs, memory and disk tiers alike).
+    pub saved_ns: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// Estimated bytes currently resident.
@@ -88,7 +168,31 @@ struct Entry {
     deps: Vec<String>,
     bytes: usize,
     last_used: u64,
+    /// Measured recompute time, reported by the caller at insert
+    /// (0 when unknown — e.g. legacy disk entries).
+    cost_ns: u64,
+    /// Reference count: starts at 1 on first admission (or resumes
+    /// from ghost history on a re-insert) and bumps on every hit.
+    freq: u64,
+    /// GreedyDual priority, recomputed on every hit. Ignored under
+    /// [`EvictionPolicy::Lru`].
+    priority: u64,
 }
+
+/// History record for an entry that lost residency (evicted) or lost
+/// admission (rejected): the frequency it had accumulated, and the tick
+/// the record was written (for pruning the oldest once the history map
+/// is full).
+#[derive(Debug, Clone)]
+struct Ghost {
+    freq: u64,
+    tick: u64,
+}
+
+/// Bound on the ghost-history map. Fingerprints embed dependency
+/// versions, so ghosts of invalidated lineages are dead weight; the cap
+/// keeps them from accumulating without a scan.
+const MAX_GHOSTS: usize = 1024;
 
 #[derive(Debug, Clone, Default)]
 struct Inner {
@@ -97,10 +201,21 @@ struct Inner {
     epoch: u64,
     bytes: usize,
     tick: u64,
+    /// GreedyDual aging clock: inflates to each victim's priority so
+    /// entries admitted later start "older" than long-dead residents.
+    clock: u64,
+    /// Ghost history: fingerprints that were evicted or rejected, with
+    /// the frequency they had earned. A re-insert of the same
+    /// fingerprint resumes at that frequency instead of restarting at
+    /// one — recurring entries climb across edit rounds while one-shot
+    /// fingerprints (whose deps changed) never benefit.
+    ghosts: HashMap<Fingerprint, Ghost>,
     hits: u64,
     misses: u64,
     invalidations: u64,
     evictions: u64,
+    cost_evictions: u64,
+    saved_ns: u64,
     /// Optional second tier behind the memory tier. Shared (`Arc`) so a
     /// cloned session keeps spilling to — and loading from — the same
     /// backend.
@@ -114,6 +229,7 @@ struct Inner {
 pub struct EvalCache {
     enabled: AtomicBool,
     capacity: AtomicUsize,
+    policy: AtomicU8,
     inner: Mutex<Inner>,
 }
 
@@ -141,8 +257,22 @@ impl EvalCache {
         EvalCache {
             enabled: AtomicBool::new(true),
             capacity: AtomicUsize::new(capacity_bytes),
+            policy: AtomicU8::new(EvictionPolicy::default().as_u8()),
             inner: Mutex::new(Inner::default()),
         }
+    }
+
+    /// The active eviction policy.
+    #[must_use]
+    pub fn policy(&self) -> EvictionPolicy {
+        EvictionPolicy::from_u8(self.policy.load(Ordering::Relaxed))
+    }
+
+    /// Switch the eviction policy at runtime (`cache policy <name>`).
+    /// Resident entries, statistics, and recorded costs are kept; only
+    /// future victim selection changes.
+    pub fn set_policy(&self, policy: EvictionPolicy) {
+        self.policy.store(policy.as_u8(), Ordering::Relaxed);
     }
 
     /// Whether lookups and insertions are active.
@@ -164,11 +294,11 @@ impl EvalCache {
     }
 
     /// Change the byte budget at runtime (`cache limit <bytes>`),
-    /// evicting least-recently-used entries until resident bytes fit.
+    /// evicting policy-chosen victims until resident bytes fit.
     pub fn set_capacity(&self, capacity_bytes: usize) {
         self.capacity.store(capacity_bytes, Ordering::Relaxed);
         let mut inner = self.lock();
-        Self::evict_to(&mut inner, capacity_bytes);
+        Self::evict_to(&mut inner, capacity_bytes, self.policy());
     }
 
     /// Attach (or detach, with `None`) a second-tier backend. Lookups
@@ -184,16 +314,108 @@ impl EvalCache {
         self.lock().store.clone()
     }
 
-    fn evict_to(inner: &mut Inner, capacity: usize) {
-        while inner.bytes > capacity {
-            let Some((&victim, _)) = inner.entries.iter().min_by_key(|(_, e)| e.last_used) else {
-                break;
+    /// Evict until resident bytes fit `capacity`. A zero budget means
+    /// *nothing* stays resident — even zero-byte tables, which would
+    /// otherwise "fit" — so `set_capacity(0)` is a guaranteed flush.
+    /// Victim selection is deterministic under both policies:
+    /// `last_used` ticks are unique, so the `(priority, last_used)` key
+    /// never ties and `HashMap` iteration order cannot leak into which
+    /// entry dies.
+    fn evict_to(inner: &mut Inner, capacity: usize, policy: EvictionPolicy) {
+        while inner.bytes > capacity || (capacity == 0 && !inner.entries.is_empty()) {
+            let victim = match policy {
+                EvictionPolicy::Lru => inner
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(&fp, _)| fp),
+                EvictionPolicy::CostAware => inner
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| (e.priority, e.last_used))
+                    .map(|(&fp, _)| fp),
             };
+            let Some(victim) = victim else { break };
             if let Some(e) = inner.entries.remove(&victim) {
                 inner.bytes -= e.bytes;
                 inner.evictions += 1;
+                metrics::incr(Counter::CacheEvictions);
+                Self::remember_ghost(inner, victim, e.freq);
+                if policy == EvictionPolicy::CostAware {
+                    // Age the cache: everything admitted from now on
+                    // starts at least as "warm" as the entry that just
+                    // lost, which is what lets stale expensive entries
+                    // eventually drain.
+                    inner.clock = inner.clock.max(e.priority);
+                    inner.cost_evictions += 1;
+                    metrics::incr(Counter::CacheCostEvictions);
+                }
             }
         }
+    }
+
+    /// Record history for a fingerprint that just lost residency or
+    /// admission, so a later re-insert of the *same* fingerprint can
+    /// resume its accumulated frequency. Pruning the oldest record once
+    /// the map is full is deterministic: ties on `tick` (several losses
+    /// inside one operation) break on the fingerprint value.
+    fn remember_ghost(inner: &mut Inner, fp: Fingerprint, freq: u64) {
+        let tick = inner.tick;
+        inner.ghosts.insert(fp, Ghost { freq, tick });
+        if inner.ghosts.len() > MAX_GHOSTS {
+            let oldest = inner
+                .ghosts
+                .iter()
+                .min_by_key(|(fp, g)| (g.tick, fp.0))
+                .map(|(&fp, _)| fp);
+            if let Some(oldest) = oldest {
+                inner.ghosts.remove(&oldest);
+            }
+        }
+    }
+
+    /// GreedyDual admission control for the cost-aware policy: may an
+    /// entry of `bytes` at `cost_ns` (resuming at `freq` if its
+    /// fingerprint has ghost history) displace the victims it needs?
+    /// Walks the hypothetical eviction order without removing anything;
+    /// the answer is no as soon as a required victim strictly outranks
+    /// the candidate — evicting a proven earner for an unproven
+    /// newcomer is the churn that blind LRU suffers under pressure.
+    /// A rejection is the candidate being its own (immediate) victim,
+    /// so the clock still inflates to the candidate's priority: a
+    /// workload whose inserts keep losing raises the bar each time and
+    /// eventually outbids residents that stopped earning hits, so
+    /// nothing can squat forever.
+    fn admission_beats_victims(
+        inner: &mut Inner,
+        capacity: usize,
+        bytes: usize,
+        cost_ns: u64,
+        freq: u64,
+    ) -> bool {
+        let need = (inner.bytes + bytes).saturating_sub(capacity);
+        if need == 0 {
+            return true;
+        }
+        let candidate = gd_priority(inner.clock, cost_ns, bytes, freq);
+        let mut ranked: Vec<(u64, u64, usize)> = inner
+            .entries
+            .values()
+            .map(|e| (e.priority, e.last_used, e.bytes))
+            .collect();
+        ranked.sort_unstable();
+        let mut freed = 0usize;
+        for (priority, _, victim_bytes) in ranked {
+            if freed >= need {
+                break;
+            }
+            if priority > candidate {
+                inner.clock = inner.clock.max(candidate);
+                return false;
+            }
+            freed += victim_bytes;
+        }
+        true
     }
 
     /// Is an entry with these dependencies in the pristine state that
@@ -238,6 +460,9 @@ impl EvalCache {
             if let Some(e) = inner.entries.remove(&fp) {
                 inner.bytes -= e.bytes;
             }
+            // the fingerprint embeds the old version — it can never be
+            // requested again, so its history is dead too
+            inner.ghosts.remove(&fp);
         }
         inner.invalidations += dropped;
         metrics::add(Counter::CacheInvalidations, dropped);
@@ -250,6 +475,7 @@ impl EvalCache {
         inner.epoch += 1;
         let dropped = inner.entries.len() as u64;
         inner.entries.clear();
+        inner.ghosts.clear();
         inner.bytes = 0;
         inner.invalidations += dropped;
         metrics::add(Counter::CacheInvalidations, dropped);
@@ -277,11 +503,17 @@ impl EvalCache {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
+        let clock = inner.clock;
         if let Some(e) = inner.entries.get_mut(&fp) {
             e.last_used = tick;
+            e.freq = e.freq.saturating_add(1);
+            e.priority = gd_priority(clock, e.cost_ns, e.bytes, e.freq);
             let table = e.table.clone();
+            let saved = e.cost_ns;
             inner.hits += 1;
+            inner.saved_ns = inner.saved_ns.saturating_add(saved);
             metrics::incr(Counter::CacheHits);
+            metrics::add(Counter::CacheSavedNs, saved);
             return (Some(table), LookupTier::Memory);
         }
         // Memory miss: consult the second tier with the lock released
@@ -290,7 +522,11 @@ impl EvalCache {
         drop(inner);
         if let Some(store) = store {
             if let Some(entry) = store.load(fp) {
-                self.admit(fp, entry.deps, &entry.table);
+                self.admit(fp, entry.deps, &entry.table, entry.cost_ns);
+                let mut inner = self.lock();
+                inner.saved_ns = inner.saved_ns.saturating_add(entry.cost_ns);
+                drop(inner);
+                metrics::add(Counter::CacheSavedNs, entry.cost_ns);
                 return (Some(entry.table), LookupTier::Disk);
             }
         }
@@ -300,23 +536,64 @@ impl EvalCache {
         (None, LookupTier::Miss)
     }
 
+    /// Non-promoting lookup: a copy of the resident table, or `None`
+    /// (also while disabled). Touches no recency tick, frequency,
+    /// priority, or counter, and never consults the attached store — so
+    /// *inspecting* the cache (the `cache` shell command, the
+    /// warmth-guided scheduler's pre-probe) cannot change what gets
+    /// evicted next.
+    #[must_use]
+    pub fn peek(&self, fp: Fingerprint) -> Option<Table> {
+        if !self.enabled() {
+            return None;
+        }
+        self.lock().entries.get(&fp).map(|e| e.table.clone())
+    }
+
+    /// Estimate the recompute cost of a not-yet-resident entry from
+    /// sibling history: the mean recorded `cost_ns` of resident entries
+    /// sharing at least one declared dependency. `None` when no sibling
+    /// carries a cost (then callers fall back to row-count heuristics).
+    #[must_use]
+    pub fn estimate_cost(&self, deps: &[String]) -> Option<u64> {
+        let inner = self.lock();
+        let (mut sum, mut n) = (0u128, 0u64);
+        for e in inner.entries.values() {
+            if e.cost_ns > 0 && e.deps.iter().any(|d| deps.contains(d)) {
+                sum += u128::from(e.cost_ns);
+                n += 1;
+            }
+        }
+        (n > 0).then(|| u64::try_from(sum / u128::from(n)).unwrap_or(u64::MAX))
+    }
+
     /// Store a result under `fp`, declaring the base relations it was
-    /// computed from. No-op while disabled, when the entry already
-    /// exists, or when the table alone exceeds the whole budget.
-    /// Evicts least-recently-used entries to stay under the budget, and
-    /// spills a copy to the attached store when the entry is eligible
-    /// (see [`EvalCache::spill_all`] for the eligibility rule).
+    /// computed from. Equivalent to [`EvalCache::insert_costed`] with an
+    /// unknown (zero) recompute cost.
     pub fn insert(&self, fp: Fingerprint, deps: Vec<String>, table: &Table) {
+        self.insert_costed(fp, deps, table, 0);
+    }
+
+    /// Store a result under `fp` together with its measured recompute
+    /// time, which feeds the cost-aware eviction priority and the
+    /// warmth-guided scheduler's estimates. No-op while disabled, when
+    /// the entry already exists, or when the table alone exceeds the
+    /// whole budget. Evicts policy-chosen victims to stay under the
+    /// budget, and spills a copy (cost included) to the attached store
+    /// when the entry is eligible (see [`EvalCache::spill_all`] for the
+    /// eligibility rule).
+    pub fn insert_costed(&self, fp: Fingerprint, deps: Vec<String>, table: &Table, cost_ns: u64) {
         if !self.enabled() {
             return;
         }
-        let spill = self.admit(fp, deps.clone(), table);
+        let spill = self.admit(fp, deps.clone(), table, cost_ns);
         if let Some(store) = spill {
             store.spill(
                 fp,
                 &StoredEntry {
                     deps,
                     table: table.clone(),
+                    cost_ns,
                 },
             );
         }
@@ -330,19 +607,36 @@ impl EvalCache {
         fp: Fingerprint,
         deps: Vec<String>,
         table: &Table,
+        cost_ns: u64,
     ) -> Option<Arc<dyn CacheStore>> {
         let capacity = self.capacity();
         let bytes = table_bytes(table);
-        if bytes > capacity {
+        if capacity == 0 || bytes > capacity {
             return None;
         }
         let mut inner = self.lock();
         if inner.entries.contains_key(&fp) {
             return None;
         }
-        Self::evict_to(&mut inner, capacity.saturating_sub(bytes));
+        let policy = self.policy();
+        // A re-insert of a previously seen fingerprint resumes its
+        // accumulated frequency; the insert itself is a reference, so
+        // the count also advances on every (re)attempt. This is what
+        // separates recurring entries (same fingerprint across edit
+        // rounds) from one-shot aggregates whose fingerprints die with
+        // every dependency bump and therefore always compete at one.
+        let freq = inner.ghosts.get(&fp).map_or(1, |g| g.freq + 1);
+        if policy == EvictionPolicy::CostAware
+            && !Self::admission_beats_victims(&mut inner, capacity, bytes, cost_ns, freq)
+        {
+            Self::remember_ghost(&mut inner, fp, freq);
+            return None;
+        }
+        inner.ghosts.remove(&fp);
+        Self::evict_to(&mut inner, capacity.saturating_sub(bytes), policy);
         inner.tick += 1;
         let last_used = inner.tick;
+        let priority = gd_priority(inner.clock, cost_ns, bytes, freq);
         let spill_to = if Self::spill_eligible(&inner, &deps) {
             inner.store.clone()
         } else {
@@ -355,6 +649,9 @@ impl EvalCache {
                 deps,
                 bytes,
                 last_used,
+                cost_ns,
+                freq,
+                priority,
             },
         );
         inner.bytes += bytes;
@@ -391,6 +688,7 @@ impl EvalCache {
                     StoredEntry {
                         deps: e.deps.clone(),
                         table: e.table.clone(),
+                        cost_ns: e.cost_ns,
                     },
                 )
             })
@@ -430,7 +728,7 @@ impl EvalCache {
                 !inner.entries.contains_key(&fp) && Self::spill_eligible(&inner, &entry.deps)
             };
             if ok {
-                self.admit(fp, entry.deps, &entry.table);
+                self.admit(fp, entry.deps, &entry.table, entry.cost_ns);
                 admitted += 1;
             }
         }
@@ -446,9 +744,25 @@ impl EvalCache {
             misses: inner.misses,
             invalidations: inner.invalidations,
             evictions: inner.evictions,
+            cost_evictions: inner.cost_evictions,
+            saved_ns: inner.saved_ns,
             entries: inner.entries.len(),
             bytes: inner.bytes,
         }
+    }
+
+    /// Per-entry residency ledger — `(deps, bytes, cost_ns, freq,
+    /// priority)` per resident entry, unordered. Diagnostic surface for
+    /// benchmarks and tests that need to see *why* the policy kept or
+    /// dropped an entry; not part of the stable API.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn debug_entries(&self) -> Vec<(Vec<String>, usize, u64, u64, u64)> {
+        self.lock()
+            .entries
+            .values()
+            .map(|e| (e.deps.clone(), e.bytes, e.cost_ns, e.freq, e.priority))
+            .collect()
     }
 
     /// Drop every resident entry (statistics and versions survive).
@@ -456,6 +770,7 @@ impl EvalCache {
     pub fn clear(&self) {
         let mut inner = self.lock();
         inner.entries.clear();
+        inner.ghosts.clear();
         inner.bytes = 0;
     }
 }
@@ -475,6 +790,7 @@ impl Clone for EvalCache {
         EvalCache {
             enabled: AtomicBool::new(self.enabled()),
             capacity: AtomicUsize::new(self.capacity()),
+            policy: AtomicU8::new(self.policy().as_u8()),
             inner: Mutex::new(self.lock().clone()),
         }
     }
@@ -486,6 +802,7 @@ impl std::fmt::Debug for EvalCache {
         f.debug_struct("EvalCache")
             .field("enabled", &self.enabled())
             .field("capacity", &self.capacity())
+            .field("policy", &self.policy())
             .field("stats", &stats)
             .finish()
     }
@@ -736,6 +1053,7 @@ mod tests {
             &crate::store::StoredEntry {
                 deps: vec![],
                 table: table(1, "r"),
+                cost_ns: 0,
             },
         );
         let cache = EvalCache::new();
@@ -754,5 +1072,241 @@ mod tests {
         cache.clear();
         assert_eq!(cache.stats().entries, 0);
         assert_eq!(copy.stats().entries, 1);
+    }
+
+    #[test]
+    fn clone_preserves_policy() {
+        let cache = EvalCache::new();
+        assert_eq!(cache.policy(), EvictionPolicy::CostAware, "default");
+        cache.set_policy(EvictionPolicy::Lru);
+        assert_eq!(cache.clone().policy(), EvictionPolicy::Lru);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [EvictionPolicy::Lru, EvictionPolicy::CostAware] {
+            assert_eq!(EvictionPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(EvictionPolicy::parse("mru"), None);
+    }
+
+    #[test]
+    fn peek_does_not_promote_or_count() {
+        let one = table_bytes(&table(1, "x"));
+        let cache = EvalCache::with_capacity(2 * one);
+        cache.insert(fp(1), vec![], &table(1, "a"));
+        cache.insert(fp(2), vec![], &table(1, "b"));
+        // peek 1 repeatedly: were this a promoting get, 1 would become
+        // most-recent (and most-frequent) and 2 the next victim.
+        for _ in 0..5 {
+            assert_eq!(cache.peek(fp(1)).map(|t| t.len()), Some(1));
+        }
+        cache.insert(fp(3), vec![], &table(1, "c"));
+        assert!(cache.peek(fp(1)).is_none(), "peek must not refresh recency");
+        assert!(cache.peek(fp(2)).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "peek counts nothing");
+    }
+
+    #[test]
+    fn peek_never_consults_the_store() {
+        use crate::store::MemStore;
+        let store = std::sync::Arc::new(MemStore::new());
+        store.spill(
+            fp(1),
+            &crate::store::StoredEntry {
+                deps: vec![],
+                table: table(1, "r"),
+                cost_ns: 0,
+            },
+        );
+        let cache = EvalCache::new();
+        cache.set_store(Some(store.clone()));
+        assert!(cache.peek(fp(1)).is_none(), "peek is memory-tier only");
+        assert_eq!(store.stats().hits, 0);
+        cache.set_enabled(false);
+        assert!(cache.peek(fp(1)).is_none());
+    }
+
+    #[test]
+    fn cost_aware_eviction_keeps_the_expensive_entry() {
+        let one = table_bytes(&table(1, "x"));
+        let cache = EvalCache::with_capacity(2 * one);
+        assert_eq!(cache.policy(), EvictionPolicy::CostAware);
+        // 1 is expensive and *older*; 2 is free and more recent. LRU
+        // would kill 1; the cost-aware policy kills 2.
+        cache.insert_costed(fp(1), vec![], &table(1, "a"), 1_000_000);
+        cache.insert(fp(2), vec![], &table(1, "b"));
+        cache.insert_costed(fp(3), vec![], &table(1, "c"), 500_000);
+        assert!(cache.peek(fp(1)).is_some(), "expensive entry survives");
+        assert!(cache.peek(fp(2)).is_none(), "cheap entry is the victim");
+        let s = cache.stats();
+        assert_eq!((s.evictions, s.cost_evictions), (1, 1));
+    }
+
+    #[test]
+    fn cost_aware_degrades_to_lru_without_costs() {
+        // With every cost at zero, priorities are all `clock` and the
+        // recency tie-break reproduces exact LRU order.
+        let one = table_bytes(&table(1, "x"));
+        let cache = EvalCache::with_capacity(2 * one);
+        cache.insert(fp(1), vec![], &table(1, "a"));
+        cache.insert(fp(2), vec![], &table(1, "b"));
+        assert!(cache.get(fp(1)).is_some());
+        cache.insert(fp(3), vec![], &table(1, "c"));
+        assert!(cache.peek(fp(2)).is_none(), "LRU victim");
+        assert!(cache.peek(fp(1)).is_some());
+        let s = cache.stats();
+        assert_eq!((s.evictions, s.cost_evictions), (1, 1));
+    }
+
+    #[test]
+    fn lru_policy_ignores_costs() {
+        let one = table_bytes(&table(1, "x"));
+        let cache = EvalCache::with_capacity(2 * one);
+        cache.set_policy(EvictionPolicy::Lru);
+        cache.insert_costed(fp(1), vec![], &table(1, "a"), u64::MAX);
+        cache.insert(fp(2), vec![], &table(1, "b"));
+        cache.insert(fp(3), vec![], &table(1, "c"));
+        assert!(cache.peek(fp(1)).is_none(), "oldest dies, cost ignored");
+        let s = cache.stats();
+        assert_eq!((s.evictions, s.cost_evictions), (1, 0));
+    }
+
+    #[test]
+    fn clock_inflation_lets_stale_expensive_entries_drain() {
+        let one = table_bytes(&table(1, "x"));
+        let cache = EvalCache::with_capacity(one);
+        cache.insert_costed(fp(1), vec![], &table(1, "a"), 1_000);
+        // Each new insert evicts the resident entry and inflates the
+        // clock past its priority, so the *next* equally-expensive
+        // entry is admitted warmer and the old one cannot squat.
+        cache.insert_costed(fp(2), vec![], &table(1, "b"), 1_000);
+        assert!(cache.peek(fp(1)).is_none());
+        assert!(cache.peek(fp(2)).is_some());
+        cache.insert_costed(fp(3), vec![], &table(1, "c"), 1_000);
+        assert!(cache.peek(fp(2)).is_none());
+        assert!(cache.peek(fp(3)).is_some());
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn hits_accumulate_saved_ns_and_frequency_protects_entries() {
+        let one = table_bytes(&table(1, "x"));
+        let cache = EvalCache::with_capacity(2 * one);
+        cache.insert_costed(fp(1), vec![], &table(1, "a"), 300);
+        cache.insert_costed(fp(2), vec![], &table(1, "b"), 400);
+        assert!(cache.get(fp(1)).is_some());
+        assert!(cache.get(fp(1)).is_some());
+        assert!(cache.get(fp(2)).is_some());
+        assert_eq!(cache.stats().saved_ns, 300 + 300 + 400);
+        // both residents are proven earners (freq·cost outranks a
+        // single-shot 100ns newcomer), so admission control turns the
+        // insert away instead of churning either of them out
+        cache.insert_costed(fp(3), vec![], &table(1, "c"), 100);
+        assert!(cache.peek(fp(1)).is_some(), "frequent entry survives");
+        assert!(cache.peek(fp(2)).is_some(), "earner outranks the newcomer");
+        assert!(cache.peek(fp(3)).is_none(), "cheap newcomer rejected");
+        assert_eq!(cache.stats().evictions, 0, "rejection is not an eviction");
+    }
+
+    #[test]
+    fn admission_control_rejects_low_value_inserts_under_pressure() {
+        let one = table_bytes(&table(1, "x"));
+        let cache = EvalCache::with_capacity(one);
+        cache.insert_costed(fp(1), vec![], &table(1, "a"), 1_000_000);
+        // a cheap insert into a full cache loses to the expensive
+        // resident: nothing is evicted, nothing is admitted
+        cache.insert_costed(fp(2), vec![], &table(1, "b"), 10);
+        assert!(cache.peek(fp(1)).is_some());
+        assert!(cache.peek(fp(2)).is_none());
+        assert_eq!(cache.stats().evictions, 0);
+        // a more expensive insert wins and displaces the resident
+        cache.insert_costed(fp(3), vec![], &table(1, "c"), 2_000_000);
+        assert!(cache.peek(fp(1)).is_none());
+        assert!(cache.peek(fp(3)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn rejections_age_the_clock_so_losers_eventually_win() {
+        let one = table_bytes(&table(1, "x"));
+        let cache = EvalCache::with_capacity(one);
+        cache.insert_costed(fp(1), vec![], &table(1, "a"), 1_000_000);
+        // each rejected cheap insert inflates the clock by its own
+        // priority, so sustained demand eventually outbids a resident
+        // that has stopped earning hits
+        let mut admitted_at = None;
+        for i in 0..10_000u64 {
+            cache.insert_costed(fp(100 + i), vec![], &table(1, "b"), 50_000);
+            if cache.peek(fp(1)).is_none() {
+                admitted_at = Some(i);
+                break;
+            }
+        }
+        assert!(
+            admitted_at.is_some(),
+            "stale expensive entry squatted through 10k rejections"
+        );
+    }
+
+    #[test]
+    fn ghost_history_resumes_frequency_across_readmission() {
+        let one = table_bytes(&table(1, "x"));
+        let cache = EvalCache::with_capacity(one);
+        // a recurring fingerprint rejected round after round accumulates
+        // ghost frequency, so its candidate priority compounds instead
+        // of growing one clock step at a time: against a 10x-cost
+        // resident, clock aging alone needs 10 attempts, ghost history
+        // roughly halves that
+        cache.insert_costed(fp(1), vec![], &table(1, "a"), 10_000_000);
+        let mut admitted_at = None;
+        for round in 0..64u64 {
+            cache.insert_costed(fp(2), vec![], &table(1, "b"), 1_000_000);
+            if cache.peek(fp(2)).is_some() {
+                admitted_at = Some(round);
+                break;
+            }
+        }
+        let round = admitted_at.expect("recurring entry never readmitted");
+        assert!(
+            round < 9,
+            "ghost frequency should compound faster than clock aging alone \
+             (admitted at round {round})"
+        );
+        // invalidation kills the history too: the fingerprint can never
+        // be requested again once a dependency version moved
+        let cache = EvalCache::with_capacity(one);
+        cache.insert_costed(fp(3), vec!["R".into()], &table(1, "a"), 500);
+        cache.bump_version("R");
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn estimate_cost_averages_sibling_history() {
+        let cache = EvalCache::new();
+        assert_eq!(cache.estimate_cost(&["R".into()]), None, "empty cache");
+        cache.insert_costed(fp(1), vec!["R".into()], &table(1, "a"), 1_000);
+        cache.insert_costed(fp(2), vec!["R".into(), "S".into()], &table(1, "b"), 3_000);
+        cache.insert_costed(fp(3), vec!["T".into()], &table(1, "c"), 9_000);
+        cache.insert(fp(4), vec!["R".into()], &table(1, "d")); // cost 0: excluded
+        assert_eq!(cache.estimate_cost(&["R".into()]), Some(2_000));
+        assert_eq!(cache.estimate_cost(&["S".into()]), Some(3_000));
+        assert_eq!(cache.estimate_cost(&["U".into()]), None, "no siblings");
+    }
+
+    #[test]
+    fn cost_survives_the_store_round_trip() {
+        use crate::store::MemStore;
+        let store = std::sync::Arc::new(MemStore::new());
+        let cache = EvalCache::new();
+        cache.set_store(Some(store.clone()));
+        cache.insert_costed(fp(1), vec!["R".into()], &table(1, "r"), 7_500);
+        // a fresh cache loads the entry from the store, cost included
+        let warm = EvalCache::new();
+        warm.set_store(Some(store));
+        assert!(warm.get(fp(1)).is_some());
+        assert_eq!(warm.stats().saved_ns, 7_500, "disk hit counts the cost");
+        assert_eq!(warm.estimate_cost(&["R".into()]), Some(7_500));
     }
 }

@@ -1,7 +1,7 @@
 //! The on-disk [`CacheStore`]: fingerprint-keyed files under a cache
 //! directory, surviving process restarts.
 //!
-//! ## File format (version 1)
+//! ## File format (version 2)
 //!
 //! One entry per file, named `{namespace:016x}-{fingerprint:016x}.clc`.
 //! All integers are little-endian; strings are `u32` length + UTF-8
@@ -9,9 +9,10 @@
 //!
 //! ```text
 //! magic      b"CLIC"
-//! version    u32            (currently 1)
+//! version    u32            (currently 2)
 //! namespace  u64            (database_digest of the source)
 //! fp         u64            (the entry fingerprint)
+//! cost_ns    u64            (measured recompute time; 0 = unknown)
 //! deps       u32 count, then count strings
 //! scheme     u32 ncols, then per column: qualifier, name, u8 type tag
 //! rows       u64 nrows, then nrows × ncols tagged values
@@ -20,6 +21,12 @@
 //!
 //! Value tags: `0` null, `1` int (`i64`), `2` float (`f64` bit pattern),
 //! `3` string, `4` bool (`u8`).
+//!
+//! Version 2 added `cost_ns` (between `fp` and `deps`) so a warm
+//! restart re-seeds the cost-aware eviction priorities. Version-1 files
+//! are rejected like any other version mismatch — one rate-limited
+//! warning, a `cache.load_errors` count, and a cold recompute that
+//! rewrites the entry in the current format.
 //!
 //! ## Crash safety and tolerance
 //!
@@ -49,7 +56,7 @@ use crate::fingerprint::Fingerprint;
 use crate::store::{CacheStore, StoreCounters, StoreStats, StoredEntry};
 
 /// Current file format version.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 4] = b"CLIC";
 const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
@@ -313,7 +320,7 @@ fn put_value(out: &mut Vec<u8>, v: &Value) {
     }
 }
 
-/// Encode one entry into the version-1 file bytes (checksum included).
+/// Encode one entry into the version-2 file bytes (checksum included).
 #[must_use]
 pub fn encode(namespace: u64, fp: Fingerprint, entry: &StoredEntry) -> Vec<u8> {
     let mut out = Vec::new();
@@ -321,6 +328,7 @@ pub fn encode(namespace: u64, fp: Fingerprint, entry: &StoredEntry) -> Vec<u8> {
     put_u32(&mut out, FORMAT_VERSION);
     put_u64(&mut out, namespace);
     put_u64(&mut out, fp.0);
+    put_u64(&mut out, entry.cost_ns);
     put_u32(&mut out, entry.deps.len() as u32);
     for dep in &entry.deps {
         put_str(&mut out, dep);
@@ -389,11 +397,11 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Decode version-1 file bytes, verifying magic, version, namespace,
+/// Decode version-2 file bytes, verifying magic, version, namespace,
 /// fingerprint, and checksum. Any defect yields a description of why
 /// the file was rejected.
 pub fn decode(bytes: &[u8], namespace: u64, fp: Fingerprint) -> Result<StoredEntry, String> {
-    if bytes.len() < MAGIC.len() + 4 + 8 + 8 + 8 {
+    if bytes.len() < MAGIC.len() + 4 + 8 + 8 + 8 + 8 {
         return Err("truncated".to_owned());
     }
     let (body, tail) = bytes.split_at(bytes.len() - 8);
@@ -422,6 +430,7 @@ pub fn decode(bytes: &[u8], namespace: u64, fp: Fingerprint) -> Result<StoredEnt
     if file_fp != fp.0 {
         return Err("fingerprint mismatch".to_owned());
     }
+    let cost_ns = cur.u64()?;
     let ndeps = cur.u32()? as usize;
     let mut deps = Vec::with_capacity(ndeps.min(1024));
     for _ in 0..ndeps {
@@ -450,6 +459,7 @@ pub fn decode(bytes: &[u8], namespace: u64, fp: Fingerprint) -> Result<StoredEnt
     Ok(StoredEntry {
         deps,
         table: Table::new(Scheme::new(cols), rows),
+        cost_ns,
     })
 }
 
@@ -468,6 +478,7 @@ mod tests {
         StoredEntry {
             deps: vec!["R".into(), "S".into()],
             table: Table::new(scheme, rows),
+            cost_ns: 987_654,
         }
     }
 
@@ -492,6 +503,7 @@ mod tests {
                     vec![Value::Null, Value::Null, Value::Null, Value::Bool(false)],
                 ],
             ),
+            cost_ns: 0,
         }
     }
 
@@ -598,7 +610,7 @@ mod tests {
         assert_eq!(store.stats().load_errors, 2);
         // future format version
         let mut future = bytes.clone();
-        future[4] = 2;
+        future[4] = 3;
         let body_len = future.len() - 8;
         let sum = fnv1a(&future[..body_len]);
         future[body_len..].copy_from_slice(&sum.to_le_bytes());
@@ -608,6 +620,44 @@ mod tests {
         // load_all tolerates the same file
         assert!(store.load_all().is_empty());
         assert_eq!(store.stats().load_errors, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_one_files_degrade_to_misses() {
+        // Reconstruct a version-1 file from the current encoding: drop
+        // the cost_ns word (bytes 24..32), set the version field to 1,
+        // and re-checksum — byte-for-byte what PR 5 wrote.
+        let e = entry(2, "r");
+        let good = encode(7, Fingerprint(1), &e);
+        let mut v1: Vec<u8> = Vec::new();
+        v1.extend_from_slice(&good[..24]);
+        v1.extend_from_slice(&good[32..good.len() - 8]);
+        v1[4] = 1;
+        let sum = fnv1a(&v1);
+        v1.extend_from_slice(&sum.to_le_bytes());
+        let why = decode(&v1, 7, Fingerprint(1)).unwrap_err();
+        assert!(why.contains("format version 1"), "got: {why}");
+        // through the store it is one load error and a miss, and the
+        // recompute path overwrites nothing (spill skips existing files)
+        // until the caller clears it — cold but correct.
+        let dir = tmp_dir("v1");
+        let store = DiskStore::open(&dir, 7);
+        let path = dir.join(format!("{:016x}-{:016x}.clc", 7, 1));
+        fs::write(&path, &v1).unwrap();
+        assert!(store.load(Fingerprint(1)).is_none());
+        assert_eq!(store.stats().load_errors, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cost_survives_the_disk_round_trip() {
+        let dir = tmp_dir("cost");
+        let store = DiskStore::open(&dir, 7);
+        let e = entry(1, "r");
+        assert!(store.spill(Fingerprint(5), &e));
+        let back = store.load(Fingerprint(5)).expect("hit");
+        assert_eq!(back.cost_ns, 987_654);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -42,14 +42,17 @@ use clio_relational::table::Table;
 
 use crate::fingerprint::{Fingerprint, FingerprintBuilder};
 
-/// One cache entry as a backend sees it: the result table plus the base
-/// relations it was computed from.
+/// One cache entry as a backend sees it: the result table, the base
+/// relations it was computed from, and its measured recompute cost.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoredEntry {
     /// Sorted, deduplicated base-relation dependencies.
     pub deps: Vec<String>,
     /// The memoized result table.
     pub table: Table,
+    /// Measured recompute time in nanoseconds (0 when unknown), carried
+    /// so a warm restart re-seeds the cost-aware eviction priorities.
+    pub cost_ns: u64,
 }
 
 /// Point-in-time statistics of one store.
@@ -275,6 +278,7 @@ mod tests {
         StoredEntry {
             deps: vec!["R".into()],
             table: table(rows, tag),
+            cost_ns: 12_345,
         }
     }
 

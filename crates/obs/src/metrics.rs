@@ -79,6 +79,16 @@ pub enum Counter {
     /// Persistent-backend load failures tolerated by falling back to
     /// recomputation (corrupt files, version mismatches, I/O errors).
     CacheLoadErrors,
+    /// Incremental-cache entries dropped to stay under the byte budget
+    /// (either policy).
+    CacheEvictions,
+    /// Evictions chosen by the cost-aware policy (a subset of
+    /// `cache.evictions`).
+    CacheCostEvictions,
+    /// Recompute nanoseconds avoided by cache answers: each hit adds
+    /// the answering entry's recorded recompute cost. Wall-clock
+    /// derived, so normalized away in golden-counter gates.
+    CacheSavedNs,
 }
 
 /// Number of counters (length of [`Counter::ALL`]).
@@ -86,7 +96,7 @@ pub const COUNTER_COUNT: usize = Counter::ALL.len();
 
 impl Counter {
     /// All counters, in table order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 25] = [
         Counter::TuplesScanned,
         Counter::JoinProbes,
         Counter::JoinOutputRows,
@@ -109,6 +119,9 @@ impl Counter {
         Counter::CacheDiskHits,
         Counter::CacheDiskBytes,
         Counter::CacheLoadErrors,
+        Counter::CacheEvictions,
+        Counter::CacheCostEvictions,
+        Counter::CacheSavedNs,
     ];
 
     /// The stable dotted name used in JSON snapshots and the `stats`
@@ -138,6 +151,9 @@ impl Counter {
             Counter::CacheDiskHits => "cache.disk_hits",
             Counter::CacheDiskBytes => "cache.disk_bytes",
             Counter::CacheLoadErrors => "cache.load_errors",
+            Counter::CacheEvictions => "cache.evictions",
+            Counter::CacheCostEvictions => "cache.cost_evictions",
+            Counter::CacheSavedNs => "cache.saved_ns",
         }
     }
 }

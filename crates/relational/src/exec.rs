@@ -159,6 +159,73 @@ where
     indexed.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Like [`map_slice`], but items are *handed out* in the caller-given
+/// `order` (a permutation of `0..items.len()`) while results still come
+/// back **in input order** — so scheduling is a pure latency decision
+/// that cannot change what the caller observes. The incremental
+/// evaluator uses this to start the longest-estimated subgraphs first,
+/// so a straggler no longer serializes the tail of the fan-out.
+///
+/// The serial path evaluates in `order` too (then re-sorts), keeping
+/// the evaluation sequence identical across thread counts. Panics if
+/// `order` is not index-for-index the same length as `items`; an
+/// out-of-range or duplicated index panics via slice indexing.
+pub fn map_slice_prioritized<T, R, F>(
+    items: &[T],
+    order: &[usize],
+    span_name: &'static str,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    assert_eq!(
+        order.len(),
+        items.len(),
+        "dispatch order must cover every item exactly once"
+    );
+    let workers = threads().max(1).min(items.len());
+    if workers <= 1 {
+        let _span = clio_obs::span(span_name);
+        let mut indexed: Vec<(usize, R)> = order.iter().map(|&i| (i, f(i, &items[i]))).collect();
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        return indexed.into_iter().map(|(_, r)| r).collect();
+    }
+
+    let inherited_override = OVERRIDE.with(Cell::get);
+    let inherited_session = clio_obs::metrics::current_session();
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    OVERRIDE.with(|c| c.set(inherited_override));
+                    clio_obs::metrics::set_session(inherited_session);
+                    let _span = clio_obs::span(span_name);
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let pos = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = order.get(pos) else { break };
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => indexed.extend(local),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +311,42 @@ mod tests {
             })
         });
         assert!(labels.iter().all(|&l| l == Some(5)));
+    }
+
+    #[test]
+    fn prioritized_dispatch_preserves_input_order_of_results() {
+        let items: Vec<usize> = (0..50).collect();
+        // reverse dispatch order: item 49 starts first
+        let order: Vec<usize> = (0..50).rev().collect();
+        for width in [1, 4] {
+            let out = with_threads(width, || {
+                map_slice_prioritized(&items, &order, "test.worker", |i, &x| i * 100 + x)
+            });
+            assert_eq!(out, (0..50).map(|i| i * 101).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn prioritized_serial_evaluates_in_dispatch_order() {
+        use std::sync::Mutex;
+        let items: Vec<usize> = (0..8).collect();
+        let order = vec![3, 1, 7, 0, 2, 6, 4, 5];
+        let seen = Mutex::new(Vec::new());
+        with_threads(1, || {
+            map_slice_prioritized(&items, &order, "test.worker", |i, _| {
+                seen.lock().unwrap().push(i);
+            })
+        });
+        assert_eq!(*seen.lock().unwrap(), order);
+    }
+
+    #[test]
+    fn prioritized_rejects_partial_orders() {
+        let items: Vec<usize> = (0..4).collect();
+        let result = std::panic::catch_unwind(|| {
+            map_slice_prioritized(&items, &[0, 1], "test.worker", |_, &x| x)
+        });
+        assert!(result.is_err());
     }
 
     #[test]

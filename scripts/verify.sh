@@ -28,6 +28,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
 echo "==> cargo test -q"
 cargo test -q
 
+# Benches are part of the contract (EXPERIMENTS.md reproduces from
+# them); they must at least compile even though running them is not a
+# gate.
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
 # Tier 2a: golden work-counter gate. A scripted demo run with one worker
 # thread and the evaluation cache off must reproduce the checked-in
 # counter snapshot byte-for-byte — counters are per-work-unit sums, so
@@ -40,6 +46,15 @@ cargo test -q
 #
 # --no-cache keeps the gate about the *algorithms*: with memoization on,
 # repeated operators legitimately skip work (gate 2b covers that path).
+#
+# One counter is exempt from byte-exactness: `cache.saved_ns` sums the
+# *measured* recompute time of the entries that answered hits, so it is
+# wall-clock-derived and differs run to run. Every golden file stores
+# it as 0 and the snapshots are normalized the same way before
+# diffing; the counter's behaviour is pinned separately by unit tests.
+normalize_saved_ns() {
+    sed -i 's/"cache\.saved_ns": [0-9][0-9]*/"cache.saved_ns": 0/' "$1"
+}
 echo "==> golden counter gate (demo.clio, --threads 1, --no-cache)"
 tmp_metrics="$(mktemp)"
 tmp_twice_metrics="$(mktemp)"
@@ -59,6 +74,7 @@ target/release/clio-shell \
     --script examples/scripts/demo.clio \
     --metrics "$tmp_metrics" \
     --threads 1 --no-cache >/dev/null
+normalize_saved_ns "$tmp_metrics"
 if ! diff -u scripts/golden/demo-counters.json "$tmp_metrics"; then
     echo "verify: FAILED — work counters drifted from scripts/golden/demo-counters.json" >&2
     echo "         (if the change is intentional, regenerate the golden file)" >&2
@@ -82,6 +98,7 @@ target/release/clio-shell \
     --script "$tmp_twice_script" \
     --metrics "$tmp_twice_metrics" \
     --threads 1 >/dev/null
+normalize_saved_ns "$tmp_twice_metrics"
 if ! diff -u scripts/golden/demo-twice-counters.json "$tmp_twice_metrics"; then
     echo "verify: FAILED — warm-path counters drifted from scripts/golden/demo-twice-counters.json" >&2
     echo "         (if the change is intentional, regenerate the golden file)" >&2
@@ -148,6 +165,7 @@ target/release/clio-shell \
     --script examples/scripts/demo.clio --threads 1 \
     --cache-dir "$tmp_cache_dir" \
     --metrics "$tmp_diskwarm_metrics" >/dev/null
+normalize_saved_ns "$tmp_diskwarm_metrics"
 if ! diff -u scripts/golden/demo-diskwarm-counters.json "$tmp_diskwarm_metrics"; then
     echo "verify: FAILED — disk-warm counters drifted from scripts/golden/demo-diskwarm-counters.json" >&2
     echo "         (if the change is intentional, regenerate the golden file)" >&2
@@ -216,10 +234,77 @@ python3 - "$tmp_telemetry_metrics" <<'EOF'
 import json, sys
 report = json.load(open(sys.argv[1]))
 hists = report.get("histograms", {})
-for name in ("fd.naive", "incr.fd"):
+for name in ("fd.naive", "incr.fd", "incr.fd.scheduled"):
     count = hists.get(name, {}).get("count", 0)
     assert count > 0, f"histogram `{name}` missing or empty: {sorted(hists)}"
 EOF
-echo "    $event_count trace events = $span_count spans; fd.naive + incr.fd histograms populated"
+echo "    $event_count trace events = $span_count spans; fd.naive + incr.fd + incr.fd.scheduled histograms populated"
+
+# Tier 2f: eviction-pressure gate (PR 7, docs/incremental.md § Eviction
+# policy). The demo plus the cyclic mapping is replayed twice in one
+# process with the cache's byte budget shrunk to half the workload's
+# measured demand (`cache limit` mid-script), once per eviction policy.
+# The gate pins the end-to-end wiring under real pressure: the budget
+# actually binds (the LRU run must record evictions), the --cache-policy
+# flag actually switches victim selection (the cost run must still
+# convert lookups into hits under the same pressure), and the policies
+# must be answer-invisible — both runs' stdout byte-identical. The
+# in-shell `stats` counter table is the one legitimate difference
+# (hit/miss/eviction counts are exactly what a policy is *allowed* to
+# change), so its rows are filtered out of the comparison. Which policy
+# wins on hit rate is workload-dependent — this twice-replay is
+# recency-friendly — so the policy-quality claim is pinned where it is
+# real instead: the B14 edit-replay sweep (EXPERIMENTS.md) and the
+# bench `incremental_eviction_policy` group.
+echo "==> eviction-pressure gate (demo + cyclic mapping twice, half budget, lru vs cost)"
+tmp_evict_script="$(mktemp)"
+tmp_evict_probe="$(mktemp)"
+tmp_evict_lru="$(mktemp)"
+tmp_evict_cost="$(mktemp)"
+tmp_evict_lru_out="$(mktemp)"
+tmp_evict_cost_out="$(mktemp)"
+evict_body() {
+    sed '/^quit$/d' examples/scripts/demo.clio
+    echo "load $tmp_cyclic_map"
+    echo "target"
+}
+{ evict_body; evict_body; echo quit; } > "$tmp_evict_script"
+target/release/clio-shell \
+    --script "$tmp_evict_script" --threads 1 \
+    --metrics "$tmp_evict_probe" >/dev/null
+demand_bytes="$(sed -n 's/.*"cache\.bytes": \([0-9][0-9]*\).*/\1/p' "$tmp_evict_probe")"
+budget=$((demand_bytes / 2))
+{ echo "cache limit $budget"; evict_body; evict_body; echo quit; } > "$tmp_evict_script"
+target/release/clio-shell \
+    --script "$tmp_evict_script" --threads 1 --cache-policy lru \
+    --metrics "$tmp_evict_lru" > "$tmp_evict_lru_out"
+target/release/clio-shell \
+    --script "$tmp_evict_script" --threads 1 --cache-policy cost \
+    --metrics "$tmp_evict_cost" > "$tmp_evict_cost_out"
+strip_counter_rows() {
+    sed -i '/^[a-z_.][a-z_.]*  *[0-9][0-9]*$/d' "$1"
+}
+strip_counter_rows "$tmp_evict_lru_out"
+strip_counter_rows "$tmp_evict_cost_out"
+if ! diff -u "$tmp_evict_lru_out" "$tmp_evict_cost_out"; then
+    echo "verify: FAILED — eviction policy changed shell output (must be answer-invisible)" >&2
+    exit 1
+fi
+counter() { sed -n 's/.*"'"$2"'": \([0-9][0-9]*\).*/\1/p' "$1"; }
+lru_hits="$(counter "$tmp_evict_lru" 'cache\.hits')"
+lru_evictions="$(counter "$tmp_evict_lru" 'cache\.evictions')"
+cost_hits="$(counter "$tmp_evict_cost" 'cache\.hits')"
+cost_evictions="$(counter "$tmp_evict_cost" 'cache\.evictions')"
+if [ -z "$lru_evictions" ] || [ "$lru_evictions" -eq 0 ]; then
+    echo "verify: FAILED — half budget ($budget bytes) induced no LRU evictions" >&2
+    exit 1
+fi
+if [ -z "$cost_hits" ] || [ "$cost_hits" -eq 0 ]; then
+    echo "verify: FAILED — cost-aware policy served no hits at half budget ($budget bytes)" >&2
+    exit 1
+fi
+rm -f "$tmp_evict_script" "$tmp_evict_probe" "$tmp_evict_lru" "$tmp_evict_cost" \
+    "$tmp_evict_lru_out" "$tmp_evict_cost_out"
+echo "    half budget = $budget bytes: lru $lru_hits hits / $lru_evictions evictions, cost $cost_hits hits / $cost_evictions evictions"
 
 echo "verify: OK"
