@@ -1,5 +1,5 @@
 //! Run the parameter sweeps behind EXPERIMENTS.md and print one markdown
-//! table per experiment (B1–B13). Wall-clock medians over a few
+//! table per experiment (B1–B15). Wall-clock medians over a few
 //! repetitions — the Criterion benches give rigorous statistics; this
 //! binary gives the compact tables the docs quote.
 //!
@@ -892,6 +892,118 @@ fn b13_timing_telemetry() {
     }
 }
 
+fn b15_networked_clients() {
+    use std::sync::Arc;
+
+    use clio_cli::engine::Shell;
+    use clio_cli::serve::ShellHandler;
+    use clio_core::session_pool::SessionPool;
+    use clio_datagen::paper::{kids_target, paper_database};
+    use clio_incr::{CacheStore, MemStore};
+    use clio_net::{Client, Handler, Server, ServerConfig};
+
+    // The demo session's command body (examples/scripts/demo.clio minus
+    // comments and `quit`): every client replays the full
+    // refine-and-accept loop over its own connection.
+    const SCRIPT: [&str; 16] = [
+        "corr Children.ID -> ID",
+        "accept",
+        "corr Children.name -> name",
+        "corr Parents.affiliation -> affiliation",
+        "confirm 1",
+        "target",
+        "illustration",
+        "chase Children.ID 002",
+        "confirm 3",
+        "corr SBPS.time -> BusSchedule",
+        "require BusSchedule",
+        "mapping",
+        "sql",
+        "accept",
+        "target",
+        "contributions",
+    ];
+
+    println!("\n## B15 — networked service: concurrent clients over loopback TCP\n");
+    println!(
+        "| clients | cold shared store | warm shared store | cold/warm \
+         | commands/s (warm) | store loads/client (warm) |"
+    );
+    println!("|---|---|---|---|---|---|");
+
+    // One timed drive: start an in-process server over a pool sharing
+    // `store`, run `clients` concurrent connections each replaying the
+    // script, and return the wall-clock from first connect to last
+    // response. Server startup and teardown stay outside the clock.
+    let drive = |clients: usize, store: &Arc<dyn CacheStore>| -> Duration {
+        let mut pool =
+            SessionPool::new(paper_database(), kids_target()).with_store(Arc::clone(store));
+        pool.set_cache_enabled(true);
+        let config = ServerConfig {
+            max_conns: clients,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(("127.0.0.1", 0), config).expect("bind");
+        let addr = server.local_addr().expect("local addr");
+        let handle = server.shutdown_handle();
+        std::thread::scope(|s| {
+            let server_thread = s.spawn(|| {
+                server.run(|_conn| {
+                    Box::new(ShellHandler::new(Shell::new(pool.session()))) as Box<dyn Handler>
+                })
+            });
+            let t = Instant::now();
+            std::thread::scope(|cs| {
+                for _ in 0..clients {
+                    cs.spawn(|| {
+                        let mut client = Client::connect(addr).expect("connect");
+                        for line in SCRIPT {
+                            let response = client.request(line).expect("request");
+                            std::hint::black_box(response.expect("connection open").len());
+                        }
+                    });
+                }
+            });
+            let elapsed = t.elapsed();
+            handle.shutdown();
+            server_thread
+                .join()
+                .expect("server thread")
+                .expect("server run");
+            elapsed
+        })
+    };
+
+    for clients in [1usize, 2, 4, 8] {
+        // cold: the shared store starts empty each rep, so the first
+        // connection computes and spills while later ones warm mid-rep
+        let cold = median(
+            (0..REPS)
+                .map(|_| {
+                    let store: Arc<dyn CacheStore> = Arc::new(MemStore::new());
+                    drive(clients, &store)
+                })
+                .collect(),
+        );
+        // warm: one un-timed client populates the store; every timed
+        // connection then answers its evaluations from shared entries
+        let store: Arc<dyn CacheStore> = Arc::new(MemStore::new());
+        drive(1, &store);
+        let warm = median((0..REPS).map(|_| drive(clients, &store)).collect());
+        let work = counted(|| {
+            drive(clients, &store);
+        });
+        let loads_per_client = work.get(clio_obs::Counter::CacheDiskHits) as f64 / clients as f64;
+        let commands_per_sec = (clients * SCRIPT.len()) as f64 / warm.as_secs_f64();
+        println!(
+            "| {clients} | {} | {} | {} | {commands_per_sec:.0} | {loads_per_client:.1} |",
+            fmt(cold),
+            fmt(warm),
+            ratio(cold, warm),
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run = |key: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(key));
@@ -938,5 +1050,8 @@ fn main() {
     }
     if run("b14") {
         b14_policy_budget_sweep();
+    }
+    if run("b15") {
+        b15_networked_clients();
     }
 }

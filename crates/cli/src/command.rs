@@ -381,6 +381,51 @@ pub enum Command {
     },
 }
 
+impl Command {
+    /// The command's stable keyword kind (e.g. `"corr"`). The network
+    /// front-end keys its per-command `net.request.*` latency
+    /// histograms on this, so the strings must stay stable.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Command::Noop => "noop",
+            Command::Quit => "quit",
+            Command::Help => "help",
+            Command::Source => "source",
+            Command::Show { .. } => "show",
+            Command::Target => "target",
+            Command::Corr { .. } => "corr",
+            Command::Walk { .. } => "walk",
+            Command::Chase { .. } => "chase",
+            Command::Workspaces => "workspaces",
+            Command::Activate { .. } => "activate",
+            Command::Confirm { .. } => "confirm",
+            Command::Delete { .. } => "delete",
+            Command::Accept => "accept",
+            Command::Illustration => "illustration",
+            Command::Induced => "induced",
+            Command::Alternatives { .. } => "alternatives",
+            Command::Swap { .. } => "swap",
+            Command::Examples => "examples",
+            Command::Mapping => "mapping",
+            Command::Sql => "sql",
+            Command::Filter { .. } => "filter",
+            Command::Require { .. } => "require",
+            Command::Status => "status",
+            Command::Stats(_) => "stats",
+            Command::Trace { .. } => "trace",
+            Command::Cache(_) => "cache",
+            Command::Profile => "profile",
+            Command::ProfileSpans { .. } => "profile",
+            Command::Mine { .. } => "mine",
+            Command::Verify { .. } => "verify",
+            Command::Contributions => "contributions",
+            Command::SaveMapping { .. } => "save",
+            Command::LoadMapping { .. } => "load",
+        }
+    }
+}
+
 /// A line the parser rejected, carrying exactly the message the shell
 /// prints after `error: `.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -21,10 +21,39 @@ impl std::fmt::Display for UsageError {
 
 impl std::error::Error for UsageError {}
 
+/// Which front-end the binary runs, selected by an optional leading
+/// subcommand word (`serve` / `connect <addr>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum Mode {
+    /// The local shell: interactive, `--script`, or batch positional
+    /// scripts.
+    #[default]
+    Local,
+    /// `serve`: listen for framed TCP clients (see docs/service.md).
+    Serve,
+    /// `connect <addr>`: drive a remote server with `--script` (or
+    /// stdin) lines.
+    Connect(String),
+}
+
 /// Everything the `clio-shell` binary accepts on its command line, in
 /// typed form. See the binary's `--help` for flag semantics.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CliConfig {
+    /// Front-end mode: local shell (default), `serve`, or
+    /// `connect <addr>`.
+    pub mode: Mode,
+    /// `--port <n>` (serve): TCP port to listen on; 0 (the default)
+    /// picks an ephemeral port. Environment fallback: `CLIO_PORT`.
+    pub port: Option<u16>,
+    /// `--max-conns <n>` (serve): concurrent-connection cap (validated
+    /// positive; default: the `--threads` width). Environment fallback:
+    /// `CLIO_MAX_CONNS`.
+    pub max_conns: Option<usize>,
+    /// `--idle-ms <n>` (serve): per-connection idle timeout in
+    /// milliseconds (validated positive; default 30000). Environment
+    /// fallback: `CLIO_IDLE_MS`.
+    pub idle_ms: Option<u64>,
     /// `--help` / `-h`: print usage and exit 0. Parsing stops at the
     /// flag, so anything after it is neither validated nor applied.
     pub help: bool,
@@ -112,6 +141,26 @@ impl CliConfig {
     pub fn parse(args: &[String]) -> Result<CliConfig, UsageError> {
         let mut cfg = CliConfig::default();
         let mut i = 0;
+        // The mode subcommand is recognized only as the first word, so
+        // a positional script can still be named anything elsewhere.
+        match args.first().map(String::as_str) {
+            Some("serve") => {
+                cfg.mode = Mode::Serve;
+                i = 1;
+            }
+            Some("connect") => {
+                let addr = args
+                    .get(1)
+                    .filter(|a| !a.starts_with('-'))
+                    .cloned()
+                    .ok_or_else(|| {
+                        UsageError("connect requires an <addr> argument (see --help)".into())
+                    })?;
+                cfg.mode = Mode::Connect(addr);
+                i = 2;
+            }
+            _ => {}
+        }
         while i < args.len() {
             match args[i].as_str() {
                 "--help" | "-h" => {
@@ -185,6 +234,42 @@ impl CliConfig {
                         }
                     }
                 }
+                "--port" => {
+                    i += 1;
+                    let value = require_value(args, i, "--port")?;
+                    match value.parse::<u16>() {
+                        Ok(n) => cfg.port = Some(n),
+                        Err(_) => {
+                            return Err(UsageError(format!(
+                                "--port expects a port number (0-65535), got `{value}`"
+                            )))
+                        }
+                    }
+                }
+                "--max-conns" => {
+                    i += 1;
+                    let value = require_value(args, i, "--max-conns")?;
+                    match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => cfg.max_conns = Some(n),
+                        _ => {
+                            return Err(UsageError(format!(
+                                "--max-conns expects a positive integer, got `{value}`"
+                            )))
+                        }
+                    }
+                }
+                "--idle-ms" => {
+                    i += 1;
+                    let value = require_value(args, i, "--idle-ms")?;
+                    match value.parse::<u64>() {
+                        Ok(n) if n >= 1 => cfg.idle_ms = Some(n),
+                        _ => {
+                            return Err(UsageError(format!(
+                                "--idle-ms expects a positive integer (milliseconds), got `{value}`"
+                            )))
+                        }
+                    }
+                }
                 "--sessions" => {
                     i += 1;
                     let value = require_value(args, i, "--sessions")?;
@@ -210,6 +295,54 @@ impl CliConfig {
             i += 1;
         }
         Ok(cfg)
+    }
+
+    /// Resolve the serve-mode environment fallbacks (`CLIO_PORT`,
+    /// `CLIO_MAX_CONNS`, `CLIO_IDLE_MS`) into any still-unset field.
+    /// Flags win over the environment; a malformed environment value is
+    /// a usage error (exit 2) exactly like its flag form. `get` is the
+    /// environment lookup, injectable for tests.
+    pub fn apply_net_env(
+        &mut self,
+        get: impl Fn(&str) -> Option<String>,
+    ) -> Result<(), UsageError> {
+        if self.port.is_none() {
+            if let Some(value) = get("CLIO_PORT") {
+                match value.parse::<u16>() {
+                    Ok(n) => self.port = Some(n),
+                    Err(_) => {
+                        return Err(UsageError(format!(
+                            "CLIO_PORT expects a port number (0-65535), got `{value}`"
+                        )))
+                    }
+                }
+            }
+        }
+        if self.max_conns.is_none() {
+            if let Some(value) = get("CLIO_MAX_CONNS") {
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => self.max_conns = Some(n),
+                    _ => {
+                        return Err(UsageError(format!(
+                            "CLIO_MAX_CONNS expects a positive integer, got `{value}`"
+                        )))
+                    }
+                }
+            }
+        }
+        if self.idle_ms.is_none() {
+            if let Some(value) = get("CLIO_IDLE_MS") {
+                match value.parse::<u64>() {
+                    Ok(n) if n >= 1 => self.idle_ms = Some(n),
+                    _ => {
+                        return Err(UsageError(format!(
+                            "CLIO_IDLE_MS expects a positive integer (milliseconds), got `{value}`"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -326,6 +459,92 @@ mod tests {
         );
         assert!(err(&["--synthetic", "chain,x,10"]).starts_with("bad relation count: "));
         assert!(err(&["--synthetic", "chain,4,x"]).starts_with("bad row count: "));
+    }
+
+    #[test]
+    fn mode_subcommands_parse_only_in_first_position() {
+        let cfg =
+            CliConfig::parse(&argv(&["serve", "--port", "9090", "--max-conns", "8"])).unwrap();
+        assert_eq!(cfg.mode, Mode::Serve);
+        assert_eq!(cfg.port, Some(9090));
+        assert_eq!(cfg.max_conns, Some(8));
+        let cfg = CliConfig::parse(&argv(&["connect", "127.0.0.1:9090"])).unwrap();
+        assert_eq!(cfg.mode, Mode::Connect("127.0.0.1:9090".into()));
+        // Elsewhere, `serve` is just a positional script path.
+        let cfg = CliConfig::parse(&argv(&["a.clio", "serve"])).unwrap();
+        assert_eq!(cfg.mode, Mode::Local);
+        assert_eq!(cfg.batch_scripts, vec!["a.clio", "serve"]);
+    }
+
+    #[test]
+    fn net_flag_errors_are_the_binary_stderr_lines() {
+        let err = |words: &[&str]| CliConfig::parse(&argv(words)).unwrap_err().to_string();
+        assert_eq!(
+            err(&["connect"]),
+            "connect requires an <addr> argument (see --help)"
+        );
+        assert_eq!(
+            err(&["connect", "--script"]),
+            "connect requires an <addr> argument (see --help)"
+        );
+        assert_eq!(
+            err(&["serve", "--port", "nope"]),
+            "--port expects a port number (0-65535), got `nope`"
+        );
+        assert_eq!(
+            err(&["serve", "--port", "70000"]),
+            "--port expects a port number (0-65535), got `70000`"
+        );
+        assert_eq!(
+            err(&["serve", "--port"]),
+            "--port requires a value (see --help)"
+        );
+        assert_eq!(
+            err(&["serve", "--max-conns", "0"]),
+            "--max-conns expects a positive integer, got `0`"
+        );
+        assert_eq!(
+            err(&["serve", "--idle-ms", "-5"]),
+            "--idle-ms expects a positive integer (milliseconds), got `-5`"
+        );
+    }
+
+    #[test]
+    fn net_env_fallbacks_fill_unset_fields_and_validate() {
+        let mut cfg = CliConfig::parse(&argv(&["serve", "--port", "7070"])).unwrap();
+        cfg.apply_net_env(|key| match key {
+            "CLIO_PORT" => Some("1234".into()),
+            "CLIO_MAX_CONNS" => Some("6".into()),
+            "CLIO_IDLE_MS" => Some("500".into()),
+            _ => None,
+        })
+        .unwrap();
+        assert_eq!(cfg.port, Some(7070), "the flag wins over the environment");
+        assert_eq!(cfg.max_conns, Some(6));
+        assert_eq!(cfg.idle_ms, Some(500));
+
+        let mut cfg = CliConfig::parse(&argv(&["serve"])).unwrap();
+        let err = cfg
+            .apply_net_env(|key| (key == "CLIO_PORT").then(|| "abc".into()))
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "CLIO_PORT expects a port number (0-65535), got `abc`"
+        );
+        let err = cfg
+            .apply_net_env(|key| (key == "CLIO_MAX_CONNS").then(|| "0".into()))
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "CLIO_MAX_CONNS expects a positive integer, got `0`"
+        );
+        let err = cfg
+            .apply_net_env(|key| (key == "CLIO_IDLE_MS").then(|| "x".into()))
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "CLIO_IDLE_MS expects a positive integer (milliseconds), got `x`"
+        );
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! `clio-cli` — an interactive mapping-refinement shell over the Clio
 //! reproduction. See the `clio` binary and [`engine::Shell`].
 //!
-//! The crate splits the shell into three layers: [`command`] parses one
+//! The crate splits the shell into layers: [`command`] parses one
 //! line into a typed [`command::Command`], [`engine::Shell`] dispatches
-//! it against a session, and [`config::CliConfig`] parses the binary's
-//! argv. All three are pure (no process exit, no I/O besides the
-//! session), so every layer is unit-testable.
+//! it against a session, [`config::CliConfig`] parses the binary's
+//! argv, and [`serve`] bridges the same shell onto `clio-net`'s framed
+//! TCP protocol (the `serve` / `connect` modes; see docs/service.md).
+//! The parsing and dispatch layers are pure (no process exit, no I/O
+//! besides the session), so every layer is unit-testable.
 #![warn(missing_docs)]
 
 pub mod command;
 pub mod config;
 pub mod engine;
+pub mod serve;

@@ -14,7 +14,7 @@
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
-use clio_cli::config::CliConfig;
+use clio_cli::config::{CliConfig, Mode};
 use clio_cli::engine::{Outcome, Shell};
 use clio_core::session::Session;
 use clio_core::session_pool::SessionPool;
@@ -104,10 +104,18 @@ fn usage() -> String {
 clio — interactive mapping-refinement shell (Clio, SIGMOD 2001)
 
 usage: clio-shell [flags] [script.clio ...]
+       clio-shell serve [flags]
+       clio-shell connect <addr> [--script <file>]
 
 Positional arguments are script files executed as independent sessions
 over one shared source snapshot (batch mode); outputs are printed in
 input order, each framed by a `=== session <i>: <path> ===` header.
+
+`serve` listens for framed TCP clients on 127.0.0.1 and runs every
+connection as a private session over one shared snapshot and cache
+store; `connect` replays --script (or stdin) lines against a running
+server, printing byte-identical output to a local --script run (see
+docs/service.md). A client sending `shutdown` stops the server.
 
 flags:
   --script <file>        run commands from a script instead of stdin
@@ -142,6 +150,16 @@ flags:
   --cache-policy <p>     eviction policy under capacity pressure: `cost`
                          (recompute-cost-weighted, the default) or `lru`
                          (see docs/incremental.md, Eviction policy)
+  --port <n>             serve: TCP port to listen on (default 0 = an
+                         ephemeral port, announced as `listening on
+                         <addr>`; fallback: CLIO_PORT)
+  --max-conns <n>        serve: concurrent-connection cap; excess
+                         connections wait in the accept backlog
+                         (default: the --threads width; fallback:
+                         CLIO_MAX_CONNS)
+  --idle-ms <n>          serve: close a connection when no request
+                         arrives within <n> milliseconds (default
+                         30000; fallback: CLIO_IDLE_MS)
   --help, -h             show this help
 
 {}",
@@ -151,7 +169,7 @@ flags:
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cfg = match CliConfig::parse(&args) {
+    let mut cfg = match CliConfig::parse(&args) {
         Ok(cfg) => cfg,
         Err(e) => {
             eprintln!("{e}");
@@ -161,6 +179,46 @@ fn main() {
     if cfg.help {
         print!("{}", usage());
         return;
+    }
+
+    // Mode strictness: the networking knobs belong to `serve`, and the
+    // local batch/script machinery has no meaning on a socket.
+    if cfg.mode != Mode::Serve {
+        for (given, flag) in [
+            (cfg.port.is_some(), "--port"),
+            (cfg.max_conns.is_some(), "--max-conns"),
+            (cfg.idle_ms.is_some(), "--idle-ms"),
+        ] {
+            if given {
+                eprintln!("{flag} requires serve mode (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cfg.mode != Mode::Local {
+        let mode_word = if cfg.mode == Mode::Serve {
+            "serve"
+        } else {
+            "connect"
+        };
+        if !cfg.batch_scripts.is_empty() {
+            eprintln!("{mode_word} mode takes no positional script arguments (see --help)");
+            std::process::exit(2);
+        }
+        if cfg.sessions_width.is_some() {
+            eprintln!("--sessions conflicts with {mode_word} mode (see --help)");
+            std::process::exit(2);
+        }
+    }
+    if cfg.mode == Mode::Serve {
+        if cfg.script.is_some() {
+            eprintln!("--script conflicts with serve mode (see --help)");
+            std::process::exit(2);
+        }
+        if let Err(e) = cfg.apply_net_env(|key| std::env::var(key).ok()) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     }
 
     if let Some(n) = cfg.threads {
@@ -182,6 +240,12 @@ fn main() {
     // span machinery, so any of the three timing flags enables tracing.
     if cfg.trace || cfg.trace_out.is_some() || slow_ms.is_some() {
         clio_obs::set_trace_enabled(true);
+    }
+
+    if let Mode::Connect(addr) = &cfg.mode {
+        clio_cli::serve::run_client(addr, cfg.script.as_deref());
+        finish_reports(&cfg);
+        return;
     }
 
     let mut source = cfg.synthetic.map(synthetic_source);
@@ -219,6 +283,15 @@ fn main() {
             clio_incr::database_digest(&db),
         )) as Arc<dyn CacheStore>
     });
+
+    if cfg.mode == Mode::Serve {
+        if let Err(e) = clio_cli::serve::run_server(&cfg, db, target, store) {
+            eprintln!("cannot serve: {e}");
+            std::process::exit(2);
+        }
+        finish_reports(&cfg);
+        return;
+    }
 
     if !cfg.batch_scripts.is_empty() {
         if cfg.script.is_some() {

@@ -1,0 +1,48 @@
+//! A small blocking client for the framed protocol, used by
+//! `clio connect`, tests, and experiments.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::frame;
+
+/// One connection to a running server. Requests are strictly
+/// send-one-frame, read-one-frame.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server address (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Send one command line and block for the response frame.
+    /// `Ok(None)` means the server closed the connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and malformed response frames
+    /// (`InvalidData`).
+    pub fn request(&mut self, line: &str) -> io::Result<Option<String>> {
+        frame::write_frame(&mut self.stream, line)?;
+        self.read_response()
+    }
+
+    /// Block for one response frame without sending anything — for
+    /// server-initiated messages like the idle-timeout notice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and malformed response frames.
+    pub fn read_response(&mut self) -> io::Result<Option<String>> {
+        frame::read_frame(&mut self.stream, frame::MAX_FRAME_BYTES)
+    }
+}

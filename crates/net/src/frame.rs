@@ -1,0 +1,143 @@
+//! The wire format: one frame per request and per response.
+//!
+//! ```text
+//! +---------+-------------------+------------------+
+//! | version |   payload length  |     payload      |
+//! | 1 byte  | u32, big-endian   | UTF-8, length B  |
+//! +---------+-------------------+------------------+
+//! ```
+//!
+//! The version byte is [`PROTOCOL_VERSION`]; payloads longer than the
+//! receiver's limit (the server uses
+//! [`ServerConfig::max_frame_bytes`](crate::ServerConfig), the client
+//! [`MAX_FRAME_BYTES`]) are rejected. These helpers are the *blocking*
+//! half used by the client; the server reads frames through its own
+//! deadline-aware loop in [`crate::server`].
+
+use std::io::{self, Read, Write};
+
+/// Protocol version carried as every frame's first byte.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Largest payload either side accepts by default (1 MiB).
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+fn invalid(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Write one frame: version byte, big-endian length, payload, flush.
+///
+/// # Errors
+///
+/// Propagates I/O errors; a payload over `u32::MAX` bytes is
+/// `InvalidInput`.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame payload exceeds u32::MAX bytes",
+        )
+    })?;
+    w.write_all(&[PROTOCOL_VERSION])?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Read one frame, blocking until it arrives. `Ok(None)` means the
+/// peer closed the connection cleanly before a frame started.
+///
+/// # Errors
+///
+/// A wrong version byte, a declared length over `max_bytes`, a
+/// non-UTF-8 payload, or EOF inside a frame is `InvalidData`; transport
+/// failures propagate as-is.
+pub fn read_frame(r: &mut impl Read, max_bytes: usize) -> io::Result<Option<String>> {
+    let mut version = [0u8; 1];
+    loop {
+        match r.read(&mut version) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    if version[0] != PROTOCOL_VERSION {
+        return Err(invalid(format!(
+            "unsupported protocol version 0x{:02x}",
+            version[0]
+        )));
+    }
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)
+        .map_err(|_| invalid("truncated frame header".into()))?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > max_bytes {
+        return Err(invalid(format!(
+            "frame length {len} exceeds the {max_bytes}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|_| invalid("truncated frame payload".into()))?;
+    match String::from_utf8(payload) {
+        Ok(text) => Ok(Some(text)),
+        Err(_) => Err(invalid("frame payload is not valid UTF-8".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "corr Children.ID -> ID").unwrap();
+        assert_eq!(buf[0], PROTOCOL_VERSION);
+        let mut r = buf.as_slice();
+        let got = read_frame(&mut r, MAX_FRAME_BYTES).unwrap();
+        assert_eq!(got.as_deref(), Some("corr Children.ID -> ID"));
+        assert_eq!(read_frame(&mut r, MAX_FRAME_BYTES).unwrap(), None, "EOF");
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "").unwrap();
+        let got = read_frame(&mut buf.as_slice(), MAX_FRAME_BYTES).unwrap();
+        assert_eq!(got.as_deref(), Some(""));
+    }
+
+    #[test]
+    fn bad_version_and_truncation_are_invalid_data() {
+        let err = read_frame(&mut [0xffu8, 0, 0, 0, 0].as_slice(), 16).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("0xff"), "{err}");
+
+        let err = read_frame(&mut [PROTOCOL_VERSION, 0, 0].as_slice(), 16).unwrap_err();
+        assert!(err.to_string().contains("truncated frame header"), "{err}");
+
+        let mut torn = Vec::new();
+        write_frame(&mut torn, "hello").unwrap();
+        torn.truncate(torn.len() - 2);
+        let err = read_frame(&mut torn.as_slice(), 16).unwrap_err();
+        assert!(err.to_string().contains("truncated frame payload"), "{err}");
+    }
+
+    #[test]
+    fn oversized_and_non_utf8_are_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "0123456789").unwrap();
+        let err = read_frame(&mut buf.as_slice(), 4).unwrap_err();
+        assert!(
+            err.to_string().contains("exceeds the 4-byte limit"),
+            "{err}"
+        );
+
+        let bad = [PROTOCOL_VERSION, 0, 0, 0, 2, 0xc3, 0x28];
+        let err = read_frame(&mut bad.as_slice(), 16).unwrap_err();
+        assert!(err.to_string().contains("not valid UTF-8"), "{err}");
+    }
+}

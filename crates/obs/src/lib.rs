@@ -38,7 +38,7 @@ pub mod warn;
 pub use events::{chrome_trace_jsonl, clear_events, snapshot_events, take_events, EventRecord};
 pub use hist::{clear_histograms, snapshot_histograms, HistSnapshot};
 pub use metrics::{
-    add, incr, metrics_enabled, reset_metrics, set_metrics_enabled, snapshot, Counter,
+    add, incr, metrics_enabled, reset_metrics, set_metrics_enabled, snapshot, sub, Counter,
 };
 pub use trace::{
     clear_spans, fmt_ns, render_profile, render_tree_filtered, set_slow_threshold_ns,
@@ -82,7 +82,10 @@ pub fn report_json() -> String {
                 out.push(',');
             }
             let table = metrics::session_snapshot(*label).unwrap_or_else(metrics::snapshot);
-            out.push_str(&format!("\n    \"{label}\": "));
+            out.push_str(&format!(
+                "\n    {}: ",
+                json::quote(&metrics::session_display(*label))
+            ));
             out.push_str(&table.to_json_object(4));
         }
         out.push_str("\n  }");
@@ -99,7 +102,10 @@ pub fn report_json() -> String {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("\n    \"{label}\": "));
+            out.push_str(&format!(
+                "\n    {}: ",
+                json::quote(&metrics::session_display(*label))
+            ));
             out.push_str(&hist::hists_to_json(entries, 4));
         }
         out.push_str("\n  }");

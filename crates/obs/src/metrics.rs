@@ -89,6 +89,19 @@ pub enum Counter {
     /// the answering entry's recorded recompute cost. Wall-clock
     /// derived, so normalized away in golden-counter gates.
     CacheSavedNs,
+    /// Connections accepted by the network front-end.
+    NetAccepted,
+    /// Connections currently being served (a gauge: incremented on
+    /// accept, decremented — via [`sub`] — when the connection closes).
+    NetActive,
+    /// Well-formed request frames decoded by the network front-end.
+    NetFrames,
+    /// Malformed frames (bad version byte, oversized or truncated
+    /// frames, non-UTF-8 payloads) answered with an error frame.
+    NetFrameErrors,
+    /// Connections closed because the client sent nothing for the
+    /// server's idle timeout.
+    NetTimeouts,
 }
 
 /// Number of counters (length of [`Counter::ALL`]).
@@ -96,7 +109,7 @@ pub const COUNTER_COUNT: usize = Counter::ALL.len();
 
 impl Counter {
     /// All counters, in table order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 30] = [
         Counter::TuplesScanned,
         Counter::JoinProbes,
         Counter::JoinOutputRows,
@@ -122,6 +135,11 @@ impl Counter {
         Counter::CacheEvictions,
         Counter::CacheCostEvictions,
         Counter::CacheSavedNs,
+        Counter::NetAccepted,
+        Counter::NetActive,
+        Counter::NetFrames,
+        Counter::NetFrameErrors,
+        Counter::NetTimeouts,
     ];
 
     /// The stable dotted name used in JSON snapshots and the `stats`
@@ -154,6 +172,11 @@ impl Counter {
             Counter::CacheEvictions => "cache.evictions",
             Counter::CacheCostEvictions => "cache.cost_evictions",
             Counter::CacheSavedNs => "cache.saved_ns",
+            Counter::NetAccepted => "net.accepted",
+            Counter::NetActive => "net.active",
+            Counter::NetFrames => "net.frames",
+            Counter::NetFrameErrors => "net.frame_errors",
+            Counter::NetTimeouts => "net.timeouts",
         }
     }
 }
@@ -172,6 +195,32 @@ thread_local! {
 /// Per-label counter tables, keyed by session label. A `BTreeMap` so
 /// JSON reports list sessions in label order.
 static SESSION_COUNTERS: Mutex<BTreeMap<u64, [u64; COUNTER_COUNT]>> = Mutex::new(BTreeMap::new());
+
+/// Display names for session labels. Batch sessions keep their numeric
+/// label; the network front-end registers `conn.<n>` so per-connection
+/// tables are recognizable in reports (see [`session_display`]).
+static SESSION_NAMES: Mutex<BTreeMap<u64, String>> = Mutex::new(BTreeMap::new());
+
+fn names_lock() -> MutexGuard<'static, BTreeMap<u64, String>> {
+    SESSION_NAMES.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Register a display name for a session label, used as the label's key
+/// in JSON reports. Unnamed labels render as the number itself, which
+/// keeps batch-mode reports byte-identical.
+pub fn set_session_name(label: u64, name: &str) {
+    names_lock().insert(label, name.to_owned());
+}
+
+/// The display name for a session label: the registered name, or the
+/// numeric label rendered as a string.
+#[must_use]
+pub fn session_display(label: u64) -> String {
+    names_lock()
+        .get(&label)
+        .cloned()
+        .unwrap_or_else(|| label.to_string())
+}
 
 fn session_lock() -> MutexGuard<'static, BTreeMap<u64, [u64; COUNTER_COUNT]>> {
     SESSION_COUNTERS
@@ -270,19 +319,39 @@ pub fn incr(counter: Counter) {
     add(counter, 1);
 }
 
+/// Subtract `n` from a counter, saturating at zero (no-op while
+/// disabled). Only gauge-style counters use this — today that is
+/// [`Counter::NetActive`], decremented when a connection closes; every
+/// other counter stays monotonic.
+pub fn sub(counter: Counter, n: u64) {
+    if ENABLED.load(Ordering::Relaxed) {
+        let _ =
+            COUNTERS[counter as usize].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+        if let Some(label) = SESSION.with(Cell::get) {
+            let mut sessions = session_lock();
+            let slot = &mut sessions.entry(label).or_insert([0; COUNTER_COUNT])[counter as usize];
+            *slot = slot.saturating_sub(n);
+        }
+    }
+}
+
 /// Current value of one counter.
 #[must_use]
 pub fn value(counter: Counter) -> u64 {
     COUNTERS[counter as usize].load(Ordering::Relaxed)
 }
 
-/// Zero every counter, global and per-session (leaves the enabled flag
-/// and installed session labels untouched).
+/// Zero every counter, global and per-session, and forget registered
+/// session names (leaves the enabled flag and installed session labels
+/// untouched).
 pub fn reset_metrics() {
     for c in &COUNTERS {
         c.store(0, Ordering::Relaxed);
     }
     session_lock().clear();
+    names_lock().clear();
 }
 
 /// A point-in-time copy of every counter.
@@ -469,6 +538,39 @@ mod tests {
         assert_eq!(ctx.get(Counter::JoinProbes), 1);
         assert_eq!(global.get(Counter::JoinProbes), 11);
         reset_metrics();
+    }
+
+    #[test]
+    fn sub_saturates_and_mirrors_sessions() {
+        let _guard = LOCK.lock().unwrap();
+        set_metrics_enabled(true);
+        reset_metrics();
+        add(Counter::NetActive, 3);
+        sub(Counter::NetActive, 2);
+        assert_eq!(value(Counter::NetActive), 1);
+        sub(Counter::NetActive, 10);
+        assert_eq!(value(Counter::NetActive), 0, "saturates at zero");
+        with_session(Some(4), || {
+            add(Counter::NetActive, 2);
+            sub(Counter::NetActive, 1);
+        });
+        let s4 = session_snapshot(4).expect("session 4 recorded");
+        set_metrics_enabled(false);
+        assert_eq!(s4.get(Counter::NetActive), 1);
+        sub(Counter::NetActive, 1);
+        assert_eq!(value(Counter::NetActive), 1, "disabled subs are dropped");
+        reset_metrics();
+    }
+
+    #[test]
+    fn session_names_register_and_reset() {
+        let _guard = LOCK.lock().unwrap();
+        reset_metrics();
+        assert_eq!(session_display(3), "3", "unnamed labels stay numeric");
+        set_session_name(3, "conn.3");
+        assert_eq!(session_display(3), "conn.3");
+        reset_metrics();
+        assert_eq!(session_display(3), "3", "reset forgets names");
     }
 
     #[test]

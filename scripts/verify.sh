@@ -23,7 +23,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (first-party, warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p clio -p clio-relational -p clio-core -p clio-datagen \
-    -p clio-obs -p clio-incr -p clio-cli -p clio-bench
+    -p clio-obs -p clio-incr -p clio-net -p clio-cli -p clio-bench
 
 echo "==> cargo test -q"
 cargo test -q
@@ -69,7 +69,10 @@ tmp_telemetry_script="$(mktemp)"
 tmp_telemetry_out="$(mktemp)"
 tmp_telemetry_metrics="$(mktemp)"
 tmp_trace_jsonl="$(mktemp)"
-trap 'rm -f "$tmp_metrics" "$tmp_twice_metrics" "$tmp_twice_script" "$tmp_serial_out" "$tmp_diskwarm_out" "$tmp_diskwarm_metrics" "$tmp_cyclic_map" "$tmp_telemetry_script" "$tmp_telemetry_out" "$tmp_telemetry_metrics" "$tmp_trace_jsonl"; rm -rf "$tmp_chunk_dir" "$tmp_cache_dir"' EXIT
+tmp_serve_out="$(mktemp)"
+tmp_serve_metrics="$(mktemp)"
+tmp_shutdown_script="$(mktemp)"
+trap 'rm -f "$tmp_metrics" "$tmp_twice_metrics" "$tmp_twice_script" "$tmp_serial_out" "$tmp_diskwarm_out" "$tmp_diskwarm_metrics" "$tmp_cyclic_map" "$tmp_telemetry_script" "$tmp_telemetry_out" "$tmp_telemetry_metrics" "$tmp_trace_jsonl" "$tmp_serve_out" "$tmp_serve_metrics" "$tmp_shutdown_script"; rm -rf "$tmp_chunk_dir" "$tmp_cache_dir"' EXIT
 target/release/clio-shell \
     --script examples/scripts/demo.clio \
     --metrics "$tmp_metrics" \
@@ -306,5 +309,103 @@ fi
 rm -f "$tmp_evict_script" "$tmp_evict_probe" "$tmp_evict_lru" "$tmp_evict_cost" \
     "$tmp_evict_lru_out" "$tmp_evict_cost_out"
 echo "    half budget = $budget bytes: lru $lru_hits hits / $lru_evictions evictions, cost $cost_hits hits / $cost_evictions evictions"
+
+# Tier 2g: networked-service gate (PR 8, docs/service.md). Phase A
+# starts `clio-shell serve` on an ephemeral port and drives FOUR
+# concurrent `connect --script demo.clio` clients; each client's stdout
+# must be byte-identical to the serial --script run from tier 2c (the
+# framed TCP path is answer-invisible), and the server must exit 0 when
+# a client sends the protocol-level `shutdown`. Phase B repeats with
+# --metrics and exactly four accepted connections (three demo clients
+# plus one quit-stripped-demo + shutdown client) and pins the service
+# counters: net.accepted == 4, net.frame_errors == 0 (no client sent a
+# malformed frame; frame-fault handling itself is pinned by the
+# crates/cli/tests/net_service.rs integration tests), and the shared
+# cache store really is shared — later connections warm from earlier
+# connections' spills (cache.hits > 0, cache.disk_hits > 0).
+echo "==> networked-service gate (serve + 4 concurrent connect clients)"
+wait_for_addr() {
+    serve_addr=""
+    tries=0
+    while [ "$tries" -lt 100 ]; do
+        serve_addr="$(sed -n 's/^listening on //p' "$1")"
+        [ -n "$serve_addr" ] && return 0
+        sleep 0.1
+        tries=$((tries + 1))
+    done
+    echo "verify: FAILED — serve never announced its address" >&2
+    return 1
+}
+: > "$tmp_serve_out"
+target/release/clio-shell serve --port 0 --max-conns 4 --threads 1 \
+    > "$tmp_serve_out" &
+serve_pid=$!
+wait_for_addr "$tmp_serve_out" || { kill "$serve_pid" 2>/dev/null; exit 1; }
+client_pids=""
+for i in 1 2 3 4; do
+    target/release/clio-shell connect "$serve_addr" \
+        --script examples/scripts/demo.clio > "$tmp_chunk_dir/net$i" &
+    client_pids="$client_pids $!"
+done
+for pid in $client_pids; do
+    if ! wait "$pid"; then
+        echo "verify: FAILED — a networked client exited nonzero" >&2
+        kill "$serve_pid" 2>/dev/null
+        exit 1
+    fi
+done
+for i in 1 2 3 4; do
+    if ! diff -u "$tmp_serial_out" "$tmp_chunk_dir/net$i"; then
+        echo "verify: FAILED — networked client $i diverged from the serial demo run" >&2
+        kill "$serve_pid" 2>/dev/null
+        exit 1
+    fi
+done
+printf 'shutdown\n' | target/release/clio-shell connect "$serve_addr" >/dev/null
+if ! wait "$serve_pid"; then
+    echo "verify: FAILED — server did not exit cleanly on shutdown" >&2
+    exit 1
+fi
+echo "    4 concurrent networked clients byte-identical to serial; clean shutdown"
+: > "$tmp_serve_out"
+target/release/clio-shell serve --port 0 --max-conns 4 --threads 1 \
+    --metrics "$tmp_serve_metrics" > "$tmp_serve_out" &
+serve_pid=$!
+wait_for_addr "$tmp_serve_out" || { kill "$serve_pid" 2>/dev/null; exit 1; }
+for i in 1 2 3; do
+    target/release/clio-shell connect "$serve_addr" \
+        --script examples/scripts/demo.clio >/dev/null
+done
+sed '/^quit$/d' examples/scripts/demo.clio > "$tmp_shutdown_script"
+echo shutdown >> "$tmp_shutdown_script"
+target/release/clio-shell connect "$serve_addr" \
+    --script "$tmp_shutdown_script" >/dev/null
+if ! wait "$serve_pid"; then
+    echo "verify: FAILED — metrics server did not exit cleanly on shutdown" >&2
+    exit 1
+fi
+# First match only: the report also mirrors every counter into
+# per-connection session tables, and only the top-level total is wanted.
+net_accepted="$(counter "$tmp_serve_metrics" 'net\.accepted' | head -n 1)"
+net_frame_errors="$(counter "$tmp_serve_metrics" 'net\.frame_errors' | head -n 1)"
+net_hits="$(counter "$tmp_serve_metrics" 'cache\.hits' | head -n 1)"
+net_disk_hits="$(counter "$tmp_serve_metrics" 'cache\.disk_hits' | head -n 1)"
+if [ "${net_accepted:-0}" -ne 4 ]; then
+    echo "verify: FAILED — expected net.accepted == 4, got ${net_accepted:-none}" >&2
+    exit 1
+fi
+if [ "${net_frame_errors:-1}" -ne 0 ]; then
+    echo "verify: FAILED — well-formed clients recorded net.frame_errors = ${net_frame_errors:-none}" >&2
+    exit 1
+fi
+if [ -z "$net_hits" ] || [ "$net_hits" -eq 0 ]; then
+    echo "verify: FAILED — networked sessions recorded no cache hits" >&2
+    exit 1
+fi
+if [ -z "$net_disk_hits" ] || [ "$net_disk_hits" -eq 0 ]; then
+    echo "verify: FAILED — connections did not warm from the shared store (cache.disk_hits = 0)" >&2
+    exit 1
+fi
+echo "    net.accepted = $net_accepted, net.frame_errors = $net_frame_errors, cache.hits = $net_hits, cache.disk_hits = $net_disk_hits"
 
 echo "verify: OK"
