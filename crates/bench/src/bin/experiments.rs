@@ -1,5 +1,5 @@
 //! Run the parameter sweeps behind EXPERIMENTS.md and print one markdown
-//! table per experiment (B1–B15). Wall-clock medians over a few
+//! table per experiment (B1–B16). Wall-clock medians over a few
 //! repetitions — the Criterion benches give rigorous statistics; this
 //! binary gives the compact tables the docs quote.
 //!
@@ -1004,6 +1004,60 @@ fn b15_networked_clients() {
     }
 }
 
+fn b16_paged_backend() {
+    use clio_relational::storage::{open_paged, save_database};
+
+    println!("\n## B16 — paged backend: buffer-pool size vs working set\n");
+    println!(
+        "| pool pages | heap pages | open+scan | pager hits | misses | evictions | hit rate |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    let w = chain(4, 2000);
+    let dir = std::env::temp_dir().join(format!("clio-bench-b16-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // 1 KiB pages keep the heap files many pages long, so small pools
+    // genuinely thrash and large ones genuinely fit the working set.
+    const PAGE_SIZE: u64 = 1024;
+    save_database(&w.db, &dir, PAGE_SIZE as usize).expect("save");
+    // data pages across the heap files (page 0 of each file is its header)
+    let heap_pages: u64 = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(std::result::Result::ok)
+        .filter(|e| {
+            let path = e.path();
+            path.extension().is_some_and(|x| x == "clh")
+                && !path
+                    .file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with('_'))
+        })
+        .map(|e| e.metadata().expect("metadata").len() / PAGE_SIZE - 1)
+        .sum();
+    for pool in [4usize, 16, 64, 256, 512, 1024] {
+        // open (one eager integrity scan of every heap file through the
+        // pool) plus a full materializing scan of every relation — the
+        // paged path a session start performs
+        let open_and_scan = || {
+            let db = open_paged(&dir, pool).expect("open");
+            let rows: usize = db
+                .relations()
+                .map(clio_relational::relation::Relation::len)
+                .sum();
+            std::hint::black_box(rows);
+        };
+        let t = time(open_and_scan);
+        let work = counted(open_and_scan);
+        let hits = work.get(clio_obs::Counter::PagerHits);
+        let misses = work.get(clio_obs::Counter::PagerMisses);
+        let evictions = work.get(clio_obs::Counter::PagerEvictions);
+        println!(
+            "| {pool} | {heap_pages} | {} | {hits} | {misses} | {evictions} | {:.0}% |",
+            fmt(t),
+            100.0 * hits as f64 / (hits + misses).max(1) as f64,
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run = |key: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(key));
@@ -1053,5 +1107,8 @@ fn main() {
     }
     if run("b15") {
         b15_networked_clients();
+    }
+    if run("b16") {
+        b16_paged_backend();
     }
 }

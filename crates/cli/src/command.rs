@@ -147,6 +147,21 @@ pub const COMMANDS: &[CommandSpec] = &[
         description: &["show or switch the eviction policy"],
     },
     CommandSpec {
+        usage: "db",
+        description: &["storage-backend statistics (see", "docs/storage.md)"],
+    },
+    CommandSpec {
+        usage: "db save <dir>",
+        description: &["write the source database as a paged", "on-disk directory"],
+    },
+    CommandSpec {
+        usage: "db load <dir>",
+        description: &[
+            "restart the session over a paged",
+            "database (also: clio --db-dir)",
+        ],
+    },
+    CommandSpec {
         usage: "profile",
         description: &["per-attribute statistics of the source"],
     },
@@ -241,6 +256,19 @@ pub enum CacheAction {
     /// `cache policy [lru|cost]` — show (`None`) or switch (`Some`)
     /// the eviction policy at runtime.
     Policy(Option<clio_incr::EvictionPolicy>),
+}
+
+/// The `db` subcommands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbAction {
+    /// `db` — print storage-backend statistics.
+    Stats,
+    /// `db save <dir>` — write the source database as a paged on-disk
+    /// directory under `<dir>`.
+    Save(String),
+    /// `db load <dir>` — restart the session over the paged database
+    /// at `<dir>`.
+    Load(String),
 }
 
 /// One parsed shell command. Field-free variants read the session;
@@ -350,6 +378,8 @@ pub enum Command {
     },
     /// `cache [save|load|clear|limit ...]`.
     Cache(CacheAction),
+    /// `db [save|load ...]`.
+    Db(DbAction),
     /// `profile`.
     Profile,
     /// `profile spans [<n>]`.
@@ -415,6 +445,7 @@ impl Command {
             Command::Stats(_) => "stats",
             Command::Trace { .. } => "trace",
             Command::Cache(_) => "cache",
+            Command::Db(_) => "db",
             Command::Profile => "profile",
             Command::ProfileSpans { .. } => "profile",
             Command::Mine { .. } => "mine",
@@ -593,6 +624,26 @@ pub fn parse(line: &str) -> Result<Command, ParseError> {
                 other => err(format!("unknown cache subcommand `{other}` (try `help`)")),
             }
         }
+        "db" => {
+            let (sub, arg) = rest.split_once(' ').unwrap_or((rest, ""));
+            let arg = arg.trim();
+            match sub {
+                "" => Ok(Command::Db(DbAction::Stats)),
+                "save" => {
+                    if arg.is_empty() {
+                        return err("usage: db save <dir>");
+                    }
+                    Ok(Command::Db(DbAction::Save(arg.to_owned())))
+                }
+                "load" => {
+                    if arg.is_empty() {
+                        return err("usage: db load <dir>");
+                    }
+                    Ok(Command::Db(DbAction::Load(arg.to_owned())))
+                }
+                other => err(format!("unknown db subcommand `{other}` (try `help`)")),
+            }
+        }
         "profile" => {
             let (sub, arg) = rest.split_once(' ').unwrap_or((rest, ""));
             let arg = arg.trim();
@@ -765,6 +816,25 @@ mod tests {
     }
 
     #[test]
+    fn db_subcommands() {
+        assert_eq!(parse("db").unwrap(), Command::Db(DbAction::Stats));
+        assert_eq!(
+            parse("db save /tmp/paged").unwrap(),
+            Command::Db(DbAction::Save("/tmp/paged".into()))
+        );
+        assert_eq!(
+            parse("db load /tmp/paged").unwrap(),
+            Command::Db(DbAction::Load("/tmp/paged".into()))
+        );
+        assert_eq!(parse("db save").unwrap_err().0, "usage: db save <dir>");
+        assert_eq!(parse("db load").unwrap_err().0, "usage: db load <dir>");
+        assert!(parse("db frobnicate")
+            .unwrap_err()
+            .0
+            .contains("unknown db subcommand"));
+    }
+
+    #[test]
     fn profile_subcommands() {
         assert_eq!(parse("profile").unwrap(), Command::Profile);
         assert_eq!(
@@ -864,6 +934,7 @@ mod tests {
             "stats",
             "trace",
             "cache",
+            "db",
             "profile",
             "mine",
             "verify",
@@ -890,6 +961,7 @@ mod tests {
         assert!(help.contains("  source                      show the source schema"));
         assert!(help.contains("  cache limit <bytes>         set the cache's eviction byte budget"));
         assert!(help.contains("  cache policy [lru|cost]     show or switch the eviction policy"));
+        assert!(help.contains("  db save <dir>               write the source database as a paged"));
         assert!(help.contains("  quit\n"));
         // continuation lines land on the same column
         assert!(help.contains("\n                              by name, e.g. `stats chase`"));

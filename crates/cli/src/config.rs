@@ -8,6 +8,10 @@
 
 use clio_datagen::synthetic::{SyntheticSpec, Topology};
 
+/// Buffer-pool page budget used for paged databases when `--db-pool`
+/// is not given (also the pool `db load` opens with).
+pub const DEFAULT_DB_POOL: usize = 64;
+
 /// A command-line usage error. `Display` renders the exact stderr
 /// message of the `clio-shell` binary (which then exits 2).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +69,12 @@ pub struct CliConfig {
     pub sessions_width: Option<usize>,
     /// `--source <dir>`: CSV source database directory.
     pub source_dir: Option<String>,
+    /// `--db-dir <dir>`: paged source database directory (heap files
+    /// written by `db save`; see `docs/storage.md`).
+    pub db_dir: Option<String>,
+    /// `--db-pool <pages>`: buffer-pool page budget for `--db-dir`
+    /// (validated positive; default 64).
+    pub db_pool: Option<usize>,
     /// `--target <schema>`: target schema text.
     pub target_spec: Option<String>,
     /// `--synthetic <spec>`: validated generator spec.
@@ -178,6 +188,22 @@ impl CliConfig {
                 "--target" => {
                     i += 1;
                     cfg.target_spec = Some(require_value(args, i, "--target")?);
+                }
+                "--db-dir" => {
+                    i += 1;
+                    cfg.db_dir = Some(require_value(args, i, "--db-dir")?);
+                }
+                "--db-pool" => {
+                    i += 1;
+                    let value = require_value(args, i, "--db-pool")?;
+                    match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => cfg.db_pool = Some(n),
+                        _ => {
+                            return Err(UsageError(format!(
+                                "--db-pool expects a positive integer, got `{value}`"
+                            )))
+                        }
+                    }
                 }
                 "--metrics" => {
                     i += 1;
@@ -384,10 +410,16 @@ mod tests {
             "t.jsonl",
             "--slow-ms",
             "25",
+            "--db-dir",
+            "/tmp/paged",
+            "--db-pool",
+            "8",
             "--no-cache",
         ]))
         .unwrap();
         assert_eq!(cfg.script.as_deref(), Some("s.clio"));
+        assert_eq!(cfg.db_dir.as_deref(), Some("/tmp/paged"));
+        assert_eq!(cfg.db_pool, Some(8));
         assert_eq!(cfg.metrics_path.as_deref(), Some("m.json"));
         assert_eq!(cfg.cache_dir.as_deref(), Some("/tmp/cc"));
         assert_eq!(cfg.cache_policy, Some(clio_incr::EvictionPolicy::Lru));
@@ -435,6 +467,15 @@ mod tests {
         assert_eq!(
             err(&["--threads", "0"]),
             "--threads expects a positive integer, got `0`"
+        );
+        assert_eq!(err(&["--db-dir"]), "--db-dir requires a value (see --help)");
+        assert_eq!(
+            err(&["--db-pool", "0"]),
+            "--db-pool expects a positive integer, got `0`"
+        );
+        assert_eq!(
+            err(&["--db-pool", "x"]),
+            "--db-pool expects a positive integer, got `x`"
         );
         assert_eq!(
             err(&["--sessions", "x"]),

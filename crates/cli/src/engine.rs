@@ -11,7 +11,7 @@ use clio_core::sql::{generate_sql, SqlOptions};
 use clio_relational::error::{Error, Result};
 use clio_relational::value::Value;
 
-use crate::command::{self, CacheAction, Command, FilterKind, StatsAction};
+use crate::command::{self, CacheAction, Command, DbAction, FilterKind, StatsAction};
 
 /// The shell state: a session plus presentation settings.
 pub struct Shell {
@@ -194,7 +194,7 @@ impl Shell {
                 let _ = writeln!(
                     out,
                     "source: {} relation(s), {} row(s)",
-                    self.session.database().relations().len(),
+                    self.session.database().relation_count(),
                     self.session.database().total_rows()
                 );
                 let _ = writeln!(
@@ -346,6 +346,7 @@ impl Shell {
                 Ok(out)
             }
             Command::Cache(action) => self.cache_command(action),
+            Command::Db(action) => self.db_command(action),
             Command::Trace { filter } => {
                 // live span tree, optionally filtered by name — the
                 // in-session counterpart of --trace-filter
@@ -484,6 +485,72 @@ impl Shell {
                     },
                 };
                 Ok(format!("loaded {n} entry(ies)\n"))
+            }
+        }
+    }
+
+    /// Dispatch a `db …` subcommand. `db` (stats) reports which storage
+    /// backend the session's source database answers from; `db save`
+    /// writes the database — and the session's target schema, as
+    /// `_target.txt` — as a paged on-disk directory (see
+    /// docs/storage.md); `db load` restarts the session over such a
+    /// directory, reusing its persisted value index instead of
+    /// rebuilding one. Loading replaces the whole session, so
+    /// workspaces, accepted mappings, and the cache start fresh.
+    fn db_command(&mut self, action: DbAction) -> Result<String> {
+        match action {
+            DbAction::Stats => {
+                let db = self.session.database();
+                let mut out = match db.paged_dir() {
+                    Some(dir) => format!("backend: paged ({})\n", dir.display()),
+                    None => "backend: memory\n".to_owned(),
+                };
+                let _ = writeln!(
+                    out,
+                    "relations: {}  rows: {}",
+                    db.relation_count(),
+                    db.total_rows()
+                );
+                let _ = writeln!(
+                    out,
+                    "stored index: {}",
+                    if db.stored_index().is_some() {
+                        "yes"
+                    } else {
+                        "no (built in memory)"
+                    }
+                );
+                Ok(out)
+            }
+            DbAction::Save(dir) => {
+                let path = std::path::Path::new(&dir);
+                clio_relational::storage::save_database(
+                    self.session.database(),
+                    path,
+                    clio_pager::DEFAULT_PAGE_SIZE,
+                )?;
+                let spec = clio_relational::storage::target_spec(self.session.target_schema());
+                std::fs::write(path.join("_target.txt"), format!("{spec}\n")).map_err(|e| {
+                    Error::Invalid(format!("cannot write `{dir}/_target.txt`: {e}"))
+                })?;
+                Ok(format!(
+                    "saved {} relation(s) to {dir}\n",
+                    self.session.database().relation_count()
+                ))
+            }
+            DbAction::Load(dir) => {
+                let path = std::path::Path::new(&dir);
+                let db =
+                    clio_relational::storage::open_paged(path, crate::config::DEFAULT_DB_POOL)?;
+                let target_text = std::fs::read_to_string(path.join("_target.txt"))
+                    .map_err(|e| Error::Invalid(format!("cannot read `{dir}/_target.txt`: {e}")))?;
+                let target = clio_core::script::parse_target_schema(target_text.trim())?;
+                self.session = Session::shared(std::sync::Arc::new(db), target);
+                Ok(format!(
+                    "loaded {dir} ({} relation(s), {} row(s))\n",
+                    self.session.database().relation_count(),
+                    self.session.database().total_rows()
+                ))
             }
         }
     }
@@ -851,6 +918,48 @@ mod tests {
             "insert-time spill"
         );
         assert_eq!(run(&mut sh, "cache save"), "saved 0 entry(ies)\n");
+    }
+
+    #[test]
+    fn db_save_load_round_trips_the_session_source() {
+        let dir = std::env::temp_dir().join(format!("clio-engine-db-{}", std::process::id()));
+        let dir_s = dir.display().to_string();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut sh = shell();
+        assert!(run(&mut sh, "db").contains("backend: memory"));
+        let saved = run(&mut sh, &format!("db save {dir_s}"));
+        assert_eq!(saved, format!("saved 5 relation(s) to {dir_s}\n"));
+        assert!(dir.join("_target.txt").exists());
+
+        // capture the in-memory answers, then reload from disk
+        let source_mem = run(&mut sh, "source");
+        let show_mem = run(&mut sh, "show Children");
+        let loaded = run(&mut sh, &format!("db load {dir_s}"));
+        assert!(loaded.starts_with("loaded "), "{loaded}");
+        let stats = run(&mut sh, "db");
+        assert!(stats.contains("backend: paged ("), "{stats}");
+        assert!(stats.contains("stored index: yes"), "{stats}");
+        // paged answers are byte-identical to the in-memory ones
+        assert_eq!(run(&mut sh, "source"), source_mem);
+        assert_eq!(run(&mut sh, "show Children"), show_mem);
+        // the reloaded session still maps end to end
+        assert!(run(&mut sh, "corr Children.ID -> ID").contains("ok"));
+        assert!(run(&mut sh, "corr Children.name -> name").contains("ok"));
+        assert!(run(&mut sh, "target").contains("Maya"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn db_errors_are_reported_not_fatal() {
+        let mut sh = shell();
+        let out = run(&mut sh, "db load /nonexistent/clio-db");
+        assert!(out.starts_with("error:"), "{out}");
+        // the session survives a failed load untouched
+        assert!(run(&mut sh, "db").contains("backend: memory"));
+        assert!(run(&mut sh, "db wat").starts_with("error: unknown db subcommand"));
+        assert!(run(&mut sh, "db save").starts_with("error: usage: db save <dir>"));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
-use clio_cli::config::{CliConfig, Mode};
+use clio_cli::config::{CliConfig, Mode, DEFAULT_DB_POOL};
 use clio_cli::engine::{Outcome, Shell};
 use clio_core::session::Session;
 use clio_core::session_pool::SessionPool;
@@ -127,6 +127,11 @@ flags:
   --target <schema>      target schema, e.g. \"Kids (ID str not null, name str)\"
   --synthetic <spec>     generate a source: <topology>,<relations>,<rows>
                          (topology: chain | star | cycle | tree)
+  --db-dir <dir>         open a paged source database written by `db save`
+                         (relations stream through a buffer pool instead of
+                         loading upfront; see docs/storage.md); the target
+                         comes from --target or the directory's _target.txt
+  --db-pool <pages>      buffer-pool page budget for --db-dir (default 64)
   --metrics <file>       collect work counters; write a JSON report on exit
                          (`-` writes the report to stdout after the shell
                          output)
@@ -267,6 +272,51 @@ fn main() {
             },
             None => {
                 eprintln!("--source requires --target \"Name (attr type, ...)\"");
+                std::process::exit(2);
+            }
+        };
+        source = Some((db, target));
+    }
+    if cfg.db_pool.is_some() && cfg.db_dir.is_none() {
+        eprintln!("--db-pool requires --db-dir (see --help)");
+        std::process::exit(2);
+    }
+    if let Some(dir) = &cfg.db_dir {
+        if cfg.source_dir.is_some() {
+            eprintln!("--db-dir conflicts with --source (see --help)");
+            std::process::exit(2);
+        }
+        if cfg.synthetic.is_some() {
+            eprintln!("--db-dir conflicts with --synthetic (see --help)");
+            std::process::exit(2);
+        }
+        let pool = cfg.db_pool.unwrap_or(DEFAULT_DB_POOL);
+        let db = match clio_relational::storage::open_paged(std::path::Path::new(dir), pool) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("cannot load `{dir}`: {e}");
+                std::process::exit(2);
+            }
+        };
+        // --target wins; otherwise the directory's own `_target.txt`
+        // (written by `db save`) names the target schema.
+        let spec = match &cfg.target_spec {
+            Some(spec) => spec.clone(),
+            None => {
+                let path = std::path::Path::new(dir).join("_target.txt");
+                match std::fs::read_to_string(&path) {
+                    Ok(text) => text.trim().to_owned(),
+                    Err(_) => {
+                        eprintln!("--db-dir requires --target or a `_target.txt` in the directory");
+                        std::process::exit(2);
+                    }
+                }
+            }
+        };
+        let target = match clio_core::script::parse_target_schema(&spec) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bad --target: {e}");
                 std::process::exit(2);
             }
         };

@@ -63,6 +63,7 @@ pub fn request_hist_name(line: &str) -> &'static str {
         "stats" => "net.request.stats",
         "trace" => "net.request.trace",
         "cache" => "net.request.cache",
+        "db" => "net.request.db",
         "profile" => "net.request.profile",
         "mine" => "net.request.mine",
         "verify" => "net.request.verify",
@@ -197,6 +198,7 @@ mod tests {
             "net.request.corr"
         );
         assert_eq!(request_hist_name("stats chase"), "net.request.stats");
+        assert_eq!(request_hist_name("db save /tmp/x"), "net.request.db");
         assert_eq!(request_hist_name("profile spans 3"), "net.request.profile");
         assert_eq!(request_hist_name(""), "net.request.noop");
         assert_eq!(request_hist_name("# comment"), "net.request.noop");

@@ -96,11 +96,16 @@ impl Session {
 
     /// Start a session over an `Arc`-shared source snapshot without
     /// copying it. Knowledge and the value index are still derived
-    /// eagerly; use [`Session::from_parts`] to share those too.
+    /// eagerly — except over a paged database that ships a persisted
+    /// index (`_index.clh`), which is loaded instead of rebuilt so
+    /// opening a session does not scan every relation. Use
+    /// [`Session::from_parts`] to share pre-built parts directly.
     #[must_use]
     pub fn shared(db: Arc<Database>, target: RelSchema) -> Session {
         let knowledge = SchemaKnowledge::from_database(&db);
-        let index = Arc::new(ValueIndex::build(&db));
+        let index = db
+            .stored_index()
+            .unwrap_or_else(|| Arc::new(ValueIndex::build(&db)));
         Session::from_parts(db, index, knowledge, target)
     }
 
@@ -141,6 +146,12 @@ impl Session {
     #[must_use]
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// The target relation schema this session maps into.
+    #[must_use]
+    pub fn target_schema(&self) -> &RelSchema {
+        &self.target
     }
 
     /// The source database as a shareable snapshot handle. Cloning the

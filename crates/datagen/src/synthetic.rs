@@ -298,7 +298,7 @@ mod tests {
             let funcs = FuncRegistry::with_builtins();
             w.graph.validate(&w.db, &funcs).unwrap();
             w.mapping.validate(&w.db, &funcs).unwrap();
-            assert_eq!(w.db.relations().len(), spec.relations);
+            assert_eq!(w.db.relation_count(), spec.relations);
             assert_eq!(w.db.total_rows(), spec.relations * spec.rows);
         }
     }

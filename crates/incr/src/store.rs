@@ -242,7 +242,7 @@ fn hash_value(fp: &mut FingerprintBuilder, v: &clio_relational::value::Value) {
 #[must_use]
 pub fn database_digest(db: &Database) -> u64 {
     let mut fp = FingerprintBuilder::new("source-db");
-    fp.number(db.relations().len() as u64);
+    fp.number(db.relation_count() as u64);
     for rel in db.relations() {
         fp.text(rel.name());
         fp.text(&rel.schema().to_string());

@@ -102,6 +102,23 @@ pub enum Counter {
     /// Connections closed because the client sent nothing for the
     /// server's idle timeout.
     NetTimeouts,
+    /// Pages read from heap files by the pager (buffer-pool misses that
+    /// reached the disk).
+    PagerPageReads,
+    /// Pages written back to heap files by the pager (dirty-page
+    /// write-back on eviction or flush).
+    PagerPageWrites,
+    /// Buffer-pool lookups answered by a resident frame.
+    PagerHits,
+    /// Buffer-pool lookups that had to read the page from disk.
+    PagerMisses,
+    /// Frames evicted from the buffer pool to stay under its page
+    /// budget.
+    PagerEvictions,
+    /// Page or heap-file load failures tolerated by degrading to a
+    /// typed error (corrupt pages, version mismatches, I/O errors) —
+    /// never a wrong answer.
+    PagerLoadErrors,
 }
 
 /// Number of counters (length of [`Counter::ALL`]).
@@ -109,7 +126,7 @@ pub const COUNTER_COUNT: usize = Counter::ALL.len();
 
 impl Counter {
     /// All counters, in table order.
-    pub const ALL: [Counter; 30] = [
+    pub const ALL: [Counter; 36] = [
         Counter::TuplesScanned,
         Counter::JoinProbes,
         Counter::JoinOutputRows,
@@ -140,6 +157,12 @@ impl Counter {
         Counter::NetFrames,
         Counter::NetFrameErrors,
         Counter::NetTimeouts,
+        Counter::PagerPageReads,
+        Counter::PagerPageWrites,
+        Counter::PagerHits,
+        Counter::PagerMisses,
+        Counter::PagerEvictions,
+        Counter::PagerLoadErrors,
     ];
 
     /// The stable dotted name used in JSON snapshots and the `stats`
@@ -177,6 +200,12 @@ impl Counter {
             Counter::NetFrames => "net.frames",
             Counter::NetFrameErrors => "net.frame_errors",
             Counter::NetTimeouts => "net.timeouts",
+            Counter::PagerPageReads => "pager.page_reads",
+            Counter::PagerPageWrites => "pager.page_writes",
+            Counter::PagerHits => "pager.hits",
+            Counter::PagerMisses => "pager.misses",
+            Counter::PagerEvictions => "pager.evictions",
+            Counter::PagerLoadErrors => "pager.load_errors",
         }
     }
 }

@@ -62,6 +62,35 @@ pub fn relation_to_csv(rel: &Relation) -> String {
     out
 }
 
+/// Split CSV text into records. Splitting must be quote-aware: the
+/// writer quotes fields containing `\n`/`\r`, so a record boundary is a
+/// `\n` (or `\r\n`) *outside* quotes only — a line-based split would
+/// tear legally-written multi-line fields apart.
+fn split_records(text: &str) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let mut records = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_quotes = !in_quotes,
+            b'\n' if !in_quotes => {
+                let mut end = i;
+                if end > start && bytes[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                records.push(&text[start..end]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < bytes.len() {
+        records.push(&text[start..]);
+    }
+    records
+}
+
 /// Split one CSV record into raw fields (`None` = unquoted empty = null).
 fn parse_record(line: &str) -> Result<Vec<Option<String>>> {
     let mut fields: Vec<Option<String>> = Vec::new();
@@ -147,8 +176,8 @@ fn parse_value(raw: Option<String>, ty: DataType) -> Result<Value> {
 /// Parse CSV text into a relation under the given schema. The header row
 /// must match the schema's attribute names in order.
 pub fn relation_from_csv(schema: RelSchema, text: &str) -> Result<Relation> {
-    let mut lines = text.lines();
-    let header = lines
+    let mut records = split_records(text).into_iter();
+    let header = records
         .next()
         .ok_or_else(|| Error::Invalid("empty CSV: missing header".into()))?;
     let expected: Vec<&str> = schema.attrs().iter().map(|a| a.name.as_str()).collect();
@@ -159,11 +188,11 @@ pub fn relation_from_csv(schema: RelSchema, text: &str) -> Result<Relation> {
         )));
     }
     let mut rel = Relation::empty(schema);
-    for line in lines {
-        if line.is_empty() {
+    for record in records {
+        if record.is_empty() {
             continue;
         }
-        let fields = parse_record(line)?;
+        let fields = parse_record(record)?;
         if fields.len() != rel.schema().arity() {
             return Err(Error::ArityMismatch {
                 expected: rel.schema().arity(),
@@ -394,6 +423,40 @@ mod tests {
         let csv = relation_to_csv(&rel);
         let back = relation_from_csv(rel.schema().clone(), &csv).unwrap();
         assert_eq!(back.rows(), rel.rows());
+    }
+
+    #[test]
+    fn embedded_newlines_round_trip() {
+        let rel = RelationBuilder::new("Multi")
+            .attr_not_null("id", DataType::Int)
+            .attr("text", DataType::Str)
+            .row(vec![1i64.into(), "line one\nline two".into()])
+            .row(vec![2i64.into(), "crlf\r\nhere".into()])
+            .row(vec![3i64.into(), "both \"quoted\"\nand broken".into()])
+            .row(vec![4i64.into(), "ends with cr\r".into()])
+            .build()
+            .unwrap();
+        let csv = relation_to_csv(&rel);
+        let back = relation_from_csv(rel.schema().clone(), &csv).unwrap();
+        assert_eq!(back.rows(), rel.rows());
+    }
+
+    #[test]
+    fn crlf_record_separators_are_accepted() {
+        let schema = RelSchema::new(
+            "R",
+            vec![
+                Attribute::not_null("n", DataType::Int),
+                Attribute::new("s", DataType::Str),
+            ],
+        )
+        .unwrap();
+        // Hand-written file with CRLF record separators and a quoted
+        // field spanning records; `""` is a doubled quote inside it.
+        let text = "n,s\r\n1,a\r\n2,\"x\r\ny \"\" z\"\r\n";
+        let rel = relation_from_csv(schema, text).unwrap();
+        assert_eq!(rel.rows()[0][1], Value::str("a"));
+        assert_eq!(rel.rows()[1][1], Value::str("x\r\ny \" z"));
     }
 
     #[test]

@@ -19,6 +19,8 @@ pub enum Error {
     UnknownRelation(String),
     /// A relation with this name already exists in the database.
     DuplicateRelation(String),
+    /// A replacement relation's scheme is incompatible with the original.
+    SchemeMismatch { relation: String, detail: String },
     /// An attribute name appears twice in one relation scheme.
     DuplicateAttribute { relation: String, attribute: String },
     /// A scalar function name did not resolve against the registry.
@@ -52,6 +54,9 @@ impl fmt::Display for Error {
             Error::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
             Error::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
             Error::DuplicateRelation(r) => write!(f, "relation `{r}` already exists"),
+            Error::SchemeMismatch { relation, detail } => {
+                write!(f, "cannot replace relation `{relation}`: {detail}")
+            }
             Error::DuplicateAttribute {
                 relation,
                 attribute,
@@ -122,6 +127,13 @@ mod tests {
             (
                 Error::DuplicateRelation("Kids".into()),
                 "relation `Kids` already exists",
+            ),
+            (
+                Error::SchemeMismatch {
+                    relation: "Kids".into(),
+                    detail: "arity changed from 2 to 3".into(),
+                },
+                "cannot replace relation `Kids`: arity changed from 2 to 3",
             ),
             (Error::DivisionByZero, "division by zero"),
         ];

@@ -84,6 +84,21 @@ impl ValueIndex {
     pub fn distinct_values(&self) -> usize {
         self.map.len()
     }
+
+    /// All `(value, occurrences)` entries, in unspecified order. Used
+    /// by the paged storage backend to persist the index alongside the
+    /// heap files.
+    pub fn entries(&self) -> impl Iterator<Item = (&Value, &[Occurrence])> {
+        self.map.iter().map(|(v, occs)| (v, occs.as_slice()))
+    }
+
+    /// Rebuild an index from persisted entries. The per-value occurrence
+    /// order must be the build order (it determines chase site order).
+    pub fn from_entries(entries: impl IntoIterator<Item = (Value, Vec<Occurrence>)>) -> ValueIndex {
+        ValueIndex {
+            map: entries.into_iter().collect(),
+        }
+    }
 }
 
 /// Reference implementation: find occurrences by scanning the database.

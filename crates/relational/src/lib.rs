@@ -57,6 +57,7 @@ pub mod parser;
 pub mod relation;
 pub mod schema;
 pub mod simplify;
+pub mod storage;
 pub mod table;
 pub mod truth;
 pub mod typing;

@@ -23,7 +23,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (first-party, warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p clio -p clio-relational -p clio-core -p clio-datagen \
-    -p clio-obs -p clio-incr -p clio-net -p clio-cli -p clio-bench
+    -p clio-obs -p clio-incr -p clio-net -p clio-cli -p clio-bench \
+    -p clio-pager
 
 echo "==> cargo test -q"
 cargo test -q
@@ -407,5 +408,68 @@ if [ -z "$net_disk_hits" ] || [ "$net_disk_hits" -eq 0 ]; then
     exit 1
 fi
 echo "    net.accepted = $net_accepted, net.frame_errors = $net_frame_errors, cache.hits = $net_hits, cache.disk_hits = $net_disk_hits"
+
+# Tier 2h: paged-backend gate (PR 9, docs/storage.md). The paper
+# database is spilled to a paged on-disk directory by the shell's own
+# `db save`, then the demo replays over it with --db-dir and a buffer
+# pool (2 pages) far smaller than the heap files, so relations stream
+# through the pager instead of loading as a unit. The paged stdout must
+# be byte-identical to the plain serial run from tier 2c (the storage
+# backend is answer-invisible), and so must each chunk of a tier-2c
+# style 4-session concurrent batch over the same directory. A metrics
+# replay then pins that paging really happened — pager.misses > 0 and
+# pager.evictions > 0 (the 2-page pool actually bounded memory) — and
+# that the read path was clean (pager.load_errors == 0; a nonzero count
+# means a checksum or framing fault degraded a page to a logged error).
+echo "==> paged-backend gate (db save + demo.clio over --db-dir, pool 2)"
+tmp_db_dir="$(mktemp -d)"
+tmp_paged_out="$(mktemp)"
+tmp_paged_metrics="$(mktemp)"
+tmp_save_script="$(mktemp)"
+{ echo "db save $tmp_db_dir/pg"; echo quit; } > "$tmp_save_script"
+target/release/clio-shell --script "$tmp_save_script" >/dev/null
+target/release/clio-shell \
+    --script examples/scripts/demo.clio --threads 1 \
+    --db-dir "$tmp_db_dir/pg" --db-pool 2 > "$tmp_paged_out"
+if ! diff -u "$tmp_serial_out" "$tmp_paged_out"; then
+    echo "verify: FAILED — paged-backend run diverged from the plain serial run" >&2
+    rm -rf "$tmp_db_dir"; rm -f "$tmp_paged_out" "$tmp_paged_metrics" "$tmp_save_script"
+    exit 1
+fi
+target/release/clio-shell \
+    --sessions 4 --threads 1 --db-dir "$tmp_db_dir/pg" --db-pool 2 \
+    examples/scripts/demo.clio examples/scripts/demo.clio \
+    examples/scripts/demo.clio examples/scripts/demo.clio \
+    | awk -v dir="$tmp_chunk_dir" '
+        /^=== session [0-9]+: / { n++; next }
+        n { print > (dir "/paged" n-1) }'
+for i in 0 1 2 3; do
+    if ! diff -u "$tmp_serial_out" "$tmp_chunk_dir/paged$i"; then
+        echo "verify: FAILED — paged concurrent session $i diverged from the serial demo run" >&2
+        rm -rf "$tmp_db_dir"; rm -f "$tmp_paged_out" "$tmp_paged_metrics" "$tmp_save_script"
+        exit 1
+    fi
+done
+target/release/clio-shell \
+    --script examples/scripts/demo.clio --threads 1 \
+    --db-dir "$tmp_db_dir/pg" --db-pool 2 \
+    --metrics "$tmp_paged_metrics" >/dev/null
+pager_misses="$(counter "$tmp_paged_metrics" 'pager\.misses' | head -n 1)"
+pager_evictions="$(counter "$tmp_paged_metrics" 'pager\.evictions' | head -n 1)"
+pager_load_errors="$(counter "$tmp_paged_metrics" 'pager\.load_errors' | head -n 1)"
+rm -rf "$tmp_db_dir"; rm -f "$tmp_paged_out" "$tmp_paged_metrics" "$tmp_save_script"
+if [ "${pager_misses:-0}" -eq 0 ]; then
+    echo "verify: FAILED — paged run recorded no pager misses (nothing streamed from disk)" >&2
+    exit 1
+fi
+if [ "${pager_evictions:-0}" -eq 0 ]; then
+    echo "verify: FAILED — the 2-page buffer pool never evicted (pool did not bound memory)" >&2
+    exit 1
+fi
+if [ "${pager_load_errors:-1}" -ne 0 ]; then
+    echo "verify: FAILED — paged run degraded pages (pager.load_errors = ${pager_load_errors:-none})" >&2
+    exit 1
+fi
+echo "    paged demo + 4 concurrent paged sessions byte-identical; pager.misses = $pager_misses, pager.evictions = $pager_evictions, pager.load_errors = $pager_load_errors"
 
 echo "verify: OK"
