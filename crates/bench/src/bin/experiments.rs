@@ -1,5 +1,5 @@
 //! Run the parameter sweeps behind EXPERIMENTS.md and print one markdown
-//! table per experiment (B1–B16). Wall-clock medians over a few
+//! table per experiment (B1–B17). Wall-clock medians over a few
 //! repetitions — the Criterion benches give rigorous statistics; this
 //! binary gives the compact tables the docs quote.
 //!
@@ -1058,6 +1058,50 @@ fn b16_paged_backend() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn b17_planned_evaluation() {
+    println!("\n## B17 — planner vs definitional evaluation on cyclic workloads\n");
+    println!(
+        "| nodes | rows/rel | source filter | definitional | planned | speedup \
+         | pushed | pruned subgraphs | rows out |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
+    let funcs = FuncRegistry::with_builtins();
+    for (n, rows) in [(3usize, 100usize), (4, 60), (5, 30)] {
+        let w = cycle(n, rows);
+        for filter in ["(none)", "R0.id LIKE 'r0-1%'", "R0.p0 IS NOT NULL"] {
+            let mut m = w.mapping.clone();
+            if filter != "(none)" {
+                m.source_filters.push(parse_expr(filter).expect("filter"));
+            }
+            let baseline = m.evaluate(&w.db, &funcs).expect("definitional");
+            let planned = m.evaluate_planned(&w.db, &funcs).expect("planned");
+            assert_eq!(
+                baseline.rows(),
+                planned.rows(),
+                "plan must be byte-identical"
+            );
+            let out = planned.len();
+            let def_t = time(|| {
+                std::hint::black_box(m.evaluate(&w.db, &funcs).expect("definitional").len());
+            });
+            let plan_t = time(|| {
+                std::hint::black_box(m.evaluate_planned(&w.db, &funcs).expect("planned").len());
+            });
+            let work = counted(|| {
+                let _ = m.evaluate_planned(&w.db, &funcs);
+            });
+            println!(
+                "| {n} | {rows} | {filter} | {} | {} | {} | {} | {} | {out} |",
+                fmt(def_t),
+                fmt(plan_t),
+                ratio(def_t, plan_t),
+                work.get(clio_obs::Counter::PlanPushedFilters),
+                work.get(clio_obs::Counter::PlanPrunedSubgraphs),
+            );
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run = |key: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(key));
@@ -1110,5 +1154,8 @@ fn main() {
     }
     if run("b16") {
         b16_paged_backend();
+    }
+    if run("b17") {
+        b17_planned_evaluation();
     }
 }

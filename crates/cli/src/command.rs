@@ -2,10 +2,14 @@
 //!
 //! [`parse`] turns a raw input line into a [`Command`] (or a
 //! [`ParseError`] carrying the exact message the shell prints), and the
-//! [`COMMANDS`] table drives both the parser's vocabulary and the
+//! [`command_specs`] table drives both the parser's vocabulary and the
 //! `help` text ([`help_text`]) — a command cannot ship undocumented,
 //! because the help is generated from the same table the tests check
-//! the parser against. [`Shell`](crate::engine::Shell) dispatches
+//! the parser against. Multi-word command families (`cache …`, `db …`,
+//! `map …`) are each one typed [`SubcommandSpec`] table: the same
+//! entry carries the help line *and* the argument parser, and the
+//! generic `parse_family` dispatcher produces uniform `unknown
+//! … subcommand` errors. [`Shell`](crate::engine::Shell) dispatches
 //! exhaustively on the enum, so adding a variant without wiring it up
 //! is a compile error.
 
@@ -22,8 +26,189 @@ pub struct CommandSpec {
     pub description: &'static [&'static str],
 }
 
-/// Every shell command, in `help` order.
-pub const COMMANDS: &[CommandSpec] = &[
+/// One typed subcommand of a command family (`cache …`, `db …`,
+/// `map …`): the entry that appears in `help` plus the parser for the
+/// subcommand's argument tail. Keeping both in one row means a family
+/// subcommand cannot be parsed without being documented, or vice versa.
+pub struct SubcommandSpec<A: 'static> {
+    /// Usage column, e.g. `"cache limit <bytes>"`: the first word is
+    /// the family keyword, the second (when not an argument
+    /// placeholder) the subcommand name.
+    pub usage: &'static str,
+    /// Description lines for `help`.
+    pub description: &'static [&'static str],
+    /// Parse the (trimmed) argument tail into the family's action.
+    pub parse: fn(&str) -> Result<A, ParseError>,
+}
+
+impl<A> SubcommandSpec<A> {
+    /// The subcommand name: the second word of the usage line, or `""`
+    /// for the family's bare form (`cache`, `db`).
+    fn name(&self) -> &'static str {
+        let mut words = self.usage.split(' ');
+        let _family = words.next();
+        match words.next() {
+            Some(w) if !w.starts_with('<') && !w.starts_with('[') => w,
+            _ => "",
+        }
+    }
+
+    /// This row's `help` entry.
+    fn spec(&self) -> CommandSpec {
+        CommandSpec {
+            usage: self.usage,
+            description: self.description,
+        }
+    }
+}
+
+/// Dispatch `rest` (everything after the family keyword) against a
+/// subcommand table: split off the subcommand word, find its row, and
+/// run the row's argument parser. Unknown subcommands get the uniform
+/// ``unknown {family} subcommand `{sub}` (try `help`)`` error; a bare
+/// family word with no bare-form row gets a usage line listing the
+/// subcommand names.
+fn parse_family<A>(
+    family: &'static str,
+    table: &'static [SubcommandSpec<A>],
+    rest: &str,
+) -> Result<A, ParseError> {
+    let (sub, arg) = rest.split_once(' ').unwrap_or((rest, ""));
+    let arg = arg.trim();
+    if let Some(spec) = table.iter().find(|s| s.name() == sub) {
+        return (spec.parse)(arg);
+    }
+    if sub.is_empty() {
+        let names: Vec<&str> = table
+            .iter()
+            .map(SubcommandSpec::name)
+            .filter(|n| !n.is_empty())
+            .collect();
+        return err(format!("usage: {family} <{}>", names.join("|")));
+    }
+    err(format!("unknown {family} subcommand `{sub}` (try `help`)"))
+}
+
+/// The `cache` family: one row per subcommand, driving parser and help.
+pub static CACHE_SUBCOMMANDS: &[SubcommandSpec<CacheAction>] = &[
+    SubcommandSpec {
+        usage: "cache",
+        description: &["incremental-cache statistics (see", "docs/incremental.md)"],
+        parse: |_| Ok(CacheAction::Stats),
+    },
+    SubcommandSpec {
+        usage: "cache save [<dir>]",
+        description: &[
+            "spill cached tables to the attached",
+            "store (--cache-dir) or to <dir>",
+        ],
+        parse: |arg| Ok(CacheAction::Save(opt_arg(arg))),
+    },
+    SubcommandSpec {
+        usage: "cache load [<dir>]",
+        description: &[
+            "pre-warm the cache from the attached",
+            "store (--cache-dir) or from <dir>",
+        ],
+        parse: |arg| Ok(CacheAction::Load(opt_arg(arg))),
+    },
+    SubcommandSpec {
+        usage: "cache clear",
+        description: &["drop every resident cache entry"],
+        parse: |_| Ok(CacheAction::Clear),
+    },
+    SubcommandSpec {
+        usage: "cache limit <bytes>",
+        description: &["set the cache's eviction byte budget"],
+        parse: |arg| {
+            if arg.is_empty() {
+                return err("usage: cache limit <bytes>");
+            }
+            let bytes = arg
+                .parse()
+                .map_err(|_| ParseError(format!("expected a byte budget, got `{arg}`")))?;
+            Ok(CacheAction::Limit(bytes))
+        },
+    },
+    SubcommandSpec {
+        usage: "cache policy [lru|cost]",
+        description: &["show or switch the eviction policy"],
+        parse: |arg| {
+            if arg.is_empty() {
+                return Ok(CacheAction::Policy(None));
+            }
+            let policy = clio_incr::EvictionPolicy::parse(arg)
+                .ok_or_else(|| ParseError(format!("expected a policy (lru|cost), got `{arg}`")))?;
+            Ok(CacheAction::Policy(Some(policy)))
+        },
+    },
+];
+
+/// The `db` family.
+pub static DB_SUBCOMMANDS: &[SubcommandSpec<DbAction>] = &[
+    SubcommandSpec {
+        usage: "db",
+        description: &["storage-backend statistics (see", "docs/storage.md)"],
+        parse: |_| Ok(DbAction::Stats),
+    },
+    SubcommandSpec {
+        usage: "db save <dir>",
+        description: &["write the source database as a paged", "on-disk directory"],
+        parse: |arg| {
+            if arg.is_empty() {
+                return err("usage: db save <dir>");
+            }
+            Ok(DbAction::Save(arg.to_owned()))
+        },
+    },
+    SubcommandSpec {
+        usage: "db load <dir>",
+        description: &[
+            "restart the session over a paged",
+            "database (also: clio --db-dir)",
+        ],
+        parse: |arg| {
+            if arg.is_empty() {
+                return err("usage: db load <dir>");
+            }
+            Ok(DbAction::Load(arg.to_owned()))
+        },
+    },
+];
+
+/// The `map` family: the MAP statement language (docs/planner.md).
+pub static MAP_SUBCOMMANDS: &[SubcommandSpec<MapAction>] = &[
+    SubcommandSpec {
+        usage: "map load <file>",
+        description: &[
+            "load a MAP-language statement as a new",
+            "workspace (see docs/planner.md)",
+        ],
+        parse: |arg| {
+            if arg.is_empty() {
+                return err("usage: map load <file>");
+            }
+            Ok(MapAction::Load(arg.to_owned()))
+        },
+    },
+    SubcommandSpec {
+        usage: "map show",
+        description: &["print the active mapping as a MAP", "statement"],
+        parse: |_| Ok(MapAction::Show),
+    },
+];
+
+fn opt_arg(arg: &str) -> Option<String> {
+    if arg.is_empty() {
+        None
+    } else {
+        Some(arg.to_owned())
+    }
+}
+
+/// Standalone commands listed before the subcommand families, in
+/// `help` order.
+const COMMANDS_HEAD: &[CommandSpec] = &[
     CommandSpec {
         usage: "source",
         description: &["show the source schema and constraints"],
@@ -116,51 +301,11 @@ pub const COMMANDS: &[CommandSpec] = &[
             "--trace-filter)",
         ],
     },
-    CommandSpec {
-        usage: "cache",
-        description: &["incremental-cache statistics (see", "docs/incremental.md)"],
-    },
-    CommandSpec {
-        usage: "cache save [<dir>]",
-        description: &[
-            "spill cached tables to the attached",
-            "store (--cache-dir) or to <dir>",
-        ],
-    },
-    CommandSpec {
-        usage: "cache load [<dir>]",
-        description: &[
-            "pre-warm the cache from the attached",
-            "store (--cache-dir) or from <dir>",
-        ],
-    },
-    CommandSpec {
-        usage: "cache clear",
-        description: &["drop every resident cache entry"],
-    },
-    CommandSpec {
-        usage: "cache limit <bytes>",
-        description: &["set the cache's eviction byte budget"],
-    },
-    CommandSpec {
-        usage: "cache policy [lru|cost]",
-        description: &["show or switch the eviction policy"],
-    },
-    CommandSpec {
-        usage: "db",
-        description: &["storage-backend statistics (see", "docs/storage.md)"],
-    },
-    CommandSpec {
-        usage: "db save <dir>",
-        description: &["write the source database as a paged", "on-disk directory"],
-    },
-    CommandSpec {
-        usage: "db load <dir>",
-        description: &[
-            "restart the session over a paged",
-            "database (also: clio --db-dir)",
-        ],
-    },
+];
+
+/// Standalone commands listed after the subcommand families, in
+/// `help` order.
+const COMMANDS_TAIL: &[CommandSpec] = &[
     CommandSpec {
         usage: "profile",
         description: &["per-attribute statistics of the source"],
@@ -190,18 +335,40 @@ pub const COMMANDS: &[CommandSpec] = &[
         description: &["persist the active mapping as a script"],
     },
     CommandSpec {
+        usage: "explain",
+        description: &[
+            "evaluation plan of the active mapping",
+            "(see docs/planner.md)",
+        ],
+    },
+    CommandSpec {
         usage: "quit",
         description: &[],
     },
 ];
 
-/// The `help` text, generated from [`COMMANDS`]: usage column at
+/// Every shell command's `help` entry, in `help` order: the standalone
+/// commands plus one entry per row of the `cache`/`db`/`map`
+/// subcommand tables — the same rows the parser dispatches on, so help
+/// and parser cannot drift apart.
+#[must_use]
+pub fn command_specs() -> Vec<CommandSpec> {
+    let mut out = Vec::new();
+    out.extend_from_slice(COMMANDS_HEAD);
+    out.extend(CACHE_SUBCOMMANDS.iter().map(SubcommandSpec::spec));
+    out.extend(DB_SUBCOMMANDS.iter().map(SubcommandSpec::spec));
+    out.extend(MAP_SUBCOMMANDS.iter().map(SubcommandSpec::spec));
+    out.extend_from_slice(COMMANDS_TAIL);
+    out
+}
+
+/// The `help` text, generated from [`command_specs`]: usage column at
 /// character 2, description column at character 30, continuation lines
 /// indented to the description column.
 #[must_use]
 pub fn help_text() -> String {
     let mut out = String::from("commands:\n");
-    for spec in COMMANDS {
+    for spec in command_specs() {
         out.push_str("  ");
         out.push_str(spec.usage);
         for (i, line) in spec.description.iter().enumerate() {
@@ -269,6 +436,16 @@ pub enum DbAction {
     /// `db load <dir>` — restart the session over the paged database
     /// at `<dir>`.
     Load(String),
+}
+
+/// The `map` subcommands (the MAP statement language).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapAction {
+    /// `map load <file>` — parse a MAP-language statement file and
+    /// adopt it as a new workspace.
+    Load(String),
+    /// `map show` — print the active mapping as a MAP statement.
+    Show,
 }
 
 /// One parsed shell command. Field-free variants read the session;
@@ -380,6 +557,10 @@ pub enum Command {
     Cache(CacheAction),
     /// `db [save|load ...]`.
     Db(DbAction),
+    /// `map load|show ...`.
+    Map(MapAction),
+    /// `explain`.
+    Explain,
     /// `profile`.
     Profile,
     /// `profile spans [<n>]`.
@@ -446,6 +627,8 @@ impl Command {
             Command::Trace { .. } => "trace",
             Command::Cache(_) => "cache",
             Command::Db(_) => "db",
+            Command::Map(_) => "map",
+            Command::Explain => "explain",
             Command::Profile => "profile",
             Command::ProfileSpans { .. } => "profile",
             Command::Mine { .. } => "mine",
@@ -588,62 +771,14 @@ pub fn parse(line: &str) -> Result<Command, ParseError> {
         "trace" => Ok(Command::Trace {
             filter: rest.to_owned(),
         }),
-        "cache" => {
-            let (sub, arg) = rest.split_once(' ').unwrap_or((rest, ""));
-            let arg = arg.trim();
-            let dir = || {
-                if arg.is_empty() {
-                    None
-                } else {
-                    Some(arg.to_owned())
-                }
-            };
-            match sub {
-                "" => Ok(Command::Cache(CacheAction::Stats)),
-                "save" => Ok(Command::Cache(CacheAction::Save(dir()))),
-                "load" => Ok(Command::Cache(CacheAction::Load(dir()))),
-                "clear" => Ok(Command::Cache(CacheAction::Clear)),
-                "limit" => {
-                    if arg.is_empty() {
-                        return err("usage: cache limit <bytes>");
-                    }
-                    let bytes = arg
-                        .parse()
-                        .map_err(|_| ParseError(format!("expected a byte budget, got `{arg}`")))?;
-                    Ok(Command::Cache(CacheAction::Limit(bytes)))
-                }
-                "policy" => {
-                    if arg.is_empty() {
-                        return Ok(Command::Cache(CacheAction::Policy(None)));
-                    }
-                    let policy = clio_incr::EvictionPolicy::parse(arg).ok_or_else(|| {
-                        ParseError(format!("expected a policy (lru|cost), got `{arg}`"))
-                    })?;
-                    Ok(Command::Cache(CacheAction::Policy(Some(policy))))
-                }
-                other => err(format!("unknown cache subcommand `{other}` (try `help`)")),
-            }
-        }
-        "db" => {
-            let (sub, arg) = rest.split_once(' ').unwrap_or((rest, ""));
-            let arg = arg.trim();
-            match sub {
-                "" => Ok(Command::Db(DbAction::Stats)),
-                "save" => {
-                    if arg.is_empty() {
-                        return err("usage: db save <dir>");
-                    }
-                    Ok(Command::Db(DbAction::Save(arg.to_owned())))
-                }
-                "load" => {
-                    if arg.is_empty() {
-                        return err("usage: db load <dir>");
-                    }
-                    Ok(Command::Db(DbAction::Load(arg.to_owned())))
-                }
-                other => err(format!("unknown db subcommand `{other}` (try `help`)")),
-            }
-        }
+        "cache" => Ok(Command::Cache(parse_family(
+            "cache",
+            CACHE_SUBCOMMANDS,
+            rest,
+        )?)),
+        "db" => Ok(Command::Db(parse_family("db", DB_SUBCOMMANDS, rest)?)),
+        "map" => Ok(Command::Map(parse_family("map", MAP_SUBCOMMANDS, rest)?)),
+        "explain" => Ok(Command::Explain),
         "profile" => {
             let (sub, arg) = rest.split_once(' ').unwrap_or((rest, ""));
             let arg = arg.trim();
@@ -896,8 +1031,46 @@ mod tests {
     /// parser accepts appears in the table — help and parser cannot
     /// drift apart.
     #[test]
+    fn map_subcommands() {
+        assert_eq!(
+            parse("map load demo.map").unwrap(),
+            Command::Map(MapAction::Load("demo.map".into()))
+        );
+        assert_eq!(parse("map show").unwrap(), Command::Map(MapAction::Show));
+        assert_eq!(parse("map load").unwrap_err().0, "usage: map load <file>");
+        assert_eq!(parse("map").unwrap_err().0, "usage: map <load|show>");
+        assert!(parse("map frobnicate")
+            .unwrap_err()
+            .0
+            .contains("unknown map subcommand"));
+        assert_eq!(parse("explain").unwrap(), Command::Explain);
+        assert_eq!(parse("explain").unwrap().kind(), "explain");
+        assert_eq!(parse("map show").unwrap().kind(), "map");
+    }
+
+    /// The family dispatcher's errors are byte-identical to the
+    /// pre-table inline parsers' (scripts match on them).
+    #[test]
+    fn family_errors_are_stable() {
+        assert_eq!(
+            parse("cache frobnicate").unwrap_err().0,
+            "unknown cache subcommand `frobnicate` (try `help`)"
+        );
+        assert_eq!(
+            parse("db frobnicate").unwrap_err().0,
+            "unknown db subcommand `frobnicate` (try `help`)"
+        );
+        assert_eq!(parse("db save").unwrap_err().0, "usage: db save <dir>");
+        assert_eq!(parse("db load").unwrap_err().0, "usage: db load <dir>");
+        assert_eq!(
+            parse("cache limit").unwrap_err().0,
+            "usage: cache limit <bytes>"
+        );
+    }
+
+    #[test]
     fn table_and_parser_agree() {
-        for spec in COMMANDS {
+        for spec in command_specs() {
             let keyword = spec.usage.split([' ', '|']).next().unwrap();
             if let Err(e) = parse(keyword) {
                 assert!(
@@ -941,10 +1114,12 @@ mod tests {
             "contributions",
             "save",
             "load",
+            "map",
+            "explain",
             "quit",
         ] {
             assert!(
-                COMMANDS
+                command_specs()
                     .iter()
                     .any(|s| s.usage.split([' ', '|']).next() == Some(keyword)
                         || s.usage.split([' ', '|']).any(|w| w == keyword)),
@@ -962,6 +1137,13 @@ mod tests {
         assert!(help.contains("  cache limit <bytes>         set the cache's eviction byte budget"));
         assert!(help.contains("  cache policy [lru|cost]     show or switch the eviction policy"));
         assert!(help.contains("  db save <dir>               write the source database as a paged"));
+        assert!(
+            help.contains("  map load <file>             load a MAP-language statement as a new")
+        );
+        assert!(help.contains("  map show                    print the active mapping as a MAP"));
+        assert!(
+            help.contains("  explain                     evaluation plan of the active mapping")
+        );
         assert!(help.contains("  quit\n"));
         // continuation lines land on the same column
         assert!(help.contains("\n                              by name, e.g. `stats chase`"));

@@ -77,6 +77,12 @@ pub struct CliConfig {
     pub db_pool: Option<usize>,
     /// `--target <schema>`: target schema text.
     pub target_spec: Option<String>,
+    /// `--mapping <file>`: MAP-language statement file loaded as the
+    /// initial workspace (see `docs/planner.md`).
+    pub mapping_file: Option<String>,
+    /// `--plan`: route mapping evaluation through the planner (filter
+    /// pushdown + warmth-ordered subgraphs; see `docs/planner.md`).
+    pub plan: bool,
     /// `--synthetic <spec>`: validated generator spec.
     pub synthetic: Option<SyntheticSpec>,
     /// `--metrics <file>`: counter JSON report path (`-` = stdout).
@@ -225,7 +231,12 @@ impl CliConfig {
                         }
                     }
                 }
+                "--mapping" => {
+                    i += 1;
+                    cfg.mapping_file = Some(require_value(args, i, "--mapping")?);
+                }
                 "--trace" => cfg.trace = true,
+                "--plan" => cfg.plan = true,
                 "--no-cache" => cfg.no_cache = true,
                 "--trace-filter" => {
                     i += 1;
@@ -489,6 +500,10 @@ mod tests {
             err(&["--slow-ms", "0"]),
             "--slow-ms expects a positive integer (milliseconds), got `0`"
         );
+        assert_eq!(
+            err(&["--mapping"]),
+            "--mapping requires a value (see --help)"
+        );
         assert_eq!(err(&["--wat"]), "unknown flag `--wat` (see --help)");
         assert_eq!(
             err(&["--synthetic", "chain,4"]),
@@ -586,6 +601,16 @@ mod tests {
             err.to_string(),
             "CLIO_IDLE_MS expects a positive integer (milliseconds), got `x`"
         );
+    }
+
+    #[test]
+    fn mapping_and_plan_flags() {
+        let cfg = CliConfig::parse(&argv(&["--mapping", "demo.map", "--plan"])).unwrap();
+        assert_eq!(cfg.mapping_file.as_deref(), Some("demo.map"));
+        assert!(cfg.plan);
+        let cfg = CliConfig::parse(&argv(&[])).unwrap();
+        assert_eq!(cfg.mapping_file, None);
+        assert!(!cfg.plan, "planner routing is opt-in");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use clio_core::sql::{generate_sql, SqlOptions};
 use clio_relational::error::{Error, Result};
 use clio_relational::value::Value;
 
-use crate::command::{self, CacheAction, Command, DbAction, FilterKind, StatsAction};
+use crate::command::{self, CacheAction, Command, DbAction, FilterKind, MapAction, StatsAction};
 
 /// The shell state: a session plus presentation settings.
 pub struct Shell {
@@ -347,6 +347,17 @@ impl Shell {
             }
             Command::Cache(action) => self.cache_command(action),
             Command::Db(action) => self.db_command(action),
+            Command::Map(MapAction::Load(path)) => {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| Error::Invalid(format!("cannot read `{path}`: {e}")))?;
+                let m = clio_lang::parse_map(&text)?;
+                let id = self
+                    .session
+                    .adopt_mapping(m, &format!("loaded from {path}"))?;
+                Ok(format!("loaded as workspace {id}\n"))
+            }
+            Command::Map(MapAction::Show) => Ok(clio_lang::print_mapping(&self.active()?.mapping)),
+            Command::Explain => self.session.explain_active(),
             Command::Trace { filter } => {
                 // live span tree, optionally filtered by name — the
                 // in-session counterpart of --trace-filter
@@ -666,6 +677,48 @@ mod tests {
         let out = run(&mut sh, &format!("load {path_str}"));
         assert!(out.contains("loaded as workspace"), "{out}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn map_load_show_and_explain() {
+        let mut sh = shell();
+        let path = std::env::temp_dir().join(format!("clio-cli-map-{}.map", std::process::id()));
+        let text = "MAP Kids (ID str not null, name str, affiliation str, address str, \
+                    contactPh str, BusSchedule str, FamilyIncome int)\n\
+                    FROM Children\n\
+                    SELECT Children.ID AS ID, Children.name AS name\n";
+        std::fs::write(&path, text).unwrap();
+        let path_str = path.to_str().unwrap().to_owned();
+        let out = run(&mut sh, &format!("map load {path_str}"));
+        assert!(out.contains("loaded as workspace"), "{out}");
+        std::fs::remove_file(&path).ok();
+        // `map show` prints the active mapping back in canonical MAP form.
+        let shown = run(&mut sh, "map show");
+        assert!(shown.starts_with("MAP Kids"), "{shown}");
+        assert!(shown.contains("SELECT Children.ID AS ID"), "{shown}");
+        // The shown text re-loads to the same mapping.
+        let reparsed = clio_lang::parse_map(&shown).unwrap();
+        assert_eq!(reparsed, sh.session.workspaces()[0].mapping);
+        // `explain` renders a plan tree for the active mapping.
+        let plan = run(&mut sh, "explain");
+        assert!(plan.contains("plan for Kids"), "{plan}");
+        assert!(plan.contains("Scan Children"), "{plan}");
+    }
+
+    #[test]
+    fn map_load_reports_parse_position() {
+        let mut sh = shell();
+        let path = std::env::temp_dir().join(format!("clio-cli-mapbad-{}.map", std::process::id()));
+        std::fs::write(
+            &path,
+            "MAP Kids (ID str)\nFROM Children\nSELECT ??? AS ID\n",
+        )
+        .unwrap();
+        let out = run(&mut sh, &format!("map load {}", path.display()));
+        std::fs::remove_file(&path).ok();
+        assert!(out.starts_with("error: parse error at line 3"), "{out}");
+        let missing = run(&mut sh, "map load /nonexistent/clio.map");
+        assert!(missing.starts_with("error: cannot read"), "{missing}");
     }
 
     #[test]

@@ -50,6 +50,7 @@ fn synthetic_source(spec: SyntheticSpec) -> (Database, RelSchema) {
 /// source: scripts are read upfront (first unreadable file by input
 /// order exits 2), sessions run on the pool, and outputs are buffered
 /// per session and merged deterministically.
+#[allow(clippy::too_many_arguments)]
 fn run_batch(
     db: Database,
     target: RelSchema,
@@ -57,6 +58,7 @@ fn run_batch(
     width: usize,
     no_cache: bool,
     cache_policy: Option<clio_incr::EvictionPolicy>,
+    plan: bool,
     store: Option<Arc<dyn CacheStore>>,
 ) {
     let mut bodies: Vec<String> = Vec::new();
@@ -77,6 +79,7 @@ fn run_batch(
     if let Some(policy) = cache_policy {
         pool.set_cache_policy(policy);
     }
+    pool.set_plan_enabled(plan);
     let outputs = pool.run(bodies.len(), |i, session| {
         let mut shell = Shell::new(session);
         let mut out = String::new();
@@ -127,6 +130,13 @@ flags:
   --target <schema>      target schema, e.g. \"Kids (ID str not null, name str)\"
   --synthetic <spec>     generate a source: <topology>,<relations>,<rows>
                          (topology: chain | star | cycle | tree)
+  --mapping <file>       load a MAP-language statement (see docs/planner.md)
+                         as the initial workspace before reading commands
+                         (single-session local mode only)
+  --plan                 route mapping evaluation through the planner —
+                         filter pushdown plus warmth-ordered subgraphs;
+                         output is byte-identical to the definitional
+                         path (see docs/planner.md and `explain`)
   --db-dir <dir>         open a paged source database written by `db save`
                          (relations stream through a buffer pool instead of
                          loading upfront; see docs/storage.md); the target
@@ -206,6 +216,14 @@ fn main() {
         } else {
             "connect"
         };
+        if cfg.mapping_file.is_some() {
+            eprintln!("--mapping requires local mode (use `map load` over the wire; see --help)");
+            std::process::exit(2);
+        }
+        if matches!(cfg.mode, Mode::Connect(_)) && cfg.plan {
+            eprintln!("--plan applies to the evaluating side; pass it to `serve` (see --help)");
+            std::process::exit(2);
+        }
         if !cfg.batch_scripts.is_empty() {
             eprintln!("{mode_word} mode takes no positional script arguments (see --help)");
             std::process::exit(2);
@@ -348,6 +366,10 @@ fn main() {
             eprintln!("--script conflicts with positional script arguments (see --help)");
             std::process::exit(2);
         }
+        if cfg.mapping_file.is_some() {
+            eprintln!("--mapping conflicts with positional script arguments (see --help)");
+            std::process::exit(2);
+        }
         let width = cfg.sessions_width.unwrap_or(1);
         run_batch(
             db,
@@ -356,6 +378,7 @@ fn main() {
             width,
             cfg.no_cache,
             cfg.cache_policy,
+            cfg.plan,
             store,
         );
         finish_reports(&cfg);
@@ -375,6 +398,27 @@ fn main() {
     }
     if let Some(store) = store {
         session.attach_store(store);
+    }
+    session.set_plan_enabled(cfg.plan);
+    if let Some(path) = &cfg.mapping_file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read `{path}`: {e}");
+                std::process::exit(2);
+            }
+        };
+        let mapping = match clio_lang::parse_map(&text) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("bad --mapping: {e}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = session.adopt_mapping(mapping, &format!("loaded from {path}")) {
+            eprintln!("bad --mapping: {e}");
+            std::process::exit(2);
+        }
     }
     let mut shell = Shell::new(session);
 

@@ -70,6 +70,8 @@ pub fn request_hist_name(line: &str) -> &'static str {
         "contributions" => "net.request.contributions",
         "save" => "net.request.save",
         "load" => "net.request.load",
+        "map" => "net.request.map",
+        "explain" => "net.request.explain",
         _ => "net.request.other",
     }
 }
@@ -127,6 +129,7 @@ pub fn run_server(
     if let Some(policy) = cfg.cache_policy {
         pool.set_cache_policy(policy);
     }
+    pool.set_plan_enabled(cfg.plan);
     let config = ServerConfig {
         max_conns: cfg.max_conns.unwrap_or_else(clio_relational::exec::threads),
         idle_timeout: Duration::from_millis(cfg.idle_ms.unwrap_or(DEFAULT_IDLE_MS)),
@@ -199,6 +202,8 @@ mod tests {
         );
         assert_eq!(request_hist_name("stats chase"), "net.request.stats");
         assert_eq!(request_hist_name("db save /tmp/x"), "net.request.db");
+        assert_eq!(request_hist_name("map show"), "net.request.map");
+        assert_eq!(request_hist_name("explain"), "net.request.explain");
         assert_eq!(request_hist_name("profile spans 3"), "net.request.profile");
         assert_eq!(request_hist_name(""), "net.request.noop");
         assert_eq!(request_hist_name("# comment"), "net.request.noop");

@@ -97,7 +97,20 @@ pub fn graph_fingerprint(graph: &QueryGraph, cache: &EvalCache, tag: &str) -> Fi
 /// correspondences, source filters, target filters, and target schema.
 #[must_use]
 pub fn mapping_fingerprint(mapping: &Mapping, cache: &EvalCache) -> Fingerprint {
-    let mut fp = FingerprintBuilder::new("Q(M)");
+    mapping_fingerprint_tagged(mapping, cache, "Q(M)")
+}
+
+/// [`mapping_fingerprint`] under a caller-chosen domain tag. The planned
+/// evaluator stores its results under `"Q(M).plan"` so the two pipelines
+/// never serve each other's entries even though they are byte-identical
+/// by construction — a deliberate safety margin, not a semantic need.
+#[must_use]
+pub(crate) fn mapping_fingerprint_tagged(
+    mapping: &Mapping,
+    cache: &EvalCache,
+    tag: &str,
+) -> Fingerprint {
+    let mut fp = FingerprintBuilder::new(tag);
     hash_graph(&mut fp, &mapping.graph, cache);
     for v in &mapping.correspondences {
         fp.text(&v.expr.to_string()).text(&v.target_attr);
@@ -122,7 +135,7 @@ pub fn relation_deps(graph: &QueryGraph) -> Vec<String> {
     deps
 }
 
-fn mask_deps(graph: &QueryGraph, mask: u64) -> Vec<String> {
+pub(crate) fn mask_deps(graph: &QueryGraph, mask: u64) -> Vec<String> {
     let mut deps: Vec<String> = graph
         .nodes()
         .iter()
@@ -138,7 +151,7 @@ fn mask_deps(graph: &QueryGraph, mask: u64) -> Vec<String> {
 /// Row-count fallback when no sibling cost history exists: the product
 /// of the member relations' sizes (saturating), a proxy for the join
 /// work `full_associations` will do on the subgraph.
-fn heuristic_cost(db: &Database, graph: &QueryGraph, mask: u64) -> u64 {
+pub(crate) fn heuristic_cost(db: &Database, graph: &QueryGraph, mask: u64) -> u64 {
     let mut est: u64 = 1;
     for (i, n) in graph.nodes().iter().enumerate() {
         if mask & (1 << i) != 0 {

@@ -13,6 +13,7 @@ pub mod knowledge;
 pub mod mapping;
 pub mod mining;
 pub mod operators;
+pub mod plan;
 pub mod profile;
 pub mod query_graph;
 pub mod ranking;
@@ -54,6 +55,7 @@ pub mod prelude {
         add_correspondence, data_chase, data_walk, require_target_attribute, trim_effect,
         AddOutcome, ChaseAlternative, TrimEffect, WalkAlternative,
     };
+    pub use crate::plan::{is_extension_stable, BranchInfo, FilterScope, Plan, PlanAlgo, RelExpr};
     pub use crate::profile::{profile_database, render_profile, AttributeProfile};
     pub use crate::query_graph::{Edge, Node, NodeId, QueryGraph};
     pub use crate::ranking::{join_support, rank_walk_alternatives, RankScore};

@@ -302,6 +302,29 @@ impl Mapping {
         Ok(out)
     }
 
+    /// Evaluate the mapping query through the planner: build a
+    /// [`Plan`](crate::plan::Plan), apply its rewrites (filter pushdown
+    /// past the minimum union, warmth-guided subgraph ordering), and
+    /// run it. Byte-identical to [`Mapping::evaluate`] by construction;
+    /// a property test in `tests/properties.rs` pins this.
+    pub fn evaluate_planned(&self, db: &Database, funcs: &FuncRegistry) -> Result<Table> {
+        self.evaluate_planned_cached(db, funcs, None)
+    }
+
+    /// Like [`Mapping::evaluate_planned`], with the per-subgraph `F(J)`
+    /// layers and the final result served from an incremental cache.
+    /// The result entry lives under a `"Q(M).plan"` fingerprint,
+    /// distinct from the definitional `"Q(M)"` entry.
+    pub fn evaluate_planned_cached(
+        &self,
+        db: &Database,
+        funcs: &FuncRegistry,
+        cache: Option<&clio_incr::EvalCache>,
+    ) -> Result<Table> {
+        let plan = crate::plan::Plan::new(self, db, funcs, cache)?;
+        plan.evaluate(db, funcs, cache)
+    }
+
     /// Generate all examples of the mapping (paper Def 4.1): one per data
     /// association `d`, with target tuple `Q_{φ(M)}(d)` and positive flag
     /// `d ⊨ C_S ∧ t ⊨ C_T`.

@@ -1,0 +1,365 @@
+//! The planner's relational-algebra IR.
+//!
+//! A [`RelExpr`] tree describes a mapping query `Q(M)` as algebra over
+//! the source relations: scans joined into per-subgraph `F(J)` chains
+//! (or a left-deep outer-join chain on trees), a minimum union, filters,
+//! and a final projection onto the target schema. The tree is *typed*:
+//! [`RelExpr::scheme`] infers each node's output scheme from the
+//! database, [`RelExpr::bound_vars`] / [`RelExpr::free_vars`] track
+//! which relation aliases a subtree binds versus references, and
+//! [`RelExpr::check`] rejects trees that reference an alias below the
+//! point where it is bound — the invariant the filter-pushdown rewrite
+//! must preserve.
+
+use std::collections::BTreeSet;
+
+use clio_relational::database::Database;
+use clio_relational::error::{Error, Result};
+use clio_relational::expr::Expr;
+use clio_relational::schema::{RelSchema, Scheme};
+
+use crate::correspondence::ValueCorrespondence;
+
+/// Which predicate class a [`RelExpr::Filter`] node carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterScope {
+    /// A source filter `C_S`, evaluated over data associations.
+    Source,
+    /// A target filter `C_T`, evaluated over produced target tuples.
+    Target,
+}
+
+/// A node of the planner's algebra.
+///
+/// The variants mirror exactly the operations the engine's evaluation
+/// pipeline performs, so a plan is an honest description of the work:
+/// execution follows the tree's structure (which subgraphs, which
+/// filters where, which join order) even where it delegates the inner
+/// loops to the tuned kernels in
+/// [`full_disjunction`](crate::full_disjunction).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelExpr {
+    /// A base-relation scan, qualified by its node alias.
+    Scan {
+        /// Alias binding the scan (the query-graph node alias).
+        alias: String,
+        /// The stored relation scanned.
+        relation: String,
+    },
+    /// A join of two subtrees under a predicate.
+    Join {
+        /// Left input.
+        left: Box<RelExpr>,
+        /// Right input.
+        right: Box<RelExpr>,
+        /// Join predicate (conjunction of the query-graph edges closed
+        /// by this step).
+        predicate: Expr,
+        /// `true` for the tree plan's full outer joins, `false` for the
+        /// inner joins inside an `F(J)`.
+        outer: bool,
+    },
+    /// A predicate filter over its input's rows.
+    Filter {
+        /// Input.
+        input: Box<RelExpr>,
+        /// The predicate.
+        predicate: Expr,
+        /// Source- or target-side predicate.
+        scope: FilterScope,
+        /// `true` when this node is a pushed-down copy inside a union
+        /// branch (the authoritative top-level filter remains in place;
+        /// pushed copies are semantically redundant but shrink the
+        /// intermediate results).
+        pushed: bool,
+    },
+    /// Minimum (subsuming) union: inputs are padded to `pad` and unioned,
+    /// then subsumed and duplicate rows are removed, keeping first
+    /// occurrences — `F(J₁) ⊕ … ⊕ F(Jₖ)` of the naive full disjunction.
+    Union {
+        /// One branch per induced connected subgraph, canonical order.
+        inputs: Vec<RelExpr>,
+        /// The full graph scheme every branch is padded to.
+        pad: Scheme,
+    },
+    /// Projection onto the target schema through value correspondences;
+    /// unmapped target attributes become null. Output rows are distinct.
+    Project {
+        /// Input.
+        input: Box<RelExpr>,
+        /// The value correspondences `V`.
+        correspondences: Vec<ValueCorrespondence>,
+        /// The target relation schema.
+        target: RelSchema,
+    },
+}
+
+impl RelExpr {
+    /// The aliases whose columns this node's *output* provides — the
+    /// variables a parent's predicate may reference.
+    ///
+    /// A [`RelExpr::Union`] binds every qualifier of its pad scheme
+    /// (branches missing an alias contribute nulls after padding), and a
+    /// [`RelExpr::Project`] rebinds everything to the target relation's
+    /// name.
+    #[must_use]
+    pub fn bound_vars(&self) -> BTreeSet<String> {
+        match self {
+            RelExpr::Scan { alias, .. } => std::iter::once(alias.clone()).collect(),
+            RelExpr::Join { left, right, .. } => {
+                let mut s = left.bound_vars();
+                s.extend(right.bound_vars());
+                s
+            }
+            RelExpr::Filter { input, .. } => input.bound_vars(),
+            RelExpr::Union { pad, .. } => pad.qualifiers().into_iter().map(str::to_owned).collect(),
+            RelExpr::Project { target, .. } => std::iter::once(target.name().to_owned()).collect(),
+        }
+    }
+
+    /// The aliases referenced by predicates or correspondences in this
+    /// subtree that the referencing node's inputs do **not** bind. A
+    /// well-formed plan has no free variables; the pushdown rewrite may
+    /// only move a filter to a place where its references stay bound.
+    #[must_use]
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        let mut free = BTreeSet::new();
+        self.collect_free(&mut free);
+        free
+    }
+
+    fn collect_free(&self, free: &mut BTreeSet<String>) {
+        match self {
+            RelExpr::Scan { .. } => {}
+            RelExpr::Join {
+                left,
+                right,
+                predicate,
+                ..
+            } => {
+                left.collect_free(free);
+                right.collect_free(free);
+                let mut bound = left.bound_vars();
+                bound.extend(right.bound_vars());
+                for q in predicate.qualifiers() {
+                    if !bound.contains(q) {
+                        free.insert(q.to_owned());
+                    }
+                }
+            }
+            RelExpr::Filter {
+                input, predicate, ..
+            } => {
+                input.collect_free(free);
+                let bound = input.bound_vars();
+                for q in predicate.qualifiers() {
+                    if !bound.contains(q) {
+                        free.insert(q.to_owned());
+                    }
+                }
+            }
+            RelExpr::Union { inputs, .. } => {
+                for i in inputs {
+                    i.collect_free(free);
+                }
+            }
+            RelExpr::Project {
+                input,
+                correspondences,
+                ..
+            } => {
+                input.collect_free(free);
+                let bound = input.bound_vars();
+                for v in correspondences {
+                    for q in v.expr.qualifiers() {
+                        if !bound.contains(q) {
+                            free.insert(q.to_owned());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Validate the tree's variable discipline: every predicate and
+    /// correspondence must reference only aliases bound by its inputs.
+    pub fn check(&self) -> Result<()> {
+        let free = self.free_vars();
+        match free.into_iter().next() {
+            None => Ok(()),
+            Some(a) => Err(Error::Invalid(format!(
+                "plan references unbound alias `{a}`"
+            ))),
+        }
+    }
+
+    /// Infer this node's output scheme against a database.
+    pub fn scheme(&self, db: &Database) -> Result<Scheme> {
+        match self {
+            RelExpr::Scan { alias, relation } => {
+                Ok(Scheme::of_relation(db.relation(relation)?.schema(), alias))
+            }
+            RelExpr::Join { left, right, .. } => left.scheme(db)?.concat(&right.scheme(db)?),
+            RelExpr::Filter { input, .. } => input.scheme(db),
+            RelExpr::Union { pad, .. } => Ok(pad.clone()),
+            RelExpr::Project { target, .. } => Ok(Scheme::of_relation(target, target.name())),
+        }
+    }
+}
+
+/// Is `e` *extension-stable*: once true on a row, still true on any row
+/// that fills some of that row's nulls with values?
+///
+/// This is the semantic property that lets the planner push a source
+/// filter below the minimum union: a row's subsumers are exactly its
+/// extensions, so a stable-true filter can never accept a row while
+/// rejecting the subsumer that would have replaced it.
+///
+/// The analysis is polarity-aware. A comparison over **strict** scalars
+/// (null in → null out) has fixed true/false outcomes — filling nulls
+/// only resolves unknowns — so it is stable in both directions.
+/// `IS NOT NULL` is stable-*true* only (false on a null can flip to
+/// true when the null fills), `IS NULL` stable-*false* only, and `NOT`
+/// swaps the directions. Non-strict scalars — functions (`coalesce`
+/// maps null to a value) and `CASE` — disqualify any atom over them.
+///
+/// Together with strongness ([`Expr::is_strong`]) this is the licence
+/// for the pushdown rewrite — see [`Plan`](super::Plan) for the full
+/// argument.
+#[must_use]
+pub fn is_extension_stable(e: &Expr) -> bool {
+    stable(e, true)
+}
+
+/// `positive`: does a true result survive refinement? Otherwise: does a
+/// false result survive refinement?
+fn stable(e: &Expr, positive: bool) -> bool {
+    match e {
+        // boolean-typed leaves are value-strict: their outcome is fixed
+        // once non-null, and null is neither true nor false
+        Expr::Column(_) | Expr::Literal(_) => true,
+        Expr::Not(x) => stable(x, !positive),
+        // a negated atom over strict scalars is itself strict, so
+        // `NOT IN` / `NOT BETWEEN` need no polarity flip
+        Expr::InList { expr, list, .. } => {
+            is_strict_scalar(expr) && list.iter().all(is_strict_scalar)
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => is_strict_scalar(expr) && is_strict_scalar(low) && is_strict_scalar(high),
+        Expr::IsNull { expr, negated } => {
+            // IS NOT NULL: true is pinned to a non-null value; IS NULL:
+            // false is. The opposite direction can flip as nulls fill.
+            is_strict_scalar(expr) && *negated == positive
+        }
+        Expr::Binary { op, left, right } if op.is_comparison() => {
+            is_strict_scalar(left) && is_strict_scalar(right)
+        }
+        Expr::Binary { op, left, right } => match op {
+            clio_relational::expr::BinOp::And | clio_relational::expr::BinOp::Or => {
+                stable(left, positive) && stable(right, positive)
+            }
+            _ => false, // arithmetic in boolean position: not a predicate
+        },
+        Expr::Neg(_) | Expr::Func { .. } | Expr::Case { .. } => false,
+    }
+}
+
+/// Null-strict scalar: evaluates to null whenever any referenced column
+/// is null, and to a value determined solely by its non-null inputs
+/// otherwise. Division is excluded — it is strict, but pushing it would
+/// let a by-zero error surface on rows the subsumption pass would have
+/// removed before the top-level filters ran.
+fn is_strict_scalar(e: &Expr) -> bool {
+    match e {
+        Expr::Column(_) | Expr::Literal(_) => true,
+        Expr::Neg(x) => is_strict_scalar(x),
+        Expr::Binary { op, left, right } => {
+            !matches!(op, clio_relational::expr::BinOp::Div)
+                && is_strict_scalar(left)
+                && is_strict_scalar(right)
+        }
+        Expr::Not(_)
+        | Expr::IsNull { .. }
+        | Expr::Func { .. }
+        | Expr::Case { .. }
+        | Expr::InList { .. }
+        | Expr::Between { .. } => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clio_relational::parser::parse_expr;
+
+    fn scan(alias: &str, relation: &str) -> RelExpr {
+        RelExpr::Scan {
+            alias: alias.into(),
+            relation: relation.into(),
+        }
+    }
+
+    #[test]
+    fn bound_and_free_vars_track_aliases() {
+        let join = RelExpr::Join {
+            left: Box::new(scan("C", "Children")),
+            right: Box::new(scan("P", "Parents")),
+            predicate: parse_expr("C.mid = P.ID").unwrap(),
+            outer: false,
+        };
+        assert_eq!(
+            join.bound_vars().into_iter().collect::<Vec<_>>(),
+            vec!["C".to_owned(), "P".to_owned()]
+        );
+        assert!(join.free_vars().is_empty());
+        assert!(join.check().is_ok());
+
+        let dangling = RelExpr::Filter {
+            input: Box::new(scan("C", "Children")),
+            predicate: parse_expr("P.ID = 1").unwrap(),
+            scope: FilterScope::Source,
+            pushed: false,
+        };
+        assert_eq!(
+            dangling.free_vars().into_iter().collect::<Vec<_>>(),
+            vec!["P".to_owned()]
+        );
+        let err = dangling.check().unwrap_err();
+        assert!(err.to_string().contains("unbound alias `P`"));
+    }
+
+    #[test]
+    fn join_predicates_referencing_outside_inputs_are_free() {
+        let join = RelExpr::Join {
+            left: Box::new(scan("C", "Children")),
+            right: Box::new(scan("P", "Parents")),
+            predicate: parse_expr("C.mid = Ph.ID").unwrap(),
+            outer: false,
+        };
+        assert!(join.free_vars().contains("Ph"));
+    }
+
+    #[test]
+    fn extension_stability_excludes_non_strict_constructs() {
+        for ok in [
+            "C.age < 7",
+            "C.a = 1 AND NOT (P.b = 2)",
+            "C.a IN (1, 2) OR C.b BETWEEN 1 AND 3",
+            "C.name LIKE 'A%'",
+            "C.a IS NOT NULL",
+            "NOT (C.a IS NULL)",
+        ] {
+            assert!(is_extension_stable(&parse_expr(ok).unwrap()), "{ok}");
+        }
+        for bad in [
+            "C.a IS NULL",
+            "NOT (C.a IS NOT NULL)",
+            "coalesce(C.a, 'x') = 'z'",
+            "C.a = 1 AND CASE WHEN C.b = 2 THEN TRUE ELSE FALSE END",
+            "C.a / 2 = 1",
+        ] {
+            assert!(!is_extension_stable(&parse_expr(bad).unwrap()), "{bad}");
+        }
+    }
+}

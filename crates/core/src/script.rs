@@ -18,10 +18,16 @@
 //! ```
 //!
 //! Everything round-trips: `parse_mapping(&write_mapping(&m)) == m`.
+//! Identifiers that carry whitespace or punctuation (or collide with an
+//! expression keyword) are written double-quoted with `""` escapes —
+//! `node "My Rel"` — matching the expression lexer's quoting rules, so
+//! such names survive the round trip too. Parse errors from embedded
+//! expressions are reported with the script line number and the column
+//! within that line.
 
 use clio_relational::error::{Error, Result};
 use clio_relational::parser::parse_expr;
-use clio_relational::schema::{Attribute, RelSchema};
+use clio_relational::schema::{format_ident, Attribute, RelSchema};
 use clio_relational::value::DataType;
 
 use crate::correspondence::ValueCorrespondence;
@@ -33,12 +39,12 @@ use crate::query_graph::{Node, QueryGraph};
 pub fn write_mapping(m: &Mapping) -> String {
     let mut out = String::new();
     // target schema
-    out.push_str(&format!("target {} (", m.target.name()));
+    out.push_str(&format!("target {} (", format_ident(m.target.name())));
     for (i, a) in m.target.attrs().iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
         }
-        out.push_str(&format!("{} {}", a.name, a.ty));
+        out.push_str(&format!("{} {}", format_ident(&a.name), a.ty));
         if a.not_null {
             out.push_str(" not null");
         }
@@ -47,9 +53,9 @@ pub fn write_mapping(m: &Mapping) -> String {
     // nodes
     for n in m.graph.nodes() {
         out.push_str("node ");
-        out.push_str(&n.alias);
+        out.push_str(&format_ident(&n.alias));
         if n.alias != n.relation {
-            out.push_str(&format!(" = {}", n.relation));
+            out.push_str(&format!(" = {}", format_ident(&n.relation)));
         }
         let default_node = if n.alias == n.relation {
             Node::new(n.alias.clone())
@@ -57,7 +63,7 @@ pub fn write_mapping(m: &Mapping) -> String {
             Node::copy_of(n.alias.clone(), n.relation.clone())
         };
         if n.code != default_node.code {
-            out.push_str(&format!(" code {}", n.code));
+            out.push_str(&format!(" code {}", format_ident(&n.code)));
         }
         out.push('\n');
     }
@@ -65,14 +71,18 @@ pub fn write_mapping(m: &Mapping) -> String {
     for e in m.graph.edges() {
         out.push_str(&format!(
             "edge {} -- {} : {}\n",
-            m.graph.nodes()[e.a].alias,
-            m.graph.nodes()[e.b].alias,
+            format_ident(&m.graph.nodes()[e.a].alias),
+            format_ident(&m.graph.nodes()[e.b].alias),
             e.predicate
         ));
     }
     // correspondences
     for v in &m.correspondences {
-        out.push_str(&format!("corr {} -> {}\n", v.expr, v.target_attr));
+        out.push_str(&format!(
+            "corr {} -> {}\n",
+            v.expr,
+            format_ident(&v.target_attr)
+        ));
     }
     // filters
     for f in &m.source_filters {
@@ -96,34 +106,160 @@ fn parse_data_type(s: &str) -> Result<DataType> {
     }
 }
 
+/// One whitespace-separated word of a script line; `quoted` is true when
+/// it was written `"..."` (so it never acts as punctuation like `=`).
+#[derive(Debug, Clone, PartialEq)]
+struct Word {
+    text: String,
+    quoted: bool,
+}
+
+/// Split a script-line fragment into words, where a `"..."`-quoted word
+/// may contain whitespace and `""` escapes an embedded quote.
+fn split_words(s: &str) -> Result<Vec<Word>> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i].is_whitespace() {
+            i += 1;
+        } else if chars[i] == '"' {
+            let mut text = String::new();
+            i += 1;
+            loop {
+                match chars.get(i) {
+                    None => return Err(Error::Invalid("unterminated quoted identifier".into())),
+                    Some('"') if chars.get(i + 1) == Some(&'"') => {
+                        text.push('"');
+                        i += 2;
+                    }
+                    Some('"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(c) => {
+                        text.push(*c);
+                        i += 1;
+                    }
+                }
+            }
+            out.push(Word { text, quoted: true });
+        } else {
+            let start = i;
+            while i < chars.len() && !chars[i].is_whitespace() && chars[i] != '"' {
+                i += 1;
+            }
+            out.push(Word {
+                text: chars[start..i].iter().collect(),
+                quoted: false,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Parse one identifier fragment: a `"..."`-quoted name (nothing may
+/// follow it), or the fragment trimmed verbatim.
+fn parse_ident_fragment(s: &str) -> Result<String> {
+    let s = s.trim();
+    if !s.starts_with('"') {
+        return Ok(s.to_string());
+    }
+    let words = split_words(s)?;
+    match words.as_slice() {
+        [w] if w.quoted => Ok(w.text.clone()),
+        _ => Err(Error::Invalid(format!(
+            "expected a single identifier, got `{s}`"
+        ))),
+    }
+}
+
+/// Byte positions of `pat` in `s` that lie outside both `'...'` string
+/// literals and `"..."` quoted identifiers.
+fn find_unquoted(s: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut in_sq = false;
+    let mut in_dq = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '\'' if !in_dq => in_sq = !in_sq,
+            '"' if !in_sq => in_dq = !in_dq,
+            _ => {}
+        }
+        // check *before* this position flips state for the next char:
+        // a separator starting at a quote char is never a match anyway
+        if !in_sq && !in_dq && s[i..].starts_with(pat) {
+            out.push(i);
+        }
+    }
+    out
+}
+
 /// Parse a target-schema declaration of the form
 /// `Name (attr type [not null], ...)` — the same syntax as the script's
 /// `target` line. Public so front-ends (the CLI's `--target` flag) can
-/// reuse it.
+/// reuse it. `Name` and attribute names may be `"..."`-quoted.
 pub fn parse_target_schema(rest: &str) -> Result<RelSchema> {
-    let (name, attrs_part) = rest
-        .split_once('(')
-        .ok_or_else(|| Error::Invalid("target line needs `(attrs)`".into()))?;
-    let name = name.trim();
+    let rest = rest.trim();
+    // the relation name: quoted (may contain `(`), or everything before
+    // the first `(` verbatim
+    let (name, attrs_part) = if rest.starts_with('"') {
+        let chars: Vec<char> = rest.chars().collect();
+        let mut i = 1usize;
+        let mut name = String::new();
+        loop {
+            match chars.get(i) {
+                None => return Err(Error::Invalid("unterminated quoted identifier".into())),
+                Some('"') if chars.get(i + 1) == Some(&'"') => {
+                    name.push('"');
+                    i += 2;
+                }
+                Some('"') => {
+                    i += 1;
+                    break;
+                }
+                Some(c) => {
+                    name.push(*c);
+                    i += 1;
+                }
+            }
+        }
+        let tail: String = chars[i..].iter().collect();
+        let tail = tail.trim_start().to_string();
+        let attrs = tail
+            .strip_prefix('(')
+            .ok_or_else(|| Error::Invalid("target line needs `(attrs)`".into()))?
+            .to_string();
+        (name, attrs)
+    } else {
+        let (name, attrs) = rest
+            .split_once('(')
+            .ok_or_else(|| Error::Invalid("target line needs `(attrs)`".into()))?;
+        (name.trim().to_string(), attrs.to_string())
+    };
     let attrs_part = attrs_part
         .strip_suffix(')')
         .ok_or_else(|| Error::Invalid("target line missing closing `)`".into()))?;
     let mut attrs = Vec::new();
-    for spec in attrs_part.split(',') {
-        let spec = spec.trim();
+    for start in comma_splits(attrs_part) {
+        let spec = start.trim();
         if spec.is_empty() {
             continue;
         }
-        let mut words = spec.split_whitespace();
+        let words = split_words(spec)?;
+        let mut words = words.iter();
         let attr_name = words
             .next()
             .ok_or_else(|| Error::Invalid("empty attribute spec".into()))?;
         let ty = parse_data_type(
-            words
+            &words
                 .next()
-                .ok_or_else(|| Error::Invalid(format!("attribute `{attr_name}` missing type")))?,
+                .ok_or_else(|| {
+                    Error::Invalid(format!("attribute `{}` missing type", attr_name.text))
+                })?
+                .text,
         )?;
-        let rest: Vec<&str> = words.collect();
+        let rest: Vec<&str> = words.map(|w| w.text.as_str()).collect();
         let not_null = match rest.as_slice() {
             [] => false,
             ["not", "null"] => true,
@@ -135,12 +271,25 @@ pub fn parse_target_schema(rest: &str) -> Result<RelSchema> {
             }
         };
         attrs.push(if not_null {
-            Attribute::not_null(attr_name, ty)
+            Attribute::not_null(&attr_name.text, ty)
         } else {
-            Attribute::new(attr_name, ty)
+            Attribute::new(&attr_name.text, ty)
         });
     }
     RelSchema::new(name, attrs)
+}
+
+/// Split on commas that lie outside quotes.
+fn comma_splits(s: &str) -> Vec<&str> {
+    let cuts = find_unquoted(s, ",");
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for cut in cuts {
+        out.push(&s[start..cut]);
+        start = cut + 1;
+    }
+    out.push(&s[start..]);
+    out
 }
 
 /// Parse a mapping script.
@@ -157,6 +306,36 @@ pub fn parse_mapping(text: &str) -> Result<Mapping> {
             continue;
         }
         let err = |msg: String| Error::Invalid(format!("line {}: {msg}", lineno + 1));
+        // relocate an expression parse error onto this script line: the
+        // fragment is a subslice of `raw`, so its char offset within the
+        // line shifts the error's column
+        let expr_err = |e: Error, fragment: &str| -> Error {
+            match e {
+                Error::Parse {
+                    column,
+                    token,
+                    message,
+                    ..
+                } => {
+                    let off = (fragment.as_ptr() as usize).wrapping_sub(raw.as_ptr() as usize);
+                    let col = if off <= raw.len() {
+                        raw[..off].chars().count() + column
+                    } else {
+                        column
+                    };
+                    let near = if token.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" (near `{token}`)")
+                    };
+                    Error::Invalid(format!(
+                        "line {}, column {col}: {message}{near}",
+                        lineno + 1
+                    ))
+                }
+                other => other,
+            }
+        };
         let (keyword, rest) = line.split_once(' ').unwrap_or((line, ""));
         match keyword {
             "target" => {
@@ -167,30 +346,31 @@ pub fn parse_mapping(text: &str) -> Result<Mapping> {
             }
             "node" => {
                 // node ALIAS [= RELATION] [code CODE]
-                let mut words = rest.split_whitespace().peekable();
+                let words = split_words(rest).map_err(|e| err(e.to_string()))?;
+                let mut words = words.into_iter();
                 let alias = words
                     .next()
                     .ok_or_else(|| err("node line needs an alias".into()))?
-                    .to_owned();
+                    .text;
                 let mut relation = alias.clone();
                 let mut code: Option<String> = None;
                 while let Some(w) = words.next() {
-                    match w {
-                        "=" => {
+                    match (w.text.as_str(), w.quoted) {
+                        ("=", false) => {
                             relation = words
                                 .next()
                                 .ok_or_else(|| err("`=` needs a relation name".into()))?
-                                .to_owned();
+                                .text;
                         }
-                        "code" => {
+                        ("code", false) => {
                             code = Some(
                                 words
                                     .next()
                                     .ok_or_else(|| err("`code` needs a value".into()))?
-                                    .to_owned(),
+                                    .text,
                             );
                         }
-                        other => return Err(err(format!("unexpected token `{other}`"))),
+                        (other, _) => return Err(err(format!("unexpected token `{other}`"))),
                     }
                 }
                 let mut node = if alias == relation {
@@ -204,28 +384,40 @@ pub fn parse_mapping(text: &str) -> Result<Mapping> {
                 graph.add_node(node)?;
             }
             "edge" => {
-                // edge A -- B : predicate
-                let (endpoints, predicate) = rest
-                    .split_once(':')
+                // edge A -- B : predicate (separators outside any quotes)
+                let colon = find_unquoted(rest, ":")
+                    .first()
+                    .copied()
                     .ok_or_else(|| err("edge line needs `: predicate`".into()))?;
-                let (a, b) = endpoints
-                    .split_once("--")
+                let (endpoints, predicate) = (&rest[..colon], &rest[colon + 1..]);
+                let dashes = find_unquoted(endpoints, "--")
+                    .first()
+                    .copied()
                     .ok_or_else(|| err("edge line needs `A -- B`".into()))?;
+                let a_name =
+                    parse_ident_fragment(&endpoints[..dashes]).map_err(|e| err(e.to_string()))?;
+                let b_name = parse_ident_fragment(&endpoints[dashes + 2..])
+                    .map_err(|e| err(e.to_string()))?;
                 let a = graph
-                    .node_by_alias(a.trim())
-                    .ok_or_else(|| err(format!("unknown node `{}`", a.trim())))?;
+                    .node_by_alias(&a_name)
+                    .ok_or_else(|| err(format!("unknown node `{a_name}`")))?;
                 let b = graph
-                    .node_by_alias(b.trim())
-                    .ok_or_else(|| err(format!("unknown node `{}`", b.trim())))?;
-                graph.add_edge(a, b, parse_expr(predicate.trim())?)?;
+                    .node_by_alias(&b_name)
+                    .ok_or_else(|| err(format!("unknown node `{b_name}`")))?;
+                let pred_text = predicate.trim();
+                let pred = parse_expr(pred_text).map_err(|e| expr_err(e, pred_text))?;
+                graph.add_edge(a, b, pred)?;
             }
             "corr" => {
-                // corr EXPR -> ATTR  (split on the LAST ` -> `)
-                let idx = rest
-                    .rfind(" -> ")
+                // corr EXPR -> ATTR  (split on the LAST unquoted ` -> `)
+                let idx = find_unquoted(rest, " -> ")
+                    .last()
+                    .copied()
                     .ok_or_else(|| err("corr line needs ` -> target_attr`".into()))?;
-                let expr = parse_expr(rest[..idx].trim())?;
-                let attr = rest[idx + 4..].trim();
+                let expr_text = rest[..idx].trim();
+                let expr = parse_expr(expr_text).map_err(|e| expr_err(e, expr_text))?;
+                let attr =
+                    parse_ident_fragment(&rest[idx + 4..]).map_err(|e| err(e.to_string()))?;
                 if attr.is_empty() {
                     return Err(err("corr line has an empty target attribute".into()));
                 }
@@ -235,7 +427,8 @@ pub fn parse_mapping(text: &str) -> Result<Mapping> {
                 let (kind, pred) = rest
                     .split_once(' ')
                     .ok_or_else(|| err("where line needs `source|target predicate`".into()))?;
-                let e = parse_expr(pred.trim())?;
+                let pred_text = pred.trim();
+                let e = parse_expr(pred_text).map_err(|e| expr_err(e, pred_text))?;
                 match kind {
                     "source" => source_filters.push(e),
                     "target" => target_filters.push(e),
@@ -360,6 +553,51 @@ mod tests {
             let err = parse_mapping(text).unwrap_err().to_string();
             assert!(err.contains(needle), "for {text:?}: got {err}");
         }
+    }
+
+    #[test]
+    fn expr_errors_carry_script_line_and_column() {
+        let text = "target T (a int)\nnode R\nwhere source R.x = )";
+        let err = parse_mapping(text).unwrap_err().to_string();
+        assert!(err.contains("line 3"), "{err}");
+        assert!(err.contains("column 20"), "{err}");
+        assert!(err.contains("near `)`"), "{err}");
+        // end-of-input errors locate past the line's last character
+        let text = "target T (a int)\nnode R\nedge R -- R : R.x =";
+        let err = parse_mapping(text).unwrap_err().to_string();
+        assert!(err.contains("line 3"), "{err}");
+        assert!(err.contains("end of input"), "{err}");
+    }
+
+    #[test]
+    fn quoted_identifiers_round_trip() {
+        use clio_relational::parser::parse_expr;
+        let mut g = QueryGraph::new();
+        let a = g.add_node(Node::copy_of("My Rel", "weird rel")).unwrap();
+        let b = g.add_node(Node::new("Other").with_code("x y")).unwrap();
+        g.add_edge(a, b, parse_expr("\"My Rel\".\"a b\" = Other.z").unwrap())
+            .unwrap();
+        let target = RelSchema::new(
+            "Tar get",
+            vec![
+                Attribute::not_null("id col", DataType::Str),
+                Attribute::new("and", DataType::Int),
+            ],
+        )
+        .unwrap();
+        let m = Mapping::new(g, target)
+            .with_correspondence(
+                ValueCorrespondence::parse("\"My Rel\".\"a b\"", "id col").unwrap(),
+            )
+            .with_source_filter(parse_expr("\"My Rel\".\"a b\" IS NOT NULL").unwrap());
+        let text = write_mapping(&m);
+        assert!(
+            text.contains("node \"My Rel\" = \"weird rel\""),
+            "unexpected script:\n{text}"
+        );
+        assert!(text.contains("target \"Tar get\" (\"id col\" str not null, \"and\" int)"));
+        let parsed = parse_mapping(&text).unwrap();
+        assert_eq!(parsed, m);
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! `clio-lang` — a small SQL-ish surface language for schema mappings.
+//!
+//! The mapping script format (`clio_core::script`) is line-oriented and
+//! diff-friendly; this crate adds a clause-oriented language that reads
+//! like the SQL a mapping compiles to (paper Sec 5), covering everything
+//! the script format can express:
+//!
+//! ```text
+//! MAP Kids (ID str not null, contactPh str)
+//! FROM Children, Parents AS Parents2, PhoneDir CODE D
+//! JOIN Children, Parents2 ON Children.mid = Parents2.ID
+//! JOIN Parents2, PhoneDir ON PhoneDir.ID = Parents2.ID
+//! WHERE SOURCE Children.age < 7
+//! WHERE TARGET Kids.ID IS NOT NULL
+//! SELECT Children.ID AS ID,
+//!        concat(PhoneDir.type, ',', PhoneDir.number) AS contactPh
+//! ```
+//!
+//! * [`parse_statement`] tokenizes and parses a statement into a
+//!   [`MapStmt`] AST; [`MapStmt::lower`] turns it into a
+//!   `clio_core` [`Mapping`](clio_core::prelude::Mapping), and
+//!   [`parse_map`] does both.
+//! * [`print_mapping`] renders a mapping back as canonical statement
+//!   text; `parse_map(&print_mapping(&m)) == m` for every mapping.
+//! * Errors carry 1-based line/column positions into the statement
+//!   text, including errors inside embedded expressions (relocated from
+//!   the expression parser) and lowering errors like an unknown `JOIN`
+//!   alias.
+//!
+//! Keywords are case-insensitive; identifiers that collide with them
+//! (or carry whitespace/punctuation) are `"..."`-quoted exactly as in
+//! the expression language.
+
+#![warn(missing_docs)]
+
+mod token;
+
+pub mod parser;
+pub mod printer;
+
+pub use parser::{parse_map, parse_statement, JoinDecl, MapStmt, NodeDecl, SelectItem, Spanned};
+pub use printer::{lang_ident, print_mapping};

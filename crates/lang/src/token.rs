@@ -1,0 +1,215 @@
+//! Clause-level tokenizer for the mapping language.
+//!
+//! The language's parser works in two layers: this tokenizer splits the
+//! statement into coarse tokens (words, `"..."`-quoted identifiers,
+//! `'...'` string literals and single-character symbols) with precise
+//! line/column positions, the clause parser uses those tokens to find
+//! clause boundaries, and the text *between* boundaries is handed to the
+//! relational expression parser verbatim. Quoting rules match the
+//! expression lexer exactly (`""` and `''` escapes), so a clause keyword
+//! inside a quoted identifier or a string literal never splits a clause.
+
+use clio_relational::error::{Error, Result};
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TokKind {
+    /// A bare word: a run of alphanumerics/underscores (keywords,
+    /// identifiers and number parts all lex as words at this layer).
+    Word,
+    /// A `"..."`-quoted identifier; `text` holds the unescaped content.
+    Quoted,
+    /// A `'...'` string literal; `text` holds the unescaped content.
+    Str,
+    /// Any other single character.
+    Sym(char),
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub(crate) struct Token {
+    pub kind: TokKind,
+    /// Word text / unescaped quoted content / symbol character.
+    pub text: String,
+    /// Byte offset of the token's first character in the input.
+    pub start: usize,
+    /// Byte offset one past the token's last character.
+    pub end: usize,
+    /// Character offset of the token's first character.
+    pub cpos: usize,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column (in characters).
+    pub col: usize,
+}
+
+impl Token {
+    /// Is this an *unquoted* word equal to `kw`, case-insensitively?
+    /// Quoted identifiers never match: `"from"` is a name, not a keyword.
+    pub fn is_word(&self, kw: &str) -> bool {
+        self.kind == TokKind::Word && self.text.eq_ignore_ascii_case(kw)
+    }
+}
+
+/// Lex `input` into clause-level tokens.
+pub(crate) fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
+    let byte_at = |i: usize| chars.get(i).map_or(input.len(), |&(b, _)| b);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    while i < chars.len() {
+        let (start, c) = chars[i];
+        let (tline, tcol, tcpos) = (line, col, i);
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                col += 1;
+                i += 1;
+            }
+            quote @ ('"' | '\'') => {
+                let mut text = String::new();
+                i += 1;
+                col += 1;
+                loop {
+                    match chars.get(i) {
+                        None => {
+                            let what = if quote == '"' {
+                                "unterminated quoted identifier"
+                            } else {
+                                "unterminated string literal"
+                            };
+                            return Err(Error::Parse {
+                                pos: tcpos,
+                                line: tline,
+                                column: tcol,
+                                token: quote.to_string(),
+                                message: what.to_string(),
+                            });
+                        }
+                        Some(&(_, q)) if q == quote => {
+                            if chars.get(i + 1).map(|&(_, n)| n) == Some(quote) {
+                                text.push(quote);
+                                i += 2;
+                                col += 2;
+                            } else {
+                                i += 1;
+                                col += 1;
+                                break;
+                            }
+                        }
+                        Some(&(_, '\n')) => {
+                            text.push('\n');
+                            i += 1;
+                            line += 1;
+                            col = 1;
+                        }
+                        Some(&(_, ch)) => {
+                            text.push(ch);
+                            i += 1;
+                            col += 1;
+                        }
+                    }
+                }
+                let kind = if quote == '"' {
+                    TokKind::Quoted
+                } else {
+                    TokKind::Str
+                };
+                out.push(Token {
+                    kind,
+                    text,
+                    start,
+                    end: byte_at(i),
+                    cpos: tcpos,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&(_, ch)) = chars.get(i) {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        text.push(ch);
+                        i += 1;
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokKind::Word,
+                    text,
+                    start,
+                    end: byte_at(i),
+                    cpos: tcpos,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            other => {
+                i += 1;
+                col += 1;
+                out.push(Token {
+                    kind: TokKind::Sym(other),
+                    text: other.to_string(),
+                    start,
+                    end: byte_at(i),
+                    cpos: tcpos,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_symbols_and_positions() {
+        let toks = tokenize("MAP T (a int)\nFROM R").unwrap();
+        let kinds: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(kinds, ["MAP", "T", "(", "a", "int", ")", "FROM", "R"]);
+        let from = &toks[6];
+        assert_eq!((from.line, from.col), (2, 1));
+        assert_eq!(from.kind, TokKind::Word);
+        let paren = &toks[2];
+        assert_eq!(paren.kind, TokKind::Sym('('));
+        assert_eq!((paren.line, paren.col), (1, 7));
+    }
+
+    #[test]
+    fn quoted_identifiers_and_strings_unescape() {
+        let toks = tokenize(r#""My ""R""" 'it''s'"#).unwrap();
+        assert_eq!(toks[0].kind, TokKind::Quoted);
+        assert_eq!(toks[0].text, "My \"R\"");
+        assert_eq!(toks[1].kind, TokKind::Str);
+        assert_eq!(toks[1].text, "it's");
+    }
+
+    #[test]
+    fn unterminated_quotes_report_their_position() {
+        let err = tokenize("MAP T\n  \"oops").unwrap_err().to_string();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("column 3"), "{err}");
+        assert!(err.contains("unterminated quoted identifier"), "{err}");
+        let err = tokenize("x 'oops").unwrap_err().to_string();
+        assert!(err.contains("unterminated string literal"), "{err}");
+    }
+
+    #[test]
+    fn keyword_matching_ignores_case_but_not_quotes() {
+        let toks = tokenize("from \"FROM\"").unwrap();
+        assert!(toks[0].is_word("FROM"));
+        assert!(!toks[1].is_word("FROM"));
+    }
+}

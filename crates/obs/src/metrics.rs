@@ -119,6 +119,16 @@ pub enum Counter {
     /// typed error (corrupt pages, version mismatches, I/O errors) —
     /// never a wrong answer.
     PagerLoadErrors,
+    /// Mapping plans built (one per `explain` or planned evaluation).
+    PlanBuilt,
+    /// Source filters pushed below the full-disjunction union by the
+    /// filter-pushdown rewrite (strong filters only; see docs/planner.md).
+    PlanPushedFilters,
+    /// Connected subgraphs skipped entirely because a pushed filter's
+    /// aliases lie outside the subgraph (its padded rows cannot pass).
+    PlanPrunedSubgraphs,
+    /// Mapping evaluations answered through the planned path.
+    PlanEvals,
 }
 
 /// Number of counters (length of [`Counter::ALL`]).
@@ -126,7 +136,7 @@ pub const COUNTER_COUNT: usize = Counter::ALL.len();
 
 impl Counter {
     /// All counters, in table order.
-    pub const ALL: [Counter; 36] = [
+    pub const ALL: [Counter; 40] = [
         Counter::TuplesScanned,
         Counter::JoinProbes,
         Counter::JoinOutputRows,
@@ -163,6 +173,10 @@ impl Counter {
         Counter::PagerMisses,
         Counter::PagerEvictions,
         Counter::PagerLoadErrors,
+        Counter::PlanBuilt,
+        Counter::PlanPushedFilters,
+        Counter::PlanPrunedSubgraphs,
+        Counter::PlanEvals,
     ];
 
     /// The stable dotted name used in JSON snapshots and the `stats`
@@ -206,6 +220,10 @@ impl Counter {
             Counter::PagerMisses => "pager.misses",
             Counter::PagerEvictions => "pager.evictions",
             Counter::PagerLoadErrors => "pager.load_errors",
+            Counter::PlanBuilt => "plan.built",
+            Counter::PlanPushedFilters => "plan.pushed_filters",
+            Counter::PlanPrunedSubgraphs => "plan.pruned_subgraphs",
+            Counter::PlanEvals => "plan.evals",
         }
     }
 }

@@ -39,8 +39,16 @@ pub enum Error {
     NullViolation { relation: String, attribute: String },
     /// A key constraint was violated on insert.
     KeyViolation { relation: String, key: String },
-    /// Text failed to parse as an expression; carries position and message.
-    Parse { pos: usize, message: String },
+    /// Text failed to parse as an expression; carries the character
+    /// offset, the 1-based line/column, the offending token's text
+    /// (empty at end of input), and a message.
+    Parse {
+        pos: usize,
+        line: usize,
+        column: usize,
+        token: String,
+        message: String,
+    },
     /// Division by zero (or modulo by zero) during evaluation.
     DivisionByZero,
     /// Anything else worth reporting with a message.
@@ -96,7 +104,19 @@ impl fmt::Display for Error {
             Error::KeyViolation { relation, key } => {
                 write!(f, "key violation on `{relation}` (key {key})")
             }
-            Error::Parse { pos, message } => write!(f, "parse error at offset {pos}: {message}"),
+            Error::Parse {
+                line,
+                column,
+                token,
+                message,
+                ..
+            } => {
+                write!(f, "parse error at line {line}, column {column}: {message}")?;
+                if !token.is_empty() {
+                    write!(f, " (near `{token}`)")?;
+                }
+                Ok(())
+            }
             Error::DivisionByZero => write!(f, "division by zero"),
             Error::Invalid(m) => write!(f, "{m}"),
         }
@@ -146,9 +166,26 @@ mod tests {
     fn parse_error_carries_position() {
         let e = Error::Parse {
             pos: 7,
+            line: 1,
+            column: 8,
+            token: ",".into(),
             message: "expected `)`".into(),
         };
-        assert_eq!(e.to_string(), "parse error at offset 7: expected `)`");
+        assert_eq!(
+            e.to_string(),
+            "parse error at line 1, column 8: expected `)` (near `,`)"
+        );
+        let e = Error::Parse {
+            pos: 7,
+            line: 2,
+            column: 3,
+            token: String::new(),
+            message: "unexpected end of input".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "parse error at line 2, column 3: unexpected end of input"
+        );
     }
 
     #[test]

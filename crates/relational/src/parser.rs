@@ -23,7 +23,14 @@
 //!          | ident [ . ident ] | ident ( args )
 //!          | CASE (WHEN expr THEN expr)+ [ELSE expr] END
 //!          | ( expr )
+//! ident   := plain identifier | "double-quoted identifier"
 //! ```
+//!
+//! Identifiers that are not of the plain `[A-Za-z_][A-Za-z0-9_]*` shape
+//! (or that collide with a keyword) are written double-quoted, with `""`
+//! escaping an embedded quote: `"My Rel".x = 'y'`. Parse errors carry
+//! the 1-based line/column of the offending token plus its text (see
+//! [`crate::error::Error::Parse`]).
 
 use crate::error::{Error, Result};
 use crate::expr::{BinOp, Expr};
@@ -41,27 +48,35 @@ use crate::value::Value;
 /// let filter = parse_expr("C.age < 7 AND C.name IS NOT NULL").unwrap();
 /// assert_eq!(filter.to_string(), "(C.age < 7) AND (C.name IS NOT NULL)");
 ///
-/// // errors carry byte offsets
-/// let err = parse_expr("C.age <").unwrap_err();
-/// assert!(err.to_string().contains("parse error"));
+/// // errors carry line/column positions and the offending token
+/// let err = parse_expr("C.age < )").unwrap_err();
+/// assert!(err.to_string().contains("line 1, column 9"));
 /// ```
 pub fn parse_expr(input: &str) -> Result<Expr> {
-    let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let (tokens, end) = lex(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        end,
+    };
     let e = p.parse_or()?;
     if let Some(tok) = p.peek() {
-        return Err(Error::Parse {
-            pos: tok.pos,
-            message: format!("unexpected trailing input `{}`", tok.kind.describe()),
-        });
+        return Err(parse_error_at(
+            tok,
+            format!("unexpected trailing input `{}`", tok.kind.describe()),
+        ));
     }
     Ok(e)
 }
 
 /// Parse a comma-separated list of expressions (filter lists).
 pub fn parse_expr_list(input: &str) -> Result<Vec<Expr>> {
-    let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let (tokens, end) = lex(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        end,
+    };
     let mut out = Vec::new();
     if p.peek().is_none() {
         return Ok(out);
@@ -74,10 +89,10 @@ pub fn parse_expr_list(input: &str) -> Result<Vec<Expr>> {
                 p.pos += 1;
             }
             Some(t) => {
-                return Err(Error::Parse {
-                    pos: t.pos,
-                    message: format!("expected `,`, found `{}`", t.kind.describe()),
-                })
+                return Err(parse_error_at(
+                    t,
+                    format!("expected `,`, found `{}`", t.kind.describe()),
+                ))
             }
         }
     }
@@ -168,7 +183,37 @@ impl TokenKind {
 #[derive(Debug, Clone, PartialEq)]
 struct Token {
     kind: TokenKind,
+    /// Character offset into the input.
     pos: usize,
+    /// 1-based line of the token's first character.
+    line: usize,
+    /// 1-based column (in characters) of the token's first character.
+    column: usize,
+}
+
+/// Where the input ends, for "end of input" diagnostics.
+#[derive(Debug, Clone, Copy)]
+struct EndPos {
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+/// A parse error anchored at an existing token.
+fn parse_error_at(tok: &Token, message: String) -> Error {
+    Error::Parse {
+        pos: tok.pos,
+        line: tok.line,
+        column: tok.column,
+        token: tok.kind.describe(),
+        message,
+    }
+}
+
+/// Is `word` (case-insensitively) a keyword of the expression language?
+/// Keyword-shaped identifiers must be double-quoted to be used as names.
+pub(crate) fn is_keyword(word: &str) -> bool {
+    keyword(word).is_some()
 }
 
 fn keyword(word: &str) -> Option<TokenKind> {
@@ -192,21 +237,39 @@ fn keyword(word: &str) -> Option<TokenKind> {
     }
 }
 
-fn lex(input: &str) -> Result<Vec<Token>> {
+fn lex(input: &str) -> Result<(Vec<Token>, EndPos)> {
     let bytes: Vec<char> = input.chars().collect();
     let mut out = Vec::new();
     let mut i = 0usize;
+    let mut lline = 1usize; // 1-based line of position `i`
+    let mut line_start = 0usize; // char offset where the current line begins
     while i < bytes.len() {
         let c = bytes[i];
         let pos = i;
+        let line = lline;
+        let column = pos - line_start + 1;
+        // the lexer's error at the current position, blaming `token`
+        let err = |token: &str, message: String| Error::Parse {
+            pos,
+            line,
+            column,
+            token: token.into(),
+            message,
+        };
         match c {
             c if c.is_whitespace() => {
+                if c == '\n' {
+                    lline += 1;
+                    line_start = i + 1;
+                }
                 i += 1;
             }
             '(' => {
                 out.push(Token {
                     kind: TokenKind::LParen,
                     pos,
+                    line,
+                    column,
                 });
                 i += 1;
             }
@@ -214,6 +277,8 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::RParen,
                     pos,
+                    line,
+                    column,
                 });
                 i += 1;
             }
@@ -221,6 +286,8 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Comma,
                     pos,
+                    line,
+                    column,
                 });
                 i += 1;
             }
@@ -228,6 +295,8 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Dot,
                     pos,
+                    line,
+                    column,
                 });
                 i += 1;
             }
@@ -235,6 +304,8 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Plus,
                     pos,
+                    line,
+                    column,
                 });
                 i += 1;
             }
@@ -242,6 +313,8 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Minus,
                     pos,
+                    line,
+                    column,
                 });
                 i += 1;
             }
@@ -249,6 +322,8 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Star,
                     pos,
+                    line,
+                    column,
                 });
                 i += 1;
             }
@@ -256,6 +331,8 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Slash,
                     pos,
+                    line,
+                    column,
                 });
                 i += 1;
             }
@@ -263,6 +340,8 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Eq,
                     pos,
+                    line,
+                    column,
                 });
                 i += 1;
             }
@@ -271,13 +350,12 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                     out.push(Token {
                         kind: TokenKind::ConcatOp,
                         pos,
+                        line,
+                        column,
                     });
                     i += 2;
                 } else {
-                    return Err(Error::Parse {
-                        pos,
-                        message: "expected `||`".into(),
-                    });
+                    return Err(err("|", "expected `||`".into()));
                 }
             }
             '!' => {
@@ -285,13 +363,12 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                     out.push(Token {
                         kind: TokenKind::Ne,
                         pos,
+                        line,
+                        column,
                     });
                     i += 2;
                 } else {
-                    return Err(Error::Parse {
-                        pos,
-                        message: "expected `!=`".into(),
-                    });
+                    return Err(err("!", "expected `!=`".into()));
                 }
             }
             '<' => match bytes.get(i + 1) {
@@ -299,6 +376,8 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                     out.push(Token {
                         kind: TokenKind::Le,
                         pos,
+                        line,
+                        column,
                     });
                     i += 2;
                 }
@@ -306,6 +385,8 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                     out.push(Token {
                         kind: TokenKind::Ne,
                         pos,
+                        line,
+                        column,
                     });
                     i += 2;
                 }
@@ -313,6 +394,8 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                     out.push(Token {
                         kind: TokenKind::Lt,
                         pos,
+                        line,
+                        column,
                     });
                     i += 1;
                 }
@@ -322,12 +405,16 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                     out.push(Token {
                         kind: TokenKind::Ge,
                         pos,
+                        line,
+                        column,
                     });
                     i += 2;
                 } else {
                     out.push(Token {
                         kind: TokenKind::Gt,
                         pos,
+                        line,
+                        column,
                     });
                     i += 1;
                 }
@@ -337,12 +424,7 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                 i += 1;
                 loop {
                     match bytes.get(i) {
-                        None => {
-                            return Err(Error::Parse {
-                                pos,
-                                message: "unterminated string literal".into(),
-                            })
-                        }
+                        None => return Err(err("'", "unterminated string literal".into())),
                         Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
                             s.push('\'');
                             i += 2;
@@ -352,6 +434,10 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                             break;
                         }
                         Some(c) => {
+                            if *c == '\n' {
+                                lline += 1;
+                                line_start = i + 1;
+                            }
                             s.push(*c);
                             i += 1;
                         }
@@ -360,6 +446,43 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Str(s),
                     pos,
+                    line,
+                    column,
+                });
+            }
+            '"' => {
+                // double-quoted identifier; `""` escapes an embedded quote
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(err("\"", "unterminated quoted identifier".into())),
+                        Some('"') if bytes.get(i + 1) == Some(&'"') => {
+                            s.push('"');
+                            i += 2;
+                        }
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(c) => {
+                            if *c == '\n' {
+                                lline += 1;
+                                line_start = i + 1;
+                            }
+                            s.push(*c);
+                            i += 1;
+                        }
+                    }
+                }
+                if s.is_empty() {
+                    return Err(err("\"\"", "empty quoted identifier".into()));
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(s),
+                    pos,
+                    line,
+                    column,
                 });
             }
             c if c.is_ascii_digit() => {
@@ -382,17 +505,22 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                 }
                 let text: String = bytes[i..end].iter().collect();
                 let kind = if is_float {
-                    TokenKind::Float(text.parse().map_err(|_| Error::Parse {
-                        pos,
-                        message: format!("invalid float `{text}`"),
-                    })?)
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| err(&text, format!("invalid float `{text}`")))?,
+                    )
                 } else {
-                    TokenKind::Int(text.parse().map_err(|_| Error::Parse {
-                        pos,
-                        message: format!("invalid integer `{text}`"),
-                    })?)
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| err(&text, format!("invalid integer `{text}`")))?,
+                    )
                 };
-                out.push(Token { kind, pos });
+                out.push(Token {
+                    kind,
+                    pos,
+                    line,
+                    column,
+                });
                 i = end;
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -402,23 +530,34 @@ fn lex(input: &str) -> Result<Vec<Token>> {
                 }
                 let word: String = bytes[i..end].iter().collect();
                 let kind = keyword(&word).unwrap_or(TokenKind::Ident(word));
-                out.push(Token { kind, pos });
+                out.push(Token {
+                    kind,
+                    pos,
+                    line,
+                    column,
+                });
                 i = end;
             }
             other => {
-                return Err(Error::Parse {
-                    pos,
-                    message: format!("unexpected character `{other}`"),
-                })
+                return Err(err(
+                    &other.to_string(),
+                    format!("unexpected character `{other}`"),
+                ))
             }
         }
     }
-    Ok(out)
+    let end = EndPos {
+        pos: bytes.len(),
+        line: lline,
+        column: bytes.len() - line_start + 1,
+    };
+    Ok((out, end))
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    end: EndPos,
 }
 
 impl Parser {
@@ -439,21 +578,24 @@ impl Parser {
         if self.eat(kind) {
             Ok(())
         } else {
-            let (pos, found) = match self.peek() {
-                Some(t) => (t.pos, t.kind.describe()),
-                None => (usize::MAX, "end of input".into()),
+            let found = match self.peek() {
+                Some(t) => t.kind.describe(),
+                None => "end of input".into(),
             };
-            Err(Error::Parse {
-                pos,
-                message: format!("expected `{}`, found `{found}`", kind.describe()),
-            })
+            Err(self.err_here(format!("expected `{}`, found `{found}`", kind.describe())))
         }
     }
 
     fn err_here(&self, message: impl Into<String>) -> Error {
-        Error::Parse {
-            pos: self.peek().map_or(usize::MAX, |t| t.pos),
-            message: message.into(),
+        match self.peek() {
+            Some(t) => parse_error_at(t, message.into()),
+            None => Error::Parse {
+                pos: self.end.pos,
+                line: self.end.line,
+                column: self.end.column,
+                token: String::new(),
+                message: message.into(),
+            },
         }
     }
 
@@ -694,6 +836,9 @@ impl Parser {
             }
             other => Err(Error::Parse {
                 pos: tok.pos,
+                line: tok.line,
+                column: tok.column,
+                token: other.describe(),
                 message: format!("unexpected token `{}`", other.describe()),
             }),
         }
@@ -965,5 +1110,69 @@ mod tests {
     fn keywords_case_insensitive() {
         assert_eq!(p("a and b or not c"), p("a AND b OR NOT c"));
         assert_eq!(p("x Is NoT nUlL"), p("x IS NOT NULL"));
+    }
+
+    #[test]
+    fn errors_carry_line_column_and_token() {
+        // offending token on line 2
+        let err = parse_expr("a = 1\nAND b = )").unwrap_err();
+        match err {
+            Error::Parse {
+                line,
+                column,
+                ref token,
+                ..
+            } => {
+                assert_eq!(line, 2);
+                assert_eq!(column, 9);
+                assert_eq!(token, ")");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        // end of input: position past the last char, empty token
+        let err = parse_expr("a =").unwrap_err();
+        match err {
+            Error::Parse {
+                pos,
+                line,
+                column,
+                ref token,
+                ..
+            } => {
+                assert_eq!((pos, line, column), (3, 1, 4));
+                assert!(token.is_empty());
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        assert!(parse_expr("a =")
+            .unwrap_err()
+            .to_string()
+            .contains("line 1, column 4"));
+    }
+
+    #[test]
+    fn quoted_identifiers_lex_as_idents() {
+        let e = p("\"My Rel\".x = 1");
+        assert_eq!(e.qualifiers(), vec!["My Rel"]);
+        // keywords lose their meaning when quoted
+        let e = p("\"select\" = 'x'");
+        assert!(matches!(e, Expr::Binary { op: BinOp::Eq, .. }));
+        // `""` escapes an embedded quote
+        let e = p("\"a\"\"b\" IS NULL");
+        match e {
+            Expr::IsNull { expr, .. } => match *expr {
+                Expr::Column(ref c) => assert_eq!(c.name, "a\"b"),
+                other => panic!("expected column, got {other}"),
+            },
+            other => panic!("expected IS NULL, got {other}"),
+        }
+        assert!(parse_expr("\"unterminated").is_err());
+        assert!(parse_expr("\"\" = 1").is_err());
+        // round-trip through Display
+        for src in ["\"My Rel\".\"a b\" = 1", "\"select\" < 2"] {
+            let e1 = p(src);
+            let e2 = p(&e1.to_string());
+            assert_eq!(e1, e2, "round-trip failed for `{src}`");
+        }
     }
 }

@@ -15,6 +15,38 @@ use std::fmt;
 use crate::error::{Error, Result};
 use crate::value::DataType;
 
+/// Does `name` need double-quoting to survive the expression lexer?
+/// Plain `[A-Za-z_][A-Za-z0-9_]*` identifiers that are not expression
+/// keywords pass through unquoted; everything else (whitespace,
+/// punctuation, leading digits, keyword collisions, empty) must be
+/// written `"name"` with `""` escaping embedded quotes.
+#[must_use]
+pub fn ident_needs_quoting(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return true; // empty
+    };
+    if !(first.is_alphabetic() || first == '_') {
+        return true;
+    }
+    if !chars.all(|c| c.is_alphanumeric() || c == '_') {
+        return true;
+    }
+    crate::parser::is_keyword(name)
+}
+
+/// Render an identifier so the expression lexer reads it back verbatim:
+/// plain identifiers unchanged, everything else double-quoted with `""`
+/// escapes (see [`ident_needs_quoting`]).
+#[must_use]
+pub fn format_ident(name: &str) -> String {
+    if ident_needs_quoting(name) {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    } else {
+        name.to_string()
+    }
+}
+
 /// One attribute of a relation scheme.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
@@ -112,12 +144,12 @@ impl RelSchema {
 
 impl fmt::Display for RelSchema {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}(", self.name)?;
+        write!(f, "{}(", format_ident(&self.name))?;
         for (i, a) in self.attrs.iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;
             }
-            write!(f, "{}: {}", a.name, a.ty)?;
+            write!(f, "{}: {}", format_ident(&a.name), a.ty)?;
             if a.not_null {
                 f.write_str(" not null")?;
             }
@@ -168,8 +200,8 @@ impl ColumnRef {
 impl fmt::Display for ColumnRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.qualifier {
-            Some(q) => write!(f, "{q}.{}", self.name),
-            None => f.write_str(&self.name),
+            Some(q) => write!(f, "{}.{}", format_ident(q), format_ident(&self.name)),
+            None => f.write_str(&format_ident(&self.name)),
         }
     }
 }
@@ -461,5 +493,33 @@ mod tests {
             ColumnRef::qualified("C", "age")
         );
         assert_eq!(ColumnRef::parse_simple("age"), ColumnRef::bare("age"));
+    }
+
+    #[test]
+    fn idents_quote_only_when_needed() {
+        assert_eq!(format_ident("Children"), "Children");
+        assert_eq!(format_ident("_x9"), "_x9");
+        assert_eq!(format_ident("My Rel"), "\"My Rel\"");
+        assert_eq!(format_ident("9lives"), "\"9lives\"");
+        assert_eq!(format_ident("a-b"), "\"a-b\"");
+        assert_eq!(format_ident(""), "\"\"");
+        assert_eq!(format_ident("a\"b"), "\"a\"\"b\"");
+        // expression keywords must be quoted to stay identifiers
+        assert_eq!(format_ident("select"), "select");
+        assert_eq!(format_ident("and"), "\"and\"");
+        assert_eq!(format_ident("NULL"), "\"NULL\"");
+    }
+
+    #[test]
+    fn quoted_column_ref_display_reparses() {
+        let c = ColumnRef::qualified("My Rel", "a b");
+        assert_eq!(c.to_string(), "\"My Rel\".\"a b\"");
+        let e = crate::parser::parse_expr(&format!("{c} IS NULL")).unwrap();
+        match e {
+            crate::expr::Expr::IsNull { expr, .. } => {
+                assert_eq!(*expr, crate::expr::Expr::Column(c));
+            }
+            other => panic!("expected IS NULL, got {other}"),
+        }
     }
 }

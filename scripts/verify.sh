@@ -24,7 +24,7 @@ echo "==> cargo doc --no-deps (first-party, warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p clio -p clio-relational -p clio-core -p clio-datagen \
     -p clio-obs -p clio-incr -p clio-net -p clio-cli -p clio-bench \
-    -p clio-pager
+    -p clio-pager -p clio-lang
 
 echo "==> cargo test -q"
 cargo test -q
@@ -471,5 +471,92 @@ if [ "${pager_load_errors:-1}" -ne 0 ]; then
     exit 1
 fi
 echo "    paged demo + 4 concurrent paged sessions byte-identical; pager.misses = $pager_misses, pager.evictions = $pager_evictions, pager.load_errors = $pager_load_errors"
+
+# Tier 2i: planner / MAP-language gate (PR 10, docs/planner.md). The
+# same cyclic mapping (three-node cycle plus a pushable source filter)
+# is loaded two ways — script format via `load`, MAP language via
+# `map load` — and each is evaluated with the planner off and on. All
+# four runs' stdout (prompt-echo lines stripped, since the load
+# commands differ textually) must be byte-identical: the language is a
+# faithful surface for the script format, and the plan-based executor
+# is answer-invisible. Each script also runs `map show` (the canonical
+# MAP printer — identical text regardless of how the mapping was
+# loaded) and `explain` (must render a plan tree). A metrics replay of
+# the planned run then pins that the rewrite really fired:
+# plan.pushed_filters > 0 (the filter was pushed below the union) and
+# plan.evals > 0 (evaluation actually routed through the planner).
+# Regenerate nothing — this gate has no golden file; equality is
+# between live runs.
+echo "==> planner gate (load vs map load, --plan off/on, pushdown counters)"
+tmp_lang_legacy="$(mktemp)"
+tmp_lang_map="$(mktemp)"
+tmp_lang_script_a="$(mktemp)"
+tmp_lang_script_b="$(mktemp)"
+tmp_lang_out_a="$(mktemp)"
+tmp_lang_out_b="$(mktemp)"
+tmp_lang_out_ap="$(mktemp)"
+tmp_lang_out_bp="$(mktemp)"
+tmp_plan_metrics="$(mktemp)"
+cat > "$tmp_lang_legacy" <<'EOF'
+target Kids (ID str not null, name str, affiliation str, address str, contactPh str, BusSchedule str, FamilyIncome int)
+node Children
+node Parents
+node PhoneDir
+edge Children -- Parents : Children.mid = Parents.ID
+edge Parents -- PhoneDir : PhoneDir.ID = Parents.ID
+edge Children -- PhoneDir : Children.mid = PhoneDir.ID
+corr Children.ID -> ID
+corr Children.name -> name
+corr Parents.affiliation -> affiliation
+corr PhoneDir.number -> contactPh
+where source Children.age < 7
+EOF
+cat > "$tmp_lang_map" <<'EOF'
+MAP Kids (ID str not null, name str, affiliation str, address str, contactPh str, BusSchedule str, FamilyIncome int)
+FROM Children, Parents, PhoneDir
+JOIN Children, Parents ON Children.mid = Parents.ID
+JOIN Parents, PhoneDir ON PhoneDir.ID = Parents.ID
+JOIN Children, PhoneDir ON Children.mid = PhoneDir.ID
+WHERE SOURCE Children.age < 7
+SELECT Children.ID AS ID, Children.name AS name, Parents.affiliation AS affiliation, PhoneDir.number AS contactPh
+EOF
+{ echo "load $tmp_lang_legacy"; echo target; echo "map show"; echo explain; echo quit; } > "$tmp_lang_script_a"
+{ echo "map load $tmp_lang_map"; echo target; echo "map show"; echo explain; echo quit; } > "$tmp_lang_script_b"
+run_and_strip() { # $2... flags; stdout has prompt-echo lines removed
+    script="$1"; out="$2"; shift 2
+    target/release/clio-shell --script "$script" --threads 1 "$@" > "$out"
+    sed -i '/^clio> /d' "$out"
+}
+run_and_strip "$tmp_lang_script_a" "$tmp_lang_out_a"
+run_and_strip "$tmp_lang_script_b" "$tmp_lang_out_b"
+run_and_strip "$tmp_lang_script_a" "$tmp_lang_out_ap" --plan
+run_and_strip "$tmp_lang_script_b" "$tmp_lang_out_bp" --plan
+for pair in "$tmp_lang_out_b:map-load" "$tmp_lang_out_ap:planned" "$tmp_lang_out_bp:planned-map-load"; do
+    other="${pair%%:*}"
+    label="${pair##*:}"
+    if ! diff -u "$tmp_lang_out_a" "$other"; then
+        echo "verify: FAILED — $label run diverged from the script-format definitional run" >&2
+        exit 1
+    fi
+done
+if ! grep -q '^plan for Kids' "$tmp_lang_out_a"; then
+    echo "verify: FAILED — explain printed no plan tree" >&2
+    exit 1
+fi
+target/release/clio-shell --script "$tmp_lang_script_b" --threads 1 --plan \
+    --metrics "$tmp_plan_metrics" >/dev/null
+plan_pushed="$(counter "$tmp_plan_metrics" 'plan\.pushed_filters' | head -n 1)"
+plan_evals="$(counter "$tmp_plan_metrics" 'plan\.evals' | head -n 1)"
+rm -f "$tmp_lang_legacy" "$tmp_lang_map" "$tmp_lang_script_a" "$tmp_lang_script_b" \
+    "$tmp_lang_out_a" "$tmp_lang_out_b" "$tmp_lang_out_ap" "$tmp_lang_out_bp" "$tmp_plan_metrics"
+if [ "${plan_pushed:-0}" -eq 0 ]; then
+    echo "verify: FAILED — planned run pushed no filters (plan.pushed_filters = ${plan_pushed:-none})" >&2
+    exit 1
+fi
+if [ "${plan_evals:-0}" -eq 0 ]; then
+    echo "verify: FAILED — --plan run recorded no planned evaluations" >&2
+    exit 1
+fi
+echo "    load == map load == planned (byte-identical); plan.pushed_filters = $plan_pushed, plan.evals = $plan_evals"
 
 echo "verify: OK"
